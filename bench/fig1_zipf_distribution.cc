@@ -1,0 +1,45 @@
+// Figure 1: Zipf frequency distributions for T = 1000, M = 100 and
+// z in {0, 0.2, ..., 1.0} (the paper's axis label enumerates small z steps;
+// we print the canonical skew ladder so the shape is visible in text).
+
+#include <cstdio>
+#include <iostream>
+
+#include "stats/zipf.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace hops;
+  std::cout << "== Figure 1: Zipf frequency distribution "
+               "(T=1000, M=100) ==\n";
+  std::cout << "t_i = T * (1/i^z) / sum_k (1/k^z)   (formula (1))\n\n";
+
+  const std::vector<double> skews = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  const std::vector<size_t> ranks = {1, 2, 3, 5, 10, 20, 50, 100};
+
+  std::vector<std::string> headers = {"rank"};
+  for (double z : skews) {
+    headers.push_back("z=" + TablePrinter::FormatDouble(z, 1));
+  }
+  TablePrinter tp(headers);
+  std::vector<std::vector<Frequency>> curves;
+  for (double z : skews) {
+    auto f = ZipfFrequencies({1000.0, 100, z});
+    f.status().Check();
+    curves.push_back(*std::move(f));
+  }
+  for (size_t rank : ranks) {
+    std::vector<std::string> row = {TablePrinter::FormatInt(
+        static_cast<int64_t>(rank))};
+    for (const auto& curve : curves) {
+      row.push_back(TablePrinter::FormatDouble(curve[rank - 1], 2));
+    }
+    tp.AddRow(std::move(row));
+  }
+  tp.Print(std::cout);
+
+  std::cout << "\nShape check: z=0 is uniform (10 tuples/value); skew rises "
+               "monotonically with z,\nconcentrating mass on the lowest "
+               "ranks exactly as in the paper's Figure 1.\n";
+  return 0;
+}

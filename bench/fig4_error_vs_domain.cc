@@ -1,0 +1,55 @@
+// Figure 4: sigma as a function of the join-domain size M, with beta = 5,
+// z = 1.0, T = 1000. The paper's shape: error first rises past M = 5 (five
+// buckets stop sufficing), peaks, then falls as the fixed relation size
+// spreads ever thinner (the distribution approaches uniform).
+
+#include <iostream>
+
+#include "experiments/self_join_sweeps.h"
+#include "stats/zipf.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace hops;
+  const size_t kBeta = 5;
+  const double kSkew = 1.0;
+  const double kTotal = 1000.0;
+  const uint64_t kSeed = 0xF164;
+
+  std::cout << "== Figure 4: sigma vs join domain size "
+               "(self-join, beta=5, z=1, T=1000, seed=" << kSeed
+            << ") ==\n\n";
+  TablePrinter tp({"M", "trivial", "equi-width", "equi-depth", "end-biased",
+                   "serial(dp)"});
+  SelfJoinSigmaOptions mc;
+  mc.num_arrangements = 50;
+  mc.seed = kSeed;
+  for (size_t m : {5u, 10u, 20u, 50u, 100u, 200u, 500u, 1000u}) {
+    auto set = ZipfFrequencySet({kTotal, m, kSkew}, /*integer_valued=*/true);
+    set.status().Check();
+    std::vector<std::string> row = {
+        TablePrinter::FormatInt(static_cast<int64_t>(m))};
+    for (auto type :
+         {HistogramType::kTrivial, HistogramType::kEquiWidth,
+          HistogramType::kEquiDepth, HistogramType::kVOptEndBiased,
+          HistogramType::kVOptSerialDP}) {
+      size_t beta = std::min(kBeta, m);
+      auto sigma = SelfJoinSigma(*set, type, beta, mc);
+      sigma.status().Check();
+      row.push_back(TablePrinter::FormatDouble(*sigma, 1));
+    }
+    tp.AddRow(std::move(row));
+  }
+  tp.Print(std::cout);
+  if (argc > 1) {
+    tp.WriteCsv(argv[1]).Check();
+    std::cout << "\n(series written to " << argv[1] << ")\n";
+  }
+
+  std::cout << "\nShape check (paper Figure 4): the error rises for a few "
+               "values of M beyond 5, then decreases for all histograms as "
+               "the fixed-size relation becomes increasingly uniform.\n"
+            << "(The serial column uses the DP construction — identical "
+               "optimum to exhaustive V-OptHist, feasible at every M.)\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 5: sigma as a function of the Zipf skew parameter z, with beta = 5
+// and M = 100. Paper's shape: equi-width and trivial blow up with skew and
+// leave the chart; the frequency-based histograms (serial, end-biased,
+// equi-depth) peak at moderate skew and then *improve* — at high skew the
+// few huge frequencies land in univalued buckets and the rest are tiny.
+
+#include <iostream>
+
+#include "experiments/self_join_sweeps.h"
+#include "stats/zipf.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace hops;
+  const size_t kDomain = 100;
+  const size_t kBeta = 5;
+  const double kTotal = 1000.0;
+  const uint64_t kSeed = 0xF165;
+
+  std::cout << "== Figure 5: sigma vs skew "
+               "(self-join, beta=5, M=100, T=1000, seed=" << kSeed
+            << ") ==\n\n";
+  TablePrinter tp({"z", "trivial", "equi-width", "equi-depth", "end-biased",
+                   "serial(dp)"});
+  SelfJoinSigmaOptions mc;
+  mc.num_arrangements = 50;
+  mc.seed = kSeed;
+  for (double z : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0,
+                   4.5}) {
+    auto set = ZipfFrequencySet({kTotal, kDomain, z},
+                                /*integer_valued=*/true);
+    set.status().Check();
+    std::vector<std::string> row = {TablePrinter::FormatDouble(z, 2)};
+    for (auto type :
+         {HistogramType::kTrivial, HistogramType::kEquiWidth,
+          HistogramType::kEquiDepth, HistogramType::kVOptEndBiased,
+          HistogramType::kVOptSerialDP}) {
+      auto sigma = SelfJoinSigma(*set, type, kBeta, mc);
+      sigma.status().Check();
+      row.push_back(TablePrinter::FormatDouble(*sigma, 1));
+    }
+    tp.AddRow(std::move(row));
+  }
+  tp.Print(std::cout);
+  if (argc > 1) {
+    tp.WriteCsv(argv[1]).Check();
+    std::cout << "\n(series written to " << argv[1] << ")\n";
+  }
+
+  std::cout << "\nShape check (paper Figure 5): trivial/equi-width grow "
+               "monotonically with skew (off the chart);\nequi-depth, "
+               "end-biased, and serial exhibit a maximum at moderate skew "
+               "and decline afterwards —\nlow skew is easy because bucket "
+               "choice barely matters, high skew is easy because the choice "
+               "is obvious.\n";
+  return 0;
+}

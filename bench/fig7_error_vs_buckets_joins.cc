@@ -1,0 +1,53 @@
+// Figure 7: mean relative error E[|S - S'|/S] as a function of the number
+// of buckets for five-join queries, across the three skew classes.
+
+#include <iostream>
+
+#include "experiments/join_sweeps.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace hops;
+  const size_t kJoins = 5;
+  const uint64_t kSeed = 0xF167;
+  std::cout << "== Figure 7: E[|S-S'|/S] vs number of buckets "
+               "(5 joins, M=10 domains, 20 arrangements, seed=" << kSeed
+            << ") ==\n\n";
+
+  for (SkewClass skew_class :
+       {SkewClass::kLow, SkewClass::kMixed, SkewClass::kHigh}) {
+    std::cout << "-- " << SkewClassToString(skew_class)
+              << " skew queries --\n";
+    TablePrinter tp({"buckets", "serial(dp)", "end-biased"});
+    for (size_t beta = 1; beta <= 10; ++beta) {
+      std::vector<std::string> row = {
+          TablePrinter::FormatInt(static_cast<int64_t>(beta))};
+      for (auto type :
+           {HistogramType::kVOptSerialDP, HistogramType::kVOptEndBiased}) {
+        JoinExperimentConfig config;
+        config.num_joins = kJoins;
+        config.num_buckets = beta;
+        config.domain_size = 10;
+        config.skew_class = skew_class;
+        config.num_arrangements = 20;
+        config.num_queries = 10;
+        // Seed fixed per class so every (beta, type) sees the same sets.
+        config.seed = kSeed + 1000 * static_cast<uint64_t>(skew_class);
+        config.histogram_type = type;
+        auto result = RunJoinExperiment(config);
+        result.status().Check();
+        row.push_back(
+            TablePrinter::FormatDouble(result->mean_relative_error, 4));
+      }
+      tp.AddRow(std::move(row));
+    }
+    tp.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Shape check (paper Figure 7): errors decrease with buckets; "
+               "even beta = 5 drops the error to tolerable levels.\nThe "
+               "v-optimal serial histogram is not always better than "
+               "end-biased on arbitrary queries — their average difference "
+               "is small.\n";
+  return 0;
+}

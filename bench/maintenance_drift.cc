@@ -1,0 +1,102 @@
+// Update propagation (Section 2.3's deferred question): "delaying the
+// propagation of database updates to the histogram may introduce additional
+// errors." This bench streams inserts whose distribution drifts away from
+// the one the histogram was built on and tracks the equality-selection
+// error of three policies: a stale histogram (never touched), an
+// incrementally maintained one, and maintained + rebuild-on-drift-flag.
+
+#include <cmath>
+#include <iostream>
+#include <unordered_map>
+
+#include "engine/statistics.h"
+#include "histogram/maintenance.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace hops;
+
+// Mean relative equality-selection error over the live domain.
+double MeanSelectionError(
+    const CatalogHistogram& hist,
+    const std::unordered_map<int64_t, double>& truth) {
+  double sum = 0;
+  size_t n = 0;
+  for (const auto& [value, count] : truth) {
+    if (count <= 0) continue;
+    sum += std::fabs(hist.LookupFrequency(value) - count) / count;
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t kSeed = 0xd21f7;
+  std::cout << "== Histogram maintenance under drift "
+               "(10k base tuples, 10k drifting inserts, beta=11, seed="
+            << kSeed << ") ==\n\n";
+  Rng rng(kSeed);
+
+  // Base relation: Zipf-ish over 50 values (heavy near 0).
+  auto rel = Relation::Make(
+      "R", *Schema::Make({{"a", ValueType::kInt64}}));
+  rel.status().Check();
+  std::unordered_map<int64_t, double> truth;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = static_cast<int64_t>(
+        std::min(rng.NextBounded(50), rng.NextBounded(50)));
+    rel->AppendUnchecked({Value(v)});
+    truth[v] += 1;
+  }
+  StatisticsOptions options;
+  options.num_buckets = 11;
+  auto built = AnalyzeColumn(*rel, "a", options);
+  built.status().Check();
+
+  CatalogHistogram stale = built->histogram;
+  HistogramMaintainer maintained(built->histogram, built->num_tuples);
+  HistogramMaintainer with_rebuild(built->histogram, built->num_tuples);
+  size_t rebuilds = 0;
+
+  TablePrinter tp({"inserts", "stale err", "maintained err",
+                   "maintained+rebuild err", "rebuilds"});
+  for (int step = 0; step < 10; ++step) {
+    for (int i = 0; i < 1000; ++i) {
+      // Drift: the new hot spot is value 40 + noise — a value that was cold
+      // (and implicit) at build time.
+      int64_t v = rng.NextDouble() < 0.5
+                      ? 40 + static_cast<int64_t>(rng.NextBounded(3))
+                      : static_cast<int64_t>(rng.NextBounded(50));
+      rel->AppendUnchecked({Value(v)});
+      truth[v] += 1;
+      maintained.ApplyInsert(v).Check();
+      with_rebuild.ApplyInsert(v).Check();
+      if (with_rebuild.NeedsRebuild()) {
+        auto rebuilt = AnalyzeColumn(*rel, "a", options);
+        rebuilt.status().Check();
+        with_rebuild.Rebuilt(rebuilt->histogram, rebuilt->num_tuples);
+        ++rebuilds;
+      }
+    }
+    tp.AddRow({TablePrinter::FormatInt((step + 1) * 1000),
+               TablePrinter::FormatDouble(MeanSelectionError(stale, truth),
+                                          3),
+               TablePrinter::FormatDouble(
+                   MeanSelectionError(maintained.current(), truth), 3),
+               TablePrinter::FormatDouble(
+                   MeanSelectionError(with_rebuild.current(), truth), 3),
+               TablePrinter::FormatInt(static_cast<int64_t>(rebuilds))});
+  }
+  tp.Print(std::cout);
+  std::cout << "\nShape check: the stale histogram never adapts (Section "
+               "2.3's warning — its error stays elevated and worsens as "
+               "drift accumulates); incremental maintenance absorbs count "
+               "drift but cannot make the emerging hot value explicit; the "
+               "drift/promotion policy triggers ANALYZE and tracks the "
+               "freshly-built level.\n";
+  return 0;
+}

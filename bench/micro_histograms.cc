@@ -1,0 +1,190 @@
+// Supporting micro-benchmarks (google-benchmark): the builders, the error
+// formulas, the chain product, catalog round trips, and the engine
+// primitives. These back DESIGN.md's ablations — in particular
+// exhaustive-vs-DP serial construction and the near-linear V-OptBiasHist.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/executor.h"
+#include "engine/hash_agg.h"
+#include "engine/statistics.h"
+#include "histogram/builders.h"
+#include "histogram/self_join.h"
+#include "query/chain_query.h"
+#include "stats/arrangement.h"
+#include "stats/zipf.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace hops;
+
+FrequencySet ZipfSet(size_t m, double z = 1.0) {
+  auto set = ZipfFrequencySet({static_cast<double>(m) * 10.0, m, z},
+                              /*integer_valued=*/true);
+  set.status().Check();
+  return *std::move(set);
+}
+
+void BM_VOptSerialExhaustive(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t beta = static_cast<size_t>(state.range(1));
+  FrequencySet set = ZipfSet(m);
+  for (auto _ : state) {
+    auto h = BuildVOptSerialExhaustive(set, beta);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetComplexityN(static_cast<int64_t>(m));
+}
+BENCHMARK(BM_VOptSerialExhaustive)
+    ->Args({50, 3})
+    ->Args({100, 3})
+    ->Args({200, 3})
+    ->Args({50, 5})
+    ->Args({100, 5});
+
+void BM_VOptSerialDP(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t beta = static_cast<size_t>(state.range(1));
+  FrequencySet set = ZipfSet(m);
+  for (auto _ : state) {
+    auto h = BuildVOptSerialDP(set, beta);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_VOptSerialDP)
+    ->Args({100, 5})
+    ->Args({500, 5})
+    ->Args({1000, 5})
+    ->Args({1000, 20});
+
+void BM_VOptSerialDPFast(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t beta = static_cast<size_t>(state.range(1));
+  FrequencySet set = ZipfSet(m);
+  for (auto _ : state) {
+    auto h = BuildVOptSerialDPFast(set, beta);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_VOptSerialDPFast)
+    ->Args({1000, 5})
+    ->Args({1000, 20})
+    ->Args({10000, 20});
+
+void BM_VOptEndBiased(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  FrequencySet set = ZipfSet(m);
+  for (auto _ : state) {
+    auto h = BuildVOptEndBiased(set, 10);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_VOptEndBiased)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EquiDepth(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  FrequencySet set = ZipfSet(m);
+  for (auto _ : state) {
+    auto h = BuildEquiDepthHistogram(set, 10);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_EquiDepth)->Arg(1000)->Arg(100000);
+
+void BM_SelfJoinErrorFormula(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  FrequencySet set = ZipfSet(m);
+  auto h = BuildVOptEndBiased(set, 10);
+  h.status().Check();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelfJoinError(*h));
+  }
+}
+BENCHMARK(BM_SelfJoinErrorFormula)->Arg(1000);
+
+void BM_ChainProduct(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t joins = static_cast<size_t>(state.range(1));
+  Rng rng(1);
+  std::vector<FrequencyMatrix> ms;
+  for (size_t j = 0; j <= joins; ++j) {
+    size_t rows = (j == 0) ? 1 : m;
+    size_t cols = (j == joins) ? 1 : m;
+    std::vector<Frequency> cells(rows * cols);
+    for (auto& c : cells) c = static_cast<double>(rng.NextBounded(100));
+    ms.push_back(*FrequencyMatrix::Make(rows, cols, std::move(cells)));
+  }
+  for (auto _ : state) {
+    auto s = ChainResultSize(ms);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_ChainProduct)->Args({10, 5})->Args({100, 5})->Args({10, 20});
+
+void BM_CatalogRoundTrip(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  FrequencySet set = ZipfSet(m);
+  auto h = BuildVOptEndBiased(set, 10);
+  h.status().Check();
+  std::vector<int64_t> ids(m);
+  for (size_t i = 0; i < m; ++i) ids[i] = static_cast<int64_t>(i);
+  auto compact = CatalogHistogram::FromHistogram(*h, ids);
+  compact.status().Check();
+  for (auto _ : state) {
+    std::string bytes = compact->Encode();
+    auto decoded = CatalogHistogram::Decode(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_CatalogRoundTrip)->Arg(1000);
+
+void BM_AnalyzeColumn(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  auto schema = Schema::Make({{"a", ValueType::kInt64}});
+  auto rel = Relation::Make("R", *std::move(schema));
+  rel.status().Check();
+  Rng rng(3);
+  for (size_t i = 0; i < tuples; ++i) {
+    // Zipf-ish: min of two uniform draws skews small.
+    int64_t v = static_cast<int64_t>(
+        std::min(rng.NextBounded(1000), rng.NextBounded(1000)));
+    rel->AppendUnchecked({Value(v)});
+  }
+  for (auto _ : state) {
+    auto stats = AnalyzeColumn(*rel, "a");
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_AnalyzeColumn)->Arg(10000)->Arg(100000);
+
+void BM_ChainJoinExecution(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  auto schema2 = Schema::Make({{"l", ValueType::kInt64},
+                               {"r", ValueType::kInt64}});
+  auto schema1 = Schema::Make({{"a", ValueType::kInt64}});
+  auto r0 = Relation::Make("R0", *schema1);
+  auto r1 = Relation::Make("R1", *schema2);
+  auto r2 = Relation::Make("R2", *schema1);
+  r0.status().Check();
+  r1.status().Check();
+  r2.status().Check();
+  Rng rng(5);
+  for (size_t i = 0; i < tuples; ++i) {
+    r0->AppendUnchecked({Value(static_cast<int64_t>(rng.NextBounded(50)))});
+    r1->AppendUnchecked({Value(static_cast<int64_t>(rng.NextBounded(50))),
+                         Value(static_cast<int64_t>(rng.NextBounded(50)))});
+    r2->AppendUnchecked({Value(static_cast<int64_t>(rng.NextBounded(50)))});
+  }
+  std::vector<ChainJoinStep> steps = {
+      {&*r0, "", "a"}, {&*r1, "l", "r"}, {&*r2, "a", ""}};
+  for (auto _ : state) {
+    auto count = ExecuteChainJoinCount(steps);
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_ChainJoinExecution)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

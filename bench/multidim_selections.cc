@@ -1,0 +1,110 @@
+// Multi-attribute selection estimation (the Muralikrishna & DeWitt setting
+// the paper cites): conjunctive equality predicates over a correlated
+// column pair, estimated three ways — per-column independence, a joint
+// grid-style histogram built from the statistics machinery, and the joint
+// frequency-bucketized (v-opt end-biased over cells) histogram.
+
+#include <cmath>
+#include <iostream>
+
+#include "engine/joint_statistics.h"
+#include "engine/statistics.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace hops;
+
+Relation MakeCorrelated(uint64_t seed, double correlation) {
+  Rng rng(seed);
+  auto rel = Relation::Make(
+      "R", *Schema::Make({{"a", ValueType::kInt64},
+                          {"b", ValueType::kInt64}}));
+  rel.status().Check();
+  for (int i = 0; i < 5000; ++i) {
+    int64_t a = static_cast<int64_t>(
+        std::min(rng.NextBounded(12), rng.NextBounded(12)));
+    int64_t b = rng.NextDouble() < correlation
+                    ? a
+                    : static_cast<int64_t>(rng.NextBounded(12));
+    rel->AppendUnchecked({Value(a), Value(b)});
+  }
+  return *std::move(rel);
+}
+
+// Mean absolute error of a conjunctive-equality estimator over the full
+// 12x12 pair grid.
+template <typename EstimateFn>
+double MeanAbsError(const Relation& rel, EstimateFn estimate) {
+  // Exact pair counts.
+  std::vector<double> truth(12 * 12, 0.0);
+  for (const auto& t : rel.tuples()) {
+    truth[t[0].AsInt64() * 12 + t[1].AsInt64()] += 1;
+  }
+  double sum = 0;
+  for (int64_t a = 0; a < 12; ++a) {
+    for (int64_t b = 0; b < 12; ++b) {
+      sum += std::fabs(estimate(Value(a), Value(b)) - truth[a * 12 + b]);
+    }
+  }
+  return sum / (12.0 * 12.0);
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t kSeed = 0x2d5e;
+  std::cout << "== Multi-attribute selections: conjunctive equality over a "
+               "correlated pair (5000 tuples, 12x12 domain, seed=" << kSeed
+            << ") ==\n\n";
+  TablePrinter tp({"correlation", "independence", "joint equi-depth",
+                   "joint end-biased", "joint serial(dp)"});
+  for (double corr : {0.0, 0.5, 0.9}) {
+    Relation rel = MakeCorrelated(kSeed, corr);
+    Catalog catalog;
+    StatisticsOptions single;
+    single.num_buckets = 8;
+    AnalyzeAndStore(rel, "a", &catalog, single).Check();
+    AnalyzeAndStore(rel, "b", &catalog, single).Check();
+    auto sa = catalog.GetColumnStatistics("R", "a");
+    auto sb = catalog.GetColumnStatistics("R", "b");
+    sa.status().Check();
+    sb.status().Check();
+
+    std::vector<std::string> row = {TablePrinter::FormatDouble(corr, 1)};
+    row.push_back(TablePrinter::FormatDouble(
+        MeanAbsError(rel,
+                     [&](const Value& va, const Value& vb) {
+                       return EstimateConjunctiveEqualityIndependent(
+                           *sa, *sb, va, vb);
+                     }),
+        2));
+    for (auto cls : {StatisticsHistogramClass::kEquiDepth,
+                     StatisticsHistogramClass::kVOptEndBiased,
+                     StatisticsHistogramClass::kVOptSerialDP}) {
+      JointStatisticsOptions joint;
+      joint.histogram_class = cls;
+      joint.num_buckets = 16;
+      auto sj = AnalyzeColumnPair(rel, "a", "b", joint);
+      sj.status().Check();
+      row.push_back(TablePrinter::FormatDouble(
+          MeanAbsError(rel,
+                       [&](const Value& va, const Value& vb) {
+                         return EstimateConjunctiveEquality(*sj, va, vb);
+                       }),
+          2));
+    }
+    tp.AddRow(std::move(row));
+  }
+  tp.Print(std::cout);
+  std::cout << "\nShape check: at zero correlation the independence "
+               "assumption is competitive; as correlation rises it "
+               "deteriorates while joint histograms stay accurate. Within "
+               "the joint class the serial optimum dominates everywhere; "
+               "end-biased needs concentrated mass (high correlation) to "
+               "shine, since a smooth 2-D distribution overwhelms its "
+               "single multivalued bucket — the paper's accuracy-vs-"
+               "practicality trade-off replayed in two dimensions.\n";
+  return 0;
+}

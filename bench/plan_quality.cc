@@ -1,0 +1,153 @@
+// Plan-quality experiment (the paper's Section 1 motivation made
+// measurable): how does the histogram class stored in the catalog affect
+// the join orders a System-R-style optimizer picks?
+//
+// For a batch of randomly generated 4-relation chain queries with skewed
+// columns, the optimizer ranks all left-deep orders using estimates derived
+// from each histogram class, and we charge it the TRUE cost (executed
+// intermediate sizes) of the order it picked, relative to the truly optimal
+// order. Better histograms -> ratio closer to 1.
+
+#include <algorithm>
+#include <iostream>
+
+#include "engine/statistics.h"
+#include "optimizer/join_orderer.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace hops;
+
+// One random chain-query instance: R0(a) - R1(a,b) - R2(b,c) - R3(c).
+//
+// Every relation has the SAME size and every join attribute the same
+// domain, so base cardinalities reveal nothing about the join order. What
+// differs is the *frequency skew* of the join columns: one randomly chosen
+// end of the chain joins on heavily skewed columns (a many-many hot-value
+// blowup), the other on near-uniform columns. Only skew-aware statistics
+// can tell the optimizer to start from the cold end.
+struct Instance {
+  Relation r0, r1, r2, r3;
+  std::vector<ChainRelationSpec> specs;
+};
+
+constexpr size_t kTuples = 300;
+constexpr uint64_t kDomain = 10;
+
+int64_t HotDraw(Rng* rng) {
+  // ~60% of tuples hit value 0, the rest spread uniformly.
+  if (rng->NextDouble() < 0.6) return 0;
+  return static_cast<int64_t>(rng->NextBounded(kDomain));
+}
+
+int64_t ColdDraw(Rng* rng) {
+  return static_cast<int64_t>(rng->NextBounded(kDomain));
+}
+
+Instance MakeInstance(uint64_t seed) {
+  Instance inst;
+  Rng rng(seed);
+  auto one_a = Schema::Make({{"a", ValueType::kInt64}});
+  auto two_ab = Schema::Make({{"a", ValueType::kInt64},
+                              {"b", ValueType::kInt64}});
+  auto two_bc = Schema::Make({{"b", ValueType::kInt64},
+                              {"c", ValueType::kInt64}});
+  auto one_c = Schema::Make({{"c", ValueType::kInt64}});
+  inst.r0 = *Relation::Make("R0", *one_a);
+  inst.r1 = *Relation::Make("R1", *two_ab);
+  inst.r2 = *Relation::Make("R2", *two_bc);
+  inst.r3 = *Relation::Make("R3", *one_c);
+
+  // The hot (skewed) join is either a (left end) or c (right end).
+  const bool hot_left = rng.NextBounded(2) == 0;
+  auto draw_a = [&] { return hot_left ? HotDraw(&rng) : ColdDraw(&rng); };
+  auto draw_b = [&] { return ColdDraw(&rng); };
+  auto draw_c = [&] { return hot_left ? ColdDraw(&rng) : HotDraw(&rng); };
+  for (size_t i = 0; i < kTuples; ++i) {
+    inst.r0.AppendUnchecked({Value(draw_a())});
+    inst.r1.AppendUnchecked({Value(draw_a()), Value(draw_b())});
+    inst.r2.AppendUnchecked({Value(draw_b()), Value(draw_c())});
+    inst.r3.AppendUnchecked({Value(draw_c())});
+  }
+  inst.specs = {{"R0", "", "a", &inst.r0},
+                {"R1", "a", "b", &inst.r1},
+                {"R2", "b", "c", &inst.r2},
+                {"R3", "c", "", &inst.r3}};
+  return inst;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t kSeed = 0x91a4;
+  const size_t kQueries = 25;
+  std::cout << "== Plan quality vs histogram class "
+               "(25 random 4-relation chains, beta=5, seed=" << kSeed
+            << ") ==\n\n";
+
+  struct ClassResult {
+    StatisticsHistogramClass cls;
+    double ratio_sum = 0;
+    size_t optimal_picks = 0;
+    double worst_ratio = 1;
+  };
+  std::vector<ClassResult> results = {
+      {StatisticsHistogramClass::kTrivial},
+      {StatisticsHistogramClass::kEquiWidth},
+      {StatisticsHistogramClass::kEquiDepth},
+      {StatisticsHistogramClass::kVOptEndBiased},
+      {StatisticsHistogramClass::kVOptSerialDP},
+  };
+
+  for (size_t q = 0; q < kQueries; ++q) {
+    Instance inst = MakeInstance(kSeed + q);
+    auto truth = SegmentSizes::Execute(inst.specs);
+    truth.status().Check();
+    auto true_plans = RankLeftDeepOrders(*truth);
+    true_plans.status().Check();
+    const double best_cost = std::max(true_plans->front().cost, 1.0);
+
+    for (ClassResult& cr : results) {
+      Catalog catalog;
+      StatisticsOptions options;
+      options.histogram_class = cr.cls;
+      options.num_buckets = 5;
+      const Relation* rels[] = {&inst.r0, &inst.r1, &inst.r2, &inst.r3};
+      const char* cols[][2] = {{"a", nullptr},
+                               {"a", "b"},
+                               {"b", "c"},
+                               {"c", nullptr}};
+      for (size_t i = 0; i < 4; ++i) {
+        for (const char* col : cols[i]) {
+          if (col == nullptr) continue;
+          AnalyzeAndStore(*rels[i], col, &catalog, options).Check();
+        }
+      }
+      auto plan = ChooseLeftDeepOrder(catalog, inst.specs);
+      plan.status().Check();
+      auto chosen_true = truth->OrderCost(plan->order);
+      chosen_true.status().Check();
+      double ratio = std::max(*chosen_true, 1.0) / best_cost;
+      cr.ratio_sum += ratio;
+      cr.worst_ratio = std::max(cr.worst_ratio, ratio);
+      if (ratio <= 1.0 + 1e-9) ++cr.optimal_picks;
+    }
+  }
+
+  hops::TablePrinter tp({"histogram class", "mean true-cost ratio",
+                         "worst ratio", "optimal picks"});
+  for (const ClassResult& cr : results) {
+    tp.AddRow({StatisticsHistogramClassToString(cr.cls),
+               TablePrinter::FormatDouble(cr.ratio_sum / kQueries, 3),
+               TablePrinter::FormatDouble(cr.worst_ratio, 2),
+               TablePrinter::FormatInt(static_cast<int64_t>(
+                   cr.optimal_picks)) + "/" + std::to_string(kQueries)});
+  }
+  tp.Print(std::cout);
+  std::cout << "\nShape check: serial-class statistics pick (near-)optimal "
+               "orders; the uniform assumption pays real cost in plan "
+               "quality — the paper's Section 1 motivation.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Section 3.3: "Comparison of Information Collection costs" — algorithm
+// Matrix (per-relation frequency tables; the v-optimality prerequisite)
+// versus algorithm JointMatrix (join the frequency tables; the
+// full-knowledge prerequisite), plus the sampled pipeline of Section 4.2.
+// The paper argues JointMatrix's join step makes full knowledge expensive;
+// here are the measured costs on this container.
+
+#include <iostream>
+
+#include "engine/hash_agg.h"
+#include "engine/hash_join.h"
+#include "engine/sampled_statistics.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace hops;
+
+Relation SkewedRelation(const std::string& name, size_t tuples,
+                        uint64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  auto rel = Relation::Make(
+      name, *Schema::Make({{"a", ValueType::kInt64}}));
+  rel.status().Check();
+  for (size_t i = 0; i < tuples; ++i) {
+    rel->AppendUnchecked({Value(static_cast<int64_t>(
+        std::min(rng.NextBounded(domain), rng.NextBounded(domain))))});
+  }
+  return *std::move(rel);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Section 3.3: statistics collection costs (seconds; "
+               "domain = tuples/10) ==\n\n";
+  TablePrinter tp({"tuples", "Matrix (1 rel)", "JointMatrix (2 rels)",
+                   "Sampled ANALYZE"});
+  for (size_t tuples : {10000u, 100000u, 400000u}) {
+    Relation r = SkewedRelation("R", tuples, tuples / 10, 1);
+    Relation s = SkewedRelation("S", tuples, tuples / 10, 2);
+
+    Stopwatch sw_matrix;
+    auto table = ComputeFrequencyTable(r, "a");
+    table.status().Check();
+    double t_matrix = sw_matrix.ElapsedSeconds();
+
+    Stopwatch sw_joint;
+    auto joint = ComputeJointFrequencies(r, "a", s, "a");
+    joint.status().Check();
+    double t_joint = sw_joint.ElapsedSeconds();
+
+    Stopwatch sw_sampled;
+    SampledStatisticsOptions options;
+    options.sample_size = 1000;
+    options.num_buckets = 11;
+    auto sampled = AnalyzeColumnSampled(r, "a", options);
+    sampled.status().Check();
+    double t_sampled = sw_sampled.ElapsedSeconds();
+
+    tp.AddRow({TablePrinter::FormatInt(static_cast<int64_t>(tuples)),
+               TablePrinter::FormatDouble(t_matrix, 4),
+               TablePrinter::FormatDouble(t_joint, 4),
+               TablePrinter::FormatDouble(t_sampled, 4)});
+  }
+  tp.Print(std::cout);
+  std::cout << "\nShape check: JointMatrix pays for scanning BOTH relations "
+               "plus the frequency-table join, and its output is per-QUERY "
+               "knowledge; Matrix is a single scan per relation and — by "
+               "Theorem 3.3 — all a system needs. The sampled pipeline "
+               "undercuts both when one scan is still too much.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Section 5.1.2 (real-life data): the paper ran the Figure 3/5 comparison on
+// frequency sets from an NBA player performance database and reports that
+// the Zipf findings were verified "despite the wide variety of
+// distributions exhibited by the data". The original data is unavailable;
+// we substitute a synthetic league (see DESIGN.md) whose attribute
+// marginals have the same character, and check the same ranking.
+
+#include <iostream>
+
+#include "experiments/self_join_sweeps.h"
+#include "stats/nba_data.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace hops;
+  const uint64_t kSeed = 0x5121;
+  const size_t kBeta = 5;
+  std::cout << "== Section 5.1.2: real-life data (synthetic NBA league, "
+               "1000 player seasons, beta=5, seed=" << kSeed << ") ==\n\n";
+
+  auto ds = NbaDataset::Generate(1000, kSeed);
+  ds.status().Check();
+
+  TablePrinter tp({"attribute", "M", "trivial", "equi-width", "equi-depth",
+                   "end-biased", "serial(dp)"});
+  size_t ranking_ok = 0, attributes = 0;
+  for (const std::string& attr : NbaDataset::AttributeNames()) {
+    auto set = ds->AttributeFrequencySet(attr);
+    set.status().Check();
+    std::vector<std::string> row = {
+        attr, TablePrinter::FormatInt(static_cast<int64_t>(set->size()))};
+    SelfJoinSigmaOptions mc;
+    mc.num_arrangements = 50;
+    mc.seed = kSeed;
+    std::vector<double> sigmas;
+    for (auto type :
+         {HistogramType::kTrivial, HistogramType::kEquiWidth,
+          HistogramType::kEquiDepth, HistogramType::kVOptEndBiased,
+          HistogramType::kVOptSerialDP}) {
+      size_t beta = std::min(kBeta, set->size());
+      auto sigma = SelfJoinSigma(*set, type, beta, mc);
+      sigma.status().Check();
+      sigmas.push_back(*sigma);
+      row.push_back(TablePrinter::FormatDouble(*sigma, 1));
+    }
+    tp.AddRow(std::move(row));
+    // sigmas: trivial, equi-width, equi-depth, end-biased, serial.
+    ++attributes;
+    if (sigmas[4] <= sigmas[3] + 1e-9 && sigmas[3] <= sigmas[2] + 1e-9 &&
+        sigmas[2] <= sigmas[0] * 1.05) {
+      ++ranking_ok;
+    }
+  }
+  tp.Print(std::cout);
+  std::cout << "\nRanking serial <= end-biased <= equi-depth <= ~trivial "
+               "held on " << ranking_ok << "/" << attributes
+            << " attributes.\n"
+            << "Paper (Section 5.1.2): the synthetic-data observations were "
+               "verified on the real data.\n";
+  return 0;
+}

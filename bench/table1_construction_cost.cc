@@ -1,0 +1,50 @@
+// Table 1: construction cost of the optimal general serial histogram
+// (exhaustive V-OptHist, beta in {3, 5}) versus the optimal end-biased
+// histogram (V-OptBiasHist, beta = 10), for varying frequency-set
+// cardinalities. Blank cells ("-") mark combinatorially infeasible
+// exhaustive runs, exactly as in the paper's table. Absolute times differ
+// from the paper's DEC ALPHA; the reproduction target is the cost explosion
+// of the serial columns against the near-flat end-biased column.
+
+#include <iostream>
+
+#include "experiments/construction_cost.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace hops;
+  std::cout << "== Table 1: construction cost (seconds) for optimal general "
+               "serial and end-biased histograms ==\n\n";
+
+  ConstructionCostConfig config;
+  config.cardinalities = {100, 500, 1000, 10000, 100000, 1000000};
+  config.serial_bucket_counts = {3, 5};
+  config.end_biased_buckets = 10;
+  // ~2e8 candidate partitions ~= a few seconds on this container.
+  config.max_serial_candidates = 200'000'000ULL;
+
+  auto rows = MeasureConstructionCosts(config);
+  rows.status().Check();
+
+  TablePrinter tp({"#attribute values", "serial b=3", "serial b=5",
+                   "end-biased b=10"});
+  for (const auto& row : *rows) {
+    std::vector<std::string> cells = {
+        TablePrinter::FormatInt(static_cast<int64_t>(row.num_values))};
+    for (const auto& cell : row.serial_seconds) {
+      cells.push_back(cell.has_value()
+                          ? TablePrinter::FormatDouble(*cell, 4)
+                          : "-");
+    }
+    cells.push_back(TablePrinter::FormatDouble(row.end_biased_seconds, 6));
+    tp.AddRow(std::move(cells));
+  }
+  tp.Print(std::cout);
+
+  std::cout << "\n'-' = skipped: C(M-1, beta-1) exceeds "
+            << config.max_serial_candidates
+            << " candidate partitions (the paper's blank cells).\n"
+            << "Shape check: end-biased stays near-constant while serial "
+               "explodes with both M and beta.\n";
+  return 0;
+}

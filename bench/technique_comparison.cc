@@ -1,0 +1,139 @@
+// The Section 1 technique families side by side: parametric (fitted Zipf),
+// non-parametric histograms (this paper), and run-time sampling — compared
+// on self-join size estimation accuracy, catalog bytes, and collection
+// effort, on Zipf data (where parametric should shine) and on a two-step
+// distribution (where it collapses).
+
+#include <cmath>
+#include <iostream>
+
+#include "engine/statistics.h"
+#include "estimator/sampling_estimator.h"
+#include "estimator/selectivity.h"
+#include "histogram/self_join.h"
+#include "stats/distributions.h"
+#include "stats/parametric_fit.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace hops;
+
+// Materializes a relation whose column has exactly the given frequencies.
+Relation Materialize(const FrequencySet& set) {
+  auto schema = Schema::Make({{"a", ValueType::kInt64}});
+  auto rel = Relation::Make("R", *std::move(schema));
+  rel.status().Check();
+  for (size_t v = 0; v < set.size(); ++v) {
+    for (double i = 0; i < set[v]; i += 1.0) {
+      rel->AppendUnchecked({Value(static_cast<int64_t>(v))});
+    }
+  }
+  return *std::move(rel);
+}
+
+double RelErr(double est, double truth) {
+  return truth > 0 ? std::fabs(est - truth) / truth : 0.0;
+}
+
+// Self-join size from a catalog histogram: join the histogram with itself.
+double EstimateEquiJoinSizeSelf(const ColumnStatistics& stats) {
+  return EstimateEquiJoinSize(stats, stats);
+}
+
+void RunFor(const char* label, const FrequencySet& set) {
+  const double truth = ExactSelfJoinSize(set);
+  Relation rel = Materialize(set);
+  std::cout << "-- " << label << " (T=" << set.Total()
+            << ", M=" << set.size() << ", self-join S=" << truth << ") --\n";
+  TablePrinter tp({"technique", "estimate", "rel.err", "catalog bytes"});
+
+  // Trivial histogram (uniformity assumption).
+  {
+    StatisticsOptions options;
+    options.histogram_class = StatisticsHistogramClass::kTrivial;
+    auto stats = AnalyzeColumn(rel, "a", options);
+    stats.status().Check();
+    double est = EstimateEquiJoinSizeSelf(*stats);
+    tp.AddRow({"trivial histogram", TablePrinter::FormatDouble(est, 0),
+               TablePrinter::FormatDouble(RelErr(est, truth), 3),
+               TablePrinter::FormatInt(
+                   static_cast<int64_t>(stats->histogram.EncodedSize()))});
+  }
+  // End-biased histogram, beta = 11 (DB2-style).
+  {
+    StatisticsOptions options;
+    options.histogram_class = StatisticsHistogramClass::kVOptEndBiased;
+    options.num_buckets = 11;
+    auto stats = AnalyzeColumn(rel, "a", options);
+    stats.status().Check();
+    double est = EstimateEquiJoinSizeSelf(*stats);
+    tp.AddRow({"end-biased histogram (b=11)",
+               TablePrinter::FormatDouble(est, 0),
+               TablePrinter::FormatDouble(RelErr(est, truth), 3),
+               TablePrinter::FormatInt(
+                   static_cast<int64_t>(stats->histogram.EncodedSize()))});
+  }
+  // Parametric: fitted Zipf, three stored numbers.
+  {
+    auto fit = FitZipf(set);
+    fit.status().Check();
+    auto est = ZipfFitSelfJoinSize(*fit);
+    est.status().Check();
+    tp.AddRow({"parametric (fitted Zipf)",
+               TablePrinter::FormatDouble(*est, 0),
+               TablePrinter::FormatDouble(RelErr(*est, truth), 3), "24"});
+  }
+  // Run-time sampling (no catalog state at all).
+  {
+    SamplingJoinOptions options;
+    options.left_sample = 300;
+    options.right_sample = 300;
+    options.seed = 0x7ec4;
+    auto est = EstimateJoinSizeBySampling(rel, "a", rel, "a", options);
+    est.status().Check();
+    tp.AddRow({"sampling (300+300 tuples)",
+               TablePrinter::FormatDouble(est->estimate, 0),
+               TablePrinter::FormatDouble(RelErr(est->estimate, truth), 3),
+               "0"});
+  }
+  tp.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace hops;
+  std::cout << "== Estimation-technique families (Section 1) on self-join "
+               "size ==\n\n";
+  {
+    DistributionSpec spec;
+    spec.kind = DistributionKind::kZipf;
+    spec.total = 2000.0;
+    spec.num_values = 100;
+    spec.skew = 1.2;
+    spec.integer_valued = true;
+    auto set = GenerateFrequencySet(spec);
+    set.status().Check();
+    RunFor("Zipf z=1.2 (parametric's home turf)", *set);
+  }
+  {
+    DistributionSpec spec;
+    spec.kind = DistributionKind::kTwoStep;
+    spec.total = 2000.0;
+    spec.num_values = 100;
+    spec.skew = 25.0;
+    spec.integer_valued = true;
+    auto set = GenerateFrequencySet(spec);
+    set.status().Check();
+    RunFor("two-step (real data follows no known distribution)", *set);
+  }
+  std::cout << "Shape check: the fitted Zipf is excellent on true Zipf data "
+               "and collapses on the two-step shape;\nthe end-biased "
+               "histogram is robust on both at a few hundred catalog bytes; "
+               "sampling is accurate but\nre-pays its cost at every "
+               "optimization (Section 1's trade-off).\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Tree-query generalization (Section 2.2's closing remark): the chain
+// results carry over to arbitrary tree queries via tensors. This bench
+// exercises the star primitive — a 3-attribute center relation joined by
+// three leaf relations — and shows that the per-relation v-optimal
+// histograms keep their ranking there too.
+
+#include <cmath>
+#include <iostream>
+
+#include "experiments/self_join_sweeps.h"
+#include "query/star_query.h"
+#include "stats/arrangement.h"
+#include "stats/zipf.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace hops;
+  const uint64_t kSeed = 0x72ee;
+  const size_t kDomain = 8;       // per-attribute domain
+  const size_t kBeta = 5;
+  const size_t kArrangements = 20;
+  std::cout << "== Tree queries: star joins via tensor contraction "
+               "(center 8x8x8, three leaves, beta=5, seed=" << kSeed
+            << ") ==\n\n";
+
+  TablePrinter tp({"center z", "trivial", "equi-width", "end-biased",
+                   "serial(dp)"});
+  for (double z : {0.5, 1.0, 2.0}) {
+    // Center relation: 512-cell tensor with Zipf cell frequencies; leaves:
+    // Zipf vectors.
+    auto center_set =
+        ZipfFrequencySet({2000.0, kDomain * kDomain * kDomain, z}, true);
+    center_set.status().Check();
+    std::vector<std::string> row = {TablePrinter::FormatDouble(z, 1)};
+    for (auto type :
+         {HistogramType::kTrivial, HistogramType::kEquiWidth,
+          HistogramType::kVOptEndBiased, HistogramType::kVOptSerialDP}) {
+      Rng rng(kSeed);  // same stream for every type
+      auto center_hist = BuildHistogramOfType(*center_set, type, kBeta);
+      center_hist.status().Check();
+      double sum_rel = 0;
+      size_t used = 0;
+      for (size_t rep = 0; rep < kArrangements; ++rep) {
+        // Arrange the center set into the tensor.
+        std::vector<size_t> perm =
+            rng.Permutation(center_set->size());
+        std::vector<Frequency> cells(center_set->size());
+        std::vector<Frequency> approx(center_set->size());
+        for (size_t i = 0; i < perm.size(); ++i) {
+          cells[perm[i]] = (*center_set)[i];
+          approx[perm[i]] = center_hist->ApproxFrequency(i);
+        }
+        auto center = FrequencyTensor::Make({kDomain, kDomain, kDomain},
+                                            cells);
+        auto approx_center = FrequencyTensor::Make(
+            {kDomain, kDomain, kDomain}, approx);
+        center.status().Check();
+        approx_center.status().Check();
+        // Random Zipf leaves, exact on both sides (isolates center error).
+        std::vector<std::vector<Frequency>> leaves;
+        for (size_t d = 0; d < 3; ++d) {
+          auto leaf = ZipfFrequencySet(
+              {200.0, kDomain, 0.5 + rng.NextDouble()}, true);
+          leaf.status().Check();
+          std::vector<Frequency> lv(leaf->values().begin(),
+                                    leaf->values().end());
+          rng.Shuffle(&lv);
+          leaves.push_back(std::move(lv));
+        }
+        auto q = StarQuery::Make(*center, leaves);
+        auto qa = StarQuery::Make(*approx_center, leaves);
+        q.status().Check();
+        qa.status().Check();
+        auto s = q->ExactResultSize();
+        auto sa = qa->ExactResultSize();
+        s.status().Check();
+        sa.status().Check();
+        if (*s <= 0) continue;
+        sum_rel += std::fabs(*s - *sa) / *s;
+        ++used;
+      }
+      row.push_back(TablePrinter::FormatDouble(
+          used ? sum_rel / static_cast<double>(used) : 0.0, 4));
+    }
+    tp.AddRow(std::move(row));
+  }
+  tp.Print(std::cout);
+  std::cout << "\nShape check: the chain-query ranking (serial <= "
+               "end-biased << value-order schemes) carries to star/tree "
+               "queries unchanged — 'the essence remains unchanged' "
+               "(Section 2.2).\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Correlated columns: why multi-attribute statistics exist. A products
+// table where `category` determines most of `price_band`; the classical
+// per-column independence assumption underestimates conjunctive predicates
+// by an order of magnitude, while a joint histogram over the column pair
+// (the paper's 2-D frequency matrices, compacted) nails them.
+//
+//   $ ./build/examples/correlated_columns
+
+#include <cmath>
+#include <iostream>
+
+#include "engine/joint_statistics.h"
+#include "engine/statistics.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace hops;
+  Rng rng(606);
+
+  auto rel = Relation::Make(
+      "Products", *Schema::Make({{"category", ValueType::kString},
+                                 {"price_band", ValueType::kInt64}}));
+  rel.status().Check();
+  // Category determines the typical price band: books are cheap, laptops
+  // expensive — with a little noise.
+  struct Cat {
+    const char* name;
+    int64_t band;
+    size_t count;
+  };
+  const Cat cats[] = {{"book", 1, 2500},
+                      {"toy", 2, 1500},
+                      {"phone", 6, 800},
+                      {"laptop", 8, 200}};
+  for (const Cat& c : cats) {
+    for (size_t i = 0; i < c.count; ++i) {
+      int64_t band = c.band;
+      if (rng.NextDouble() < 0.1) {
+        band += rng.NextInt(-1, 1);  // noise
+      }
+      rel->AppendUnchecked({Value(c.name), Value(band)});
+    }
+  }
+
+  Catalog catalog;
+  StatisticsOptions single;
+  single.num_buckets = 8;
+  AnalyzeAndStore(*rel, "category", &catalog, single).Check();
+  AnalyzeAndStore(*rel, "price_band", &catalog, single).Check();
+  JointStatisticsOptions joint;
+  joint.num_buckets = 12;
+  AnalyzeAndStorePair(*rel, "category", "price_band", &catalog, joint)
+      .Check();
+
+  auto sc = catalog.GetColumnStatistics("Products", "category");
+  auto sp = catalog.GetColumnStatistics("Products", "price_band");
+  auto sj = catalog.GetColumnStatistics("Products", "category+price_band");
+  sc.status().Check();
+  sp.status().Check();
+  sj.status().Check();
+
+  TablePrinter tp({"predicate", "independent est", "joint est", "actual"});
+  auto probe = [&](const char* category, int64_t band) {
+    double actual = 0;
+    for (const auto& t : rel->tuples()) {
+      if (t[0].AsString() == category && t[1].AsInt64() == band) {
+        actual += 1;
+      }
+    }
+    double indep = EstimateConjunctiveEqualityIndependent(
+        *sc, *sp, Value(category), Value(band));
+    double jointly =
+        EstimateConjunctiveEquality(*sj, Value(category), Value(band));
+    tp.AddRow({std::string("category='") + category +
+                   "' AND band=" + std::to_string(band),
+               TablePrinter::FormatDouble(indep, 1),
+               TablePrinter::FormatDouble(jointly, 1),
+               TablePrinter::FormatDouble(actual, 0)});
+  };
+  probe("book", 1);    // the dominant correlated pair
+  probe("laptop", 8);  // rare category, fully correlated
+  probe("book", 8);    // contradiction: almost never occurs
+  tp.Print(std::cout);
+
+  std::cout << "\nIndependence multiplies marginal selectivities and "
+               "misses the correlation in both directions: it slashes "
+               "matching pairs and invents contradictory ones.\nThe joint "
+               "histogram stores the pair distribution itself ("
+            << sj->histogram.EncodedSize() << " catalog bytes).\n";
+  return 0;
+}

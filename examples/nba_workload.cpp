@@ -1,0 +1,100 @@
+// Real-data-style workload: load a synthetic NBA league into the engine,
+// collect statistics on every stat column, and answer the kinds of
+// analytics predicates a scouting query would issue — comparing each
+// estimate against the true count.
+//
+//   $ ./build/examples/nba_workload
+
+#include <iostream>
+
+#include "engine/statistics.h"
+#include "estimator/selectivity.h"
+#include "stats/nba_data.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace hops;
+  auto ds = NbaDataset::Generate(/*num_players=*/1200, /*seed=*/77);
+  ds.status().Check();
+
+  // Load into an engine relation.
+  auto rel = Relation::Make(
+      "Players", *Schema::Make({{"points", ValueType::kInt64},
+                                {"rebounds", ValueType::kInt64},
+                                {"assists", ValueType::kInt64},
+                                {"minutes", ValueType::kInt64},
+                                {"games", ValueType::kInt64}}));
+  rel.status().Check();
+  for (const PlayerSeason& p : ds->players()) {
+    rel->AppendUnchecked({Value(static_cast<int64_t>(p.points)),
+                          Value(static_cast<int64_t>(p.rebounds)),
+                          Value(static_cast<int64_t>(p.assists)),
+                          Value(static_cast<int64_t>(p.minutes)),
+                          Value(static_cast<int64_t>(p.games))});
+  }
+
+  Catalog catalog;
+  StatisticsOptions options;
+  options.histogram_class = StatisticsHistogramClass::kVOptEndBiased;
+  options.num_buckets = 11;
+  for (const std::string& col : NbaDataset::AttributeNames()) {
+    AnalyzeAndStore(*rel, col, &catalog, options).Check();
+  }
+
+  auto actual_count = [&](const std::string& col, auto pred) {
+    size_t idx = *rel->schema().ColumnIndex(col);
+    double n = 0;
+    for (const auto& t : rel->tuples()) {
+      if (pred(t[idx].AsInt64())) n += 1;
+    }
+    return n;
+  };
+
+  TablePrinter tp({"scouting predicate", "estimate", "actual"});
+  {
+    auto stats = catalog.GetColumnStatistics("Players", "points");
+    stats.status().Check();
+    double est = EstimateEqualitySelection(*stats, Value(int64_t{5}));
+    tp.AddRow({"points = 5", TablePrinter::FormatDouble(est, 1),
+               TablePrinter::FormatDouble(
+                   actual_count("points", [](int64_t v) { return v == 5; }),
+                   0)});
+    auto range = EstimateRangeSelection(*stats, RangeBounds{20, 40});
+    range.status().Check();
+    tp.AddRow({"points >= 20 (stars)",
+               TablePrinter::FormatDouble(*range, 1),
+               TablePrinter::FormatDouble(
+                   actual_count("points", [](int64_t v) { return v >= 20; }),
+                   0)});
+  }
+  {
+    auto stats = catalog.GetColumnStatistics("Players", "games");
+    stats.status().Check();
+    auto range = EstimateRangeSelection(*stats, RangeBounds{70, 82});
+    range.status().Check();
+    tp.AddRow({"games in [70, 82] (ironmen)",
+               TablePrinter::FormatDouble(*range, 1),
+               TablePrinter::FormatDouble(
+                   actual_count("games", [](int64_t v) { return v >= 70; }),
+                   0)});
+  }
+  {
+    auto stats = catalog.GetColumnStatistics("Players", "assists");
+    stats.status().Check();
+    std::vector<Value> vals = {Value(int64_t{0}), Value(int64_t{1})};
+    double est = EstimateDisjunctiveSelection(*stats, vals);
+    tp.AddRow({"assists in {0, 1}", TablePrinter::FormatDouble(est, 1),
+               TablePrinter::FormatDouble(
+                   actual_count("assists", [](int64_t v) { return v <= 1; }),
+                   0)});
+  }
+  tp.Print(std::cout);
+
+  std::cout << "\nEach column keeps only 10 exact frequencies + 1 average "
+               "in the catalog (total "
+            << catalog.TotalEncodedBytes()
+            << " bytes for 5 columns), yet the skew-heavy predicates "
+               "estimate closely —\nthe paper's practicality argument in "
+               "action.\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification pipeline: configure, build, test, regenerate every
+# table/figure. Pass --asan to also run the sanitizer build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "== Regenerating paper tables/figures =="
+for b in build/bench/*; do
+  "$b"
+done
+
+if [[ "${1:-}" == "--asan" ]]; then
+  echo "== ASan+UBSan pass =="
+  cmake -B build-asan -G Ninja -DHOPS_BUILD_BENCHMARKS=OFF \
+    -DHOPS_BUILD_EXAMPLES=OFF -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+fi
+
+echo "All checks passed."

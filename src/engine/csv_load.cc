@@ -1,0 +1,56 @@
+#include "engine/csv_load.h"
+
+namespace hops {
+
+Result<Relation> RelationFromCsv(const std::string& name,
+                                 const CsvDocument& doc) {
+  if (doc.header.empty()) {
+    return Status::InvalidArgument("CSV document has no columns");
+  }
+  std::vector<ColumnDef> columns;
+  std::vector<bool> is_int(doc.header.size());
+  for (size_t c = 0; c < doc.header.size(); ++c) {
+    is_int[c] = ColumnIsInt64(doc, c);
+    columns.push_back(ColumnDef{
+        doc.header[c], is_int[c] ? ValueType::kInt64 : ValueType::kString});
+  }
+  HOPS_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(columns)));
+  HOPS_ASSIGN_OR_RETURN(Relation rel,
+                        Relation::Make(name, std::move(schema)));
+  for (const auto& row : doc.rows) {
+    std::vector<Value> tuple;
+    tuple.reserve(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (is_int[c]) {
+        int64_t v = 0;
+        if (!row[c].empty()) {
+          HOPS_ASSIGN_OR_RETURN(v, ParseInt64Cell(row[c]));
+        }
+        tuple.emplace_back(v);
+      } else {
+        tuple.emplace_back(row[c]);
+      }
+    }
+    rel.AppendUnchecked(std::move(tuple));
+  }
+  return rel;
+}
+
+Result<Relation> LoadCsvRelation(const std::string& path,
+                                 const std::string& name) {
+  HOPS_ASSIGN_OR_RETURN(CsvDocument doc, ReadCsvFile(path));
+  std::string relation_name = name;
+  if (relation_name.empty()) {
+    size_t slash = path.find_last_of('/');
+    size_t start = slash == std::string::npos ? 0 : slash + 1;
+    size_t dot = path.find_last_of('.');
+    size_t len = (dot == std::string::npos || dot < start)
+                     ? std::string::npos
+                     : dot - start;
+    relation_name = path.substr(start, len);
+    if (relation_name.empty()) relation_name = "csv";
+  }
+  return RelationFromCsv(relation_name, doc);
+}
+
+}  // namespace hops

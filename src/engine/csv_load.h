@@ -1,0 +1,24 @@
+// Loading CSV documents into engine relations, with per-column type
+// inference (int64 when every non-empty cell parses, string otherwise).
+
+#pragma once
+
+#include <string>
+
+#include "engine/relation.h"
+#include "util/csv_reader.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Builds a relation named \p name from a parsed CSV document.
+/// Column types are inferred; empty cells load as 0 / "".
+Result<Relation> RelationFromCsv(const std::string& name,
+                                 const CsvDocument& doc);
+
+/// \brief Reads \p path and loads it. The relation is named after the file's
+/// basename (sans extension) unless \p name is non-empty.
+Result<Relation> LoadCsvRelation(const std::string& path,
+                                 const std::string& name = "");
+
+}  // namespace hops

@@ -1,0 +1,76 @@
+#include "engine/executor.h"
+
+#include <unordered_map>
+
+#include "engine/value.h"
+#include "util/math.h"
+
+namespace hops {
+
+Result<double> ExecuteChainJoinCount(std::span<const ChainJoinStep> steps) {
+  if (steps.size() < 2) {
+    return Status::InvalidArgument("chain join needs at least two relations");
+  }
+  for (const ChainJoinStep& step : steps) {
+    if (step.relation == nullptr) {
+      return Status::InvalidArgument("chain join step has a null relation");
+    }
+  }
+  if (!steps.front().left_column.empty()) {
+    return Status::InvalidArgument(
+        "first step must not declare a left join column");
+  }
+  if (!steps.back().right_column.empty()) {
+    return Status::InvalidArgument(
+        "last step must not declare a right join column");
+  }
+  for (size_t i = 0; i + 1 < steps.size(); ++i) {
+    if (steps[i].right_column.empty() || steps[i + 1].left_column.empty()) {
+      return Status::InvalidArgument(
+          "interior join columns must be non-empty (between steps " +
+          std::to_string(i) + " and " + std::to_string(i + 1) + ")");
+    }
+  }
+
+  // Seed: multiplicities of the first relation's right join attribute.
+  using CountMap = std::unordered_map<Value, double, ValueHash>;
+  CountMap counts;
+  {
+    const Relation& r = *steps[0].relation;
+    HOPS_ASSIGN_OR_RETURN(size_t col,
+                          r.schema().ColumnIndex(steps[0].right_column));
+    counts.reserve(r.num_tuples());
+    for (const auto& tuple : r.tuples()) counts[tuple[col]] += 1.0;
+  }
+
+  // Fold interior relations: each tuple inherits the multiplicity of its
+  // left attribute value and contributes it to its right attribute value.
+  for (size_t i = 1; i + 1 < steps.size(); ++i) {
+    const Relation& r = *steps[i].relation;
+    HOPS_ASSIGN_OR_RETURN(size_t lcol,
+                          r.schema().ColumnIndex(steps[i].left_column));
+    HOPS_ASSIGN_OR_RETURN(size_t rcol,
+                          r.schema().ColumnIndex(steps[i].right_column));
+    CountMap next;
+    next.reserve(counts.size());
+    for (const auto& tuple : r.tuples()) {
+      auto it = counts.find(tuple[lcol]);
+      if (it == counts.end()) continue;
+      next[tuple[rcol]] += it->second;
+    }
+    counts = std::move(next);
+  }
+
+  // Final relation: sum multiplicities over matching tuples.
+  const Relation& last = *steps.back().relation;
+  HOPS_ASSIGN_OR_RETURN(
+      size_t col, last.schema().ColumnIndex(steps.back().left_column));
+  KahanSum total;
+  for (const auto& tuple : last.tuples()) {
+    auto it = counts.find(tuple[col]);
+    if (it != counts.end()) total.Add(it->second);
+  }
+  return total.Value();
+}
+
+}  // namespace hops

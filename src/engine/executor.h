@@ -1,0 +1,32 @@
+// Chain-join execution: the ground-truth result sizes the estimator is
+// compared against, computed directly on engine relations.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/relation.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief One relation in a chain join.
+///
+/// Relations join left-to-right: step i's \p right_column equi-joins step
+/// i+1's \p left_column. The first step's left_column and the last step's
+/// right_column must be empty.
+struct ChainJoinStep {
+  const Relation* relation = nullptr;
+  std::string left_column;   ///< Join attribute shared with the previous step.
+  std::string right_column;  ///< Join attribute shared with the next step.
+};
+
+/// \brief Exact result cardinality of the chain equality-join, computed by a
+/// left-to-right sequence of counting hash joins (each pass folds one
+/// relation into a value -> multiplicity table, so memory stays bounded by
+/// the largest join-attribute domain, never the intermediate result).
+Result<double> ExecuteChainJoinCount(std::span<const ChainJoinStep> steps);
+
+}  // namespace hops

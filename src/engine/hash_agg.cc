@@ -1,0 +1,80 @@
+#include "engine/hash_agg.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hops {
+
+Result<std::vector<ValueFrequency>> ComputeFrequencyTable(
+    const Relation& relation, const std::string& column) {
+  HOPS_ASSIGN_OR_RETURN(size_t col, relation.schema().ColumnIndex(column));
+  std::unordered_map<Value, double, ValueHash> counts;
+  counts.reserve(relation.num_tuples());
+  for (const auto& tuple : relation.tuples()) {
+    counts[tuple[col]] += 1.0;
+  }
+  std::vector<ValueFrequency> out;
+  out.reserve(counts.size());
+  for (auto& [value, count] : counts) {
+    out.push_back(ValueFrequency{value, count});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ValueFrequency& a, const ValueFrequency& b) {
+              return a.value < b.value;
+            });
+  return out;
+}
+
+Result<TwoColumnFrequencies> ComputeTwoColumnFrequencies(
+    const Relation& relation, const std::string& column_a,
+    const std::string& column_b) {
+  HOPS_ASSIGN_OR_RETURN(size_t col_a, relation.schema().ColumnIndex(column_a));
+  HOPS_ASSIGN_OR_RETURN(size_t col_b, relation.schema().ColumnIndex(column_b));
+  if (col_a == col_b) {
+    return Status::InvalidArgument(
+        "two-column frequencies need two distinct columns");
+  }
+  if (relation.num_tuples() == 0) {
+    return Status::InvalidArgument(
+        "cannot build a frequency matrix over an empty relation");
+  }
+  // Collect the two domains.
+  std::unordered_map<Value, size_t, ValueHash> row_index, col_index;
+  std::vector<Value> row_domain, col_domain;
+  for (const auto& tuple : relation.tuples()) {
+    if (row_index.emplace(tuple[col_a], row_domain.size()).second) {
+      row_domain.push_back(tuple[col_a]);
+    }
+    if (col_index.emplace(tuple[col_b], col_domain.size()).second) {
+      col_domain.push_back(tuple[col_b]);
+    }
+  }
+  // Re-index in sorted order for determinism.
+  std::sort(row_domain.begin(), row_domain.end());
+  std::sort(col_domain.begin(), col_domain.end());
+  for (size_t i = 0; i < row_domain.size(); ++i) row_index[row_domain[i]] = i;
+  for (size_t i = 0; i < col_domain.size(); ++i) col_index[col_domain[i]] = i;
+
+  HOPS_ASSIGN_OR_RETURN(
+      FrequencyMatrix matrix,
+      FrequencyMatrix::Zero(row_domain.size(), col_domain.size()));
+  for (const auto& tuple : relation.tuples()) {
+    size_t r = row_index[tuple[col_a]];
+    size_t c = col_index[tuple[col_b]];
+    matrix.Set(r, c, matrix.At(r, c) + 1.0);
+  }
+  return TwoColumnFrequencies{std::move(row_domain), std::move(col_domain),
+                              std::move(matrix)};
+}
+
+Result<FrequencySet> ComputeFrequencySet(const Relation& relation,
+                                         const std::string& column) {
+  HOPS_ASSIGN_OR_RETURN(std::vector<ValueFrequency> table,
+                        ComputeFrequencyTable(relation, column));
+  std::vector<Frequency> freqs;
+  freqs.reserve(table.size());
+  for (const auto& vf : table) freqs.push_back(vf.frequency);
+  return FrequencySet::Make(std::move(freqs));
+}
+
+}  // namespace hops

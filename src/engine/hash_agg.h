@@ -1,0 +1,46 @@
+// Hash aggregation: the first stage of the paper's Matrix / JointMatrix
+// statistics algorithms (Section 3.3) — "the frequencies of the domain
+// values ... computed in a single scan of each relation using a hash table".
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/relation.h"
+#include "stats/frequency_matrix.h"
+#include "stats/frequency_set.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief A value and its tuple count.
+struct ValueFrequency {
+  Value value;
+  double frequency = 0.0;
+};
+
+/// \brief Per-value frequencies of one column, sorted by value (one scan +
+/// hash table).
+Result<std::vector<ValueFrequency>> ComputeFrequencyTable(
+    const Relation& relation, const std::string& column);
+
+/// \brief A two-column frequency matrix over the observed value pairs.
+struct TwoColumnFrequencies {
+  std::vector<Value> row_domain;  ///< Sorted distinct values of column A.
+  std::vector<Value> col_domain;  ///< Sorted distinct values of column B.
+  FrequencyMatrix matrix;         ///< matrix(i, j) = count of (row[i], col[j]).
+};
+
+/// \brief The D=2 frequency matrix of (column_a, column_b) — the
+/// (D+1)-column table of Section 2.2 materialized densely.
+Result<TwoColumnFrequencies> ComputeTwoColumnFrequencies(
+    const Relation& relation, const std::string& column_a,
+    const std::string& column_b);
+
+/// \brief The frequency *set* of a column: counts only, value association
+/// dropped (the paper's minimum required knowledge).
+Result<FrequencySet> ComputeFrequencySet(const Relation& relation,
+                                         const std::string& column);
+
+}  // namespace hops

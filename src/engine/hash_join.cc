@@ -1,0 +1,71 @@
+#include "engine/hash_join.h"
+
+#include <unordered_map>
+
+#include "util/math.h"
+
+namespace hops {
+
+Result<double> HashJoinCount(const Relation& left,
+                             const std::string& column_left,
+                             const Relation& right,
+                             const std::string& column_right) {
+  HOPS_ASSIGN_OR_RETURN(size_t lcol,
+                        left.schema().ColumnIndex(column_left));
+  HOPS_ASSIGN_OR_RETURN(size_t rcol,
+                        right.schema().ColumnIndex(column_right));
+  // Build on the smaller side.
+  const bool build_left = left.num_tuples() <= right.num_tuples();
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
+  const size_t bcol = build_left ? lcol : rcol;
+  const size_t pcol = build_left ? rcol : lcol;
+
+  std::unordered_map<Value, double, ValueHash> table;
+  table.reserve(build.num_tuples());
+  for (const auto& tuple : build.tuples()) {
+    table[tuple[bcol]] += 1.0;
+  }
+  KahanSum count;
+  for (const auto& tuple : probe.tuples()) {
+    auto it = table.find(tuple[pcol]);
+    if (it != table.end()) count.Add(it->second);
+  }
+  return count.Value();
+}
+
+Result<std::vector<JointFrequencyPair>> ComputeJointFrequencies(
+    const Relation& left, const std::string& column_left,
+    const Relation& right, const std::string& column_right) {
+  HOPS_ASSIGN_OR_RETURN(std::vector<ValueFrequency> lt,
+                        ComputeFrequencyTable(left, column_left));
+  HOPS_ASSIGN_OR_RETURN(std::vector<ValueFrequency> rt,
+                        ComputeFrequencyTable(right, column_right));
+  // Both tables are sorted by value: merge-join them.
+  std::vector<JointFrequencyPair> out;
+  size_t i = 0, j = 0;
+  while (i < lt.size() && j < rt.size()) {
+    if (lt[i].value < rt[j].value) {
+      ++i;
+    } else if (rt[j].value < lt[i].value) {
+      ++j;
+    } else {
+      out.push_back(JointFrequencyPair{lt[i].value, lt[i].frequency,
+                                       rt[j].frequency});
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+double JoinSizeFromJointFrequencies(
+    const std::vector<JointFrequencyPair>& joint) {
+  KahanSum acc;
+  for (const auto& row : joint) {
+    acc.Add(row.frequency_left * row.frequency_right);
+  }
+  return acc.Value();
+}
+
+}  // namespace hops

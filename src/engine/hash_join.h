@@ -1,0 +1,46 @@
+// Hash joins over engine relations: exact result counts (the ground truth
+// the estimator is judged against) and the JointMatrix statistics algorithm
+// of Section 3.3 (join the two frequency tables on the attribute value).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/hash_agg.h"
+#include "engine/relation.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Exact |R ⋈ S| on R.column_left = S.column_right, computed with a
+/// classic build/probe hash join that only counts.
+Result<double> HashJoinCount(const Relation& left,
+                             const std::string& column_left,
+                             const Relation& right,
+                             const std::string& column_right);
+
+/// \brief One row of a two-relation joint-frequency table: an attribute
+/// value and its frequency in both relations (both non-zero by
+/// construction — values appearing in only one relation contribute nothing
+/// to an equality join).
+struct JointFrequencyPair {
+  Value value;
+  double frequency_left = 0.0;
+  double frequency_right = 0.0;
+};
+
+/// \brief Algorithm JointMatrix (Section 3.3): computes per-relation
+/// frequency tables in one scan each, then joins them on the value.
+/// Sorted by value.
+Result<std::vector<JointFrequencyPair>> ComputeJointFrequencies(
+    const Relation& left, const std::string& column_left,
+    const Relation& right, const std::string& column_right);
+
+/// \brief Join size implied by a joint-frequency table: sum of frequency
+/// products. Equals HashJoinCount (cross-checked in tests) but runs on
+/// statistics instead of data.
+double JoinSizeFromJointFrequencies(
+    const std::vector<JointFrequencyPair>& joint);
+
+}  // namespace hops

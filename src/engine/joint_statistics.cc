@@ -1,0 +1,112 @@
+#include "engine/joint_statistics.h"
+
+#include <algorithm>
+
+#include "engine/hash_agg.h"
+#include "histogram/builders.h"
+
+namespace hops {
+
+int64_t CatalogKeyForPair(const Value& a, const Value& b) {
+  // Mix the two component keys asymmetrically (order matters).
+  uint64_t x = static_cast<uint64_t>(CatalogKeyFor(a));
+  uint64_t y = static_cast<uint64_t>(CatalogKeyFor(b));
+  uint64_t z = x * 0x9e3779b97f4a7c15ULL + (y ^ (y >> 17)) + 0x2545f4914f6cdd1dULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<int64_t>(z ^ (z >> 31));
+}
+
+std::string JointStatisticsColumnKey(const std::string& column_a,
+                                     const std::string& column_b) {
+  return column_a + "+" + column_b;
+}
+
+Result<ColumnStatistics> AnalyzeColumnPair(
+    const Relation& relation, const std::string& column_a,
+    const std::string& column_b, const JointStatisticsOptions& options) {
+  if (options.num_buckets == 0) {
+    return Status::InvalidArgument("num_buckets must be positive");
+  }
+  HOPS_ASSIGN_OR_RETURN(
+      TwoColumnFrequencies two,
+      ComputeTwoColumnFrequencies(relation, column_a, column_b));
+  const size_t cells = two.matrix.num_cells();
+  if (cells > options.max_cells) {
+    return Status::ResourceExhausted(
+        "joint frequency matrix has " + std::to_string(cells) +
+        " cells, above the cap of " + std::to_string(options.max_cells));
+  }
+  FrequencySet set = two.matrix.ToFrequencySet();
+  const size_t beta =
+      std::max<size_t>(1, std::min(options.num_buckets, set.size()));
+  Result<Histogram> hist = Status::Internal("unreachable");
+  switch (options.histogram_class) {
+    case StatisticsHistogramClass::kTrivial:
+      hist = BuildTrivialHistogram(std::move(set));
+      break;
+    case StatisticsHistogramClass::kEquiWidth:
+      hist = BuildEquiWidthHistogram(std::move(set), beta);
+      break;
+    case StatisticsHistogramClass::kEquiDepth:
+      hist = BuildEquiDepthHistogram(std::move(set), beta);
+      break;
+    case StatisticsHistogramClass::kVOptEndBiased:
+      hist = BuildVOptEndBiased(std::move(set), beta);
+      break;
+    case StatisticsHistogramClass::kVOptSerialDP:
+      hist = BuildVOptSerialDP(std::move(set), beta);
+      break;
+  }
+  HOPS_RETURN_NOT_OK(hist.status());
+
+  // Pair key per cell, row-major to match the flattened matrix.
+  std::vector<int64_t> cell_keys;
+  cell_keys.reserve(cells);
+  size_t observed_pairs = 0;
+  for (size_t r = 0; r < two.row_domain.size(); ++r) {
+    for (size_t c = 0; c < two.col_domain.size(); ++c) {
+      cell_keys.push_back(
+          CatalogKeyForPair(two.row_domain[r], two.col_domain[c]));
+      if (two.matrix.At(r, c) > 0) ++observed_pairs;
+    }
+  }
+  ColumnStatistics stats;
+  stats.num_tuples = static_cast<double>(relation.num_tuples());
+  stats.num_distinct = observed_pairs;
+  stats.min_value = 0;
+  stats.max_value = 0;
+  HOPS_ASSIGN_OR_RETURN(stats.histogram,
+                        CatalogHistogram::FromHistogram(*hist, cell_keys));
+  return stats;
+}
+
+Status AnalyzeAndStorePair(const Relation& relation,
+                           const std::string& column_a,
+                           const std::string& column_b, Catalog* catalog,
+                           const JointStatisticsOptions& options) {
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("catalog must not be null");
+  }
+  HOPS_ASSIGN_OR_RETURN(
+      ColumnStatistics stats,
+      AnalyzeColumnPair(relation, column_a, column_b, options));
+  return catalog->PutColumnStatistics(
+      relation.name(), JointStatisticsColumnKey(column_a, column_b), stats);
+}
+
+double EstimateConjunctiveEquality(const ColumnStatistics& joint_stats,
+                                   const Value& va, const Value& vb) {
+  return joint_stats.histogram.LookupFrequency(CatalogKeyForPair(va, vb));
+}
+
+double EstimateConjunctiveEqualityIndependent(
+    const ColumnStatistics& stats_a, const ColumnStatistics& stats_b,
+    const Value& va, const Value& vb) {
+  if (stats_a.num_tuples <= 0) return 0.0;
+  double fa = stats_a.histogram.LookupFrequency(CatalogKeyFor(va));
+  double fb = stats_b.histogram.LookupFrequency(CatalogKeyFor(vb));
+  return fa * fb / stats_a.num_tuples;
+}
+
+}  // namespace hops

@@ -1,0 +1,60 @@
+// Multi-attribute (joint) statistics: histograms over the 2-D frequency
+// matrix of a column pair, the multi-dimensional setting of Muralikrishna &
+// DeWitt that the paper's Section 2.3 matrices model. Joint statistics
+// capture column correlation that the classical per-column independence
+// assumption destroys — the tests quantify exactly that gap.
+
+#pragma once
+
+#include <string>
+
+#include "engine/catalog.h"
+#include "engine/relation.h"
+#include "engine/statistics.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Combined catalog key for an (a, b) value pair. Order-sensitive,
+/// hash-based (collisions only perturb a statistical structure).
+int64_t CatalogKeyForPair(const Value& a, const Value& b);
+
+/// \brief Catalog column name under which joint statistics for (a, b) are
+/// stored: "a+b".
+std::string JointStatisticsColumnKey(const std::string& column_a,
+                                     const std::string& column_b);
+
+/// \brief Controls for joint ANALYZE.
+struct JointStatisticsOptions {
+  StatisticsHistogramClass histogram_class =
+      StatisticsHistogramClass::kVOptEndBiased;
+  size_t num_buckets = 16;
+  /// Refuse matrices with more cells than this (dense representation).
+  size_t max_cells = 1u << 20;
+};
+
+/// \brief Runs joint ANALYZE over (column_a, column_b): dense 2-D frequency
+/// matrix (observed domains only), bucketization of its cells, compact
+/// histogram keyed by pair keys. num_distinct reports the number of
+/// *observed pairs* (non-zero cells).
+Result<ColumnStatistics> AnalyzeColumnPair(
+    const Relation& relation, const std::string& column_a,
+    const std::string& column_b, const JointStatisticsOptions& options = {});
+
+/// \brief AnalyzeColumnPair + store under (relation name, "a+b").
+Status AnalyzeAndStorePair(const Relation& relation,
+                           const std::string& column_a,
+                           const std::string& column_b, Catalog* catalog,
+                           const JointStatisticsOptions& options = {});
+
+/// \brief Estimated |sigma_{a = va AND b = vb}(R)| from joint statistics.
+double EstimateConjunctiveEquality(const ColumnStatistics& joint_stats,
+                                   const Value& va, const Value& vb);
+
+/// \brief The classical independence-assumption estimate from two
+/// single-column statistics: f_a(va) * f_b(vb) / |R|.
+double EstimateConjunctiveEqualityIndependent(
+    const ColumnStatistics& stats_a, const ColumnStatistics& stats_b,
+    const Value& va, const Value& vb);
+
+}  // namespace hops

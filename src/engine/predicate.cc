@@ -1,0 +1,279 @@
+#include "engine/predicate.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/csv_reader.h"
+
+namespace hops {
+
+const char* PredicateOpToString(PredicateOp op) {
+  switch (op) {
+    case PredicateOp::kEqual:
+      return "=";
+    case PredicateOp::kNotEqual:
+      return "!=";
+    case PredicateOp::kLess:
+      return "<";
+    case PredicateOp::kLessEqual:
+      return "<=";
+    case PredicateOp::kGreater:
+      return ">";
+    case PredicateOp::kGreaterEqual:
+      return ">=";
+    case PredicateOp::kIn:
+      return "IN";
+  }
+  return "?";
+}
+
+bool Comparison::Matches(const Value& value) const {
+  if (op == PredicateOp::kIn) {
+    for (const Value& v : in_list) {
+      if (value == v) return true;
+    }
+    return false;
+  }
+  if (op == PredicateOp::kEqual) return value == literal;
+  if (op == PredicateOp::kNotEqual) return !(value == literal);
+  // Ordered operators: same-type comparisons only.
+  if (value.type() != literal.type()) return false;
+  switch (op) {
+    case PredicateOp::kLess:
+      return value < literal;
+    case PredicateOp::kLessEqual:
+      return value < literal || value == literal;
+    case PredicateOp::kGreater:
+      return literal < value;
+    case PredicateOp::kGreaterEqual:
+      return literal < value || value == literal;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+// Token-level cursor over the predicate text.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  Result<std::string> Identifier() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected identifier at position " +
+                                     std::to_string(start));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<PredicateOp> Operator() {
+    SkipSpace();
+    auto two = text_.substr(pos_, 2);
+    if (two == "!=") {
+      pos_ += 2;
+      return PredicateOp::kNotEqual;
+    }
+    if (two == "<=") {
+      pos_ += 2;
+      return PredicateOp::kLessEqual;
+    }
+    if (two == ">=") {
+      pos_ += 2;
+      return PredicateOp::kGreaterEqual;
+    }
+    switch (Peek()) {
+      case '=':
+        ++pos_;
+        return PredicateOp::kEqual;
+      case '<':
+        ++pos_;
+        return PredicateOp::kLess;
+      case '>':
+        ++pos_;
+        return PredicateOp::kGreater;
+      default:
+        return Status::InvalidArgument("expected comparison operator at "
+                                       "position " + std::to_string(pos_));
+    }
+  }
+
+  Result<Value> Literal() {
+    SkipSpace();
+    if (Peek() == '\'') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != '\'') {
+        out += text_[pos_++];
+      }
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      ++pos_;  // closing quote
+      return Value(std::move(out));
+    }
+    size_t start = pos_;
+    if (Peek() == '-' || Peek() == '+') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected literal at position " +
+                                     std::to_string(start));
+    }
+    HOPS_ASSIGN_OR_RETURN(
+        int64_t v,
+        ParseInt64Cell(std::string(text_.substr(start, pos_ - start))));
+    return Value(v);
+  }
+
+  /// Consumes \p keyword if it is next (not followed by an identifier
+  /// character); returns whether it was consumed.
+  bool ConsumeKeyword(std::string_view keyword) {
+    SkipSpace();
+    if (text_.substr(pos_, keyword.size()) != keyword) return false;
+    size_t after = pos_ + keyword.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_')) {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+
+  /// Consumes the expected punctuation character.
+  Status Expect(char c) {
+    SkipSpace();
+    if (Peek() != c) {
+      return Status::InvalidArgument(std::string("expected '") + c +
+                                     "' at position " +
+                                     std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  /// Consumes the keyword AND if present; returns whether it was.
+  Result<bool> MaybeAnd() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    if (text_.substr(pos_, 3) == "AND") {
+      pos_ += 3;
+      return true;
+    }
+    return Status::InvalidArgument("expected AND or end of input at "
+                                   "position " + std::to_string(pos_));
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Predicate> Predicate::Parse(std::string_view text) {
+  Cursor cursor(text);
+  std::vector<Comparison> comparisons;
+  if (cursor.AtEnd()) {
+    return Status::InvalidArgument("empty predicate");
+  }
+  while (true) {
+    Comparison cmp;
+    HOPS_ASSIGN_OR_RETURN(cmp.column, cursor.Identifier());
+    if (cursor.ConsumeKeyword("IN")) {
+      cmp.op = PredicateOp::kIn;
+      HOPS_RETURN_NOT_OK(cursor.Expect('('));
+      while (true) {
+        HOPS_ASSIGN_OR_RETURN(Value v, cursor.Literal());
+        cmp.in_list.push_back(std::move(v));
+        cursor.SkipSpace();
+        if (cursor.Peek() != ',') break;
+        HOPS_RETURN_NOT_OK(cursor.Expect(','));
+      }
+      HOPS_RETURN_NOT_OK(cursor.Expect(')'));
+    } else {
+      HOPS_ASSIGN_OR_RETURN(cmp.op, cursor.Operator());
+      HOPS_ASSIGN_OR_RETURN(cmp.literal, cursor.Literal());
+    }
+    comparisons.push_back(std::move(cmp));
+    if (cursor.AtEnd()) break;
+    HOPS_ASSIGN_OR_RETURN(bool has_and, cursor.MaybeAnd());
+    if (!has_and) break;
+  }
+  return Predicate(std::move(comparisons));
+}
+
+Predicate Predicate::Of(std::vector<Comparison> comparisons) {
+  return Predicate(std::move(comparisons));
+}
+
+Result<bool> Predicate::Matches(const Relation& relation,
+                                const std::vector<Value>& tuple) const {
+  for (const Comparison& cmp : comparisons_) {
+    HOPS_ASSIGN_OR_RETURN(size_t col,
+                          relation.schema().ColumnIndex(cmp.column));
+    if (!cmp.Matches(tuple[col])) return false;
+  }
+  return true;
+}
+
+std::string Predicate::ToString() const {
+  std::ostringstream os;
+  auto emit_literal = [&os](const Value& v) {
+    if (v.is_string()) {
+      os << "'" << v.AsString() << "'";
+    } else {
+      os << v.AsInt64();
+    }
+  };
+  for (size_t i = 0; i < comparisons_.size(); ++i) {
+    if (i) os << " AND ";
+    const Comparison& cmp = comparisons_[i];
+    if (cmp.op == PredicateOp::kIn) {
+      os << cmp.column << " IN (";
+      for (size_t j = 0; j < cmp.in_list.size(); ++j) {
+        if (j) os << ", ";
+        emit_literal(cmp.in_list[j]);
+      }
+      os << ")";
+      continue;
+    }
+    os << cmp.column << " " << PredicateOpToString(cmp.op) << " ";
+    emit_literal(cmp.literal);
+  }
+  return os.str();
+}
+
+Result<double> CountWhere(const Relation& relation,
+                          const Predicate& predicate) {
+  double count = 0;
+  for (const auto& tuple : relation.tuples()) {
+    HOPS_ASSIGN_OR_RETURN(bool hit, predicate.Matches(relation, tuple));
+    if (hit) count += 1;
+  }
+  return count;
+}
+
+}  // namespace hops

@@ -1,0 +1,81 @@
+// Conjunctive selection predicates: a tiny WHERE-clause surface over engine
+// relations, so tools can evaluate (exactly) and estimate (from the
+// catalog) the same ad-hoc predicate.
+//
+// Grammar (case-sensitive identifiers, AND-only conjunctions):
+//   predicate := term ( "AND" term )*
+//   term       := column op literal
+//              |  column "IN" "(" literal ( "," literal )* ")"
+//   op         := "=" | "!=" | "<" | "<=" | ">" | ">="
+//   literal    := integer | 'single quoted string'
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/relation.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Comparison operators usable in predicates.
+enum class PredicateOp {
+  kEqual,
+  kNotEqual,
+  kLess,
+  kLessEqual,
+  kGreater,
+  kGreaterEqual,
+  kIn,  ///< Membership in a literal list (disjunctive equality, §2.2).
+};
+
+const char* PredicateOpToString(PredicateOp op);
+
+/// \brief One comparison: column <op> literal, or column IN (literals).
+struct Comparison {
+  std::string column;
+  PredicateOp op = PredicateOp::kEqual;
+  Value literal;                 ///< Unused for kIn.
+  std::vector<Value> in_list;    ///< Only for kIn.
+
+  /// Whether \p value satisfies the comparison. Ordered operators require
+  /// matching types (int64 vs int64, string vs string); mismatches are
+  /// false.
+  bool Matches(const Value& value) const;
+};
+
+/// \brief A conjunction of comparisons.
+class Predicate {
+ public:
+  Predicate() = default;
+
+  /// Parses the textual form; see the grammar above.
+  static Result<Predicate> Parse(std::string_view text);
+
+  /// Direct construction.
+  static Predicate Of(std::vector<Comparison> comparisons);
+
+  const std::vector<Comparison>& comparisons() const { return comparisons_; }
+  bool empty() const { return comparisons_.empty(); }
+
+  /// Whether the tuple (resolved against \p relation's schema) satisfies
+  /// every comparison. Fails if a referenced column does not exist.
+  Result<bool> Matches(const Relation& relation,
+                       const std::vector<Value>& tuple) const;
+
+  /// Canonical textual form.
+  std::string ToString() const;
+
+ private:
+  explicit Predicate(std::vector<Comparison> comparisons)
+      : comparisons_(std::move(comparisons)) {}
+  std::vector<Comparison> comparisons_;
+};
+
+/// \brief Exact |sigma_predicate(R)| by scanning.
+Result<double> CountWhere(const Relation& relation,
+                          const Predicate& predicate);
+
+}  // namespace hops

@@ -1,0 +1,31 @@
+#include "engine/relation.h"
+
+namespace hops {
+
+Result<Relation> Relation::Make(std::string name, Schema schema) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("relation schema must be initialized");
+  }
+  return Relation(std::move(name), std::move(schema));
+}
+
+Status Relation::Append(std::vector<Value> tuple) {
+  HOPS_RETURN_NOT_OK(schema_.ValidateTuple(tuple));
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Result<Value> Relation::ValueAt(size_t row, const std::string& column) const {
+  if (row >= tuples_.size()) {
+    return Status::OutOfRange("row " + std::to_string(row) +
+                              " outside relation of " +
+                              std::to_string(tuples_.size()) + " tuples");
+  }
+  HOPS_ASSIGN_OR_RETURN(size_t col, schema_.ColumnIndex(column));
+  return tuples_[row][col];
+}
+
+}  // namespace hops

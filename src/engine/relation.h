@@ -1,0 +1,49 @@
+// In-memory row-store relations for the engine substrate.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/schema.h"
+#include "engine/value.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief A named, schema-validated tuple store.
+class Relation {
+ public:
+  Relation() = default;
+
+  static Result<Relation> Make(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_tuples() const { return tuples_.size(); }
+
+  /// Appends a tuple after schema validation.
+  Status Append(std::vector<Value> tuple);
+
+  /// Appends without validation (bulk loads of trusted data).
+  void AppendUnchecked(std::vector<Value> tuple) {
+    tuples_.push_back(std::move(tuple));
+  }
+
+  const std::vector<Value>& tuple(size_t i) const { return tuples_[i]; }
+  const std::vector<std::vector<Value>>& tuples() const { return tuples_; }
+
+  /// The i-th tuple's value in the named column (resolved per call — use
+  /// ColumnIndex + direct access in hot loops).
+  Result<Value> ValueAt(size_t row, const std::string& column) const;
+
+ private:
+  Relation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  std::string name_;
+  Schema schema_;
+  std::vector<std::vector<Value>> tuples_;
+};
+
+}  // namespace hops

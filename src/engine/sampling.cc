@@ -1,0 +1,66 @@
+#include "engine/sampling.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/random.h"
+
+namespace hops {
+
+Result<std::vector<SampledFrequency>> EstimateTopFrequenciesBySampling(
+    const Relation& relation, const std::string& column, size_t sample_size,
+    size_t top_k, uint64_t seed) {
+  HOPS_ASSIGN_OR_RETURN(size_t col, relation.schema().ColumnIndex(column));
+  const size_t n = relation.num_tuples();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot sample an empty relation");
+  }
+  if (sample_size == 0) {
+    return Status::InvalidArgument("sample_size must be positive");
+  }
+  sample_size = std::min(sample_size, n);
+
+  Rng rng(seed);
+  std::vector<size_t> rows = rng.SampleWithoutReplacement(n, sample_size);
+  std::unordered_map<Value, double, ValueHash> counts;
+  for (size_t row : rows) {
+    counts[relation.tuple(row)[col]] += 1.0;
+  }
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(sample_size);
+  std::vector<SampledFrequency> out;
+  out.reserve(counts.size());
+  for (auto& [value, count] : counts) {
+    out.push_back(SampledFrequency{value, count * scale, count});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SampledFrequency& a, const SampledFrequency& b) {
+              if (a.estimated_frequency != b.estimated_frequency) {
+                return a.estimated_frequency > b.estimated_frequency;
+              }
+              return a.value < b.value;
+            });
+  if (out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+Result<std::vector<ValueFrequency>> CountExactFrequencies(
+    const Relation& relation, const std::string& column,
+    const std::vector<Value>& candidates) {
+  HOPS_ASSIGN_OR_RETURN(size_t col, relation.schema().ColumnIndex(column));
+  std::unordered_map<Value, double, ValueHash> counts;
+  counts.reserve(candidates.size());
+  for (const Value& v : candidates) counts.emplace(v, 0.0);
+  for (const auto& tuple : relation.tuples()) {
+    auto it = counts.find(tuple[col]);
+    if (it != counts.end()) it->second += 1.0;
+  }
+  std::vector<ValueFrequency> out;
+  out.reserve(candidates.size());
+  for (const Value& v : candidates) {
+    out.push_back(ValueFrequency{v, counts[v]});
+  }
+  return out;
+}
+
+}  // namespace hops

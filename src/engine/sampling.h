@@ -1,0 +1,43 @@
+// Sampling-based identification of the highest frequencies (Section 4.2).
+//
+// "Sampling can be used to identify the beta-1 highest frequencies, which is
+// an extremely fast operation requiring constant amount of very small
+// space. Something similar is done in DB2/MVS to identify the 10 highest
+// frequencies in each attribute." The dual caveat also reproduced here: the
+// approach cannot find the *lowest* frequencies, so it breaks down on
+// reverse-Zipf-style distributions (tests pin this down).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/hash_agg.h"
+#include "engine/relation.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief A value with its sample-extrapolated frequency.
+struct SampledFrequency {
+  Value value;
+  double estimated_frequency = 0.0;  ///< sample count * T / n.
+  double sample_count = 0.0;
+};
+
+/// \brief Estimates the \p top_k most frequent values of \p column from a
+/// uniform sample of \p sample_size tuples (without replacement), sorted by
+/// estimated frequency descending (ties by value).
+Result<std::vector<SampledFrequency>> EstimateTopFrequenciesBySampling(
+    const Relation& relation, const std::string& column, size_t sample_size,
+    size_t top_k, uint64_t seed);
+
+/// \brief Exact frequencies of the given candidate values in one scan —
+/// the refinement pass pairing with the sampler (candidates from the
+/// sample, exact counts from the scan).
+Result<std::vector<ValueFrequency>> CountExactFrequencies(
+    const Relation& relation, const std::string& column,
+    const std::vector<Value>& candidates);
+
+}  // namespace hops

@@ -1,0 +1,59 @@
+#include "engine/schema.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace hops {
+
+Result<Schema> Schema::Make(std::vector<ColumnDef> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("schema needs at least one column");
+  }
+  std::unordered_set<std::string> names;
+  for (const ColumnDef& col : columns) {
+    if (col.name.empty()) {
+      return Status::InvalidArgument("column names must be non-empty");
+    }
+    if (!names.insert(col.name).second) {
+      return Status::InvalidArgument("duplicate column name: " + col.name);
+    }
+  }
+  return Schema(std::move(columns));
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+Status Schema::ValidateTuple(const std::vector<Value>& values) const {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(values.size()) +
+        " does not match schema arity " + std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].type() != columns_[i].type) {
+      return Status::InvalidArgument(
+          "column '" + columns_[i].name + "' expects " +
+          ValueTypeToString(columns_[i].type) + " but got " +
+          ValueTypeToString(values[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) os << ", ";
+    os << columns_[i].name << " " << ValueTypeToString(columns_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace hops

@@ -1,0 +1,49 @@
+// Relation schemas for the engine substrate.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/value.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief One column: a name and a type.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+
+  bool operator==(const ColumnDef& other) const = default;
+};
+
+/// \brief Ordered column list with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Fails on empty schemas or duplicate column names.
+  static Result<Schema> Make(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the named column.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Whether \p values matches this schema's arity and types.
+  Status ValidateTuple(const std::vector<Value>& values) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const = default;
+
+ private:
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace hops

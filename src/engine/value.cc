@@ -1,0 +1,41 @@
+#include "engine/value.h"
+
+#include <functional>
+
+namespace hops {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  if (is_int64()) return std::to_string(AsInt64());
+  return AsString();
+}
+
+bool Value::operator<(const Value& other) const {
+  if (type() != other.type()) {
+    return type() == ValueType::kInt64;  // ints order before strings
+  }
+  if (is_int64()) return AsInt64() < other.AsInt64();
+  return AsString() < other.AsString();
+}
+
+size_t Value::Hash() const {
+  if (is_int64()) {
+    // SplitMix64-style finalizer for good dispersion of small ints.
+    uint64_t z = static_cast<uint64_t>(AsInt64()) + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+  return std::hash<std::string>{}(AsString()) ^ 0x5bd1e995u;
+}
+
+}  // namespace hops

@@ -1,0 +1,60 @@
+// Typed values for the minimal relational engine substrate.
+//
+// The paper's machinery needs integers (years, ids) and strings (department
+// names, player names); a two-type variant keeps the engine honest without
+// dragging in a full type system.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace hops {
+
+/// \brief Supported column types.
+enum class ValueType {
+  kInt64,
+  kString,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// \brief A single typed value.
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  /// Convenience for string literals.
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  ValueType type() const {
+    return std::holds_alternative<int64_t>(data_) ? ValueType::kInt64
+                                                  : ValueType::kString;
+  }
+  bool is_int64() const { return type() == ValueType::kInt64; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const = default;
+  /// Total order: int64 < string across types; natural order within a type.
+  bool operator<(const Value& other) const;
+
+  /// Stable hash for hash aggregation / joins.
+  size_t Hash() const;
+
+ private:
+  std::variant<int64_t, std::string> data_;
+};
+
+/// \brief Hash functor for unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace hops

@@ -1,0 +1,62 @@
+#include "estimator/join_estimator.h"
+
+#include "estimator/selectivity.h"
+
+namespace hops {
+
+Result<ChainJoinEstimateDetail> ExplainChainJoinSize(
+    const Catalog& catalog, std::span<const ChainJoinSpec> specs) {
+  if (specs.size() < 2) {
+    return Status::InvalidArgument("chain join needs at least two relations");
+  }
+  if (!specs.front().left_column.empty() ||
+      !specs.back().right_column.empty()) {
+    return Status::InvalidArgument(
+        "first/last chain relations must not declare outer join columns");
+  }
+  ChainJoinEstimateDetail detail;
+  double running = 0.0;
+  double prev_relation_size = 0.0;
+  for (size_t i = 0; i + 1 < specs.size(); ++i) {
+    const std::string& left_col = specs[i].right_column;
+    const std::string& right_col = specs[i + 1].left_column;
+    if (left_col.empty() || right_col.empty()) {
+      return Status::InvalidArgument(
+          "interior join columns must be non-empty (join " +
+          std::to_string(i) + ")");
+    }
+    HOPS_ASSIGN_OR_RETURN(
+        ColumnStatistics ls,
+        catalog.GetColumnStatistics(specs[i].table, left_col));
+    HOPS_ASSIGN_OR_RETURN(
+        ColumnStatistics rs,
+        catalog.GetColumnStatistics(specs[i + 1].table, right_col));
+    double pairwise = EstimateEquiJoinSize(ls, rs);
+    detail.pairwise_sizes.push_back(pairwise);
+    if (i == 0) {
+      running = pairwise;
+    } else {
+      // Attribute independence: the intermediate result keeps the previous
+      // relation's distribution on the next join attribute, scaled by how
+      // much of that relation survived.
+      double scale =
+          prev_relation_size > 0 ? running / prev_relation_size : 0.0;
+      running = pairwise * scale;
+    }
+    // The next iteration scales by relation i+1's size (the right side of
+    // this join becomes the left side of the next one).
+    prev_relation_size = rs.num_tuples;
+    detail.running_sizes.push_back(running);
+  }
+  detail.final_size = running;
+  return detail;
+}
+
+Result<double> EstimateChainJoinSize(const Catalog& catalog,
+                                     std::span<const ChainJoinSpec> specs) {
+  HOPS_ASSIGN_OR_RETURN(ChainJoinEstimateDetail detail,
+                        ExplainChainJoinSize(catalog, specs));
+  return detail.final_size;
+}
+
+}  // namespace hops

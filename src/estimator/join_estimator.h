@@ -1,0 +1,43 @@
+// Chain-join size estimation from catalog statistics — the estimate a
+// System-R-style optimizer derives while costing access plans.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief One relation of a chain-join estimation request. Mirrors
+/// ChainJoinStep but by catalog names instead of live relations.
+struct ChainJoinSpec {
+  std::string table;
+  std::string left_column;   ///< Empty on the first relation.
+  std::string right_column;  ///< Empty on the last relation.
+};
+
+/// \brief Estimates |R0 ⋈ R1 ⋈ ... ⋈ RN| from per-column histograms.
+///
+/// Pairwise join sizes come from EstimateEquiJoinSize; chains longer than
+/// one join use the classical attribute-independence assumption: joining the
+/// intermediate result with the next relation scales the next pairwise
+/// estimate by (intermediate size / previous relation size).
+Result<double> EstimateChainJoinSize(const Catalog& catalog,
+                                     std::span<const ChainJoinSpec> specs);
+
+/// \brief Per-join breakdown of a chain estimate, for EXPLAIN-style output.
+struct ChainJoinEstimateDetail {
+  std::vector<double> pairwise_sizes;  ///< Histogram estimate per join.
+  std::vector<double> running_sizes;   ///< Estimated size after each join.
+  double final_size = 0.0;
+};
+
+/// \brief As EstimateChainJoinSize, but with the intermediate breakdown.
+Result<ChainJoinEstimateDetail> ExplainChainJoinSize(
+    const Catalog& catalog, std::span<const ChainJoinSpec> specs);
+
+}  // namespace hops

@@ -1,0 +1,118 @@
+#include "estimator/predicate_estimator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "engine/joint_statistics.h"
+#include "estimator/selectivity.h"
+
+namespace hops {
+
+namespace {
+
+// Cardinality of a single comparison from its column statistics.
+Result<double> ComparisonCardinality(const ColumnStatistics& stats,
+                                     const Comparison& cmp) {
+  switch (cmp.op) {
+    case PredicateOp::kEqual:
+      return EstimateEqualitySelection(stats, cmp.literal);
+    case PredicateOp::kNotEqual:
+      return EstimateNotEqualsSelection(stats, cmp.literal);
+    case PredicateOp::kIn:
+      return EstimateDisjunctiveSelection(stats, cmp.in_list);
+    default:
+      break;
+  }
+  if (!cmp.literal.is_int64()) {
+    return Status::InvalidArgument(
+        "ordered comparison on column '" + cmp.column +
+        "' needs an int64 literal");
+  }
+  const int64_t v = cmp.literal.AsInt64();
+  RangeBounds bounds;
+  switch (cmp.op) {
+    case PredicateOp::kLess:
+      bounds = {std::numeric_limits<int64_t>::min(), v, true, false};
+      break;
+    case PredicateOp::kLessEqual:
+      bounds = {std::numeric_limits<int64_t>::min(), v, true, true};
+      break;
+    case PredicateOp::kGreater:
+      bounds = {v, std::numeric_limits<int64_t>::max(), false, true};
+      break;
+    case PredicateOp::kGreaterEqual:
+      bounds = {v, std::numeric_limits<int64_t>::max(), true, true};
+      break;
+    default:
+      return Status::Internal("unhandled comparison operator");
+  }
+  return EstimateRangeSelection(stats, bounds);
+}
+
+}  // namespace
+
+Result<double> EstimatePredicateCardinality(const Catalog& catalog,
+                                            const std::string& table,
+                                            const Predicate& predicate) {
+  if (predicate.empty()) {
+    return Status::InvalidArgument("empty predicate");
+  }
+  const auto& comparisons = predicate.comparisons();
+  std::vector<bool> consumed(comparisons.size(), false);
+
+  double relation_size = -1.0;
+  double cardinality = -1.0;  // running estimate, starts at first factor
+  auto apply_factor = [&](double count) {
+    if (cardinality < 0) {
+      cardinality = count;
+    } else {
+      // Independence: multiply by the factor's selectivity.
+      cardinality *= relation_size > 0 ? count / relation_size : 0.0;
+    }
+  };
+
+  // First pass: equality pairs served by joint statistics.
+  for (size_t i = 0; i < comparisons.size(); ++i) {
+    if (consumed[i] || comparisons[i].op != PredicateOp::kEqual) continue;
+    for (size_t j = i + 1; j < comparisons.size(); ++j) {
+      if (consumed[j] || comparisons[j].op != PredicateOp::kEqual) continue;
+      auto joint = catalog.GetColumnStatistics(
+          table, JointStatisticsColumnKey(comparisons[i].column,
+                                          comparisons[j].column));
+      if (!joint.ok()) {
+        joint = catalog.GetColumnStatistics(
+            table, JointStatisticsColumnKey(comparisons[j].column,
+                                            comparisons[i].column));
+        if (joint.ok()) {
+          // Stored with swapped roles: swap the probe order too.
+          if (relation_size < 0) relation_size = joint->num_tuples;
+          apply_factor(EstimateConjunctiveEquality(
+              *joint, comparisons[j].literal, comparisons[i].literal));
+          consumed[i] = consumed[j] = true;
+          break;
+        }
+        continue;
+      }
+      if (relation_size < 0) relation_size = joint->num_tuples;
+      apply_factor(EstimateConjunctiveEquality(
+          *joint, comparisons[i].literal, comparisons[j].literal));
+      consumed[i] = consumed[j] = true;
+      break;
+    }
+  }
+
+  // Second pass: the remaining comparisons, independently.
+  for (size_t i = 0; i < comparisons.size(); ++i) {
+    if (consumed[i]) continue;
+    HOPS_ASSIGN_OR_RETURN(
+        ColumnStatistics stats,
+        catalog.GetColumnStatistics(table, comparisons[i].column));
+    if (relation_size < 0) relation_size = stats.num_tuples;
+    HOPS_ASSIGN_OR_RETURN(double count,
+                          ComparisonCardinality(stats, comparisons[i]));
+    apply_factor(count);
+  }
+  return std::max(0.0, cardinality);
+}
+
+}  // namespace hops

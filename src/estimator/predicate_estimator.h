@@ -1,0 +1,28 @@
+// Cardinality estimation for conjunctive predicates from catalog
+// statistics: per-comparison selectivities from the column histograms,
+// combined under the classical attribute-independence assumption (unless a
+// joint statistic for a column pair is available in the catalog, in which
+// case equality pairs use it — correlation-aware, Muralikrishna & DeWitt
+// style).
+
+#pragma once
+
+#include <string>
+
+#include "engine/catalog.h"
+#include "engine/predicate.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Estimated |sigma_predicate(table)|.
+///
+/// Every referenced column needs statistics in the catalog. Equality pairs
+/// over columns (a, b) with joint statistics stored under "a+b" are
+/// estimated jointly; every remaining comparison contributes an independent
+/// selectivity factor. Ordered comparisons require int64 columns.
+Result<double> EstimatePredicateCardinality(const Catalog& catalog,
+                                            const std::string& table,
+                                            const Predicate& predicate);
+
+}  // namespace hops

@@ -1,0 +1,55 @@
+// Optimizer-facing cardinality estimation over catalog statistics.
+//
+// Covers the query shapes the paper claims serial histograms serve well
+// (Sections 2.2 and 6): equality selection, disjunctive equality selection,
+// not-equals (complement), range selection (a disjunctive selection over the
+// values in the range), and two-relation equality join.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "engine/catalog.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Estimated |sigma_{col = value}(R)|.
+double EstimateEqualitySelection(const ColumnStatistics& stats,
+                                 const Value& value);
+
+/// \brief Estimated |sigma_{col != value}(R)| — the complement of equality.
+double EstimateNotEqualsSelection(const ColumnStatistics& stats,
+                                  const Value& value);
+
+/// \brief Estimated size of the disjunctive selection
+/// (col = v1 or col = v2 or ...). Duplicate values are counted once.
+double EstimateDisjunctiveSelection(const ColumnStatistics& stats,
+                                    std::span<const Value> values);
+
+/// \brief Inclusive/exclusive bounds for range estimation.
+struct RangeBounds {
+  int64_t low = 0;
+  int64_t high = 0;
+  bool include_low = true;
+  bool include_high = true;
+};
+
+/// \brief Estimated |sigma_{low (<|<=) col (<|<=) high}(R)| for an int64
+/// column: explicit histogram entries inside the range contribute exactly;
+/// the implicit default bucket contributes its average frequency times the
+/// estimated number of default values in the range (default values assumed
+/// uniformly spread over [min_value, max_value]).
+Result<double> EstimateRangeSelection(const ColumnStatistics& stats,
+                                      const RangeBounds& bounds);
+
+/// \brief Estimated |R ⋈ S| on one attribute, from both sides' compact
+/// histograms. Assumes the two attributes share a value domain (the paper's
+/// model): explicit-explicit pairs match exactly; values explicit on only
+/// one side meet the other side's default frequency; the remaining
+/// default-default mass pairs the leftover value counts.
+double EstimateEquiJoinSize(const ColumnStatistics& left,
+                            const ColumnStatistics& right);
+
+}  // namespace hops

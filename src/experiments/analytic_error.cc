@@ -1,0 +1,72 @@
+#include "experiments/analytic_error.h"
+
+#include "util/math.h"
+
+namespace hops {
+
+Result<JoinErrorMoments> ExpectedJoinErrorMoments(
+    std::span<const double> left_true, std::span<const double> left_approx,
+    std::span<const double> right_true,
+    std::span<const double> right_approx) {
+  const size_t m = left_true.size();
+  if (m == 0) {
+    return Status::InvalidArgument("domain must be non-empty");
+  }
+  if (left_approx.size() != m || right_true.size() != m ||
+      right_approx.size() != m) {
+    return Status::InvalidArgument(
+        "all four vectors must share the domain size");
+  }
+  // Aggregate moments of (x, p) and (y, q).
+  KahanSum sx, sp, sxx, spp, sxp;
+  for (size_t v = 0; v < m; ++v) {
+    double x = left_true[v], p = left_approx[v];
+    sx.Add(x);
+    sp.Add(p);
+    sxx.Add(x * x);
+    spp.Add(p * p);
+    sxp.Add(x * p);
+  }
+  KahanSum sy, sq, syy, sqq, syq;
+  for (size_t u = 0; u < m; ++u) {
+    double y = right_true[u], q = right_approx[u];
+    sy.Add(y);
+    sq.Add(q);
+    syy.Add(y * y);
+    sqq.Add(q * q);
+    syq.Add(y * q);
+  }
+  const double SX = sx.Value(), SP = sp.Value(), SXX = sxx.Value(),
+               SPP = spp.Value(), SXP = sxp.Value();
+  const double SY = sy.Value(), SQ = sq.Value(), SYY = syy.Value(),
+               SQQ = sqq.Value(), SYQ = syq.Value();
+  const double dm = static_cast<double>(m);
+
+  JoinErrorMoments out;
+  // E[S - S'] = (1/M) (sum_v x_v)(sum_u y_u) - (sum_v p_v)(sum_u q_u)).
+  out.mean = (SX * SY - SP * SQ) / dm;
+
+  // sum_{v,u} c_{v,u}^2 = SXX*SYY - 2*SXP*SYQ + SPP*SQQ.
+  const double sum_c_sq = SXX * SYY - 2.0 * SXP * SYQ + SPP * SQQ;
+  const double diagonal = sum_c_sq / dm;
+  if (m == 1) {
+    out.mean_square = diagonal;  // single arrangement, exact square
+    return out;
+  }
+  // Row sums R_v = x_v*SY - p_v*SQ:
+  const double sum_r = SX * SY - SP * SQ;
+  const double sum_r_sq =
+      SXX * SY * SY - 2.0 * SXP * SY * SQ + SPP * SQ * SQ;
+  // Column sums C_u = SX*y_u - SP*q_u:
+  const double sum_colsum_sq =
+      SX * SX * SYY - 2.0 * SX * SP * SYQ + SP * SP * SQQ;
+  // sum_{v != w} sum_{u != t} c_{v,u} c_{w,t}
+  //   = sum_{v != w} [ R_v R_w - sum_u c_{v,u} c_{w,u} ]
+  //   = (sum_r^2 - sum_r_sq) - (sum_colsum_sq - sum_c_sq).
+  const double off_diagonal =
+      (sum_r * sum_r - sum_r_sq) - (sum_colsum_sq - sum_c_sq);
+  out.mean_square = diagonal + off_diagonal / (dm * (dm - 1.0));
+  return out;
+}
+
+}  // namespace hops

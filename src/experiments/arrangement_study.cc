@@ -1,0 +1,156 @@
+#include "experiments/arrangement_study.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "histogram/histogram.h"
+#include "stats/zipf.h"
+#include "util/combinatorics.h"
+#include "util/random.h"
+
+namespace hops {
+
+namespace {
+
+// All biased bucketizations of m values with u singleton univalued buckets:
+// each is the u-subset of value positions stored exactly.
+struct BiasedCandidate {
+  std::vector<size_t> singletons;      // value positions, ascending
+  std::vector<double> approx;          // approximate frequency per position
+};
+
+// Enumerates every biased histogram of `freqs` with `u` singletons and
+// precomputes its approximate frequency vector.
+std::vector<BiasedCandidate> EnumerateBiased(const std::vector<double>& freqs,
+                                             size_t u) {
+  const size_t m = freqs.size();
+  double total = 0.0;
+  for (double f : freqs) total += f;
+  std::vector<BiasedCandidate> out;
+  CombinationEnumerator combos(m, u);
+  do {
+    BiasedCandidate cand;
+    cand.singletons = combos.current();
+    double singleton_sum = 0.0;
+    for (size_t p : cand.singletons) singleton_sum += freqs[p];
+    const size_t rest = m - u;
+    const double rest_avg =
+        rest == 0 ? 0.0 : (total - singleton_sum) / static_cast<double>(rest);
+    cand.approx.assign(m, rest_avg);
+    for (size_t p : cand.singletons) cand.approx[p] = freqs[p];
+    out.push_back(std::move(cand));
+  } while (combos.Advance());
+  return out;
+}
+
+// Is the multiset of frequencies at `singletons` equal to some
+// (h highest ∪ l lowest) of `freqs`?
+bool SingletonsAreEnds(const std::vector<double>& freqs,
+                       const std::vector<size_t>& singletons) {
+  std::vector<double> chosen;
+  chosen.reserve(singletons.size());
+  for (size_t p : singletons) chosen.push_back(freqs[p]);
+  std::sort(chosen.begin(), chosen.end());
+  std::vector<double> sorted = freqs;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t u = chosen.size();
+  for (size_t low = 0; low <= u; ++low) {
+    size_t high = u - low;
+    std::vector<double> cand;
+    cand.reserve(u);
+    for (size_t i = 0; i < low; ++i) cand.push_back(sorted[i]);
+    for (size_t i = sorted.size() - high; i < sorted.size(); ++i) {
+      cand.push_back(sorted[i]);
+    }
+    std::sort(cand.begin(), cand.end());
+    if (cand == chosen) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ArrangementStudyResult> RunArrangementStudy(
+    const ArrangementStudyConfig& config) {
+  const size_t m = config.domain_size;
+  if (m == 0) return Status::InvalidArgument("domain_size must be positive");
+  if (config.num_buckets == 0 || config.num_buckets > m) {
+    return Status::InvalidArgument("num_buckets must be in [1, M]");
+  }
+  const size_t u = config.num_buckets - 1;
+  const uint64_t per_side = BinomialCoefficient(m, u);
+  if (per_side > 100000) {
+    return Status::ResourceExhausted(
+        "biased-histogram search space too large: C(M, beta-1) = " +
+        std::to_string(per_side) + " per side");
+  }
+
+  HOPS_ASSIGN_OR_RETURN(
+      FrequencySet b0,
+      ZipfFrequencySet(ZipfParams{config.total, m, config.skew_left},
+                       config.integer_frequencies));
+  HOPS_ASSIGN_OR_RETURN(
+      FrequencySet b1,
+      ZipfFrequencySet(ZipfParams{config.total, m, config.skew_right},
+                       config.integer_frequencies));
+
+  // WLOG fix R0's arrangement and permute R1's.
+  std::vector<double> f0(b0.values().begin(), b0.values().end());
+  const std::vector<BiasedCandidate> cands0 = EnumerateBiased(f0, u);
+
+  Rng rng(config.seed);
+  ArrangementStudyResult result;
+  result.num_arrangements = config.num_arrangements;
+  for (size_t rep = 0; rep < config.num_arrangements; ++rep) {
+    std::vector<size_t> perm = rng.Permutation(m);
+    std::vector<double> f1(m);
+    for (size_t i = 0; i < m; ++i) f1[perm[i]] = b1[i];
+    const std::vector<BiasedCandidate> cands1 = EnumerateBiased(f1, u);
+
+    double s = 0.0;
+    for (size_t v = 0; v < m; ++v) s += f0[v] * f1[v];
+
+    // Pass 1: the minimum error over all biased pairs.
+    double best_err = -1.0;
+    for (const auto& c0 : cands0) {
+      for (const auto& c1 : cands1) {
+        double s_approx = 0.0;
+        for (size_t v = 0; v < m; ++v) s_approx += c0.approx[v] * c1.approx[v];
+        double err = std::fabs(s - s_approx);
+        if (best_err < 0 || err < best_err) best_err = err;
+      }
+    }
+    // Pass 2: classify over ALL optimal pairs — with ties (common on
+    // integer frequencies) the paper's statement "the optimal pair ... is
+    // end-biased" holds if any optimum qualifies.
+    const double eps = 1e-9 * (1.0 + best_err);
+    bool any_one_end = false, any_both_end = false, any_same = false;
+    std::vector<bool> end0_cache(cands0.size()), end1_cache(cands1.size());
+    for (size_t i = 0; i < cands0.size(); ++i) {
+      end0_cache[i] = SingletonsAreEnds(f0, cands0[i].singletons);
+    }
+    for (size_t j = 0; j < cands1.size(); ++j) {
+      end1_cache[j] = SingletonsAreEnds(f1, cands1[j].singletons);
+    }
+    for (size_t i = 0; i < cands0.size(); ++i) {
+      for (size_t j = 0; j < cands1.size(); ++j) {
+        double s_approx = 0.0;
+        for (size_t v = 0; v < m; ++v) {
+          s_approx += cands0[i].approx[v] * cands1[j].approx[v];
+        }
+        if (std::fabs(s - s_approx) > best_err + eps) continue;
+        any_one_end = any_one_end || end0_cache[i] || end1_cache[j];
+        any_both_end = any_both_end || (end0_cache[i] && end1_cache[j]);
+        any_same =
+            any_same || (cands0[i].singletons == cands1[j].singletons);
+      }
+    }
+    if (any_one_end) ++result.at_least_one_end_biased;
+    if (any_both_end) ++result.both_end_biased;
+    if (any_same) ++result.same_values_in_univalued;
+  }
+  return result;
+}
+
+}  // namespace hops

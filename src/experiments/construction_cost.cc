@@ -1,0 +1,48 @@
+#include "experiments/construction_cost.h"
+
+#include "histogram/builders.h"
+#include "stats/zipf.h"
+#include "util/combinatorics.h"
+#include "util/stopwatch.h"
+
+namespace hops {
+
+Result<std::vector<ConstructionCostRow>> MeasureConstructionCosts(
+    const ConstructionCostConfig& config) {
+  std::vector<ConstructionCostRow> rows;
+  for (size_t m : config.cardinalities) {
+    ZipfParams zp{static_cast<double>(m) * 10.0, m, config.zipf_skew};
+    HOPS_ASSIGN_OR_RETURN(FrequencySet set,
+                          ZipfFrequencySet(zp, /*integer_valued=*/true));
+    ConstructionCostRow row;
+    row.num_values = m;
+
+    for (size_t beta : config.serial_bucket_counts) {
+      if (beta > m ||
+          BinomialCoefficient(m - 1, beta - 1) >
+              config.max_serial_candidates) {
+        row.serial_seconds.push_back(std::nullopt);
+        continue;
+      }
+      VOptSerialOptions options;
+      options.max_candidates = config.max_serial_candidates;
+      Stopwatch sw;
+      HOPS_ASSIGN_OR_RETURN(Histogram hist,
+                            BuildVOptSerialExhaustive(set, beta, options));
+      row.serial_seconds.push_back(sw.ElapsedSeconds());
+      (void)hist;
+    }
+
+    {
+      size_t beta = std::min(config.end_biased_buckets, m);
+      Stopwatch sw;
+      HOPS_ASSIGN_OR_RETURN(Histogram hist, BuildVOptEndBiased(set, beta));
+      row.end_biased_seconds = sw.ElapsedSeconds();
+      (void)hist;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace hops

@@ -1,0 +1,45 @@
+// Table 1: construction-cost comparison between the exhaustive optimal
+// serial construction (V-OptHist, beta in {3, 5}) and the optimal end-biased
+// construction (V-OptBiasHist, beta = 10) across frequency-set cardinalities.
+//
+// The paper timed a DEC ALPHA; the reproduction target is the *shape* — the
+// end-biased column stays near-flat (near-linear algorithm) while the serial
+// columns explode combinatorially, with the larger cardinalities infeasible
+// (rendered as blank cells, exactly like the paper's table).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Configuration of the Table 1 harness.
+struct ConstructionCostConfig {
+  std::vector<size_t> cardinalities = {100, 500, 1000, 10000, 100000};
+  std::vector<size_t> serial_bucket_counts = {3, 5};
+  size_t end_biased_buckets = 10;
+  double zipf_skew = 1.0;
+  /// Skip a serial cell when C(M-1, beta-1) exceeds this (the paper's blank
+  /// cells).
+  uint64_t max_serial_candidates = 200'000'000ULL;
+  uint64_t seed = 3;
+};
+
+/// \brief One row of the cost table.
+struct ConstructionCostRow {
+  size_t num_values = 0;
+  /// Seconds per serial beta, in serial_bucket_counts order; nullopt = cell
+  /// skipped as infeasible.
+  std::vector<std::optional<double>> serial_seconds;
+  double end_biased_seconds = 0.0;
+};
+
+/// \brief Runs the timings.
+Result<std::vector<ConstructionCostRow>> MeasureConstructionCosts(
+    const ConstructionCostConfig& config);
+
+}  // namespace hops

@@ -1,0 +1,131 @@
+#include "experiments/join_sweeps.h"
+
+#include <cmath>
+
+#include "histogram/matrix_histogram.h"
+#include "query/chain_query.h"
+#include "stats/arrangement.h"
+#include "stats/zipf.h"
+#include "util/random.h"
+
+namespace hops {
+
+const char* SkewClassToString(SkewClass c) {
+  switch (c) {
+    case SkewClass::kLow:
+      return "low";
+    case SkewClass::kMixed:
+      return "mixed";
+    case SkewClass::kHigh:
+      return "high";
+  }
+  return "unknown";
+}
+
+std::vector<double> SkewCandidates(SkewClass c) {
+  switch (c) {
+    case SkewClass::kLow:
+      return {0.0, 0.1, 0.25, 0.5};
+    case SkewClass::kMixed:
+      return {0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0};
+    case SkewClass::kHigh:
+      return {1.0, 1.5, 2.0, 2.5, 3.0};
+  }
+  return {};
+}
+
+Result<JoinExperimentResult> RunJoinExperiment(
+    const JoinExperimentConfig& config) {
+  if (config.num_joins == 0) {
+    return Status::InvalidArgument("need at least one join");
+  }
+  if (config.domain_size == 0) {
+    return Status::InvalidArgument("domain_size must be positive");
+  }
+  if (config.num_arrangements == 0) {
+    return Status::InvalidArgument("num_arrangements must be positive");
+  }
+  if (config.num_queries == 0) {
+    return Status::InvalidArgument("num_queries must be positive");
+  }
+  const size_t num_relations = config.num_joins + 1;
+  const size_t m = config.domain_size;
+  Rng rng(config.seed);
+  const std::vector<double> candidates = SkewCandidates(config.skew_class);
+
+  JoinExperimentResult aggregate;
+  double total_sum = 0.0;
+  size_t total_used = 0;
+  for (size_t q = 0; q < config.num_queries; ++q) {
+
+    // Generate per-relation frequency sets: end relations are one-dimensional
+    // (M values), interior relations two-dimensional (M x M cells).
+    std::vector<FrequencySet> sets;
+    std::vector<std::pair<size_t, size_t>> shapes;  // rows x cols
+    sets.reserve(num_relations);
+    for (size_t j = 0; j < num_relations; ++j) {
+      double z = candidates[rng.NextBounded(candidates.size())];
+      aggregate.skews.push_back(z);
+      size_t rows, cols;
+      if (j == 0) {
+        rows = 1;
+        cols = m;
+      } else if (j + 1 == num_relations) {
+        rows = m;
+        cols = 1;
+      } else {
+        rows = m;
+        cols = m;
+      }
+      ZipfParams zp{config.total, rows * cols, z};
+      HOPS_ASSIGN_OR_RETURN(FrequencySet set,
+                            ZipfFrequencySet(zp, config.integer_frequencies));
+      sets.push_back(std::move(set));
+      shapes.emplace_back(rows, cols);
+    }
+
+    // Histograms are built once per relation, on the set alone — the
+    // v-optimality scenario where nothing about arrangements is known.
+    std::vector<Histogram> histograms;
+    histograms.reserve(num_relations);
+    for (const FrequencySet& set : sets) {
+      size_t beta = std::min(config.num_buckets, set.size());
+      HOPS_ASSIGN_OR_RETURN(
+          Histogram h,
+          BuildHistogramOfType(set, config.histogram_type, beta));
+      histograms.push_back(std::move(h));
+    }
+
+    double sum_rel_err = 0.0;
+    size_t used = 0;
+    for (size_t rep = 0; rep < config.num_arrangements; ++rep) {
+      std::vector<FrequencyMatrix> exact, approx;
+      exact.reserve(num_relations);
+      approx.reserve(num_relations);
+      for (size_t j = 0; j < num_relations; ++j) {
+        auto [rows, cols] = shapes[j];
+        std::vector<size_t> perm = rng.Permutation(rows * cols);
+        HOPS_ASSIGN_OR_RETURN(FrequencyMatrix fm,
+                              ArrangeAsMatrix(sets[j], rows, cols, perm));
+        HOPS_ASSIGN_OR_RETURN(
+            FrequencyMatrix am,
+            ApproximateArrangedMatrix(histograms[j], rows, cols, perm));
+        exact.push_back(std::move(fm));
+        approx.push_back(std::move(am));
+      }
+      HOPS_ASSIGN_OR_RETURN(double s, ChainResultSize(exact));
+      HOPS_ASSIGN_OR_RETURN(double s_approx, ChainResultSize(approx));
+      if (s <= 0) continue;
+      sum_rel_err += std::fabs(s - s_approx) / s;
+      ++used;
+    }
+    total_sum += sum_rel_err;
+    total_used += used;
+  }  // query instances
+  aggregate.arrangements_used = total_used;
+  aggregate.mean_relative_error =
+      total_used > 0 ? total_sum / static_cast<double>(total_used) : 0.0;
+  return aggregate;
+}
+
+}  // namespace hops

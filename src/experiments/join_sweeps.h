@@ -1,0 +1,59 @@
+// Multi-join error experiments (Section 5.2, Figures 6-7).
+//
+// Chain queries with N joins over relations with Zipf frequency sets whose
+// skews are drawn from a class-specific candidate set. Histograms are built
+// per relation on the frequency set alone (the v-optimality setting); errors
+// are averaged over random arrangements of every relation's set onto its
+// matrix. Metric: the mean relative error E[|S - S'| / S].
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "experiments/self_join_sweeps.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Query skew classes of Section 5.2.
+enum class SkewClass {
+  kLow,    ///< z drawn from {0.0, 0.1, 0.25, 0.5}.
+  kMixed,  ///< z drawn from the full set.
+  kHigh,   ///< z drawn from {1.0, 1.5, 2.0, 2.5, 3.0}.
+};
+
+const char* SkewClassToString(SkewClass c);
+
+/// \brief The z candidates a class draws from.
+std::vector<double> SkewCandidates(SkewClass c);
+
+/// \brief One Figure 6/7 configuration.
+struct JoinExperimentConfig {
+  size_t num_joins = 5;          ///< N (so N+1 relations).
+  size_t num_buckets = 5;        ///< beta, same for every relation.
+  size_t domain_size = 10;       ///< Join-attribute domain M (paper: 10).
+  double total = 1000.0;         ///< Relation size T.
+  SkewClass skew_class = SkewClass::kMixed;
+  size_t num_arrangements = 20;  ///< Paper: twenty permutations.
+  /// Independent query instances (fresh per-relation skew draws) averaged
+  /// together. The paper reports one instance per point; more instances
+  /// smooth the curves without changing their shape.
+  size_t num_queries = 1;
+  uint64_t seed = 0x3057;
+  HistogramType histogram_type = HistogramType::kVOptEndBiased;
+  bool integer_frequencies = false;
+};
+
+/// \brief Experiment outcome.
+struct JoinExperimentResult {
+  double mean_relative_error = 0.0;  ///< E[|S - S'| / S].
+  size_t arrangements_used = 0;      ///< Arrangements with S > 0.
+  std::vector<double> skews;         ///< z drawn for each relation.
+};
+
+/// \brief Runs one configuration.
+Result<JoinExperimentResult> RunJoinExperiment(
+    const JoinExperimentConfig& config);
+
+}  // namespace hops

@@ -1,0 +1,81 @@
+#include "experiments/range_sweeps.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+#include "util/random.h"
+
+namespace hops {
+
+namespace {
+
+bool ValueOrderDependent(HistogramType type) {
+  return type == HistogramType::kEquiWidth ||
+         type == HistogramType::kEquiDepth;
+}
+
+}  // namespace
+
+Result<double> RangeSelectionRmse(const FrequencySet& set,
+                                  const RangeExperimentConfig& config) {
+  const size_t m = set.size();
+  if (m == 0) {
+    return Status::InvalidArgument("frequency set must be non-empty");
+  }
+  if (config.num_arrangements == 0 || config.num_ranges == 0) {
+    return Status::InvalidArgument(
+        "num_arrangements and num_ranges must be positive");
+  }
+  Rng rng(config.seed);
+
+  // For value-order-independent types the histogram (and hence each set
+  // entry's approximation) is fixed across arrangements.
+  std::vector<Frequency> fixed_approx;
+  if (!ValueOrderDependent(config.histogram_type)) {
+    HOPS_ASSIGN_OR_RETURN(
+        Histogram hist,
+        BuildHistogramOfType(set, config.histogram_type,
+                             std::min(config.num_buckets, m)));
+    fixed_approx = hist.ApproximateFrequencies();
+  }
+
+  KahanSum sum_sq;
+  size_t samples = 0;
+  for (size_t rep = 0; rep < config.num_arrangements; ++rep) {
+    std::vector<size_t> perm = rng.Permutation(m);  // entry i -> position
+    // Frequencies and their approximations laid out in value order.
+    std::vector<Frequency> truth(m), approx(m);
+    for (size_t i = 0; i < m; ++i) truth[perm[i]] = set[i];
+    if (ValueOrderDependent(config.histogram_type)) {
+      HOPS_ASSIGN_OR_RETURN(FrequencySet arranged,
+                            FrequencySet::Make(truth));
+      HOPS_ASSIGN_OR_RETURN(
+          Histogram hist,
+          BuildHistogramOfType(arranged, config.histogram_type,
+                               std::min(config.num_buckets, m)));
+      approx = hist.ApproximateFrequencies();
+    } else {
+      for (size_t i = 0; i < m; ++i) approx[perm[i]] = fixed_approx[i];
+    }
+    // Prefix sums make each range O(1).
+    std::vector<double> truth_prefix(m + 1, 0.0), approx_prefix(m + 1, 0.0);
+    for (size_t v = 0; v < m; ++v) {
+      truth_prefix[v + 1] = truth_prefix[v] + truth[v];
+      approx_prefix[v + 1] = approx_prefix[v] + approx[v];
+    }
+    for (size_t r = 0; r < config.num_ranges; ++r) {
+      size_t a = static_cast<size_t>(rng.NextBounded(m));
+      size_t b = static_cast<size_t>(rng.NextBounded(m));
+      if (a > b) std::swap(a, b);
+      double exact = truth_prefix[b + 1] - truth_prefix[a];
+      double est = approx_prefix[b + 1] - approx_prefix[a];
+      double err = exact - est;
+      sum_sq.Add(err * err);
+      ++samples;
+    }
+  }
+  return std::sqrt(sum_sq.Value() / static_cast<double>(samples));
+}
+
+}  // namespace hops

@@ -1,0 +1,33 @@
+// Range-selection error experiments (Section 6).
+//
+// The paper closes by observing that range selections are disjunctive
+// equality selections over the values in the range, so serial histograms
+// are v-optimal for general selections as well. This harness measures
+// sqrt(E[(S - S')^2]) for random range predicates under random arrangements
+// of the frequency set over the value domain, per histogram type.
+
+#pragma once
+
+#include <cstdint>
+
+#include "experiments/self_join_sweeps.h"
+#include "stats/frequency_set.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Controls for the range experiment.
+struct RangeExperimentConfig {
+  size_t num_buckets = 5;
+  size_t num_arrangements = 30;  ///< Random value<->frequency assignments.
+  size_t num_ranges = 50;        ///< Random [lo, hi] ranges per arrangement.
+  uint64_t seed = 0x6a6e;
+  HistogramType histogram_type = HistogramType::kVOptEndBiased;
+};
+
+/// \brief RMS error of range-count estimates over random ranges and
+/// arrangements: sqrt(E[(true count - estimated count)^2]).
+Result<double> RangeSelectionRmse(const FrequencySet& set,
+                                  const RangeExperimentConfig& config);
+
+}  // namespace hops

@@ -1,0 +1,88 @@
+#include "experiments/self_join_sweeps.h"
+
+#include <cmath>
+
+#include "histogram/self_join.h"
+#include "util/random.h"
+
+namespace hops {
+
+const char* HistogramTypeToString(HistogramType type) {
+  switch (type) {
+    case HistogramType::kTrivial:
+      return "trivial";
+    case HistogramType::kEquiWidth:
+      return "equi-width";
+    case HistogramType::kEquiDepth:
+      return "equi-depth";
+    case HistogramType::kVOptEndBiased:
+      return "end-biased";
+    case HistogramType::kVOptSerial:
+      return "serial";
+    case HistogramType::kVOptSerialDP:
+      return "serial-dp";
+  }
+  return "unknown";
+}
+
+Result<Histogram> BuildHistogramOfType(
+    const FrequencySet& set, HistogramType type, size_t num_buckets,
+    const VOptSerialOptions& serial_options) {
+  switch (type) {
+    case HistogramType::kTrivial:
+      return BuildTrivialHistogram(set);
+    case HistogramType::kEquiWidth:
+      return BuildEquiWidthHistogram(set, num_buckets);
+    case HistogramType::kEquiDepth:
+      return BuildEquiDepthHistogram(set, num_buckets);
+    case HistogramType::kVOptEndBiased:
+      return BuildVOptEndBiased(set, num_buckets);
+    case HistogramType::kVOptSerial:
+      return BuildVOptSerialExhaustive(set, num_buckets, serial_options);
+    case HistogramType::kVOptSerialDP:
+      return BuildVOptSerialDP(set, num_buckets);
+  }
+  return Status::InvalidArgument("unknown histogram type");
+}
+
+namespace {
+
+bool ValueOrderDependent(HistogramType type) {
+  return type == HistogramType::kEquiWidth ||
+         type == HistogramType::kEquiDepth;
+}
+
+}  // namespace
+
+Result<double> SelfJoinSigma(const FrequencySet& set, HistogramType type,
+                             size_t num_buckets,
+                             const SelfJoinSigmaOptions& options) {
+  if (!ValueOrderDependent(type)) {
+    // Deterministic: the self-join error depends only on the bucketization
+    // of the frequency multiset.
+    HOPS_ASSIGN_OR_RETURN(Histogram hist,
+                          BuildHistogramOfType(set, type, num_buckets));
+    return SelfJoinError(hist);
+  }
+  if (options.num_arrangements == 0) {
+    return Status::InvalidArgument("num_arrangements must be positive");
+  }
+  // Average (S - S')^2 over random assignments of frequencies to value
+  // positions.
+  Rng rng(options.seed);
+  double sum_sq = 0.0;
+  for (size_t rep = 0; rep < options.num_arrangements; ++rep) {
+    std::vector<size_t> perm = rng.Permutation(set.size());
+    std::vector<Frequency> reordered(set.size());
+    for (size_t i = 0; i < set.size(); ++i) reordered[perm[i]] = set[i];
+    HOPS_ASSIGN_OR_RETURN(FrequencySet shuffled,
+                          FrequencySet::Make(std::move(reordered)));
+    HOPS_ASSIGN_OR_RETURN(Histogram hist,
+                          BuildHistogramOfType(shuffled, type, num_buckets));
+    double err = SelfJoinError(hist);
+    sum_sq += err * err;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(options.num_arrangements));
+}
+
+}  // namespace hops

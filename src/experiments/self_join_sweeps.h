@@ -1,0 +1,55 @@
+// Self-join error experiments (Section 5.1, Figures 3-5).
+//
+// The experiments compare five histogram types on self-join queries and
+// report sigma = sqrt(E[(S - S')^2]). For the frequency-based histograms
+// (trivial, v-optimal serial, v-optimal end-biased) the self-join error is
+// independent of which domain value carries which frequency, so sigma is the
+// deterministic S - S' = sum_i P_i V_i. Equi-width and equi-depth bucketize
+// by *value* order, and the paper models "no correlation between the natural
+// ordering of the domain values and the ordering of their frequencies" — so
+// their sigma is the RMS error over random value arrangements.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "histogram/builders.h"
+#include "stats/frequency_set.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief The five histogram types of Section 5 (plus the DP serial
+/// extension).
+enum class HistogramType {
+  kTrivial,
+  kEquiWidth,
+  kEquiDepth,
+  kVOptEndBiased,
+  kVOptSerial,    ///< Exhaustive V-OptHist; exponential, small beta only.
+  kVOptSerialDP,  ///< Same optimum via dynamic programming.
+};
+
+const char* HistogramTypeToString(HistogramType type);
+
+/// \brief Builds a histogram of \p type with \p num_buckets over \p set.
+/// The set's stored order is taken as the value order (relevant for
+/// equi-width / equi-depth only).
+Result<Histogram> BuildHistogramOfType(
+    const FrequencySet& set, HistogramType type, size_t num_buckets,
+    const VOptSerialOptions& serial_options = {});
+
+/// \brief Monte-Carlo controls for the value-order-dependent types.
+struct SelfJoinSigmaOptions {
+  size_t num_arrangements = 50;
+  uint64_t seed = 0x5e1f101;
+};
+
+/// \brief sigma = sqrt(E[(S - S')^2]) for a self-join of a relation with
+/// frequency set \p set under the given histogram type.
+Result<double> SelfJoinSigma(const FrequencySet& set, HistogramType type,
+                             size_t num_buckets,
+                             const SelfJoinSigmaOptions& options = {});
+
+}  // namespace hops

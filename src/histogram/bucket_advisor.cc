@@ -1,0 +1,47 @@
+#include "histogram/bucket_advisor.h"
+
+#include <algorithm>
+
+#include "histogram/builders.h"
+#include "histogram/self_join.h"
+
+namespace hops {
+
+Result<BucketAdvice> AdviseBucketCount(const FrequencySet& set,
+                                       const AdvisorOptions& options) {
+  if (set.empty()) {
+    return Status::InvalidArgument("cannot advise on an empty frequency set");
+  }
+  if (options.max_buckets == 0) {
+    return Status::InvalidArgument("max_buckets must be positive");
+  }
+  if (!(options.max_relative_error >= 0)) {
+    return Status::InvalidArgument("max_relative_error must be >= 0");
+  }
+  BucketAdvice advice;
+  advice.self_join_size = ExactSelfJoinSize(set);
+  const size_t beta_cap = std::min(options.max_buckets, set.size());
+  for (size_t beta = 1; beta <= beta_cap; ++beta) {
+    // The serial class uses the divide-and-conquer DP: identical optimum to
+    // the exhaustive construction, cheap enough to sweep beta upward.
+    Result<Histogram> hist =
+        options.histogram_class == AdvisorClass::kEndBiased
+            ? BuildVOptEndBiased(set, beta)
+            : BuildVOptSerialDPFast(set, beta);
+    HOPS_RETURN_NOT_OK(hist.status());
+    double abs_err = SelfJoinError(*hist);
+    double rel_err =
+        advice.self_join_size > 0 ? abs_err / advice.self_join_size : 0.0;
+    advice.error_curve.push_back(rel_err);
+    advice.num_buckets = beta;
+    advice.absolute_error = abs_err;
+    advice.relative_error = rel_err;
+    if (rel_err <= options.max_relative_error) {
+      advice.tolerance_met = true;
+      break;
+    }
+  }
+  return advice;
+}
+
+}  // namespace hops

@@ -1,0 +1,52 @@
+// Bucket-count advisor (Section 3.1, discussion under Proposition 3.1).
+//
+// "By applying the error formula to histograms of various numbers of
+// buckets, administrators can determine the minimum number of buckets
+// required for tolerable errors." This module automates exactly that: sweep
+// beta upward, build the v-optimal histogram of the requested class, and
+// stop at the first beta whose self-join error meets the tolerance. Close-to
+// -uniform distributions report one or two buckets, as the paper predicts.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/frequency_set.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Which histogram class the advisor optimizes within.
+enum class AdvisorClass {
+  kEndBiased,  ///< V-OptBiasHist per beta (cheap; the practical default).
+  kSerial,     ///< V-OptHistDP per beta (tighter errors, costlier).
+};
+
+/// \brief Advisor inputs.
+struct AdvisorOptions {
+  /// Stop at the first beta whose relative self-join error
+  /// (S - S') / S falls at or below this threshold.
+  double max_relative_error = 0.05;
+  /// Never recommend more than this many buckets.
+  size_t max_buckets = 64;
+  AdvisorClass histogram_class = AdvisorClass::kEndBiased;
+};
+
+/// \brief Advisor output.
+struct BucketAdvice {
+  size_t num_buckets = 1;      ///< Recommended beta.
+  double absolute_error = 0.0; ///< S - S' at the recommendation.
+  double relative_error = 0.0; ///< (S - S') / S; 0 when S == 0.
+  double self_join_size = 0.0; ///< Exact S.
+  bool tolerance_met = false;  ///< False when max_buckets was hit first.
+  /// relative error for each beta examined (index 0 -> beta = 1).
+  std::vector<double> error_curve;
+};
+
+/// \brief Recommends the number of buckets needed for tolerable error on
+/// \p set, per Proposition 3.1.
+Result<BucketAdvice> AdviseBucketCount(const FrequencySet& set,
+                                       const AdvisorOptions& options = {});
+
+}  // namespace hops

@@ -1,0 +1,89 @@
+#include "histogram/bucketization.h"
+
+#include <limits>
+
+namespace hops {
+
+Result<Bucketization> Bucketization::FromAssignments(
+    std::vector<uint32_t> bucket_of, size_t num_buckets) {
+  if (bucket_of.empty()) {
+    return Status::InvalidArgument("bucketization needs at least one item");
+  }
+  if (num_buckets == 0 || num_buckets > bucket_of.size()) {
+    return Status::InvalidArgument(
+        "num_buckets must be in [1, num_items]; got " +
+        std::to_string(num_buckets));
+  }
+  if (num_buckets > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("too many buckets");
+  }
+  std::vector<bool> used(num_buckets, false);
+  for (uint32_t b : bucket_of) {
+    if (b >= num_buckets) {
+      return Status::InvalidArgument("bucket id out of range: " +
+                                     std::to_string(b));
+    }
+    used[b] = true;
+  }
+  for (size_t b = 0; b < num_buckets; ++b) {
+    if (!used[b]) {
+      return Status::InvalidArgument("bucket " + std::to_string(b) +
+                                     " is empty");
+    }
+  }
+  return Bucketization(std::move(bucket_of), num_buckets);
+}
+
+Result<Bucketization> Bucketization::SingleBucket(size_t num_items) {
+  if (num_items == 0) {
+    return Status::InvalidArgument("bucketization needs at least one item");
+  }
+  return Bucketization(std::vector<uint32_t>(num_items, 0), 1);
+}
+
+Result<Bucketization> Bucketization::FromOrderedPartition(
+    std::span<const size_t> order, std::span<const size_t> part_ends) {
+  const size_t n = order.size();
+  if (n == 0) {
+    return Status::InvalidArgument("bucketization needs at least one item");
+  }
+  if (part_ends.empty() || part_ends.back() != n) {
+    return Status::InvalidArgument(
+        "part_ends must be non-empty and end at num_items");
+  }
+  std::vector<uint32_t> bucket_of(n, 0);
+  std::vector<bool> seen(n, false);
+  size_t begin = 0;
+  for (size_t k = 0; k < part_ends.size(); ++k) {
+    size_t end = part_ends[k];
+    if (end <= begin || end > n) {
+      return Status::InvalidArgument("part_ends must be strictly increasing");
+    }
+    for (size_t pos = begin; pos < end; ++pos) {
+      size_t item = order[pos];
+      if (item >= n || seen[item]) {
+        return Status::InvalidArgument("order must be a permutation");
+      }
+      seen[item] = true;
+      bucket_of[item] = static_cast<uint32_t>(k);
+    }
+    begin = end;
+  }
+  return Bucketization(std::move(bucket_of), part_ends.size());
+}
+
+std::vector<std::vector<size_t>> Bucketization::BucketMembers() const {
+  std::vector<std::vector<size_t>> members(num_buckets_);
+  for (size_t i = 0; i < bucket_of_.size(); ++i) {
+    members[bucket_of_[i]].push_back(i);
+  }
+  return members;
+}
+
+std::vector<size_t> Bucketization::BucketSizes() const {
+  std::vector<size_t> sizes(num_buckets_, 0);
+  for (uint32_t b : bucket_of_) ++sizes[b];
+  return sizes;
+}
+
+}  // namespace hops

@@ -1,0 +1,68 @@
+// Bucketizations: partitions of a frequency set's entries into buckets
+// (Section 2.3).
+//
+// The paper allows *any* subset of domain values to form a bucket — bucket
+// membership is an arbitrary assignment, not a range. A Bucketization
+// therefore maps every item index (an entry of a frequency set, or a flat
+// cell of a frequency matrix) to a bucket id. Histogram classes (serial,
+// biased, end-biased, ...) are properties of the induced grouping of
+// frequencies, checked on the Histogram object.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Partition of item indices [0, num_items) into num_buckets
+/// non-empty buckets.
+class Bucketization {
+ public:
+  Bucketization() = default;
+
+  /// From an explicit assignment: bucket_of[i] is item i's bucket id.
+  /// Every id in [0, num_buckets) must be used at least once.
+  static Result<Bucketization> FromAssignments(
+      std::vector<uint32_t> bucket_of, size_t num_buckets);
+
+  /// Single-bucket partition of \p num_items items.
+  static Result<Bucketization> SingleBucket(size_t num_items);
+
+  /// From a contiguous partition of a *reordered* item sequence.
+  ///
+  /// \p order lists item indices in the order that was partitioned (for
+  /// serial histograms: indices sorted by frequency); \p part_ends are the
+  /// exclusive end positions of each part within that order (as produced by
+  /// ContiguousPartitionEnumerator). Bucket k receives the items
+  /// order[part_ends[k-1] .. part_ends[k]).
+  static Result<Bucketization> FromOrderedPartition(
+      std::span<const size_t> order, std::span<const size_t> part_ends);
+
+  size_t num_items() const { return bucket_of_.size(); }
+  size_t num_buckets() const { return num_buckets_; }
+
+  uint32_t bucket_of(size_t item) const { return bucket_of_[item]; }
+  std::span<const uint32_t> assignments() const { return bucket_of_; }
+
+  /// Expands the partition into per-bucket member lists (ascending item
+  /// indices).
+  std::vector<std::vector<size_t>> BucketMembers() const;
+
+  /// Number of items in each bucket.
+  std::vector<size_t> BucketSizes() const;
+
+  bool operator==(const Bucketization& other) const = default;
+
+ private:
+  Bucketization(std::vector<uint32_t> bucket_of, size_t num_buckets)
+      : bucket_of_(std::move(bucket_of)), num_buckets_(num_buckets) {}
+
+  std::vector<uint32_t> bucket_of_;
+  size_t num_buckets_ = 0;
+};
+
+}  // namespace hops

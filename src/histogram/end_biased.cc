@@ -1,0 +1,51 @@
+#include "histogram/builders.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hops {
+
+Result<Histogram> BuildEndBiasedHistogram(FrequencySet set, size_t num_high,
+                                          size_t num_low) {
+  const size_t m = set.size();
+  if (m == 0) {
+    return Status::InvalidArgument("cannot bucketize an empty set");
+  }
+  if (num_high + num_low > m) {
+    return Status::InvalidArgument(
+        "num_high + num_low exceeds the number of values");
+  }
+  // Order indices by (frequency, index) so ties resolve deterministically.
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (set[a] != set[b]) return set[a] < set[b];
+    return a < b;
+  });
+
+  const size_t mid = m - num_high - num_low;
+  const size_t num_buckets = num_high + num_low + (mid > 0 ? 1 : 0);
+  std::vector<uint32_t> bucket_of(m);
+  uint32_t next_bucket = 0;
+  // Lowest num_low values: singleton univalued buckets.
+  for (size_t pos = 0; pos < num_low; ++pos) {
+    bucket_of[order[pos]] = next_bucket++;
+  }
+  // Middle values: one shared multivalued bucket (if any).
+  if (mid > 0) {
+    uint32_t shared = next_bucket++;
+    for (size_t pos = num_low; pos < num_low + mid; ++pos) {
+      bucket_of[order[pos]] = shared;
+    }
+  }
+  // Highest num_high values: singleton univalued buckets.
+  for (size_t pos = num_low + mid; pos < m; ++pos) {
+    bucket_of[order[pos]] = next_bucket++;
+  }
+  HOPS_ASSIGN_OR_RETURN(
+      Bucketization bz,
+      Bucketization::FromAssignments(std::move(bucket_of), num_buckets));
+  return Histogram::Make(std::move(set), std::move(bz), "end-biased");
+}
+
+}  // namespace hops

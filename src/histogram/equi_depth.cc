@@ -1,0 +1,66 @@
+#include "histogram/builders.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace hops {
+
+Result<Histogram> BuildEquiDepthHistogram(FrequencySet set,
+                                          size_t num_buckets) {
+  const size_t m = set.size();
+  if (m == 0) {
+    return Status::InvalidArgument("cannot bucketize an empty set");
+  }
+  if (num_buckets == 0 || num_buckets > m) {
+    return Status::InvalidArgument(
+        "num_buckets must be in [1, M]; got " + std::to_string(num_buckets) +
+        " for M=" + std::to_string(m));
+  }
+  const double total = set.Total();
+  // Tuple-quantile semantics (Piatetsky-Shapiro & Connell): the sorted tuple
+  // stream is cut at the depth boundaries k * T / beta, and a value belongs
+  // to the bucket containing the midpoint of its tuple run. A value heavier
+  // than the bucket depth therefore occupies (the core of) its own
+  // bucket(s) — which is what makes equi-depth degrade gracefully at high
+  // skew. Buckets that end up owning no value midpoint are dropped, so the
+  // result may have fewer than num_buckets buckets (all non-empty).
+  const double width = total / static_cast<double>(num_buckets);
+  std::vector<uint32_t> raw(m, 0);
+  KahanSum cum;
+  uint32_t prev = 0;
+  for (size_t i = 0; i < m; ++i) {
+    double start = cum.Value();
+    cum.Add(set[i]);
+    uint32_t bucket;
+    if (width > 0) {
+      double mid = start + set[i] / 2.0;
+      bucket = static_cast<uint32_t>(std::min<double>(
+          static_cast<double>(num_buckets - 1), std::floor(mid / width)));
+    } else {
+      bucket = 0;
+    }
+    bucket = std::max(bucket, prev);  // value order keeps buckets contiguous
+    raw[i] = bucket;
+    prev = bucket;
+  }
+  // Renumber to drop empty bucket ids.
+  std::vector<uint32_t> remap(num_buckets, 0);
+  uint32_t next_id = 0;
+  uint32_t last_raw = raw[0];
+  remap[last_raw] = next_id++;
+  for (size_t i = 1; i < m; ++i) {
+    if (raw[i] != last_raw) {
+      last_raw = raw[i];
+      remap[last_raw] = next_id++;
+    }
+  }
+  for (auto& b : raw) b = remap[b];
+  HOPS_ASSIGN_OR_RETURN(Bucketization bz,
+                        Bucketization::FromAssignments(std::move(raw),
+                                                       next_id));
+  return Histogram::Make(std::move(set), std::move(bz), "equi-depth");
+}
+
+}  // namespace hops

@@ -1,0 +1,34 @@
+#include "histogram/builders.h"
+
+namespace hops {
+
+Result<Histogram> BuildEquiWidthHistogram(FrequencySet set,
+                                          size_t num_buckets) {
+  const size_t m = set.size();
+  if (m == 0) {
+    return Status::InvalidArgument("cannot bucketize an empty set");
+  }
+  if (num_buckets == 0 || num_buckets > m) {
+    return Status::InvalidArgument(
+        "num_buckets must be in [1, M]; got " + std::to_string(num_buckets) +
+        " for M=" + std::to_string(m));
+  }
+  // Divide the value order into num_buckets ranges whose sizes differ by at
+  // most one (the first m % num_buckets ranges get the extra value).
+  std::vector<uint32_t> bucket_of(m);
+  const size_t base = m / num_buckets;
+  const size_t extra = m % num_buckets;
+  size_t pos = 0;
+  for (size_t b = 0; b < num_buckets; ++b) {
+    size_t width = base + (b < extra ? 1 : 0);
+    for (size_t i = 0; i < width; ++i) {
+      bucket_of[pos++] = static_cast<uint32_t>(b);
+    }
+  }
+  HOPS_ASSIGN_OR_RETURN(
+      Bucketization bz,
+      Bucketization::FromAssignments(std::move(bucket_of), num_buckets));
+  return Histogram::Make(std::move(set), std::move(bz), "equi-width");
+}
+
+}  // namespace hops

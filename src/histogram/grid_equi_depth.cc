@@ -1,0 +1,102 @@
+#include "histogram/grid_equi_depth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hops {
+
+namespace {
+
+// Tuple-quantile band assignment for a sequence of weights: element i goes
+// to the band containing the midpoint of its weight run (same rule as the
+// 1-D equi-depth builder). Bands are clamped non-decreasing so the
+// partition stays contiguous.
+std::vector<uint32_t> AssignBands(const std::vector<double>& weights,
+                                  size_t num_bands) {
+  double total = 0;
+  for (double w : weights) total += w;
+  const double width =
+      num_bands > 0 ? total / static_cast<double>(num_bands) : 0.0;
+  std::vector<uint32_t> band(weights.size(), 0);
+  double cum = 0;
+  uint32_t prev = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    double start = cum;
+    cum += weights[i];
+    uint32_t b = 0;
+    if (width > 0) {
+      double mid = start + weights[i] / 2.0;
+      b = static_cast<uint32_t>(std::min<double>(
+          static_cast<double>(num_bands - 1), std::floor(mid / width)));
+    }
+    b = std::max(b, prev);
+    band[i] = b;
+    prev = b;
+  }
+  return band;
+}
+
+}  // namespace
+
+Result<Bucketization> BuildGridEquiDepthBucketization(
+    const FrequencyMatrix& matrix, size_t row_buckets, size_t col_buckets) {
+  const size_t rows = matrix.rows();
+  const size_t cols = matrix.cols();
+  if (row_buckets == 0 || row_buckets > rows) {
+    return Status::InvalidArgument(
+        "row_buckets must be in [1, rows]; got " +
+        std::to_string(row_buckets) + " for " + std::to_string(rows));
+  }
+  if (col_buckets == 0 || col_buckets > cols) {
+    return Status::InvalidArgument(
+        "col_buckets must be in [1, cols]; got " +
+        std::to_string(col_buckets) + " for " + std::to_string(cols));
+  }
+  // Strip assignment from row marginals.
+  std::vector<double> row_totals(rows, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) row_totals[r] += matrix.At(r, c);
+  }
+  std::vector<uint32_t> strip = AssignBands(row_totals, row_buckets);
+  const uint32_t num_strips = strip.empty() ? 0 : strip.back() + 1;
+
+  // Per-strip column bands from the strip's column marginals.
+  std::vector<uint32_t> raw(rows * cols, 0);
+  for (uint32_t s = 0; s < num_strips; ++s) {
+    std::vector<double> col_totals(cols, 0.0);
+    for (size_t r = 0; r < rows; ++r) {
+      if (strip[r] != s) continue;
+      for (size_t c = 0; c < cols; ++c) col_totals[c] += matrix.At(r, c);
+    }
+    std::vector<uint32_t> band = AssignBands(col_totals, col_buckets);
+    for (size_t r = 0; r < rows; ++r) {
+      if (strip[r] != s) continue;
+      for (size_t c = 0; c < cols; ++c) {
+        raw[r * cols + c] =
+            s * static_cast<uint32_t>(col_buckets) + band[c];
+      }
+    }
+  }
+  // Renumber to dense ids in first-occurrence order.
+  std::vector<uint32_t> remap(num_strips * col_buckets,
+                              std::numeric_limits<uint32_t>::max());
+  uint32_t next_id = 0;
+  for (auto& b : raw) {
+    if (remap[b] == std::numeric_limits<uint32_t>::max()) {
+      remap[b] = next_id++;
+    }
+    b = remap[b];
+  }
+  return Bucketization::FromAssignments(std::move(raw), next_id);
+}
+
+Result<MatrixHistogram> BuildGridEquiDepthHistogram(
+    const FrequencyMatrix& matrix, size_t row_buckets, size_t col_buckets) {
+  HOPS_ASSIGN_OR_RETURN(
+      Bucketization bz,
+      BuildGridEquiDepthBucketization(matrix, row_buckets, col_buckets));
+  return MatrixHistogram::Make(matrix, std::move(bz), "grid-equi-depth");
+}
+
+}  // namespace hops

@@ -1,0 +1,32 @@
+// Multi-dimensional equi-depth histograms (Muralikrishna & DeWitt 1988),
+// the multi-attribute baseline the paper cites for selection queries.
+//
+// The 2-D variant recursively partitions: rows are cut into strips of
+// approximately equal total frequency (tuple-quantile midpoints over the
+// row marginals), then each strip's columns are cut the same way using the
+// strip's column marginals. Every (strip, column-band) rectangle becomes one
+// bucket of the flattened cell space, so the result plugs into the same
+// Bucketization / MatrixHistogram machinery as every other class — and can
+// be compared head-to-head against serial histograms on 2-D matrices.
+
+#pragma once
+
+#include "histogram/bucketization.h"
+#include "histogram/matrix_histogram.h"
+#include "stats/frequency_matrix.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Grid equi-depth bucketization of \p matrix with at most
+/// \p row_buckets strips and \p col_buckets bands per strip. Bands that end
+/// up owning no cells are merged away, so the bucket count may be smaller
+/// than row_buckets * col_buckets (every bucket non-empty).
+Result<Bucketization> BuildGridEquiDepthBucketization(
+    const FrequencyMatrix& matrix, size_t row_buckets, size_t col_buckets);
+
+/// \brief Convenience wrapper returning the MatrixHistogram.
+Result<MatrixHistogram> BuildGridEquiDepthHistogram(
+    const FrequencyMatrix& matrix, size_t row_buckets, size_t col_buckets);
+
+}  // namespace hops

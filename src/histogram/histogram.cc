@@ -1,0 +1,174 @@
+#include "histogram/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "util/math.h"
+
+namespace hops {
+
+bool BucketStats::univalued() const { return count > 0 && min == max; }
+
+Result<Histogram> Histogram::Make(FrequencySet set,
+                                  Bucketization bucketization,
+                                  std::string label) {
+  if (set.size() != bucketization.num_items()) {
+    return Status::InvalidArgument(
+        "bucketization covers " + std::to_string(bucketization.num_items()) +
+        " items but the frequency set has " + std::to_string(set.size()));
+  }
+  const size_t beta = bucketization.num_buckets();
+  std::vector<BucketMoments> moments(beta);
+  std::vector<double> mins(beta, std::numeric_limits<double>::infinity());
+  std::vector<double> maxs(beta, -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < set.size(); ++i) {
+    uint32_t b = bucketization.bucket_of(i);
+    double f = set[i];
+    moments[b].Add(f);
+    mins[b] = std::min(mins[b], f);
+    maxs[b] = std::max(maxs[b], f);
+  }
+  std::vector<BucketStats> stats(beta);
+  for (size_t b = 0; b < beta; ++b) {
+    stats[b].count = moments[b].count();
+    stats[b].sum = moments[b].sum();
+    stats[b].sum_squares = moments[b].sum_of_squares();
+    stats[b].mean = moments[b].mean();
+    stats[b].variance = moments[b].population_variance();
+    stats[b].min = mins[b];
+    stats[b].max = maxs[b];
+  }
+  return Histogram(std::move(set), std::move(bucketization),
+                   std::move(label), std::move(stats));
+}
+
+double Histogram::ApproxFrequency(size_t index,
+                                  BucketAverageMode mode) const {
+  double mean = stats_[bucketization_.bucket_of(index)].mean;
+  if (mode == BucketAverageMode::kRoundToInteger) {
+    return std::round(mean);
+  }
+  return mean;
+}
+
+std::vector<Frequency> Histogram::ApproximateFrequencies(
+    BucketAverageMode mode) const {
+  std::vector<Frequency> out(set_.size());
+  for (size_t i = 0; i < set_.size(); ++i) {
+    out[i] = ApproxFrequency(i, mode);
+  }
+  return out;
+}
+
+bool Histogram::IsSerial() const {
+  // Weak seriality: order buckets by (min, max); consecutive buckets may
+  // share at most the boundary frequency.
+  std::vector<const BucketStats*> order;
+  order.reserve(stats_.size());
+  for (const auto& s : stats_) order.push_back(&s);
+  std::sort(order.begin(), order.end(),
+            [](const BucketStats* a, const BucketStats* b) {
+              if (a->min != b->min) return a->min < b->min;
+              return a->max < b->max;
+            });
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    if (order[i]->max > order[i + 1]->min) return false;
+  }
+  return true;
+}
+
+bool Histogram::IsStrictlySerial() const {
+  std::vector<const BucketStats*> order;
+  order.reserve(stats_.size());
+  for (const auto& s : stats_) order.push_back(&s);
+  std::sort(order.begin(), order.end(),
+            [](const BucketStats* a, const BucketStats* b) {
+              return a->min < b->min;
+            });
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    if (order[i]->max >= order[i + 1]->min) return false;
+  }
+  return true;
+}
+
+bool Histogram::IsBiased() const {
+  size_t multivalued = 0;
+  for (const auto& s : stats_) {
+    if (!s.univalued()) ++multivalued;
+  }
+  return multivalued <= 1;
+}
+
+bool Histogram::IsEndBiased() const {
+  if (!IsBiased()) return false;
+  if (num_buckets() == 1) return true;  // Trivial histogram: vacuously.
+  // Gather the multiset of frequencies held in univalued buckets and check
+  // it equals some (h highest) ∪ (l lowest) of the whole set.
+  std::vector<Frequency> univalued_freqs;
+  std::vector<std::vector<size_t>> members = bucketization_.BucketMembers();
+  for (size_t b = 0; b < stats_.size(); ++b) {
+    if (stats_[b].univalued()) {
+      // A univalued bucket may hold several equal frequencies.
+      for (size_t item : members[b]) univalued_freqs.push_back(set_[item]);
+    }
+  }
+  // If every bucket is univalued, treat the one that would play the
+  // "multivalued" role as exempt: the histogram is end-biased iff removing
+  // some single bucket leaves top/bottom runs. Simplest correct rule: try
+  // exempting each univalued bucket in turn (plus the no-exemption case
+  // when a genuinely multivalued bucket exists).
+  auto matches_ends = [&](std::vector<Frequency> freqs) {
+    std::sort(freqs.begin(), freqs.end());
+    std::vector<Frequency> asc = set_.Sorted();
+    const size_t u = freqs.size();
+    for (size_t low = 0; low <= u; ++low) {
+      size_t high = u - low;
+      // Candidate multiset: lowest `low` and highest `high` of asc.
+      std::vector<Frequency> cand;
+      cand.reserve(u);
+      for (size_t i = 0; i < low; ++i) cand.push_back(asc[i]);
+      for (size_t i = asc.size() - high; i < asc.size(); ++i) {
+        cand.push_back(asc[i]);
+      }
+      std::sort(cand.begin(), cand.end());
+      if (cand == freqs) return true;
+    }
+    return false;
+  };
+
+  bool has_multivalued = false;
+  for (const auto& s : stats_) {
+    if (!s.univalued()) has_multivalued = true;
+  }
+  if (has_multivalued) {
+    return matches_ends(std::move(univalued_freqs));
+  }
+  // All buckets univalued: exempt each in turn.
+  for (size_t exempt = 0; exempt < stats_.size(); ++exempt) {
+    std::vector<Frequency> freqs;
+    for (size_t b = 0; b < stats_.size(); ++b) {
+      if (b == exempt) continue;
+      for (size_t item : members[b]) freqs.push_back(set_[item]);
+    }
+    if (matches_ends(std::move(freqs))) return true;
+  }
+  return false;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "Histogram(" << (label_.empty() ? "unnamed" : label_)
+     << ", M=" << num_values() << ", beta=" << num_buckets() << ", buckets=[";
+  for (size_t b = 0; b < stats_.size(); ++b) {
+    if (b) os << ", ";
+    os << "{P=" << stats_[b].count << " T=" << stats_[b].sum
+       << " V=" << stats_[b].variance << "}";
+  }
+  os << "])";
+  return os.str();
+}
+
+}  // namespace hops

@@ -1,0 +1,117 @@
+// The Histogram object: a frequency set plus a bucketization, with the
+// uniform-distribution-within-bucket approximation of Section 2.3 and the
+// class predicates of Definitions 2.1 and 2.2.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "histogram/bucketization.h"
+#include "stats/frequency_set.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief How a bucket's average approximates its members' frequencies.
+///
+/// The paper's definition rounds to "the integer closest to" the bucket
+/// average (frequencies are tuple counts); its analytical formulas use the
+/// exact average. Both are supported; kExact is the default everywhere the
+/// formulas are involved.
+enum class BucketAverageMode {
+  kExact,
+  kRoundToInteger,
+};
+
+/// \brief Aggregate statistics of one bucket: the paper's P_i (count),
+/// T_i (sum), and V_i (population variance), plus derived quantities.
+struct BucketStats {
+  size_t count = 0;        ///< P_i.
+  double sum = 0.0;        ///< T_i.
+  double sum_squares = 0.0;
+  double mean = 0.0;       ///< T_i / P_i.
+  double variance = 0.0;   ///< V_i, population variance.
+  double min = 0.0;        ///< Smallest member frequency.
+  double max = 0.0;        ///< Largest member frequency.
+
+  /// T_i^2 / P_i — the bucket's contribution to the approximate self-join
+  /// size (Proposition 3.1).
+  double square_over_count() const {
+    return count == 0 ? 0.0 : sum * sum / static_cast<double>(count);
+  }
+  /// P_i * V_i — the bucket's contribution to the self-join error.
+  double error_contribution() const {
+    return static_cast<double>(count) * variance;
+  }
+  /// A bucket is univalued when all its frequencies are equal.
+  bool univalued() const;
+};
+
+/// \brief A histogram over a frequency set.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Builds the histogram for \p set under \p bucketization. The \p label
+  /// names the construction for reports ("v-opt-serial", "equi-depth", ...).
+  static Result<Histogram> Make(FrequencySet set, Bucketization bucketization,
+                                std::string label = "");
+
+  const FrequencySet& source() const { return set_; }
+  const Bucketization& bucketization() const { return bucketization_; }
+  const std::string& label() const { return label_; }
+
+  size_t num_values() const { return set_.size(); }
+  size_t num_buckets() const { return bucketization_.num_buckets(); }
+  const std::vector<BucketStats>& bucket_stats() const { return stats_; }
+
+  /// Approximate frequency of the \p index-th set entry.
+  double ApproxFrequency(size_t index,
+                         BucketAverageMode mode = BucketAverageMode::kExact)
+      const;
+
+  /// All approximate frequencies, aligned with the source set's order.
+  std::vector<Frequency> ApproximateFrequencies(
+      BucketAverageMode mode = BucketAverageMode::kExact) const;
+
+  /// True when the histogram has a single bucket (uniformity assumption).
+  bool IsTrivial() const { return num_buckets() == 1; }
+
+  /// Serial histograms (Definition 2.1): buckets group frequencies with no
+  /// interleaving. This is the weak form — bucket frequency ranges may touch
+  /// at a shared boundary frequency but may not overlap beyond it; every
+  /// contiguous partition of the sorted frequency multiset is serial.
+  bool IsSerial() const;
+
+  /// Strict form of Definition 2.1: for every pair of buckets, *all*
+  /// frequencies of one are strictly below all of the other's (equal
+  /// frequencies in different buckets disqualify).
+  bool IsStrictlySerial() const;
+
+  /// Biased (Definition 2.2): at most one bucket is multivalued.
+  bool IsBiased() const;
+
+  /// End-biased (Definition 2.2): biased, and the univalued buckets carry
+  /// the beta1 highest and beta2 lowest frequencies of the set.
+  bool IsEndBiased() const;
+
+  std::string ToString() const;
+
+ private:
+  Histogram(FrequencySet set, Bucketization bucketization, std::string label,
+            std::vector<BucketStats> stats)
+      : set_(std::move(set)),
+        bucketization_(std::move(bucketization)),
+        label_(std::move(label)),
+        stats_(std::move(stats)) {}
+
+  FrequencySet set_;
+  Bucketization bucketization_;
+  std::string label_;
+  std::vector<BucketStats> stats_;
+};
+
+}  // namespace hops

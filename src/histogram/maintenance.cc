@@ -1,0 +1,84 @@
+#include "histogram/maintenance.h"
+
+#include <algorithm>
+
+namespace hops {
+
+HistogramMaintainer::HistogramMaintainer(CatalogHistogram histogram,
+                                         double num_tuples,
+                                         MaintenanceOptions options)
+    : histogram_(std::move(histogram)),
+      options_(options),
+      num_tuples_(num_tuples),
+      tuples_at_build_(num_tuples) {}
+
+Status HistogramMaintainer::ApplyInsert(int64_t value) {
+  ++updates_applied_;
+  drift_ += 1.0;
+  num_tuples_ += 1.0;
+  if (histogram_.AdjustExplicitFrequency(value, +1.0)) {
+    return Status::OK();
+  }
+  // Default bucket: spread the new tuple over the bucket average.
+  const double n = static_cast<double>(histogram_.num_default_values());
+  if (n > 0) {
+    HOPS_RETURN_NOT_OK(histogram_.SetDefaultFrequency(
+        histogram_.default_frequency() + 1.0 / n));
+  }
+  // Misra-Gries-style single-candidate sketch for an emerging heavy hitter
+  // among default values.
+  if (hot_valid_ && hot_value_ == value) {
+    hot_count_ += 1.0;
+  } else if (!hot_valid_ || hot_count_ <= 0) {
+    hot_value_ = value;
+    hot_count_ = 1.0;
+    hot_valid_ = true;
+  } else {
+    hot_count_ -= 1.0;
+  }
+  return Status::OK();
+}
+
+Status HistogramMaintainer::ApplyDelete(int64_t value) {
+  ++updates_applied_;
+  drift_ += 1.0;
+  num_tuples_ = std::max(0.0, num_tuples_ - 1.0);
+  if (histogram_.AdjustExplicitFrequency(value, -1.0)) {
+    return Status::OK();
+  }
+  const double n = static_cast<double>(histogram_.num_default_values());
+  if (n > 0) {
+    HOPS_RETURN_NOT_OK(histogram_.SetDefaultFrequency(std::max(
+        0.0, histogram_.default_frequency() - 1.0 / n)));
+  }
+  if (hot_valid_ && hot_value_ == value && hot_count_ > 0) {
+    hot_count_ -= 1.0;
+  }
+  return Status::OK();
+}
+
+bool HistogramMaintainer::NeedsRebuild() const {
+  const double base = std::max(tuples_at_build_, 1.0);
+  if (drift_ / base > options_.rebuild_drift_fraction) return true;
+  // A default value has accumulated enough inserts to look like a heavy
+  // hitter that deserves a univalued bucket.
+  if (hot_valid_ && histogram_.default_frequency() > 0 &&
+      hot_count_ >=
+          (options_.promotion_ratio - 1.0) * histogram_.default_frequency()) {
+    return true;
+  }
+  return false;
+}
+
+void HistogramMaintainer::Rebuilt(CatalogHistogram histogram,
+                                  double num_tuples) {
+  histogram_ = std::move(histogram);
+  num_tuples_ = num_tuples;
+  tuples_at_build_ = num_tuples;
+  updates_applied_ = 0;
+  drift_ = 0;
+  hot_valid_ = false;
+  hot_count_ = 0;
+}
+
+}  // namespace hops

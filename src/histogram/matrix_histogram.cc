@@ -1,0 +1,45 @@
+#include "histogram/matrix_histogram.h"
+
+#include "stats/arrangement.h"
+
+namespace hops {
+
+Result<MatrixHistogram> MatrixHistogram::Make(FrequencyMatrix matrix,
+                                              Bucketization bucketization,
+                                              std::string label) {
+  const size_t rows = matrix.rows();
+  const size_t cols = matrix.cols();
+  FrequencySet cells = matrix.ToFrequencySet();
+  HOPS_ASSIGN_OR_RETURN(
+      Histogram hist,
+      Histogram::Make(std::move(cells), std::move(bucketization),
+                      std::move(label)));
+  return MatrixHistogram(rows, cols, std::move(hist));
+}
+
+Result<FrequencyMatrix> MatrixHistogram::ApproximateMatrix(
+    BucketAverageMode mode) const {
+  std::vector<Frequency> cells = histogram_.ApproximateFrequencies(mode);
+  return FrequencyMatrix::Make(rows_, cols_, std::move(cells));
+}
+
+Result<FrequencyMatrix> ApproximateArrangedMatrix(
+    const Histogram& histogram, size_t rows, size_t cols,
+    std::span<const size_t> perm, BucketAverageMode mode) {
+  const size_t n = rows * cols;
+  if (histogram.num_values() != n) {
+    return Status::InvalidArgument(
+        "histogram covers " + std::to_string(histogram.num_values()) +
+        " values but the matrix has " + std::to_string(n) + " cells");
+  }
+  if (!IsPermutation(perm, n)) {
+    return Status::InvalidArgument("invalid arrangement permutation");
+  }
+  std::vector<Frequency> cells(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    cells[perm[i]] = histogram.ApproxFrequency(i, mode);
+  }
+  return FrequencyMatrix::Make(rows, cols, std::move(cells));
+}
+
+}  // namespace hops

@@ -1,0 +1,68 @@
+// Histogram matrices (Section 2.3): applying a bucketization to a 2-D
+// frequency matrix yields the approximate matrix the optimizer would use in
+// the chain-product size formula.
+//
+// A matrix histogram is just a histogram over the matrix's flattened cells
+// (row-major flat index = the "item"); this module provides the glue in both
+// directions:
+//  - MatrixHistogram: bucketize a concrete matrix and materialize its
+//    approximate (histogram) matrix;
+//  - ApproximateArrangedMatrix: given a histogram built on a *frequency set*
+//    and the arrangement that placed the set into a matrix, materialize the
+//    approximate matrix the optimizer would infer — the core operation of the
+//    Section 5.2 experiments, where histograms are built on frequency sets
+//    but queries run on arranged matrices.
+
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "histogram/histogram.h"
+#include "stats/frequency_matrix.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief A histogram over the cells of a 2-D frequency matrix.
+class MatrixHistogram {
+ public:
+  MatrixHistogram() = default;
+
+  /// Bucketizes \p matrix's flattened cells with \p bucketization.
+  static Result<MatrixHistogram> Make(FrequencyMatrix matrix,
+                                      Bucketization bucketization,
+                                      std::string label = "");
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  /// The underlying histogram over flattened cells.
+  const Histogram& cell_histogram() const { return histogram_; }
+
+  /// Materializes the approximate matrix: every cell replaced by its bucket
+  /// average.
+  Result<FrequencyMatrix> ApproximateMatrix(
+      BucketAverageMode mode = BucketAverageMode::kExact) const;
+
+ private:
+  MatrixHistogram(size_t rows, size_t cols, Histogram histogram)
+      : rows_(rows), cols_(cols), histogram_(std::move(histogram)) {}
+
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  Histogram histogram_;
+};
+
+/// \brief Approximate matrix induced by a set histogram plus an arrangement.
+///
+/// \p histogram was built on a frequency set B; \p perm is the arrangement
+/// that placed B[i] at flat cell perm[i] of a rows x cols matrix. The result
+/// holds histogram.ApproxFrequency(i) at flat cell perm[i]. Requires
+/// histogram.num_values() == rows * cols and perm to be a permutation.
+Result<FrequencyMatrix> ApproximateArrangedMatrix(
+    const Histogram& histogram, size_t rows, size_t cols,
+    std::span<const size_t> perm,
+    BucketAverageMode mode = BucketAverageMode::kExact);
+
+}  // namespace hops

@@ -1,0 +1,72 @@
+#include "histogram/self_join.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace hops {
+
+double ExactSelfJoinSize(const FrequencySet& set) {
+  return set.SelfJoinSize();
+}
+
+double SelfJoinApproxSize(const Histogram& histogram,
+                          BucketAverageMode mode) {
+  KahanSum acc;
+  for (const BucketStats& b : histogram.bucket_stats()) {
+    if (mode == BucketAverageMode::kExact) {
+      acc.Add(b.square_over_count());
+    } else {
+      double avg = std::round(b.mean);
+      acc.Add(static_cast<double>(b.count) * avg * avg);
+    }
+  }
+  return acc.Value();
+}
+
+double SelfJoinError(const Histogram& histogram) {
+  KahanSum acc;
+  for (const BucketStats& b : histogram.bucket_stats()) {
+    acc.Add(b.error_contribution());
+  }
+  return acc.Value();
+}
+
+void BuildPrefixSums(std::span<const double> sorted,
+                     std::vector<double>* prefix_sum,
+                     std::vector<double>* prefix_sum_sq) {
+  prefix_sum->assign(sorted.size() + 1, 0.0);
+  prefix_sum_sq->assign(sorted.size() + 1, 0.0);
+  KahanSum s, ss;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    s.Add(sorted[i]);
+    ss.Add(sorted[i] * sorted[i]);
+    (*prefix_sum)[i + 1] = s.Value();
+    (*prefix_sum_sq)[i + 1] = ss.Value();
+  }
+}
+
+double RangeSelfJoinError(std::span<const double> prefix_sum,
+                          std::span<const double> prefix_sum_sq, size_t begin,
+                          size_t end) {
+  if (end <= begin) return 0.0;
+  double count = static_cast<double>(end - begin);
+  double sum = prefix_sum[end] - prefix_sum[begin];
+  double sum_sq = prefix_sum_sq[end] - prefix_sum_sq[begin];
+  double err = sum_sq - sum * sum / count;
+  return err < 0 ? 0.0 : err;  // clamp roundoff
+}
+
+double PartitionSelfJoinError(std::span<const double> prefix_sum,
+                              std::span<const double> prefix_sum_sq,
+                              std::span<const size_t> part_ends) {
+  double total = 0.0;
+  size_t begin = 0;
+  for (size_t end : part_ends) {
+    total += RangeSelfJoinError(prefix_sum, prefix_sum_sq, begin, end);
+    begin = end;
+  }
+  return total;
+}
+
+}  // namespace hops

@@ -1,0 +1,58 @@
+// Proposition 3.1: size and error formulas for a self-join under a serial
+// histogram with buckets b_i (frequency count P_i, sum T_i, population
+// variance V_i):
+//
+//   approximate size  S' = sum_i T_i^2 / P_i
+//   error         S - S' = sum_i P_i * V_i     (always >= 0)
+//
+// The same algebra holds for *any* bucketization when the query is a
+// self-join (each value joins only itself), which is what makes the formula
+// usable inside both V-OptHist and the bucket-count advisor.
+
+#pragma once
+
+#include <span>
+
+#include "histogram/histogram.h"
+#include "stats/frequency_set.h"
+
+namespace hops {
+
+/// \brief Exact self-join result size: sum of squared frequencies.
+double ExactSelfJoinSize(const FrequencySet& set);
+
+/// \brief Approximate self-join size under \p histogram (Proposition 3.1).
+///
+/// With kExact this equals sum_i T_i^2/P_i; with kRoundToInteger the bucket
+/// averages are rounded first, matching what an optimizer reading a catalog
+/// of integer frequencies would compute.
+double SelfJoinApproxSize(const Histogram& histogram,
+                          BucketAverageMode mode = BucketAverageMode::kExact);
+
+/// \brief Self-join estimation error S - S' = sum_i P_i V_i (>= 0) under
+/// exact bucket averages.
+double SelfJoinError(const Histogram& histogram);
+
+/// \brief Error of a contiguous partition of an ascending-sorted frequency
+/// vector, computed from prefix sums in O(parts) — the inner loop of the
+/// exhaustive and DP v-optimal constructions.
+///
+/// \p prefix_sum and \p prefix_sum_sq have size M+1 with element k holding
+/// the sum (resp. sum of squares) of sorted[0..k). \p part_ends are the
+/// exclusive part ends as in ContiguousPartitionEnumerator.
+double PartitionSelfJoinError(std::span<const double> prefix_sum,
+                              std::span<const double> prefix_sum_sq,
+                              std::span<const size_t> part_ends);
+
+/// \brief Error contribution of the single range [begin, end) of the sorted
+/// vector: (end-begin) * variance = sum_sq - sum^2/count.
+double RangeSelfJoinError(std::span<const double> prefix_sum,
+                          std::span<const double> prefix_sum_sq, size_t begin,
+                          size_t end);
+
+/// \brief Builds the prefix-sum arrays used by the two functions above.
+void BuildPrefixSums(std::span<const double> sorted,
+                     std::vector<double>* prefix_sum,
+                     std::vector<double>* prefix_sum_sq);
+
+}  // namespace hops

@@ -1,0 +1,178 @@
+#include "histogram/serialization.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace hops {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x484F5053;  // "HOPS"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void AppendPod(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::string_view* in, T* v) {
+  if (in->size() < sizeof(T)) return false;
+  std::memcpy(v, in->data(), sizeof(T));
+  in->remove_prefix(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+Result<CatalogHistogram> CatalogHistogram::Make(
+    std::vector<std::pair<int64_t, double>> explicit_entries,
+    double default_frequency, uint64_t num_default_values) {
+  std::sort(explicit_entries.begin(), explicit_entries.end());
+  for (size_t i = 0; i + 1 < explicit_entries.size(); ++i) {
+    if (explicit_entries[i].first == explicit_entries[i + 1].first) {
+      return Status::InvalidArgument("duplicate explicit value " +
+                                     std::to_string(explicit_entries[i].first));
+    }
+  }
+  for (const auto& [value, freq] : explicit_entries) {
+    if (!std::isfinite(freq) || freq < 0) {
+      return Status::InvalidArgument("explicit frequency must be >= 0");
+    }
+  }
+  if (!std::isfinite(default_frequency) || default_frequency < 0) {
+    return Status::InvalidArgument("default frequency must be >= 0");
+  }
+  CatalogHistogram out;
+  out.explicit_entries_ = std::move(explicit_entries);
+  out.default_frequency_ = default_frequency;
+  out.num_default_values_ = num_default_values;
+  return out;
+}
+
+Result<CatalogHistogram> CatalogHistogram::FromHistogram(
+    const Histogram& histogram, std::span<const int64_t> value_ids,
+    BucketAverageMode mode) {
+  if (value_ids.size() != histogram.num_values()) {
+    return Status::InvalidArgument(
+        "value_ids size does not match the histogram's value count");
+  }
+  // Pick the largest bucket as the implicit default.
+  const auto& stats = histogram.bucket_stats();
+  size_t default_bucket = 0;
+  for (size_t b = 1; b < stats.size(); ++b) {
+    if (stats[b].count > stats[default_bucket].count) default_bucket = b;
+  }
+  std::vector<std::pair<int64_t, double>> explicit_entries;
+  uint64_t num_default = 0;
+  for (size_t i = 0; i < histogram.num_values(); ++i) {
+    if (histogram.bucketization().bucket_of(i) == default_bucket) {
+      ++num_default;
+    } else {
+      explicit_entries.emplace_back(value_ids[i],
+                                    histogram.ApproxFrequency(i, mode));
+    }
+  }
+  double default_freq = stats[default_bucket].mean;
+  if (mode == BucketAverageMode::kRoundToInteger) {
+    default_freq = std::round(default_freq);
+  }
+  return Make(std::move(explicit_entries), default_freq, num_default);
+}
+
+double CatalogHistogram::LookupFrequency(int64_t value,
+                                         bool* is_explicit) const {
+  auto it = std::lower_bound(
+      explicit_entries_.begin(), explicit_entries_.end(), value,
+      [](const auto& entry, int64_t v) { return entry.first < v; });
+  if (it != explicit_entries_.end() && it->first == value) {
+    if (is_explicit != nullptr) *is_explicit = true;
+    return it->second;
+  }
+  if (is_explicit != nullptr) *is_explicit = false;
+  return default_frequency_;
+}
+
+bool CatalogHistogram::AdjustExplicitFrequency(int64_t value, double delta) {
+  auto it = std::lower_bound(
+      explicit_entries_.begin(), explicit_entries_.end(), value,
+      [](const auto& entry, int64_t v) { return entry.first < v; });
+  if (it == explicit_entries_.end() || it->first != value) return false;
+  it->second = std::max(0.0, it->second + delta);
+  return true;
+}
+
+Status CatalogHistogram::SetDefaultFrequency(double frequency) {
+  if (!std::isfinite(frequency) || frequency < 0) {
+    return Status::InvalidArgument("default frequency must be >= 0");
+  }
+  default_frequency_ = frequency;
+  return Status::OK();
+}
+
+double CatalogHistogram::EstimatedTotal() const {
+  double total = default_frequency_ * static_cast<double>(num_default_values_);
+  for (const auto& [value, freq] : explicit_entries_) total += freq;
+  return total;
+}
+
+size_t CatalogHistogram::EncodedSize() const { return Encode().size(); }
+
+std::string CatalogHistogram::Encode() const {
+  std::string out;
+  AppendPod(&out, kMagic);
+  AppendPod(&out, kVersion);
+  AppendPod(&out, static_cast<uint64_t>(explicit_entries_.size()));
+  for (const auto& [value, freq] : explicit_entries_) {
+    AppendPod(&out, value);
+    AppendPod(&out, freq);
+  }
+  AppendPod(&out, default_frequency_);
+  AppendPod(&out, num_default_values_);
+  return out;
+}
+
+Result<CatalogHistogram> CatalogHistogram::Decode(std::string_view bytes) {
+  uint32_t magic = 0, version = 0;
+  if (!ReadPod(&bytes, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad catalog histogram magic");
+  }
+  if (!ReadPod(&bytes, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported catalog histogram version");
+  }
+  uint64_t count = 0;
+  if (!ReadPod(&bytes, &count)) {
+    return Status::InvalidArgument("truncated catalog histogram");
+  }
+  // Guard the allocation against corrupted counts: every entry needs 16
+  // bytes of remaining payload.
+  constexpr uint64_t kEntryBytes = sizeof(int64_t) + sizeof(double);
+  if (count > bytes.size() / kEntryBytes) {
+    return Status::InvalidArgument(
+        "catalog histogram entry count exceeds payload");
+  }
+  std::vector<std::pair<int64_t, double>> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t value;
+    double freq;
+    if (!ReadPod(&bytes, &value) || !ReadPod(&bytes, &freq)) {
+      return Status::InvalidArgument("truncated catalog histogram entries");
+    }
+    entries.emplace_back(value, freq);
+  }
+  double default_freq;
+  uint64_t num_default;
+  if (!ReadPod(&bytes, &default_freq) || !ReadPod(&bytes, &num_default)) {
+    return Status::InvalidArgument("truncated catalog histogram trailer");
+  }
+  if (!bytes.empty()) {
+    return Status::InvalidArgument("trailing bytes after catalog histogram");
+  }
+  return Make(std::move(entries), default_freq, num_default);
+}
+
+}  // namespace hops

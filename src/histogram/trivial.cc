@@ -1,0 +1,11 @@
+#include "histogram/builders.h"
+
+namespace hops {
+
+Result<Histogram> BuildTrivialHistogram(FrequencySet set) {
+  HOPS_ASSIGN_OR_RETURN(Bucketization b,
+                        Bucketization::SingleBucket(set.size()));
+  return Histogram::Make(std::move(set), std::move(b), "trivial");
+}
+
+}  // namespace hops

@@ -1,0 +1,125 @@
+// Algorithm V-OptBiasHist (Section 4.2): the v-optimal end-biased histogram.
+//
+// Since univalued buckets have zero variance, the best end-biased histogram
+// with beta buckets is the (h highest, l lowest) split with h + l = beta - 1
+// whose *multivalued* bucket has the least P*V (Proposition 3.1). Only the
+// beta-1 largest and beta-1 smallest frequencies can ever be selected, so a
+// partial selection (the paper uses a heap) suffices: O(M + (beta-1) log M).
+
+#include <algorithm>
+#include <numeric>
+
+#include "histogram/builders.h"
+#include "util/math.h"
+
+namespace hops {
+
+Result<Histogram> BuildVOptEndBiased(FrequencySet set, size_t num_buckets,
+                                     EndBiasedChoice* choice) {
+  const size_t m = set.size();
+  if (m == 0) {
+    return Status::InvalidArgument("cannot bucketize an empty set");
+  }
+  if (num_buckets == 0 || num_buckets > m) {
+    return Status::InvalidArgument(
+        "num_buckets must be in [1, M]; got " + std::to_string(num_buckets) +
+        " for M=" + std::to_string(m));
+  }
+  const size_t u = num_buckets - 1;  // univalued singleton buckets
+  if (u == 0) {
+    if (choice != nullptr) {
+      HOPS_ASSIGN_OR_RETURN(Histogram triv, BuildTrivialHistogram(set));
+      choice->num_high = choice->num_low = 0;
+      choice->error = triv.bucket_stats()[0].error_contribution();
+      return triv;
+    }
+    return BuildTrivialHistogram(std::move(set));
+  }
+
+  // Partial selection of the u smallest and u largest entries, each sorted,
+  // with deterministic (frequency, index) tie-breaking.
+  auto less = [&](size_t a, size_t b) {
+    if (set[a] != set[b]) return set[a] < set[b];
+    return a < b;
+  };
+  std::vector<size_t> idx(m);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  const size_t take = std::min(u, m);
+  std::vector<size_t> lowest(take), highest(take);
+  std::partial_sort_copy(idx.begin(), idx.end(), lowest.begin(), lowest.end(),
+                         less);
+  std::partial_sort_copy(idx.begin(), idx.end(), highest.begin(),
+                         highest.end(),
+                         [&](size_t a, size_t b) { return less(b, a); });
+
+  // Prefix sums over the selected extremes.
+  auto prefixes = [&](const std::vector<size_t>& items) {
+    std::vector<double> s(items.size() + 1, 0.0), ss(items.size() + 1, 0.0);
+    KahanSum as, ass;
+    for (size_t i = 0; i < items.size(); ++i) {
+      double f = set[items[i]];
+      as.Add(f);
+      ass.Add(f * f);
+      s[i + 1] = as.Value();
+      ss[i + 1] = ass.Value();
+    }
+    return std::pair(std::move(s), std::move(ss));
+  };
+  auto [low_sum, low_sum_sq] = prefixes(lowest);
+  auto [high_sum, high_sum_sq] = prefixes(highest);
+
+  KahanSum total_s, total_ss;
+  for (size_t i = 0; i < m; ++i) {
+    total_s.Add(set[i]);
+    total_ss.Add(set[i] * set[i]);
+  }
+
+  // Evaluate every (h highest, l lowest) split with h + l = u. The selected
+  // index sets must be disjoint, which holds because h + l = u <= m - 1
+  // (singleton positions come from opposite ends of the sorted order); with
+  // duplicated frequencies partial_sort_copy's deterministic tie-breaking
+  // on index keeps the two selections disjoint as long as h + l <= m.
+  // Iterate h from high to low so that ties favor storing the *highest*
+  // frequencies explicitly (what DB2-style catalogs do, and what the
+  // sampling-based construction of Section 4.2 can actually find).
+  double best_error = 0.0;
+  size_t best_h = 0;
+  bool first = true;
+  for (size_t h = u + 1; h-- > 0;) {
+    const size_t l = u - h;
+    // Check disjointness under ties: the h-th highest and l-th lowest
+    // positions must not cross.
+    if (h + l >= m + 1) continue;
+    double mid_count = static_cast<double>(m - h - l);
+    double mid_sum = total_s.Value() - high_sum[h] - low_sum[l];
+    double mid_sum_sq =
+        total_ss.Value() - high_sum_sq[h] - low_sum_sq[l];
+    double err;
+    if (mid_count == 0) {
+      err = 0.0;
+    } else {
+      err = mid_sum_sq - mid_sum * mid_sum / mid_count;
+      if (err < 0) err = 0.0;
+    }
+    if (first || err < best_error) {
+      first = false;
+      best_error = err;
+      best_h = h;
+    }
+  }
+
+  const size_t best_l = u - best_h;
+  if (choice != nullptr) {
+    choice->num_high = best_h;
+    choice->num_low = best_l;
+    choice->error = best_error;
+  }
+  HOPS_ASSIGN_OR_RETURN(Histogram hist,
+                        BuildEndBiasedHistogram(std::move(set), best_h,
+                                                best_l));
+  // Re-label: this is the v-optimal member of the class.
+  return Histogram::Make(hist.source(), hist.bucketization(),
+                         "v-opt-end-biased");
+}
+
+}  // namespace hops

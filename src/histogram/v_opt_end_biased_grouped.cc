@@ -1,0 +1,140 @@
+// Grouped V-OptBiasHist: univalued buckets hold entire runs of equal
+// extreme frequencies (the full freedom of Definition 2.2).
+//
+// Pulling a value out of the multivalued bucket can only reduce that
+// bucket's error, and copies of an already-pulled frequency share its
+// univalued bucket for free — so the optimal grouped histogram always pulls
+// complete runs, and the search space is (h highest runs, l lowest runs)
+// with h + l = beta - 1.
+
+#include <algorithm>
+#include <numeric>
+
+#include "histogram/builders.h"
+#include "util/math.h"
+
+namespace hops {
+
+Result<Histogram> BuildVOptEndBiasedGrouped(FrequencySet set,
+                                            size_t num_buckets,
+                                            EndBiasedChoice* choice) {
+  const size_t m = set.size();
+  if (m == 0) {
+    return Status::InvalidArgument("cannot bucketize an empty set");
+  }
+  if (num_buckets == 0 || num_buckets > m) {
+    return Status::InvalidArgument(
+        "num_buckets must be in [1, M]; got " + std::to_string(num_buckets) +
+        " for M=" + std::to_string(m));
+  }
+  const size_t u = num_buckets - 1;
+  if (u == 0) {
+    if (choice != nullptr) {
+      HOPS_ASSIGN_OR_RETURN(Histogram triv, BuildTrivialHistogram(set));
+      choice->num_high = choice->num_low = 0;
+      choice->error = triv.bucket_stats()[0].error_contribution();
+      return triv;
+    }
+    return BuildTrivialHistogram(std::move(set));
+  }
+
+  // Sort indices ascending and compress into runs of equal frequency.
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (set[a] != set[b]) return set[a] < set[b];
+    return a < b;
+  });
+  struct Run {
+    size_t begin;  // position range [begin, end) in `order`
+    size_t end;
+  };
+  std::vector<Run> runs;
+  for (size_t pos = 0; pos < m;) {
+    size_t start = pos;
+    while (pos < m && set[order[pos]] == set[order[start]]) ++pos;
+    runs.push_back(Run{start, pos});
+  }
+  const size_t k = runs.size();
+
+  // Element-level prefix sums for mid-bucket error evaluation.
+  std::vector<double> psum(m + 1, 0.0), psq(m + 1, 0.0);
+  {
+    KahanSum s, ss;
+    for (size_t pos = 0; pos < m; ++pos) {
+      double f = set[order[pos]];
+      s.Add(f);
+      ss.Add(f * f);
+      psum[pos + 1] = s.Value();
+      psq[pos + 1] = ss.Value();
+    }
+  }
+  auto mid_error = [&](size_t lo_runs, size_t hi_runs) {
+    // Middle elements are positions [runs[lo_runs].begin,
+    // runs[k - hi_runs - 1].end) ... i.e. after dropping lo_runs lowest and
+    // hi_runs highest runs.
+    size_t begin = lo_runs == 0 ? 0 : runs[lo_runs - 1].end;
+    size_t end = hi_runs == 0 ? m : runs[k - hi_runs].begin;
+    if (end <= begin) return 0.0;
+    double count = static_cast<double>(end - begin);
+    double sum = psum[end] - psum[begin];
+    double sum_sq = psq[end] - psq[begin];
+    double err = sum_sq - sum * sum / count;
+    return err < 0 ? 0.0 : err;
+  };
+
+  // With fewer distinct runs than univalued slots, every run gets its own
+  // bucket (error 0, fewer buckets used); otherwise split the u slots
+  // between the highest and lowest runs.
+  const size_t u_eff = std::min(u, k);
+  double best_error = 0.0;
+  size_t best_h = 0, best_l = 0;
+  bool first = true;
+  for (size_t h = u_eff + 1; h-- > 0;) {
+    size_t l = u_eff - h;
+    double err = mid_error(l, h);
+    if (first || err < best_error) {
+      first = false;
+      best_error = err;
+      best_h = h;
+      best_l = l;
+    }
+  }
+
+  // Build the bucketization: one bucket per selected run, one shared bucket
+  // for the middle (if non-empty).
+  std::vector<uint32_t> bucket_of(m, 0);
+  uint32_t next_bucket = 0;
+  for (size_t r = 0; r < best_l; ++r) {
+    for (size_t pos = runs[r].begin; pos < runs[r].end; ++pos) {
+      bucket_of[order[pos]] = next_bucket;
+    }
+    ++next_bucket;
+  }
+  size_t mid_begin = best_l == 0 ? 0 : runs[best_l - 1].end;
+  size_t mid_end = best_h == 0 ? m : runs[k - best_h].begin;
+  if (mid_end > mid_begin) {
+    for (size_t pos = mid_begin; pos < mid_end; ++pos) {
+      bucket_of[order[pos]] = next_bucket;
+    }
+    ++next_bucket;
+  }
+  for (size_t r = k - best_h; r < k; ++r) {
+    for (size_t pos = runs[r].begin; pos < runs[r].end; ++pos) {
+      bucket_of[order[pos]] = next_bucket;
+    }
+    ++next_bucket;
+  }
+  if (choice != nullptr) {
+    choice->num_high = best_h;
+    choice->num_low = best_l;
+    choice->error = best_error;
+  }
+  HOPS_ASSIGN_OR_RETURN(
+      Bucketization bz,
+      Bucketization::FromAssignments(std::move(bucket_of), next_bucket));
+  return Histogram::Make(std::move(set), std::move(bz),
+                         "v-opt-end-biased-grouped");
+}
+
+}  // namespace hops

@@ -1,0 +1,66 @@
+// Algorithm V-OptHist (Section 4.1): sort the frequency set, enumerate every
+// partition into beta contiguous ranges, keep the one minimizing the
+// self-join error sum_i P_i V_i (Proposition 3.1 + Theorem 3.3).
+
+#include <algorithm>
+#include <numeric>
+
+#include "histogram/builders.h"
+#include "histogram/self_join.h"
+#include "util/combinatorics.h"
+
+namespace hops {
+
+Result<Histogram> BuildVOptSerialExhaustive(FrequencySet set,
+                                            size_t num_buckets,
+                                            const VOptSerialOptions& options,
+                                            VOptDiagnostics* diagnostics) {
+  const size_t m = set.size();
+  HOPS_RETURN_NOT_OK(ValidatePartitionArgs(m, num_buckets));
+
+  // Sort indices ascending by frequency (stable on index for determinism).
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (set[a] != set[b]) return set[a] < set[b];
+    return a < b;
+  });
+  std::vector<double> sorted(m);
+  for (size_t i = 0; i < m; ++i) sorted[i] = set[order[i]];
+
+  std::vector<double> prefix_sum, prefix_sum_sq;
+  BuildPrefixSums(sorted, &prefix_sum, &prefix_sum_sq);
+
+  ContiguousPartitionEnumerator enumerator(m, num_buckets);
+  const uint64_t total_candidates = enumerator.TotalCount();
+  if (total_candidates > options.max_candidates) {
+    return Status::ResourceExhausted(
+        "V-OptHist would enumerate " + std::to_string(total_candidates) +
+        " partitions (C(" + std::to_string(m - 1) + ", " +
+        std::to_string(num_buckets - 1) + ")), above the limit of " +
+        std::to_string(options.max_candidates));
+  }
+
+  std::vector<size_t> best_ends;
+  double best_error = 0.0;
+  uint64_t examined = 0;
+  do {
+    double err = PartitionSelfJoinError(prefix_sum, prefix_sum_sq,
+                                        enumerator.part_ends());
+    ++examined;
+    if (best_ends.empty() || err < best_error) {
+      best_error = err;
+      best_ends = enumerator.part_ends();
+    }
+  } while (enumerator.Advance());
+
+  if (diagnostics != nullptr) {
+    diagnostics->candidates_examined = examined;
+    diagnostics->best_error = best_error;
+  }
+  HOPS_ASSIGN_OR_RETURN(Bucketization bz, Bucketization::FromOrderedPartition(
+                                              order, best_ends));
+  return Histogram::Make(std::move(set), std::move(bz), "v-opt-serial");
+}
+
+}  // namespace hops

@@ -1,0 +1,86 @@
+// Dynamic-programming construction of the v-optimal serial histogram.
+//
+// The exhaustive V-OptHist objective sum_i P_i V_i decomposes over buckets,
+// and the optimal serial histogram is a contiguous partition of the sorted
+// frequency set, so the optimum over partitions of the first j entries into
+// k buckets satisfies
+//   E[k][j] = min_{i in [k-1, j)} E[k-1][i] + cost(i, j)
+// with cost(i, j) the range error of sorted[i..j). O(M^2 * beta) time,
+// O(M * beta) space for parent pointers. This is an extension beyond the
+// paper (which only ships the exhaustive algorithm); tests assert that it
+// returns the same minimum error as the exhaustive search.
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "histogram/builders.h"
+#include "histogram/self_join.h"
+#include "util/combinatorics.h"
+
+namespace hops {
+
+Result<Histogram> BuildVOptSerialDP(FrequencySet set, size_t num_buckets,
+                                    VOptDiagnostics* diagnostics) {
+  const size_t m = set.size();
+  HOPS_RETURN_NOT_OK(ValidatePartitionArgs(m, num_buckets));
+
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (set[a] != set[b]) return set[a] < set[b];
+    return a < b;
+  });
+  std::vector<double> sorted(m);
+  for (size_t i = 0; i < m; ++i) sorted[i] = set[order[i]];
+
+  std::vector<double> prefix_sum, prefix_sum_sq;
+  BuildPrefixSums(sorted, &prefix_sum, &prefix_sum_sq);
+  auto cost = [&](size_t begin, size_t end) {
+    return RangeSelfJoinError(prefix_sum, prefix_sum_sq, begin, end);
+  };
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  // err[j] = best error for the first j entries with the current bucket
+  // count; parent[k][j] = split position producing it.
+  std::vector<double> prev(m + 1, kInf), curr(m + 1, kInf);
+  std::vector<std::vector<size_t>> parent(
+      num_buckets, std::vector<size_t>(m + 1, 0));
+  for (size_t j = 1; j <= m; ++j) prev[j] = cost(0, j);
+  uint64_t examined = 0;
+  for (size_t k = 2; k <= num_buckets; ++k) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    for (size_t j = k; j <= m; ++j) {
+      double best = kInf;
+      size_t best_i = k - 1;
+      for (size_t i = k - 1; i < j; ++i) {
+        double cand = prev[i] + cost(i, j);
+        ++examined;
+        if (cand < best) {
+          best = cand;
+          best_i = i;
+        }
+      }
+      curr[j] = best;
+      parent[k - 1][j] = best_i;
+    }
+    std::swap(prev, curr);
+  }
+
+  // Reconstruct the partition boundaries.
+  std::vector<size_t> ends(num_buckets);
+  size_t j = m;
+  for (size_t k = num_buckets; k >= 1; --k) {
+    ends[k - 1] = j;
+    if (k > 1) j = parent[k - 1][j];
+  }
+  if (diagnostics != nullptr) {
+    diagnostics->candidates_examined = examined;
+    diagnostics->best_error = prev[m];
+  }
+  HOPS_ASSIGN_OR_RETURN(Bucketization bz,
+                        Bucketization::FromOrderedPartition(order, ends));
+  return Histogram::Make(std::move(set), std::move(bz), "v-opt-serial-dp");
+}
+
+}  // namespace hops

@@ -1,0 +1,108 @@
+// Divide-and-conquer DP for the v-optimal serial histogram.
+//
+// The range error cost(i, j) = sum of squared deviations of sorted[i..j)
+// satisfies the quadrangle inequality, so in the layer recurrence
+//   curr[j] = min_{i} prev[i] + cost(i, j)
+// the optimal split index opt(j) is non-decreasing in j. Each layer can
+// then be filled by recursing on (j-range, allowed i-range), evaluating
+// only O(M log M) candidates instead of O(M^2).
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "histogram/builders.h"
+#include "histogram/self_join.h"
+#include "util/combinatorics.h"
+
+namespace hops {
+
+namespace {
+
+struct LayerSolver {
+  const std::vector<double>& prev;
+  const std::vector<double>& prefix_sum;
+  const std::vector<double>& prefix_sum_sq;
+  size_t k;  // current bucket count (>= 2)
+  std::vector<double>* curr;
+  std::vector<size_t>* parent;
+  uint64_t evaluations = 0;
+
+  double Cost(size_t i, size_t j) const {
+    return RangeSelfJoinError(prefix_sum, prefix_sum_sq, i, j);
+  }
+
+  // Fills curr[j] for j in [j_lo, j_hi] knowing opt(j) lies in [i_lo, i_hi].
+  void Solve(size_t j_lo, size_t j_hi, size_t i_lo, size_t i_hi) {
+    if (j_lo > j_hi) return;
+    const size_t j_mid = j_lo + (j_hi - j_lo) / 2;
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_i = i_lo;
+    const size_t i_max = std::min(i_hi, j_mid - 1);
+    for (size_t i = std::max(i_lo, k - 1); i <= i_max; ++i) {
+      double cand = prev[i] + Cost(i, j_mid);
+      ++evaluations;
+      if (cand < best) {
+        best = cand;
+        best_i = i;
+      }
+    }
+    (*curr)[j_mid] = best;
+    (*parent)[j_mid] = best_i;
+    if (j_mid > j_lo) Solve(j_lo, j_mid - 1, i_lo, best_i);
+    if (j_mid < j_hi) Solve(j_mid + 1, j_hi, best_i, i_hi);
+  }
+};
+
+}  // namespace
+
+Result<Histogram> BuildVOptSerialDPFast(FrequencySet set, size_t num_buckets,
+                                        VOptDiagnostics* diagnostics) {
+  const size_t m = set.size();
+  HOPS_RETURN_NOT_OK(ValidatePartitionArgs(m, num_buckets));
+
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (set[a] != set[b]) return set[a] < set[b];
+    return a < b;
+  });
+  std::vector<double> sorted(m);
+  for (size_t i = 0; i < m; ++i) sorted[i] = set[order[i]];
+  std::vector<double> prefix_sum, prefix_sum_sq;
+  BuildPrefixSums(sorted, &prefix_sum, &prefix_sum_sq);
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(m + 1, kInf), curr(m + 1, kInf);
+  std::vector<std::vector<size_t>> parent(
+      num_buckets, std::vector<size_t>(m + 1, 0));
+  for (size_t j = 1; j <= m; ++j) {
+    prev[j] = RangeSelfJoinError(prefix_sum, prefix_sum_sq, 0, j);
+  }
+  uint64_t evaluations = 0;
+  for (size_t k = 2; k <= num_buckets; ++k) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    LayerSolver solver{prev,  prefix_sum, prefix_sum_sq,
+                       k,     &curr,      &parent[k - 1]};
+    solver.Solve(k, m, k - 1, m - 1);
+    evaluations += solver.evaluations;
+    std::swap(prev, curr);
+  }
+
+  std::vector<size_t> ends(num_buckets);
+  size_t j = m;
+  for (size_t k = num_buckets; k >= 1; --k) {
+    ends[k - 1] = j;
+    if (k > 1) j = parent[k - 1][j];
+  }
+  if (diagnostics != nullptr) {
+    diagnostics->candidates_examined = evaluations;
+    diagnostics->best_error = prev[m];
+  }
+  HOPS_ASSIGN_OR_RETURN(Bucketization bz,
+                        Bucketization::FromOrderedPartition(order, ends));
+  return Histogram::Make(std::move(set), std::move(bz),
+                         "v-opt-serial-dp-fast");
+}
+
+}  // namespace hops

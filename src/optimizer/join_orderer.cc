@@ -1,0 +1,168 @@
+#include "optimizer/join_orderer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "engine/executor.h"
+#include "estimator/join_estimator.h"
+
+namespace hops {
+
+namespace {
+
+Status ValidateSpecs(std::span<const ChainRelationSpec> specs) {
+  if (specs.size() < 2) {
+    return Status::InvalidArgument("chain needs at least two relations");
+  }
+  if (!specs.front().left_column.empty() ||
+      !specs.back().right_column.empty()) {
+    return Status::InvalidArgument(
+        "first/last chain relations must not declare outer join columns");
+  }
+  for (size_t i = 0; i + 1 < specs.size(); ++i) {
+    if (specs[i].right_column.empty() || specs[i + 1].left_column.empty()) {
+      return Status::InvalidArgument("interior join columns must be set");
+    }
+  }
+  return Status::OK();
+}
+
+// Sub-chain spec [i..j] with outer columns cleared.
+std::vector<ChainJoinSpec> SubChainSpecs(
+    std::span<const ChainRelationSpec> specs, size_t i, size_t j) {
+  std::vector<ChainJoinSpec> out;
+  for (size_t k = i; k <= j; ++k) {
+    ChainJoinSpec s;
+    s.table = specs[k].table;
+    s.left_column = (k == i) ? "" : specs[k].left_column;
+    s.right_column = (k == j) ? "" : specs[k].right_column;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SegmentSizes> SegmentSizes::Estimate(
+    const Catalog& catalog, std::span<const ChainRelationSpec> specs) {
+  HOPS_RETURN_NOT_OK(ValidateSpecs(specs));
+  const size_t n = specs.size();
+  std::vector<double> sizes(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    // Single relation: its tuple count, from any of its analyzed columns.
+    const std::string& col = specs[i].right_column.empty()
+                                 ? specs[i].left_column
+                                 : specs[i].right_column;
+    HOPS_ASSIGN_OR_RETURN(ColumnStatistics stats,
+                          catalog.GetColumnStatistics(specs[i].table, col));
+    sizes[i * n + i] = stats.num_tuples;
+    for (size_t j = i + 1; j < n; ++j) {
+      std::vector<ChainJoinSpec> sub = SubChainSpecs(specs, i, j);
+      HOPS_ASSIGN_OR_RETURN(double s, EstimateChainJoinSize(catalog, sub));
+      sizes[i * n + j] = s;
+    }
+  }
+  return SegmentSizes(n, std::move(sizes));
+}
+
+Result<SegmentSizes> SegmentSizes::Execute(
+    std::span<const ChainRelationSpec> specs) {
+  HOPS_RETURN_NOT_OK(ValidateSpecs(specs));
+  const size_t n = specs.size();
+  for (const auto& spec : specs) {
+    if (spec.relation == nullptr) {
+      return Status::InvalidArgument(
+          "true-cost evaluation needs live relations in every spec");
+    }
+  }
+  std::vector<double> sizes(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    sizes[i * n + i] = static_cast<double>(specs[i].relation->num_tuples());
+    for (size_t j = i + 1; j < n; ++j) {
+      std::vector<ChainJoinStep> steps;
+      for (size_t k = i; k <= j; ++k) {
+        ChainJoinStep step;
+        step.relation = specs[k].relation;
+        step.left_column = (k == i) ? "" : specs[k].left_column;
+        step.right_column = (k == j) ? "" : specs[k].right_column;
+        steps.push_back(std::move(step));
+      }
+      HOPS_ASSIGN_OR_RETURN(double s, ExecuteChainJoinCount(steps));
+      sizes[i * n + j] = s;
+    }
+  }
+  return SegmentSizes(n, std::move(sizes));
+}
+
+double SegmentSizes::SubsetSize(const std::vector<bool>& member) const {
+  double product = 1.0;
+  size_t i = 0;
+  bool any = false;
+  while (i < n_) {
+    if (!member[i]) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j + 1 < n_ && member[j + 1]) ++j;
+    product *= Segment(i, j);
+    any = true;
+    i = j + 1;
+  }
+  return any ? product : 0.0;
+}
+
+Result<double> SegmentSizes::OrderCost(std::span<const size_t> order) const {
+  if (order.size() != n_) {
+    return Status::InvalidArgument("order must cover every relation");
+  }
+  std::vector<bool> member(n_, false);
+  std::vector<bool> seen(n_, false);
+  for (size_t idx : order) {
+    if (idx >= n_ || seen[idx]) {
+      return Status::InvalidArgument("order is not a permutation");
+    }
+    seen[idx] = true;
+  }
+  double cost = 0.0;
+  member[order[0]] = true;
+  for (size_t k = 1; k + 1 < n_; ++k) {
+    member[order[k]] = true;
+    cost += SubsetSize(member);
+  }
+  return cost;
+}
+
+Result<std::vector<JoinPlan>> RankLeftDeepOrders(const SegmentSizes& sizes,
+                                                 size_t max_relations) {
+  const size_t n = sizes.num_relations();
+  if (n > max_relations) {
+    return Status::ResourceExhausted(
+        "refusing to enumerate " + std::to_string(n) +
+        "! join orders (cap " + std::to_string(max_relations) + ")");
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<JoinPlan> plans;
+  do {
+    HOPS_ASSIGN_OR_RETURN(double cost, sizes.OrderCost(order));
+    plans.push_back(JoinPlan{order, cost});
+  } while (std::next_permutation(order.begin(), order.end()));
+  std::stable_sort(plans.begin(), plans.end(),
+                   [](const JoinPlan& a, const JoinPlan& b) {
+                     return a.cost < b.cost;
+                   });
+  return plans;
+}
+
+Result<JoinPlan> ChooseLeftDeepOrder(const Catalog& catalog,
+                                     std::span<const ChainRelationSpec> specs,
+                                     size_t max_relations) {
+  HOPS_ASSIGN_OR_RETURN(SegmentSizes sizes,
+                        SegmentSizes::Estimate(catalog, specs));
+  HOPS_ASSIGN_OR_RETURN(std::vector<JoinPlan> plans,
+                        RankLeftDeepOrders(sizes, max_relations));
+  return plans.front();
+}
+
+}  // namespace hops

@@ -1,0 +1,88 @@
+// A System-R-style left-deep join orderer over chain queries — the consumer
+// the paper's statistics exist for. "The validity of the optimizer's
+// decisions may be affected" by estimation error (Section 1, citing
+// Selinger et al.); this module makes that concrete: it ranks left-deep
+// join orders by estimated intermediate-result cost, so experiments can
+// measure how histogram quality translates into plan quality.
+//
+// Queries are chains (R0.a1 = R1.a1 and ... and R_{N-1}.aN = RN.aN). A
+// left-deep order is a permutation of the relations; joining relations that
+// are not yet adjacent in the chain forms a cross product, which the cost
+// model charges accordingly — exactly the mistakes bad statistics cause.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "engine/relation.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief One chain relation, by catalog identity (and optionally by live
+/// relation, for true-cost evaluation).
+struct ChainRelationSpec {
+  std::string table;
+  std::string left_column;   ///< Join column shared with the previous step;
+                             ///< empty on the first relation.
+  std::string right_column;  ///< Join column shared with the next step;
+                             ///< empty on the last relation.
+  const Relation* relation = nullptr;  ///< Optional, for TrueCostOfOrder.
+};
+
+/// \brief A left-deep plan: the join order (indices into the spec array)
+/// and its cost = sum of (estimated) intermediate result sizes.
+struct JoinPlan {
+  std::vector<size_t> order;
+  double cost = 0.0;
+};
+
+/// \brief Precomputed sizes of every contiguous chain segment, the building
+/// block of both estimated and true plan costs.
+class SegmentSizes {
+ public:
+  /// Estimated segment sizes from catalog statistics.
+  static Result<SegmentSizes> Estimate(
+      const Catalog& catalog, std::span<const ChainRelationSpec> specs);
+
+  /// Exact segment sizes by executing each sub-chain (requires live
+  /// relations in every spec).
+  static Result<SegmentSizes> Execute(
+      std::span<const ChainRelationSpec> specs);
+
+  size_t num_relations() const { return n_; }
+
+  /// Size of the joined segment [i..j] (inclusive). Requires i <= j < n.
+  double Segment(size_t i, size_t j) const { return sizes_[i * n_ + j]; }
+
+  /// Size of an arbitrary relation subset: the product of its maximal
+  /// contiguous segments (cross products between disconnected pieces).
+  double SubsetSize(const std::vector<bool>& member) const;
+
+  /// Cost of a left-deep order: the sum of proper intermediate sizes after
+  /// each join step. The final result size is excluded — it is the same for
+  /// every order and would only wash out the differences that matter.
+  Result<double> OrderCost(std::span<const size_t> order) const;
+
+ private:
+  SegmentSizes(size_t n, std::vector<double> sizes)
+      : n_(n), sizes_(std::move(sizes)) {}
+  size_t n_ = 0;
+  std::vector<double> sizes_;  // row-major [i][j], valid for i <= j
+};
+
+/// \brief All left-deep orders ranked by cost (ascending) under the given
+/// segment sizes. Enumerates n! permutations; n is capped at
+/// \p max_relations.
+Result<std::vector<JoinPlan>> RankLeftDeepOrders(
+    const SegmentSizes& sizes, size_t max_relations = 8);
+
+/// \brief The cheapest left-deep order under catalog estimates.
+Result<JoinPlan> ChooseLeftDeepOrder(
+    const Catalog& catalog, std::span<const ChainRelationSpec> specs,
+    size_t max_relations = 8);
+
+}  // namespace hops

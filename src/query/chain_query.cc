@@ -1,0 +1,52 @@
+#include "query/chain_query.h"
+
+namespace hops {
+
+Result<ChainQuery> ChainQuery::Make(std::vector<FrequencyMatrix> matrices) {
+  if (matrices.empty()) {
+    return Status::InvalidArgument("chain query needs at least one relation");
+  }
+  if (matrices.front().rows() != 1) {
+    return Status::InvalidArgument(
+        "R0's frequency matrix must be a horizontal vector (1 x M1)");
+  }
+  if (matrices.back().cols() != 1) {
+    return Status::InvalidArgument(
+        "RN's frequency matrix must be a vertical vector (MN x 1)");
+  }
+  for (size_t j = 0; j + 1 < matrices.size(); ++j) {
+    if (matrices[j].cols() != matrices[j + 1].rows()) {
+      return Status::InvalidArgument(
+          "join domain mismatch between relations " + std::to_string(j) +
+          " and " + std::to_string(j + 1) + ": " +
+          std::to_string(matrices[j].cols()) + " vs " +
+          std::to_string(matrices[j + 1].rows()));
+    }
+  }
+  return ChainQuery(std::move(matrices));
+}
+
+Result<double> ChainQuery::ExactResultSize() const {
+  return ChainResultSize(matrices_);
+}
+
+Result<FrequencyMatrix> SelectionIndicatorVector(
+    size_t domain_size, std::span<const size_t> selected_values,
+    bool vertical) {
+  if (domain_size == 0) {
+    return Status::InvalidArgument("domain must be non-empty");
+  }
+  std::vector<Frequency> data(domain_size, 0.0);
+  for (size_t v : selected_values) {
+    if (v >= domain_size) {
+      return Status::OutOfRange("selected value index " + std::to_string(v) +
+                                " outside domain of size " +
+                                std::to_string(domain_size));
+    }
+    data[v] = 1.0;
+  }
+  return vertical ? FrequencyMatrix::VerticalVector(std::move(data))
+                  : FrequencyMatrix::HorizontalVector(std::move(data));
+}
+
+}  // namespace hops

@@ -1,0 +1,55 @@
+// Chain equality-join queries (Section 2.2).
+//
+//   Q := (R0.a1 = R1.a1 and R1.a2 = R2.a2 and ... and R_{N-1}.aN = RN.aN)
+//
+// Relation Rj is represented by its frequency matrix over the domains of its
+// two join attributes; R0 and RN by horizontal/vertical vectors. Selections
+// are the special case where an end relation is an indicator vector over the
+// selected values (Section 2.2's R0-singleton trick).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "histogram/bucketization.h"
+#include "histogram/histogram.h"
+#include "stats/frequency_matrix.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief A validated chain query over frequency matrices.
+class ChainQuery {
+ public:
+  ChainQuery() = default;
+
+  /// Takes the per-relation frequency matrices F0 .. FN in chain order.
+  /// Validates the vector/matrix shape contract and adjacent-domain
+  /// agreement.
+  static Result<ChainQuery> Make(std::vector<FrequencyMatrix> matrices);
+
+  size_t num_relations() const { return matrices_.size(); }
+  /// N — the number of join predicates.
+  size_t num_joins() const { return matrices_.size() - 1; }
+
+  const std::vector<FrequencyMatrix>& matrices() const { return matrices_; }
+  const FrequencyMatrix& matrix(size_t j) const { return matrices_[j]; }
+
+  /// Exact result size S (Theorem 2.1).
+  Result<double> ExactResultSize() const;
+
+ private:
+  explicit ChainQuery(std::vector<FrequencyMatrix> matrices)
+      : matrices_(std::move(matrices)) {}
+  std::vector<FrequencyMatrix> matrices_;
+};
+
+/// \brief Indicator vector representing the disjunctive equality selection
+/// "a = v for some v in selected" over a domain of \p domain_size values
+/// (Example 2.2's (1 0 1) trick). \p vertical selects the MN x 1 shape.
+Result<FrequencyMatrix> SelectionIndicatorVector(
+    size_t domain_size, std::span<const size_t> selected_values,
+    bool vertical);
+
+}  // namespace hops

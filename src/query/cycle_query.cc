@@ -1,0 +1,92 @@
+#include "query/cycle_query.h"
+
+#include "histogram/matrix_histogram.h"
+#include "util/math.h"
+
+namespace hops {
+
+Result<CycleQuery> CycleQuery::Make(std::vector<FrequencyMatrix> matrices) {
+  if (matrices.size() < 2) {
+    return Status::InvalidArgument("cycle query needs at least two relations");
+  }
+  for (size_t j = 0; j < matrices.size(); ++j) {
+    size_t next = (j + 1) % matrices.size();
+    if (matrices[j].cols() != matrices[next].rows()) {
+      return Status::InvalidArgument(
+          "join domain mismatch between relations " + std::to_string(j) +
+          " and " + std::to_string(next) + ": " +
+          std::to_string(matrices[j].cols()) + " vs " +
+          std::to_string(matrices[next].rows()));
+    }
+  }
+  return CycleQuery(std::move(matrices));
+}
+
+namespace {
+
+Result<double> TraceOfProduct(std::span<const FrequencyMatrix> ms) {
+  FrequencyMatrix acc = ms.front();
+  for (size_t j = 1; j < ms.size(); ++j) {
+    HOPS_ASSIGN_OR_RETURN(acc, acc.Multiply(ms[j]));
+  }
+  // acc is square (F0.rows x F0.rows) by cycle validation.
+  KahanSum trace;
+  for (size_t d = 0; d < acc.rows(); ++d) trace.Add(acc.At(d, d));
+  return trace.Value();
+}
+
+}  // namespace
+
+Result<double> CycleQuery::ExactResultSize() const {
+  return TraceOfProduct(matrices_);
+}
+
+Result<double> CycleQuery::EstimateResultSize(
+    std::span<const Bucketization> bucketizations,
+    BucketAverageMode mode) const {
+  if (bucketizations.size() != matrices_.size()) {
+    return Status::InvalidArgument(
+        "need one bucketization per relation: got " +
+        std::to_string(bucketizations.size()) + " for " +
+        std::to_string(matrices_.size()));
+  }
+  std::vector<FrequencyMatrix> approx;
+  approx.reserve(matrices_.size());
+  for (size_t j = 0; j < matrices_.size(); ++j) {
+    HOPS_ASSIGN_OR_RETURN(
+        MatrixHistogram mh,
+        MatrixHistogram::Make(matrices_[j], bucketizations[j]));
+    HOPS_ASSIGN_OR_RETURN(FrequencyMatrix am, mh.ApproximateMatrix(mode));
+    approx.push_back(std::move(am));
+  }
+  return TraceOfProduct(approx);
+}
+
+Result<double> CycleQuery::BruteForceResultSize() const {
+  // Odometer over the joint domain (d0, d1, ..., d_{k-1}) where dj indexes
+  // the join attribute between R_{j-1} and R_j; relation j contributes
+  // F_j(d_j, d_{j+1 mod k}).
+  const size_t k = matrices_.size();
+  std::vector<size_t> extents(k);
+  for (size_t j = 0; j < k; ++j) extents[j] = matrices_[j].rows();
+  std::vector<size_t> idx(k, 0);
+  KahanSum total;
+  while (true) {
+    double product = 1.0;
+    for (size_t j = 0; j < k && product != 0; ++j) {
+      product *= matrices_[j].At(idx[j], idx[(j + 1) % k]);
+    }
+    total.Add(product);
+    size_t d = k;
+    bool done = false;
+    while (d > 0) {
+      --d;
+      if (++idx[d] < extents[d]) break;
+      idx[d] = 0;
+      if (d == 0) done = true;
+    }
+    if (done) return total.Value();
+  }
+}
+
+}  // namespace hops

@@ -1,0 +1,62 @@
+// Cyclic equality-join queries — the first item on the paper's future-work
+// list ("identifying optimal histograms for completely different types of
+// queries (e.g., cyclic joins ...)").
+//
+//   Q := (R0.a1 = R1.a1 and R1.a2 = R2.a2 and ... and R_{k}.a0 = R0.a0)
+//
+// Every relation is interior (two join attributes), the chain closes on
+// itself, and the exact result size becomes the *trace* of the frequency-
+// matrix product instead of a vector-bounded product:
+//   S = tr(F0 * F1 * ... * Fk).
+// The histogram machinery applies unchanged (bucketize each matrix's
+// cells); the library provides the substrate so the open question can be
+// studied empirically (see tests and the cyclic sweep in the experiments).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "histogram/bucketization.h"
+#include "histogram/histogram.h"
+#include "stats/frequency_matrix.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief A validated cycle query over frequency matrices.
+class CycleQuery {
+ public:
+  CycleQuery() = default;
+
+  /// Takes the per-relation matrices F0..Fk in cycle order. Adjacent inner
+  /// dimensions must agree, and Fk's column count must match F0's row count
+  /// (the closing join). At least two relations.
+  static Result<CycleQuery> Make(std::vector<FrequencyMatrix> matrices);
+
+  size_t num_relations() const { return matrices_.size(); }
+  /// A cycle of n relations has n join predicates.
+  size_t num_joins() const { return matrices_.size(); }
+
+  const std::vector<FrequencyMatrix>& matrices() const { return matrices_; }
+  const FrequencyMatrix& matrix(size_t j) const { return matrices_[j]; }
+
+  /// Exact result size: trace of the matrix product.
+  Result<double> ExactResultSize() const;
+
+  /// Estimated size when relation j's cells are bucketized by
+  /// \p bucketizations[j].
+  Result<double> EstimateResultSize(
+      std::span<const Bucketization> bucketizations,
+      BucketAverageMode mode = BucketAverageMode::kExact) const;
+
+  /// Brute-force size by enumerating the joint domain (tests only).
+  Result<double> BruteForceResultSize() const;
+
+ private:
+  explicit CycleQuery(std::vector<FrequencyMatrix> matrices)
+      : matrices_(std::move(matrices)) {}
+  std::vector<FrequencyMatrix> matrices_;
+};
+
+}  // namespace hops

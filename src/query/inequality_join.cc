@@ -1,0 +1,82 @@
+#include "query/inequality_join.h"
+
+#include "util/math.h"
+
+namespace hops {
+
+const char* JoinComparisonToString(JoinComparison op) {
+  switch (op) {
+    case JoinComparison::kLess:
+      return "<";
+    case JoinComparison::kLessEqual:
+      return "<=";
+    case JoinComparison::kGreater:
+      return ">";
+    case JoinComparison::kGreaterEqual:
+      return ">=";
+    case JoinComparison::kNotEqual:
+      return "!=";
+    case JoinComparison::kEqual:
+      return "=";
+  }
+  return "?";
+}
+
+Result<double> ThetaJoinSize(std::span<const Frequency> left,
+                             std::span<const Frequency> right,
+                             JoinComparison op) {
+  if (left.size() != right.size()) {
+    return Status::InvalidArgument(
+        "theta join needs a shared domain: " + std::to_string(left.size()) +
+        " vs " + std::to_string(right.size()) + " values");
+  }
+  for (Frequency f : left) {
+    if (!(f >= 0)) return Status::InvalidArgument("negative frequency");
+  }
+  for (Frequency f : right) {
+    if (!(f >= 0)) return Status::InvalidArgument("negative frequency");
+  }
+  const size_t m = left.size();
+  // right_suffix[v] = sum_{w >= v} right[w]; computed once, every operator
+  // below is a single pass.
+  std::vector<double> right_suffix(m + 1, 0.0);
+  for (size_t v = m; v-- > 0;) {
+    right_suffix[v] = right_suffix[v + 1] + right[v];
+  }
+  KahanSum total;
+  switch (op) {
+    case JoinComparison::kLess:
+      for (size_t u = 0; u < m; ++u) {
+        total.Add(left[u] * right_suffix[u + 1]);
+      }
+      break;
+    case JoinComparison::kLessEqual:
+      for (size_t u = 0; u < m; ++u) {
+        total.Add(left[u] * right_suffix[u]);
+      }
+      break;
+    case JoinComparison::kGreater:
+      for (size_t u = 0; u < m; ++u) {
+        total.Add(left[u] * (right_suffix[0] - right_suffix[u]));
+      }
+      break;
+    case JoinComparison::kGreaterEqual:
+      for (size_t u = 0; u < m; ++u) {
+        total.Add(left[u] * (right_suffix[0] - right_suffix[u + 1]));
+      }
+      break;
+    case JoinComparison::kNotEqual:
+      for (size_t u = 0; u < m; ++u) {
+        total.Add(left[u] * (right_suffix[0] - right[u]));
+      }
+      break;
+    case JoinComparison::kEqual:
+      for (size_t u = 0; u < m; ++u) {
+        total.Add(left[u] * right[u]);
+      }
+      break;
+  }
+  return total.Value();
+}
+
+}  // namespace hops

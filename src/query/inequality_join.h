@@ -1,0 +1,41 @@
+// Non-equality joins — the paper's other open future-work query class.
+//
+// For two relations with frequency vectors f, g over *ordered* domains, the
+// result size of R.a <op> S.b decomposes over value pairs:
+//   S_< = sum_{u < v} f(u) g(v),   S_<= , S_> , S_>= analogous,
+//   S_!= = |R| |S| - sum_v f(v) g(v)   (complement of the equi-join,
+//                                       Section 6's # operator).
+// All are computable in O(M) with prefix sums, both exactly and under
+// histogram approximations (replace f, g by their bucket averages laid out
+// in value order) — which is what lets the experiments measure how serial
+// histograms fare on these operators.
+
+#pragma once
+
+#include <span>
+
+#include "stats/frequency_set.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Comparison operator of the join predicate R.a <op> S.b.
+enum class JoinComparison {
+  kLess,
+  kLessEqual,
+  kGreater,
+  kGreaterEqual,
+  kNotEqual,
+  kEqual,
+};
+
+const char* JoinComparisonToString(JoinComparison op);
+
+/// \brief Result size of the theta-join of two frequency vectors over the
+/// SAME ordered domain: position i of both spans is domain value i.
+/// Fails if the spans' lengths differ or any frequency is negative.
+Result<double> ThetaJoinSize(std::span<const Frequency> left,
+                             std::span<const Frequency> right,
+                             JoinComparison op);
+
+}  // namespace hops

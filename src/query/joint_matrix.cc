@@ -1,0 +1,93 @@
+#include "query/joint_matrix.h"
+
+#include "util/math.h"
+
+namespace hops {
+
+double JointFrequencyRow::Product() const {
+  double p = 1.0;
+  for (double f : frequencies) p *= f;
+  return p;
+}
+
+Result<JointFrequencyTable> JointFrequencyTable::Build(
+    const ChainQuery& query, uint64_t max_rows) {
+  JointFrequencyTable table;
+  const size_t n = query.num_joins();
+  if (n == 0) {
+    // Single relation, 1x1 scalar: one row with no domain columns.
+    JointFrequencyRow row;
+    row.frequencies.push_back(query.matrix(0).At(0, 0));
+    if (row.frequencies[0] != 0) table.rows_.push_back(std::move(row));
+    return table;
+  }
+  // Depth-first enumeration over the N join-domain columns, pruning zero
+  // products (a zero frequency in any relation kills the whole subtree).
+  std::vector<size_t> values(n, 0);
+  std::vector<double> freqs(n + 1, 0.0);
+
+  // Recurse over join positions. At position j we have fixed d1..dj and the
+  // frequencies f0..f_{j-1}; we pick dj+1 next.
+  struct Frame {
+    size_t depth;
+    size_t value;
+  };
+  // Iterative DFS to avoid std::function recursion overhead.
+  // freqs[j] = frequency of relation j given (d_j, d_{j+1}).
+  // Relation 0 is 1 x M1: f0 = F0(0, d1). Relation j (1<=j<n): Fj(d_j,
+  // d_{j+1}). Relation n: Fn(d_n, 0).
+  std::vector<size_t> cursor(n, 0);
+  size_t depth = 0;
+  while (true) {
+    if (cursor[depth] >= query.matrix(depth).cols()) {
+      // Exhausted this level; pop.
+      if (depth == 0) break;
+      --depth;
+      ++cursor[depth];
+      continue;
+    }
+    size_t d = cursor[depth];
+    values[depth] = d;
+    double f;
+    if (depth == 0) {
+      f = query.matrix(0).At(0, d);
+    } else {
+      f = query.matrix(depth).At(values[depth - 1], d);
+    }
+    freqs[depth] = f;
+    if (f == 0) {
+      ++cursor[depth];
+      continue;
+    }
+    if (depth + 1 == n) {
+      // Close the row with the last relation's vertical vector.
+      double fn = query.matrix(n).At(d, 0);
+      if (fn != 0) {
+        JointFrequencyRow row;
+        row.domain_values.assign(values.begin(), values.end());
+        row.frequencies.assign(freqs.begin(), freqs.begin() +
+                                                   static_cast<long>(n));
+        row.frequencies.push_back(fn);
+        table.rows_.push_back(std::move(row));
+        if (table.rows_.size() > max_rows) {
+          return Status::ResourceExhausted(
+              "joint-frequency table exceeds max_rows=" +
+              std::to_string(max_rows));
+        }
+      }
+      ++cursor[depth];
+    } else {
+      ++depth;
+      cursor[depth] = 0;
+    }
+  }
+  return table;
+}
+
+double JointFrequencyTable::ResultSize() const {
+  KahanSum acc;
+  for (const auto& row : rows_) acc.Add(row.Product());
+  return acc.Value();
+}
+
+}  // namespace hops

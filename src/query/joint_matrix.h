@@ -1,0 +1,51 @@
+// The joint-frequency matrix of a chain query (Section 2.2).
+//
+// Conceptually: join the tables representing every relation's frequency
+// matrix on their shared domain columns, keeping all columns — a
+// (2N+1)-column table with N domain columns and N+1 frequency columns
+// (Example 2.2's quintuples). The query's result size is the sum over rows
+// of the product of the frequency columns. Building it requires touching
+// every relation's full contents, which is exactly why the paper deems the
+// full-knowledge setting impractical (Section 3.3, algorithm JointMatrix);
+// we materialize it only for small domains (tests, the arrangement study).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/chain_query.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief One row of the joint-frequency table: the joined domain values
+/// d1..dN and the corresponding frequencies f0..fN.
+struct JointFrequencyRow {
+  std::vector<size_t> domain_values;  ///< size N.
+  std::vector<double> frequencies;    ///< size N+1.
+
+  /// The row's contribution to the result size: product of frequencies.
+  double Product() const;
+};
+
+/// \brief Materialized joint-frequency table.
+class JointFrequencyTable {
+ public:
+  /// Builds the table for \p query, skipping rows whose frequency product is
+  /// zero. Fails with ResourceExhausted if more than \p max_rows non-zero
+  /// rows would be produced.
+  static Result<JointFrequencyTable> Build(const ChainQuery& query,
+                                           uint64_t max_rows = 1u << 22);
+
+  const std::vector<JointFrequencyRow>& rows() const { return rows_; }
+
+  /// Sum over rows of the frequency products — must equal the chain-product
+  /// result size (cross-checked in tests).
+  double ResultSize() const;
+
+ private:
+  std::vector<JointFrequencyRow> rows_;
+};
+
+}  // namespace hops

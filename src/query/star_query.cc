@@ -1,0 +1,98 @@
+#include "query/star_query.h"
+
+#include "util/math.h"
+
+namespace hops {
+
+Result<StarQuery> StarQuery::Make(
+    FrequencyTensor center, std::vector<std::vector<Frequency>> leaves) {
+  if (center.rank() == 0) {
+    return Status::InvalidArgument("star center must have rank >= 1");
+  }
+  if (leaves.size() != center.rank()) {
+    return Status::InvalidArgument(
+        "star query needs one leaf per center dimension: got " +
+        std::to_string(leaves.size()) + " for rank " +
+        std::to_string(center.rank()));
+  }
+  for (size_t d = 0; d < leaves.size(); ++d) {
+    if (leaves[d].size() != center.shape()[d]) {
+      return Status::InvalidArgument(
+          "leaf " + std::to_string(d) + " has length " +
+          std::to_string(leaves[d].size()) + " but center dimension has " +
+          std::to_string(center.shape()[d]) + " values");
+    }
+    for (Frequency f : leaves[d]) {
+      if (!(f >= 0)) {
+        return Status::InvalidArgument("leaf frequencies must be >= 0");
+      }
+    }
+  }
+  return StarQuery(std::move(center), std::move(leaves));
+}
+
+Result<double> StarQuery::ExactResultSize() const {
+  FrequencyTensor acc = center_;
+  // Always contract dimension 0 of the shrinking tensor; after contracting
+  // leaf d, former dimension d+1 becomes dimension 0... contract in order.
+  for (size_t d = 0; d < leaves_.size(); ++d) {
+    HOPS_ASSIGN_OR_RETURN(acc, acc.ContractDimension(0, leaves_[d]));
+  }
+  return acc.ScalarValue();
+}
+
+Result<double> StarQuery::EstimateResultSize(
+    const Bucketization& center_buckets,
+    std::span<const Bucketization> leaf_buckets,
+    BucketAverageMode mode) const {
+  if (leaf_buckets.size() != leaves_.size()) {
+    return Status::InvalidArgument(
+        "need one bucketization per leaf relation");
+  }
+  // Approximate center tensor.
+  HOPS_ASSIGN_OR_RETURN(
+      Histogram center_hist,
+      Histogram::Make(center_.ToFrequencySet(), center_buckets));
+  HOPS_ASSIGN_OR_RETURN(FrequencyTensor approx_center,
+                        FrequencyTensor::Zero(center_.shape()));
+  for (size_t flat = 0; flat < center_.num_cells(); ++flat) {
+    approx_center.SetFlat(flat, center_hist.ApproxFrequency(flat, mode));
+  }
+  // Approximate leaves, then contract.
+  FrequencyTensor acc = std::move(approx_center);
+  for (size_t d = 0; d < leaves_.size(); ++d) {
+    HOPS_ASSIGN_OR_RETURN(FrequencySet leaf_set,
+                          FrequencySet::Make(leaves_[d]));
+    HOPS_ASSIGN_OR_RETURN(Histogram leaf_hist,
+                          Histogram::Make(std::move(leaf_set),
+                                          leaf_buckets[d]));
+    std::vector<Frequency> approx_leaf = leaf_hist.ApproximateFrequencies(
+        mode);
+    HOPS_ASSIGN_OR_RETURN(acc, acc.ContractDimension(0, approx_leaf));
+  }
+  return acc.ScalarValue();
+}
+
+Result<double> StarQuery::BruteForceResultSize() const {
+  // Enumerate the joint index space with an odometer.
+  const auto& shape = center_.shape();
+  std::vector<size_t> idx(shape.size(), 0);
+  KahanSum total;
+  while (true) {
+    double product = center_.At(idx);
+    for (size_t d = 0; d < shape.size() && product != 0; ++d) {
+      product *= leaves_[d][idx[d]];
+    }
+    total.Add(product);
+    // Advance odometer.
+    size_t d = shape.size();
+    while (d > 0) {
+      --d;
+      if (++idx[d] < shape[d]) break;
+      idx[d] = 0;
+      if (d == 0) return total.Value();
+    }
+  }
+}
+
+}  // namespace hops

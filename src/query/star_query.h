@@ -1,0 +1,67 @@
+// Star (tree) equality-join queries via tensor contraction — the paper's
+// Section 2.2 generalization beyond chains.
+//
+//   Q := (R0.a1 = C.a1 and R1.a2 = C.a2 and ... and R_{D-1}.aD = C.aD)
+//
+// The center relation C carries a D-dimensional frequency tensor over its D
+// join attributes; each leaf Rj carries a frequency vector over attribute
+// a_{j+1}'s domain. By (the tensor form of) Theorem 2.1 the result size is
+// the full contraction of the center tensor with every leaf vector. Any tree
+// query decomposes into such contractions bottom-up; the star is the
+// primitive step.
+//
+// Histograms bucketize the center tensor's flattened cells exactly as they
+// bucketize matrices, so every construction in histogram/builders.h applies
+// unchanged — including the v-optimality result: the per-relation self-join
+// optimum remains the right choice.
+
+#pragma once
+
+#include <vector>
+
+#include "histogram/bucketization.h"
+#include "histogram/histogram.h"
+#include "stats/frequency_tensor.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief A validated star query: one center tensor, one leaf vector per
+/// center dimension.
+class StarQuery {
+ public:
+  StarQuery() = default;
+
+  /// \p leaves[d] joins the center's dimension d; its length must equal the
+  /// center's extent in that dimension.
+  static Result<StarQuery> Make(FrequencyTensor center,
+                                std::vector<std::vector<Frequency>> leaves);
+
+  size_t num_leaves() const { return leaves_.size(); }
+  const FrequencyTensor& center() const { return center_; }
+  const std::vector<Frequency>& leaf(size_t d) const { return leaves_[d]; }
+
+  /// Exact result size: contract every dimension with its leaf.
+  Result<double> ExactResultSize() const;
+
+  /// Estimated result size when the center's cells are bucketized by
+  /// \p center_buckets and each leaf d by \p leaf_buckets[d].
+  Result<double> EstimateResultSize(
+      const Bucketization& center_buckets,
+      std::span<const Bucketization> leaf_buckets,
+      BucketAverageMode mode = BucketAverageMode::kExact) const;
+
+  /// Brute-force result size by enumerating the full joint index space —
+  /// O(prod of extents); used to cross-check the contraction in tests.
+  Result<double> BruteForceResultSize() const;
+
+ private:
+  StarQuery(FrequencyTensor center,
+            std::vector<std::vector<Frequency>> leaves)
+      : center_(std::move(center)), leaves_(std::move(leaves)) {}
+
+  FrequencyTensor center_;
+  std::vector<std::vector<Frequency>> leaves_;
+};
+
+}  // namespace hops

@@ -1,0 +1,52 @@
+#include "stats/arrangement.h"
+
+namespace hops {
+
+bool IsPermutation(std::span<const size_t> perm, size_t n) {
+  if (perm.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (size_t p : perm) {
+    if (p >= n || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+Result<FrequencyMatrix> ArrangeAsMatrix(const FrequencySet& set, size_t rows,
+                                        size_t cols,
+                                        std::span<const size_t> perm) {
+  const size_t n = rows * cols;
+  if (set.size() != n) {
+    return Status::InvalidArgument(
+        "frequency set size " + std::to_string(set.size()) +
+        " does not fill a " + std::to_string(rows) + "x" +
+        std::to_string(cols) + " matrix");
+  }
+  if (!IsPermutation(perm, n)) {
+    return Status::InvalidArgument("invalid arrangement permutation");
+  }
+  std::vector<Frequency> cells(n, 0.0);
+  for (size_t i = 0; i < n; ++i) cells[perm[i]] = set[i];
+  return FrequencyMatrix::Make(rows, cols, std::move(cells));
+}
+
+Result<FrequencyMatrix> ArrangeIdentity(const FrequencySet& set, size_t rows,
+                                        size_t cols) {
+  if (set.size() != rows * cols) {
+    return Status::InvalidArgument(
+        "frequency set size does not match matrix shape");
+  }
+  std::vector<Frequency> cells(set.values().begin(), set.values().end());
+  return FrequencyMatrix::Make(rows, cols, std::move(cells));
+}
+
+Result<FrequencyMatrix> ArrangeRandom(const FrequencySet& set, size_t rows,
+                                      size_t cols, Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("rng must not be null");
+  }
+  std::vector<size_t> perm = rng->Permutation(rows * cols);
+  return ArrangeAsMatrix(set, rows, cols, perm);
+}
+
+}  // namespace hops

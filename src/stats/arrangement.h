@@ -1,0 +1,44 @@
+// Arrangements of frequency sets over join domains (Section 3.2).
+//
+// A frequency set forgets which value carries which frequency. An
+// *arrangement* re-attaches them: a permutation pi maps the i-th element of
+// the set to the pi(i)-th cell of the relation's frequency matrix. The
+// paper's v-optimality averages the squared estimation error over all such
+// arrangements of every query relation; the experiments of Section 5.2
+// sample 20 random arrangements per configuration. This module provides the
+// machinery both for deterministic arrangements (self-joins, identity) and
+// for seeded random sampling.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/frequency_matrix.h"
+#include "stats/frequency_set.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Places set[i] at flat matrix cell perm[i] of a rows x cols matrix.
+///
+/// Requires set.size() == rows*cols == perm.size() and perm to be a
+/// permutation of [0, rows*cols).
+Result<FrequencyMatrix> ArrangeAsMatrix(const FrequencySet& set, size_t rows,
+                                        size_t cols,
+                                        std::span<const size_t> perm);
+
+/// \brief Identity arrangement: set entries in their stored order, row-major.
+Result<FrequencyMatrix> ArrangeIdentity(const FrequencySet& set, size_t rows,
+                                        size_t cols);
+
+/// \brief Uniformly random arrangement drawn from \p rng.
+Result<FrequencyMatrix> ArrangeRandom(const FrequencySet& set, size_t rows,
+                                      size_t cols, Rng* rng);
+
+/// \brief Verifies that \p perm is a permutation of [0, n).
+bool IsPermutation(std::span<const size_t> perm, size_t n);
+
+}  // namespace hops

@@ -1,0 +1,116 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/math.h"
+
+namespace hops {
+
+const char* DistributionKindToString(DistributionKind kind) {
+  switch (kind) {
+    case DistributionKind::kUniform:
+      return "uniform";
+    case DistributionKind::kZipf:
+      return "zipf";
+    case DistributionKind::kReverseZipf:
+      return "reverse-zipf";
+    case DistributionKind::kTwoStep:
+      return "two-step";
+    case DistributionKind::kNoisyUniform:
+      return "noisy-uniform";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Rescales to the requested total (keeping non-negativity), optionally
+// rounding to integers with the total preserved by largest remainder.
+Result<FrequencySet> FinishSet(std::vector<Frequency> f, double total,
+                               bool integer_valued) {
+  double current = Sum(f);
+  if (current > 0) {
+    double scale = total / current;
+    for (auto& v : f) v *= scale;
+  }
+  std::sort(f.begin(), f.end(), std::greater<>());
+  if (!integer_valued) return FrequencySet::Make(std::move(f));
+
+  const int64_t target = static_cast<int64_t>(std::llround(total));
+  std::vector<std::pair<double, size_t>> rema(f.size());
+  int64_t assigned = 0;
+  for (size_t i = 0; i < f.size(); ++i) {
+    double fl = std::floor(f[i]);
+    rema[i] = {f[i] - fl, i};
+    f[i] = fl;
+    assigned += static_cast<int64_t>(fl);
+  }
+  std::stable_sort(rema.begin(), rema.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  int64_t leftover = target - assigned;
+  for (int64_t u = 0; u < leftover; ++u) {
+    f[rema[static_cast<size_t>(u) % f.size()].second] += 1.0;
+  }
+  std::sort(f.begin(), f.end(), std::greater<>());
+  return FrequencySet::Make(std::move(f));
+}
+
+}  // namespace
+
+Result<FrequencySet> GenerateFrequencySet(const DistributionSpec& spec) {
+  if (spec.num_values == 0) {
+    return Status::InvalidArgument("num_values must be positive");
+  }
+  if (!(spec.total >= 0) || !std::isfinite(spec.total)) {
+    return Status::InvalidArgument("total must be non-negative and finite");
+  }
+  const size_t m = spec.num_values;
+
+  switch (spec.kind) {
+    case DistributionKind::kUniform: {
+      std::vector<Frequency> f(m, spec.total / static_cast<double>(m));
+      return FinishSet(std::move(f), spec.total, spec.integer_valued);
+    }
+    case DistributionKind::kZipf: {
+      ZipfParams zp{spec.total, m, spec.skew};
+      HOPS_ASSIGN_OR_RETURN(std::vector<Frequency> f, ZipfFrequencies(zp));
+      return FinishSet(std::move(f), spec.total, spec.integer_valued);
+    }
+    case DistributionKind::kReverseZipf: {
+      // Mirror a Zipf shape around its midrange so that most values sit at
+      // high frequencies and a small tail sits low — the reverse of Zipf.
+      ZipfParams zp{spec.total, m, spec.skew};
+      HOPS_ASSIGN_OR_RETURN(std::vector<Frequency> f, ZipfFrequencies(zp));
+      double hi = f.front(), lo = f.back();
+      for (auto& v : f) v = hi + lo - v;
+      return FinishSet(std::move(f), spec.total, spec.integer_valued);
+    }
+    case DistributionKind::kTwoStep: {
+      // skew acts as the high/low plateau frequency ratio (>= 1); 20% of the
+      // values sit on the high plateau.
+      double ratio = std::max(spec.skew, 1.0);
+      size_t num_high = std::max<size_t>(1, m / 5);
+      std::vector<Frequency> f(m, 1.0);
+      for (size_t i = 0; i < num_high; ++i) f[i] = ratio;
+      return FinishSet(std::move(f), spec.total, spec.integer_valued);
+    }
+    case DistributionKind::kNoisyUniform: {
+      if (!(spec.noise >= 0) || spec.noise >= 1.0) {
+        return Status::InvalidArgument("noise must be in [0, 1)");
+      }
+      Rng rng(spec.seed);
+      std::vector<Frequency> f(m);
+      for (auto& v : f) {
+        v = 1.0 + spec.noise * (2.0 * rng.NextDouble() - 1.0);
+      }
+      return FinishSet(std::move(f), spec.total, spec.integer_valued);
+    }
+  }
+  return Status::InvalidArgument("unknown distribution kind");
+}
+
+}  // namespace hops

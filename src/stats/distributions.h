@@ -1,0 +1,48 @@
+// Synthetic frequency-distribution generators beyond plain Zipf.
+//
+// The paper's experiments use Zipf throughout (Section 5) and argue in
+// Section 4.2 that "reverse Zipf" distributions (relatively many high
+// frequencies and few small ones) are the case where sampling-based
+// top-frequency identification fails. We generate those shapes too so tests
+// and ablations can exercise them.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/frequency_set.h"
+#include "stats/zipf.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Shape families for synthetic frequency sets.
+enum class DistributionKind {
+  kUniform,      ///< All frequencies equal (Zipf with z = 0).
+  kZipf,         ///< Few high, many low (paper formula (1)).
+  kReverseZipf,  ///< Many high, few low (Section 4.2's hard case).
+  kTwoStep,      ///< Two plateaus: a high plateau and a low plateau.
+  kNoisyUniform, ///< Uniform +/- bounded multiplicative noise.
+};
+
+const char* DistributionKindToString(DistributionKind kind);
+
+/// \brief Full specification of a synthetic frequency set.
+struct DistributionSpec {
+  DistributionKind kind = DistributionKind::kZipf;
+  double total = 1000.0;   ///< Relation size T.
+  size_t num_values = 100; ///< Domain size M.
+  double skew = 1.0;       ///< z for (reverse-)Zipf; plateau ratio for kTwoStep.
+  double noise = 0.25;     ///< Relative noise amplitude for kNoisyUniform.
+  uint64_t seed = 42;      ///< Only used by randomized kinds.
+  bool integer_valued = false;
+};
+
+/// \brief Generates the frequency set described by \p spec, in descending
+/// frequency order.
+Result<FrequencySet> GenerateFrequencySet(const DistributionSpec& spec);
+
+}  // namespace hops

@@ -1,0 +1,126 @@
+#include "stats/frequency_matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/math.h"
+
+namespace hops {
+
+Result<FrequencyMatrix> FrequencyMatrix::Zero(size_t rows, size_t cols) {
+  if (rows == 0 || cols == 0) {
+    return Status::InvalidArgument("matrix dimensions must be positive");
+  }
+  return FrequencyMatrix(rows, cols,
+                         std::vector<Frequency>(rows * cols, 0.0));
+}
+
+Result<FrequencyMatrix> FrequencyMatrix::Make(size_t rows, size_t cols,
+                                              std::vector<Frequency> data) {
+  if (rows == 0 || cols == 0) {
+    return Status::InvalidArgument("matrix dimensions must be positive");
+  }
+  if (data.size() != rows * cols) {
+    return Status::InvalidArgument(
+        "matrix data size " + std::to_string(data.size()) +
+        " does not match shape " + std::to_string(rows) + "x" +
+        std::to_string(cols));
+  }
+  for (Frequency f : data) {
+    if (!std::isfinite(f) || f < 0) {
+      return Status::InvalidArgument(
+          "matrix entries must be finite and non-negative");
+    }
+  }
+  return FrequencyMatrix(rows, cols, std::move(data));
+}
+
+Result<FrequencyMatrix> FrequencyMatrix::HorizontalVector(
+    std::vector<Frequency> data) {
+  size_t n = data.size();
+  return Make(1, n, std::move(data));
+}
+
+Result<FrequencyMatrix> FrequencyMatrix::VerticalVector(
+    std::vector<Frequency> data) {
+  size_t n = data.size();
+  return Make(n, 1, std::move(data));
+}
+
+FrequencySet FrequencyMatrix::ToFrequencySet() const {
+  // Entries were validated at construction, so Make cannot fail.
+  return FrequencySet::Make(data_).ValueOrDie();
+}
+
+double FrequencyMatrix::Total() const { return Sum(data_); }
+
+Result<FrequencyMatrix> FrequencyMatrix::Multiply(
+    const FrequencyMatrix& other) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument(
+        "inner dimensions do not match: " + std::to_string(cols_) + " vs " +
+        std::to_string(other.rows_));
+  }
+  std::vector<Frequency> out(rows_ * other.cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      Frequency v = At(r, k);
+      if (v == 0) continue;
+      const size_t base = k * other.cols_;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out[r * other.cols_ + c] += v * other.data_[base + c];
+      }
+    }
+  }
+  return FrequencyMatrix(rows_, other.cols_, std::move(out));
+}
+
+FrequencyMatrix FrequencyMatrix::Transposed() const {
+  std::vector<Frequency> out(rows_ * cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      out[c * rows_ + r] = At(r, c);
+    }
+  }
+  return FrequencyMatrix(cols_, rows_, std::move(out));
+}
+
+std::string FrequencyMatrix::ToString() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [";
+  for (size_t r = 0; r < rows_; ++r) {
+    if (r) os << "; ";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c) os << " ";
+      os << At(r, c);
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+Result<double> ChainResultSize(std::span<const FrequencyMatrix> matrices) {
+  if (matrices.empty()) {
+    return Status::InvalidArgument("chain query needs at least one relation");
+  }
+  if (matrices.front().rows() != 1) {
+    return Status::InvalidArgument(
+        "first chain matrix must be a horizontal vector (1 x M1)");
+  }
+  if (matrices.back().cols() != 1) {
+    return Status::InvalidArgument(
+        "last chain matrix must be a vertical vector (MN x 1)");
+  }
+  FrequencyMatrix acc = matrices.front();
+  for (size_t i = 1; i < matrices.size(); ++i) {
+    HOPS_ASSIGN_OR_RETURN(acc, acc.Multiply(matrices[i]));
+  }
+  // acc is 1x1 by construction.
+  return acc.At(0, 0);
+}
+
+double SelfJoinResultSize(const FrequencySet& set) {
+  return set.SelfJoinSize();
+}
+
+}  // namespace hops

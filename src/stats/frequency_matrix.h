@@ -1,0 +1,91 @@
+// Frequency matrices and the chain-product result-size formula
+// (Section 2.2, Theorem 2.1).
+//
+// For a chain query
+//   Q := (R0.a1 = R1.a1 and R1.a2 = R2.a2 and ... and R_{N-1}.aN = RN.aN)
+// relation Rj carries an (Mj x Mj+1) frequency matrix over the domains of
+// its two join attributes (M0 = M_{N+1} = 1, so R0's matrix is a horizontal
+// vector and RN's a vertical one), and the exact result size is the scalar
+// product F0 * F1 * ... * FN.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/frequency_set.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Dense row-major matrix of non-negative frequencies.
+class FrequencyMatrix {
+ public:
+  FrequencyMatrix() = default;
+
+  /// An all-zero matrix of the given shape. Fails on a zero dimension.
+  static Result<FrequencyMatrix> Zero(size_t rows, size_t cols);
+
+  /// From row-major \p data of size rows*cols. Fails on shape mismatch or
+  /// negative / non-finite entries.
+  static Result<FrequencyMatrix> Make(size_t rows, size_t cols,
+                                      std::vector<Frequency> data);
+
+  /// 1 x n horizontal vector (an end relation's matrix).
+  static Result<FrequencyMatrix> HorizontalVector(
+      std::vector<Frequency> data);
+
+  /// n x 1 vertical vector.
+  static Result<FrequencyMatrix> VerticalVector(std::vector<Frequency> data);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t num_cells() const { return rows_ * cols_; }
+
+  Frequency At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  void Set(size_t r, size_t c, Frequency v) { data_[r * cols_ + c] = v; }
+
+  /// Row-major cell view.
+  std::span<const Frequency> cells() const { return data_; }
+
+  /// The multiset of all cells — the matrix's frequency set (Section 2.2).
+  FrequencySet ToFrequencySet() const;
+
+  /// Sum of all cells (the relation size T for this attribute pair).
+  double Total() const;
+
+  /// Matrix product this * other. Fails on inner-dimension mismatch.
+  Result<FrequencyMatrix> Multiply(const FrequencyMatrix& other) const;
+
+  /// Transposed copy.
+  FrequencyMatrix Transposed() const;
+
+  std::string ToString() const;
+
+  bool operator==(const FrequencyMatrix& other) const = default;
+
+ private:
+  FrequencyMatrix(size_t rows, size_t cols, std::vector<Frequency> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {}
+
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<Frequency> data_;
+};
+
+/// \brief Exact result size of a chain query, S = F0 * F1 * ... * FN
+/// (Theorem 2.1).
+///
+/// Requires: matrices.front().rows() == 1, matrices.back().cols() == 1, and
+/// adjacent dimensions must agree. A single matrix must be 1x1? No — a
+/// single-relation "chain" is allowed only if it is a 1x1 scalar; for the
+/// usual two-or-more-relation chains the ends are vectors.
+Result<double> ChainResultSize(std::span<const FrequencyMatrix> matrices);
+
+/// \brief Self-join result size of a one-attribute relation with frequency
+/// vector \p set: sum of squared frequencies.
+double SelfJoinResultSize(const FrequencySet& set);
+
+}  // namespace hops

@@ -1,0 +1,69 @@
+#include "stats/frequency_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "util/math.h"
+
+namespace hops {
+
+Result<FrequencySet> FrequencySet::Make(std::vector<Frequency> frequencies) {
+  for (Frequency f : frequencies) {
+    if (!std::isfinite(f) || f < 0) {
+      return Status::InvalidArgument(
+          "frequency set entries must be finite and non-negative");
+    }
+  }
+  return FrequencySet(std::move(frequencies));
+}
+
+double FrequencySet::Total() const { return Sum(frequencies_); }
+
+double FrequencySet::SelfJoinSize() const {
+  return SumOfSquares(frequencies_);
+}
+
+std::vector<Frequency> FrequencySet::Sorted() const {
+  std::vector<Frequency> out = frequencies_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Frequency> FrequencySet::SortedDescending() const {
+  std::vector<Frequency> out = frequencies_;
+  std::sort(out.begin(), out.end(), std::greater<>());
+  return out;
+}
+
+size_t FrequencySet::NumDistinct() const {
+  std::vector<Frequency> sorted = Sorted();
+  return static_cast<size_t>(
+      std::distance(sorted.begin(), std::unique(sorted.begin(), sorted.end())));
+}
+
+Frequency FrequencySet::Max() const {
+  if (frequencies_.empty()) return 0;
+  return *std::max_element(frequencies_.begin(), frequencies_.end());
+}
+
+Frequency FrequencySet::Min() const {
+  if (frequencies_.empty()) return 0;
+  return *std::min_element(frequencies_.begin(), frequencies_.end());
+}
+
+std::string FrequencySet::ToString(size_t max_entries) const {
+  std::ostringstream os;
+  os << "FrequencySet(M=" << size() << ", T=" << Total() << ", [";
+  size_t shown = std::min(max_entries, frequencies_.size());
+  for (size_t i = 0; i < shown; ++i) {
+    if (i) os << ", ";
+    os << frequencies_[i];
+  }
+  if (shown < frequencies_.size()) os << ", ...";
+  os << "])";
+  return os.str();
+}
+
+}  // namespace hops

@@ -1,0 +1,71 @@
+// Frequency sets (Section 2.2 of the paper).
+//
+// The frequency set of a relation's attribute is the multiset of tuple
+// counts per attribute value, with the value <-> frequency association
+// deliberately forgotten. It is the "minimum required knowledge" under which
+// the paper defines v-optimality, and the input to every histogram builder.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hops {
+
+/// A single attribute-value frequency. The paper's results hold for
+/// non-negative reals; database frequencies are non-negative integers.
+using Frequency = double;
+
+/// \brief Multiset of per-value frequencies of one attribute (or of all
+/// cells of a multi-attribute frequency matrix).
+class FrequencySet {
+ public:
+  FrequencySet() = default;
+
+  /// Takes ownership of \p frequencies. Fails if any entry is negative or
+  /// non-finite.
+  static Result<FrequencySet> Make(std::vector<Frequency> frequencies);
+
+  /// Number of (potential) attribute values, the paper's M.
+  size_t size() const { return frequencies_.size(); }
+  bool empty() const { return frequencies_.empty(); }
+
+  /// Raw entries in insertion order (arbitrary: a frequency set carries no
+  /// value association).
+  std::span<const Frequency> values() const { return frequencies_; }
+  Frequency operator[](size_t i) const { return frequencies_[i]; }
+
+  /// Total tuple count, the paper's T (relation size for a single
+  /// attribute's set).
+  double Total() const;
+
+  /// Sum of squared frequencies = exact self-join result size (Theorem 2.1
+  /// specialized to R ⋈ R).
+  double SelfJoinSize() const;
+
+  /// Copy of the entries sorted ascending.
+  std::vector<Frequency> Sorted() const;
+
+  /// Copy sorted descending (rank order, as in the paper's Figure 1).
+  std::vector<Frequency> SortedDescending() const;
+
+  /// Number of distinct frequency magnitudes.
+  size_t NumDistinct() const;
+
+  /// Largest / smallest entry; 0 on empty.
+  Frequency Max() const;
+  Frequency Min() const;
+
+  std::string ToString(size_t max_entries = 16) const;
+
+ private:
+  explicit FrequencySet(std::vector<Frequency> f)
+      : frequencies_(std::move(f)) {}
+  std::vector<Frequency> frequencies_;
+};
+
+}  // namespace hops

@@ -1,0 +1,132 @@
+#include "stats/frequency_tensor.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "util/math.h"
+
+namespace hops {
+
+namespace {
+
+constexpr size_t kMaxDenseCells = 1u << 26;  // 64M doubles = 512 MiB cap
+
+Result<size_t> CellCount(const std::vector<size_t>& shape) {
+  size_t cells = 1;
+  for (size_t dim : shape) {
+    if (dim == 0) {
+      return Status::InvalidArgument("tensor dimensions must be positive");
+    }
+    if (cells > kMaxDenseCells / dim) {
+      return Status::ResourceExhausted(
+          "dense tensor too large (cap " + std::to_string(kMaxDenseCells) +
+          " cells)");
+    }
+    cells *= dim;
+  }
+  return cells;
+}
+
+}  // namespace
+
+Result<FrequencyTensor> FrequencyTensor::Zero(std::vector<size_t> shape) {
+  HOPS_ASSIGN_OR_RETURN(size_t cells, CellCount(shape));
+  return FrequencyTensor(std::move(shape),
+                         std::vector<Frequency>(cells, 0.0));
+}
+
+Result<FrequencyTensor> FrequencyTensor::Make(std::vector<size_t> shape,
+                                              std::vector<Frequency> data) {
+  HOPS_ASSIGN_OR_RETURN(size_t cells, CellCount(shape));
+  if (data.size() != cells) {
+    return Status::InvalidArgument(
+        "tensor data size " + std::to_string(data.size()) +
+        " does not match shape cell count " + std::to_string(cells));
+  }
+  for (Frequency f : data) {
+    if (!std::isfinite(f) || f < 0) {
+      return Status::InvalidArgument(
+          "tensor entries must be finite and non-negative");
+    }
+  }
+  return FrequencyTensor(std::move(shape), std::move(data));
+}
+
+size_t FrequencyTensor::FlatIndex(std::span<const size_t> indices) const {
+  assert(indices.size() == shape_.size());
+  size_t flat = 0;
+  for (size_t d = 0; d < shape_.size(); ++d) {
+    assert(indices[d] < shape_[d]);
+    flat = flat * shape_[d] + indices[d];
+  }
+  return flat;
+}
+
+FrequencySet FrequencyTensor::ToFrequencySet() const {
+  return FrequencySet::Make(data_).ValueOrDie();
+}
+
+double FrequencyTensor::Total() const { return Sum(data_); }
+
+Result<FrequencyTensor> FrequencyTensor::ContractDimension(
+    size_t dim, std::span<const Frequency> vector) const {
+  if (rank() == 0) {
+    return Status::InvalidArgument("cannot contract a rank-0 tensor");
+  }
+  if (dim >= rank()) {
+    return Status::OutOfRange("contraction dimension " +
+                              std::to_string(dim) + " out of range for rank " +
+                              std::to_string(rank()));
+  }
+  if (vector.size() != shape_[dim]) {
+    return Status::InvalidArgument(
+        "contraction vector length " + std::to_string(vector.size()) +
+        " does not match dimension extent " + std::to_string(shape_[dim]));
+  }
+  // Split the flat index space into (outer, k, inner) where k runs over the
+  // contracted dimension.
+  size_t inner = 1;
+  for (size_t d = dim + 1; d < rank(); ++d) inner *= shape_[d];
+  const size_t extent = shape_[dim];
+  size_t outer = data_.size() / (inner * extent);
+
+  std::vector<size_t> new_shape;
+  new_shape.reserve(rank() - 1);
+  for (size_t d = 0; d < rank(); ++d) {
+    if (d != dim) new_shape.push_back(shape_[d]);
+  }
+  std::vector<Frequency> out(outer * inner, 0.0);
+  for (size_t o = 0; o < outer; ++o) {
+    for (size_t k = 0; k < extent; ++k) {
+      const Frequency w = vector[k];
+      if (w == 0) continue;
+      const size_t src_base = (o * extent + k) * inner;
+      const size_t dst_base = o * inner;
+      for (size_t i = 0; i < inner; ++i) {
+        out[dst_base + i] += w * data_[src_base + i];
+      }
+    }
+  }
+  return FrequencyTensor(std::move(new_shape), std::move(out));
+}
+
+Result<double> FrequencyTensor::ScalarValue() const {
+  if (rank() != 0) {
+    return Status::InvalidArgument("tensor is not rank-0");
+  }
+  return data_[0];
+}
+
+std::string FrequencyTensor::ToString() const {
+  std::ostringstream os;
+  os << "FrequencyTensor(shape=[";
+  for (size_t d = 0; d < shape_.size(); ++d) {
+    if (d) os << ", ";
+    os << shape_[d];
+  }
+  os << "], total=" << Total() << ")";
+  return os.str();
+}
+
+}  // namespace hops

@@ -1,0 +1,81 @@
+// N-dimensional frequency tensors (Section 2.2's closing remark: for
+// arbitrary *tree* queries "the required mathematical machinery becomes
+// hairier (tensors must be used) but its essence remains unchanged").
+//
+// A relation participating in D joins carries a D-dimensional frequency
+// tensor over the domains of its D join attributes; tree-query result sizes
+// are tensor contractions along the query tree. This module provides the
+// dense tensor plus the contractions needed by query/star_query.h.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/frequency_set.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Dense tensor of non-negative frequencies over the cross product of
+/// its dimensions' value domains. Row-major (last dimension fastest).
+class FrequencyTensor {
+ public:
+  FrequencyTensor() = default;
+
+  /// An all-zero tensor. Every dimension must be positive; the total cell
+  /// count is capped to keep the dense representation honest.
+  static Result<FrequencyTensor> Zero(std::vector<size_t> shape);
+
+  /// From flat row-major data.
+  static Result<FrequencyTensor> Make(std::vector<size_t> shape,
+                                      std::vector<Frequency> data);
+
+  size_t rank() const { return shape_.size(); }
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t num_cells() const { return data_.size(); }
+
+  /// Flat row-major offset of a multi-index. Precondition: valid indices.
+  size_t FlatIndex(std::span<const size_t> indices) const;
+
+  Frequency At(std::span<const size_t> indices) const {
+    return data_[FlatIndex(indices)];
+  }
+  void Set(std::span<const size_t> indices, Frequency v) {
+    data_[FlatIndex(indices)] = v;
+  }
+
+  Frequency AtFlat(size_t flat) const { return data_[flat]; }
+  void SetFlat(size_t flat, Frequency v) { data_[flat] = v; }
+
+  std::span<const Frequency> cells() const { return data_; }
+
+  /// The multiset of all cells — the tensor's frequency set.
+  FrequencySet ToFrequencySet() const;
+
+  /// Sum of all cells (the relation size for these attributes).
+  double Total() const;
+
+  /// Contracts dimension \p dim with \p vector (length = shape[dim]):
+  /// out[..i_{d-1}, i_{d+1}..] = sum_k this[..i_{d-1}, k, i_{d+1}..] * v[k].
+  /// A rank-1 tensor contracts to a rank-0 scalar tensor (shape {} is
+  /// represented as a single-cell rank-0 tensor).
+  Result<FrequencyTensor> ContractDimension(
+      size_t dim, std::span<const Frequency> vector) const;
+
+  /// Rank-0 scalar accessor. Fails unless rank() == 0.
+  Result<double> ScalarValue() const;
+
+  std::string ToString() const;
+
+ private:
+  FrequencyTensor(std::vector<size_t> shape, std::vector<Frequency> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {}
+
+  std::vector<size_t> shape_;
+  std::vector<Frequency> data_;  // size = product of shape (1 for rank 0)
+};
+
+}  // namespace hops

@@ -1,0 +1,95 @@
+#include "stats/nba_data.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/random.h"
+
+namespace hops {
+
+namespace {
+
+// Standard normal via Box–Muller on our deterministic generator.
+double NextGaussian(Rng* rng) {
+  double u1 = rng->NextDouble();
+  double u2 = rng->NextDouble();
+  // Guard against log(0).
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+int32_t ClampRound(double v, int32_t lo, int32_t hi) {
+  int32_t r = static_cast<int32_t>(std::llround(v));
+  return std::min(hi, std::max(lo, r));
+}
+
+}  // namespace
+
+Result<NbaDataset> NbaDataset::Generate(size_t num_players, uint64_t seed) {
+  if (num_players == 0) {
+    return Status::InvalidArgument("num_players must be positive");
+  }
+  NbaDataset ds;
+  ds.players_.reserve(num_players);
+  Rng rng(seed);
+  for (size_t i = 0; i < num_players; ++i) {
+    PlayerSeason p;
+    // Scoring: lognormal-ish heavy right tail. Most players score little,
+    // a few stars score a lot — the league's own Zipf-like shape.
+    double pts = std::exp(1.6 + 0.75 * NextGaussian(&rng));
+    p.points = ClampRound(pts, 0, 40);
+    // Rebounds correlate weakly with points (bigs rebound, guards score),
+    // with its own tail.
+    double reb = std::exp(0.9 + 0.6 * NextGaussian(&rng)) + 0.05 * pts;
+    p.rebounds = ClampRound(reb, 0, 20);
+    // Assists: most players near zero, playmakers high.
+    double ast = std::exp(0.4 + 0.9 * NextGaussian(&rng));
+    p.assists = ClampRound(ast, 0, 15);
+    // Minutes: roster-shaped hump — rotation players cluster at 15-30.
+    double min_pg = 22.0 + 9.0 * NextGaussian(&rng);
+    p.minutes = ClampRound(min_pg, 0, 48);
+    // Games played: spiky — most healthy players near 82, injuries spread
+    // the rest. Mixture of a spike and a uniform.
+    if (rng.NextDouble() < 0.55) {
+      p.games = static_cast<int32_t>(rng.NextInt(70, 82));
+    } else {
+      p.games = static_cast<int32_t>(rng.NextInt(1, 69));
+    }
+    ds.players_.push_back(p);
+  }
+  return ds;
+}
+
+std::vector<std::string> NbaDataset::AttributeNames() {
+  return {"points", "rebounds", "assists", "minutes", "games"};
+}
+
+Result<FrequencySet> NbaDataset::AttributeFrequencySet(
+    const std::string& name) const {
+  std::map<int32_t, double> counts;
+  for (const PlayerSeason& p : players_) {
+    int32_t v;
+    if (name == "points") {
+      v = p.points;
+    } else if (name == "rebounds") {
+      v = p.rebounds;
+    } else if (name == "assists") {
+      v = p.assists;
+    } else if (name == "minutes") {
+      v = p.minutes;
+    } else if (name == "games") {
+      v = p.games;
+    } else {
+      return Status::NotFound("unknown NBA attribute: " + name);
+    }
+    counts[v] += 1.0;
+  }
+  std::vector<Frequency> freqs;
+  freqs.reserve(counts.size());
+  for (const auto& [value, count] : counts) freqs.push_back(count);
+  return FrequencySet::Make(std::move(freqs));
+}
+
+}  // namespace hops

@@ -1,0 +1,90 @@
+#include "stats/parametric_fit.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace hops {
+
+namespace {
+
+// Sum of squared residuals between the set's sorted-descending frequencies
+// and a Zipf(total, M, z) rank curve.
+Result<double> Residual(const std::vector<Frequency>& descending,
+                        double total, double z) {
+  ZipfParams params{total, descending.size(), z};
+  HOPS_ASSIGN_OR_RETURN(std::vector<Frequency> model,
+                        ZipfFrequencies(params));
+  KahanSum acc;
+  for (size_t i = 0; i < descending.size(); ++i) {
+    double d = descending[i] - model[i];
+    acc.Add(d * d);
+  }
+  return acc.Value();
+}
+
+}  // namespace
+
+Result<ZipfFit> FitZipf(const FrequencySet& set, double max_skew) {
+  if (set.empty()) {
+    return Status::InvalidArgument("cannot fit an empty frequency set");
+  }
+  if (!(max_skew > 0)) {
+    return Status::InvalidArgument("max_skew must be positive");
+  }
+  const std::vector<Frequency> descending = set.SortedDescending();
+  const double total = set.Total();
+
+  // Golden-section search over z in [0, max_skew]; the residual is smooth
+  // and unimodal in z for monotone data.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = 0.0, hi = max_skew;
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  HOPS_ASSIGN_OR_RETURN(double f1, Residual(descending, total, x1));
+  HOPS_ASSIGN_OR_RETURN(double f2, Residual(descending, total, x2));
+  for (int iter = 0; iter < 80 && hi - lo > 1e-7; ++iter) {
+    if (f1 <= f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      HOPS_ASSIGN_OR_RETURN(f1, Residual(descending, total, x1));
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      HOPS_ASSIGN_OR_RETURN(f2, Residual(descending, total, x2));
+    }
+  }
+  ZipfFit fit;
+  fit.total = total;
+  fit.num_values = set.size();
+  fit.skew = (f1 <= f2) ? x1 : x2;
+  fit.objective = std::min(f1, f2);
+  return fit;
+}
+
+Result<double> ZipfFitFrequency(const ZipfFit& fit, size_t rank) {
+  if (rank >= fit.num_values) {
+    return Status::OutOfRange("rank " + std::to_string(rank) +
+                              " outside fitted domain of " +
+                              std::to_string(fit.num_values));
+  }
+  ZipfParams params{fit.total, fit.num_values, fit.skew};
+  HOPS_ASSIGN_OR_RETURN(std::vector<Frequency> model,
+                        ZipfFrequencies(params));
+  return model[rank];
+}
+
+Result<double> ZipfFitSelfJoinSize(const ZipfFit& fit) {
+  ZipfParams params{fit.total, fit.num_values, fit.skew};
+  HOPS_ASSIGN_OR_RETURN(std::vector<Frequency> model,
+                        ZipfFrequencies(params));
+  KahanSum acc;
+  for (double f : model) acc.Add(f * f);
+  return acc.Value();
+}
+
+}  // namespace hops

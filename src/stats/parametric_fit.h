@@ -1,0 +1,37 @@
+// Parametric selectivity statistics (the Section 1 strawman): approximate
+// the whole frequency distribution by a fitted Zipf, storing only (T, M, z).
+//
+// "Although requiring very little overhead, this approach is typically
+// inaccurate because real data does not usually follow any known
+// distribution." We implement it so the experiments can quantify that
+// claim against histograms: three numbers of storage versus beta buckets.
+
+#pragma once
+
+#include "stats/frequency_set.h"
+#include "stats/zipf.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief A fitted Zipf model of a frequency set.
+struct ZipfFit {
+  double total = 0.0;    ///< T, matched exactly.
+  size_t num_values = 0; ///< M, matched exactly.
+  double skew = 0.0;     ///< z, fitted.
+  double objective = 0.0; ///< Sum of squared rank-frequency residuals.
+};
+
+/// \brief Fits a Zipf skew to \p set by golden-section search on the sum of
+/// squared residuals between the set's descending frequencies and the Zipf
+/// rank frequencies. \p max_skew bounds the search.
+Result<ZipfFit> FitZipf(const FrequencySet& set, double max_skew = 8.0);
+
+/// \brief The fitted model's frequency for rank \p rank (0-based).
+Result<double> ZipfFitFrequency(const ZipfFit& fit, size_t rank);
+
+/// \brief Self-join size predicted by the fitted model: sum over ranks of
+/// the fitted frequency squared.
+Result<double> ZipfFitSelfJoinSize(const ZipfFit& fit);
+
+}  // namespace hops

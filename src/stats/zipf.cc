@@ -1,0 +1,89 @@
+#include "stats/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/math.h"
+
+namespace hops {
+
+namespace {
+
+Status ValidateZipfParams(const ZipfParams& params) {
+  if (!(params.total >= 0) || !std::isfinite(params.total)) {
+    return Status::InvalidArgument("Zipf total must be non-negative");
+  }
+  if (params.num_values == 0) {
+    return Status::InvalidArgument("Zipf domain size must be positive");
+  }
+  if (!(params.skew >= 0) || !std::isfinite(params.skew)) {
+    return Status::InvalidArgument("Zipf skew must be non-negative");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<Frequency>> ZipfFrequencies(const ZipfParams& params) {
+  HOPS_RETURN_NOT_OK(ValidateZipfParams(params));
+  const size_t m = params.num_values;
+  std::vector<double> weights(m);
+  KahanSum norm;
+  for (size_t i = 0; i < m; ++i) {
+    weights[i] = std::pow(1.0 / static_cast<double>(i + 1), params.skew);
+    norm.Add(weights[i]);
+  }
+  std::vector<Frequency> out(m);
+  for (size_t i = 0; i < m; ++i) {
+    out[i] = params.total * weights[i] / norm.Value();
+  }
+  return out;
+}
+
+Result<std::vector<Frequency>> ZipfFrequenciesInteger(
+    const ZipfParams& params) {
+  HOPS_ASSIGN_OR_RETURN(std::vector<Frequency> real, ZipfFrequencies(params));
+  const int64_t target = static_cast<int64_t>(std::llround(params.total));
+  const size_t m = real.size();
+  // Largest-remainder apportionment: floor everything, then hand the
+  // leftover units to the largest fractional parts (ties broken by rank so
+  // the result stays deterministic and descending).
+  std::vector<Frequency> out(m);
+  std::vector<std::pair<double, size_t>> remainders(m);
+  int64_t assigned = 0;
+  for (size_t i = 0; i < m; ++i) {
+    double fl = std::floor(real[i]);
+    out[i] = fl;
+    assigned += static_cast<int64_t>(fl);
+    remainders[i] = {real[i] - fl, i};
+  }
+  int64_t leftover = target - assigned;
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first > b.first;
+                     return a.second < b.second;
+                   });
+  for (int64_t u = 0; u < leftover && u < static_cast<int64_t>(m); ++u) {
+    out[remainders[static_cast<size_t>(u)].second] += 1.0;
+  }
+  // leftover can exceed m only if total >> m * 1, which cannot happen since
+  // sum(floor) >= total - m; still, guard by spilling into rank order.
+  for (int64_t u = static_cast<int64_t>(m); u < leftover; ++u) {
+    out[static_cast<size_t>(u) % m] += 1.0;
+  }
+  return out;
+}
+
+Result<FrequencySet> ZipfFrequencySet(const ZipfParams& params,
+                                      bool integer_valued) {
+  if (integer_valued) {
+    HOPS_ASSIGN_OR_RETURN(std::vector<Frequency> f,
+                          ZipfFrequenciesInteger(params));
+    return FrequencySet::Make(std::move(f));
+  }
+  HOPS_ASSIGN_OR_RETURN(std::vector<Frequency> f, ZipfFrequencies(params));
+  return FrequencySet::Make(std::move(f));
+}
+
+}  // namespace hops

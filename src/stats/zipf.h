@@ -1,0 +1,42 @@
+// Zipf frequency distributions (paper formula (1), Example 2.1, Figure 1).
+//
+// For a relation of size T over a domain of M values, the Zipf distribution
+// with skew parameter z assigns the i-th most frequent value (rank i, 1-based)
+//   t_i = T * (1 / i^z) / sum_{k=1..M} (1 / k^z).
+// z = 0 is the uniform distribution; skew increases monotonically with z.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/frequency_set.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Parameters of a Zipf frequency distribution.
+struct ZipfParams {
+  double total = 1000.0;  ///< Relation size T.
+  size_t num_values = 100;  ///< Domain size M.
+  double skew = 1.0;  ///< The z parameter; 0 = uniform.
+};
+
+/// \brief Real-valued Zipf frequencies in rank (descending) order.
+///
+/// Fails if total < 0, num_values == 0, or skew is negative/non-finite.
+Result<std::vector<Frequency>> ZipfFrequencies(const ZipfParams& params);
+
+/// \brief Integer Zipf frequencies in rank order, summing exactly to
+/// round(total), apportioned by the largest-remainder method.
+///
+/// Database frequencies are tuple counts, so the experiments can opt into
+/// exact integrality; ranks keep their descending order.
+Result<std::vector<Frequency>> ZipfFrequenciesInteger(
+    const ZipfParams& params);
+
+/// \brief Convenience wrapper returning a FrequencySet.
+Result<FrequencySet> ZipfFrequencySet(const ZipfParams& params,
+                                      bool integer_valued = false);
+
+}  // namespace hops

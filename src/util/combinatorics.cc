@@ -1,0 +1,107 @@
+#include "util/combinatorics.h"
+
+#include <cassert>
+#include <limits>
+
+namespace hops {
+
+uint64_t BinomialCoefficient(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  const uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  uint64_t result = 1;
+  for (uint64_t i = 1; i <= k; ++i) {
+    uint64_t num = n - k + i;
+    // result = result * num / i, exact because the running product of i
+    // consecutive ratios is always integral; guard the multiply.
+    uint64_t g = result / i * i == result ? i : 1;  // cheap pre-division
+    if (g == i) {
+      result /= i;
+      if (result > kMax / num) return kMax;
+      result *= num;
+    } else {
+      // Divide num's share out of the product via 128-bit intermediate.
+      __uint128_t wide = static_cast<__uint128_t>(result) * num / i;
+      if (wide > kMax) return kMax;
+      result = static_cast<uint64_t>(wide);
+    }
+  }
+  return result;
+}
+
+Status ValidatePartitionArgs(size_t num_items, size_t num_parts) {
+  if (num_items == 0) {
+    return Status::InvalidArgument("cannot partition an empty item range");
+  }
+  if (num_parts == 0 || num_parts > num_items) {
+    return Status::InvalidArgument(
+        "num_parts must be in [1, num_items]; got num_parts=" +
+        std::to_string(num_parts) + " num_items=" +
+        std::to_string(num_items));
+  }
+  return Status::OK();
+}
+
+ContiguousPartitionEnumerator::ContiguousPartitionEnumerator(size_t num_items,
+                                                             size_t num_parts)
+    : num_items_(num_items), num_parts_(num_parts) {
+  assert(ValidatePartitionArgs(num_items, num_parts).ok());
+  // Initial partition: first num_parts-1 parts are singletons, last part
+  // takes the remainder.
+  ends_.resize(num_parts);
+  for (size_t i = 0; i + 1 < num_parts; ++i) ends_[i] = i + 1;
+  ends_[num_parts - 1] = num_items;
+}
+
+bool ContiguousPartitionEnumerator::Advance() {
+  if (num_parts_ <= 1) return false;
+  // The free split points are ends_[0..num_parts-2]; ends_[i] may range in
+  // [i+1, num_items - (num_parts-1-i)]. Advance like a multi-digit odometer
+  // from the rightmost free split.
+  size_t i = num_parts_ - 2;
+  while (true) {
+    size_t max_end = num_items_ - (num_parts_ - 1 - i);
+    if (ends_[i] < max_end) {
+      ++ends_[i];
+      // Reset all split points to the right to their minimal positions.
+      for (size_t j = i + 1; j + 1 < num_parts_; ++j) {
+        ends_[j] = ends_[j - 1] + 1;
+      }
+      return true;
+    }
+    if (i == 0) return false;
+    --i;
+  }
+}
+
+uint64_t ContiguousPartitionEnumerator::TotalCount() const {
+  return BinomialCoefficient(num_items_ - 1, num_parts_ - 1);
+}
+
+CombinationEnumerator::CombinationEnumerator(size_t n, size_t k)
+    : n_(n), k_(k) {
+  assert(k <= n);
+  items_.resize(k);
+  for (size_t i = 0; i < k; ++i) items_[i] = i;
+}
+
+bool CombinationEnumerator::Advance() {
+  if (k_ == 0) return false;
+  // Find the rightmost item that can still move right.
+  size_t i = k_;
+  while (i > 0) {
+    --i;
+    if (items_[i] < n_ - k_ + i) {
+      ++items_[i];
+      for (size_t j = i + 1; j < k_; ++j) items_[j] = items_[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t CombinationEnumerator::TotalCount() const {
+  return BinomialCoefficient(n_, k_);
+}
+
+}  // namespace hops

@@ -1,0 +1,79 @@
+// Combinatorial helpers used by the exhaustive V-OptHist construction
+// (Section 4.1): enumerating all partitions of a sorted frequency set into
+// beta non-empty contiguous buckets = choosing beta-1 split points among the
+// M-1 gaps, i.e. C(M-1, beta-1) candidates.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief C(n, k), saturating at UINT64_MAX on overflow.
+uint64_t BinomialCoefficient(uint64_t n, uint64_t k);
+
+/// \brief Enumerates all ways of splitting the index range [0, num_items)
+/// into num_parts non-empty contiguous parts, in lexicographic order of the
+/// split points.
+///
+/// Each state is a vector of part boundaries `ends` with
+/// ends[num_parts-1] == num_items; part i covers [ends[i-1], ends[i]) with
+/// ends[-1] taken as 0. Usage:
+///
+///   ContiguousPartitionEnumerator e(M, beta);
+///   do {
+///     Use(e.part_ends());
+///   } while (e.Advance());
+class ContiguousPartitionEnumerator {
+ public:
+  /// Requires 1 <= num_parts <= num_items.
+  ContiguousPartitionEnumerator(size_t num_items, size_t num_parts);
+
+  /// Exclusive end index of each part; size() == num_parts.
+  const std::vector<size_t>& part_ends() const { return ends_; }
+
+  /// Moves to the next partition; returns false after the last one.
+  bool Advance();
+
+  /// Total number of partitions, C(num_items-1, num_parts-1), saturating.
+  uint64_t TotalCount() const;
+
+  size_t num_items() const { return num_items_; }
+  size_t num_parts() const { return num_parts_; }
+
+ private:
+  size_t num_items_;
+  size_t num_parts_;
+  std::vector<size_t> ends_;
+};
+
+/// \brief Validates (num_items, num_parts) for partition enumeration.
+Status ValidatePartitionArgs(size_t num_items, size_t num_parts);
+
+/// \brief Enumerates all k-element subsets of {0, ..., n-1} in lexicographic
+/// order. k == 0 yields exactly one (empty) combination.
+class CombinationEnumerator {
+ public:
+  /// Requires k <= n.
+  CombinationEnumerator(size_t n, size_t k);
+
+  /// The current combination, ascending. Empty when k == 0.
+  const std::vector<size_t>& current() const { return items_; }
+
+  /// Moves to the next combination; returns false after the last one.
+  bool Advance();
+
+  /// C(n, k), saturating.
+  uint64_t TotalCount() const;
+
+ private:
+  size_t n_;
+  size_t k_;
+  std::vector<size_t> items_;
+};
+
+}  // namespace hops

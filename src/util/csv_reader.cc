@@ -1,0 +1,138 @@
+#include "util/csv_reader.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace hops {
+
+namespace {
+
+// Splits CSV text into records of cells; handles quoting.
+Result<std::vector<std::vector<std::string>>> Tokenize(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_was_quoted = false;
+  size_t i = 0;
+  auto end_cell = [&]() {
+    record.push_back(std::move(cell));
+    cell.clear();
+    cell_was_quoted = false;
+  };
+  auto end_record = [&]() {
+    end_cell();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      if (!cell.empty() || cell_was_quoted) {
+        return Status::InvalidArgument(
+            "unexpected quote inside unquoted cell");
+      }
+      in_quotes = true;
+      cell_was_quoted = true;
+    } else if (c == ',') {
+      end_cell();
+    } else if (c == '\n') {
+      end_record();
+    } else if (c == '\r') {
+      // Swallow; \r\n handled by the \n branch next iteration.
+    } else {
+      cell += c;
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted cell");
+  }
+  // Final record without trailing newline.
+  if (!cell.empty() || cell_was_quoted || !record.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+}  // namespace
+
+Result<CsvDocument> ParseCsv(std::string_view text, bool has_header) {
+  HOPS_ASSIGN_OR_RETURN(auto records, Tokenize(text));
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV input is empty");
+  }
+  CsvDocument doc;
+  size_t first_row = 0;
+  if (has_header) {
+    doc.header = records[0];
+    first_row = 1;
+  } else {
+    for (size_t c = 0; c < records[0].size(); ++c) {
+      doc.header.push_back("c" + std::to_string(c));
+    }
+  }
+  const size_t width = doc.header.size();
+  for (size_t r = first_row; r < records.size(); ++r) {
+    if (records[r].size() > width) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(r) + " has " +
+          std::to_string(records[r].size()) + " cells but the header has " +
+          std::to_string(width));
+    }
+    records[r].resize(width);
+    doc.rows.push_back(std::move(records[r]));
+  }
+  return doc;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), has_header);
+}
+
+Result<int64_t> ParseInt64Cell(const std::string& cell) {
+  if (cell.empty()) {
+    return Status::InvalidArgument("empty cell is not an int64");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(cell.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("int64 overflow: " + cell);
+  }
+  if (end != cell.c_str() + cell.size()) {
+    return Status::InvalidArgument("not an int64: '" + cell + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+bool ColumnIsInt64(const CsvDocument& doc, size_t col) {
+  if (col >= doc.header.size()) return false;
+  for (const auto& row : doc.rows) {
+    if (row[col].empty()) continue;
+    if (!ParseInt64Cell(row[col]).ok()) return false;
+  }
+  return true;
+}
+
+}  // namespace hops

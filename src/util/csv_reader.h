@@ -1,0 +1,38 @@
+// Minimal RFC-4180-style CSV reading, so the tools can ingest real data
+// files into engine relations.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief A parsed CSV document: a header row plus data rows, all cells as
+/// strings.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// \brief Parses CSV text. Supports quoted cells with embedded commas,
+/// doubled quotes, and newlines; accepts both \n and \r\n line endings.
+/// Rows shorter than the header are padded with empty cells; longer rows are
+/// an error. \p has_header controls whether the first record becomes the
+/// header (otherwise synthetic names c0, c1, ... are generated).
+Result<CsvDocument> ParseCsv(std::string_view text, bool has_header = true);
+
+/// \brief Reads and parses a CSV file.
+Result<CsvDocument> ReadCsvFile(const std::string& path,
+                                bool has_header = true);
+
+/// \brief True if every non-empty cell of column \p col parses as an int64.
+bool ColumnIsInt64(const CsvDocument& doc, size_t col);
+
+/// \brief Parses a cell as int64; fails on malformed input.
+Result<int64_t> ParseInt64Cell(const std::string& cell);
+
+}  // namespace hops

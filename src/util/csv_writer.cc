@@ -1,0 +1,53 @@
+#include "util/csv_writer.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace hops {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::EscapeCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << EscapeCell(row[i]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  out << ToString();
+  if (!out) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace hops

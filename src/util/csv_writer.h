@@ -1,0 +1,33 @@
+// CSV emission so figure series can be re-plotted externally.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Writes rows of cells as RFC-4180-style CSV.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the CSV (header + rows) as a string.
+  std::string ToString() const;
+
+  /// Writes the CSV to \p path; fails with an IO-ish status on error.
+  Status WriteToFile(const std::string& path) const;
+
+  /// Quotes a cell if it contains a comma, quote, or newline.
+  static std::string EscapeCell(const std::string& cell);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hops

@@ -1,0 +1,45 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hops {
+
+double Sum(std::span<const double> values) {
+  KahanSum acc;
+  for (double v : values) acc.Add(v);
+  return acc.Value();
+}
+
+double SumOfSquares(std::span<const double> values) {
+  KahanSum acc;
+  for (double v : values) acc.Add(v * v);
+  return acc.Value();
+}
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return Sum(values) / static_cast<double>(values.size());
+}
+
+double PopulationVariance(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  BucketMoments m;
+  for (double v : values) m.Add(v);
+  return m.population_variance();
+}
+
+double BucketMoments::population_variance() const {
+  if (count_ == 0) return 0.0;
+  double n = static_cast<double>(count_);
+  double mean_val = sum_.Value() / n;
+  double var = sum_sq_.Value() / n - mean_val * mean_val;
+  return std::max(var, 0.0);
+}
+
+bool AlmostEqual(double a, double b, double rel_tol, double abs_tol) {
+  double diff = std::fabs(a - b);
+  return diff <= abs_tol + rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+}  // namespace hops

@@ -1,0 +1,89 @@
+// Numerical helpers: compensated summation and streaming moments.
+//
+// The paper's error formulas (Proposition 3.1) are sums of squares and
+// variances over bucket frequencies; with relation sizes up to 10^6 and
+// skewed Zipf frequencies, naive summation loses precision, so everything
+// here uses Kahan compensation.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hops {
+
+/// \brief Compensated summation accumulator (Neumaier / Kahan-Babuška
+/// variant, which also survives the case where the new term is larger in
+/// magnitude than the running sum).
+class KahanSum {
+ public:
+  void Add(double x) {
+    double t = sum_ + x;
+    if ((sum_ >= 0 ? sum_ : -sum_) >= (x >= 0 ? x : -x)) {
+      compensation_ += (sum_ - t) + x;
+    } else {
+      compensation_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+  double Value() const { return sum_ + compensation_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// \brief Sums \p values with Kahan compensation.
+double Sum(std::span<const double> values);
+
+/// \brief Sum of squares of \p values with Kahan compensation.
+double SumOfSquares(std::span<const double> values);
+
+/// \brief Arithmetic mean; returns 0 for an empty span.
+double Mean(std::span<const double> values);
+
+/// \brief Population variance (divides by N, as in the paper's V_i);
+/// returns 0 for an empty span.
+double PopulationVariance(std::span<const double> values);
+
+/// \brief One-pass aggregate of count / sum / sum-of-squares over a stream.
+///
+/// Exposes exactly the bucket statistics used throughout the paper:
+/// P (count), T (sum), V (population variance), and T^2/P.
+class BucketMoments {
+ public:
+  void Add(double x) {
+    ++count_;
+    sum_.Add(x);
+    sum_sq_.Add(x * x);
+  }
+
+  size_t count() const { return count_; }
+  double sum() const { return sum_.Value(); }
+  double sum_of_squares() const { return sum_sq_.Value(); }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_.Value() / static_cast<double>(count_);
+  }
+  /// Population variance V = E[x^2] - E[x]^2, clamped at 0 against roundoff.
+  double population_variance() const;
+  /// T^2 / P — a serial bucket's contribution to the approximate self-join
+  /// size (Proposition 3.1). Returns 0 for an empty bucket.
+  double square_over_count() const {
+    return count_ == 0
+               ? 0.0
+               : sum_.Value() * sum_.Value() / static_cast<double>(count_);
+  }
+
+ private:
+  size_t count_ = 0;
+  KahanSum sum_;
+  KahanSum sum_sq_;
+};
+
+/// \brief True if |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
+bool AlmostEqual(double a, double b, double rel_tol = 1e-9,
+                 double abs_tol = 1e-12);
+
+}  // namespace hops

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in this library takes an explicit 64-bit seed so
+// that every experiment (and therefore every reproduced table/figure) is
+// exactly re-derivable. We use xoshiro256** seeded via SplitMix64, which is
+// fast, has a 256-bit state, and — unlike std::mt19937 + std::uniform_* —
+// produces identical streams across standard library implementations.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hops {
+
+/// \brief SplitMix64 step; used for seeding and as a cheap standalone mixer.
+uint64_t SplitMix64(uint64_t* state);
+
+/// \brief xoshiro256** generator with utilities for the distributions this
+/// library needs (uniform ints/doubles, shuffles, sampling w/o replacement).
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from \p seed via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64 random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). \p bound must be > 0. Uses rejection
+  /// sampling (Lemire's method) to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Fisher–Yates shuffle of \p values.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    if (values->empty()) return;
+    for (size_t i = values->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*values)[i], (*values)[j]);
+    }
+  }
+
+  /// Returns a random permutation of {0, 1, ..., n-1}.
+  std::vector<size_t> Permutation(size_t n);
+
+  /// Samples \p k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Splits off an independently seeded child generator; useful for giving
+  /// each experiment repetition its own stream.
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace hops

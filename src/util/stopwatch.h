@@ -1,0 +1,29 @@
+// Wall-clock timing for construction-cost experiments (Table 1).
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hops {
+
+/// \brief Simple monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in seconds.
+  double ElapsedSeconds() const;
+
+  /// Elapsed time in nanoseconds.
+  int64_t ElapsedNanos() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hops

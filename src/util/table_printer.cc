@@ -1,0 +1,66 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/csv_writer.h"
+
+namespace hops {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::FormatDouble(double v, int precision) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::FormatSci(double v, int precision) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::FormatInt(int64_t v) { return std::to_string(v); }
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  CsvWriter writer(headers_);
+  for (const auto& row : rows_) writer.AddRow(row);
+  return writer.WriteToFile(path);
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      // Right-justify.
+      for (size_t p = row[c].size(); p < widths[c]; ++p) os << ' ';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  for (size_t p = 0; p < total; ++p) os << '-';
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace hops

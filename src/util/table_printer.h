@@ -1,0 +1,44 @@
+// Fixed-width console tables; the bench binaries print the paper's
+// tables/figures as aligned text series.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Accumulates rows of string cells and prints them with aligned,
+/// right-justified columns (numbers) under a header rule.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; pads/truncates to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience formatters.
+  static std::string FormatDouble(double v, int precision = 4);
+  static std::string FormatSci(double v, int precision = 3);
+  static std::string FormatInt(int64_t v);
+
+  /// Renders the full table to \p os.
+  void Print(std::ostream& os) const;
+
+  /// Writes the table as CSV, so figure series can be re-plotted.
+  Status WriteCsv(const std::string& path) const;
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hops

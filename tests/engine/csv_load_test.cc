@@ -1,0 +1,86 @@
+#include "engine/csv_load.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "engine/hash_agg.h"
+
+namespace hops {
+namespace {
+
+TEST(CsvLoadTest, InfersTypesPerColumn) {
+  auto doc = ParseCsv("dept,year\ntoy,1990\nshoe,1991\ntoy,1990\n");
+  ASSERT_TRUE(doc.ok());
+  auto rel = RelationFromCsv("WorksFor", *doc);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->name(), "WorksFor");
+  EXPECT_EQ(rel->schema().column(0).type, ValueType::kString);
+  EXPECT_EQ(rel->schema().column(1).type, ValueType::kInt64);
+  EXPECT_EQ(rel->num_tuples(), 3u);
+  EXPECT_EQ(rel->tuple(0)[0].AsString(), "toy");
+  EXPECT_EQ(rel->tuple(1)[1].AsInt64(), 1991);
+}
+
+TEST(CsvLoadTest, EmptyCellsLoadAsDefaults) {
+  auto doc = ParseCsv("i,s\n,hello\n7,\n");
+  ASSERT_TRUE(doc.ok());
+  auto rel = RelationFromCsv("R", *doc);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->tuple(0)[0].AsInt64(), 0);
+  EXPECT_EQ(rel->tuple(1)[1].AsString(), "");
+}
+
+TEST(CsvLoadTest, LoadCsvRelationNamesAfterFile) {
+  std::string path = testing::TempDir() + "/orders.csv";
+  {
+    std::ofstream out(path);
+    out << "cust,item\n1,100\n1,200\n2,100\n";
+  }
+  auto rel = LoadCsvRelation(path);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->name(), "orders");
+  EXPECT_EQ(rel->num_tuples(), 3u);
+  auto named = LoadCsvRelation(path, "Orders");
+  ASSERT_TRUE(named.ok());
+  EXPECT_EQ(named->name(), "Orders");
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoadTest, AllEmptyColumnInfersInt64Zeros) {
+  auto doc = ParseCsv("x,y\n,a\n,b\n");
+  ASSERT_TRUE(doc.ok());
+  auto rel = RelationFromCsv("R", *doc);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->schema().column(0).type, ValueType::kInt64);
+  EXPECT_EQ(rel->tuple(0)[0].AsInt64(), 0);
+  EXPECT_EQ(rel->tuple(1)[0].AsInt64(), 0);
+}
+
+TEST(CsvLoadTest, HeaderOnlyCsvLoadsEmptyRelation) {
+  auto doc = ParseCsv("a,b\n");
+  ASSERT_TRUE(doc.ok());
+  auto rel = RelationFromCsv("R", *doc);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->num_tuples(), 0u);
+  EXPECT_EQ(rel->schema().num_columns(), 2u);
+}
+
+TEST(CsvLoadTest, MissingFileFails) {
+  EXPECT_TRUE(LoadCsvRelation("/no/such.csv").status().IsNotFound());
+}
+
+TEST(CsvLoadTest, LoadedRelationFeedsStatisticsPipeline) {
+  auto doc = ParseCsv("v\n1\n1\n1\n2\n2\n3\n");
+  ASSERT_TRUE(doc.ok());
+  auto rel = RelationFromCsv("R", *doc);
+  ASSERT_TRUE(rel.ok());
+  // The loaded relation behaves exactly like a hand-built one downstream.
+  auto set = ComputeFrequencySet(*rel, "v");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->Sorted(), (std::vector<Frequency>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace hops

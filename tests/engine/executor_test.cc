@@ -1,0 +1,169 @@
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/hash_join.h"
+#include "util/random.h"
+
+namespace hops {
+namespace {
+
+Relation TwoColRelation(const std::string& name,
+                        std::vector<std::pair<int64_t, int64_t>> rows) {
+  auto schema = Schema::Make({{"l", ValueType::kInt64},
+                              {"r", ValueType::kInt64}});
+  auto rel = Relation::Make(name, *std::move(schema));
+  EXPECT_TRUE(rel.ok());
+  for (auto [l, r] : rows) {
+    EXPECT_TRUE(rel->Append({Value(l), Value(r)}).ok());
+  }
+  return *std::move(rel);
+}
+
+Relation OneColRelation(const std::string& name, const std::string& col,
+                        std::vector<int64_t> values) {
+  auto schema = Schema::Make({{col, ValueType::kInt64}});
+  auto rel = Relation::Make(name, *std::move(schema));
+  EXPECT_TRUE(rel.ok());
+  for (int64_t v : values) {
+    EXPECT_TRUE(rel->Append({Value(v)}).ok());
+  }
+  return *std::move(rel);
+}
+
+TEST(ExecutorTest, TwoWayChainMatchesHashJoin) {
+  Relation r0 = OneColRelation("R0", "a", {1, 1, 2, 3, 3, 3});
+  Relation r1 = OneColRelation("R1", "a", {1, 3, 3, 4});
+  std::vector<ChainJoinStep> steps = {
+      {&r0, "", "a"},
+      {&r1, "a", ""},
+  };
+  auto chain = ExecuteChainJoinCount(steps);
+  auto direct = HashJoinCount(r0, "a", r1, "a");
+  ASSERT_TRUE(chain.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_DOUBLE_EQ(*chain, *direct);
+  EXPECT_DOUBLE_EQ(*chain, 2.0 * 1 + 3.0 * 2);
+}
+
+TEST(ExecutorTest, ThreeWayChain) {
+  // R0(a) -- R1(a, b) -- R2(b).
+  Relation r0 = OneColRelation("R0", "a", {1, 2});
+  Relation r1 = TwoColRelation("R1", {{1, 10}, {1, 20}, {2, 10}, {3, 30}});
+  Relation r2 = OneColRelation("R2", "b", {10, 10, 20});
+  std::vector<ChainJoinStep> steps = {
+      {&r0, "", "a"},
+      {&r1, "l", "r"},
+      {&r2, "b", ""},
+  };
+  auto count = ExecuteChainJoinCount(steps);
+  ASSERT_TRUE(count.ok());
+  // (1,10): 1*1*2=2; (1,20): 1*1*1=1; (2,10): 1*1*2=2; (3,30): a=3 absent.
+  EXPECT_DOUBLE_EQ(*count, 5.0);
+}
+
+TEST(ExecutorTest, Validation) {
+  Relation r0 = OneColRelation("R0", "a", {1});
+  Relation r1 = OneColRelation("R1", "a", {1});
+  // Too few relations.
+  std::vector<ChainJoinStep> one = {{&r0, "", ""}};
+  EXPECT_TRUE(ExecuteChainJoinCount(one).status().IsInvalidArgument());
+  // Null relation.
+  std::vector<ChainJoinStep> null_steps = {{&r0, "", "a"},
+                                           {nullptr, "a", ""}};
+  EXPECT_TRUE(
+      ExecuteChainJoinCount(null_steps).status().IsInvalidArgument());
+  // First step declaring a left column.
+  std::vector<ChainJoinStep> bad_first = {{&r0, "a", "a"}, {&r1, "a", ""}};
+  EXPECT_TRUE(
+      ExecuteChainJoinCount(bad_first).status().IsInvalidArgument());
+  // Last step declaring a right column.
+  std::vector<ChainJoinStep> bad_last = {{&r0, "", "a"}, {&r1, "a", "a"}};
+  EXPECT_TRUE(ExecuteChainJoinCount(bad_last).status().IsInvalidArgument());
+  // Missing interior column.
+  std::vector<ChainJoinStep> gap = {{&r0, "", ""}, {&r1, "a", ""}};
+  EXPECT_TRUE(ExecuteChainJoinCount(gap).status().IsInvalidArgument());
+}
+
+TEST(ExecutorTest, EmptyIntermediateGivesZero) {
+  Relation r0 = OneColRelation("R0", "a", {1});
+  Relation r1 = TwoColRelation("R1", {{9, 9}});  // no a=1
+  Relation r2 = OneColRelation("R2", "b", {9});
+  std::vector<ChainJoinStep> steps = {
+      {&r0, "", "a"},
+      {&r1, "l", "r"},
+      {&r2, "b", ""},
+  };
+  auto count = ExecuteChainJoinCount(steps);
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(*count, 0.0);
+}
+
+TEST(ExecutorTest, StringJoinColumnsWork) {
+  auto sschema = Schema::Make({{"d", ValueType::kString}});
+  auto s2schema = Schema::Make({{"d", ValueType::kString},
+                                {"y", ValueType::kInt64}});
+  auto depts = Relation::Make("D", *sschema);
+  auto works = Relation::Make("W", *s2schema);
+  ASSERT_TRUE(depts.ok() && works.ok());
+  for (const char* d : {"toy", "shoe"}) {
+    ASSERT_TRUE(depts->Append({Value(d)}).ok());
+  }
+  ASSERT_TRUE(works->Append({Value("toy"), Value(int64_t{1990})}).ok());
+  ASSERT_TRUE(works->Append({Value("toy"), Value(int64_t{1991})}).ok());
+  ASSERT_TRUE(works->Append({Value("candy"), Value(int64_t{1991})}).ok());
+  auto yschema = Schema::Make({{"y", ValueType::kInt64}});
+  auto years = Relation::Make("Y", *yschema);
+  ASSERT_TRUE(years.ok());
+  ASSERT_TRUE(years->Append({Value(int64_t{1991})}).ok());
+
+  std::vector<ChainJoinStep> steps = {
+      {&*depts, "", "d"}, {&*works, "d", "y"}, {&*years, "y", ""}};
+  auto count = ExecuteChainJoinCount(steps);
+  ASSERT_TRUE(count.ok());
+  // Only (toy, 1991) survives both joins.
+  EXPECT_DOUBLE_EQ(*count, 1.0);
+}
+
+TEST(ExecutorTest, LongChainAgainstBruteForce) {
+  // 4-relation chain over a small domain, validated against an O(n^4)
+  // nested-loop count.
+  Rng rng(99);
+  auto gen = [&](size_t n) {
+    std::vector<std::pair<int64_t, int64_t>> rows;
+    for (size_t i = 0; i < n; ++i) {
+      rows.push_back({static_cast<int64_t>(rng.NextBounded(4)),
+                      static_cast<int64_t>(rng.NextBounded(4))});
+    }
+    return rows;
+  };
+  Relation r0 = OneColRelation("R0", "a", {0, 1, 2, 3, 1, 2});
+  Relation r1 = TwoColRelation("R1", gen(12));
+  Relation r2 = TwoColRelation("R2", gen(12));
+  Relation r3 = OneColRelation("R3", "b", {0, 0, 1, 3});
+
+  double brute = 0;
+  for (const auto& t0 : r0.tuples()) {
+    for (const auto& t1 : r1.tuples()) {
+      if (!(t0[0] == t1[0])) continue;
+      for (const auto& t2 : r2.tuples()) {
+        if (!(t1[1] == t2[0])) continue;
+        for (const auto& t3 : r3.tuples()) {
+          if (t2[1] == t3[0]) brute += 1;
+        }
+      }
+    }
+  }
+  std::vector<ChainJoinStep> steps = {
+      {&r0, "", "a"},
+      {&r1, "l", "r"},
+      {&r2, "l", "r"},
+      {&r3, "b", ""},
+  };
+  auto count = ExecuteChainJoinCount(steps);
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(*count, brute);
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,97 @@
+#include "engine/hash_agg.h"
+
+#include <gtest/gtest.h>
+
+namespace hops {
+namespace {
+
+Relation MakeWorksFor() {
+  auto schema = Schema::Make({{"dname", ValueType::kString},
+                              {"year", ValueType::kInt64}});
+  auto rel = Relation::Make("WorksFor", *std::move(schema));
+  EXPECT_TRUE(rel.ok());
+  // toy x3, shoe x2, candy x1; years 1990 x2, 1991 x3, 1992 x1.
+  struct Row {
+    const char* d;
+    int64_t y;
+  };
+  for (Row r : std::initializer_list<Row>{{"toy", 1990},
+                                          {"toy", 1991},
+                                          {"toy", 1991},
+                                          {"shoe", 1990},
+                                          {"shoe", 1992},
+                                          {"candy", 1991}}) {
+    EXPECT_TRUE(rel->Append({Value(r.d), Value(r.y)}).ok());
+  }
+  return *std::move(rel);
+}
+
+TEST(HashAggTest, FrequencyTableCountsAndSorts) {
+  Relation rel = MakeWorksFor();
+  auto table = ComputeFrequencyTable(rel, "dname");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->size(), 3u);
+  // Sorted by value: candy, shoe, toy.
+  EXPECT_EQ((*table)[0].value.AsString(), "candy");
+  EXPECT_DOUBLE_EQ((*table)[0].frequency, 1.0);
+  EXPECT_EQ((*table)[1].value.AsString(), "shoe");
+  EXPECT_DOUBLE_EQ((*table)[1].frequency, 2.0);
+  EXPECT_EQ((*table)[2].value.AsString(), "toy");
+  EXPECT_DOUBLE_EQ((*table)[2].frequency, 3.0);
+}
+
+TEST(HashAggTest, FrequencyTableUnknownColumnFails) {
+  Relation rel = MakeWorksFor();
+  EXPECT_TRUE(ComputeFrequencyTable(rel, "nope").status().IsNotFound());
+}
+
+TEST(HashAggTest, FrequencySetDropsValueAssociation) {
+  Relation rel = MakeWorksFor();
+  auto set = ComputeFrequencySet(rel, "year");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 3u);
+  EXPECT_DOUBLE_EQ(set->Total(), 6.0);
+  EXPECT_EQ(set->Sorted(), (std::vector<Frequency>{1, 2, 3}));
+}
+
+TEST(HashAggTest, TwoColumnFrequenciesBuildDenseMatrix) {
+  Relation rel = MakeWorksFor();
+  auto two = ComputeTwoColumnFrequencies(rel, "dname", "year");
+  ASSERT_TRUE(two.ok());
+  ASSERT_EQ(two->row_domain.size(), 3u);  // candy, shoe, toy
+  ASSERT_EQ(two->col_domain.size(), 3u);  // 1990, 1991, 1992
+  EXPECT_EQ(two->matrix.rows(), 3u);
+  EXPECT_EQ(two->matrix.cols(), 3u);
+  // toy (row 2) x 1991 (col 1) appears twice.
+  EXPECT_DOUBLE_EQ(two->matrix.At(2, 1), 2.0);
+  // candy x 1990 never.
+  EXPECT_DOUBLE_EQ(two->matrix.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(two->matrix.Total(), 6.0);
+}
+
+TEST(HashAggTest, TwoColumnRejectsSameColumnAndEmpty) {
+  Relation rel = MakeWorksFor();
+  EXPECT_TRUE(ComputeTwoColumnFrequencies(rel, "dname", "dname")
+                  .status()
+                  .IsInvalidArgument());
+  auto schema = Schema::Make({{"a", ValueType::kInt64},
+                              {"b", ValueType::kInt64}});
+  auto empty = Relation::Make("E", *std::move(schema));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(ComputeTwoColumnFrequencies(*empty, "a", "b")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(HashAggTest, FrequencySetMatchesRelationSize) {
+  Relation rel = MakeWorksFor();
+  for (const char* col : {"dname", "year"}) {
+    auto set = ComputeFrequencySet(rel, col);
+    ASSERT_TRUE(set.ok());
+    EXPECT_DOUBLE_EQ(set->Total(),
+                     static_cast<double>(rel.num_tuples()));
+  }
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,101 @@
+#include "engine/hash_join.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace hops {
+namespace {
+
+Relation IntRelation(const std::string& name, const std::string& col,
+                     std::vector<int64_t> values) {
+  auto schema = Schema::Make({{col, ValueType::kInt64}});
+  auto rel = Relation::Make(name, *std::move(schema));
+  EXPECT_TRUE(rel.ok());
+  for (int64_t v : values) {
+    EXPECT_TRUE(rel->Append({Value(v)}).ok());
+  }
+  return *std::move(rel);
+}
+
+TEST(HashJoinTest, CountsMatchingPairs) {
+  Relation r = IntRelation("R", "a", {1, 1, 2, 3});
+  Relation s = IntRelation("S", "b", {1, 2, 2, 4});
+  auto count = HashJoinCount(r, "a", s, "b");
+  ASSERT_TRUE(count.ok());
+  // 1 matches twice x once = 2; 2 matches once x twice = 2.
+  EXPECT_DOUBLE_EQ(*count, 4.0);
+}
+
+TEST(HashJoinTest, NoMatchesIsZero) {
+  Relation r = IntRelation("R", "a", {1, 2});
+  Relation s = IntRelation("S", "b", {3, 4});
+  auto count = HashJoinCount(r, "a", s, "b");
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(*count, 0.0);
+}
+
+TEST(HashJoinTest, SelfJoinIsSumOfSquaredFrequencies) {
+  Relation r = IntRelation("R", "a", {7, 7, 7, 9, 9, 4});
+  auto count = HashJoinCount(r, "a", r, "a");
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(*count, 9.0 + 4.0 + 1.0);
+}
+
+TEST(HashJoinTest, UnknownColumnFails) {
+  Relation r = IntRelation("R", "a", {1});
+  Relation s = IntRelation("S", "b", {1});
+  EXPECT_FALSE(HashJoinCount(r, "zzz", s, "b").ok());
+  EXPECT_FALSE(HashJoinCount(r, "a", s, "zzz").ok());
+}
+
+TEST(JointFrequenciesTest, JoinsFrequencyTablesOnValue) {
+  Relation r = IntRelation("R", "a", {1, 1, 2, 3});
+  Relation s = IntRelation("S", "b", {1, 2, 2, 4});
+  auto joint = ComputeJointFrequencies(r, "a", s, "b");
+  ASSERT_TRUE(joint.ok());
+  ASSERT_EQ(joint->size(), 2u);  // values 1 and 2 appear in both
+  EXPECT_EQ((*joint)[0].value.AsInt64(), 1);
+  EXPECT_DOUBLE_EQ((*joint)[0].frequency_left, 2.0);
+  EXPECT_DOUBLE_EQ((*joint)[0].frequency_right, 1.0);
+  EXPECT_EQ((*joint)[1].value.AsInt64(), 2);
+  EXPECT_DOUBLE_EQ((*joint)[1].frequency_left, 1.0);
+  EXPECT_DOUBLE_EQ((*joint)[1].frequency_right, 2.0);
+}
+
+TEST(JointFrequenciesTest, JoinSizeFromJointMatchesHashJoin) {
+  Rng rng(555);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<int64_t> rv, sv;
+    for (int i = 0; i < 200; ++i) {
+      rv.push_back(static_cast<int64_t>(rng.NextBounded(20)));
+      sv.push_back(static_cast<int64_t>(rng.NextBounded(20)));
+    }
+    Relation r = IntRelation("R", "a", rv);
+    Relation s = IntRelation("S", "b", sv);
+    auto joint = ComputeJointFrequencies(r, "a", s, "b");
+    auto direct = HashJoinCount(r, "a", s, "b");
+    ASSERT_TRUE(joint.ok());
+    ASSERT_TRUE(direct.ok());
+    EXPECT_DOUBLE_EQ(JoinSizeFromJointFrequencies(*joint), *direct);
+  }
+}
+
+TEST(JointFrequenciesTest, StringJoinColumnsWork) {
+  auto schema = Schema::Make({{"name", ValueType::kString}});
+  auto r = Relation::Make("R", *schema);
+  auto s = Relation::Make("S", *schema);
+  ASSERT_TRUE(r.ok() && s.ok());
+  for (const char* v : {"x", "x", "y"}) {
+    ASSERT_TRUE(r->Append({Value(v)}).ok());
+  }
+  for (const char* v : {"x", "z"}) {
+    ASSERT_TRUE(s->Append({Value(v)}).ok());
+  }
+  auto count = HashJoinCount(*r, "name", *s, "name");
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(*count, 2.0);
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,150 @@
+#include "engine/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace hops {
+namespace {
+
+Relation SampleRelation() {
+  auto rel = Relation::Make(
+      "R", *Schema::Make({{"dept", ValueType::kString},
+                          {"year", ValueType::kInt64},
+                          {"salary", ValueType::kInt64}}));
+  EXPECT_TRUE(rel.ok());
+  struct Row {
+    const char* d;
+    int64_t y, s;
+  };
+  for (Row r : std::initializer_list<Row>{{"toy", 1990, 40},
+                                          {"toy", 1991, 55},
+                                          {"toy", 1992, 70},
+                                          {"shoe", 1990, 45},
+                                          {"shoe", 1992, 60},
+                                          {"candy", 1993, 30}}) {
+    EXPECT_TRUE(rel->Append({Value(r.d), Value(r.y), Value(r.s)}).ok());
+  }
+  return *std::move(rel);
+}
+
+TEST(PredicateParseTest, SingleComparison) {
+  auto p = Predicate::Parse("year = 1990");
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p->comparisons().size(), 1u);
+  EXPECT_EQ(p->comparisons()[0].column, "year");
+  EXPECT_EQ(p->comparisons()[0].op, PredicateOp::kEqual);
+  EXPECT_EQ(p->comparisons()[0].literal, Value(int64_t{1990}));
+}
+
+TEST(PredicateParseTest, ConjunctionWithAllOperators) {
+  auto p = Predicate::Parse(
+      "a = 1 AND b != 2 AND c < 3 AND d <= 4 AND e > 5 AND f >= -6");
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p->comparisons().size(), 6u);
+  EXPECT_EQ(p->comparisons()[1].op, PredicateOp::kNotEqual);
+  EXPECT_EQ(p->comparisons()[2].op, PredicateOp::kLess);
+  EXPECT_EQ(p->comparisons()[3].op, PredicateOp::kLessEqual);
+  EXPECT_EQ(p->comparisons()[4].op, PredicateOp::kGreater);
+  EXPECT_EQ(p->comparisons()[5].op, PredicateOp::kGreaterEqual);
+  EXPECT_EQ(p->comparisons()[5].literal, Value(int64_t{-6}));
+}
+
+TEST(PredicateParseTest, StringLiterals) {
+  auto p = Predicate::Parse("dept = 'toy store'");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->comparisons()[0].literal, Value("toy store"));
+}
+
+TEST(PredicateParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Predicate::Parse("").ok());
+  EXPECT_FALSE(Predicate::Parse("a =").ok());
+  EXPECT_FALSE(Predicate::Parse("= 3").ok());
+  EXPECT_FALSE(Predicate::Parse("a ~ 3").ok());
+  EXPECT_FALSE(Predicate::Parse("a = 'unterminated").ok());
+  EXPECT_FALSE(Predicate::Parse("a = 1 OR b = 2").ok());
+  EXPECT_FALSE(Predicate::Parse("a = 1 AND").ok());
+}
+
+TEST(PredicateParseTest, ToStringRoundTrips) {
+  auto p = Predicate::Parse("dept = 'toy' AND year >= 1991");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "dept = 'toy' AND year >= 1991");
+  auto reparsed = Predicate::Parse(p->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToString(), p->ToString());
+}
+
+TEST(ComparisonTest, OrderedMismatchedTypesNeverMatch) {
+  Comparison cmp{"c", PredicateOp::kLess, Value(int64_t{5}), {}};
+  EXPECT_FALSE(cmp.Matches(Value("abc")));
+  Comparison eq{"c", PredicateOp::kEqual, Value(int64_t{5}), {}};
+  EXPECT_FALSE(eq.Matches(Value("5")));
+  Comparison ne{"c", PredicateOp::kNotEqual, Value(int64_t{5}), {}};
+  EXPECT_TRUE(ne.Matches(Value("5")));  // different type => not equal
+}
+
+TEST(CountWhereTest, MatchesHandCounts) {
+  Relation rel = SampleRelation();
+  struct Case {
+    const char* text;
+    double expected;
+  };
+  for (Case c : std::initializer_list<Case>{
+           {"dept = 'toy'", 3},
+           {"dept != 'toy'", 3},
+           {"year >= 1992", 3},
+           {"salary < 50", 3},
+           {"dept = 'toy' AND year >= 1991", 2},
+           {"dept = 'shoe' AND salary > 50", 1},
+           {"dept = 'toy' AND dept = 'shoe'", 0},
+       }) {
+    auto p = Predicate::Parse(c.text);
+    ASSERT_TRUE(p.ok()) << c.text;
+    auto count = CountWhere(rel, *p);
+    ASSERT_TRUE(count.ok()) << c.text;
+    EXPECT_DOUBLE_EQ(*count, c.expected) << c.text;
+  }
+}
+
+TEST(PredicateParseTest, InLists) {
+  auto p = Predicate::Parse("year IN (1990, 1992) AND dept = 'toy'");
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p->comparisons().size(), 2u);
+  EXPECT_EQ(p->comparisons()[0].op, PredicateOp::kIn);
+  ASSERT_EQ(p->comparisons()[0].in_list.size(), 2u);
+  EXPECT_EQ(p->comparisons()[0].in_list[1], Value(int64_t{1992}));
+  EXPECT_EQ(p->ToString(), "year IN (1990, 1992) AND dept = 'toy'");
+}
+
+TEST(PredicateParseTest, InListMalformed) {
+  EXPECT_FALSE(Predicate::Parse("a IN ()").ok());
+  EXPECT_FALSE(Predicate::Parse("a IN (1, 2").ok());
+  EXPECT_FALSE(Predicate::Parse("a IN 1, 2)").ok());
+  // "IN" as a prefix of an identifier must not be treated as the keyword.
+  auto p = Predicate::Parse("INx = 3");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->comparisons()[0].column, "INx");
+}
+
+TEST(CountWhereTest, InListCounts) {
+  Relation rel = SampleRelation();
+  auto p = Predicate::Parse("dept IN ('toy', 'candy')");
+  ASSERT_TRUE(p.ok());
+  auto count = CountWhere(rel, *p);
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(*count, 4.0);
+  auto mixed = Predicate::Parse("year IN (1990, 1993) AND salary < 50");
+  ASSERT_TRUE(mixed.ok());
+  count = CountWhere(rel, *mixed);
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(*count, 3.0);  // (toy,1990,40), (shoe,1990,45), (candy,1993,30)
+}
+
+TEST(CountWhereTest, UnknownColumnFails) {
+  Relation rel = SampleRelation();
+  auto p = Predicate::Parse("bogus = 1");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(CountWhere(rel, *p).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,62 @@
+#include "engine/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace hops {
+namespace {
+
+Relation MakeWorksFor() {
+  auto schema = Schema::Make({{"dname", ValueType::kString},
+                              {"year", ValueType::kInt64}});
+  EXPECT_TRUE(schema.ok());
+  auto rel = Relation::Make("WorksFor", *std::move(schema));
+  EXPECT_TRUE(rel.ok());
+  return *std::move(rel);
+}
+
+TEST(RelationTest, MakeValidation) {
+  auto schema = Schema::Make({{"a", ValueType::kInt64}});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_FALSE(Relation::Make("", *schema).ok());
+  auto ok = Relation::Make("R", *schema);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->name(), "R");
+  EXPECT_EQ(ok->num_tuples(), 0u);
+}
+
+TEST(RelationTest, AppendValidatesSchema) {
+  Relation rel = MakeWorksFor();
+  EXPECT_TRUE(rel.Append({Value("toy"), Value(int64_t{1990})}).ok());
+  EXPECT_TRUE(
+      rel.Append({Value(int64_t{3}), Value(int64_t{1990})})
+          .IsInvalidArgument());
+  EXPECT_TRUE(rel.Append({Value("toy")}).IsInvalidArgument());
+  EXPECT_EQ(rel.num_tuples(), 1u);
+}
+
+TEST(RelationTest, AppendUncheckedSkipsValidation) {
+  Relation rel = MakeWorksFor();
+  rel.AppendUnchecked({Value("toy"), Value(int64_t{1990})});
+  EXPECT_EQ(rel.num_tuples(), 1u);
+}
+
+TEST(RelationTest, ValueAtResolvesColumn) {
+  Relation rel = MakeWorksFor();
+  ASSERT_TRUE(rel.Append({Value("shoe"), Value(int64_t{1993})}).ok());
+  auto v = rel.ValueAt(0, "year");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt64(), 1993);
+  EXPECT_TRUE(rel.ValueAt(0, "nope").status().IsNotFound());
+  EXPECT_TRUE(rel.ValueAt(5, "year").status().IsOutOfRange());
+}
+
+TEST(RelationTest, TuplesAccessor) {
+  Relation rel = MakeWorksFor();
+  ASSERT_TRUE(rel.Append({Value("toy"), Value(int64_t{1990})}).ok());
+  ASSERT_TRUE(rel.Append({Value("candy"), Value(int64_t{1991})}).ok());
+  EXPECT_EQ(rel.tuples().size(), 2u);
+  EXPECT_EQ(rel.tuple(1)[0].AsString(), "candy");
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,140 @@
+#include "engine/sampled_statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/statistics.h"
+
+namespace hops {
+namespace {
+
+// Relation where value v appears counts[v] times.
+Relation Skewed(const std::vector<size_t>& counts) {
+  auto schema = Schema::Make({{"a", ValueType::kInt64}});
+  auto rel = Relation::Make("R", *std::move(schema));
+  EXPECT_TRUE(rel.ok());
+  for (size_t v = 0; v < counts.size(); ++v) {
+    for (size_t i = 0; i < counts[v]; ++i) {
+      rel->AppendUnchecked({Value(static_cast<int64_t>(v))});
+    }
+  }
+  return *std::move(rel);
+}
+
+// A Zipf-ish layout: heavy hitters + a long uniform tail.
+Relation ZipfLike() {
+  std::vector<size_t> counts = {4000, 2000, 1000, 500};
+  for (int i = 0; i < 60; ++i) counts.push_back(25);
+  return Skewed(counts);
+}
+
+TEST(SampledStatisticsTest, HeavyHittersStoredExactly) {
+  Relation rel = ZipfLike();
+  SampledStatisticsOptions options;
+  options.sample_size = 800;
+  options.num_buckets = 5;
+  auto stats = AnalyzeColumnSampled(rel, "a", options);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  // The dominant values must be explicit with their EXACT counts (the one
+  // refinement scan).
+  bool is_explicit = false;
+  EXPECT_DOUBLE_EQ(stats->histogram.LookupFrequency(0, &is_explicit),
+                   4000.0);
+  EXPECT_TRUE(is_explicit);
+  EXPECT_DOUBLE_EQ(stats->histogram.LookupFrequency(1, &is_explicit),
+                   2000.0);
+  EXPECT_TRUE(is_explicit);
+}
+
+TEST(SampledStatisticsTest, TotalsApproximatelyPreserved) {
+  Relation rel = ZipfLike();
+  SampledStatisticsOptions options;
+  options.sample_size = 800;
+  auto stats = AnalyzeColumnSampled(rel, "a", options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->num_tuples,
+                   static_cast<double>(rel.num_tuples()));
+  EXPECT_NEAR(stats->histogram.EstimatedTotal(), stats->num_tuples,
+              0.05 * stats->num_tuples);
+}
+
+TEST(SampledStatisticsTest, CloseToFullAnalyzeOnZipfData) {
+  // The paper's Section 4.2 pitch: on Zipf-like data the sampled pipeline
+  // approximates the full Matrix+V-OptBiasHist result. Compare equality
+  // estimates on the heavy hitters.
+  Relation rel = ZipfLike();
+  StatisticsOptions full_options;
+  full_options.num_buckets = 5;
+  auto full = AnalyzeColumn(rel, "a", full_options);
+  SampledStatisticsOptions sampled_options;
+  sampled_options.sample_size = 800;
+  sampled_options.num_buckets = 5;
+  auto sampled = AnalyzeColumnSampled(rel, "a", sampled_options);
+  ASSERT_TRUE(full.ok() && sampled.ok());
+  for (int64_t v : {0, 1, 2}) {
+    EXPECT_NEAR(sampled->histogram.LookupFrequency(v),
+                full->histogram.LookupFrequency(v),
+                0.01 + 0.01 * full->histogram.LookupFrequency(v))
+        << "value " << v;
+  }
+}
+
+TEST(SampledStatisticsTest, FailsToSeeLowOutliersOnReverseZipf) {
+  // The documented failure mode: many high frequencies, few low ones. The
+  // full V-OptBiasHist isolates the two rare values; the sampled pipeline
+  // cannot (they never make the candidate list).
+  std::vector<size_t> counts(40, 250);
+  counts.push_back(1);
+  counts.push_back(2);
+  Relation rel = Skewed(counts);
+  SampledStatisticsOptions options;
+  options.sample_size = 400;
+  options.num_buckets = 5;
+  auto sampled = AnalyzeColumnSampled(rel, "a", options);
+  ASSERT_TRUE(sampled.ok());
+  bool is_explicit = true;
+  sampled->histogram.LookupFrequency(40, &is_explicit);
+  EXPECT_FALSE(is_explicit);  // the rare value stayed in the default bucket
+
+  StatisticsOptions full_options;
+  full_options.num_buckets = 5;
+  auto full = AnalyzeColumn(rel, "a", full_options);
+  ASSERT_TRUE(full.ok());
+  full->histogram.LookupFrequency(40, &is_explicit);
+  EXPECT_TRUE(is_explicit);  // V-OptBiasHist put it in a univalued bucket
+}
+
+TEST(SampledStatisticsTest, DistinctEstimateInSaneRange) {
+  Relation rel = ZipfLike();  // 64 distinct values
+  SampledStatisticsOptions options;
+  options.sample_size = 1000;
+  auto stats = AnalyzeColumnSampled(rel, "a", options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->num_distinct, 30u);
+  EXPECT_LE(stats->num_distinct, 200u);
+}
+
+TEST(SampledStatisticsTest, Validation) {
+  auto schema = Schema::Make({{"a", ValueType::kInt64}});
+  auto empty = Relation::Make("E", *std::move(schema));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(AnalyzeColumnSampled(*empty, "a").status().IsInvalidArgument());
+  Relation rel = Skewed({3});
+  SampledStatisticsOptions options;
+  options.num_buckets = 0;
+  EXPECT_TRUE(
+      AnalyzeColumnSampled(rel, "a", options).status().IsInvalidArgument());
+  EXPECT_FALSE(AnalyzeColumnSampled(rel, "zzz").ok());
+}
+
+TEST(SampledStatisticsTest, DeterministicForSeed) {
+  Relation rel = ZipfLike();
+  SampledStatisticsOptions options;
+  options.seed = 99;
+  auto a = AnalyzeColumnSampled(rel, "a", options);
+  auto b = AnalyzeColumnSampled(rel, "a", options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->histogram, b->histogram);
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,120 @@
+#include "engine/sampling.h"
+
+#include <gtest/gtest.h>
+
+namespace hops {
+namespace {
+
+// A relation where value v appears `counts[v]` times.
+Relation Skewed(const std::vector<size_t>& counts) {
+  auto schema = Schema::Make({{"a", ValueType::kInt64}});
+  auto rel = Relation::Make("R", *std::move(schema));
+  EXPECT_TRUE(rel.ok());
+  for (size_t v = 0; v < counts.size(); ++v) {
+    for (size_t i = 0; i < counts[v]; ++i) {
+      rel->AppendUnchecked({Value(static_cast<int64_t>(v))});
+    }
+  }
+  return *std::move(rel);
+}
+
+TEST(SamplingTest, FindsDominantValues) {
+  // Value 0: 5000 tuples, value 1: 2000, the rest 10 each (Zipf-like).
+  std::vector<size_t> counts = {5000, 2000};
+  for (int i = 0; i < 50; ++i) counts.push_back(10);
+  Relation rel = Skewed(counts);
+  auto top = EstimateTopFrequenciesBySampling(rel, "a", /*sample_size=*/500,
+                                              /*top_k=*/2, /*seed=*/17);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  EXPECT_EQ((*top)[0].value.AsInt64(), 0);
+  EXPECT_EQ((*top)[1].value.AsInt64(), 1);
+  // Extrapolated frequency within 30% of truth for the heavy hitter.
+  EXPECT_NEAR((*top)[0].estimated_frequency, 5000.0, 1500.0);
+}
+
+TEST(SamplingTest, FailsToSeparateLowFrequencies) {
+  // The paper's caveat: sampling cannot identify the *lowest* frequencies.
+  // Reverse-Zipf: many values at 100, two rare values at 1 and 2 tuples.
+  std::vector<size_t> counts(50, 100);
+  counts.push_back(1);
+  counts.push_back(2);
+  Relation rel = Skewed(counts);
+  auto top = EstimateTopFrequenciesBySampling(rel, "a", 100, 52, 17);
+  ASSERT_TRUE(top.ok());
+  // The two rare values almost surely never show up in a 100-tuple sample
+  // (each is ~0.02%-0.04% of the data), so they cannot be ranked.
+  bool saw_rare = false;
+  for (const auto& sf : *top) {
+    if (sf.value.AsInt64() >= 50) saw_rare = true;
+  }
+  EXPECT_FALSE(saw_rare);
+}
+
+TEST(SamplingTest, SampleSizeClampedToRelation) {
+  Relation rel = Skewed({3, 2});
+  auto top = EstimateTopFrequenciesBySampling(rel, "a", 100, 2, 1);
+  ASSERT_TRUE(top.ok());
+  // Full-population "sample": estimates are exact.
+  EXPECT_DOUBLE_EQ((*top)[0].estimated_frequency, 3.0);
+  EXPECT_DOUBLE_EQ((*top)[1].estimated_frequency, 2.0);
+}
+
+TEST(SamplingTest, Validation) {
+  Relation rel = Skewed({1});
+  EXPECT_FALSE(EstimateTopFrequenciesBySampling(rel, "nope", 1, 1, 1).ok());
+  EXPECT_TRUE(EstimateTopFrequenciesBySampling(rel, "a", 0, 1, 1)
+                  .status()
+                  .IsInvalidArgument());
+  auto schema = Schema::Make({{"a", ValueType::kInt64}});
+  auto empty = Relation::Make("E", *std::move(schema));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(EstimateTopFrequenciesBySampling(*empty, "a", 1, 1, 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SamplingTest, DeterministicForSeed) {
+  Relation rel = Skewed({100, 50, 25, 10, 5});
+  auto a = EstimateTopFrequenciesBySampling(rel, "a", 30, 3, 9);
+  auto b = EstimateTopFrequenciesBySampling(rel, "a", 30, 3, 9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].value, (*b)[i].value);
+    EXPECT_EQ((*a)[i].sample_count, (*b)[i].sample_count);
+  }
+}
+
+TEST(SamplingTest, RefinementPassCountsExactly) {
+  Relation rel = Skewed({500, 300, 7});
+  std::vector<Value> candidates = {Value(int64_t{0}), Value(int64_t{2}),
+                                   Value(int64_t{99})};
+  auto exact = CountExactFrequencies(rel, "a", candidates);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_EQ(exact->size(), 3u);
+  EXPECT_DOUBLE_EQ((*exact)[0].frequency, 500.0);
+  EXPECT_DOUBLE_EQ((*exact)[1].frequency, 7.0);
+  EXPECT_DOUBLE_EQ((*exact)[2].frequency, 0.0);  // absent value
+}
+
+TEST(SamplingTest, SamplePlusRefineMatchesTruthOnHeavyHitters) {
+  // The DB2-style pipeline: sample to *identify* candidates, then one exact
+  // scan to count them.
+  std::vector<size_t> counts = {4000, 2500, 1000};
+  for (int i = 0; i < 40; ++i) counts.push_back(20);
+  Relation rel = Skewed(counts);
+  auto top = EstimateTopFrequenciesBySampling(rel, "a", 800, 3, 13);
+  ASSERT_TRUE(top.ok());
+  std::vector<Value> candidates;
+  for (const auto& sf : *top) candidates.push_back(sf.value);
+  auto exact = CountExactFrequencies(rel, "a", candidates);
+  ASSERT_TRUE(exact.ok());
+  // The three heavy hitters are identified and counted exactly.
+  double sum = 0;
+  for (const auto& vf : *exact) sum += vf.frequency;
+  EXPECT_DOUBLE_EQ(sum, 7500.0);
+}
+
+}  // namespace
+}  // namespace hops

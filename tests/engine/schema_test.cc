@@ -1,0 +1,58 @@
+#include "engine/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace hops {
+namespace {
+
+Schema WorksForSchema() {
+  auto s = Schema::Make({{"ename", ValueType::kString},
+                         {"dname", ValueType::kString},
+                         {"year", ValueType::kInt64}});
+  EXPECT_TRUE(s.ok());
+  return *std::move(s);
+}
+
+TEST(SchemaTest, MakeAndLookup) {
+  Schema s = WorksForSchema();
+  EXPECT_EQ(s.num_columns(), 3u);
+  auto idx = s.ColumnIndex("year");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2u);
+  EXPECT_EQ(s.column(0).name, "ename");
+}
+
+TEST(SchemaTest, UnknownColumnIsNotFound) {
+  Schema s = WorksForSchema();
+  EXPECT_TRUE(s.ColumnIndex("salary").status().IsNotFound());
+}
+
+TEST(SchemaTest, RejectsEmptyAndDuplicates) {
+  EXPECT_FALSE(Schema::Make({}).ok());
+  EXPECT_FALSE(Schema::Make({{"a", ValueType::kInt64},
+                             {"a", ValueType::kString}})
+                   .ok());
+  EXPECT_FALSE(Schema::Make({{"", ValueType::kInt64}}).ok());
+}
+
+TEST(SchemaTest, ValidateTupleChecksArityAndTypes) {
+  Schema s = WorksForSchema();
+  EXPECT_TRUE(s.ValidateTuple({Value("bob"), Value("toy"),
+                               Value(int64_t{1990})})
+                  .ok());
+  EXPECT_TRUE(s.ValidateTuple({Value("bob"), Value("toy")})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(s.ValidateTuple({Value("bob"), Value(int64_t{5}),
+                               Value(int64_t{1990})})
+                  .IsInvalidArgument());
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  Schema s = WorksForSchema();
+  std::string str = s.ToString();
+  EXPECT_NE(str.find("ename string"), std::string::npos);
+  EXPECT_NE(str.find("year int64"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,73 @@
+#include "engine/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace hops {
+namespace {
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.AsInt64(), 0);
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value i(int64_t{42});
+  EXPECT_TRUE(i.is_int64());
+  EXPECT_EQ(i.type(), ValueType::kInt64);
+  EXPECT_EQ(i.AsInt64(), 42);
+  Value s("toy");
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(s.AsString(), "toy");
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{-7}).ToString(), "-7");
+  EXPECT_EQ(Value("jewelry").ToString(), "jewelry");
+}
+
+TEST(ValueTest, EqualityByTypeAndContent) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(int64_t{2}));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_FALSE(Value("a") == Value("b"));
+  EXPECT_FALSE(Value(int64_t{1}) == Value("1"));
+}
+
+TEST(ValueTest, OrderingIsTotalWithIntsFirst) {
+  EXPECT_TRUE(Value(int64_t{1}) < Value(int64_t{2}));
+  EXPECT_TRUE(Value("a") < Value("b"));
+  EXPECT_TRUE(Value(int64_t{999}) < Value("a"));
+  EXPECT_FALSE(Value("a") < Value(int64_t{999}));
+}
+
+TEST(ValueTest, HashSpreadsSmallInts) {
+  std::unordered_set<size_t> hashes;
+  for (int64_t i = 0; i < 1000; ++i) {
+    hashes.insert(Value(i).Hash());
+  }
+  EXPECT_EQ(hashes.size(), 1000u);  // no collisions among small ints
+}
+
+TEST(ValueTest, HashEqualValuesAgree) {
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(int64_t{5}).Hash());
+  EXPECT_EQ(Value("shoe").Hash(), Value("shoe").Hash());
+}
+
+TEST(ValueTest, HashFunctorWorksInContainers) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value(int64_t{1}));
+  set.insert(Value("candy"));
+  set.insert(Value(int64_t{1}));  // duplicate
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeToString(ValueType::kInt64), "int64");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,143 @@
+#include "estimator/predicate_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/joint_statistics.h"
+#include "engine/statistics.h"
+#include "util/random.h"
+
+namespace hops {
+namespace {
+
+struct Fixture {
+  Relation rel;
+  Catalog catalog;
+
+  static Fixture Make(bool with_joint) {
+    Fixture f;
+    f.rel = *Relation::Make(
+        "R", *Schema::Make({{"a", ValueType::kInt64},
+                            {"b", ValueType::kInt64}}));
+    Rng rng(44);
+    for (int i = 0; i < 2000; ++i) {
+      int64_t a = static_cast<int64_t>(
+          std::min(rng.NextBounded(10), rng.NextBounded(10)));
+      // b correlates strongly with a.
+      int64_t b = rng.NextDouble() < 0.8
+                      ? a
+                      : static_cast<int64_t>(rng.NextBounded(10));
+      f.rel.AppendUnchecked({Value(a), Value(b)});
+    }
+    StatisticsOptions options;
+    options.num_buckets = 11;
+    AnalyzeAndStore(f.rel, "a", &f.catalog, options).Check();
+    AnalyzeAndStore(f.rel, "b", &f.catalog, options).Check();
+    if (with_joint) {
+      JointStatisticsOptions joint;
+      joint.num_buckets = 16;
+      AnalyzeAndStorePair(f.rel, "a", "b", &f.catalog, joint).Check();
+    }
+    return f;
+  }
+};
+
+double Truth(const Relation& rel, const std::string& text) {
+  auto p = Predicate::Parse(text);
+  EXPECT_TRUE(p.ok());
+  auto c = CountWhere(rel, *p);
+  EXPECT_TRUE(c.ok());
+  return *c;
+}
+
+Result<double> Estimate(const Fixture& f, const std::string& text) {
+  auto p = Predicate::Parse(text);
+  EXPECT_TRUE(p.ok());
+  return EstimatePredicateCardinality(f.catalog, "R", *p);
+}
+
+TEST(PredicateEstimatorTest, SingleEqualityIsHistogramLookup) {
+  Fixture f = Fixture::Make(false);
+  auto est = Estimate(f, "a = 0");
+  ASSERT_TRUE(est.ok());
+  // Value 0 is the heavy hitter; end-biased statistics store it exactly.
+  EXPECT_DOUBLE_EQ(*est, Truth(f.rel, "a = 0"));
+}
+
+TEST(PredicateEstimatorTest, RangePredicate) {
+  Fixture f = Fixture::Make(false);
+  auto est = Estimate(f, "a <= 2");
+  ASSERT_TRUE(est.ok());
+  double truth = Truth(f.rel, "a <= 2");
+  EXPECT_NEAR(*est, truth, 0.25 * truth);
+}
+
+TEST(PredicateEstimatorTest, IndependenceUnderestimatesCorrelatedPair) {
+  Fixture f = Fixture::Make(false);
+  auto est = Estimate(f, "a = 0 AND b = 0");
+  ASSERT_TRUE(est.ok());
+  double truth = Truth(f.rel, "a = 0 AND b = 0");
+  EXPECT_LT(*est, 0.7 * truth);  // the classical mistake
+}
+
+TEST(PredicateEstimatorTest, JointStatisticsFixCorrelatedPair) {
+  Fixture f = Fixture::Make(true);
+  auto est = Estimate(f, "a = 0 AND b = 0");
+  ASSERT_TRUE(est.ok());
+  double truth = Truth(f.rel, "a = 0 AND b = 0");
+  EXPECT_NEAR(*est, truth, 0.15 * truth);
+}
+
+TEST(PredicateEstimatorTest, JointLookupWorksInEitherColumnOrder) {
+  Fixture f = Fixture::Make(true);
+  auto ab = Estimate(f, "a = 3 AND b = 3");
+  auto ba = Estimate(f, "b = 3 AND a = 3");
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_DOUBLE_EQ(*ab, *ba);
+}
+
+TEST(PredicateEstimatorTest, MixedConjunctionCombinesFactors) {
+  Fixture f = Fixture::Make(true);
+  auto est = Estimate(f, "a = 0 AND b = 0 AND a >= 0");
+  ASSERT_TRUE(est.ok());
+  // a >= 0 is always true, so the answer should stay near the joint pair
+  // estimate.
+  auto pair_only = Estimate(f, "a = 0 AND b = 0");
+  ASSERT_TRUE(pair_only.ok());
+  EXPECT_NEAR(*est, *pair_only, 0.15 * *pair_only + 1.0);
+}
+
+TEST(PredicateEstimatorTest, InListSumsExplicitFrequencies) {
+  Fixture f = Fixture::Make(false);
+  auto est = Estimate(f, "a IN (0, 1)");
+  ASSERT_TRUE(est.ok());
+  double truth = Truth(f.rel, "a = 0") + Truth(f.rel, "a = 1");
+  // Both heavy hitters are explicit in the end-biased histogram.
+  EXPECT_NEAR(*est, truth, 0.05 * truth);
+}
+
+TEST(PredicateEstimatorTest, Validation) {
+  Fixture f = Fixture::Make(false);
+  EXPECT_TRUE(EstimatePredicateCardinality(f.catalog, "R", Predicate())
+                  .status()
+                  .IsInvalidArgument());
+  auto p = Predicate::Parse("zzz = 1");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(EstimatePredicateCardinality(f.catalog, "R", *p)
+                  .status()
+                  .IsNotFound());
+  auto str_range = Predicate::Parse("a < 'x'");
+  ASSERT_TRUE(str_range.ok());
+  EXPECT_TRUE(EstimatePredicateCardinality(f.catalog, "R", *str_range)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PredicateEstimatorTest, EstimateIsNonNegative) {
+  Fixture f = Fixture::Make(false);
+  auto est = Estimate(f, "a = 999 AND b = 999");  // absent values
+  ASSERT_TRUE(est.ok());
+  EXPECT_GE(*est, 0.0);
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,145 @@
+#include "estimator/selectivity.h"
+
+#include <gtest/gtest.h>
+
+namespace hops {
+namespace {
+
+// Stats for a column over values 1..10, 100 tuples: values 1 and 2 stored
+// explicitly (30 and 20 tuples), the remaining 8 values average 6.25.
+ColumnStatistics SampleStats() {
+  ColumnStatistics stats;
+  stats.num_tuples = 100.0;
+  stats.num_distinct = 10;
+  stats.min_value = 1;
+  stats.max_value = 10;
+  stats.histogram =
+      *CatalogHistogram::Make({{1, 30.0}, {2, 20.0}}, 6.25, 8);
+  return stats;
+}
+
+TEST(SelectivityTest, EqualityUsesExplicitOrDefault) {
+  ColumnStatistics stats = SampleStats();
+  EXPECT_DOUBLE_EQ(EstimateEqualitySelection(stats, Value(int64_t{1})),
+                   30.0);
+  EXPECT_DOUBLE_EQ(EstimateEqualitySelection(stats, Value(int64_t{7})),
+                   6.25);
+}
+
+TEST(SelectivityTest, NotEqualsIsComplement) {
+  ColumnStatistics stats = SampleStats();
+  EXPECT_DOUBLE_EQ(EstimateNotEqualsSelection(stats, Value(int64_t{1})),
+                   70.0);
+  EXPECT_DOUBLE_EQ(EstimateNotEqualsSelection(stats, Value(int64_t{7})),
+                   93.75);
+}
+
+TEST(SelectivityTest, NotEqualsClampedAtZero) {
+  ColumnStatistics stats = SampleStats();
+  stats.num_tuples = 10.0;  // inconsistent on purpose
+  EXPECT_DOUBLE_EQ(EstimateNotEqualsSelection(stats, Value(int64_t{1})),
+                   0.0);
+}
+
+TEST(SelectivityTest, DisjunctionSumsDistinctValues) {
+  ColumnStatistics stats = SampleStats();
+  std::vector<Value> values = {Value(int64_t{1}), Value(int64_t{2}),
+                               Value(int64_t{1})};  // duplicate 1
+  EXPECT_DOUBLE_EQ(EstimateDisjunctiveSelection(stats, values), 50.0);
+}
+
+TEST(SelectivityTest, RangeCoversExplicitAndDefaults) {
+  ColumnStatistics stats = SampleStats();
+  // [1, 2]: both explicit -> 50 exactly (no default values in range beyond
+  // the explicit ones: overlap 2 - 2 explicit = 0).
+  RangeBounds r12{1, 2, true, true};
+  auto e = EstimateRangeSelection(stats, r12);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 50.0);
+  // Full domain [1, 10]: everything -> 100.
+  RangeBounds all{1, 10, true, true};
+  e = EstimateRangeSelection(stats, all);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(*e, 100.0, 1e-9);
+}
+
+TEST(SelectivityTest, RangeDefaultOnlySegment) {
+  ColumnStatistics stats = SampleStats();
+  // [5, 8]: 4 of the 8 default values (uniform spread assumption: 8 * 4/10
+  // = 3.2 values, capped at 4 non-explicit slots) -> 3.2 * 6.25 = 20.
+  RangeBounds r{5, 8, true, true};
+  auto e = EstimateRangeSelection(stats, r);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 20.0);
+}
+
+TEST(SelectivityTest, ExclusiveBoundsShrinkRange) {
+  ColumnStatistics stats = SampleStats();
+  RangeBounds open{1, 3, false, false};  // -> [2, 2]
+  auto e = EstimateRangeSelection(stats, open);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 20.0);
+}
+
+TEST(SelectivityTest, EmptyRangeIsZero) {
+  ColumnStatistics stats = SampleStats();
+  RangeBounds r{5, 4, true, true};
+  auto e = EstimateRangeSelection(stats, r);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 0.0);
+  RangeBounds collapsed{5, 5, false, true};  // (5,5] empty
+  e = EstimateRangeSelection(stats, collapsed);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 0.0);
+}
+
+TEST(SelectivityTest, RangeNeverExceedsRelationSize) {
+  ColumnStatistics stats = SampleStats();
+  RangeBounds wide{-1000, 1000, true, true};
+  auto e = EstimateRangeSelection(stats, wide);
+  ASSERT_TRUE(e.ok());
+  EXPECT_LE(*e, stats.num_tuples);
+}
+
+TEST(JoinEstimateTest, ExplicitExplicitPairsMatchExactly) {
+  // Both sides fully explicit over the same 3 values.
+  ColumnStatistics a, b;
+  a.num_tuples = 60;
+  a.num_distinct = 3;
+  a.histogram =
+      *CatalogHistogram::Make({{1, 30.0}, {2, 20.0}, {3, 10.0}}, 0.0, 0);
+  b.num_tuples = 6;
+  b.num_distinct = 3;
+  b.histogram =
+      *CatalogHistogram::Make({{1, 1.0}, {2, 2.0}, {3, 3.0}}, 0.0, 0);
+  EXPECT_DOUBLE_EQ(EstimateEquiJoinSize(a, b), 30 + 40 + 30);
+}
+
+TEST(JoinEstimateTest, DefaultMassPairsLeftoverValues) {
+  // No explicit entries at all: S ~= universe * dA * dB.
+  ColumnStatistics a, b;
+  a.histogram = *CatalogHistogram::Make({}, 5.0, 10);
+  b.histogram = *CatalogHistogram::Make({}, 2.0, 10);
+  EXPECT_DOUBLE_EQ(EstimateEquiJoinSize(a, b), 10 * 5.0 * 2.0);
+}
+
+TEST(JoinEstimateTest, MixedExplicitAndDefault) {
+  // a explicit at value 1 (100 tuples) among 4 values; b all default.
+  ColumnStatistics a, b;
+  a.histogram = *CatalogHistogram::Make({{1, 100.0}}, 10.0, 3);
+  b.histogram = *CatalogHistogram::Make({}, 2.0, 4);
+  // 100*2 (value 1) + 3 remaining * 10 * 2 = 200 + 60.
+  EXPECT_DOUBLE_EQ(EstimateEquiJoinSize(a, b), 260.0);
+}
+
+TEST(JoinEstimateTest, SelfJoinEstimateMatchesPropositionFormula) {
+  // Joining a histogram with itself reproduces sum T_i^2/P_i when all
+  // buckets are explicit-or-default consistent.
+  ColumnStatistics a;
+  a.histogram = *CatalogHistogram::Make({{1, 9.0}, {2, 7.0}}, 2.0, 5);
+  // 81 + 49 + 5 * 4 = 150.
+  EXPECT_DOUBLE_EQ(EstimateEquiJoinSize(a, a), 150.0);
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,165 @@
+#include "experiments/analytic_error.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "histogram/builders.h"
+#include "util/random.h"
+
+namespace hops {
+namespace {
+
+// Brute-force moments by enumerating every relative arrangement.
+JoinErrorMoments Enumerate(const std::vector<double>& x,
+                           const std::vector<double>& p,
+                           const std::vector<double>& y,
+                           const std::vector<double>& q) {
+  const size_t m = x.size();
+  std::vector<size_t> perm(m);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  double sum = 0, sum_sq = 0;
+  size_t count = 0;
+  do {
+    double err = 0;
+    for (size_t v = 0; v < m; ++v) {
+      err += x[v] * y[perm[v]] - p[v] * q[perm[v]];
+    }
+    sum += err;
+    sum_sq += err * err;
+    ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return {sum / static_cast<double>(count),
+          sum_sq / static_cast<double>(count)};
+}
+
+std::vector<double> ApproxOf(const std::vector<double>& freqs, size_t beta) {
+  auto set = FrequencySet::Make(freqs);
+  EXPECT_TRUE(set.ok());
+  auto h = BuildVOptSerialDP(*set, beta);
+  EXPECT_TRUE(h.ok());
+  return h->ApproximateFrequencies();
+}
+
+TEST(AnalyticErrorTest, MatchesEnumerationOnRandomInputs) {
+  Rng rng(505);
+  for (int trial = 0; trial < 15; ++trial) {
+    size_t m = 2 + rng.NextBounded(5);  // 2..6 values
+    std::vector<double> x(m), y(m), p(m), q(m);
+    for (size_t i = 0; i < m; ++i) {
+      x[i] = static_cast<double>(rng.NextBounded(10));
+      y[i] = static_cast<double>(rng.NextBounded(10));
+      // Arbitrary (not even total-preserving) approximations.
+      p[i] = static_cast<double>(rng.NextBounded(10));
+      q[i] = static_cast<double>(rng.NextBounded(10));
+    }
+    auto analytic = ExpectedJoinErrorMoments(x, p, y, q);
+    ASSERT_TRUE(analytic.ok());
+    JoinErrorMoments brute = Enumerate(x, p, y, q);
+    EXPECT_NEAR(analytic->mean, brute.mean,
+                1e-9 * (1 + std::abs(brute.mean)))
+        << "trial " << trial;
+    EXPECT_NEAR(analytic->mean_square, brute.mean_square,
+                1e-9 * (1 + brute.mean_square))
+        << "trial " << trial;
+  }
+}
+
+TEST(AnalyticErrorTest, Theorem32MeanIsZeroForBucketAverages) {
+  // Bucket averages preserve totals, so E[S-S'] = 0 exactly.
+  Rng rng(606);
+  std::vector<double> x(40), y(40);
+  for (auto& v : x) v = static_cast<double>(rng.NextBounded(100));
+  for (auto& v : y) v = static_cast<double>(rng.NextBounded(100));
+  auto moments =
+      ExpectedJoinErrorMoments(x, ApproxOf(x, 4), y, ApproxOf(y, 4));
+  ASSERT_TRUE(moments.ok());
+  EXPECT_NEAR(moments->mean, 0.0, 1e-6);
+  EXPECT_GT(moments->mean_square, 0.0);
+}
+
+TEST(AnalyticErrorTest, Theorem33OnLargeDomains) {
+  // The self-join-optimal pair minimizes E[(S-S')^2] among hundreds of
+  // random histogram pairs on a 30-value domain — far beyond what
+  // permutation enumeration could check.
+  Rng rng(707);
+  const size_t m = 30, beta = 4;
+  std::vector<double> x(m), y(m);
+  for (auto& v : x) {
+    v = static_cast<double>(
+        std::min(rng.NextBounded(80), rng.NextBounded(80)));
+  }
+  for (auto& v : y) {
+    v = static_cast<double>(
+        std::min(rng.NextBounded(80), rng.NextBounded(80)));
+  }
+  auto vopt = ExpectedJoinErrorMoments(x, ApproxOf(x, beta), y,
+                                       ApproxOf(y, beta));
+  ASSERT_TRUE(vopt.ok());
+
+  auto random_approx = [&](const std::vector<double>& f) {
+    // Random 4-bucket assignment -> bucket averages.
+    std::vector<uint32_t> assign(m);
+    for (auto& a : assign) {
+      a = static_cast<uint32_t>(rng.NextBounded(beta));
+    }
+    for (uint32_t b = 0; b < beta; ++b) assign[b] = b;  // non-empty
+    double sum[beta] = {0}, cnt[beta] = {0};
+    for (size_t i = 0; i < m; ++i) {
+      sum[assign[i]] += f[i];
+      cnt[assign[i]] += 1;
+    }
+    std::vector<double> out(m);
+    for (size_t i = 0; i < m; ++i) out[i] = sum[assign[i]] / cnt[assign[i]];
+    return out;
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    auto candidate =
+        ExpectedJoinErrorMoments(x, random_approx(x), y, random_approx(y));
+    ASSERT_TRUE(candidate.ok());
+    EXPECT_GE(candidate->mean_square,
+              vopt->mean_square - 1e-6 * (1 + vopt->mean_square))
+        << "trial " << trial;
+  }
+  // And the named baselines cannot beat it either.
+  for (auto make : {+[](const std::vector<double>& f, size_t b) {
+                      auto set = FrequencySet::Make(f);
+                      return BuildEquiWidthHistogram(*set, b);
+                    },
+                    +[](const std::vector<double>& f, size_t b) {
+                      auto set = FrequencySet::Make(f);
+                      return BuildEquiDepthHistogram(*set, b);
+                    },
+                    +[](const std::vector<double>& f, size_t b) {
+                      auto set = FrequencySet::Make(f);
+                      return BuildVOptEndBiased(*set, b, nullptr);
+                    }}) {
+    auto hx = make(x, beta);
+    auto hy = make(y, beta);
+    ASSERT_TRUE(hx.ok() && hy.ok());
+    auto candidate = ExpectedJoinErrorMoments(
+        x, hx->ApproximateFrequencies(), y, hy->ApproximateFrequencies());
+    ASSERT_TRUE(candidate.ok());
+    EXPECT_GE(candidate->mean_square,
+              vopt->mean_square - 1e-6 * (1 + vopt->mean_square));
+  }
+}
+
+TEST(AnalyticErrorTest, SingleValueDomainIsDeterministic) {
+  std::vector<double> x = {4}, p = {3}, y = {5}, q = {5};
+  auto moments = ExpectedJoinErrorMoments(x, p, y, q);
+  ASSERT_TRUE(moments.ok());
+  EXPECT_DOUBLE_EQ(moments->mean, 4 * 5 - 3 * 5);
+  EXPECT_DOUBLE_EQ(moments->mean_square, 25.0);
+}
+
+TEST(AnalyticErrorTest, Validation) {
+  std::vector<double> a = {1, 2}, b = {1};
+  EXPECT_FALSE(ExpectedJoinErrorMoments(a, b, a, a).ok());
+  std::vector<double> empty;
+  EXPECT_FALSE(ExpectedJoinErrorMoments(empty, empty, empty, empty).ok());
+}
+
+}  // namespace
+}  // namespace hops

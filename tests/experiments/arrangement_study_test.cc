@@ -1,0 +1,87 @@
+#include "experiments/arrangement_study.h"
+
+#include <gtest/gtest.h>
+
+namespace hops {
+namespace {
+
+ArrangementStudyConfig SmallConfig() {
+  ArrangementStudyConfig config;
+  config.domain_size = 8;
+  config.num_buckets = 3;
+  config.num_arrangements = 30;
+  config.seed = 42;
+  return config;
+}
+
+TEST(ArrangementStudyTest, RunsAndCountsAreConsistent) {
+  auto result = RunArrangementStudy(SmallConfig());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_arrangements, 30u);
+  EXPECT_LE(result->both_end_biased, result->at_least_one_end_biased);
+  EXPECT_LE(result->at_least_one_end_biased, result->num_arrangements);
+  EXPECT_LE(result->same_values_in_univalued, result->num_arrangements);
+}
+
+TEST(ArrangementStudyTest, FractionsInUnitInterval) {
+  auto result = RunArrangementStudy(SmallConfig());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->FractionAtLeastOne(), 0.0);
+  EXPECT_LE(result->FractionAtLeastOne(), 1.0);
+  EXPECT_GE(result->FractionBoth(), 0.0);
+  EXPECT_LE(result->FractionBoth(), result->FractionAtLeastOne());
+}
+
+TEST(ArrangementStudyTest, MostArrangementsFavorEndBiased) {
+  // The Section 3.1 observation: a large majority of arrangements have at
+  // least one end-biased optimum (paper: ~90% on Zipf data). Allow slack
+  // for our sampled reproduction.
+  ArrangementStudyConfig config = SmallConfig();
+  config.domain_size = 10;
+  config.num_arrangements = 60;
+  auto result = RunArrangementStudy(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->FractionAtLeastOne(), 0.5);
+}
+
+TEST(ArrangementStudyTest, DeterministicForSeed) {
+  auto a = RunArrangementStudy(SmallConfig());
+  auto b = RunArrangementStudy(SmallConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->at_least_one_end_biased, b->at_least_one_end_biased);
+  EXPECT_EQ(a->both_end_biased, b->both_end_biased);
+}
+
+TEST(ArrangementStudyTest, RejectsHugeSearchSpace) {
+  ArrangementStudyConfig config;
+  config.domain_size = 100;
+  config.num_buckets = 8;  // C(100, 7) is astronomically large
+  EXPECT_TRUE(
+      RunArrangementStudy(config).status().IsResourceExhausted());
+}
+
+TEST(ArrangementStudyTest, Validation) {
+  ArrangementStudyConfig config = SmallConfig();
+  config.domain_size = 0;
+  EXPECT_FALSE(RunArrangementStudy(config).ok());
+  config = SmallConfig();
+  config.num_buckets = 0;
+  EXPECT_FALSE(RunArrangementStudy(config).ok());
+  config = SmallConfig();
+  config.num_buckets = config.domain_size + 1;
+  EXPECT_FALSE(RunArrangementStudy(config).ok());
+}
+
+TEST(ArrangementStudyTest, TrivialBucketsAlwaysEndBiased) {
+  // With beta = 1 there are no singletons; every "choice" is vacuously
+  // end-biased on both sides.
+  ArrangementStudyConfig config = SmallConfig();
+  config.num_buckets = 1;
+  config.num_arrangements = 5;
+  auto result = RunArrangementStudy(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->both_end_biased, 5u);
+}
+
+}  // namespace
+}  // namespace hops

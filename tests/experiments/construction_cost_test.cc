@@ -1,0 +1,60 @@
+#include "experiments/construction_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace hops {
+namespace {
+
+TEST(ConstructionCostTest, SmallRunProducesTimedRows) {
+  ConstructionCostConfig config;
+  config.cardinalities = {50, 200};
+  config.serial_bucket_counts = {3};
+  config.end_biased_buckets = 10;
+  auto rows = MeasureConstructionCosts(config);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  for (const auto& row : *rows) {
+    ASSERT_EQ(row.serial_seconds.size(), 1u);
+    ASSERT_TRUE(row.serial_seconds[0].has_value());
+    EXPECT_GE(*row.serial_seconds[0], 0.0);
+    EXPECT_GE(row.end_biased_seconds, 0.0);
+  }
+}
+
+TEST(ConstructionCostTest, InfeasibleCellsAreSkipped) {
+  ConstructionCostConfig config;
+  config.cardinalities = {2000};
+  config.serial_bucket_counts = {5};
+  config.max_serial_candidates = 1000;  // force the skip
+  auto rows = MeasureConstructionCosts(config);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_FALSE((*rows)[0].serial_seconds[0].has_value());
+  EXPECT_GE((*rows)[0].end_biased_seconds, 0.0);  // always measured
+}
+
+TEST(ConstructionCostTest, EndBiasedIsFarCheaperThanSerial) {
+  // The Table 1 shape: at M = 500, exhaustive serial (beta=3 ~ 124k
+  // candidates) must cost much more than the near-linear end-biased build.
+  ConstructionCostConfig config;
+  config.cardinalities = {500};
+  config.serial_bucket_counts = {3};
+  auto rows = MeasureConstructionCosts(config);
+  ASSERT_TRUE(rows.ok());
+  const auto& row = (*rows)[0];
+  ASSERT_TRUE(row.serial_seconds[0].has_value());
+  EXPECT_GT(*row.serial_seconds[0], row.end_biased_seconds);
+}
+
+TEST(ConstructionCostTest, BetaLargerThanMSkipsCell) {
+  ConstructionCostConfig config;
+  config.cardinalities = {4};
+  config.serial_bucket_counts = {5};
+  config.end_biased_buckets = 10;
+  auto rows = MeasureConstructionCosts(config);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_FALSE((*rows)[0].serial_seconds[0].has_value());
+}
+
+}  // namespace
+}  // namespace hops

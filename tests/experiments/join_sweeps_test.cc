@@ -1,0 +1,129 @@
+#include "experiments/join_sweeps.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hops {
+namespace {
+
+JoinExperimentConfig SmallConfig() {
+  JoinExperimentConfig config;
+  config.num_joins = 2;
+  config.num_buckets = 5;
+  config.domain_size = 6;
+  config.num_arrangements = 8;
+  config.seed = 11;
+  return config;
+}
+
+TEST(JoinSweepsTest, SkewClassNamesAndCandidates) {
+  EXPECT_STREQ(SkewClassToString(SkewClass::kLow), "low");
+  EXPECT_STREQ(SkewClassToString(SkewClass::kMixed), "mixed");
+  EXPECT_STREQ(SkewClassToString(SkewClass::kHigh), "high");
+  EXPECT_EQ(SkewCandidates(SkewClass::kLow).size(), 4u);
+  EXPECT_EQ(SkewCandidates(SkewClass::kMixed).size(), 10u);
+  EXPECT_EQ(SkewCandidates(SkewClass::kHigh).size(), 5u);
+  for (double z : SkewCandidates(SkewClass::kHigh)) EXPECT_GE(z, 1.0);
+  for (double z : SkewCandidates(SkewClass::kLow)) EXPECT_LE(z, 0.5);
+}
+
+TEST(JoinSweepsTest, RunProducesFiniteErrors) {
+  auto result = RunJoinExperiment(SmallConfig());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->arrangements_used, 0u);
+  EXPECT_GE(result->mean_relative_error, 0.0);
+  EXPECT_TRUE(std::isfinite(result->mean_relative_error));
+  EXPECT_EQ(result->skews.size(), 3u);  // N+1 relations
+}
+
+TEST(JoinSweepsTest, DeterministicForSeed) {
+  auto a = RunJoinExperiment(SmallConfig());
+  auto b = RunJoinExperiment(SmallConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->mean_relative_error, b->mean_relative_error);
+  EXPECT_EQ(a->skews, b->skews);
+}
+
+TEST(JoinSweepsTest, PerfectHistogramsGiveZeroError) {
+  JoinExperimentConfig config = SmallConfig();
+  config.num_buckets = 1000;  // capped at set size -> exact per relation
+  config.histogram_type = HistogramType::kVOptSerialDP;
+  auto result = RunJoinExperiment(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->mean_relative_error, 0.0, 1e-9);
+}
+
+TEST(JoinSweepsTest, SerialBeatsTrivialOnHighSkew) {
+  JoinExperimentConfig config = SmallConfig();
+  config.skew_class = SkewClass::kHigh;
+  config.num_arrangements = 12;
+  config.histogram_type = HistogramType::kVOptSerialDP;
+  auto serial = RunJoinExperiment(config);
+  config.histogram_type = HistogramType::kTrivial;
+  auto trivial = RunJoinExperiment(config);
+  ASSERT_TRUE(serial.ok() && trivial.ok());
+  EXPECT_LT(serial->mean_relative_error, trivial->mean_relative_error);
+}
+
+TEST(JoinSweepsTest, ErrorsGrowWithJoins) {
+  // Figure 6's first conclusion: errors increase with the number of joins.
+  // Compare 1 join against 6 joins under high skew with few buckets.
+  JoinExperimentConfig config;
+  config.domain_size = 6;
+  config.num_buckets = 2;
+  config.skew_class = SkewClass::kHigh;
+  config.num_arrangements = 15;
+  config.seed = 21;
+  config.histogram_type = HistogramType::kVOptEndBiased;
+  config.num_joins = 1;
+  auto short_chain = RunJoinExperiment(config);
+  config.num_joins = 6;
+  auto long_chain = RunJoinExperiment(config);
+  ASSERT_TRUE(short_chain.ok() && long_chain.ok());
+  EXPECT_GT(long_chain->mean_relative_error,
+            short_chain->mean_relative_error);
+}
+
+TEST(JoinSweepsTest, MoreBucketsReduceError) {
+  // Figure 7's first conclusion: errors decrease with the number of
+  // buckets.
+  JoinExperimentConfig config = SmallConfig();
+  config.skew_class = SkewClass::kHigh;
+  config.num_arrangements = 15;
+  config.num_buckets = 1;
+  auto coarse = RunJoinExperiment(config);
+  config.num_buckets = 5;
+  auto fine = RunJoinExperiment(config);
+  ASSERT_TRUE(coarse.ok() && fine.ok());
+  EXPECT_LT(fine->mean_relative_error, coarse->mean_relative_error);
+}
+
+TEST(JoinSweepsTest, MultipleQueryInstancesAggregateAllArrangements) {
+  JoinExperimentConfig config = SmallConfig();
+  config.num_queries = 3;
+  auto result = RunJoinExperiment(config);
+  ASSERT_TRUE(result.ok());
+  // 3 instances x (N+1) relations of skews; arrangements pooled.
+  EXPECT_EQ(result->skews.size(), 9u);
+  EXPECT_LE(result->arrangements_used, 3u * config.num_arrangements);
+  EXPECT_GT(result->arrangements_used, 0u);
+}
+
+TEST(JoinSweepsTest, Validation) {
+  JoinExperimentConfig config = SmallConfig();
+  config.num_joins = 0;
+  EXPECT_FALSE(RunJoinExperiment(config).ok());
+  config = SmallConfig();
+  config.domain_size = 0;
+  EXPECT_FALSE(RunJoinExperiment(config).ok());
+  config = SmallConfig();
+  config.num_arrangements = 0;
+  EXPECT_FALSE(RunJoinExperiment(config).ok());
+  config = SmallConfig();
+  config.num_queries = 0;
+  EXPECT_FALSE(RunJoinExperiment(config).ok());
+}
+
+}  // namespace
+}  // namespace hops

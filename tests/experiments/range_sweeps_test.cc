@@ -1,0 +1,97 @@
+#include "experiments/range_sweeps.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/zipf.h"
+
+namespace hops {
+namespace {
+
+FrequencySet ZipfSet(double z, size_t m = 100) {
+  auto set = ZipfFrequencySet({1000.0, m, z}, /*integer_valued=*/true);
+  EXPECT_TRUE(set.ok());
+  return *std::move(set);
+}
+
+TEST(RangeSweepsTest, UniformSetHasZeroError) {
+  auto set = ZipfFrequencySet({1000.0, 50, 0.0});
+  ASSERT_TRUE(set.ok());
+  for (auto type : {HistogramType::kTrivial, HistogramType::kVOptEndBiased,
+                    HistogramType::kEquiDepth}) {
+    RangeExperimentConfig config;
+    config.histogram_type = type;
+    auto rmse = RangeSelectionRmse(*set, config);
+    ASSERT_TRUE(rmse.ok());
+    EXPECT_NEAR(*rmse, 0.0, 1e-6) << HistogramTypeToString(type);
+  }
+}
+
+TEST(RangeSweepsTest, DeterministicForSeed) {
+  FrequencySet set = ZipfSet(1.0);
+  RangeExperimentConfig config;
+  auto a = RangeSelectionRmse(set, config);
+  auto b = RangeSelectionRmse(set, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(*a, *b);
+}
+
+TEST(RangeSweepsTest, SerialBeatsTrivialAndValueOrderSchemes) {
+  // Section 6: serial histograms are v-optimal for range selections too.
+  FrequencySet set = ZipfSet(1.5);
+  RangeExperimentConfig config;
+  config.num_buckets = 5;
+  auto get = [&](HistogramType type) {
+    config.histogram_type = type;
+    auto r = RangeSelectionRmse(set, config);
+    EXPECT_TRUE(r.ok());
+    return *r;
+  };
+  double serial = get(HistogramType::kVOptSerialDP);
+  double biased = get(HistogramType::kVOptEndBiased);
+  double trivial = get(HistogramType::kTrivial);
+  double width = get(HistogramType::kEquiWidth);
+  EXPECT_LT(serial, trivial);
+  EXPECT_LT(biased, trivial);
+  EXPECT_LT(serial, width);
+  EXPECT_LE(serial, biased * 1.6);  // close subclasses
+}
+
+TEST(RangeSweepsTest, MoreBucketsReduceRangeError) {
+  FrequencySet set = ZipfSet(1.0);
+  RangeExperimentConfig config;
+  config.histogram_type = HistogramType::kVOptSerialDP;
+  config.num_buckets = 2;
+  auto coarse = RangeSelectionRmse(set, config);
+  config.num_buckets = 10;
+  auto fine = RangeSelectionRmse(set, config);
+  ASSERT_TRUE(coarse.ok() && fine.ok());
+  EXPECT_LT(*fine, *coarse);
+}
+
+TEST(RangeSweepsTest, Validation) {
+  FrequencySet set = ZipfSet(1.0, 10);
+  RangeExperimentConfig config;
+  config.num_arrangements = 0;
+  EXPECT_FALSE(RangeSelectionRmse(set, config).ok());
+  config = RangeExperimentConfig{};
+  config.num_ranges = 0;
+  EXPECT_FALSE(RangeSelectionRmse(set, config).ok());
+  auto empty = FrequencySet::Make({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(RangeSelectionRmse(*empty, RangeExperimentConfig{}).ok());
+}
+
+TEST(RangeSweepsTest, FullDomainRangeIsExactForExactTotals) {
+  // A range covering everything counts T; every histogram preserves T, so
+  // full-domain ranges contribute zero error. Check via a 1-value domain.
+  auto set = FrequencySet::Make({42});
+  ASSERT_TRUE(set.ok());
+  RangeExperimentConfig config;
+  config.num_buckets = 1;
+  auto rmse = RangeSelectionRmse(*set, config);
+  ASSERT_TRUE(rmse.ok());
+  EXPECT_DOUBLE_EQ(*rmse, 0.0);
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "histogram/builders.h"
+#include "histogram/self_join.h"
+
+namespace hops {
+namespace {
+
+FrequencySet MustSet(std::vector<Frequency> f) {
+  auto r = FrequencySet::Make(std::move(f));
+  EXPECT_TRUE(r.ok());
+  return *std::move(r);
+}
+
+TEST(TrivialBuilderTest, SingleBucketOverEverything) {
+  auto h = BuildTrivialHistogram(MustSet({1, 5, 9}));
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h->IsTrivial());
+  EXPECT_EQ(h->num_buckets(), 1u);
+  EXPECT_DOUBLE_EQ(h->ApproxFrequency(0), 5.0);
+  EXPECT_EQ(h->label(), "trivial");
+}
+
+TEST(TrivialBuilderTest, FailsOnEmptySet) {
+  EXPECT_FALSE(BuildTrivialHistogram(MustSet({})).ok());
+}
+
+TEST(EquiWidthTest, SplitsValueOrderEvenly) {
+  // 6 values, 3 buckets -> ranges of 2 consecutive positions.
+  auto h = BuildEquiWidthHistogram(MustSet({9, 1, 7, 2, 8, 3}), 3);
+  ASSERT_TRUE(h.ok());
+  const auto& bz = h->bucketization();
+  EXPECT_EQ(bz.bucket_of(0), 0u);
+  EXPECT_EQ(bz.bucket_of(1), 0u);
+  EXPECT_EQ(bz.bucket_of(2), 1u);
+  EXPECT_EQ(bz.bucket_of(3), 1u);
+  EXPECT_EQ(bz.bucket_of(4), 2u);
+  EXPECT_EQ(bz.bucket_of(5), 2u);
+}
+
+TEST(EquiWidthTest, UnevenSizesDifferByAtMostOne) {
+  auto h = BuildEquiWidthHistogram(MustSet({1, 2, 3, 4, 5, 6, 7}), 3);
+  ASSERT_TRUE(h.ok());
+  std::vector<size_t> sizes = h->bucketization().BucketSizes();
+  EXPECT_EQ(sizes, (std::vector<size_t>{3, 2, 2}));
+}
+
+TEST(EquiWidthTest, RejectsBadBucketCounts) {
+  EXPECT_FALSE(BuildEquiWidthHistogram(MustSet({1, 2}), 0).ok());
+  EXPECT_FALSE(BuildEquiWidthHistogram(MustSet({1, 2}), 3).ok());
+}
+
+TEST(EquiDepthTest, BalancesTupleCounts) {
+  // Values (in value order) 5,5,5,5,10,10: total 40, 2 buckets -> close
+  // the first bucket once cumulative >= 20.
+  auto h = BuildEquiDepthHistogram(MustSet({5, 5, 5, 5, 10, 10}), 2);
+  ASSERT_TRUE(h.ok());
+  const auto& bz = h->bucketization();
+  EXPECT_EQ(bz.bucket_of(0), 0u);
+  EXPECT_EQ(bz.bucket_of(3), 0u);
+  EXPECT_EQ(bz.bucket_of(4), 1u);
+  EXPECT_EQ(bz.bucket_of(5), 1u);
+}
+
+TEST(EquiDepthTest, GiantFrequencyIsIsolated) {
+  // Tuple-quantile semantics: a value heavier than the bucket depth owns
+  // its bucket(s); the buckets it fully covers are merged away, so the
+  // histogram may end up with fewer buckets than requested (all non-empty).
+  auto h = BuildEquiDepthHistogram(MustSet({1000, 1, 1, 1}), 3);
+  ASSERT_TRUE(h.ok());
+  std::vector<size_t> sizes = h->bucketization().BucketSizes();
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], 1u);  // giant value alone
+  EXPECT_EQ(sizes[1], 3u);
+  EXPECT_DOUBLE_EQ(h->bucket_stats()[0].variance, 0.0);
+}
+
+TEST(EquiDepthTest, HighSkewErrorStaysBounded) {
+  // The Figure 5 behaviour: because heavy values are isolated, the
+  // equi-depth self-join error does not explode with skew the way the
+  // trivial histogram's does.
+  std::vector<Frequency> freqs = {900, 50, 20, 10, 5, 5, 4, 3, 2, 1};
+  auto depth = BuildEquiDepthHistogram(MustSet(freqs), 5);
+  auto trivial = BuildTrivialHistogram(MustSet(freqs));
+  ASSERT_TRUE(depth.ok() && trivial.ok());
+  double depth_err = 0, trivial_err = 0;
+  for (const auto& b : depth->bucket_stats()) {
+    depth_err += b.error_contribution();
+  }
+  for (const auto& b : trivial->bucket_stats()) {
+    trivial_err += b.error_contribution();
+  }
+  EXPECT_LT(depth_err, trivial_err / 10);
+}
+
+TEST(EquiDepthTest, UniformInputGivesEqualWidthBuckets) {
+  auto h = BuildEquiDepthHistogram(MustSet(std::vector<Frequency>(8, 3.0)),
+                                   4);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->bucketization().BucketSizes(),
+            (std::vector<size_t>{2, 2, 2, 2}));
+}
+
+TEST(EndBiasedBuilderTest, SingletonsAtBothEnds) {
+  auto h = BuildEndBiasedHistogram(MustSet({50, 3, 9, 1, 7}), /*num_high=*/1,
+                                   /*num_low=*/1);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_buckets(), 3u);
+  EXPECT_TRUE(h->IsEndBiased());
+  EXPECT_TRUE(h->IsBiased());
+  // The high (50) and low (1) entries approximate exactly.
+  EXPECT_DOUBLE_EQ(h->ApproxFrequency(0), 50.0);
+  EXPECT_DOUBLE_EQ(h->ApproxFrequency(3), 1.0);
+  // The middle {3, 9, 7} share their average.
+  EXPECT_NEAR(h->ApproxFrequency(1), 19.0 / 3, 1e-12);
+}
+
+TEST(EndBiasedBuilderTest, ZeroSingletonsIsTrivial) {
+  auto h = BuildEndBiasedHistogram(MustSet({1, 2, 3}), 0, 0);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_buckets(), 1u);
+}
+
+TEST(EndBiasedBuilderTest, AllSingletonsAllowed) {
+  auto h = BuildEndBiasedHistogram(MustSet({1, 2, 3}), 2, 1);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_buckets(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(h->ApproxFrequency(i),
+                     static_cast<double>(i + 1));
+  }
+}
+
+TEST(EndBiasedBuilderTest, RejectsTooManySingletons) {
+  EXPECT_FALSE(BuildEndBiasedHistogram(MustSet({1, 2}), 2, 1).ok());
+}
+
+TEST(EndBiasedBuilderTest, TiesResolveDeterministically) {
+  auto a = BuildEndBiasedHistogram(MustSet({5, 5, 5, 5}), 1, 1);
+  auto b = BuildEndBiasedHistogram(MustSet({5, 5, 5, 5}), 1, 1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->bucketization(), b->bucketization());
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,119 @@
+#include "histogram/bucket_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/zipf.h"
+
+namespace hops {
+namespace {
+
+FrequencySet MustSet(std::vector<Frequency> f) {
+  auto r = FrequencySet::Make(std::move(f));
+  EXPECT_TRUE(r.ok());
+  return *std::move(r);
+}
+
+TEST(BucketAdvisorTest, UniformNeedsOneBucket) {
+  // "When applied to distributions that are close to uniform, the value
+  // returned will be close to zero independent of the number of buckets."
+  FrequencySet uniform = MustSet(std::vector<Frequency>(50, 20.0));
+  auto advice = AdviseBucketCount(uniform, {});
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->num_buckets, 1u);
+  EXPECT_TRUE(advice->tolerance_met);
+  EXPECT_DOUBLE_EQ(advice->relative_error, 0.0);
+}
+
+TEST(BucketAdvisorTest, SkewedNeedsMoreBuckets) {
+  auto zipf = ZipfFrequencySet({1000.0, 100, 1.5});
+  ASSERT_TRUE(zipf.ok());
+  AdvisorOptions options;
+  options.max_relative_error = 0.01;
+  auto advice = AdviseBucketCount(*zipf, options);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_GT(advice->num_buckets, 1u);
+  EXPECT_TRUE(advice->tolerance_met);
+  EXPECT_LE(advice->relative_error, 0.01);
+}
+
+TEST(BucketAdvisorTest, ErrorCurveIsMonotoneNonIncreasing) {
+  auto zipf = ZipfFrequencySet({1000.0, 60, 1.0});
+  ASSERT_TRUE(zipf.ok());
+  AdvisorOptions options;
+  options.max_relative_error = 0.0;  // force the full sweep
+  options.max_buckets = 12;
+  auto advice = AdviseBucketCount(*zipf, options);
+  ASSERT_TRUE(advice.ok());
+  ASSERT_GE(advice->error_curve.size(), 2u);
+  for (size_t i = 0; i + 1 < advice->error_curve.size(); ++i) {
+    EXPECT_LE(advice->error_curve[i + 1], advice->error_curve[i] + 1e-12);
+  }
+}
+
+TEST(BucketAdvisorTest, MaxBucketsCapsRecommendation) {
+  auto zipf = ZipfFrequencySet({10000.0, 200, 2.0});
+  ASSERT_TRUE(zipf.ok());
+  AdvisorOptions options;
+  options.max_relative_error = 1e-12;
+  options.max_buckets = 3;
+  auto advice = AdviseBucketCount(*zipf, options);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->num_buckets, 3u);
+  EXPECT_FALSE(advice->tolerance_met);
+}
+
+TEST(BucketAdvisorTest, SerialClassNeverWorseThanEndBiased) {
+  auto zipf = ZipfFrequencySet({1000.0, 40, 1.0});
+  ASSERT_TRUE(zipf.ok());
+  AdvisorOptions eb;
+  eb.max_relative_error = 0.0;
+  eb.max_buckets = 8;
+  eb.histogram_class = AdvisorClass::kEndBiased;
+  AdvisorOptions serial = eb;
+  serial.histogram_class = AdvisorClass::kSerial;
+  auto a = AdviseBucketCount(*zipf, eb);
+  auto b = AdviseBucketCount(*zipf, serial);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < std::min(a->error_curve.size(),
+                                  b->error_curve.size());
+       ++i) {
+    EXPECT_LE(b->error_curve[i], a->error_curve[i] + 1e-12) << "beta " << i;
+  }
+}
+
+TEST(BucketAdvisorTest, PerfectHistogramAtDistinctCount) {
+  // With beta = number of distinct frequencies, a serial histogram is exact.
+  FrequencySet set = MustSet({5, 5, 9, 9, 2});
+  AdvisorOptions options;
+  options.max_relative_error = 0.0;
+  options.histogram_class = AdvisorClass::kSerial;
+  auto advice = AdviseBucketCount(set, options);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_LE(advice->num_buckets, 3u);
+  EXPECT_TRUE(advice->tolerance_met);
+  EXPECT_DOUBLE_EQ(advice->absolute_error, 0.0);
+}
+
+TEST(BucketAdvisorTest, InputValidation) {
+  FrequencySet empty = MustSet({});
+  EXPECT_FALSE(AdviseBucketCount(empty, {}).ok());
+  FrequencySet one = MustSet({1});
+  AdvisorOptions options;
+  options.max_buckets = 0;
+  EXPECT_FALSE(AdviseBucketCount(one, options).ok());
+  options.max_buckets = 4;
+  options.max_relative_error = -0.5;
+  EXPECT_FALSE(AdviseBucketCount(one, options).ok());
+}
+
+TEST(BucketAdvisorTest, ZeroSelfJoinSizeIsHandled) {
+  FrequencySet zeros = MustSet({0, 0, 0});
+  auto advice = AdviseBucketCount(zeros, {});
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->num_buckets, 1u);
+  EXPECT_DOUBLE_EQ(advice->relative_error, 0.0);
+}
+
+}  // namespace
+}  // namespace hops

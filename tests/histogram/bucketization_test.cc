@@ -1,0 +1,103 @@
+#include "histogram/bucketization.h"
+
+#include <gtest/gtest.h>
+
+namespace hops {
+namespace {
+
+TEST(BucketizationTest, FromAssignmentsBasic) {
+  auto b = Bucketization::FromAssignments({0, 1, 0, 1, 2}, 3);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_items(), 5u);
+  EXPECT_EQ(b->num_buckets(), 3u);
+  EXPECT_EQ(b->bucket_of(0), 0u);
+  EXPECT_EQ(b->bucket_of(4), 2u);
+}
+
+TEST(BucketizationTest, RejectsEmptyItems) {
+  EXPECT_TRUE(
+      Bucketization::FromAssignments({}, 1).status().IsInvalidArgument());
+}
+
+TEST(BucketizationTest, RejectsEmptyBucket) {
+  // Bucket 1 unused.
+  EXPECT_TRUE(Bucketization::FromAssignments({0, 0, 2}, 3)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BucketizationTest, RejectsOutOfRangeBucketId) {
+  EXPECT_TRUE(Bucketization::FromAssignments({0, 3}, 2)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BucketizationTest, RejectsMoreBucketsThanItems) {
+  EXPECT_TRUE(Bucketization::FromAssignments({0, 1}, 3)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BucketizationTest, SingleBucket) {
+  auto b = Bucketization::SingleBucket(4);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_buckets(), 1u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(b->bucket_of(i), 0u);
+}
+
+TEST(BucketizationTest, FromOrderedPartitionMapsThroughOrder) {
+  // Items sorted by frequency: order = {2, 0, 1}; parts {2} and {0, 1}.
+  std::vector<size_t> order = {2, 0, 1};
+  std::vector<size_t> ends = {1, 3};
+  auto b = Bucketization::FromOrderedPartition(order, ends);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_buckets(), 2u);
+  EXPECT_EQ(b->bucket_of(2), 0u);
+  EXPECT_EQ(b->bucket_of(0), 1u);
+  EXPECT_EQ(b->bucket_of(1), 1u);
+}
+
+TEST(BucketizationTest, FromOrderedPartitionValidation) {
+  std::vector<size_t> order = {0, 1, 2};
+  EXPECT_TRUE(Bucketization::FromOrderedPartition(order, std::vector<size_t>{})
+                  .status()
+                  .IsInvalidArgument());
+  // Ends not reaching num_items.
+  EXPECT_TRUE(Bucketization::FromOrderedPartition(order,
+                                                  std::vector<size_t>{1, 2})
+                  .status()
+                  .IsInvalidArgument());
+  // Not strictly increasing.
+  EXPECT_TRUE(Bucketization::FromOrderedPartition(
+                  order, std::vector<size_t>{2, 2, 3})
+                  .status()
+                  .IsInvalidArgument());
+  // Order not a permutation.
+  std::vector<size_t> bad_order = {0, 0, 2};
+  EXPECT_TRUE(Bucketization::FromOrderedPartition(bad_order,
+                                                  std::vector<size_t>{3})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BucketizationTest, BucketMembersAndSizes) {
+  auto b = Bucketization::FromAssignments({1, 0, 1, 1}, 2);
+  ASSERT_TRUE(b.ok());
+  auto members = b->BucketMembers();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0], std::vector<size_t>({1}));
+  EXPECT_EQ(members[1], std::vector<size_t>({0, 2, 3}));
+  EXPECT_EQ(b->BucketSizes(), std::vector<size_t>({1, 3}));
+}
+
+TEST(BucketizationTest, EqualityIsStructural) {
+  auto a = Bucketization::FromAssignments({0, 1}, 2);
+  auto b = Bucketization::FromAssignments({0, 1}, 2);
+  auto c = Bucketization::FromAssignments({1, 0}, 2);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_FALSE(*a == *c);
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,106 @@
+#include "histogram/grid_equi_depth.h"
+
+#include <gtest/gtest.h>
+
+#include "histogram/builders.h"
+#include "histogram/self_join.h"
+#include "stats/arrangement.h"
+#include "stats/zipf.h"
+#include "util/random.h"
+
+namespace hops {
+namespace {
+
+FrequencyMatrix MustMatrix(size_t r, size_t c, std::vector<Frequency> d) {
+  auto m = FrequencyMatrix::Make(r, c, std::move(d));
+  EXPECT_TRUE(m.ok());
+  return *std::move(m);
+}
+
+TEST(GridEquiDepthTest, UniformMatrixGetsFullGrid) {
+  FrequencyMatrix m = MustMatrix(4, 4, std::vector<Frequency>(16, 1.0));
+  auto bz = BuildGridEquiDepthBucketization(m, 2, 2);
+  ASSERT_TRUE(bz.ok());
+  EXPECT_EQ(bz->num_buckets(), 4u);
+  // Each bucket is one quadrant of 4 cells.
+  std::vector<size_t> sizes = bz->BucketSizes();
+  for (size_t s : sizes) EXPECT_EQ(s, 4u);
+}
+
+TEST(GridEquiDepthTest, BucketsAreRectanglesOfTheGrid) {
+  FrequencyMatrix m = MustMatrix(4, 6, std::vector<Frequency>(24, 2.0));
+  auto bz = BuildGridEquiDepthBucketization(m, 2, 3);
+  ASSERT_TRUE(bz.ok());
+  // Cells in the same (row-strip, column-band) share a bucket: rows 0-1 vs
+  // 2-3; columns 0-1 / 2-3 / 4-5.
+  auto bucket = [&](size_t r, size_t c) {
+    return bz->bucket_of(r * 6 + c);
+  };
+  EXPECT_EQ(bucket(0, 0), bucket(1, 1));
+  EXPECT_EQ(bucket(2, 4), bucket(3, 5));
+  EXPECT_NE(bucket(0, 0), bucket(0, 2));
+  EXPECT_NE(bucket(0, 0), bucket(2, 0));
+}
+
+TEST(GridEquiDepthTest, HeavyRowGetsItsOwnStrip) {
+  // Row 0 carries nearly all the mass: it becomes its own strip.
+  std::vector<Frequency> cells = {100, 100, 100,  //
+                                  1,   1,   1,    //
+                                  1,   1,   1};
+  FrequencyMatrix m = MustMatrix(3, 3, cells);
+  auto bz = BuildGridEquiDepthBucketization(m, 3, 1);
+  ASSERT_TRUE(bz.ok());
+  uint32_t strip0 = bz->bucket_of(0);
+  EXPECT_EQ(bz->bucket_of(1), strip0);
+  EXPECT_NE(bz->bucket_of(3), strip0);
+}
+
+TEST(GridEquiDepthTest, Validation) {
+  FrequencyMatrix m = MustMatrix(2, 2, {1, 2, 3, 4});
+  EXPECT_FALSE(BuildGridEquiDepthBucketization(m, 0, 1).ok());
+  EXPECT_FALSE(BuildGridEquiDepthBucketization(m, 3, 1).ok());
+  EXPECT_FALSE(BuildGridEquiDepthBucketization(m, 1, 0).ok());
+  EXPECT_FALSE(BuildGridEquiDepthBucketization(m, 1, 3).ok());
+}
+
+TEST(GridEquiDepthTest, AllZeroMatrixCollapses) {
+  FrequencyMatrix m = MustMatrix(2, 2, {0, 0, 0, 0});
+  auto bz = BuildGridEquiDepthBucketization(m, 2, 2);
+  ASSERT_TRUE(bz.ok());
+  EXPECT_GE(bz->num_buckets(), 1u);
+}
+
+TEST(GridEquiDepthTest, HistogramWrapperApproximates) {
+  FrequencyMatrix m = MustMatrix(2, 2, {4, 4, 1, 1});
+  auto mh = BuildGridEquiDepthHistogram(m, 2, 1);
+  ASSERT_TRUE(mh.ok());
+  auto am = mh->ApproximateMatrix();
+  ASSERT_TRUE(am.ok());
+  EXPECT_DOUBLE_EQ(am->At(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(am->At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(am->Total(), m.Total());
+}
+
+TEST(GridEquiDepthTest, SerialBucketingOfCellsBeatsGridOnSelfJoinError) {
+  // The paper's point extended to two dimensions: grouping *cells* by
+  // frequency (serial over the flattened matrix) yields lower variance than
+  // any positional grid with a comparable bucket budget.
+  Rng rng(31);
+  auto set = ZipfFrequencySet({1000.0, 36, 1.5}, true);
+  ASSERT_TRUE(set.ok());
+  auto matrix = ArrangeRandom(*set, 6, 6, &rng);
+  ASSERT_TRUE(matrix.ok());
+  auto grid = BuildGridEquiDepthHistogram(*matrix, 3, 3);  // <= 9 buckets
+  ASSERT_TRUE(grid.ok());
+  size_t budget = grid->cell_histogram().num_buckets();
+  auto serial = BuildVOptSerialDP(matrix->ToFrequencySet(), budget);
+  ASSERT_TRUE(serial.ok());
+  double grid_err = 0;
+  for (const auto& b : grid->cell_histogram().bucket_stats()) {
+    grid_err += b.error_contribution();
+  }
+  EXPECT_LT(SelfJoinError(*serial), grid_err);
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,137 @@
+#include "histogram/maintenance.h"
+
+#include <gtest/gtest.h>
+
+namespace hops {
+namespace {
+
+CatalogHistogram SampleHistogram() {
+  // Values 1, 2 explicit (30 and 20 tuples); 8 default values averaging 5.
+  return *CatalogHistogram::Make({{1, 30.0}, {2, 20.0}}, 5.0, 8);
+}
+
+TEST(MaintenanceTest, InsertExplicitValueAdjustsCountExactly) {
+  HistogramMaintainer m(SampleHistogram(), 90.0);
+  ASSERT_TRUE(m.ApplyInsert(1).ok());
+  ASSERT_TRUE(m.ApplyInsert(1).ok());
+  EXPECT_DOUBLE_EQ(m.current().LookupFrequency(1), 32.0);
+  EXPECT_DOUBLE_EQ(m.current().LookupFrequency(2), 20.0);
+  EXPECT_DOUBLE_EQ(m.num_tuples(), 92.0);
+  EXPECT_EQ(m.updates_applied(), 2u);
+}
+
+TEST(MaintenanceTest, DeleteExplicitValueClampsAtZero) {
+  HistogramMaintainer m(SampleHistogram(), 90.0);
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(m.ApplyDelete(2).ok());
+  }
+  EXPECT_DOUBLE_EQ(m.current().LookupFrequency(2), 0.0);
+  EXPECT_GE(m.num_tuples(), 0.0);
+}
+
+TEST(MaintenanceTest, DefaultBucketSpreadsUpdates) {
+  HistogramMaintainer m(SampleHistogram(), 90.0);
+  // 8 inserts of default values raise the average by exactly 1.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(m.ApplyInsert(100 + i).ok());
+  }
+  EXPECT_DOUBLE_EQ(m.current().default_frequency(), 6.0);
+  // 8 deletes bring it back.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(m.ApplyDelete(100 + i).ok());
+  }
+  EXPECT_DOUBLE_EQ(m.current().default_frequency(), 5.0);
+}
+
+TEST(MaintenanceTest, DefaultFrequencyNeverNegative) {
+  HistogramMaintainer m(SampleHistogram(), 90.0);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(m.ApplyDelete(500).ok());
+  }
+  EXPECT_GE(m.current().default_frequency(), 0.0);
+}
+
+TEST(MaintenanceTest, EstimatedTotalTracksUpdates) {
+  HistogramMaintainer m(SampleHistogram(), 90.0);
+  double before = m.current().EstimatedTotal();
+  ASSERT_TRUE(m.ApplyInsert(1).ok());     // explicit
+  ASSERT_TRUE(m.ApplyInsert(300).ok());   // default
+  EXPECT_NEAR(m.current().EstimatedTotal(), before + 2.0, 1e-9);
+}
+
+TEST(MaintenanceTest, DriftTriggersRebuild) {
+  MaintenanceOptions options;
+  options.rebuild_drift_fraction = 0.10;
+  HistogramMaintainer m(SampleHistogram(), 90.0, options);
+  EXPECT_FALSE(m.NeedsRebuild());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(m.ApplyInsert(1).ok());
+  }
+  EXPECT_FALSE(m.NeedsRebuild());  // 8/90 < 10%
+  ASSERT_TRUE(m.ApplyInsert(1).ok());
+  ASSERT_TRUE(m.ApplyInsert(1).ok());
+  EXPECT_TRUE(m.NeedsRebuild());  // 10/90 > 10%
+}
+
+TEST(MaintenanceTest, EmergingHeavyHitterTriggersRebuild) {
+  MaintenanceOptions options;
+  options.rebuild_drift_fraction = 10.0;  // disable the drift path
+  options.promotion_ratio = 3.0;
+  HistogramMaintainer m(SampleHistogram(), 90.0, options);
+  // Hammer one default value until its sketched count passes
+  // (ratio - 1) * default_frequency = 2 * ~5.
+  int inserts = 0;
+  while (!m.NeedsRebuild() && inserts < 100) {
+    ASSERT_TRUE(m.ApplyInsert(777).ok());
+    ++inserts;
+  }
+  EXPECT_TRUE(m.NeedsRebuild());
+  EXPECT_LE(inserts, 15);
+}
+
+TEST(MaintenanceTest, ExplicitChurnDoesNotTriggerPromotion) {
+  MaintenanceOptions options;
+  options.rebuild_drift_fraction = 10.0;
+  options.promotion_ratio = 3.0;
+  HistogramMaintainer m(SampleHistogram(), 90.0, options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(m.ApplyInsert(1).ok());  // explicit value: no sketch
+  }
+  EXPECT_FALSE(m.NeedsRebuild());
+}
+
+TEST(MaintenanceTest, RebuiltResetsDriftTracking) {
+  MaintenanceOptions options;
+  options.rebuild_drift_fraction = 0.05;
+  HistogramMaintainer m(SampleHistogram(), 90.0, options);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(m.ApplyInsert(1).ok());
+  }
+  ASSERT_TRUE(m.NeedsRebuild());
+  m.Rebuilt(SampleHistogram(), 110.0);
+  EXPECT_FALSE(m.NeedsRebuild());
+  EXPECT_EQ(m.updates_applied(), 0u);
+  EXPECT_DOUBLE_EQ(m.num_tuples(), 110.0);
+}
+
+TEST(MaintenanceTest, MixedWorkloadStaysConsistent) {
+  // Long interleaved run: the maintained estimated total must track the
+  // true tuple count within the default-bucket rounding.
+  HistogramMaintainer m(SampleHistogram(), 90.0);
+  double truth = 90.0;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = (i * 7) % 12;  // mixes explicit (1, 2) and default values
+    if (i % 3 == 0) {
+      ASSERT_TRUE(m.ApplyDelete(v).ok());
+      truth -= 1;
+    } else {
+      ASSERT_TRUE(m.ApplyInsert(v).ok());
+      truth += 1;
+    }
+  }
+  EXPECT_NEAR(m.current().EstimatedTotal(), truth, 30.0);
+  EXPECT_EQ(m.updates_applied(), 500u);
+}
+
+}  // namespace
+}  // namespace hops

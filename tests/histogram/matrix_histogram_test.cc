@@ -1,0 +1,98 @@
+#include "histogram/matrix_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "histogram/builders.h"
+#include "util/random.h"
+
+namespace hops {
+namespace {
+
+FrequencyMatrix MustMatrix(size_t r, size_t c, std::vector<Frequency> d) {
+  auto m = FrequencyMatrix::Make(r, c, std::move(d));
+  EXPECT_TRUE(m.ok());
+  return *std::move(m);
+}
+
+TEST(MatrixHistogramTest, MakeRejectsSizeMismatch) {
+  FrequencyMatrix m = MustMatrix(2, 2, {1, 2, 3, 4});
+  auto bz = Bucketization::SingleBucket(3);
+  ASSERT_TRUE(bz.ok());
+  EXPECT_FALSE(MatrixHistogram::Make(m, *bz).ok());
+}
+
+TEST(MatrixHistogramTest, ApproximateMatrixAveragesBuckets) {
+  FrequencyMatrix m = MustMatrix(2, 2, {10, 20, 1, 3});
+  // Bucket 0: cells (0,0),(0,1); bucket 1: cells (1,0),(1,1).
+  auto bz = Bucketization::FromAssignments({0, 0, 1, 1}, 2);
+  ASSERT_TRUE(bz.ok());
+  auto mh = MatrixHistogram::Make(m, *bz, "rows");
+  ASSERT_TRUE(mh.ok());
+  EXPECT_EQ(mh->rows(), 2u);
+  EXPECT_EQ(mh->cols(), 2u);
+  auto am = mh->ApproximateMatrix();
+  ASSERT_TRUE(am.ok());
+  EXPECT_DOUBLE_EQ(am->At(0, 0), 15.0);
+  EXPECT_DOUBLE_EQ(am->At(0, 1), 15.0);
+  EXPECT_DOUBLE_EQ(am->At(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(am->At(1, 1), 2.0);
+  EXPECT_EQ(mh->cell_histogram().label(), "rows");
+}
+
+TEST(MatrixHistogramTest, RoundedModeRoundsCellAverages) {
+  FrequencyMatrix m = MustMatrix(1, 2, {1, 2});
+  auto bz = Bucketization::SingleBucket(2);
+  ASSERT_TRUE(bz.ok());
+  auto mh = MatrixHistogram::Make(m, *bz);
+  ASSERT_TRUE(mh.ok());
+  auto rounded = mh->ApproximateMatrix(BucketAverageMode::kRoundToInteger);
+  ASSERT_TRUE(rounded.ok());
+  EXPECT_DOUBLE_EQ(rounded->At(0, 0), 2.0);  // 1.5 -> 2
+}
+
+TEST(MatrixHistogramTest, ApproximationPreservesTotal) {
+  Rng rng(9);
+  std::vector<Frequency> cells(24);
+  for (auto& c : cells) c = static_cast<double>(rng.NextBounded(50));
+  FrequencyMatrix m = MustMatrix(4, 6, cells);
+  auto hist = BuildVOptEndBiased(m.ToFrequencySet(), 5);
+  ASSERT_TRUE(hist.ok());
+  auto mh = MatrixHistogram::Make(m, hist->bucketization());
+  ASSERT_TRUE(mh.ok());
+  auto am = mh->ApproximateMatrix();
+  ASSERT_TRUE(am.ok());
+  EXPECT_NEAR(am->Total(), m.Total(), 1e-9 * (1 + m.Total()));
+}
+
+TEST(ApproximateArrangedMatrixTest, ValidatesInputs) {
+  auto set = FrequencySet::Make({1, 2, 3, 4});
+  ASSERT_TRUE(set.ok());
+  auto hist = BuildTrivialHistogram(*set);
+  ASSERT_TRUE(hist.ok());
+  std::vector<size_t> perm = {0, 1, 2, 3};
+  // Shape mismatch.
+  EXPECT_FALSE(ApproximateArrangedMatrix(*hist, 3, 2, perm).ok());
+  // Bad permutation.
+  std::vector<size_t> dup = {0, 0, 1, 2};
+  EXPECT_FALSE(ApproximateArrangedMatrix(*hist, 2, 2, dup).ok());
+}
+
+TEST(ApproximateArrangedMatrixTest, InverseArrangementRoundTrip) {
+  // Arranging the exact set and the approximate set with the same
+  // permutation keeps cellwise correspondence.
+  auto set = FrequencySet::Make({5, 9, 9, 1, 3, 7});
+  ASSERT_TRUE(set.ok());
+  auto hist = BuildVOptSerialDP(*set, 3);
+  ASSERT_TRUE(hist.ok());
+  Rng rng(77);
+  std::vector<size_t> perm = rng.Permutation(6);
+  auto am = ApproximateArrangedMatrix(*hist, 2, 3, perm);
+  ASSERT_TRUE(am.ok());
+  for (size_t i = 0; i < 6; ++i) {
+    size_t flat = perm[i];
+    EXPECT_DOUBLE_EQ(am->At(flat / 3, flat % 3), hist->ApproxFrequency(i));
+  }
+}
+
+}  // namespace
+}  // namespace hops

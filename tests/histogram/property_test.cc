@@ -1,0 +1,193 @@
+// Property-based tests: parameterized sweeps over distribution shapes,
+// sizes, and bucket counts, asserting the paper's invariants on every
+// combination.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "histogram/builders.h"
+#include "histogram/matrix_histogram.h"
+#include "histogram/self_join.h"
+#include "stats/arrangement.h"
+#include "stats/distributions.h"
+#include "util/random.h"
+
+namespace hops {
+namespace {
+
+using PropertyParams =
+    std::tuple<DistributionKind, size_t /*M*/, double /*skew*/,
+               size_t /*beta*/>;
+
+class HistogramPropertyTest
+    : public testing::TestWithParam<PropertyParams> {
+ protected:
+  FrequencySet MakeSet() const {
+    auto [kind, m, skew, beta] = GetParam();
+    DistributionSpec spec;
+    spec.kind = kind;
+    spec.total = 1000.0;
+    spec.num_values = m;
+    spec.skew = skew;
+    spec.seed = 17;
+    auto set = GenerateFrequencySet(spec);
+    EXPECT_TRUE(set.ok()) << set.status();
+    return *std::move(set);
+  }
+  size_t Beta() const {
+    auto [kind, m, skew, beta] = GetParam();
+    return std::min(beta, std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(HistogramPropertyTest, ApproximationPreservesTotalExactly) {
+  // Every histogram preserves the relation size under exact averages:
+  // sum of approximate frequencies == sum of true frequencies.
+  FrequencySet set = MakeSet();
+  for (auto builder :
+       {+[](const FrequencySet& s, size_t b) {
+          return BuildEquiWidthHistogram(s, b);
+        },
+        +[](const FrequencySet& s, size_t b) {
+          return BuildEquiDepthHistogram(s, b);
+        },
+        +[](const FrequencySet& s, size_t b) {
+          return BuildVOptEndBiased(s, b, nullptr);
+        },
+        +[](const FrequencySet& s, size_t b) {
+          return BuildVOptSerialDP(s, b, nullptr);
+        },
+        +[](const FrequencySet& s, size_t b) {
+          return BuildVOptSerialDPFast(s, b, nullptr);
+        }}) {
+    auto h = builder(set, Beta());
+    ASSERT_TRUE(h.ok()) << h.status();
+    double approx_total = 0;
+    for (double f : h->ApproximateFrequencies()) approx_total += f;
+    EXPECT_NEAR(approx_total, set.Total(), 1e-6 * (1 + set.Total()));
+  }
+}
+
+TEST_P(HistogramPropertyTest, DPVariantsAgreeExactly) {
+  FrequencySet set = MakeSet();
+  VOptDiagnostics slow, fast;
+  auto hs = BuildVOptSerialDP(set, Beta(), &slow);
+  auto hf = BuildVOptSerialDPFast(set, Beta(), &fast);
+  ASSERT_TRUE(hs.ok() && hf.ok());
+  EXPECT_NEAR(slow.best_error, fast.best_error,
+              1e-9 + 1e-9 * slow.best_error);
+  EXPECT_NEAR(SelfJoinError(*hs), SelfJoinError(*hf),
+              1e-9 + 1e-9 * slow.best_error);
+}
+
+TEST_P(HistogramPropertyTest, SelfJoinUnderestimatesForEveryClass) {
+  // S' <= S for self-joins under exact bucket averages (Proposition 3.1:
+  // the error sum_i P_i V_i is non-negative).
+  FrequencySet set = MakeSet();
+  double s = ExactSelfJoinSize(set);
+  for (auto builder :
+       {+[](const FrequencySet& s2, size_t b) {
+          return BuildEquiWidthHistogram(s2, b);
+        },
+        +[](const FrequencySet& s2, size_t b) {
+          return BuildEquiDepthHistogram(s2, b);
+        },
+        +[](const FrequencySet& s2, size_t b) {
+          return BuildVOptEndBiased(s2, b, nullptr);
+        },
+        +[](const FrequencySet& s2, size_t b) {
+          return BuildVOptSerialDP(s2, b, nullptr);
+        }}) {
+    auto h = builder(set, Beta());
+    ASSERT_TRUE(h.ok());
+    EXPECT_LE(SelfJoinApproxSize(*h), s + 1e-6 * (1 + s));
+    EXPECT_GE(SelfJoinError(*h), -1e-9);
+  }
+}
+
+TEST_P(HistogramPropertyTest, VOptSerialDominatesAllOtherClasses) {
+  // Theorem 3.3 + Proposition 3.1: the v-optimal serial histogram minimizes
+  // the self-join error over every class we build.
+  FrequencySet set = MakeSet();
+  auto serial = BuildVOptSerialDP(set, Beta());
+  ASSERT_TRUE(serial.ok());
+  double serial_err = SelfJoinError(*serial);
+  for (auto builder :
+       {+[](const FrequencySet& s2, size_t b) {
+          return BuildEquiWidthHistogram(s2, b);
+        },
+        +[](const FrequencySet& s2, size_t b) {
+          return BuildEquiDepthHistogram(s2, b);
+        },
+        +[](const FrequencySet& s2, size_t b) {
+          return BuildVOptEndBiased(s2, b, nullptr);
+        }}) {
+    auto h = builder(set, Beta());
+    ASSERT_TRUE(h.ok());
+    EXPECT_LE(serial_err, SelfJoinError(*h) + 1e-6 * (1 + serial_err));
+  }
+}
+
+TEST_P(HistogramPropertyTest, VOptHistogramsAreSerialAndEndBiasedIsBiased) {
+  FrequencySet set = MakeSet();
+  auto serial = BuildVOptSerialDP(set, Beta());
+  ASSERT_TRUE(serial.ok());
+  EXPECT_TRUE(serial->IsSerial());
+  auto biased = BuildVOptEndBiased(set, Beta());
+  ASSERT_TRUE(biased.ok());
+  EXPECT_TRUE(biased->IsBiased());
+  EXPECT_TRUE(biased->IsEndBiased());
+  EXPECT_TRUE(biased->IsSerial());  // Corollary: end-biased => serial
+}
+
+TEST_P(HistogramPropertyTest, ArrangedApproximationConsistent) {
+  // ApproximateArrangedMatrix must agree with bucketizing the arranged
+  // matrix directly under the same bucket assignment.
+  FrequencySet set = MakeSet();
+  if (set.size() % 2 != 0) return;  // need a rectangular shape
+  size_t rows = 2, cols = set.size() / 2;
+  auto h = BuildVOptEndBiased(set, Beta());
+  ASSERT_TRUE(h.ok());
+  Rng rng(5);
+  std::vector<size_t> perm = rng.Permutation(set.size());
+  auto am = ApproximateArrangedMatrix(*h, rows, cols, perm);
+  ASSERT_TRUE(am.ok());
+  // Every cell must equal the approximate frequency of its source entry.
+  for (size_t i = 0; i < set.size(); ++i) {
+    size_t flat = perm[i];
+    EXPECT_DOUBLE_EQ(am->At(flat / cols, flat % cols),
+                     h->ApproxFrequency(i));
+  }
+  // And the cell multiset totals must match.
+  EXPECT_NEAR(am->Total(), set.Total(), 1e-6 * (1 + set.Total()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HistogramPropertyTest,
+    testing::Combine(
+        testing::Values(DistributionKind::kUniform, DistributionKind::kZipf,
+                        DistributionKind::kReverseZipf,
+                        DistributionKind::kTwoStep,
+                        DistributionKind::kNoisyUniform),
+        testing::Values<size_t>(4, 10, 64),
+        testing::Values(0.5, 1.0, 2.0),
+        testing::Values<size_t>(1, 2, 3, 5)),
+    [](const testing::TestParamInfo<PropertyParams>& param_info) {
+      // NOTE: no structured bindings here — their square brackets break
+      // macro argument parsing inside INSTANTIATE_TEST_SUITE_P.
+      std::string name =
+          DistributionKindToString(std::get<0>(param_info.param));
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name + "_M" + std::to_string(std::get<1>(param_info.param)) +
+             "_z" +
+             std::to_string(
+                 static_cast<int>(std::get<2>(param_info.param) * 10)) +
+             "_b" + std::to_string(std::get<3>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,130 @@
+#include "histogram/self_join.h"
+
+#include <gtest/gtest.h>
+
+#include "histogram/builders.h"
+
+namespace hops {
+namespace {
+
+FrequencySet MustSet(std::vector<Frequency> f) {
+  auto r = FrequencySet::Make(std::move(f));
+  EXPECT_TRUE(r.ok());
+  return *std::move(r);
+}
+
+TEST(SelfJoinTest, ExactSizeIsSumOfSquares) {
+  EXPECT_DOUBLE_EQ(ExactSelfJoinSize(MustSet({2, 3, 4})), 29.0);
+  EXPECT_DOUBLE_EQ(ExactSelfJoinSize(MustSet({})), 0.0);
+}
+
+TEST(SelfJoinTest, Proposition31SizeFormula) {
+  // Buckets {10, 20} and {1, 2, 3}:
+  // S' = 30^2/2 + 6^2/3 = 450 + 12 = 462.
+  FrequencySet set = MustSet({10, 20, 1, 2, 3});
+  auto b = Bucketization::FromAssignments({0, 0, 1, 1, 1}, 2);
+  ASSERT_TRUE(b.ok());
+  auto h = Histogram::Make(set, *b);
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(SelfJoinApproxSize(*h), 462.0);
+}
+
+TEST(SelfJoinTest, Proposition31ErrorFormula) {
+  // S = 100 + 400 + 1 + 4 + 9 = 514; error = S - S' = 514 - 462 = 52.
+  // Also directly: P0*V0 + P1*V1 = 2*25 + 3*(2/3) = 52.
+  FrequencySet set = MustSet({10, 20, 1, 2, 3});
+  auto b = Bucketization::FromAssignments({0, 0, 1, 1, 1}, 2);
+  ASSERT_TRUE(b.ok());
+  auto h = Histogram::Make(set, *b);
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(SelfJoinError(*h), 52.0);
+  EXPECT_DOUBLE_EQ(ExactSelfJoinSize(set) - SelfJoinApproxSize(*h),
+                   SelfJoinError(*h));
+}
+
+TEST(SelfJoinTest, ErrorIsAlwaysNonNegative) {
+  // The uniform-in-bucket approximation always *underestimates* a self-join.
+  FrequencySet set = MustSet({5, 1, 9, 9, 2, 7, 0, 3});
+  for (uint32_t pattern = 0; pattern < 8; ++pattern) {
+    std::vector<uint32_t> assign(8);
+    for (size_t i = 0; i < 8; ++i) assign[i] = (i + pattern) % 2;
+    auto b = Bucketization::FromAssignments(assign, 2);
+    ASSERT_TRUE(b.ok());
+    auto h = Histogram::Make(set, *b);
+    ASSERT_TRUE(h.ok());
+    EXPECT_GE(SelfJoinError(*h), 0.0);
+  }
+}
+
+TEST(SelfJoinTest, TrivialHistogramErrorIsTotalVariance) {
+  FrequencySet set = MustSet({1, 2, 3, 4});
+  auto h = BuildTrivialHistogram(set);
+  ASSERT_TRUE(h.ok());
+  // P*V = 4 * 1.25 = 5; S = 30, S' = 10^2/4 = 25.
+  EXPECT_DOUBLE_EQ(SelfJoinError(*h), 5.0);
+  EXPECT_DOUBLE_EQ(SelfJoinApproxSize(*h), 25.0);
+}
+
+TEST(SelfJoinTest, PerfectHistogramHasZeroError) {
+  FrequencySet set = MustSet({4, 8, 15, 16});
+  auto b = Bucketization::FromAssignments({0, 1, 2, 3}, 4);
+  ASSERT_TRUE(b.ok());
+  auto h = Histogram::Make(set, *b);
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(SelfJoinError(*h), 0.0);
+  EXPECT_DOUBLE_EQ(SelfJoinApproxSize(*h), ExactSelfJoinSize(set));
+}
+
+TEST(SelfJoinTest, RoundedModeDiffersWhenAverageFractional) {
+  FrequencySet set = MustSet({1, 2});
+  auto h = BuildTrivialHistogram(set);
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(SelfJoinApproxSize(*h, BucketAverageMode::kExact), 4.5);
+  EXPECT_DOUBLE_EQ(
+      SelfJoinApproxSize(*h, BucketAverageMode::kRoundToInteger), 8.0);
+}
+
+TEST(PrefixSumTest, RangeErrorMatchesDirectComputation) {
+  std::vector<double> sorted = {1, 2, 3, 10, 20};
+  std::vector<double> ps, pss;
+  BuildPrefixSums(sorted, &ps, &pss);
+  ASSERT_EQ(ps.size(), 6u);
+  // Range [0, 3): {1,2,3}: sum 6, sumsq 14, err = 14 - 36/3 = 2.
+  EXPECT_DOUBLE_EQ(RangeSelfJoinError(ps, pss, 0, 3), 2.0);
+  // Range [3, 5): {10,20}: err = 500 - 900/2 = 50.
+  EXPECT_DOUBLE_EQ(RangeSelfJoinError(ps, pss, 3, 5), 50.0);
+  // Empty range.
+  EXPECT_DOUBLE_EQ(RangeSelfJoinError(ps, pss, 2, 2), 0.0);
+}
+
+TEST(PrefixSumTest, PartitionErrorSumsRangeErrors) {
+  std::vector<double> sorted = {1, 2, 3, 10, 20};
+  std::vector<double> ps, pss;
+  BuildPrefixSums(sorted, &ps, &pss);
+  std::vector<size_t> ends = {3, 5};
+  EXPECT_DOUBLE_EQ(PartitionSelfJoinError(ps, pss, ends), 52.0);
+}
+
+TEST(PrefixSumTest, PartitionErrorConsistentWithHistogram) {
+  // The prefix-sum fast path must agree with the Histogram object path.
+  std::vector<double> sorted = {0, 1, 1, 4, 9, 9, 12, 50};
+  std::vector<double> ps, pss;
+  BuildPrefixSums(sorted, &ps, &pss);
+  std::vector<size_t> ends = {2, 5, 8};
+
+  std::vector<uint32_t> assign(8);
+  size_t begin = 0;
+  for (uint32_t k = 0; k < ends.size(); ++k) {
+    for (size_t i = begin; i < ends[k]; ++i) assign[i] = k;
+    begin = ends[k];
+  }
+  auto b = Bucketization::FromAssignments(assign, 3);
+  ASSERT_TRUE(b.ok());
+  auto h = Histogram::Make(MustSet({0, 1, 1, 4, 9, 9, 12, 50}), *b);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(PartitionSelfJoinError(ps, pss, ends), SelfJoinError(*h),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace hops

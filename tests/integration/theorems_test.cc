@@ -1,0 +1,309 @@
+// Direct numerical verification of the paper's theorems on small domains
+// where expectations over arrangements can be enumerated exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "histogram/builders.h"
+#include "histogram/self_join.h"
+#include "util/random.h"
+
+namespace hops {
+namespace {
+
+// All 2-bucket bucketizations of m items (both buckets non-empty), each as
+// an assignment vector; complements deduplicated.
+std::vector<std::vector<uint32_t>> AllTwoBucketAssignments(size_t m) {
+  std::vector<std::vector<uint32_t>> out;
+  for (uint32_t mask = 1; mask + 1 < (1u << m); ++mask) {
+    if ((mask & 1u) != 0) continue;  // fix item 0 in bucket 0 to dedupe
+    std::vector<uint32_t> assign(m);
+    for (size_t i = 0; i < m; ++i) assign[i] = (mask >> i) & 1;
+    out.push_back(std::move(assign));
+  }
+  return out;
+}
+
+// Approximate frequencies of `freqs` under an assignment.
+std::vector<double> Approx(const std::vector<double>& freqs,
+                           const std::vector<uint32_t>& assign) {
+  double sum[2] = {0, 0};
+  double cnt[2] = {0, 0};
+  for (size_t i = 0; i < freqs.size(); ++i) {
+    sum[assign[i]] += freqs[i];
+    cnt[assign[i]] += 1;
+  }
+  std::vector<double> out(freqs.size());
+  for (size_t i = 0; i < freqs.size(); ++i) {
+    out[i] = sum[assign[i]] / cnt[assign[i]];
+  }
+  return out;
+}
+
+// Mean and mean-square of (S - S') over all relative arrangements of a
+// 2-way join R0(B0) |x| R1(B1) under fixed per-relation approximations.
+// Enumerating all permutations of one side is exact: S depends only on the
+// relative arrangement.
+struct ErrorMoments {
+  double mean = 0;
+  double mean_square = 0;
+};
+ErrorMoments EnumerateMoments(const std::vector<double>& f0,
+                              const std::vector<double>& a0,
+                              const std::vector<double>& f1,
+                              const std::vector<double>& a1) {
+  const size_t m = f0.size();
+  std::vector<size_t> perm(m);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  double sum = 0, sum_sq = 0;
+  size_t count = 0;
+  do {
+    double s = 0, s_approx = 0;
+    for (size_t v = 0; v < m; ++v) {
+      s += f0[v] * f1[perm[v]];
+      s_approx += a0[v] * a1[perm[v]];
+    }
+    double err = s - s_approx;
+    sum += err;
+    sum_sq += err * err;
+    ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return {sum / static_cast<double>(count),
+          sum_sq / static_cast<double>(count)};
+}
+
+TEST(TheoremsTest, Theorem32ExpectedErrorIsZeroForEveryHistogramPair) {
+  // E[S - S'] = 0 for *all* histograms, serial or not.
+  std::vector<double> b0 = {9, 4, 2, 1, 0};
+  std::vector<double> b1 = {7, 7, 3, 2, 1};
+  auto assignments = AllTwoBucketAssignments(5);
+  for (const auto& as0 : assignments) {
+    for (const auto& as1 : assignments) {
+      ErrorMoments m =
+          EnumerateMoments(b0, Approx(b0, as0), b1, Approx(b1, as1));
+      EXPECT_NEAR(m.mean, 0.0, 1e-9) << "a histogram pair violated E[S-S']=0";
+    }
+  }
+}
+
+TEST(TheoremsTest, Theorem33SelfJoinOptimalPairIsVOptimal) {
+  // The histogram pair formed by each relation's self-join-optimal serial
+  // histogram minimizes E[(S - S')^2] over ALL pairs of 2-bucket
+  // histograms — optimality is local and query-independent.
+  std::vector<double> b0 = {9, 4, 2, 1, 0};
+  std::vector<double> b1 = {7, 7, 3, 2, 1};
+  auto set0 = FrequencySet::Make(b0);
+  auto set1 = FrequencySet::Make(b1);
+  ASSERT_TRUE(set0.ok() && set1.ok());
+  auto h0 = BuildVOptSerialExhaustive(*set0, 2);
+  auto h1 = BuildVOptSerialExhaustive(*set1, 2);
+  ASSERT_TRUE(h0.ok() && h1.ok());
+  std::vector<double> a0(b0.size()), a1(b1.size());
+  for (size_t i = 0; i < b0.size(); ++i) a0[i] = h0->ApproxFrequency(i);
+  for (size_t i = 0; i < b1.size(); ++i) a1[i] = h1->ApproxFrequency(i);
+  double vopt_ms = EnumerateMoments(b0, a0, b1, a1).mean_square;
+
+  auto assignments = AllTwoBucketAssignments(5);
+  for (const auto& as0 : assignments) {
+    for (const auto& as1 : assignments) {
+      ErrorMoments m =
+          EnumerateMoments(b0, Approx(b0, as0), b1, Approx(b1, as1));
+      EXPECT_LE(vopt_ms, m.mean_square + 1e-9);
+    }
+  }
+}
+
+TEST(TheoremsTest, Theorem33HoldsOnRandomIntegerSets) {
+  Rng rng(808);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> b0(5), b1(5);
+    for (auto& f : b0) f = static_cast<double>(rng.NextBounded(10));
+    for (auto& f : b1) f = static_cast<double>(rng.NextBounded(10));
+    auto set0 = FrequencySet::Make(b0);
+    auto set1 = FrequencySet::Make(b1);
+    ASSERT_TRUE(set0.ok() && set1.ok());
+    auto h0 = BuildVOptSerialExhaustive(*set0, 2);
+    auto h1 = BuildVOptSerialExhaustive(*set1, 2);
+    ASSERT_TRUE(h0.ok() && h1.ok());
+    std::vector<double> a0(5), a1(5);
+    for (size_t i = 0; i < 5; ++i) {
+      a0[i] = h0->ApproxFrequency(i);
+      a1[i] = h1->ApproxFrequency(i);
+    }
+    double vopt_ms = EnumerateMoments(b0, a0, b1, a1).mean_square;
+    for (const auto& as0 : AllTwoBucketAssignments(5)) {
+      for (const auto& as1 : AllTwoBucketAssignments(5)) {
+        ErrorMoments m =
+            EnumerateMoments(b0, Approx(b0, as0), b1, Approx(b1, as1));
+        EXPECT_LE(vopt_ms, m.mean_square + 1e-9) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(TheoremsTest, Theorem31SelfJoinOptimumIsSerial) {
+  // For self-joins the optimal histogram within all 2-bucket histograms is
+  // serial (a contiguous partition of the sorted multiset).
+  Rng rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> freqs(7);
+    for (auto& f : freqs) f = static_cast<double>(rng.NextBounded(30));
+    auto set = FrequencySet::Make(freqs);
+    ASSERT_TRUE(set.ok());
+    double best_any = -1;
+    bool best_is_serial = false;
+    for (uint32_t mask = 2; mask + 1 < (1u << 7); mask += 2) {
+      std::vector<uint32_t> assign(7);
+      for (size_t i = 0; i < 7; ++i) assign[i] = (mask >> i) & 1;
+      auto bz = Bucketization::FromAssignments(assign, 2);
+      if (!bz.ok()) continue;
+      auto h = Histogram::Make(*set, *bz);
+      ASSERT_TRUE(h.ok());
+      double err = SelfJoinError(*h);
+      if (best_any < 0 || err < best_any - 1e-12) {
+        best_any = err;
+        best_is_serial = h->IsSerial();
+      } else if (std::fabs(err - best_any) <= 1e-12 && h->IsSerial()) {
+        best_is_serial = true;  // a serial histogram ties the optimum
+      }
+    }
+    EXPECT_TRUE(best_is_serial) << "trial " << trial;
+  }
+}
+
+TEST(TheoremsTest, Theorem31ExtremeCaseOptimaAreSerial) {
+  // Theorem 3.1 proper: when the arrangement maximizes the result size
+  // (both frequency sets similarly ordered — the rearrangement inequality),
+  // some optimal histogram pair is serial. Verify over all 2-bucket pairs.
+  Rng rng(1913);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<double> b0(6), b1(6);
+    for (auto& f : b0) f = static_cast<double>(rng.NextBounded(20));
+    for (auto& f : b1) f = static_cast<double>(rng.NextBounded(20));
+    std::sort(b0.begin(), b0.end(), std::greater<>());
+    std::sort(b1.begin(), b1.end(), std::greater<>());
+    // Sanity: this arrangement maximizes S over relative permutations.
+    double s_max = 0;
+    for (size_t v = 0; v < 6; ++v) s_max += b0[v] * b1[v];
+    {
+      std::vector<size_t> perm(6);
+      std::iota(perm.begin(), perm.end(), size_t{0});
+      do {
+        double s = 0;
+        for (size_t v = 0; v < 6; ++v) s += b0[v] * b1[perm[v]];
+        ASSERT_LE(s, s_max + 1e-9);
+      } while (std::next_permutation(perm.begin(), perm.end()));
+    }
+    // Search all 2-bucket histogram pairs for the |S - S'| optimum.
+    auto assignments = AllTwoBucketAssignments(6);
+    double best = -1;
+    bool serial_pair_optimal = false;
+    // Two passes: find the optimum, then check whether a pair of *serial*
+    // histograms attains it.
+    std::vector<std::pair<double, std::pair<size_t, size_t>>> errs;
+    for (size_t i = 0; i < assignments.size(); ++i) {
+      for (size_t j = 0; j < assignments.size(); ++j) {
+        std::vector<double> a0 = Approx(b0, assignments[i]);
+        std::vector<double> a1 = Approx(b1, assignments[j]);
+        double s_approx = 0;
+        for (size_t v = 0; v < 6; ++v) s_approx += a0[v] * a1[v];
+        double err = std::fabs(s_max - s_approx);
+        if (best < 0 || err < best) best = err;
+        errs.push_back({err, {i, j}});
+      }
+    }
+    auto is_serial = [&](const std::vector<double>& freqs,
+                         const std::vector<uint32_t>& assign) {
+      // Bucket frequency ranges must not interleave.
+      double min0 = 1e300, max0 = -1e300, min1 = 1e300, max1 = -1e300;
+      for (size_t v = 0; v < freqs.size(); ++v) {
+        if (assign[v] == 0) {
+          min0 = std::min(min0, freqs[v]);
+          max0 = std::max(max0, freqs[v]);
+        } else {
+          min1 = std::min(min1, freqs[v]);
+          max1 = std::max(max1, freqs[v]);
+        }
+      }
+      return max0 <= min1 || max1 <= min0;
+    };
+    for (const auto& [err, pair] : errs) {
+      if (err > best + 1e-9) continue;
+      if (is_serial(b0, assignments[pair.first]) &&
+          is_serial(b1, assignments[pair.second])) {
+        serial_pair_optimal = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(serial_pair_optimal) << "trial " << trial;
+  }
+}
+
+TEST(TheoremsTest, Corollary31ExtremeCaseBiasedOptimaAreEndBiased) {
+  // Corollary 3.1: in the extreme arrangement, the optimal *biased*
+  // histogram (beta-1 singletons + 1 bucket) is end-biased. beta = 2: one
+  // singleton per relation; check every singleton-pair choice.
+  std::vector<double> b0 = {17, 9, 5, 3, 2, 1};
+  std::vector<double> b1 = {14, 11, 6, 4, 2, 2};  // both sorted descending
+  double s_max = 0;
+  for (size_t v = 0; v < 6; ++v) s_max += b0[v] * b1[v];
+  auto approx_single = [](const std::vector<double>& f, size_t singleton) {
+    double total = 0;
+    for (double x : f) total += x;
+    double rest_avg = (total - f[singleton]) / 5.0;
+    std::vector<double> out(6, rest_avg);
+    out[singleton] = f[singleton];
+    return out;
+  };
+  double best = -1;
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      std::vector<double> a0 = approx_single(b0, i);
+      std::vector<double> a1 = approx_single(b1, j);
+      double s_approx = 0;
+      for (size_t v = 0; v < 6; ++v) s_approx += a0[v] * a1[v];
+      double err = std::fabs(s_max - s_approx);
+      if (best < 0 || err < best) best = err;
+    }
+  }
+  bool end_biased_optimal = false;
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      std::vector<double> a0 = approx_single(b0, i);
+      std::vector<double> a1 = approx_single(b1, j);
+      double s_approx = 0;
+      for (size_t v = 0; v < 6; ++v) s_approx += a0[v] * a1[v];
+      if (std::fabs(s_max - s_approx) > best + 1e-9) continue;
+      // End-biased for distinct descending values: singleton is position 0
+      // (highest) or 5 (lowest).
+      if ((i == 0 || i == 5) && (j == 0 || j == 5)) {
+        end_biased_optimal = true;
+      }
+    }
+  }
+  EXPECT_TRUE(end_biased_optimal);
+}
+
+TEST(TheoremsTest, Proposition31MatchesDirectEnumeration) {
+  // S' and S - S' from the formulas equal the values computed by expanding
+  // the self-join explicitly.
+  std::vector<double> freqs = {6, 6, 2, 1, 10};
+  auto set = FrequencySet::Make(freqs);
+  ASSERT_TRUE(set.ok());
+  auto h = BuildVOptSerialExhaustive(*set, 2);
+  ASSERT_TRUE(h.ok());
+  double s_direct = 0, s_approx_direct = 0;
+  for (size_t v = 0; v < freqs.size(); ++v) {
+    s_direct += freqs[v] * freqs[v];
+    double a = h->ApproxFrequency(v);
+    s_approx_direct += a * a;
+  }
+  EXPECT_NEAR(SelfJoinApproxSize(*h), s_approx_direct, 1e-9);
+  EXPECT_NEAR(SelfJoinError(*h), s_direct - s_approx_direct, 1e-9);
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,138 @@
+// Workload-level integration: a small analytics schema, a mixed batch of
+// predicates and joins, and aggregate estimation-quality assertions
+// (q-error), comparing the paper's recommended statistics against the
+// uniformity assumption end to end.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/predicate.h"
+#include "engine/statistics.h"
+#include "estimator/join_estimator.h"
+#include "estimator/predicate_estimator.h"
+#include "util/random.h"
+
+namespace hops {
+namespace {
+
+double QError(double estimate, double truth) {
+  // Standard plan-quality metric: max(est/truth, truth/est), with a +1
+  // smoothing so empty results do not blow up.
+  double e = estimate + 1.0, t = truth + 1.0;
+  return std::max(e / t, t / e);
+}
+
+struct Workload {
+  Relation customers, orders, items;
+  Catalog catalog;
+
+  static Workload Make(StatisticsHistogramClass cls) {
+    Workload w;
+    Rng rng(0xBEEF);
+    w.customers = *Relation::Make(
+        "Customers", *Schema::Make({{"cust", ValueType::kInt64},
+                                    {"tier", ValueType::kInt64}}));
+    w.orders = *Relation::Make(
+        "Orders", *Schema::Make({{"cust", ValueType::kInt64},
+                                 {"item", ValueType::kInt64},
+                                 {"qty", ValueType::kInt64}}));
+    w.items = *Relation::Make(
+        "Items", *Schema::Make({{"item", ValueType::kInt64}}));
+    for (int64_t c = 0; c < 100; ++c) {
+      w.customers.AppendUnchecked(
+          {Value(c), Value(static_cast<int64_t>(rng.NextBounded(4)))});
+    }
+    for (int i = 0; i < 8000; ++i) {
+      int64_t cust = static_cast<int64_t>(std::min(
+          {rng.NextBounded(100), rng.NextBounded(100),
+           rng.NextBounded(100)}));
+      int64_t item = static_cast<int64_t>(
+          std::min(rng.NextBounded(300), rng.NextBounded(300)));
+      int64_t qty = 1 + static_cast<int64_t>(
+                            std::min(rng.NextBounded(12),
+                                     rng.NextBounded(12)));
+      w.orders.AppendUnchecked({Value(cust), Value(item), Value(qty)});
+    }
+    for (int64_t it = 0; it < 300; ++it) {
+      w.items.AppendUnchecked({Value(it)});
+    }
+    StatisticsOptions options;
+    options.histogram_class = cls;
+    options.num_buckets = 11;
+    AnalyzeAndStore(w.customers, "cust", &w.catalog, options).Check();
+    AnalyzeAndStore(w.customers, "tier", &w.catalog, options).Check();
+    AnalyzeAndStore(w.orders, "cust", &w.catalog, options).Check();
+    AnalyzeAndStore(w.orders, "item", &w.catalog, options).Check();
+    AnalyzeAndStore(w.orders, "qty", &w.catalog, options).Check();
+    AnalyzeAndStore(w.items, "item", &w.catalog, options).Check();
+    return w;
+  }
+
+  // Median q-error over the selection batch.
+  double SelectionMedianQError() const {
+    const char* predicates[] = {
+        "cust = 0",       "cust = 1",         "cust = 50",
+        "qty = 1",        "qty >= 8",         "qty <= 2",
+        "item = 0",       "cust < 10",        "cust = 0 AND qty = 1",
+        "qty > 3 AND qty < 9",
+    };
+    std::vector<double> qs;
+    for (const char* text : predicates) {
+      auto pred = Predicate::Parse(text);
+      EXPECT_TRUE(pred.ok()) << text;
+      auto est = EstimatePredicateCardinality(catalog, "Orders", *pred);
+      EXPECT_TRUE(est.ok()) << text;
+      auto truth = CountWhere(orders, *pred);
+      EXPECT_TRUE(truth.ok()) << text;
+      qs.push_back(QError(*est, *truth));
+    }
+    std::sort(qs.begin(), qs.end());
+    return qs[qs.size() / 2];
+  }
+
+  // q-error of the 3-way chain join estimate.
+  double ChainQError() const {
+    std::vector<ChainJoinSpec> specs = {{"Customers", "", "cust"},
+                                        {"Orders", "cust", "item"},
+                                        {"Items", "item", ""}};
+    auto est = EstimateChainJoinSize(catalog, specs);
+    EXPECT_TRUE(est.ok());
+    std::vector<ChainJoinStep> steps = {{&customers, "", "cust"},
+                                        {&orders, "cust", "item"},
+                                        {&items, "item", ""}};
+    auto truth = ExecuteChainJoinCount(steps);
+    EXPECT_TRUE(truth.ok());
+    return QError(*est, *truth);
+  }
+};
+
+TEST(WorkloadTest, EndBiasedStatisticsKeepSelectionQErrorLow) {
+  Workload w = Workload::Make(StatisticsHistogramClass::kVOptEndBiased);
+  EXPECT_LE(w.SelectionMedianQError(), 1.5);
+}
+
+TEST(WorkloadTest, EndBiasedBeatsTrivialAcrossTheWorkload) {
+  Workload good = Workload::Make(StatisticsHistogramClass::kVOptEndBiased);
+  Workload bad = Workload::Make(StatisticsHistogramClass::kTrivial);
+  EXPECT_LT(good.SelectionMedianQError(), bad.SelectionMedianQError());
+}
+
+TEST(WorkloadTest, ChainJoinEstimateWithinSmallFactor) {
+  Workload w = Workload::Make(StatisticsHistogramClass::kVOptEndBiased);
+  EXPECT_LE(w.ChainQError(), 1.6);
+}
+
+TEST(WorkloadTest, SerialStatisticsAtLeastAsGoodAsEndBiasedOnSelections) {
+  Workload serial = Workload::Make(StatisticsHistogramClass::kVOptSerialDP);
+  Workload biased = Workload::Make(StatisticsHistogramClass::kVOptEndBiased);
+  // Serial statistics should not be meaningfully worse on the same batch.
+  EXPECT_LE(serial.SelectionMedianQError(),
+            1.25 * biased.SelectionMedianQError());
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,153 @@
+#include "optimizer/join_orderer.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/statistics.h"
+#include "util/random.h"
+
+namespace hops {
+namespace {
+
+// Builds the classic selective-chain scenario: R0 is large, R1 filters
+// heavily, R2 is large — joining R0 with R1 first is much cheaper than
+// forming the R0 x R2 cross product.
+struct ChainFixture {
+  Relation r0, r1, r2;
+  Catalog catalog;
+  std::vector<ChainRelationSpec> specs;
+
+  static ChainFixture Make() {
+    ChainFixture f;
+    auto one = Schema::Make({{"a", ValueType::kInt64}});
+    auto two = Schema::Make({{"a", ValueType::kInt64},
+                             {"b", ValueType::kInt64}});
+    f.r0 = *Relation::Make("R0", *one);
+    f.r1 = *Relation::Make("R1", *two);
+    auto oneb = Schema::Make({{"b", ValueType::kInt64}});
+    f.r2 = *Relation::Make("R2", *oneb);
+    Rng rng(6);
+    for (int i = 0; i < 400; ++i) {
+      f.r0.AppendUnchecked({Value(static_cast<int64_t>(rng.NextBounded(20)))});
+      f.r2.AppendUnchecked({Value(static_cast<int64_t>(rng.NextBounded(20)))});
+    }
+    // R1: only 10 tuples, matching a narrow slice.
+    for (int i = 0; i < 10; ++i) {
+      f.r1.AppendUnchecked({Value(static_cast<int64_t>(i % 3)),
+                            Value(static_cast<int64_t>(i % 2))});
+    }
+    StatisticsOptions options;
+    options.num_buckets = 8;
+    AnalyzeAndStore(f.r0, "a", &f.catalog, options).Check();
+    AnalyzeAndStore(f.r1, "a", &f.catalog, options).Check();
+    AnalyzeAndStore(f.r1, "b", &f.catalog, options).Check();
+    AnalyzeAndStore(f.r2, "b", &f.catalog, options).Check();
+    f.specs = {{"R0", "", "a", &f.r0},
+               {"R1", "a", "b", &f.r1},
+               {"R2", "b", "", &f.r2}};
+    return f;
+  }
+};
+
+TEST(JoinOrdererTest, SegmentSizesDiagonalIsRelationSize) {
+  ChainFixture f = ChainFixture::Make();
+  auto est = SegmentSizes::Estimate(f.catalog, f.specs);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->Segment(0, 0), 400.0);
+  EXPECT_DOUBLE_EQ(est->Segment(1, 1), 10.0);
+  auto exact = SegmentSizes::Execute(f.specs);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_DOUBLE_EQ(exact->Segment(2, 2), 400.0);
+}
+
+TEST(JoinOrdererTest, SubsetSizeMultipliesDisconnectedSegments) {
+  ChainFixture f = ChainFixture::Make();
+  auto exact = SegmentSizes::Execute(f.specs);
+  ASSERT_TRUE(exact.ok());
+  // {R0, R2} is a cross product of the two base relations.
+  std::vector<bool> member = {true, false, true};
+  EXPECT_DOUBLE_EQ(exact->SubsetSize(member), 400.0 * 400.0);
+  // {R0, R1} is the true join size of the prefix.
+  member = {true, true, false};
+  EXPECT_DOUBLE_EQ(exact->SubsetSize(member), exact->Segment(0, 1));
+  member = {false, false, false};
+  EXPECT_DOUBLE_EQ(exact->SubsetSize(member), 0.0);
+}
+
+TEST(JoinOrdererTest, OrderCostPenalizesCrossProducts) {
+  ChainFixture f = ChainFixture::Make();
+  auto exact = SegmentSizes::Execute(f.specs);
+  ASSERT_TRUE(exact.ok());
+  std::vector<size_t> adjacent = {0, 1, 2};
+  std::vector<size_t> cross = {0, 2, 1};  // R0 x R2 first
+  auto c_adjacent = exact->OrderCost(adjacent);
+  auto c_cross = exact->OrderCost(cross);
+  ASSERT_TRUE(c_adjacent.ok() && c_cross.ok());
+  EXPECT_LT(*c_adjacent, *c_cross);
+}
+
+TEST(JoinOrdererTest, OrderCostValidation) {
+  ChainFixture f = ChainFixture::Make();
+  auto exact = SegmentSizes::Execute(f.specs);
+  ASSERT_TRUE(exact.ok());
+  std::vector<size_t> short_order = {0, 1};
+  EXPECT_FALSE(exact->OrderCost(short_order).ok());
+  std::vector<size_t> dup = {0, 0, 1};
+  EXPECT_FALSE(exact->OrderCost(dup).ok());
+}
+
+TEST(JoinOrdererTest, RankEnumeratesAllOrders) {
+  ChainFixture f = ChainFixture::Make();
+  auto exact = SegmentSizes::Execute(f.specs);
+  ASSERT_TRUE(exact.ok());
+  auto plans = RankLeftDeepOrders(*exact);
+  ASSERT_TRUE(plans.ok());
+  EXPECT_EQ(plans->size(), 6u);  // 3!
+  for (size_t i = 0; i + 1 < plans->size(); ++i) {
+    EXPECT_LE((*plans)[i].cost, (*plans)[i + 1].cost);
+  }
+}
+
+TEST(JoinOrdererTest, RankRespectsRelationCap) {
+  ChainFixture f = ChainFixture::Make();
+  auto exact = SegmentSizes::Execute(f.specs);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(RankLeftDeepOrders(*exact, 2).status().IsResourceExhausted());
+}
+
+TEST(JoinOrdererTest, GoodStatisticsAvoidTheCrossProduct) {
+  ChainFixture f = ChainFixture::Make();
+  auto plan = ChooseLeftDeepOrder(f.catalog, f.specs);
+  ASSERT_TRUE(plan.ok());
+  // The chosen plan must start by joining the selective R1 with one of its
+  // neighbours — never R0 with R2 (the cross product).
+  std::vector<size_t> first_two = {plan->order[0], plan->order[1]};
+  std::sort(first_two.begin(), first_two.end());
+  EXPECT_FALSE(first_two == (std::vector<size_t>{0, 2}));
+}
+
+TEST(JoinOrdererTest, EstimatedChoiceIsTrulyGood) {
+  // The estimate-chosen order's TRUE cost is within a small factor of the
+  // truly optimal order's cost.
+  ChainFixture f = ChainFixture::Make();
+  auto plan = ChooseLeftDeepOrder(f.catalog, f.specs);
+  ASSERT_TRUE(plan.ok());
+  auto exact = SegmentSizes::Execute(f.specs);
+  ASSERT_TRUE(exact.ok());
+  auto true_plans = RankLeftDeepOrders(*exact);
+  ASSERT_TRUE(true_plans.ok());
+  auto chosen_true_cost = exact->OrderCost(plan->order);
+  ASSERT_TRUE(chosen_true_cost.ok());
+  EXPECT_LE(*chosen_true_cost, 2.0 * true_plans->front().cost + 1e-9);
+}
+
+TEST(JoinOrdererTest, SpecValidation) {
+  Catalog empty;
+  std::vector<ChainRelationSpec> one = {{"R", "", "", nullptr}};
+  EXPECT_FALSE(SegmentSizes::Estimate(empty, one).ok());
+  std::vector<ChainRelationSpec> no_live = {{"R0", "", "a", nullptr},
+                                            {"R1", "a", "", nullptr}};
+  EXPECT_TRUE(SegmentSizes::Execute(no_live).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,94 @@
+#include "query/chain_query.h"
+
+#include <gtest/gtest.h>
+
+namespace hops {
+namespace {
+
+FrequencyMatrix H(std::vector<Frequency> v) {
+  return *FrequencyMatrix::HorizontalVector(std::move(v));
+}
+FrequencyMatrix V(std::vector<Frequency> v) {
+  return *FrequencyMatrix::VerticalVector(std::move(v));
+}
+FrequencyMatrix M(size_t r, size_t c, std::vector<Frequency> v) {
+  return *FrequencyMatrix::Make(r, c, std::move(v));
+}
+
+TEST(ChainQueryTest, ValidTwoWayJoin) {
+  auto q = ChainQuery::Make({H({1, 2}), V({3, 4})});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_relations(), 2u);
+  EXPECT_EQ(q->num_joins(), 1u);
+  auto s = q->ExactResultSize();
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(*s, 11.0);
+}
+
+TEST(ChainQueryTest, ThreeWayChain) {
+  auto q = ChainQuery::Make({H({1, 1}), M(2, 2, {1, 0, 0, 1}), V({5, 7})});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_joins(), 2u);
+  auto s = q->ExactResultSize();
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(*s, 12.0);
+}
+
+TEST(ChainQueryTest, RejectsEmpty) {
+  EXPECT_TRUE(ChainQuery::Make({}).status().IsInvalidArgument());
+}
+
+TEST(ChainQueryTest, RejectsNonVectorEnds) {
+  EXPECT_FALSE(ChainQuery::Make({M(2, 2, {1, 2, 3, 4}), V({1, 2})}).ok());
+  EXPECT_FALSE(ChainQuery::Make({H({1, 2}), M(2, 2, {1, 2, 3, 4})}).ok());
+}
+
+TEST(ChainQueryTest, RejectsDomainMismatch) {
+  EXPECT_FALSE(ChainQuery::Make({H({1, 2, 3}), V({1, 2})}).ok());
+  EXPECT_FALSE(
+      ChainQuery::Make({H({1, 2}), M(3, 2, {1, 2, 3, 4, 5, 6}), V({1, 2})})
+          .ok());
+}
+
+TEST(SelectionIndicatorTest, BuildsZeroOneVector) {
+  std::vector<size_t> selected = {0, 2};
+  auto v = SelectionIndicatorVector(4, selected, /*vertical=*/true);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->rows(), 4u);
+  EXPECT_EQ(v->At(0, 0), 1.0);
+  EXPECT_EQ(v->At(1, 0), 0.0);
+  EXPECT_EQ(v->At(2, 0), 1.0);
+  EXPECT_EQ(v->At(3, 0), 0.0);
+}
+
+TEST(SelectionIndicatorTest, HorizontalShape) {
+  std::vector<size_t> selected = {1};
+  auto v = SelectionIndicatorVector(3, selected, /*vertical=*/false);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->rows(), 1u);
+  EXPECT_EQ(v->cols(), 3u);
+}
+
+TEST(SelectionIndicatorTest, OutOfRangeValueFails) {
+  std::vector<size_t> selected = {5};
+  EXPECT_TRUE(SelectionIndicatorVector(4, selected, true)
+                  .status()
+                  .IsOutOfRange());
+}
+
+TEST(SelectionIndicatorTest, SelectionAsJoinComputesSelectedCount) {
+  // "R1.a1 = c" modeled as joining with a singleton indicator: the result
+  // size is the frequency of c in R1.
+  FrequencyMatrix r1 = H({10, 20, 30});
+  std::vector<size_t> c = {1};
+  auto sel = SelectionIndicatorVector(3, c, /*vertical=*/true);
+  ASSERT_TRUE(sel.ok());
+  auto q = ChainQuery::Make({r1, *sel});
+  ASSERT_TRUE(q.ok());
+  auto s = q->ExactResultSize();
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(*s, 20.0);
+}
+
+}  // namespace
+}  // namespace hops

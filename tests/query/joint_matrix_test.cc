@@ -1,0 +1,104 @@
+#include "query/joint_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/arrangement.h"
+#include "stats/zipf.h"
+#include "util/random.h"
+
+namespace hops {
+namespace {
+
+TEST(JointMatrixTest, TwoWayJoinRows) {
+  auto r0 = FrequencyMatrix::HorizontalVector({2, 0, 3});
+  auto r1 = FrequencyMatrix::VerticalVector({5, 7, 0});
+  auto q = ChainQuery::Make({*r0, *r1});
+  ASSERT_TRUE(q.ok());
+  auto table = JointFrequencyTable::Build(*q);
+  ASSERT_TRUE(table.ok());
+  // Only d=0 survives: (2, 5). d=1 has f0=0; d=2 has f1=0.
+  ASSERT_EQ(table->rows().size(), 1u);
+  EXPECT_EQ(table->rows()[0].domain_values, std::vector<size_t>{0});
+  EXPECT_EQ(table->rows()[0].frequencies, (std::vector<double>{2, 5}));
+  EXPECT_DOUBLE_EQ(table->ResultSize(), 10.0);
+}
+
+TEST(JointMatrixTest, RowProduct) {
+  JointFrequencyRow row;
+  row.frequencies = {2, 3, 4};
+  EXPECT_DOUBLE_EQ(row.Product(), 24.0);
+}
+
+TEST(JointMatrixTest, MatchesChainProductOnRandomChains) {
+  Rng rng(314);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t m = 3 + static_cast<size_t>(rng.NextBounded(3));
+    size_t joins = 1 + static_cast<size_t>(rng.NextBounded(3));
+    std::vector<FrequencyMatrix> ms;
+    for (size_t j = 0; j <= joins; ++j) {
+      size_t rows = (j == 0) ? 1 : m;
+      size_t cols = (j == joins) ? 1 : m;
+      std::vector<Frequency> cells(rows * cols);
+      for (auto& c : cells) {
+        c = static_cast<double>(rng.NextBounded(5));  // zeros included
+      }
+      ms.push_back(*FrequencyMatrix::Make(rows, cols, std::move(cells)));
+    }
+    auto q = ChainQuery::Make(ms);
+    ASSERT_TRUE(q.ok());
+    auto table = JointFrequencyTable::Build(*q);
+    ASSERT_TRUE(table.ok());
+    auto s = q->ExactResultSize();
+    ASSERT_TRUE(s.ok());
+    EXPECT_NEAR(table->ResultSize(), *s, 1e-9 * (1 + *s))
+        << "trial " << trial;
+  }
+}
+
+TEST(JointMatrixTest, SingleRelationScalar) {
+  auto m = FrequencyMatrix::Make(1, 1, {6});
+  auto q = ChainQuery::Make({*m});
+  ASSERT_TRUE(q.ok());
+  auto table = JointFrequencyTable::Build(*q);
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(table->ResultSize(), 6.0);
+  auto zero = FrequencyMatrix::Make(1, 1, {0});
+  auto qz = ChainQuery::Make({*zero});
+  ASSERT_TRUE(qz.ok());
+  auto tz = JointFrequencyTable::Build(*qz);
+  ASSERT_TRUE(tz.ok());
+  EXPECT_TRUE(tz->rows().empty());
+}
+
+TEST(JointMatrixTest, MaxRowsLimitEnforced) {
+  // A dense 5-way chain over a 4-value domain: 4^2 = 16 rows per level...
+  // build a chain guaranteed to exceed a tiny limit.
+  size_t m = 4;
+  std::vector<FrequencyMatrix> ms;
+  ms.push_back(*FrequencyMatrix::HorizontalVector({1, 1, 1, 1}));
+  ms.push_back(
+      *FrequencyMatrix::Make(m, m, std::vector<Frequency>(m * m, 1.0)));
+  ms.push_back(*FrequencyMatrix::VerticalVector({1, 1, 1, 1}));
+  auto q = ChainQuery::Make(ms);
+  ASSERT_TRUE(q.ok());
+  auto table = JointFrequencyTable::Build(*q, /*max_rows=*/4);
+  EXPECT_TRUE(table.status().IsResourceExhausted());
+}
+
+TEST(JointMatrixTest, ZeroPruningSkipsDeadSubtrees) {
+  // R1's first row is all zero, so no row may carry d1 = 0.
+  auto r0 = FrequencyMatrix::HorizontalVector({9, 1});
+  auto r1 = FrequencyMatrix::Make(2, 2, {0, 0, 2, 3});
+  auto r2 = FrequencyMatrix::VerticalVector({1, 1});
+  auto q = ChainQuery::Make({*r0, *r1, *r2});
+  ASSERT_TRUE(q.ok());
+  auto table = JointFrequencyTable::Build(*q);
+  ASSERT_TRUE(table.ok());
+  for (const auto& row : table->rows()) {
+    EXPECT_NE(row.domain_values[0], 0u);
+  }
+  EXPECT_DOUBLE_EQ(table->ResultSize(), 1 * 2 * 1 + 1 * 3 * 1);
+}
+
+}  // namespace
+}  // namespace hops

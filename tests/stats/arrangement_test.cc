@@ -1,0 +1,89 @@
+#include "stats/arrangement.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace hops {
+namespace {
+
+FrequencySet MustSet(std::vector<Frequency> f) {
+  auto r = FrequencySet::Make(std::move(f));
+  EXPECT_TRUE(r.ok());
+  return *std::move(r);
+}
+
+TEST(IsPermutationTest, Basics) {
+  std::vector<size_t> p = {2, 0, 1};
+  EXPECT_TRUE(IsPermutation(p, 3));
+  EXPECT_FALSE(IsPermutation(p, 4));
+  std::vector<size_t> dup = {0, 0, 1};
+  EXPECT_FALSE(IsPermutation(dup, 3));
+  std::vector<size_t> oob = {0, 1, 3};
+  EXPECT_FALSE(IsPermutation(oob, 3));
+  EXPECT_TRUE(IsPermutation(std::vector<size_t>{}, 0));
+}
+
+TEST(ArrangementTest, IdentityKeepsRowMajorOrder) {
+  FrequencySet set = MustSet({1, 2, 3, 4, 5, 6});
+  auto m = ArrangeIdentity(set, 2, 3);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->At(0, 0), 1.0);
+  EXPECT_EQ(m->At(0, 2), 3.0);
+  EXPECT_EQ(m->At(1, 0), 4.0);
+}
+
+TEST(ArrangementTest, ExplicitPermutationPlacesEntries) {
+  FrequencySet set = MustSet({10, 20, 30, 40});
+  // set[i] goes to flat cell perm[i].
+  std::vector<size_t> perm = {3, 2, 1, 0};
+  auto m = ArrangeAsMatrix(set, 2, 2, perm);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->At(0, 0), 40.0);
+  EXPECT_EQ(m->At(0, 1), 30.0);
+  EXPECT_EQ(m->At(1, 0), 20.0);
+  EXPECT_EQ(m->At(1, 1), 10.0);
+}
+
+TEST(ArrangementTest, SizeMismatchFails) {
+  FrequencySet set = MustSet({1, 2, 3});
+  std::vector<size_t> perm = {0, 1, 2};
+  EXPECT_TRUE(
+      ArrangeAsMatrix(set, 2, 2, perm).status().IsInvalidArgument());
+  EXPECT_TRUE(ArrangeIdentity(set, 2, 2).status().IsInvalidArgument());
+}
+
+TEST(ArrangementTest, BadPermutationFails) {
+  FrequencySet set = MustSet({1, 2, 3, 4});
+  std::vector<size_t> dup = {0, 0, 1, 2};
+  EXPECT_TRUE(ArrangeAsMatrix(set, 2, 2, dup).status().IsInvalidArgument());
+}
+
+TEST(ArrangementTest, RandomArrangementPreservesMultiset) {
+  FrequencySet set = MustSet({1, 2, 3, 4, 5, 6});
+  Rng rng(99);
+  auto m = ArrangeRandom(set, 2, 3, &rng);
+  ASSERT_TRUE(m.ok());
+  FrequencySet cells = m->ToFrequencySet();
+  EXPECT_EQ(cells.Sorted(), set.Sorted());
+}
+
+TEST(ArrangementTest, RandomArrangementNeedsRng) {
+  FrequencySet set = MustSet({1, 2});
+  EXPECT_TRUE(
+      ArrangeRandom(set, 1, 2, nullptr).status().IsInvalidArgument());
+}
+
+TEST(ArrangementTest, ArrangementsPreserveChainTotals) {
+  // Any arrangement preserves the relation size (sum of cells).
+  FrequencySet set = MustSet({5, 1, 7, 3, 9, 2, 8, 4, 6});
+  Rng rng(123);
+  for (int rep = 0; rep < 5; ++rep) {
+    auto m = ArrangeRandom(set, 3, 3, &rng);
+    ASSERT_TRUE(m.ok());
+    EXPECT_DOUBLE_EQ(m->Total(), set.Total());
+  }
+}
+
+}  // namespace
+}  // namespace hops

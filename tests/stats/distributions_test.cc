@@ -1,0 +1,129 @@
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hops {
+namespace {
+
+DistributionSpec Spec(DistributionKind kind, double skew = 1.0) {
+  DistributionSpec spec;
+  spec.kind = kind;
+  spec.total = 1000.0;
+  spec.num_values = 100;
+  spec.skew = skew;
+  return spec;
+}
+
+TEST(DistributionsTest, NamesAreStable) {
+  EXPECT_STREQ(DistributionKindToString(DistributionKind::kUniform),
+               "uniform");
+  EXPECT_STREQ(DistributionKindToString(DistributionKind::kZipf), "zipf");
+  EXPECT_STREQ(DistributionKindToString(DistributionKind::kReverseZipf),
+               "reverse-zipf");
+  EXPECT_STREQ(DistributionKindToString(DistributionKind::kTwoStep),
+               "two-step");
+  EXPECT_STREQ(DistributionKindToString(DistributionKind::kNoisyUniform),
+               "noisy-uniform");
+}
+
+TEST(DistributionsTest, AllKindsPreserveTotal) {
+  for (auto kind :
+       {DistributionKind::kUniform, DistributionKind::kZipf,
+        DistributionKind::kReverseZipf, DistributionKind::kTwoStep,
+        DistributionKind::kNoisyUniform}) {
+    auto set = GenerateFrequencySet(Spec(kind));
+    ASSERT_TRUE(set.ok()) << DistributionKindToString(kind);
+    EXPECT_NEAR(set->Total(), 1000.0, 1e-6) << DistributionKindToString(kind);
+    EXPECT_EQ(set->size(), 100u);
+  }
+}
+
+TEST(DistributionsTest, AllKindsDescending) {
+  for (auto kind :
+       {DistributionKind::kUniform, DistributionKind::kZipf,
+        DistributionKind::kReverseZipf, DistributionKind::kTwoStep,
+        DistributionKind::kNoisyUniform}) {
+    auto set = GenerateFrequencySet(Spec(kind));
+    ASSERT_TRUE(set.ok());
+    for (size_t i = 0; i + 1 < set->size(); ++i) {
+      EXPECT_GE((*set)[i], (*set)[i + 1]) << DistributionKindToString(kind);
+    }
+  }
+}
+
+TEST(DistributionsTest, UniformHasZeroSpread) {
+  auto set = GenerateFrequencySet(Spec(DistributionKind::kUniform));
+  ASSERT_TRUE(set.ok());
+  EXPECT_DOUBLE_EQ(set->Max(), set->Min());
+}
+
+TEST(DistributionsTest, ReverseZipfHasManyHighFewLow) {
+  // Median should sit near the maximum, not near the minimum (the mirror
+  // image of Zipf).
+  auto set = GenerateFrequencySet(Spec(DistributionKind::kReverseZipf, 1.5));
+  ASSERT_TRUE(set.ok());
+  double median = (*set)[set->size() / 2];
+  EXPECT_GT(median - set->Min(), set->Max() - median);
+
+  auto zipf = GenerateFrequencySet(Spec(DistributionKind::kZipf, 1.5));
+  ASSERT_TRUE(zipf.ok());
+  double zmedian = (*zipf)[zipf->size() / 2];
+  EXPECT_LT(zmedian - zipf->Min(), zipf->Max() - zmedian);
+}
+
+TEST(DistributionsTest, TwoStepHasExactlyTwoLevels) {
+  auto set = GenerateFrequencySet(Spec(DistributionKind::kTwoStep, 5.0));
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->NumDistinct(), 2u);
+}
+
+TEST(DistributionsTest, NoisyUniformIsSeededDeterministically) {
+  DistributionSpec a = Spec(DistributionKind::kNoisyUniform);
+  a.seed = 5;
+  DistributionSpec b = a;
+  auto ra = GenerateFrequencySet(a);
+  auto rb = GenerateFrequencySet(b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  for (size_t i = 0; i < ra->size(); ++i) {
+    EXPECT_EQ((*ra)[i], (*rb)[i]);
+  }
+  b.seed = 6;
+  auto rc = GenerateFrequencySet(b);
+  ASSERT_TRUE(rc.ok());
+  bool any_different = false;
+  for (size_t i = 0; i < ra->size(); ++i) {
+    if ((*ra)[i] != (*rc)[i]) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(DistributionsTest, IntegerValuedSumsExactly) {
+  DistributionSpec spec = Spec(DistributionKind::kZipf, 2.0);
+  spec.integer_valued = true;
+  auto set = GenerateFrequencySet(spec);
+  ASSERT_TRUE(set.ok());
+  double sum = 0;
+  for (double f : set->values()) {
+    EXPECT_EQ(f, std::floor(f));
+    sum += f;
+  }
+  EXPECT_EQ(sum, 1000.0);
+}
+
+TEST(DistributionsTest, RejectsBadArguments) {
+  DistributionSpec spec = Spec(DistributionKind::kZipf);
+  spec.num_values = 0;
+  EXPECT_FALSE(GenerateFrequencySet(spec).ok());
+  spec = Spec(DistributionKind::kNoisyUniform);
+  spec.noise = 1.5;
+  EXPECT_FALSE(GenerateFrequencySet(spec).ok());
+  spec = Spec(DistributionKind::kZipf);
+  spec.total = -2.0;
+  EXPECT_FALSE(GenerateFrequencySet(spec).ok());
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,121 @@
+#include "stats/frequency_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace hops {
+namespace {
+
+FrequencyMatrix MustMake(size_t r, size_t c, std::vector<Frequency> d) {
+  auto res = FrequencyMatrix::Make(r, c, std::move(d));
+  EXPECT_TRUE(res.ok()) << res.status();
+  return *std::move(res);
+}
+
+TEST(FrequencyMatrixTest, ZeroMatrix) {
+  auto r = FrequencyMatrix::Zero(2, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows(), 2u);
+  EXPECT_EQ(r->cols(), 3u);
+  EXPECT_EQ(r->Total(), 0.0);
+}
+
+TEST(FrequencyMatrixTest, RejectsZeroDimensions) {
+  EXPECT_FALSE(FrequencyMatrix::Zero(0, 3).ok());
+  EXPECT_FALSE(FrequencyMatrix::Zero(3, 0).ok());
+}
+
+TEST(FrequencyMatrixTest, RejectsShapeMismatch) {
+  EXPECT_TRUE(FrequencyMatrix::Make(2, 2, {1, 2, 3})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(FrequencyMatrixTest, RejectsNegativeEntries) {
+  EXPECT_TRUE(
+      FrequencyMatrix::Make(1, 2, {1, -2}).status().IsInvalidArgument());
+}
+
+TEST(FrequencyMatrixTest, RowMajorAccess) {
+  FrequencyMatrix m = MustMake(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.At(0, 0), 1.0);
+  EXPECT_EQ(m.At(0, 2), 3.0);
+  EXPECT_EQ(m.At(1, 0), 4.0);
+  EXPECT_EQ(m.At(1, 2), 6.0);
+  m.Set(1, 1, 50.0);
+  EXPECT_EQ(m.At(1, 1), 50.0);
+}
+
+TEST(FrequencyMatrixTest, VectorFactories) {
+  auto h = FrequencyMatrix::HorizontalVector({1, 2, 3});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->rows(), 1u);
+  EXPECT_EQ(h->cols(), 3u);
+  auto v = FrequencyMatrix::VerticalVector({1, 2});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->rows(), 2u);
+  EXPECT_EQ(v->cols(), 1u);
+}
+
+TEST(FrequencyMatrixTest, ToFrequencySetFlattens) {
+  FrequencyMatrix m = MustMake(2, 2, {1, 2, 3, 4});
+  FrequencySet set = m.ToFrequencySet();
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_DOUBLE_EQ(set.Total(), 10.0);
+}
+
+TEST(FrequencyMatrixTest, MultiplyMatchesHandComputation) {
+  FrequencyMatrix a = MustMake(2, 2, {1, 2, 3, 4});
+  FrequencyMatrix b = MustMake(2, 2, {5, 6, 7, 8});
+  auto p = a.Multiply(b);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->At(0, 0), 19.0);
+  EXPECT_EQ(p->At(0, 1), 22.0);
+  EXPECT_EQ(p->At(1, 0), 43.0);
+  EXPECT_EQ(p->At(1, 1), 50.0);
+}
+
+TEST(FrequencyMatrixTest, MultiplyRejectsDimensionMismatch) {
+  FrequencyMatrix a = MustMake(2, 3, {1, 2, 3, 4, 5, 6});
+  FrequencyMatrix b = MustMake(2, 2, {1, 2, 3, 4});
+  EXPECT_TRUE(a.Multiply(b).status().IsInvalidArgument());
+}
+
+TEST(FrequencyMatrixTest, TransposedSwapsShape) {
+  FrequencyMatrix a = MustMake(2, 3, {1, 2, 3, 4, 5, 6});
+  FrequencyMatrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(a.At(r, c), t.At(c, r));
+    }
+  }
+}
+
+TEST(ChainResultSizeTest, RequiresVectorEnds) {
+  std::vector<FrequencyMatrix> ms;
+  ms.push_back(MustMake(2, 2, {1, 2, 3, 4}));
+  EXPECT_TRUE(ChainResultSize(ms).status().IsInvalidArgument());
+}
+
+TEST(ChainResultSizeTest, TwoWayJoinIsDotProduct) {
+  std::vector<FrequencyMatrix> ms;
+  ms.push_back(*FrequencyMatrix::HorizontalVector({2, 3}));
+  ms.push_back(*FrequencyMatrix::VerticalVector({5, 7}));
+  auto s = ChainResultSize(ms);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(*s, 2 * 5 + 3 * 7);
+}
+
+TEST(ChainResultSizeTest, EmptyChainFails) {
+  EXPECT_TRUE(ChainResultSize({}).status().IsInvalidArgument());
+}
+
+TEST(SelfJoinResultSizeTest, SumOfSquares) {
+  auto set = FrequencySet::Make({2, 3, 4});
+  ASSERT_TRUE(set.ok());
+  EXPECT_DOUBLE_EQ(SelfJoinResultSize(*set), 4 + 9 + 16);
+}
+
+}  // namespace
+}  // namespace hops

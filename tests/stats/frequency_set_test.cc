@@ -1,0 +1,93 @@
+#include "stats/frequency_set.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace hops {
+namespace {
+
+Result<FrequencySet> MakeSet(std::vector<Frequency> f) {
+  return FrequencySet::Make(std::move(f));
+}
+
+TEST(FrequencySetTest, MakeAcceptsNonNegative) {
+  auto r = MakeSet({1, 0, 2.5});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_FALSE(r->empty());
+}
+
+TEST(FrequencySetTest, MakeRejectsNegative) {
+  EXPECT_TRUE(MakeSet({1, -1}).status().IsInvalidArgument());
+}
+
+TEST(FrequencySetTest, MakeRejectsNonFinite) {
+  EXPECT_TRUE(MakeSet({std::numeric_limits<double>::infinity()})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(MakeSet({std::numeric_limits<double>::quiet_NaN()})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(FrequencySetTest, EmptySetIsAllowed) {
+  auto r = MakeSet({});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  EXPECT_EQ(r->Total(), 0.0);
+  EXPECT_EQ(r->Max(), 0.0);
+  EXPECT_EQ(r->Min(), 0.0);
+}
+
+TEST(FrequencySetTest, TotalIsRelationSize) {
+  auto r = MakeSet({20, 15, 5});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->Total(), 40.0);
+}
+
+TEST(FrequencySetTest, SelfJoinSizeIsSumOfSquares) {
+  auto r = MakeSet({3, 4});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->SelfJoinSize(), 25.0);
+}
+
+TEST(FrequencySetTest, SortedOrders) {
+  auto r = MakeSet({5, 1, 3});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Sorted(), (std::vector<Frequency>{1, 3, 5}));
+  EXPECT_EQ(r->SortedDescending(), (std::vector<Frequency>{5, 3, 1}));
+}
+
+TEST(FrequencySetTest, NumDistinctIgnoresDuplicates) {
+  auto r = MakeSet({2, 2, 3, 3, 3, 7});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumDistinct(), 3u);
+}
+
+TEST(FrequencySetTest, MinMax) {
+  auto r = MakeSet({2, 9, 4});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Max(), 9.0);
+  EXPECT_EQ(r->Min(), 2.0);
+}
+
+TEST(FrequencySetTest, IndexingPreservesInsertionOrder) {
+  auto r = MakeSet({8, 6, 7});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 8.0);
+  EXPECT_EQ((*r)[1], 6.0);
+  EXPECT_EQ((*r)[2], 7.0);
+}
+
+TEST(FrequencySetTest, ToStringTruncates) {
+  std::vector<Frequency> many(100, 1.0);
+  auto r = MakeSet(many);
+  ASSERT_TRUE(r.ok());
+  std::string s = r->ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("M=100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,138 @@
+#include "stats/frequency_tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace hops {
+namespace {
+
+FrequencyTensor MustMake(std::vector<size_t> shape,
+                         std::vector<Frequency> data) {
+  auto t = FrequencyTensor::Make(std::move(shape), std::move(data));
+  EXPECT_TRUE(t.ok()) << t.status();
+  return *std::move(t);
+}
+
+TEST(FrequencyTensorTest, ZeroAndShape) {
+  auto t = FrequencyTensor::Zero({2, 3, 4});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->rank(), 3u);
+  EXPECT_EQ(t->num_cells(), 24u);
+  EXPECT_DOUBLE_EQ(t->Total(), 0.0);
+}
+
+TEST(FrequencyTensorTest, Validation) {
+  EXPECT_FALSE(FrequencyTensor::Zero({2, 0}).ok());
+  EXPECT_TRUE(FrequencyTensor::Make({2, 2}, {1, 2, 3})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(FrequencyTensor::Make({2}, {1, -1})
+                  .status()
+                  .IsInvalidArgument());
+  // Cap on dense size.
+  EXPECT_TRUE(FrequencyTensor::Zero({100000, 100000})
+                  .status()
+                  .IsResourceExhausted());
+}
+
+TEST(FrequencyTensorTest, RowMajorIndexing) {
+  FrequencyTensor t = MustMake({2, 3}, {1, 2, 3, 4, 5, 6});
+  std::vector<size_t> idx = {1, 2};
+  EXPECT_DOUBLE_EQ(t.At(idx), 6.0);
+  idx = {0, 1};
+  EXPECT_DOUBLE_EQ(t.At(idx), 2.0);
+  t.Set(idx, 20.0);
+  EXPECT_DOUBLE_EQ(t.At(idx), 20.0);
+  EXPECT_EQ(t.FlatIndex(idx), 1u);
+}
+
+TEST(FrequencyTensorTest, Rank3Indexing) {
+  std::vector<Frequency> data(24);
+  for (size_t i = 0; i < 24; ++i) data[i] = static_cast<double>(i);
+  FrequencyTensor t = MustMake({2, 3, 4}, data);
+  std::vector<size_t> idx = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(t.At(idx), 23.0);
+  idx = {1, 0, 0};
+  EXPECT_DOUBLE_EQ(t.At(idx), 12.0);
+}
+
+TEST(FrequencyTensorTest, ContractMatrixMatchesMatVec) {
+  // Rank-2 contraction along dim 1 = matrix * vector.
+  FrequencyTensor t = MustMake({2, 3}, {1, 2, 3, 4, 5, 6});
+  std::vector<Frequency> v = {1, 0, 2};
+  auto c = t.ContractDimension(1, v);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->rank(), 1u);
+  std::vector<size_t> i0 = {0}, i1 = {1};
+  EXPECT_DOUBLE_EQ(c->At(i0), 1 + 6.0);
+  EXPECT_DOUBLE_EQ(c->At(i1), 4 + 12.0);
+}
+
+TEST(FrequencyTensorTest, ContractDim0MatchesVecMat) {
+  FrequencyTensor t = MustMake({2, 3}, {1, 2, 3, 4, 5, 6});
+  std::vector<Frequency> v = {2, 1};
+  auto c = t.ContractDimension(0, v);
+  ASSERT_TRUE(c.ok());
+  std::vector<size_t> idx = {0};
+  EXPECT_DOUBLE_EQ(c->At(idx), 2 * 1 + 4.0);
+  idx = {2};
+  EXPECT_DOUBLE_EQ(c->At(idx), 2 * 3 + 6.0);
+}
+
+TEST(FrequencyTensorTest, FullContractionYieldsScalar) {
+  FrequencyTensor t = MustMake({2, 2}, {1, 2, 3, 4});
+  std::vector<Frequency> v0 = {1, 1}, v1 = {1, 1};
+  auto c1 = t.ContractDimension(0, v0);
+  ASSERT_TRUE(c1.ok());
+  auto c2 = c1->ContractDimension(0, v1);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(c2->rank(), 0u);
+  auto s = c2->ScalarValue();
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(*s, 10.0);
+}
+
+TEST(FrequencyTensorTest, ContractValidation) {
+  FrequencyTensor t = MustMake({2, 3}, {1, 2, 3, 4, 5, 6});
+  std::vector<Frequency> wrong = {1, 2};
+  EXPECT_TRUE(t.ContractDimension(1, wrong).status().IsInvalidArgument());
+  std::vector<Frequency> ok = {1, 2};
+  EXPECT_TRUE(t.ContractDimension(5, ok).status().IsOutOfRange());
+  auto scalar = FrequencyTensor::Make({}, {7});
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_TRUE(scalar->ContractDimension(0, ok)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_DOUBLE_EQ(*scalar->ScalarValue(), 7.0);
+  EXPECT_TRUE(t.ScalarValue().status().IsInvalidArgument());
+}
+
+TEST(FrequencyTensorTest, ToFrequencySetFlattens) {
+  FrequencyTensor t = MustMake({2, 2}, {5, 1, 3, 2});
+  FrequencySet set = t.ToFrequencySet();
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_DOUBLE_EQ(set.Total(), 11.0);
+}
+
+TEST(FrequencyTensorTest, ChainProductMatchesFrequencyMatrix) {
+  // The rank-2 tensor contraction pipeline reproduces the chain-product of
+  // frequency_matrix.h on a 2-join query.
+  FrequencyTensor center = MustMake({2, 3}, {1, 2, 3, 4, 5, 6});
+  std::vector<Frequency> left = {2, 7};   // R0
+  std::vector<Frequency> right = {1, 0, 5};  // R2
+  auto c1 = center.ContractDimension(0, left);
+  ASSERT_TRUE(c1.ok());
+  auto c2 = c1->ContractDimension(0, right);
+  ASSERT_TRUE(c2.ok());
+  // Direct: sum_{i,j} left[i]*T[i,j]*right[j].
+  double direct = 0;
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      std::vector<size_t> idx = {i, j};
+      direct += left[i] * center.At(idx) * right[j];
+    }
+  }
+  EXPECT_DOUBLE_EQ(*c2->ScalarValue(), direct);
+}
+
+}  // namespace
+}  // namespace hops

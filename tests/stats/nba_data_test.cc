@@ -1,0 +1,86 @@
+#include "stats/nba_data.h"
+
+#include <gtest/gtest.h>
+
+namespace hops {
+namespace {
+
+TEST(NbaDataTest, GeneratesRequestedPlayers) {
+  auto ds = NbaDataset::Generate(450, 1);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->players().size(), 450u);
+}
+
+TEST(NbaDataTest, RejectsZeroPlayers) {
+  EXPECT_TRUE(NbaDataset::Generate(0, 1).status().IsInvalidArgument());
+}
+
+TEST(NbaDataTest, DeterministicForSeed) {
+  auto a = NbaDataset::Generate(100, 7);
+  auto b = NbaDataset::Generate(100, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a->players()[i].points, b->players()[i].points);
+    EXPECT_EQ(a->players()[i].games, b->players()[i].games);
+  }
+}
+
+TEST(NbaDataTest, StatsStayInDomainBounds) {
+  auto ds = NbaDataset::Generate(2000, 11);
+  ASSERT_TRUE(ds.ok());
+  for (const PlayerSeason& p : ds->players()) {
+    EXPECT_GE(p.points, 0);
+    EXPECT_LE(p.points, 40);
+    EXPECT_GE(p.rebounds, 0);
+    EXPECT_LE(p.rebounds, 20);
+    EXPECT_GE(p.assists, 0);
+    EXPECT_LE(p.assists, 15);
+    EXPECT_GE(p.minutes, 0);
+    EXPECT_LE(p.minutes, 48);
+    EXPECT_GE(p.games, 1);
+    EXPECT_LE(p.games, 82);
+  }
+}
+
+TEST(NbaDataTest, FrequencySetsCoverAllPlayers) {
+  auto ds = NbaDataset::Generate(500, 3);
+  ASSERT_TRUE(ds.ok());
+  for (const std::string& attr : NbaDataset::AttributeNames()) {
+    auto set = ds->AttributeFrequencySet(attr);
+    ASSERT_TRUE(set.ok()) << attr;
+    EXPECT_DOUBLE_EQ(set->Total(), 500.0) << attr;
+    EXPECT_GT(set->size(), 1u) << attr;
+  }
+}
+
+TEST(NbaDataTest, UnknownAttributeFails) {
+  auto ds = NbaDataset::Generate(10, 3);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->AttributeFrequencySet("steals").status().IsNotFound());
+}
+
+TEST(NbaDataTest, ScoringIsHeavyTailed) {
+  // The scoring frequency set should be skewed: its top frequency well above
+  // the mean frequency (many players at low scoring values).
+  auto ds = NbaDataset::Generate(2000, 5);
+  ASSERT_TRUE(ds.ok());
+  auto set = ds->AttributeFrequencySet("points");
+  ASSERT_TRUE(set.ok());
+  double mean = set->Total() / static_cast<double>(set->size());
+  EXPECT_GT(set->Max(), 2.0 * mean);
+}
+
+TEST(NbaDataTest, GamesPlayedIsSpiky) {
+  // More than a third of players land in the healthy 70-82 band.
+  auto ds = NbaDataset::Generate(2000, 5);
+  ASSERT_TRUE(ds.ok());
+  size_t healthy = 0;
+  for (const PlayerSeason& p : ds->players()) {
+    if (p.games >= 70) ++healthy;
+  }
+  EXPECT_GT(healthy, ds->players().size() / 3);
+}
+
+}  // namespace
+}  // namespace hops

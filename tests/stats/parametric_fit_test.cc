@@ -1,0 +1,87 @@
+#include "stats/parametric_fit.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/distributions.h"
+#include "stats/zipf.h"
+
+namespace hops {
+namespace {
+
+TEST(ParametricFitTest, RecoversTrueZipfSkew) {
+  for (double z : {0.0, 0.5, 1.0, 2.0, 3.0}) {
+    auto set = ZipfFrequencySet({1000.0, 100, z});
+    ASSERT_TRUE(set.ok());
+    auto fit = FitZipf(*set);
+    ASSERT_TRUE(fit.ok());
+    EXPECT_NEAR(fit->skew, z, 0.02) << "z=" << z;
+    EXPECT_NEAR(fit->objective, 0.0, 1e-3);
+    EXPECT_DOUBLE_EQ(fit->total, 1000.0);
+    EXPECT_EQ(fit->num_values, 100u);
+  }
+}
+
+TEST(ParametricFitTest, FitIgnoresValueOrder) {
+  // The fit works on the sorted frequencies, so shuffled sets fit the same.
+  auto ranked = ZipfFrequencySet({1000.0, 50, 1.5});
+  ASSERT_TRUE(ranked.ok());
+  std::vector<Frequency> reversed(ranked->values().rbegin(),
+                                  ranked->values().rend());
+  auto shuffled = FrequencySet::Make(std::move(reversed));
+  ASSERT_TRUE(shuffled.ok());
+  auto f1 = FitZipf(*ranked);
+  auto f2 = FitZipf(*shuffled);
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  EXPECT_NEAR(f1->skew, f2->skew, 1e-6);
+}
+
+TEST(ParametricFitTest, SelfJoinPredictionExactOnTrueZipf) {
+  auto set = ZipfFrequencySet({1000.0, 100, 1.0});
+  ASSERT_TRUE(set.ok());
+  auto fit = FitZipf(*set);
+  ASSERT_TRUE(fit.ok());
+  auto predicted = ZipfFitSelfJoinSize(*fit);
+  ASSERT_TRUE(predicted.ok());
+  EXPECT_NEAR(*predicted, set->SelfJoinSize(),
+              1e-3 * set->SelfJoinSize());
+}
+
+TEST(ParametricFitTest, PoorOnNonZipfShapes) {
+  // The Section 1 claim: parametric models break on data that follows no
+  // known distribution. A two-step distribution is badly misfit: the
+  // residual is a large share of the total squared mass.
+  DistributionSpec spec;
+  spec.kind = DistributionKind::kTwoStep;
+  spec.total = 1000.0;
+  spec.num_values = 100;
+  spec.skew = 20.0;
+  auto set = GenerateFrequencySet(spec);
+  ASSERT_TRUE(set.ok());
+  auto fit = FitZipf(*set);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit->objective, 0.05 * set->SelfJoinSize());
+}
+
+TEST(ParametricFitTest, RankFrequencyAccessor) {
+  auto set = ZipfFrequencySet({100.0, 4, 1.0});
+  ASSERT_TRUE(set.ok());
+  auto fit = FitZipf(*set);
+  ASSERT_TRUE(fit.ok());
+  auto f0 = ZipfFitFrequency(*fit, 0);
+  auto f3 = ZipfFitFrequency(*fit, 3);
+  ASSERT_TRUE(f0.ok() && f3.ok());
+  EXPECT_GT(*f0, *f3);
+  EXPECT_TRUE(ZipfFitFrequency(*fit, 4).status().IsOutOfRange());
+}
+
+TEST(ParametricFitTest, Validation) {
+  auto empty = FrequencySet::Make({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(FitZipf(*empty).ok());
+  auto set = FrequencySet::Make({1, 2});
+  ASSERT_TRUE(set.ok());
+  EXPECT_FALSE(FitZipf(*set, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,109 @@
+#include "stats/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hops {
+namespace {
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  auto r = ZipfFrequencies({1000.0, 100, 0.0});
+  ASSERT_TRUE(r.ok());
+  for (double f : *r) EXPECT_NEAR(f, 10.0, 1e-9);
+}
+
+TEST(ZipfTest, FrequenciesAreDescendingInRank) {
+  auto r = ZipfFrequencies({1000.0, 100, 1.0});
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i + 1 < r->size(); ++i) {
+    EXPECT_GE((*r)[i], (*r)[i + 1]);
+  }
+}
+
+TEST(ZipfTest, TotalIsPreserved) {
+  for (double z : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    auto r = ZipfFrequencies({1234.0, 57, z});
+    ASSERT_TRUE(r.ok());
+    double sum = 0;
+    for (double f : *r) sum += f;
+    EXPECT_NEAR(sum, 1234.0, 1e-6);
+  }
+}
+
+TEST(ZipfTest, MatchesPaperFormula) {
+  // t_i = T * (1/i^z) / sum_k (1/k^z), checked directly for M = 4, z = 1:
+  // weights 1, 1/2, 1/3, 1/4; norm = 25/12.
+  auto r = ZipfFrequencies({100.0, 4, 1.0});
+  ASSERT_TRUE(r.ok());
+  double norm = 1.0 + 0.5 + 1.0 / 3 + 0.25;
+  EXPECT_NEAR((*r)[0], 100.0 / norm, 1e-9);
+  EXPECT_NEAR((*r)[1], 100.0 * 0.5 / norm, 1e-9);
+  EXPECT_NEAR((*r)[3], 100.0 * 0.25 / norm, 1e-9);
+}
+
+TEST(ZipfTest, SkewIncreasesTopFrequency) {
+  double prev_top = 0;
+  for (double z : {0.0, 0.5, 1.0, 2.0}) {
+    auto r = ZipfFrequencies({1000.0, 50, z});
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT((*r)[0], prev_top);
+    prev_top = (*r)[0];
+  }
+}
+
+TEST(ZipfTest, RejectsBadParams) {
+  EXPECT_FALSE(ZipfFrequencies({-1.0, 10, 1.0}).ok());
+  EXPECT_FALSE(ZipfFrequencies({10.0, 0, 1.0}).ok());
+  EXPECT_FALSE(ZipfFrequencies({10.0, 10, -1.0}).ok());
+}
+
+TEST(ZipfIntegerTest, SumsExactlyToTotal) {
+  for (double z : {0.0, 0.3, 1.0, 2.5}) {
+    auto r = ZipfFrequenciesInteger({1000.0, 97, z});
+    ASSERT_TRUE(r.ok());
+    double sum = 0;
+    for (double f : *r) {
+      EXPECT_EQ(f, std::floor(f)) << "must be integral";
+      sum += f;
+    }
+    EXPECT_EQ(sum, 1000.0);
+  }
+}
+
+TEST(ZipfIntegerTest, StaysDescending) {
+  auto r = ZipfFrequenciesInteger({1000.0, 100, 1.5});
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i + 1 < r->size(); ++i) {
+    EXPECT_GE((*r)[i], (*r)[i + 1]);
+  }
+}
+
+TEST(ZipfIntegerTest, CloseToRealValued) {
+  auto real = ZipfFrequencies({1000.0, 100, 1.0});
+  auto integer = ZipfFrequenciesInteger({1000.0, 100, 1.0});
+  ASSERT_TRUE(real.ok());
+  ASSERT_TRUE(integer.ok());
+  for (size_t i = 0; i < real->size(); ++i) {
+    EXPECT_NEAR((*integer)[i], (*real)[i], 1.0);
+  }
+}
+
+TEST(ZipfFrequencySetTest, WrapsIntoSet) {
+  auto set = ZipfFrequencySet({500.0, 25, 1.0});
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 25u);
+  EXPECT_NEAR(set->Total(), 500.0, 1e-6);
+  auto int_set = ZipfFrequencySet({500.0, 25, 1.0}, /*integer_valued=*/true);
+  ASSERT_TRUE(int_set.ok());
+  EXPECT_EQ(int_set->Total(), 500.0);
+}
+
+TEST(ZipfTest, SingleValueTakesWholeTotal) {
+  auto r = ZipfFrequencies({42.0, 1, 3.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR((*r)[0], 42.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,138 @@
+#include "util/combinatorics.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <vector>
+
+namespace hops {
+namespace {
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_EQ(BinomialCoefficient(0, 0), 1u);
+  EXPECT_EQ(BinomialCoefficient(5, 0), 1u);
+  EXPECT_EQ(BinomialCoefficient(5, 5), 1u);
+  EXPECT_EQ(BinomialCoefficient(5, 2), 10u);
+  EXPECT_EQ(BinomialCoefficient(10, 3), 120u);
+  EXPECT_EQ(BinomialCoefficient(52, 5), 2598960u);
+}
+
+TEST(BinomialTest, KGreaterThanNIsZero) {
+  EXPECT_EQ(BinomialCoefficient(3, 4), 0u);
+}
+
+TEST(BinomialTest, Symmetry) {
+  for (uint64_t n = 1; n < 30; ++n) {
+    for (uint64_t k = 0; k <= n; ++k) {
+      EXPECT_EQ(BinomialCoefficient(n, k), BinomialCoefficient(n, n - k));
+    }
+  }
+}
+
+TEST(BinomialTest, PascalIdentity) {
+  for (uint64_t n = 2; n < 40; ++n) {
+    for (uint64_t k = 1; k < n; ++k) {
+      EXPECT_EQ(BinomialCoefficient(n, k),
+                BinomialCoefficient(n - 1, k - 1) +
+                    BinomialCoefficient(n - 1, k));
+    }
+  }
+}
+
+TEST(BinomialTest, SaturatesOnOverflow) {
+  EXPECT_EQ(BinomialCoefficient(1000, 500),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(PartitionArgsTest, Validation) {
+  EXPECT_TRUE(ValidatePartitionArgs(5, 1).ok());
+  EXPECT_TRUE(ValidatePartitionArgs(5, 5).ok());
+  EXPECT_TRUE(ValidatePartitionArgs(5, 0).IsInvalidArgument());
+  EXPECT_TRUE(ValidatePartitionArgs(5, 6).IsInvalidArgument());
+  EXPECT_TRUE(ValidatePartitionArgs(0, 1).IsInvalidArgument());
+}
+
+TEST(PartitionEnumeratorTest, SinglePartHasOnePartition) {
+  ContiguousPartitionEnumerator e(4, 1);
+  EXPECT_EQ(e.part_ends(), std::vector<size_t>({4}));
+  EXPECT_FALSE(e.Advance());
+  EXPECT_EQ(e.TotalCount(), 1u);
+}
+
+TEST(PartitionEnumeratorTest, AllSingletonsHasOnePartition) {
+  ContiguousPartitionEnumerator e(4, 4);
+  EXPECT_EQ(e.part_ends(), std::vector<size_t>({1, 2, 3, 4}));
+  EXPECT_FALSE(e.Advance());
+}
+
+TEST(PartitionEnumeratorTest, CountsMatchBinomial) {
+  for (size_t m = 1; m <= 9; ++m) {
+    for (size_t beta = 1; beta <= m; ++beta) {
+      ContiguousPartitionEnumerator e(m, beta);
+      size_t count = 0;
+      do {
+        ++count;
+      } while (e.Advance());
+      EXPECT_EQ(count, BinomialCoefficient(m - 1, beta - 1))
+          << "m=" << m << " beta=" << beta;
+    }
+  }
+}
+
+TEST(PartitionEnumeratorTest, PartitionsAreValidAndDistinct) {
+  ContiguousPartitionEnumerator e(6, 3);
+  std::set<std::vector<size_t>> seen;
+  do {
+    const auto& ends = e.part_ends();
+    ASSERT_EQ(ends.size(), 3u);
+    EXPECT_EQ(ends.back(), 6u);
+    size_t prev = 0;
+    for (size_t end : ends) {
+      EXPECT_GT(end, prev);  // non-empty parts
+      prev = end;
+    }
+    EXPECT_TRUE(seen.insert(ends).second) << "duplicate partition";
+  } while (e.Advance());
+  EXPECT_EQ(seen.size(), 10u);  // C(5, 2)
+}
+
+TEST(CombinationEnumeratorTest, ZeroKYieldsOneEmptyCombination) {
+  CombinationEnumerator e(5, 0);
+  EXPECT_TRUE(e.current().empty());
+  EXPECT_FALSE(e.Advance());
+  EXPECT_EQ(e.TotalCount(), 1u);
+}
+
+TEST(CombinationEnumeratorTest, FullKYieldsIdentity) {
+  CombinationEnumerator e(4, 4);
+  EXPECT_EQ(e.current(), std::vector<size_t>({0, 1, 2, 3}));
+  EXPECT_FALSE(e.Advance());
+}
+
+TEST(CombinationEnumeratorTest, EnumeratesAllDistinctSorted) {
+  CombinationEnumerator e(6, 3);
+  std::set<std::vector<size_t>> seen;
+  do {
+    const auto& c = e.current();
+    ASSERT_EQ(c.size(), 3u);
+    for (size_t i = 0; i + 1 < c.size(); ++i) EXPECT_LT(c[i], c[i + 1]);
+    EXPECT_LT(c.back(), 6u);
+    EXPECT_TRUE(seen.insert(c).second);
+  } while (e.Advance());
+  EXPECT_EQ(seen.size(), 20u);  // C(6, 3)
+}
+
+TEST(CombinationEnumeratorTest, LexicographicOrder) {
+  CombinationEnumerator e(4, 2);
+  std::vector<std::vector<size_t>> order;
+  do {
+    order.push_back(e.current());
+  } while (e.Advance());
+  std::vector<std::vector<size_t>> expected = {
+      {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(order, expected);
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,104 @@
+#include "util/csv_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace hops {
+namespace {
+
+TEST(CsvReaderTest, BasicParseWithHeader) {
+  auto doc = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(doc->rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvReaderTest, NoHeaderGeneratesNames) {
+  auto doc = ParseCsv("1,2,3\n", /*has_header=*/false);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->header, (std::vector<std::string>{"c0", "c1", "c2"}));
+  ASSERT_EQ(doc->rows.size(), 1u);
+}
+
+TEST(CsvReaderTest, QuotedCellsWithCommasQuotesNewlines) {
+  auto doc = ParseCsv("name,notes\n\"Doe, Jane\",\"said \"\"hi\"\"\"\n"
+                      "plain,\"two\nlines\"\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0][0], "Doe, Jane");
+  EXPECT_EQ(doc->rows[0][1], "said \"hi\"");
+  EXPECT_EQ(doc->rows[1][1], "two\nlines");
+}
+
+TEST(CsvReaderTest, CrLfLineEndings) {
+  auto doc = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvReaderTest, MissingTrailingNewline) {
+  auto doc = ParseCsv("a\nx");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0][0], "x");
+}
+
+TEST(CsvReaderTest, ShortRowsPaddedLongRowsRejected) {
+  auto padded = ParseCsv("a,b,c\n1\n");
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(padded->rows[0], (std::vector<std::string>{"1", "", ""}));
+  EXPECT_FALSE(ParseCsv("a\n1,2\n").ok());
+}
+
+TEST(CsvReaderTest, MalformedInputRejected) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_FALSE(ParseCsv("a\n\"unterminated").ok());
+  EXPECT_FALSE(ParseCsv("a\nx\"y\n").ok());
+}
+
+TEST(CsvReaderTest, EmptyQuotedCellSurvives) {
+  auto doc = ParseCsv("a,b\n\"\",x\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "");
+  EXPECT_EQ(doc->rows[0][1], "x");
+}
+
+TEST(CsvReaderTest, ReadCsvFileRoundTrip) {
+  std::string path = testing::TempDir() + "/hops_reader_test.csv";
+  {
+    std::ofstream out(path);
+    out << "k,v\n10,foo\n20,bar\n";
+  }
+  auto doc = ReadCsvFile(path);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows.size(), 2u);
+  std::remove(path.c_str());
+  EXPECT_TRUE(ReadCsvFile("/no/such/file.csv").status().IsNotFound());
+}
+
+TEST(CsvReaderTest, Int64CellParsing) {
+  auto v = ParseInt64Cell("-42");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, -42);
+  EXPECT_FALSE(ParseInt64Cell("").ok());
+  EXPECT_FALSE(ParseInt64Cell("12x").ok());
+  EXPECT_FALSE(ParseInt64Cell("1.5").ok());
+  EXPECT_TRUE(
+      ParseInt64Cell("999999999999999999999999").status().IsOutOfRange());
+}
+
+TEST(CsvReaderTest, ColumnTypeDetection) {
+  auto doc = ParseCsv("i,s,mixed\n1,a,1\n2,b,x\n,c,3\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(ColumnIsInt64(*doc, 0));   // empties tolerated
+  EXPECT_FALSE(ColumnIsInt64(*doc, 1));
+  EXPECT_FALSE(ColumnIsInt64(*doc, 2));  // one non-numeric cell
+  EXPECT_FALSE(ColumnIsInt64(*doc, 9));  // out of range
+}
+
+}  // namespace
+}  // namespace hops

@@ -1,0 +1,97 @@
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hops {
+namespace {
+
+TEST(KahanSumTest, MatchesNaiveOnSmallInput) {
+  KahanSum acc;
+  for (double v : {1.0, 2.0, 3.5}) acc.Add(v);
+  EXPECT_DOUBLE_EQ(acc.Value(), 6.5);
+}
+
+TEST(KahanSumTest, CompensatesCatastrophicCancellation) {
+  // 1 + 1e16 - 1e16 repeatedly: naive summation loses the ones.
+  KahanSum acc;
+  for (int i = 0; i < 1000; ++i) {
+    acc.Add(1.0);
+    acc.Add(1e16);
+    acc.Add(-1e16);
+  }
+  EXPECT_DOUBLE_EQ(acc.Value(), 1000.0);
+}
+
+TEST(SumTest, EmptyIsZero) {
+  EXPECT_EQ(Sum({}), 0.0);
+  EXPECT_EQ(SumOfSquares({}), 0.0);
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(PopulationVariance({}), 0.0);
+}
+
+TEST(SumTest, BasicValues) {
+  std::vector<double> v = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(Sum(v), 12.0);
+  EXPECT_DOUBLE_EQ(SumOfSquares(v), 4.0 + 16.0 + 36.0);
+  EXPECT_DOUBLE_EQ(Mean(v), 4.0);
+}
+
+TEST(VarianceTest, ConstantVectorHasZeroVariance) {
+  std::vector<double> v(100, 3.25);
+  EXPECT_DOUBLE_EQ(PopulationVariance(v), 0.0);
+}
+
+TEST(VarianceTest, KnownPopulationVariance) {
+  // {1,2,3,4}: mean 2.5, population variance 1.25 (divides by N).
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(PopulationVariance(v), 1.25);
+}
+
+TEST(VarianceTest, NeverNegative) {
+  // Values engineered so the naive formula could round below zero.
+  std::vector<double> v(1000, 1e8 + 0.5);
+  EXPECT_GE(PopulationVariance(v), 0.0);
+}
+
+TEST(BucketMomentsTest, TracksCountSumAndSquares) {
+  BucketMoments m;
+  for (double v : {1.0, 2.0, 3.0}) m.Add(v);
+  EXPECT_EQ(m.count(), 3u);
+  EXPECT_DOUBLE_EQ(m.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(m.sum_of_squares(), 14.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(m.population_variance(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.square_over_count(), 12.0);
+}
+
+TEST(BucketMomentsTest, EmptyBucketIsAllZero) {
+  BucketMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_EQ(m.mean(), 0.0);
+  EXPECT_EQ(m.population_variance(), 0.0);
+  EXPECT_EQ(m.square_over_count(), 0.0);
+}
+
+TEST(BucketMomentsTest, SelfJoinIdentity) {
+  // For any bucket: sum_squares == T^2/P + P*V (the Proposition 3.1 split).
+  BucketMoments m;
+  for (double v : {3.0, 7.0, 7.0, 12.0, 100.0}) m.Add(v);
+  double lhs = m.sum_of_squares();
+  double rhs = m.square_over_count() +
+               static_cast<double>(m.count()) * m.population_variance();
+  EXPECT_NEAR(lhs, rhs, 1e-9 * lhs);
+}
+
+TEST(AlmostEqualTest, RelativeAndAbsoluteTolerance) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0));
+  EXPECT_TRUE(AlmostEqual(1e9, 1e9 * (1 + 1e-12)));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.1));
+  EXPECT_TRUE(AlmostEqual(0.0, 1e-13));
+  EXPECT_FALSE(AlmostEqual(0.0, 1e-6));
+}
+
+}  // namespace
+}  // namespace hops

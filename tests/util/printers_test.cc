@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv_writer.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace hops {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumnsRightJustified) {
+  TablePrinter tp({"m", "sigma"});
+  tp.AddRow({"10", "1.5"});
+  tp.AddRow({"1000", "12.25"});
+  std::ostringstream os;
+  tp.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("   m"), std::string::npos);
+  EXPECT_NE(out.find("1000"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(tp.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter tp({"a", "b", "c"});
+  tp.AddRow({"1"});
+  std::ostringstream os;
+  tp.Print(os);  // must not crash; missing cells become empty
+  EXPECT_EQ(tp.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::FormatInt(-42), "-42");
+  EXPECT_EQ(TablePrinter::FormatSci(12345.0, 2), "1.23e+04");
+}
+
+TEST(CsvWriterTest, BasicRoundTrip) {
+  CsvWriter w({"x", "y"});
+  w.AddRow({"1", "2"});
+  w.AddRow({"3", "4"});
+  EXPECT_EQ(w.ToString(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(CsvWriterTest, EscapesSpecialCells) {
+  EXPECT_EQ(CsvWriter::EscapeCell("plain"), "plain");
+  EXPECT_EQ(CsvWriter::EscapeCell("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::EscapeCell("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::EscapeCell("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvWriterTest, WriteToFile) {
+  CsvWriter w({"h"});
+  w.AddRow({"v"});
+  std::string path = testing::TempDir() + "/hops_csv_test.csv";
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "h\nv\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteToBadPathFails) {
+  CsvWriter w({"h"});
+  EXPECT_FALSE(w.WriteToFile("/nonexistent_dir_zz/x.csv").ok());
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch sw;
+  double t1 = sw.ElapsedSeconds();
+  double t2 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(sw.ElapsedNanos(), 0);
+  sw.Reset();
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace hops

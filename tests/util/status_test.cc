@@ -1,0 +1,122 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hops {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad beta");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad beta");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad beta");
+}
+
+TEST(StatusTest, PredicatesMatchExactlyOneCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::NotFound("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, StreamInsertionUsesToString) {
+  std::ostringstream os;
+  os << Status::Internal("broken");
+  EXPECT_EQ(os.str(), "Internal: broken");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UseReturnNotOk(int x) {
+  HOPS_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UseReturnNotOk(1).ok());
+  EXPECT_TRUE(UseReturnNotOk(-1).IsInvalidArgument());
+}
+
+using StatusDeathTest = testing::Test;
+
+TEST(StatusDeathTest, CheckAbortsOnError) {
+  EXPECT_DEATH(Status::Internal("boom").Check(), "Fatal status: Internal");
+  Status ok;  // Check on OK must be a no-op.
+  ok.Check();
+}
+
+TEST(StatusDeathTest, ValueOrDieAbortsOnError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_DEATH((void)r.ValueOrDie(), "ValueOrDie on error");
+}
+
+Result<int> Doubled(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return 2 * x;
+}
+
+Result<int> UseAssignOrReturn(int x) {
+  HOPS_ASSIGN_OR_RETURN(int d, Doubled(x));
+  return d + 1;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = UseAssignOrReturn(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  Result<int> err = UseAssignOrReturn(-3);
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace hops
