@@ -1,0 +1,385 @@
+// JSON perf harness for the parallel statistics-construction pipeline.
+//
+// Times serial vs parallel batched histogram construction across
+// M ∈ {1e3 .. 1e6} and β ∈ {5 .. 500} (each combo: several Zipf "columns"
+// × every feasible builder kind, fanned through BuildHistogramBatch), checks
+// the parallel results are bit-identical to the serial baseline, and writes
+// BENCH_histograms.json so the perf trajectory is tracked across PRs.
+//
+// Usage: bench_json [output.json] [--quick]
+//   --quick restricts the sweep (CI smoke). Exit code is non-zero when any
+//   parallel result deviates from its serial counterpart.
+
+#include "bench_json.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "histogram/parallel_build.h"
+#include "stats/zipf.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace hops {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+void JsonWriter::Indent() {
+  out_.push_back('\n');
+  out_.append(2 * scopes_.size(), ' ');
+}
+
+void JsonWriter::Prefix(bool is_key) {
+  if (after_key_) {
+    after_key_ = is_key;  // value directly after "key": — no comma/indent
+    return;
+  }
+  if (!scopes_.empty()) {
+    if (!first_in_scope_.back()) out_.push_back(',');
+    first_in_scope_.back() = false;
+    Indent();
+  }
+  after_key_ = is_key;
+}
+
+void JsonWriter::Escape(const std::string& raw) {
+  out_.push_back('"');
+  for (char c : raw) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      case '\r': out_ += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+void JsonWriter::BeginObject() {
+  Prefix(false);
+  out_.push_back('{');
+  scopes_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  const bool empty = first_in_scope_.back();
+  scopes_.pop_back();
+  first_in_scope_.pop_back();
+  if (!empty) Indent();
+  out_.push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  Prefix(false);
+  out_.push_back('[');
+  scopes_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  const bool empty = first_in_scope_.back();
+  scopes_.pop_back();
+  first_in_scope_.pop_back();
+  if (!empty) Indent();
+  out_.push_back(']');
+}
+
+void JsonWriter::Key(const std::string& name) {
+  Prefix(true);
+  Escape(name);
+  out_ += ": ";
+}
+
+void JsonWriter::String(const std::string& value) {
+  Prefix(false);
+  Escape(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  Prefix(false);
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  Prefix(false);
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  Prefix(false);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  Prefix(false);
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  Prefix(false);
+  out_ += "null";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Harness
+
+/// Byte-level fingerprint of a histogram: label, bucket count, and the raw
+/// bucket assignment of every set entry. Two histograms with equal
+/// fingerprints are identical partitions with identical construction labels.
+std::string Fingerprint(const Histogram& h) {
+  std::string fp = h.label();
+  fp.push_back('\0');
+  fp += std::to_string(h.num_buckets());
+  fp.push_back('\0');
+  const auto assignments = h.bucketization().assignments();
+  fp.append(reinterpret_cast<const char*>(assignments.data()),
+            assignments.size_bytes());
+  return fp;
+}
+
+/// Builder kinds worth running at (m, beta): the asymptotically heavy
+/// builders are dropped once their estimated evaluation count exceeds a
+/// wall-time budget (the JSON records which kinds each combo ran).
+std::vector<HistogramBuilderKind> FeasibleKinds(size_t m, size_t beta) {
+  std::vector<HistogramBuilderKind> kinds = {
+      HistogramBuilderKind::kTrivial,
+      HistogramBuilderKind::kEquiWidth,
+      HistogramBuilderKind::kEquiDepth,
+      HistogramBuilderKind::kVOptEndBiased,
+      HistogramBuilderKind::kVOptEndBiasedGrouped,
+  };
+  const double md = static_cast<double>(m);
+  const double bd = static_cast<double>(beta);
+  if (md * md * bd <= 6e8) {
+    kinds.push_back(HistogramBuilderKind::kVOptSerialDP);
+  }
+  if (md * bd * std::log2(md) <= 1.2e9) {
+    kinds.push_back(HistogramBuilderKind::kVOptSerialDPFast);
+  }
+  return kinds;
+}
+
+struct ComboResult {
+  size_t m = 0;
+  size_t beta = 0;
+  size_t num_requests = 0;
+  std::vector<HistogramBuilderKind> kinds;
+  double serial_seconds = 0;
+  double parallel_seconds = 0;
+  double speedup = 0;
+  uint64_t evaluations = 0;
+  bool identical = true;
+};
+
+constexpr size_t kReplicas = 4;  // distinct Zipf "columns" per builder kind
+
+/// One (m, beta) cell: build the request batch twice (same inputs), run the
+/// serial baseline and the parallel pipeline, compare fingerprints.
+ComboResult RunCombo(size_t m, size_t beta) {
+  ComboResult r;
+  r.m = m;
+  r.beta = beta;
+  r.kinds = FeasibleKinds(m, beta);
+
+  std::vector<FrequencySet> columns;
+  columns.reserve(kReplicas);
+  for (size_t c = 0; c < kReplicas; ++c) {
+    ZipfParams params;
+    params.total = 10.0 * static_cast<double>(m);
+    params.num_values = m;
+    params.skew = 0.5 + 0.25 * static_cast<double>(c);
+    auto set = ZipfFrequencySet(params, /*integer_valued=*/true);
+    set.status().Check();
+    columns.push_back(*std::move(set));
+  }
+
+  auto make_requests = [&](std::vector<VOptDiagnostics>* diags) {
+    std::vector<HistogramBuildRequest> requests;
+    requests.reserve(r.kinds.size() * kReplicas);
+    size_t d = 0;
+    for (HistogramBuilderKind kind : r.kinds) {
+      for (size_t c = 0; c < kReplicas; ++c) {
+        HistogramBuildRequest req;
+        req.set = columns[c];
+        req.num_buckets = std::min(beta, columns[c].size());
+        req.kind = kind;
+        req.diagnostics = diags ? &(*diags)[d++] : nullptr;
+        requests.push_back(std::move(req));
+      }
+    }
+    return requests;
+  };
+
+  r.num_requests = r.kinds.size() * kReplicas;
+
+  ParallelBuildOptions serial_opts;
+  serial_opts.serial = true;
+  Stopwatch sw_serial;
+  std::vector<Result<Histogram>> serial_results =
+      BuildHistogramBatch(make_requests(nullptr), serial_opts);
+  r.serial_seconds = sw_serial.ElapsedSeconds();
+
+  std::vector<VOptDiagnostics> diags(r.num_requests);
+  Stopwatch sw_parallel;
+  std::vector<Result<Histogram>> parallel_results =
+      BuildHistogramBatch(make_requests(&diags), {});
+  r.parallel_seconds = sw_parallel.ElapsedSeconds();
+  r.speedup =
+      r.parallel_seconds > 0 ? r.serial_seconds / r.parallel_seconds : 0;
+
+  for (const VOptDiagnostics& d : diags) r.evaluations += d.candidates_examined;
+  for (size_t i = 0; i < serial_results.size(); ++i) {
+    serial_results[i].status().Check();
+    parallel_results[i].status().Check();
+    if (Fingerprint(*serial_results[i]) != Fingerprint(*parallel_results[i])) {
+      r.identical = false;
+    }
+  }
+  return r;
+}
+
+void WriteCombo(JsonWriter* w, const ComboResult& r) {
+  w->BeginObject();
+  w->Key("m");
+  w->UInt(r.m);
+  w->Key("beta");
+  w->UInt(r.beta);
+  w->Key("replicas");
+  w->UInt(kReplicas);
+  w->Key("requests");
+  w->UInt(r.num_requests);
+  w->Key("builders");
+  w->BeginArray();
+  for (HistogramBuilderKind k : r.kinds) {
+    w->String(HistogramBuilderKindToString(k));
+  }
+  w->EndArray();
+  w->Key("serial_seconds");
+  w->Double(r.serial_seconds);
+  w->Key("parallel_seconds");
+  w->Double(r.parallel_seconds);
+  w->Key("speedup");
+  w->Double(r.speedup);
+  w->Key("evaluations");
+  w->UInt(r.evaluations);
+  w->Key("identical");
+  w->Bool(r.identical);
+  w->EndObject();
+}
+
+int Run(int argc, char** argv) {
+  std::string output = "BENCH_histograms.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      output = argv[i];
+    }
+  }
+
+  const size_t threads = ThreadPool::Global().num_threads();
+  std::vector<size_t> ms = quick ? std::vector<size_t>{1000, 10000, 100000}
+                                 : std::vector<size_t>{1000, 10000, 100000,
+                                                       1000000};
+  std::vector<size_t> betas =
+      quick ? std::vector<size_t>{5, 100} : std::vector<size_t>{5, 20, 100,
+                                                                500};
+
+  std::cout << "bench_json: " << threads << " pool threads, "
+            << (quick ? "quick" : "full") << " sweep\n";
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("histogram_construction");
+  w.Key("threads");
+  w.UInt(threads);
+  w.Key("hardware_concurrency");
+  w.UInt(std::thread::hardware_concurrency());
+  w.Key("quick");
+  w.Bool(quick);
+  w.Key("runs");
+  w.BeginArray();
+
+  bool all_identical = true;
+  ComboResult headline;
+  bool have_headline = false;
+  for (size_t m : ms) {
+    for (size_t beta : betas) {
+      ComboResult r = RunCombo(m, beta);
+      WriteCombo(&w, r);
+      all_identical = all_identical && r.identical;
+      if (m == 100000 && beta == 100) {
+        headline = r;
+        have_headline = true;
+      }
+      std::cout << "  M=" << m << " beta=" << beta << ": serial "
+                << r.serial_seconds << "s, parallel " << r.parallel_seconds
+                << "s, speedup " << r.speedup << "x, identical "
+                << (r.identical ? "yes" : "NO") << "\n";
+    }
+  }
+  w.EndArray();
+
+  // The acceptance headline: batched construction at M=100k, beta=100 over
+  // every feasible builder must be >= 2x faster than serial (with >= 4
+  // hardware threads) and byte-identical.
+  w.Key("headline");
+  if (have_headline) {
+    w.BeginObject();
+    w.Key("m");
+    w.UInt(headline.m);
+    w.Key("beta");
+    w.UInt(headline.beta);
+    w.Key("speedup");
+    w.Double(headline.speedup);
+    w.Key("identical");
+    w.Bool(headline.identical);
+    w.Key("meets_2x_target");
+    w.Bool(threads < 4 || headline.speedup >= 2.0);
+    w.EndObject();
+  } else {
+    w.Null();
+  }
+  w.EndObject();
+
+  std::ofstream out(output);
+  if (!out) {
+    std::cerr << "bench_json: cannot open " << output << "\n";
+    return 2;
+  }
+  out << w.str() << "\n";
+  out.close();
+  std::cout << "wrote " << output << "\n";
+  if (!all_identical) {
+    std::cerr << "bench_json: PARALLEL RESULTS DEVIATE FROM SERIAL\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hops
+
+int main(int argc, char** argv) { return hops::Run(argc, argv); }

@@ -1,0 +1,55 @@
+// Minimal dependency-free JSON emission for the perf harness, so benchmark
+// results (BENCH_histograms.json) are machine-readable and the perf
+// trajectory can be tracked across PRs.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hops {
+
+/// \brief Streaming JSON writer with automatic comma / indent management.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("threads"); w.Int(8);
+///   w.Key("runs"); w.BeginArray(); ... w.EndArray();
+///   w.EndObject();
+///   std::string text = w.str();
+///
+/// The writer never validates that keys and values alternate correctly —
+/// it is a bench utility, not a library — but it does produce valid JSON
+/// when used as above (numbers are emitted with enough precision to
+/// round-trip doubles; strings are escaped).
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& name);
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  enum class Scope { kObject, kArray };
+  void Prefix(bool is_key);
+  void Escape(const std::string& raw);
+  void Indent();
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> first_in_scope_;
+  bool after_key_ = false;
+};
+
+}  // namespace hops

@@ -44,24 +44,10 @@ Result<ColumnStatistics> AnalyzeColumn(const Relation& relation,
 
   const size_t beta =
       std::max<size_t>(1, std::min(options.num_buckets, set.size()));
-  Result<Histogram> hist = Status::Internal("unreachable");
-  switch (options.histogram_class) {
-    case StatisticsHistogramClass::kTrivial:
-      hist = BuildTrivialHistogram(std::move(set));
-      break;
-    case StatisticsHistogramClass::kEquiWidth:
-      hist = BuildEquiWidthHistogram(std::move(set), beta);
-      break;
-    case StatisticsHistogramClass::kEquiDepth:
-      hist = BuildEquiDepthHistogram(std::move(set), beta);
-      break;
-    case StatisticsHistogramClass::kVOptEndBiased:
-      hist = BuildVOptEndBiased(std::move(set), beta);
-      break;
-    case StatisticsHistogramClass::kVOptSerialDP:
-      hist = BuildVOptSerialDP(std::move(set), beta);
-      break;
-  }
+  Result<Histogram> hist =
+      BuildHistogram(std::move(set),
+                     BuilderKindForStatisticsClass(options.histogram_class),
+                     beta);
   HOPS_RETURN_NOT_OK(hist.status());
 
   ColumnStatistics stats;
@@ -90,6 +76,69 @@ Status AnalyzeAndStore(const Relation& relation, const std::string& column,
   HOPS_ASSIGN_OR_RETURN(ColumnStatistics stats,
                         AnalyzeColumn(relation, column, options));
   return catalog->PutColumnStatistics(relation.name(), column, stats);
+}
+
+HistogramBuilderKind BuilderKindForStatisticsClass(
+    StatisticsHistogramClass c) {
+  switch (c) {
+    case StatisticsHistogramClass::kTrivial:
+      return HistogramBuilderKind::kTrivial;
+    case StatisticsHistogramClass::kEquiWidth:
+      return HistogramBuilderKind::kEquiWidth;
+    case StatisticsHistogramClass::kEquiDepth:
+      return HistogramBuilderKind::kEquiDepth;
+    case StatisticsHistogramClass::kVOptEndBiased:
+      return HistogramBuilderKind::kVOptEndBiased;
+    case StatisticsHistogramClass::kVOptSerialDP:
+      return HistogramBuilderKind::kVOptSerialDP;
+  }
+  return HistogramBuilderKind::kVOptEndBiased;
+}
+
+std::vector<Result<ColumnStatistics>> AnalyzeColumnsBatch(
+    std::span<const AnalyzeRequest> requests, ThreadPool* pool) {
+  std::vector<Result<ColumnStatistics>> results(
+      requests.size(),
+      Result<ColumnStatistics>(Status::Internal("not analyzed")));
+  if (requests.empty()) return results;
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+  // One task per column: the Matrix hash aggregation and the histogram
+  // build both run inside the task, so whole-schema ANALYZE keeps every
+  // worker busy even when columns differ wildly in cost.
+  p.ParallelFor(0, requests.size(), /*grain=*/1, [&](size_t begin,
+                                                     size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const AnalyzeRequest& req = requests[i];
+      if (req.relation == nullptr) {
+        results[i] = Result<ColumnStatistics>(
+            Status::InvalidArgument("AnalyzeRequest.relation is null"));
+        continue;
+      }
+      results[i] = AnalyzeColumn(*req.relation, req.column, req.options);
+    }
+  });
+  return results;
+}
+
+Status AnalyzeRelationAndStore(const Relation& relation, Catalog* catalog,
+                               const StatisticsOptions& options,
+                               ThreadPool* pool) {
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("catalog must not be null");
+  }
+  std::vector<AnalyzeRequest> requests;
+  requests.reserve(relation.schema().num_columns());
+  for (const ColumnDef& column : relation.schema().columns()) {
+    requests.push_back(AnalyzeRequest{&relation, column.name, options});
+  }
+  std::vector<Result<ColumnStatistics>> results =
+      AnalyzeColumnsBatch(requests, pool);
+  for (size_t i = 0; i < results.size(); ++i) {
+    HOPS_RETURN_NOT_OK(results[i].status());
+    HOPS_RETURN_NOT_OK(catalog->PutColumnStatistics(
+        relation.name(), requests[i].column, *results[i]));
+  }
+  return Status::OK();
 }
 
 }  // namespace hops

@@ -1,8 +1,58 @@
 #include "histogram/bucketization.h"
 
+#include <algorithm>
 #include <limits>
+#include <numeric>
+
+#include "histogram/builders.h"
+#include "util/thread_pool.h"
 
 namespace hops {
+
+std::vector<size_t> SortedFrequencyOrder(const FrequencySet& set) {
+  const size_t m = set.size();
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  const auto less = [&set](size_t a, size_t b) {
+    if (set[a] != set[b]) return set[a] < set[b];
+    return a < b;
+  };
+  ThreadPool& pool = ThreadPool::Global();
+  if (m <= kParallelSortGrain || pool.num_threads() <= 1 ||
+      ThreadPool::SerialRegionActive()) {
+    std::sort(order.begin(), order.end(), less);
+    return order;
+  }
+  // Parallel merge sort with chunk boundaries fixed by m alone: sort
+  // 2^k chunks independently, then merge pairwise in log2 rounds. The
+  // comparator is a strict total order (ties broken by index), so the sorted
+  // permutation is unique — identical to the std::sort path bit for bit.
+  size_t num_chunks = 1;
+  while (num_chunks * kParallelSortGrain < m) num_chunks <<= 1;
+  const auto chunk_begin = [m, num_chunks](size_t c) {
+    return c * m / num_chunks;
+  };
+  pool.ParallelFor(0, num_chunks, 1, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      std::sort(order.begin() + chunk_begin(c),
+                order.begin() + chunk_begin(c + 1), less);
+    }
+  });
+  for (size_t width = 1; width < num_chunks; width <<= 1) {
+    const size_t pair_span = 2 * width;
+    const size_t num_merges = num_chunks / pair_span;
+    pool.ParallelFor(0, num_merges, 1, [&](size_t gb, size_t ge) {
+      for (size_t g = gb; g < ge; ++g) {
+        const size_t lo = chunk_begin(g * pair_span);
+        const size_t mid = chunk_begin(g * pair_span + width);
+        const size_t hi = chunk_begin((g + 1) * pair_span);
+        std::inplace_merge(order.begin() + lo, order.begin() + mid,
+                           order.begin() + hi, less);
+      }
+    });
+  }
+  return order;
+}
 
 Result<Bucketization> Bucketization::FromAssignments(
     std::vector<uint32_t> bucket_of, size_t num_buckets) {

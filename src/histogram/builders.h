@@ -16,12 +16,39 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "histogram/histogram.h"
 #include "stats/frequency_set.h"
 #include "util/status.h"
 
 namespace hops {
+
+// ---------------------------------------------------------------------------
+// Grain sizes shared by the serial and parallel construction paths.
+//
+// The concurrency layer's determinism contract (util/thread_pool.h) requires
+// work decompositions that depend only on the problem size — never on the
+// thread count. These constants fix those decompositions, so a 1-thread and
+// a 64-thread build of the same input produce bit-identical histograms.
+
+/// Below this many entries, frequency-set index sorts stay on std::sort.
+inline constexpr size_t kParallelSortGrain = 1u << 15;
+
+/// Block length of the deterministic blocked prefix-sum construction. The
+/// blocked association is used whenever M exceeds one block, whether the
+/// blocks run serially or in parallel.
+inline constexpr size_t kPrefixSumGrain = 1u << 16;
+
+/// Minimum j-range (divide-and-conquer DP) or layer-chunk length (quadratic
+/// DP) worth forking a task for.
+inline constexpr size_t kVOptLayerGrain = 1u << 10;
+
+/// \brief The ascending (frequency, index) sort order shared by every
+/// v-optimal builder: index permutation sorting the set ascending with ties
+/// broken by index (a strict total order, so the result is unique).
+/// Parallelized above kParallelSortGrain; identical at any thread count.
+std::vector<size_t> SortedFrequencyOrder(const FrequencySet& set);
 
 /// \brief One bucket holding everything — the uniform-distribution
 /// assumption.

@@ -1,0 +1,97 @@
+#include "histogram/parallel_build.h"
+
+#include <utility>
+
+namespace hops {
+
+const char* HistogramBuilderKindToString(HistogramBuilderKind kind) {
+  switch (kind) {
+    case HistogramBuilderKind::kTrivial:
+      return "trivial";
+    case HistogramBuilderKind::kEquiWidth:
+      return "equi-width";
+    case HistogramBuilderKind::kEquiDepth:
+      return "equi-depth";
+    case HistogramBuilderKind::kVOptEndBiased:
+      return "v-opt-end-biased";
+    case HistogramBuilderKind::kVOptEndBiasedGrouped:
+      return "v-opt-end-biased-grouped";
+    case HistogramBuilderKind::kVOptSerialDP:
+      return "v-opt-serial-dp";
+    case HistogramBuilderKind::kVOptSerialDPFast:
+      return "v-opt-serial-dp-fast";
+    case HistogramBuilderKind::kVOptSerialExhaustive:
+      return "v-opt-serial";
+  }
+  return "unknown";
+}
+
+std::vector<HistogramBuilderKind> AllHistogramBuilderKinds() {
+  return {
+      HistogramBuilderKind::kTrivial,
+      HistogramBuilderKind::kEquiWidth,
+      HistogramBuilderKind::kEquiDepth,
+      HistogramBuilderKind::kVOptEndBiased,
+      HistogramBuilderKind::kVOptEndBiasedGrouped,
+      HistogramBuilderKind::kVOptSerialDP,
+      HistogramBuilderKind::kVOptSerialDPFast,
+      HistogramBuilderKind::kVOptSerialExhaustive,
+  };
+}
+
+Result<Histogram> BuildHistogram(FrequencySet set, HistogramBuilderKind kind,
+                                 size_t num_buckets,
+                                 VOptDiagnostics* diagnostics) {
+  if (diagnostics != nullptr) *diagnostics = VOptDiagnostics{};
+  switch (kind) {
+    case HistogramBuilderKind::kTrivial:
+      return BuildTrivialHistogram(std::move(set));
+    case HistogramBuilderKind::kEquiWidth:
+      return BuildEquiWidthHistogram(std::move(set), num_buckets);
+    case HistogramBuilderKind::kEquiDepth:
+      return BuildEquiDepthHistogram(std::move(set), num_buckets);
+    case HistogramBuilderKind::kVOptEndBiased:
+      return BuildVOptEndBiased(std::move(set), num_buckets);
+    case HistogramBuilderKind::kVOptEndBiasedGrouped:
+      return BuildVOptEndBiasedGrouped(std::move(set), num_buckets);
+    case HistogramBuilderKind::kVOptSerialDP:
+      return BuildVOptSerialDP(std::move(set), num_buckets, diagnostics);
+    case HistogramBuilderKind::kVOptSerialDPFast:
+      return BuildVOptSerialDPFast(std::move(set), num_buckets, diagnostics);
+    case HistogramBuilderKind::kVOptSerialExhaustive:
+      return BuildVOptSerialExhaustive(std::move(set), num_buckets, {},
+                                       diagnostics);
+  }
+  return Status::InvalidArgument("unknown histogram builder kind");
+}
+
+std::vector<Result<Histogram>> BuildHistogramBatch(
+    std::vector<HistogramBuildRequest> requests,
+    const ParallelBuildOptions& options) {
+  std::vector<Result<Histogram>> results(
+      requests.size(), Result<Histogram>(Status::Internal("not built")));
+  if (requests.empty()) return results;
+  if (options.serial) {
+    // The baseline: inline, with every nested parallel region disabled too.
+    ScopedSerial serial_region;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      results[i] =
+          BuildHistogram(std::move(requests[i].set), requests[i].kind,
+                         requests[i].num_buckets, requests[i].diagnostics);
+    }
+    return results;
+  }
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::Global();
+  pool.ParallelFor(0, requests.size(), /*grain=*/1,
+                   [&](size_t begin, size_t end) {
+                     for (size_t i = begin; i < end; ++i) {
+                       results[i] = BuildHistogram(
+                           std::move(requests[i].set), requests[i].kind,
+                           requests[i].num_buckets, requests[i].diagnostics);
+                     }
+                   });
+  return results;
+}
+
+}  // namespace hops

@@ -1,8 +1,11 @@
 #include "histogram/self_join.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "histogram/builders.h"
 #include "util/math.h"
+#include "util/thread_pool.h"
 
 namespace hops {
 
@@ -32,18 +35,69 @@ double SelfJoinError(const Histogram& histogram) {
   return acc.Value();
 }
 
+namespace {
+
+/// Kahan prefix sums of sorted[begin, end) and their squares, written to
+/// out[begin+1 .. end], each accumulated from zero (no carried offset).
+void LocalPrefixBlock(std::span<const double> sorted, size_t begin,
+                      size_t end, double* out_sum, double* out_sum_sq) {
+  KahanSum s, ss;
+  for (size_t i = begin; i < end; ++i) {
+    s.Add(sorted[i]);
+    ss.Add(sorted[i] * sorted[i]);
+    out_sum[i + 1] = s.Value();
+    out_sum_sq[i + 1] = ss.Value();
+  }
+}
+
+}  // namespace
+
 void BuildPrefixSums(std::span<const double> sorted,
                      std::vector<double>* prefix_sum,
                      std::vector<double>* prefix_sum_sq) {
-  prefix_sum->assign(sorted.size() + 1, 0.0);
-  prefix_sum_sq->assign(sorted.size() + 1, 0.0);
-  KahanSum s, ss;
-  for (size_t i = 0; i < sorted.size(); ++i) {
-    s.Add(sorted[i]);
-    ss.Add(sorted[i] * sorted[i]);
-    (*prefix_sum)[i + 1] = s.Value();
-    (*prefix_sum_sq)[i + 1] = ss.Value();
+  const size_t m = sorted.size();
+  prefix_sum->assign(m + 1, 0.0);
+  prefix_sum_sq->assign(m + 1, 0.0);
+  if (m <= kPrefixSumGrain) {
+    LocalPrefixBlock(sorted, 0, m, prefix_sum->data(),
+                     prefix_sum_sq->data());
+    return;
   }
+  // Blocked construction with block boundaries fixed by m alone — the same
+  // association (and hence the same floating-point result) whether the
+  // blocks run serially or across the pool. Pass 1: per-block local
+  // prefixes. Pass 2: tiny sequential scan turning block totals into block
+  // offsets. Pass 3: add each block's offset to its elements.
+  const size_t num_blocks = (m + kPrefixSumGrain - 1) / kPrefixSumGrain;
+  ThreadPool& pool = ThreadPool::Global();
+  pool.ParallelFor(0, num_blocks, 1, [&](size_t bb, size_t be) {
+    for (size_t b = bb; b < be; ++b) {
+      const size_t begin = b * kPrefixSumGrain;
+      const size_t end = std::min(m, begin + kPrefixSumGrain);
+      LocalPrefixBlock(sorted, begin, end, prefix_sum->data(),
+                       prefix_sum_sq->data());
+    }
+  });
+  std::vector<double> offset_sum(num_blocks, 0.0);
+  std::vector<double> offset_sum_sq(num_blocks, 0.0);
+  KahanSum acc_sum, acc_sum_sq;
+  for (size_t b = 0; b + 1 < num_blocks; ++b) {
+    const size_t block_end = std::min(m, (b + 1) * kPrefixSumGrain);
+    acc_sum.Add((*prefix_sum)[block_end]);
+    acc_sum_sq.Add((*prefix_sum_sq)[block_end]);
+    offset_sum[b + 1] = acc_sum.Value();
+    offset_sum_sq[b + 1] = acc_sum_sq.Value();
+  }
+  pool.ParallelFor(1, num_blocks, 1, [&](size_t bb, size_t be) {
+    for (size_t b = bb; b < be; ++b) {
+      const size_t begin = b * kPrefixSumGrain;
+      const size_t end = std::min(m, begin + kPrefixSumGrain);
+      for (size_t i = begin + 1; i <= end; ++i) {
+        (*prefix_sum)[i] += offset_sum[b];
+        (*prefix_sum_sq)[i] += offset_sum_sq[b];
+      }
+    }
+  });
 }
 
 double RangeSelfJoinError(std::span<const double> prefix_sum,

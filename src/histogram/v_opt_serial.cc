@@ -18,13 +18,9 @@ Result<Histogram> BuildVOptSerialExhaustive(FrequencySet set,
   const size_t m = set.size();
   HOPS_RETURN_NOT_OK(ValidatePartitionArgs(m, num_buckets));
 
-  // Sort indices ascending by frequency (stable on index for determinism).
-  std::vector<size_t> order(m);
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    if (set[a] != set[b]) return set[a] < set[b];
-    return a < b;
-  });
+  // Sort indices ascending by frequency (stable on index for determinism);
+  // SortedFrequencyOrder parallelizes the sort for large sets.
+  std::vector<size_t> order = SortedFrequencyOrder(set);
   std::vector<double> sorted(m);
   for (size_t i = 0; i < m; ++i) sorted[i] = set[order[i]];
 

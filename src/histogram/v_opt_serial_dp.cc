@@ -11,12 +11,14 @@
 // returns the same minimum error as the exhaustive search.
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <numeric>
 
 #include "histogram/builders.h"
 #include "histogram/self_join.h"
 #include "util/combinatorics.h"
+#include "util/thread_pool.h"
 
 namespace hops {
 
@@ -25,12 +27,7 @@ Result<Histogram> BuildVOptSerialDP(FrequencySet set, size_t num_buckets,
   const size_t m = set.size();
   HOPS_RETURN_NOT_OK(ValidatePartitionArgs(m, num_buckets));
 
-  std::vector<size_t> order(m);
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    if (set[a] != set[b]) return set[a] < set[b];
-    return a < b;
-  });
+  std::vector<size_t> order = SortedFrequencyOrder(set);
   std::vector<double> sorted(m);
   for (size_t i = 0; i < m; ++i) sorted[i] = set[order[i]];
 
@@ -47,23 +44,34 @@ Result<Histogram> BuildVOptSerialDP(FrequencySet set, size_t num_buckets,
   std::vector<std::vector<size_t>> parent(
       num_buckets, std::vector<size_t>(m + 1, 0));
   for (size_t j = 1; j <= m; ++j) prev[j] = cost(0, j);
-  uint64_t examined = 0;
+  std::atomic<uint64_t> examined{0};
+  ThreadPool& pool = ThreadPool::Global();
   for (size_t k = 2; k <= num_buckets; ++k) {
     std::fill(curr.begin(), curr.end(), kInf);
-    for (size_t j = k; j <= m; ++j) {
-      double best = kInf;
-      size_t best_i = k - 1;
-      for (size_t i = k - 1; i < j; ++i) {
-        double cand = prev[i] + cost(i, j);
-        ++examined;
-        if (cand < best) {
-          best = cand;
-          best_i = i;
+    // Within one layer every curr[j] is a pure function of prev, so the
+    // j-range parallelizes with no ordering constraints; writes to curr /
+    // parent are disjoint per j and the evaluation counter is a commutative
+    // sum — results are bit-identical to the serial loop.
+    size_t* parent_row = parent[k - 1].data();
+    pool.ParallelFor(k, m + 1, kVOptLayerGrain, [&, parent_row](size_t j_lo,
+                                                                size_t j_hi) {
+      uint64_t local = 0;
+      for (size_t j = j_lo; j < j_hi; ++j) {
+        double best = kInf;
+        size_t best_i = k - 1;
+        for (size_t i = k - 1; i < j; ++i) {
+          double cand = prev[i] + cost(i, j);
+          ++local;
+          if (cand < best) {
+            best = cand;
+            best_i = i;
+          }
         }
+        curr[j] = best;
+        parent_row[j] = best_i;
       }
-      curr[j] = best;
-      parent[k - 1][j] = best_i;
-    }
+      examined.fetch_add(local, std::memory_order_relaxed);
+    });
     std::swap(prev, curr);
   }
 
@@ -75,7 +83,8 @@ Result<Histogram> BuildVOptSerialDP(FrequencySet set, size_t num_buckets,
     if (k > 1) j = parent[k - 1][j];
   }
   if (diagnostics != nullptr) {
-    diagnostics->candidates_examined = examined;
+    diagnostics->candidates_examined =
+        examined.load(std::memory_order_relaxed);
     diagnostics->best_error = prev[m];
   }
   HOPS_ASSIGN_OR_RETURN(Bucketization bz,

@@ -6,14 +6,23 @@
 // the optimal split index opt(j) is non-decreasing in j. Each layer can
 // then be filled by recursing on (j-range, allowed i-range), evaluating
 // only O(M log M) candidates instead of O(M^2).
+//
+// Parallelism: after a node computes opt(j_mid), its two children cover
+// disjoint j-ranges (and write disjoint curr/parent entries) with
+// independent i-bounds — they are forked onto the pool when the j-range
+// exceeds kVOptLayerGrain. Every curr[j] is a pure function of prev and the
+// prefix sums, so the result is bit-identical to the serial recursion; the
+// evaluation counter is a commutative atomic sum.
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <numeric>
 
 #include "histogram/builders.h"
 #include "histogram/self_join.h"
 #include "util/combinatorics.h"
+#include "util/thread_pool.h"
 
 namespace hops {
 
@@ -23,34 +32,51 @@ struct LayerSolver {
   const std::vector<double>& prev;
   const std::vector<double>& prefix_sum;
   const std::vector<double>& prefix_sum_sq;
-  size_t k;  // current bucket count (>= 2)
+  ThreadPool& pool;
   std::vector<double>* curr;
   std::vector<size_t>* parent;
-  uint64_t evaluations = 0;
+  std::atomic<uint64_t> evaluations{0};
 
   double Cost(size_t i, size_t j) const {
     return RangeSelfJoinError(prefix_sum, prefix_sum_sq, i, j);
   }
 
   // Fills curr[j] for j in [j_lo, j_hi] knowing opt(j) lies in [i_lo, i_hi].
+  // Precondition (established once by the caller, so the recursion never
+  // re-clamps): i_lo >= k - 1 for the layer's bucket count k; children
+  // inherit it because best_i >= i_lo.
   void Solve(size_t j_lo, size_t j_hi, size_t i_lo, size_t i_hi) {
     if (j_lo > j_hi) return;
     const size_t j_mid = j_lo + (j_hi - j_lo) / 2;
     double best = std::numeric_limits<double>::infinity();
     size_t best_i = i_lo;
     const size_t i_max = std::min(i_hi, j_mid - 1);
-    for (size_t i = std::max(i_lo, k - 1); i <= i_max; ++i) {
+    uint64_t local = 0;
+    for (size_t i = i_lo; i <= i_max; ++i) {
       double cand = prev[i] + Cost(i, j_mid);
-      ++evaluations;
+      ++local;
       if (cand < best) {
         best = cand;
         best_i = i;
       }
     }
+    evaluations.fetch_add(local, std::memory_order_relaxed);
     (*curr)[j_mid] = best;
     (*parent)[j_mid] = best_i;
-    if (j_mid > j_lo) Solve(j_lo, j_mid - 1, i_lo, best_i);
-    if (j_mid < j_hi) Solve(j_mid + 1, j_hi, best_i, i_hi);
+    const bool has_left = j_mid > j_lo;
+    const bool has_right = j_mid < j_hi;
+    if (has_left && has_right && j_hi - j_lo >= kVOptLayerGrain) {
+      pool.ParallelInvoke(
+          [this, j_lo, j_mid, i_lo, best_i] {
+            Solve(j_lo, j_mid - 1, i_lo, best_i);
+          },
+          [this, j_mid, j_hi, best_i, i_hi] {
+            Solve(j_mid + 1, j_hi, best_i, i_hi);
+          });
+      return;
+    }
+    if (has_left) Solve(j_lo, j_mid - 1, i_lo, best_i);
+    if (has_right) Solve(j_mid + 1, j_hi, best_i, i_hi);
   }
 };
 
@@ -61,12 +87,7 @@ Result<Histogram> BuildVOptSerialDPFast(FrequencySet set, size_t num_buckets,
   const size_t m = set.size();
   HOPS_RETURN_NOT_OK(ValidatePartitionArgs(m, num_buckets));
 
-  std::vector<size_t> order(m);
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    if (set[a] != set[b]) return set[a] < set[b];
-    return a < b;
-  });
+  std::vector<size_t> order = SortedFrequencyOrder(set);
   std::vector<double> sorted(m);
   for (size_t i = 0; i < m; ++i) sorted[i] = set[order[i]];
   std::vector<double> prefix_sum, prefix_sum_sq;
@@ -80,12 +101,15 @@ Result<Histogram> BuildVOptSerialDPFast(FrequencySet set, size_t num_buckets,
     prev[j] = RangeSelfJoinError(prefix_sum, prefix_sum_sq, 0, j);
   }
   uint64_t evaluations = 0;
+  ThreadPool& pool = ThreadPool::Global();
   for (size_t k = 2; k <= num_buckets; ++k) {
     std::fill(curr.begin(), curr.end(), kInf);
     LayerSolver solver{prev,  prefix_sum, prefix_sum_sq,
-                       k,     &curr,      &parent[k - 1]};
-    solver.Solve(k, m, k - 1, m - 1);
-    evaluations += solver.evaluations;
+                       pool,  &curr,      &parent[k - 1]};
+    // The i >= k - 1 clamp is hoisted here: entry bounds already satisfy
+    // it, and the recursion preserves it (children narrow, never widen).
+    solver.Solve(/*j_lo=*/k, /*j_hi=*/m, /*i_lo=*/k - 1, /*i_hi=*/m - 1);
+    evaluations += solver.evaluations.load(std::memory_order_relaxed);
     std::swap(prev, curr);
   }
 
