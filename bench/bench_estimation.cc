@@ -1,0 +1,432 @@
+// JSON perf harness for the estimation serving layer (DESIGN.md §7).
+//
+// Builds a synthetic catalog (several M-entry compact histograms, Zipf-like
+// integer frequencies), compiles it into a CatalogSnapshot, and times three
+// workloads against their pre-snapshot baselines:
+//
+//   range_heavy  — range selections. Baseline: the frozen linear-scan
+//                  reference (EstimateRangeSelectionLinear, O(M) per query)
+//                  over pre-decoded statistics. Serving path: compiled
+//                  prefix sums, O(log M) per query.
+//   point_heavy  — equality / not-equals / IN probes. Baseline: decoded
+//                  CatalogHistogram lookups. Serving path: branch-free
+//                  binary search over the struct-of-arrays keys.
+//   chain_join   — 4-relation chain estimates. Baseline: the Catalog
+//                  overload (decodes every histogram on every call).
+//                  Serving path: ResolveChain once, then id-based estimates.
+//
+// Every workload also runs through EstimateBatch on the global pool
+// (batched_seconds). A fingerprint check compares every serving-path
+// estimate against its baseline *bit for bit* — any deviation makes the
+// process exit non-zero. The headline: range_heavy at M >= 1e5 must be
+// >= 10x faster than the linear baseline (gated on >= 4 hardware threads
+// to keep CI boxes honest, although the win is algorithmic).
+//
+// Usage: bench_estimation [output.json] [--quick]
+
+#include "bench_json.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "engine/catalog_snapshot.h"
+#include "estimator/join_estimator.h"
+#include "estimator/selectivity.h"
+#include "estimator/serving.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace hops {
+namespace {
+
+struct BenchConfig {
+  size_t m = 100000;          // explicit entries per histogram
+  size_t num_tables = 4;      // t0 .. t{n-1}, columns "a" and "b"
+  size_t range_queries = 2000;
+  size_t point_queries = 20000;
+  size_t chain_queries = 200;
+};
+
+// Zipf-like integer frequency for rank i (integer-valued so the compiled
+// prefix sums take the exact fast path, the catalog's natural regime).
+double ZipfFrequency(size_t i) {
+  return std::floor(1000.0 / std::sqrt(static_cast<double>(i + 1))) + 1.0;
+}
+
+// One synthetic column: explicit keys 0..m-1 with Zipf-ish integer
+// frequencies (perturbed per column so columns differ), default bucket
+// covering m more values.
+ColumnStatistics MakeColumn(size_t m, uint64_t salt) {
+  std::vector<std::pair<int64_t, double>> entries;
+  entries.reserve(m);
+  double total = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    // Deterministic per-column perturbation, still a nonnegative integer.
+    const double bump = static_cast<double>((i * 31 + salt * 17) % 5);
+    const double f = ZipfFrequency(i) + bump;
+    entries.emplace_back(static_cast<int64_t>(i), f);
+    total += f;
+  }
+  ColumnStatistics stats;
+  stats.num_distinct = 2 * m;
+  stats.min_value = 0;
+  stats.max_value = static_cast<int64_t>(2 * m) - 1;
+  const double default_frequency = 2.0;
+  const uint64_t num_default = m;
+  stats.num_tuples = total + default_frequency * static_cast<double>(num_default);
+  auto hist = CatalogHistogram::Make(std::move(entries), default_frequency,
+                                     num_default);
+  hist.status().Check();
+  stats.histogram = *std::move(hist);
+  return stats;
+}
+
+std::string TableName(size_t i) { return "t" + std::to_string(i); }
+
+// Bitwise fingerprint comparison of two result vectors.
+bool BitIdentical(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+struct WorkloadResult {
+  std::string name;
+  size_t queries = 0;
+  double legacy_seconds = 0;
+  double snapshot_seconds = 0;
+  double batched_seconds = 0;
+  double speedup_snapshot = 0;
+  double speedup_batched = 0;
+  bool identical = true;
+};
+
+void WriteWorkload(JsonWriter* w, const WorkloadResult& r) {
+  w->BeginObject();
+  w->Key("name");
+  w->String(r.name);
+  w->Key("queries");
+  w->UInt(r.queries);
+  w->Key("legacy_seconds");
+  w->Double(r.legacy_seconds);
+  w->Key("snapshot_seconds");
+  w->Double(r.snapshot_seconds);
+  w->Key("batched_seconds");
+  w->Double(r.batched_seconds);
+  w->Key("speedup_snapshot");
+  w->Double(r.speedup_snapshot);
+  w->Key("speedup_batched");
+  w->Double(r.speedup_batched);
+  w->Key("identical");
+  w->Bool(r.identical);
+  w->EndObject();
+}
+
+std::vector<double> Unwrap(const std::vector<Result<double>>& results) {
+  std::vector<double> out;
+  out.reserve(results.size());
+  for (const auto& r : results) {
+    r.status().Check();
+    out.push_back(*r);
+  }
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  std::string output = "BENCH_estimation.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      output = argv[i];
+    }
+  }
+  BenchConfig cfg;
+  if (quick) {
+    cfg.m = 20000;
+    cfg.range_queries = 400;
+    cfg.point_queries = 4000;
+    cfg.chain_queries = 50;
+  }
+
+  const size_t threads = ThreadPool::Global().num_threads();
+  std::cout << "bench_estimation: M=" << cfg.m << ", " << threads
+            << " pool threads, " << (quick ? "quick" : "full") << " sweep\n";
+
+  // -------------------------------------------------------------- catalog
+  Catalog catalog;
+  for (size_t t = 0; t < cfg.num_tables; ++t) {
+    catalog.PutColumnStatistics(TableName(t), "a",
+                                MakeColumn(cfg.m, 2 * t)).Check();
+    catalog.PutColumnStatistics(TableName(t), "b",
+                                MakeColumn(cfg.m, 2 * t + 1)).Check();
+  }
+
+  Stopwatch sw_compile;
+  auto snapshot_or = CatalogSnapshot::Compile(catalog);
+  snapshot_or.status().Check();
+  std::shared_ptr<const CatalogSnapshot> snapshot = *snapshot_or;
+  const double compile_seconds = sw_compile.ElapsedSeconds();
+
+  // Pre-decoded statistics: the baseline an optimizer that caches decoded
+  // histograms would hit (conservative — no per-estimate decode cost).
+  std::vector<ColumnStatistics> decoded_a(cfg.num_tables);
+  std::vector<ColumnStatistics> decoded_b(cfg.num_tables);
+  Stopwatch sw_decode;
+  for (size_t t = 0; t < cfg.num_tables; ++t) {
+    auto sa = catalog.GetColumnStatistics(TableName(t), "a");
+    sa.status().Check();
+    decoded_a[t] = *std::move(sa);
+    auto sb = catalog.GetColumnStatistics(TableName(t), "b");
+    sb.status().Check();
+    decoded_b[t] = *std::move(sb);
+  }
+  const double decode_seconds =
+      sw_decode.ElapsedSeconds() / static_cast<double>(2 * cfg.num_tables);
+
+  Rng rng(0xe57);
+  const int64_t domain = static_cast<int64_t>(2 * cfg.m);
+  std::vector<WorkloadResult> workloads;
+
+  // ---------------------------------------------------------- range_heavy
+  {
+    WorkloadResult r;
+    r.name = "range_heavy";
+    r.queries = cfg.range_queries;
+    std::vector<RangeBounds> bounds;
+    std::vector<ColumnId> cols;
+    std::vector<size_t> tables;
+    bounds.reserve(r.queries);
+    for (size_t q = 0; q < r.queries; ++q) {
+      int64_t lo = static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(domain)));
+      int64_t hi = static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(domain)));
+      if (lo > hi) std::swap(lo, hi);
+      bounds.push_back(RangeBounds{lo, hi, (q & 1) == 0, (q & 2) == 0});
+      const size_t t = q % cfg.num_tables;
+      tables.push_back(t);
+      auto id = snapshot->Resolve(TableName(t), "a");
+      id.status().Check();
+      cols.push_back(*id);
+    }
+
+    std::vector<double> legacy(r.queries), serving(r.queries);
+    Stopwatch sw_legacy;
+    for (size_t q = 0; q < r.queries; ++q) {
+      auto e = EstimateRangeSelectionLinear(decoded_a[tables[q]], bounds[q]);
+      e.status().Check();
+      legacy[q] = *e;
+    }
+    r.legacy_seconds = sw_legacy.ElapsedSeconds();
+
+    Stopwatch sw_serving;
+    for (size_t q = 0; q < r.queries; ++q) {
+      auto e = EstimateRangeSelection(snapshot->stats(cols[q]), bounds[q]);
+      e.status().Check();
+      serving[q] = *e;
+    }
+    r.snapshot_seconds = sw_serving.ElapsedSeconds();
+
+    std::vector<EstimateSpec> specs;
+    specs.reserve(r.queries);
+    for (size_t q = 0; q < r.queries; ++q) {
+      specs.push_back(EstimateSpec::Range(cols[q], bounds[q]));
+    }
+    Stopwatch sw_batched;
+    std::vector<double> batched = Unwrap(EstimateBatch(*snapshot, specs));
+    r.batched_seconds = sw_batched.ElapsedSeconds();
+
+    r.identical =
+        BitIdentical(legacy, serving) && BitIdentical(legacy, batched);
+    r.speedup_snapshot =
+        r.snapshot_seconds > 0 ? r.legacy_seconds / r.snapshot_seconds : 0;
+    r.speedup_batched =
+        r.batched_seconds > 0 ? r.legacy_seconds / r.batched_seconds : 0;
+    workloads.push_back(r);
+  }
+
+  // ---------------------------------------------------------- point_heavy
+  {
+    WorkloadResult r;
+    r.name = "point_heavy";
+    r.queries = cfg.point_queries;
+    std::vector<Value> probes;
+    std::vector<ColumnId> cols;
+    std::vector<size_t> tables;
+    probes.reserve(r.queries);
+    for (size_t q = 0; q < r.queries; ++q) {
+      probes.emplace_back(static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(domain))));
+      const size_t t = q % cfg.num_tables;
+      tables.push_back(t);
+      auto id = snapshot->Resolve(TableName(t), "b");
+      id.status().Check();
+      cols.push_back(*id);
+    }
+
+    std::vector<double> legacy(r.queries), serving(r.queries);
+    Stopwatch sw_legacy;
+    for (size_t q = 0; q < r.queries; ++q) {
+      legacy[q] = (q & 1) == 0
+                      ? EstimateEqualitySelection(decoded_b[tables[q]],
+                                                  probes[q])
+                      : EstimateNotEqualsSelection(decoded_b[tables[q]],
+                                                   probes[q]);
+    }
+    r.legacy_seconds = sw_legacy.ElapsedSeconds();
+
+    Stopwatch sw_serving;
+    for (size_t q = 0; q < r.queries; ++q) {
+      const CompiledColumnStats& stats = snapshot->stats(cols[q]);
+      serving[q] = (q & 1) == 0 ? EstimateEqualitySelection(stats, probes[q])
+                                : EstimateNotEqualsSelection(stats, probes[q]);
+    }
+    r.snapshot_seconds = sw_serving.ElapsedSeconds();
+
+    std::vector<EstimateSpec> specs;
+    specs.reserve(r.queries);
+    for (size_t q = 0; q < r.queries; ++q) {
+      specs.push_back((q & 1) == 0
+                          ? EstimateSpec::Equality(cols[q], probes[q])
+                          : EstimateSpec::NotEquals(cols[q], probes[q]));
+    }
+    Stopwatch sw_batched;
+    std::vector<double> batched = Unwrap(EstimateBatch(*snapshot, specs));
+    r.batched_seconds = sw_batched.ElapsedSeconds();
+
+    r.identical =
+        BitIdentical(legacy, serving) && BitIdentical(legacy, batched);
+    r.speedup_snapshot =
+        r.snapshot_seconds > 0 ? r.legacy_seconds / r.snapshot_seconds : 0;
+    r.speedup_batched =
+        r.batched_seconds > 0 ? r.legacy_seconds / r.batched_seconds : 0;
+    workloads.push_back(r);
+  }
+
+  // ----------------------------------------------------------- chain_join
+  {
+    WorkloadResult r;
+    r.name = "chain_join";
+    r.queries = cfg.chain_queries;
+    std::vector<ChainJoinSpec> chain;
+    for (size_t t = 0; t < cfg.num_tables; ++t) {
+      ChainJoinSpec spec;
+      spec.table = TableName(t);
+      spec.left_column = t == 0 ? "" : "a";
+      spec.right_column = t + 1 == cfg.num_tables ? "" : "b";
+      chain.push_back(spec);
+    }
+
+    std::vector<double> legacy(r.queries), serving(r.queries);
+    Stopwatch sw_legacy;
+    for (size_t q = 0; q < r.queries; ++q) {
+      // The pre-snapshot path: every call decodes every histogram.
+      auto e = EstimateChainJoinSize(catalog, chain);
+      e.status().Check();
+      legacy[q] = *e;
+    }
+    r.legacy_seconds = sw_legacy.ElapsedSeconds();
+
+    auto steps_or = ResolveChain(*snapshot, chain);
+    steps_or.status().Check();
+    const std::vector<SnapshotChainStep>& steps = *steps_or;
+    Stopwatch sw_serving;
+    for (size_t q = 0; q < r.queries; ++q) {
+      auto e = EstimateChainJoinSize(*snapshot, steps);
+      e.status().Check();
+      serving[q] = *e;
+    }
+    r.snapshot_seconds = sw_serving.ElapsedSeconds();
+
+    std::vector<EstimateSpec> specs(r.queries, EstimateSpec::Chain(steps));
+    Stopwatch sw_batched;
+    std::vector<double> batched = Unwrap(EstimateBatch(*snapshot, specs));
+    r.batched_seconds = sw_batched.ElapsedSeconds();
+
+    r.identical =
+        BitIdentical(legacy, serving) && BitIdentical(legacy, batched);
+    r.speedup_snapshot =
+        r.snapshot_seconds > 0 ? r.legacy_seconds / r.snapshot_seconds : 0;
+    r.speedup_batched =
+        r.batched_seconds > 0 ? r.legacy_seconds / r.batched_seconds : 0;
+    workloads.push_back(r);
+  }
+
+  // ----------------------------------------------------------------- JSON
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("estimation_serving");
+  w.Key("threads");
+  w.UInt(threads);
+  w.Key("hardware_concurrency");
+  w.UInt(std::thread::hardware_concurrency());
+  w.Key("quick");
+  w.Bool(quick);
+  w.Key("m");
+  w.UInt(cfg.m);
+  w.Key("num_columns");
+  w.UInt(2 * cfg.num_tables);
+  w.Key("snapshot_compile_seconds");
+  w.Double(compile_seconds);
+  w.Key("decode_seconds_per_column");
+  w.Double(decode_seconds);
+  w.Key("workloads");
+  w.BeginArray();
+  bool all_identical = true;
+  for (const WorkloadResult& r : workloads) {
+    WriteWorkload(&w, r);
+    all_identical = all_identical && r.identical;
+    std::cout << "  " << r.name << ": legacy " << r.legacy_seconds
+              << "s, snapshot " << r.snapshot_seconds << "s ("
+              << r.speedup_snapshot << "x), batched " << r.batched_seconds
+              << "s (" << r.speedup_batched << "x), identical "
+              << (r.identical ? "yes" : "NO") << "\n";
+  }
+  w.EndArray();
+
+  // Acceptance headline: at M >= 1e5 the compiled range path must beat the
+  // linear reference by >= 10x, with every estimate bit-identical.
+  const WorkloadResult& range = workloads.front();
+  const double headline_speedup =
+      std::max(range.speedup_snapshot, range.speedup_batched);
+  w.Key("headline");
+  w.BeginObject();
+  w.Key("workload");
+  w.String(range.name);
+  w.Key("m");
+  w.UInt(cfg.m);
+  w.Key("speedup");
+  w.Double(headline_speedup);
+  w.Key("identical");
+  w.Bool(range.identical);
+  w.Key("meets_10x_target");
+  w.Bool(cfg.m < 100000 || threads < 4 || headline_speedup >= 10.0);
+  w.EndObject();
+  w.EndObject();
+
+  std::ofstream out(output);
+  if (!out) {
+    std::cerr << "bench_estimation: cannot open " << output << "\n";
+    return 2;
+  }
+  out << w.str() << "\n";
+  out.close();
+  std::cout << "wrote " << output << "\n";
+  if (!all_identical) {
+    std::cerr << "bench_estimation: SERVING ESTIMATES DEVIATE FROM THE "
+                 "LINEAR-SCAN REFERENCE\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hops
+
+int main(int argc, char** argv) { return hops::Run(argc, argv); }

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Concurrency verification + perf trajectory for the parallel histogram
-# pipeline:
+# pipeline and the read-optimized serving layer:
 #
 #   1. Build with -DHOPS_SANITIZE=thread and run the concurrency suite
-#      (thread_pool_test, parallel_build_test) under ThreadSanitizer.
+#      (thread_pool_test, parallel_build_test, snapshot_concurrency_test)
+#      under ThreadSanitizer.
 #   2. Build optimized and run bench/bench_json, which times serial vs
 #      parallel batched construction, verifies the parallel results are
 #      bit-identical to serial, and writes BENCH_histograms.json.
+#   3. Run bench/bench_estimation, which times the legacy decode-per-query
+#      estimators against the compiled snapshot serving path and
+#      EstimateBatch, verifies bit-identical estimates, and writes
+#      BENCH_estimation.json.
 #
 # Usage: scripts/run_benchmarks.sh [--quick] [--skip-tsan]
 #   --quick      restrict the bench sweep (CI smoke)
@@ -25,15 +30,18 @@ for arg in "$@"; do
 done
 
 if [[ "$RUN_TSAN" == 1 ]]; then
-  echo "== ThreadSanitizer pass (thread_pool_test, parallel_build_test) =="
+  echo "== ThreadSanitizer pass (thread_pool_test, parallel_build_test," \
+       "snapshot_concurrency_test) =="
   cmake -B build-tsan -G Ninja -DHOPS_SANITIZE=thread \
     -DHOPS_BUILD_BENCHMARKS=OFF -DHOPS_BUILD_EXAMPLES=OFF \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan --target thread_pool_test parallel_build_test
+  cmake --build build-tsan --target thread_pool_test parallel_build_test \
+    snapshot_concurrency_test
   # Oversubscribe the pool so TSan sees real interleavings even on small
   # CI machines.
   HOPS_THREADS=4 ./build-tsan/tests/thread_pool_test
   HOPS_THREADS=4 ./build-tsan/tests/parallel_build_test
+  HOPS_THREADS=4 ./build-tsan/tests/snapshot_concurrency_test
 fi
 
 echo "== Optimized bench: serial vs parallel batched construction =="
@@ -62,4 +70,26 @@ assert head["identical"]
 assert head["meets_2x_target"]
 EOF
 
-echo "run_benchmarks.sh: all checks passed; wrote BENCH_histograms.json"
+echo "== Optimized bench: legacy estimators vs compiled snapshot serving =="
+cmake --build build-release --target bench_estimation
+./build-release/bench/bench_estimation BENCH_estimation.json "${QUICK_ARGS[@]}"
+
+# Sanity-check the emitted JSON (parses, bit-identical, headline gate).
+python3 - <<'EOF'
+import json
+with open("BENCH_estimation.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == "estimation_serving", doc.get("bench")
+assert isinstance(doc["workloads"], list) and doc["workloads"], "no workloads"
+assert all(w["identical"] for w in doc["workloads"]), "non-identical workload"
+head = doc["headline"]
+print(f"headline: workload={head['workload']} m={head['m']} "
+      f"speedup={head['speedup']:.2f}x identical={head['identical']} "
+      f"meets_10x_target={head['meets_10x_target']} "
+      f"(threads={doc['threads']})")
+assert head["identical"]
+assert head["meets_10x_target"]
+EOF
+
+echo "run_benchmarks.sh: all checks passed; wrote BENCH_histograms.json" \
+     "and BENCH_estimation.json"

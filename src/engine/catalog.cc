@@ -57,6 +57,7 @@ Status Catalog::PutColumnStatistics(const std::string& table,
   entry.max_value = stats.max_value;
   entry.encoded_histogram = stats.histogram.Encode();
   entries_[{table, column}] = std::move(entry);
+  ++version_;
   return Status::OK();
 }
 
@@ -88,6 +89,7 @@ Status Catalog::DropColumnStatistics(const std::string& table,
     return Status::NotFound("no statistics for " + table + "." + column);
   }
   entries_.erase(it);
+  ++version_;
   return Status::OK();
 }
 
@@ -145,6 +147,7 @@ Result<Catalog> Catalog::Deserialize(std::string_view bytes) {
         CatalogHistogram::Decode(entry.encoded_histogram).status());
     catalog.entries_[{std::move(table), std::move(column)}] =
         std::move(entry);
+    ++catalog.version_;
   }
   if (!bytes.empty()) {
     return Status::InvalidArgument("trailing bytes after catalog");

@@ -66,6 +66,12 @@ class Catalog {
   /// Inverse of Serialize.
   static Result<Catalog> Deserialize(std::string_view bytes);
 
+  /// Monotonic in-memory mutation counter: bumped by every successful
+  /// PutColumnStatistics / DropColumnStatistics (and by Deserialize, once
+  /// per loaded entry). CatalogSnapshot::Compile records it so serving code
+  /// can tell whether a published snapshot is stale. Not persisted.
+  uint64_t version() const { return version_; }
+
  private:
   struct Entry {
     double num_tuples;
@@ -75,6 +81,7 @@ class Catalog {
     std::string encoded_histogram;
   };
   std::map<std::pair<std::string, std::string>, Entry> entries_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace hops

@@ -1,0 +1,88 @@
+#include "engine/catalog_snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hops {
+
+Result<std::shared_ptr<const CatalogSnapshot>> CatalogSnapshot::Compile(
+    const Catalog& catalog) {
+  auto snapshot = std::make_shared<CatalogSnapshot>();
+  snapshot->source_version_ = catalog.version();
+  const auto keys = catalog.ListEntries();  // sorted by (table, column)
+  snapshot->columns_.reserve(keys.size());
+  for (const auto& [table, column] : keys) {
+    HOPS_ASSIGN_OR_RETURN(ColumnStatistics stats,
+                          catalog.GetColumnStatistics(table, column));
+    CompiledColumnStats compiled;
+    compiled.table = table;
+    compiled.column = column;
+    compiled.num_tuples = stats.num_tuples;
+    compiled.num_distinct = stats.num_distinct;
+    compiled.min_value = stats.min_value;
+    compiled.max_value = stats.max_value;
+    compiled.histogram = stats.histogram.compiled_shared();
+    snapshot->columns_.push_back(std::move(compiled));
+  }
+  return std::shared_ptr<const CatalogSnapshot>(std::move(snapshot));
+}
+
+Result<ColumnId> CatalogSnapshot::Resolve(std::string_view table,
+                                          std::string_view column) const {
+  const auto probe = std::make_pair(table, column);
+  auto it = std::lower_bound(
+      columns_.begin(), columns_.end(), probe,
+      [](const CompiledColumnStats& s,
+         const std::pair<std::string_view, std::string_view>& key) {
+        return std::pair<std::string_view, std::string_view>(s.table,
+                                                             s.column) < key;
+      });
+  if (it == columns_.end() || it->table != table || it->column != column) {
+    return Status::NotFound("no statistics for " + std::string(table) + "." +
+                            std::string(column));
+  }
+  return static_cast<ColumnId>(it - columns_.begin());
+}
+
+SnapshotStore::SnapshotStore()
+    : current_(std::make_shared<const CatalogSnapshot>()) {}
+
+void SnapshotStore::Lock() const {
+  // Acquire on success pairs with the release in Unlock(), so every access
+  // under the lock happens-before every later critical section — readers
+  // included (see the header's note on why std::atomic<shared_ptr> is not
+  // used here).
+  while (locked_.exchange(true, std::memory_order_acquire)) {
+    // Contention is one refcount increment or one pointer swap long.
+  }
+}
+
+void SnapshotStore::Unlock() const {
+  locked_.store(false, std::memory_order_release);
+}
+
+std::shared_ptr<const CatalogSnapshot> SnapshotStore::Current() const {
+  Lock();
+  std::shared_ptr<const CatalogSnapshot> snapshot = current_;
+  Unlock();
+  return snapshot;
+}
+
+void SnapshotStore::Publish(std::shared_ptr<const CatalogSnapshot> snapshot) {
+  if (snapshot == nullptr) snapshot = std::make_shared<const CatalogSnapshot>();
+  Lock();
+  current_.swap(snapshot);
+  Unlock();
+  // The old snapshot (if this was the last reference) is destroyed here,
+  // outside the critical section.
+}
+
+Result<std::shared_ptr<const CatalogSnapshot>> SnapshotStore::RepublishFrom(
+    const Catalog& catalog) {
+  HOPS_ASSIGN_OR_RETURN(std::shared_ptr<const CatalogSnapshot> snapshot,
+                        CatalogSnapshot::Compile(catalog));
+  Publish(snapshot);
+  return snapshot;
+}
+
+}  // namespace hops

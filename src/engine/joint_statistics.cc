@@ -100,6 +100,11 @@ double EstimateConjunctiveEquality(const ColumnStatistics& joint_stats,
   return joint_stats.histogram.LookupFrequency(CatalogKeyForPair(va, vb));
 }
 
+double EstimateConjunctiveEquality(const CompiledColumnStats& joint_stats,
+                                   const Value& va, const Value& vb) {
+  return joint_stats.histogram->LookupFrequency(CatalogKeyForPair(va, vb));
+}
+
 double EstimateConjunctiveEqualityIndependent(
     const ColumnStatistics& stats_a, const ColumnStatistics& stats_b,
     const Value& va, const Value& vb) {

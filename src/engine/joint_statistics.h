@@ -9,6 +9,7 @@
 #include <string>
 
 #include "engine/catalog.h"
+#include "engine/catalog_snapshot.h"
 #include "engine/relation.h"
 #include "engine/statistics.h"
 #include "util/status.h"
@@ -49,6 +50,11 @@ Status AnalyzeAndStorePair(const Relation& relation,
 
 /// \brief Estimated |sigma_{a = va AND b = vb}(R)| from joint statistics.
 double EstimateConjunctiveEquality(const ColumnStatistics& joint_stats,
+                                   const Value& va, const Value& vb);
+
+/// \brief As above, over snapshot-compiled joint statistics. Bit-identical
+/// to the ColumnStatistics overload on the same statistics.
+double EstimateConjunctiveEquality(const CompiledColumnStats& joint_stats,
                                    const Value& va, const Value& vb);
 
 /// \brief The classical independence-assumption estimate from two

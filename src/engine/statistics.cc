@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/catalog_snapshot.h"
 #include "engine/hash_agg.h"
 
 namespace hops {
@@ -139,6 +140,17 @@ Status AnalyzeRelationAndStore(const Relation& relation, Catalog* catalog,
         relation.name(), requests[i].column, *results[i]));
   }
   return Status::OK();
+}
+
+Status AnalyzeRelationAndPublish(const Relation& relation, Catalog* catalog,
+                                 SnapshotStore* store,
+                                 const StatisticsOptions& options,
+                                 ThreadPool* pool) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("snapshot store must not be null");
+  }
+  HOPS_RETURN_NOT_OK(AnalyzeRelationAndStore(relation, catalog, options, pool));
+  return store->RepublishFrom(*catalog).status();
 }
 
 }  // namespace hops

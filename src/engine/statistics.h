@@ -74,4 +74,15 @@ Status AnalyzeRelationAndStore(const Relation& relation, Catalog* catalog,
                                const StatisticsOptions& options = {},
                                ThreadPool* pool = nullptr);
 
+class SnapshotStore;
+
+/// \brief AnalyzeRelationAndStore + SnapshotStore::RepublishFrom: the write
+/// path of the serving layer (DESIGN.md §7). Concurrent readers keep the
+/// previous snapshot until the new one is published in one atomic swap;
+/// they never observe a half-analyzed catalog.
+Status AnalyzeRelationAndPublish(const Relation& relation, Catalog* catalog,
+                                 SnapshotStore* store,
+                                 const StatisticsOptions& options = {},
+                                 ThreadPool* pool = nullptr);
+
 }  // namespace hops

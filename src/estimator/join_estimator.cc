@@ -1,6 +1,7 @@
 #include "estimator/join_estimator.h"
 
 #include "estimator/selectivity.h"
+#include "estimator/serving.h"
 
 namespace hops {
 
@@ -56,6 +57,80 @@ Result<double> EstimateChainJoinSize(const Catalog& catalog,
                                      std::span<const ChainJoinSpec> specs) {
   HOPS_ASSIGN_OR_RETURN(ChainJoinEstimateDetail detail,
                         ExplainChainJoinSize(catalog, specs));
+  return detail.final_size;
+}
+
+Result<std::vector<SnapshotChainStep>> ResolveChain(
+    const CatalogSnapshot& snapshot, std::span<const ChainJoinSpec> specs) {
+  if (specs.size() < 2) {
+    return Status::InvalidArgument("chain join needs at least two relations");
+  }
+  if (!specs.front().left_column.empty() ||
+      !specs.back().right_column.empty()) {
+    return Status::InvalidArgument(
+        "first/last chain relations must not declare outer join columns");
+  }
+  std::vector<SnapshotChainStep> steps;
+  steps.reserve(specs.size() - 1);
+  for (size_t i = 0; i + 1 < specs.size(); ++i) {
+    const std::string& left_col = specs[i].right_column;
+    const std::string& right_col = specs[i + 1].left_column;
+    if (left_col.empty() || right_col.empty()) {
+      return Status::InvalidArgument(
+          "interior join columns must be non-empty (join " +
+          std::to_string(i) + ")");
+    }
+    SnapshotChainStep step;
+    HOPS_ASSIGN_OR_RETURN(step.left,
+                          snapshot.Resolve(specs[i].table, left_col));
+    HOPS_ASSIGN_OR_RETURN(step.right,
+                          snapshot.Resolve(specs[i + 1].table, right_col));
+    steps.push_back(step);
+  }
+  return steps;
+}
+
+Result<ChainJoinEstimateDetail> ExplainChainJoinSize(
+    const CatalogSnapshot& snapshot,
+    std::span<const SnapshotChainStep> steps) {
+  if (steps.empty()) {
+    return Status::InvalidArgument("chain join needs at least one join step");
+  }
+  for (const SnapshotChainStep& step : steps) {
+    if (step.left >= snapshot.num_columns() ||
+        step.right >= snapshot.num_columns()) {
+      return Status::InvalidArgument(
+          "chain step references a column id outside the snapshot");
+    }
+  }
+  // Same arithmetic, double for double, as the Catalog overload above —
+  // only the statistics lookup changed (dense ids, compiled histograms).
+  ChainJoinEstimateDetail detail;
+  double running = 0.0;
+  double prev_relation_size = 0.0;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const CompiledColumnStats& ls = snapshot.stats(steps[i].left);
+    const CompiledColumnStats& rs = snapshot.stats(steps[i].right);
+    double pairwise = EstimateEquiJoinSize(ls, rs);
+    detail.pairwise_sizes.push_back(pairwise);
+    if (i == 0) {
+      running = pairwise;
+    } else {
+      double scale =
+          prev_relation_size > 0 ? running / prev_relation_size : 0.0;
+      running = pairwise * scale;
+    }
+    prev_relation_size = rs.num_tuples;
+    detail.running_sizes.push_back(running);
+  }
+  detail.final_size = running;
+  return detail;
+}
+
+Result<double> EstimateChainJoinSize(const CatalogSnapshot& snapshot,
+                                     std::span<const SnapshotChainStep> steps) {
+  HOPS_ASSIGN_OR_RETURN(ChainJoinEstimateDetail detail,
+                        ExplainChainJoinSize(snapshot, steps));
   return detail.final_size;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "engine/catalog.h"
+#include "engine/catalog_snapshot.h"
 #include "util/status.h"
 
 namespace hops {
@@ -39,5 +40,30 @@ struct ChainJoinEstimateDetail {
 /// \brief As EstimateChainJoinSize, but with the intermediate breakdown.
 Result<ChainJoinEstimateDetail> ExplainChainJoinSize(
     const Catalog& catalog, std::span<const ChainJoinSpec> specs);
+
+/// \brief One interior join of a chain, pre-resolved against a snapshot:
+/// `left` is (relation i, its right-facing column), `right` is
+/// (relation i+1, its left-facing column).
+struct SnapshotChainStep {
+  ColumnId left = 0;
+  ColumnId right = 0;
+};
+
+/// \brief Interns a name-based chain spec against \p snapshot: the same
+/// validation as the Catalog overloads, performed once per plan. The
+/// returned steps are then estimated with zero string comparisons and zero
+/// histogram decodes per estimate.
+Result<std::vector<SnapshotChainStep>> ResolveChain(
+    const CatalogSnapshot& snapshot, std::span<const ChainJoinSpec> specs);
+
+/// \brief Chain estimate over a compiled snapshot. Bit-identical to the
+/// Catalog overload on the same statistics — the serving layer changes the
+/// data layout, never the estimate.
+Result<ChainJoinEstimateDetail> ExplainChainJoinSize(
+    const CatalogSnapshot& snapshot, std::span<const SnapshotChainStep> steps);
+
+/// \brief As the snapshot ExplainChainJoinSize, final size only.
+Result<double> EstimateChainJoinSize(const CatalogSnapshot& snapshot,
+                                     std::span<const SnapshotChainStep> steps);
 
 }  // namespace hops

@@ -5,10 +5,33 @@
 
 #include "engine/joint_statistics.h"
 #include "estimator/selectivity.h"
+#include "estimator/serving.h"
 
 namespace hops {
 
 namespace {
+
+// Bounds of a single ordered comparison; ok() only for ordered operators.
+Result<RangeBounds> OrderedComparisonBounds(const Comparison& cmp) {
+  if (!cmp.literal.is_int64()) {
+    return Status::InvalidArgument(
+        "ordered comparison on column '" + cmp.column +
+        "' needs an int64 literal");
+  }
+  const int64_t v = cmp.literal.AsInt64();
+  switch (cmp.op) {
+    case PredicateOp::kLess:
+      return RangeBounds{std::numeric_limits<int64_t>::min(), v, true, false};
+    case PredicateOp::kLessEqual:
+      return RangeBounds{std::numeric_limits<int64_t>::min(), v, true, true};
+    case PredicateOp::kGreater:
+      return RangeBounds{v, std::numeric_limits<int64_t>::max(), false, true};
+    case PredicateOp::kGreaterEqual:
+      return RangeBounds{v, std::numeric_limits<int64_t>::max(), true, true};
+    default:
+      return Status::Internal("unhandled comparison operator");
+  }
+}
 
 // Cardinality of a single comparison from its column statistics.
 Result<double> ComparisonCardinality(const ColumnStatistics& stats,
@@ -23,29 +46,24 @@ Result<double> ComparisonCardinality(const ColumnStatistics& stats,
     default:
       break;
   }
-  if (!cmp.literal.is_int64()) {
-    return Status::InvalidArgument(
-        "ordered comparison on column '" + cmp.column +
-        "' needs an int64 literal");
-  }
-  const int64_t v = cmp.literal.AsInt64();
-  RangeBounds bounds;
+  HOPS_ASSIGN_OR_RETURN(RangeBounds bounds, OrderedComparisonBounds(cmp));
+  return EstimateRangeSelection(stats, bounds);
+}
+
+// Compiled twin of the above — same dispatch, serving-layer estimators.
+Result<double> ComparisonCardinality(const CompiledColumnStats& stats,
+                                     const Comparison& cmp) {
   switch (cmp.op) {
-    case PredicateOp::kLess:
-      bounds = {std::numeric_limits<int64_t>::min(), v, true, false};
-      break;
-    case PredicateOp::kLessEqual:
-      bounds = {std::numeric_limits<int64_t>::min(), v, true, true};
-      break;
-    case PredicateOp::kGreater:
-      bounds = {v, std::numeric_limits<int64_t>::max(), false, true};
-      break;
-    case PredicateOp::kGreaterEqual:
-      bounds = {v, std::numeric_limits<int64_t>::max(), true, true};
-      break;
+    case PredicateOp::kEqual:
+      return EstimateEqualitySelection(stats, cmp.literal);
+    case PredicateOp::kNotEqual:
+      return EstimateNotEqualsSelection(stats, cmp.literal);
+    case PredicateOp::kIn:
+      return EstimateDisjunctiveSelection(stats, cmp.in_list);
     default:
-      return Status::Internal("unhandled comparison operator");
+      break;
   }
+  HOPS_ASSIGN_OR_RETURN(RangeBounds bounds, OrderedComparisonBounds(cmp));
   return EstimateRangeSelection(stats, bounds);
 }
 
@@ -107,6 +125,74 @@ Result<double> EstimatePredicateCardinality(const Catalog& catalog,
     HOPS_ASSIGN_OR_RETURN(
         ColumnStatistics stats,
         catalog.GetColumnStatistics(table, comparisons[i].column));
+    if (relation_size < 0) relation_size = stats.num_tuples;
+    HOPS_ASSIGN_OR_RETURN(double count,
+                          ComparisonCardinality(stats, comparisons[i]));
+    apply_factor(count);
+  }
+  return std::max(0.0, cardinality);
+}
+
+Result<double> EstimatePredicateCardinality(const CatalogSnapshot& snapshot,
+                                            const std::string& table,
+                                            const Predicate& predicate) {
+  if (predicate.empty()) {
+    return Status::InvalidArgument("empty predicate");
+  }
+  const auto& comparisons = predicate.comparisons();
+  std::vector<bool> consumed(comparisons.size(), false);
+
+  double relation_size = -1.0;
+  double cardinality = -1.0;  // running estimate, starts at first factor
+  auto apply_factor = [&](double count) {
+    if (cardinality < 0) {
+      cardinality = count;
+    } else {
+      // Independence: multiply by the factor's selectivity.
+      cardinality *= relation_size > 0 ? count / relation_size : 0.0;
+    }
+  };
+
+  // First pass: equality pairs served by joint statistics. Pairing order
+  // matches the Catalog overload exactly so the factor association (and
+  // therefore the floating-point result) is identical.
+  for (size_t i = 0; i < comparisons.size(); ++i) {
+    if (consumed[i] || comparisons[i].op != PredicateOp::kEqual) continue;
+    for (size_t j = i + 1; j < comparisons.size(); ++j) {
+      if (consumed[j] || comparisons[j].op != PredicateOp::kEqual) continue;
+      auto joint = snapshot.Resolve(
+          table, JointStatisticsColumnKey(comparisons[i].column,
+                                          comparisons[j].column));
+      if (!joint.ok()) {
+        joint = snapshot.Resolve(
+            table, JointStatisticsColumnKey(comparisons[j].column,
+                                            comparisons[i].column));
+        if (joint.ok()) {
+          // Stored with swapped roles: swap the probe order too.
+          const CompiledColumnStats& js = snapshot.stats(*joint);
+          if (relation_size < 0) relation_size = js.num_tuples;
+          apply_factor(EstimateConjunctiveEquality(
+              js, comparisons[j].literal, comparisons[i].literal));
+          consumed[i] = consumed[j] = true;
+          break;
+        }
+        continue;
+      }
+      const CompiledColumnStats& js = snapshot.stats(*joint);
+      if (relation_size < 0) relation_size = js.num_tuples;
+      apply_factor(EstimateConjunctiveEquality(
+          js, comparisons[i].literal, comparisons[j].literal));
+      consumed[i] = consumed[j] = true;
+      break;
+    }
+  }
+
+  // Second pass: the remaining comparisons, independently.
+  for (size_t i = 0; i < comparisons.size(); ++i) {
+    if (consumed[i]) continue;
+    HOPS_ASSIGN_OR_RETURN(ColumnId id,
+                          snapshot.Resolve(table, comparisons[i].column));
+    const CompiledColumnStats& stats = snapshot.stats(id);
     if (relation_size < 0) relation_size = stats.num_tuples;
     HOPS_ASSIGN_OR_RETURN(double count,
                           ComparisonCardinality(stats, comparisons[i]));

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "engine/catalog.h"
+#include "engine/catalog_snapshot.h"
 #include "engine/predicate.h"
 #include "util/status.h"
 
@@ -22,6 +23,14 @@ namespace hops {
 /// estimated jointly; every remaining comparison contributes an independent
 /// selectivity factor. Ordered comparisons require int64 columns.
 Result<double> EstimatePredicateCardinality(const Catalog& catalog,
+                                            const std::string& table,
+                                            const Predicate& predicate);
+
+/// \brief As above, over a compiled snapshot (estimator/serving.h): same
+/// joint-statistics pairing and factor order, so the estimate is
+/// bit-identical to the Catalog overload on the same statistics, with zero
+/// histogram decodes per call.
+Result<double> EstimatePredicateCardinality(const CatalogSnapshot& snapshot,
                                             const std::string& table,
                                             const Predicate& predicate);
 

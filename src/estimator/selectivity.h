@@ -11,6 +11,7 @@
 #include <span>
 
 #include "engine/catalog.h"
+#include "util/math.h"
 #include "util/status.h"
 
 namespace hops {
@@ -25,8 +26,19 @@ double EstimateNotEqualsSelection(const ColumnStatistics& stats,
 
 /// \brief Estimated size of the disjunctive selection
 /// (col = v1 or col = v2 or ...). Duplicate values are counted once.
+/// Deduplication is a stack-friendly sort-unique over the key span (no
+/// per-call hash-set allocation); frequencies are summed in first-occurrence
+/// order, matching the historical hash-set implementation bit-for-bit.
 double EstimateDisjunctiveSelection(const ColumnStatistics& stats,
                                     std::span<const Value> values);
+
+/// \brief Writes the catalog keys of \p values into \p out (capacity must be
+/// >= values.size()), deduplicated, in first-occurrence order; returns the
+/// unique count. Shared by the legacy and the compiled serving paths so both
+/// sum the same keys in the same association. Allocation-free for spans of
+/// up to 64 values.
+size_t UniqueCatalogKeysFirstOccurrence(std::span<const Value> values,
+                                        int64_t* out);
 
 /// \brief Inclusive/exclusive bounds for range estimation.
 struct RangeBounds {
@@ -41,8 +53,38 @@ struct RangeBounds {
 /// the implicit default bucket contributes its average frequency times the
 /// estimated number of default values in the range (default values assumed
 /// uniformly spread over [min_value, max_value]).
+///
+/// The explicit entries are sorted, so the in-range span is located with two
+/// binary searches and only its k entries are summed — O(log n + k), not the
+/// historical O(n) scan. Bit-identical to EstimateRangeSelectionLinear (the
+/// property tests in tests/estimator/ enforce this). The snapshot serving
+/// path (estimator/serving.h) goes further: with compiled prefix sums the
+/// explicit mass is O(log n) outright.
 Result<double> EstimateRangeSelection(const ColumnStatistics& stats,
                                       const RangeBounds& bounds);
+
+/// \brief Frozen reference implementation of range estimation: the original
+/// linear scan over every explicit entry. Kept verbatim as the determinism
+/// oracle — the O(log n) paths above and the compiled serving path must
+/// reproduce its results bit-for-bit. Do not "optimize" this function.
+Result<double> EstimateRangeSelectionLinear(const ColumnStatistics& stats,
+                                            const RangeBounds& bounds);
+
+namespace internal {
+
+/// \brief Shared tail of range estimation: the default-bucket contribution
+/// (average frequency x estimated default values in range, uniform-spread
+/// assumption) plus the relation-size clamp, applied to the accumulator
+/// already holding the explicit in-range mass. Every range path — linear
+/// reference, binary-search, compiled serving — funnels through this one
+/// function so the floating-point association is pinned in exactly one
+/// place.
+double FinishRangeEstimate(double num_tuples, int64_t min_value,
+                           int64_t max_value, double default_frequency,
+                           uint64_t num_default_values, int64_t lo, int64_t hi,
+                           int64_t explicit_in_range, KahanSum total);
+
+}  // namespace internal
 
 /// \brief Estimated |R ⋈ S| on one attribute, from both sides' compact
 /// histograms. Assumes the two attributes share a value domain (the paper's

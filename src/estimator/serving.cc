@@ -1,0 +1,221 @@
+#include "estimator/serving.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "engine/catalog.h"
+#include "util/math.h"
+
+namespace hops {
+
+double EstimateEqualitySelection(const CompiledColumnStats& stats,
+                                 const Value& value) {
+  return stats.histogram->LookupFrequency(CatalogKeyFor(value));
+}
+
+double EstimateNotEqualsSelection(const CompiledColumnStats& stats,
+                                  const Value& value) {
+  double eq = EstimateEqualitySelection(stats, value);
+  return std::max(0.0, stats.num_tuples - eq);
+}
+
+double EstimateDisjunctiveSelection(const CompiledColumnStats& stats,
+                                    std::span<const Value> values) {
+  // Same dedupe + summation association as the Catalog path
+  // (estimator/selectivity.cc) so both produce identical bits.
+  constexpr size_t kInline = 64;
+  int64_t inline_keys[kInline];
+  std::vector<int64_t> heap_keys;
+  int64_t* keys = inline_keys;
+  if (values.size() > kInline) {
+    heap_keys.resize(values.size());
+    keys = heap_keys.data();
+  }
+  const size_t unique = UniqueCatalogKeysFirstOccurrence(values, keys);
+  KahanSum total;
+  for (size_t i = 0; i < unique; ++i) {
+    total.Add(stats.histogram->LookupFrequency(keys[i]));
+  }
+  return total.Value();
+}
+
+Result<double> EstimateRangeSelection(const CompiledColumnStats& stats,
+                                      const RangeBounds& bounds) {
+  // Normalize to a closed interval [lo, hi] — same as the Catalog path.
+  int64_t lo = bounds.low + (bounds.include_low ? 0 : 1);
+  int64_t hi = bounds.high - (bounds.include_high ? 0 : 1);
+  if (lo > hi) return 0.0;
+
+  const CompiledHistogram& h = *stats.histogram;
+  const auto [begin, end] = h.ExplicitRange(lo, hi);
+  KahanSum total;
+  if (h.prefix_exact()) {
+    // Exact-integer regime: the prefix difference is the same bits as a
+    // fresh Kahan scan of the subrange, and adding it to a fresh KahanSum
+    // leaves the accumulator in the same (sum, compensation) state the
+    // legacy scan reaches. O(log n) total.
+    if (end > begin) total.Add(h.ExplicitMass(begin, end));
+  } else {
+    // Fallback: element-wise Kahan over just the in-range entries, same
+    // ascending order and accumulator as the linear reference. O(log n + k).
+    const std::span<const double> freqs = h.frequencies();
+    for (size_t i = begin; i < end; ++i) total.Add(freqs[i]);
+  }
+  return internal::FinishRangeEstimate(
+      stats.num_tuples, stats.min_value, stats.max_value,
+      h.default_frequency(), h.num_default_values(), lo, hi,
+      static_cast<int64_t>(end - begin), total);
+}
+
+double EstimateEquiJoinSize(const CompiledColumnStats& left,
+                            const CompiledColumnStats& right) {
+  const CompiledHistogram& hl = *left.histogram;
+  const CompiledHistogram& hr = *right.histogram;
+  KahanSum total;
+  // Merge the two sorted key streams — operation for operation the same as
+  // the CatalogHistogram version, over the denser struct-of-arrays layout.
+  const std::span<const int64_t> kl = hl.keys();
+  const std::span<const int64_t> kr = hr.keys();
+  const std::span<const double> fl = hl.frequencies();
+  const std::span<const double> fr = hr.frequencies();
+  size_t i = 0, j = 0;
+  size_t matched_explicit = 0;
+  while (i < kl.size() && j < kr.size()) {
+    if (kl[i] < kr[j]) {
+      total.Add(fl[i] * hr.default_frequency());
+      ++i;
+    } else if (kr[j] < kl[i]) {
+      total.Add(fr[j] * hl.default_frequency());
+      ++j;
+    } else {
+      total.Add(fl[i] * fr[j]);
+      ++matched_explicit;
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < kl.size(); ++i) total.Add(fl[i] * hr.default_frequency());
+  for (; j < kr.size(); ++j) total.Add(fr[j] * hl.default_frequency());
+
+  const double universe =
+      static_cast<double>(std::max(hl.num_values(), hr.num_values()));
+  const double consumed =
+      static_cast<double>(kl.size() + kr.size() - matched_explicit);
+  const double default_common = std::max(0.0, universe - consumed);
+  total.Add(default_common * hl.default_frequency() * hr.default_frequency());
+  return total.Value();
+}
+
+EstimateSpec EstimateSpec::Equality(ColumnId column, Value literal) {
+  EstimateSpec spec;
+  spec.kind = EstimateKind::kEquality;
+  spec.column = column;
+  spec.literal = std::move(literal);
+  return spec;
+}
+
+EstimateSpec EstimateSpec::NotEquals(ColumnId column, Value literal) {
+  EstimateSpec spec;
+  spec.kind = EstimateKind::kNotEquals;
+  spec.column = column;
+  spec.literal = std::move(literal);
+  return spec;
+}
+
+EstimateSpec EstimateSpec::In(ColumnId column, std::vector<Value> in_list) {
+  EstimateSpec spec;
+  spec.kind = EstimateKind::kDisjunctive;
+  spec.column = column;
+  spec.in_list = std::move(in_list);
+  return spec;
+}
+
+EstimateSpec EstimateSpec::Range(ColumnId column, RangeBounds bounds) {
+  EstimateSpec spec;
+  spec.kind = EstimateKind::kRange;
+  spec.column = column;
+  spec.bounds = bounds;
+  return spec;
+}
+
+EstimateSpec EstimateSpec::Join(ColumnId left, ColumnId right) {
+  EstimateSpec spec;
+  spec.kind = EstimateKind::kJoin;
+  spec.join_left = left;
+  spec.join_right = right;
+  return spec;
+}
+
+EstimateSpec EstimateSpec::Chain(std::vector<SnapshotChainStep> steps) {
+  EstimateSpec spec;
+  spec.kind = EstimateKind::kChain;
+  spec.chain = std::move(steps);
+  return spec;
+}
+
+namespace {
+
+Status CheckColumn(const CatalogSnapshot& snapshot, ColumnId id,
+                   const char* role) {
+  if (id >= snapshot.num_columns()) {
+    return Status::InvalidArgument(
+        std::string(role) + " column id " + std::to_string(id) +
+        " is outside the snapshot (" +
+        std::to_string(snapshot.num_columns()) + " columns)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> EstimateOne(const CatalogSnapshot& snapshot,
+                           const EstimateSpec& spec) {
+  switch (spec.kind) {
+    case EstimateKind::kEquality:
+      HOPS_RETURN_NOT_OK(CheckColumn(snapshot, spec.column, "equality"));
+      return EstimateEqualitySelection(snapshot.stats(spec.column),
+                                       spec.literal);
+    case EstimateKind::kNotEquals:
+      HOPS_RETURN_NOT_OK(CheckColumn(snapshot, spec.column, "not-equals"));
+      return EstimateNotEqualsSelection(snapshot.stats(spec.column),
+                                        spec.literal);
+    case EstimateKind::kDisjunctive:
+      HOPS_RETURN_NOT_OK(CheckColumn(snapshot, spec.column, "disjunctive"));
+      return EstimateDisjunctiveSelection(snapshot.stats(spec.column),
+                                          spec.in_list);
+    case EstimateKind::kRange:
+      HOPS_RETURN_NOT_OK(CheckColumn(snapshot, spec.column, "range"));
+      return EstimateRangeSelection(snapshot.stats(spec.column), spec.bounds);
+    case EstimateKind::kJoin:
+      HOPS_RETURN_NOT_OK(CheckColumn(snapshot, spec.join_left, "join left"));
+      HOPS_RETURN_NOT_OK(CheckColumn(snapshot, spec.join_right, "join right"));
+      return EstimateEquiJoinSize(snapshot.stats(spec.join_left),
+                                  snapshot.stats(spec.join_right));
+    case EstimateKind::kChain:
+      return EstimateChainJoinSize(snapshot, spec.chain);
+  }
+  return Status::InvalidArgument("unknown estimate kind");
+}
+
+std::vector<Result<double>> EstimateBatch(const CatalogSnapshot& snapshot,
+                                          std::span<const EstimateSpec> specs,
+                                          ThreadPool* pool) {
+  std::vector<Result<double>> results(
+      specs.size(), Result<double>(Status::Internal("not estimated")));
+  if (specs.empty()) return results;
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+  // Index-range decomposition: each index is computed independently and
+  // written to its own slot, so any pool size (including a serial run)
+  // produces the same bits — the thread pool's determinism contract.
+  const size_t grain = std::max<size_t>(
+      1, specs.size() / (8 * std::max<size_t>(1, p.num_threads())));
+  p.ParallelFor(0, specs.size(), grain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      results[i] = EstimateOne(snapshot, specs[i]);
+    }
+  });
+  return results;
+}
+
+}  // namespace hops

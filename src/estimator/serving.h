@@ -1,0 +1,103 @@
+// Snapshot-based estimation serving (DESIGN.md §7 "Serving path").
+//
+// These are the entry points an optimizer hits thousands of times per
+// workload. They operate on a CatalogSnapshot (engine/catalog_snapshot.h):
+// statistics are already decoded and compiled, columns are addressed by
+// dense interned ids, and the whole snapshot is immutable — so estimates
+// are lock-free, allocation-light, and safe to fan across threads.
+//
+// Determinism contract: every function here is bit-identical to its
+// Catalog/ColumnStatistics counterpart in selectivity.h / join_estimator.h
+// on the same statistics. The serving layer changes the data layout and the
+// asymptotics (O(log n) range lookups via compiled prefix sums), never the
+// estimate. bench/bench_estimation.cc enforces this with a fingerprint
+// check against the frozen linear-scan reference.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "engine/catalog_snapshot.h"
+#include "engine/value.h"
+#include "estimator/join_estimator.h"
+#include "estimator/selectivity.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace hops {
+
+/// \brief Estimated |sigma_{col = value}(R)| — branch-free binary search on
+/// the compiled key array.
+double EstimateEqualitySelection(const CompiledColumnStats& stats,
+                                 const Value& value);
+
+/// \brief Estimated |sigma_{col != value}(R)|.
+double EstimateNotEqualsSelection(const CompiledColumnStats& stats,
+                                  const Value& value);
+
+/// \brief Estimated disjunctive selection (col IN (...)); duplicates are
+/// counted once (stack-friendly sort-unique, first-occurrence order).
+double EstimateDisjunctiveSelection(const CompiledColumnStats& stats,
+                                    std::span<const Value> values);
+
+/// \brief Estimated range selection: two binary searches bound the explicit
+/// span; its mass is a prefix-sum difference when the histogram's
+/// prefix_exact() fast path is valid (O(log n) total), and a Kahan scan of
+/// just the in-range entries otherwise (O(log n + k)).
+Result<double> EstimateRangeSelection(const CompiledColumnStats& stats,
+                                      const RangeBounds& bounds);
+
+/// \brief Estimated |R ⋈ S| from both sides' compiled histograms — the same
+/// sorted-merge as the CatalogHistogram version over the denser
+/// struct-of-arrays layout.
+double EstimateEquiJoinSize(const CompiledColumnStats& left,
+                            const CompiledColumnStats& right);
+
+/// \brief What a single batched estimate computes.
+enum class EstimateKind {
+  kEquality,     ///< column = literal
+  kNotEquals,    ///< column != literal
+  kDisjunctive,  ///< column IN (in_list)
+  kRange,        ///< bounds.low (<|<=) column (<|<=) bounds.high
+  kJoin,         ///< join_left ⋈ join_right (single equi-join)
+  kChain,        ///< chain of equi-joins over `chain`
+};
+
+/// \brief One estimate of a mixed batch, fully resolved against a snapshot
+/// (ids, not names — resolve once per plan with CatalogSnapshot::Resolve /
+/// ResolveChain).
+struct EstimateSpec {
+  EstimateKind kind = EstimateKind::kEquality;
+  ColumnId column = 0;                   ///< equality / not-equals / in / range
+  Value literal;                         ///< equality / not-equals
+  std::vector<Value> in_list;            ///< disjunctive
+  RangeBounds bounds;                    ///< range
+  ColumnId join_left = 0;                ///< join
+  ColumnId join_right = 0;               ///< join
+  std::vector<SnapshotChainStep> chain;  ///< chain
+
+  static EstimateSpec Equality(ColumnId column, Value literal);
+  static EstimateSpec NotEquals(ColumnId column, Value literal);
+  static EstimateSpec In(ColumnId column, std::vector<Value> in_list);
+  static EstimateSpec Range(ColumnId column, RangeBounds bounds);
+  static EstimateSpec Join(ColumnId left, ColumnId right);
+  static EstimateSpec Chain(std::vector<SnapshotChainStep> steps);
+};
+
+/// \brief Runs one spec against \p snapshot. InvalidArgument on ids outside
+/// the snapshot or malformed specs.
+Result<double> EstimateOne(const CatalogSnapshot& snapshot,
+                           const EstimateSpec& spec);
+
+/// \brief Batched estimation: runs every spec against the (immutable)
+/// snapshot, fanning independent estimates across \p pool (nullptr = the
+/// global pool). Results align with specs; per-spec failures do not abort
+/// the batch. Bit-identical to a serial EstimateOne loop at any pool size
+/// (each index is computed independently — the thread pool's determinism
+/// contract, DESIGN.md §6).
+std::vector<Result<double>> EstimateBatch(const CatalogSnapshot& snapshot,
+                                          std::span<const EstimateSpec> specs,
+                                          ThreadPool* pool = nullptr);
+
+}  // namespace hops

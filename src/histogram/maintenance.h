@@ -13,6 +13,13 @@
 //    (because incremental updates preserve *counts* but cannot re-optimize
 //    *bucket boundaries* — a value drifting from the default bucket into
 //    top-k territory needs a rebuild to become explicit).
+//
+// Serving coherence: every mutation goes through
+// CatalogHistogram::AdjustExplicitFrequency / SetDefaultFrequency, which
+// invalidate the histogram's cached compiled() view (histogram/compiled.h),
+// so `current().compiled()` after any ApplyInsert/ApplyDelete is always
+// equivalent to compiling the maintained histogram from scratch — the
+// maintenance-coherence tests in tests/histogram/compiled_test.cc prove it.
 
 #pragma once
 
@@ -55,6 +62,11 @@ class HistogramMaintainer {
   /// The maintained histogram (counts up to date; boundaries as of the last
   /// build).
   const CatalogHistogram& current() const { return histogram_; }
+
+  /// Read-optimized view of the maintained histogram. Always coherent:
+  /// ApplyInsert/ApplyDelete invalidate the underlying cache, so the view
+  /// is rebuilt on first use after any update.
+  const CompiledHistogram& compiled() const { return histogram_.compiled(); }
 
   /// Estimated relation size after the applied updates.
   double num_tuples() const { return num_tuples_; }

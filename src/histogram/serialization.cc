@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "histogram/compiled.h"
+
 namespace hops {
 
 namespace {
@@ -102,6 +104,7 @@ bool CatalogHistogram::AdjustExplicitFrequency(int64_t value, double delta) {
       [](const auto& entry, int64_t v) { return entry.first < v; });
   if (it == explicit_entries_.end() || it->first != value) return false;
   it->second = std::max(0.0, it->second + delta);
+  compiled_.reset();  // keep the compiled view coherent
   return true;
 }
 
@@ -110,7 +113,28 @@ Status CatalogHistogram::SetDefaultFrequency(double frequency) {
     return Status::InvalidArgument("default frequency must be >= 0");
   }
   default_frequency_ = frequency;
+  compiled_.reset();  // keep the compiled view coherent
   return Status::OK();
+}
+
+const CompiledHistogram& CatalogHistogram::compiled() const {
+  if (compiled_ == nullptr) {
+    compiled_ = std::make_shared<const CompiledHistogram>(
+        CompiledHistogram::Compile(*this));
+  }
+  return *compiled_;
+}
+
+std::shared_ptr<const CompiledHistogram> CatalogHistogram::compiled_shared()
+    const {
+  compiled();  // ensure the cache is populated
+  return compiled_;
+}
+
+bool CatalogHistogram::operator==(const CatalogHistogram& other) const {
+  return explicit_entries_ == other.explicit_entries_ &&
+         default_frequency_ == other.default_frequency_ &&
+         num_default_values_ == other.num_default_values_;
 }
 
 double CatalogHistogram::EstimatedTotal() const {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,6 +22,8 @@
 #include "util/status.h"
 
 namespace hops {
+
+class CompiledHistogram;
 
 /// \brief Catalog-resident compact histogram over int64 attribute values.
 class CatalogHistogram {
@@ -46,12 +49,28 @@ class CatalogHistogram {
 
   /// Adds \p delta to an explicitly stored value's frequency (clamped at 0).
   /// Returns false (and changes nothing) when the value is not explicit.
-  /// Used by incremental maintenance (histogram/maintenance.h).
+  /// Used by incremental maintenance (histogram/maintenance.h). Invalidates
+  /// the cached compiled() view on success.
   bool AdjustExplicitFrequency(int64_t value, double delta);
 
   /// Replaces the default bucket's average frequency (>= 0). Used by
-  /// incremental maintenance.
+  /// incremental maintenance. Invalidates the cached compiled() view on
+  /// success.
   Status SetDefaultFrequency(double frequency);
+
+  /// Read-optimized compiled view (histogram/compiled.h), built lazily and
+  /// cached; every mutation (AdjustExplicitFrequency / SetDefaultFrequency)
+  /// invalidates the cache, so the view is always coherent with the entries.
+  /// Thread-compatible like the rest of the catalog types: the lazy build
+  /// mutates a cache member, so concurrent first reads need external
+  /// synchronization — concurrent serving goes through the immutable
+  /// CatalogSnapshot instead (engine/catalog_snapshot.h).
+  const CompiledHistogram& compiled() const;
+
+  /// Shared ownership of the compiled view; the returned pointer stays
+  /// valid (and immutable) after this histogram mutates or dies — this is
+  /// what CatalogSnapshot::Compile captures.
+  std::shared_ptr<const CompiledHistogram> compiled_shared() const;
 
   /// Explicitly stored entries, sorted by value.
   const std::vector<std::pair<int64_t, double>>& explicit_entries() const {
@@ -77,12 +96,18 @@ class CatalogHistogram {
   /// Inverse of Encode.
   static Result<CatalogHistogram> Decode(std::string_view bytes);
 
-  bool operator==(const CatalogHistogram& other) const = default;
+  /// Logical equality (entries, default frequency, default count); the
+  /// compiled-view cache does not participate.
+  bool operator==(const CatalogHistogram& other) const;
 
  private:
   std::vector<std::pair<int64_t, double>> explicit_entries_;  // sorted
   double default_frequency_ = 0.0;
   uint64_t num_default_values_ = 0;
+  // Lazily built read-optimized view; reset by mutators. Shared so that a
+  // CatalogSnapshot can keep serving the old view after this histogram
+  // changes (RCU semantics).
+  mutable std::shared_ptr<const CompiledHistogram> compiled_;
 };
 
 }  // namespace hops
