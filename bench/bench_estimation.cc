@@ -9,8 +9,11 @@
 //                  over pre-decoded statistics. Serving path: compiled
 //                  prefix sums, O(log M) per query.
 //   point_heavy  — equality / not-equals / IN probes. Baseline: decoded
-//                  CatalogHistogram lookups. Serving path: branch-free
-//                  binary search over the struct-of-arrays keys.
+//                  CatalogHistogram lookups. Serving path: branchy binary
+//                  search over the dense struct-of-arrays keys (half the
+//                  cache-line traffic of the decoded (value, freq) pairs;
+//                  see CompiledHistogram::LowerBound for why branchy beats
+//                  branch-free here).
 //   chain_join   — 4-relation chain estimates. Baseline: the Catalog
 //                  overload (decodes every histogram on every call).
 //                  Serving path: ResolveChain once, then id-based estimates.
@@ -362,6 +365,7 @@ int Run(int argc, char** argv) {
   w.BeginObject();
   w.Key("bench");
   w.String("estimation_serving");
+  WriteBenchProvenance(&w);
   w.Key("threads");
   w.UInt(threads);
   w.Key("hardware_concurrency");

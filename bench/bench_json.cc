@@ -204,6 +204,7 @@ int Run(int argc, char** argv) {
   w.BeginObject();
   w.Key("bench");
   w.String("histogram_construction");
+  WriteBenchProvenance(&w);
   w.Key("threads");
   w.UInt(threads);
   w.Key("hardware_concurrency");

@@ -52,4 +52,19 @@ class JsonWriter {
   bool after_key_ = false;
 };
 
+/// \brief ISO-8601 UTC timestamp ("2026-08-06T12:34:56Z") for bench
+/// provenance headers.
+std::string BenchTimestampUtc();
+
+/// \brief Source revision for bench provenance: $HOPS_GIT_REV when set
+/// (CI passes it), otherwise `git rev-parse --short=12 HEAD`, otherwise
+/// "unknown". Never fails.
+std::string BenchGitRev();
+
+/// \brief Emits the shared provenance fields every BENCH_*.json carries:
+///   "timestamp_utc": when the run happened,
+///   "git_rev":       what code produced it.
+/// Call right after the top-level BeginObject().
+void WriteBenchProvenance(JsonWriter* writer);
+
 }  // namespace hops

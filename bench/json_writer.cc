@@ -4,6 +4,8 @@
 #include "bench_json.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 
 namespace hops {
 
@@ -113,6 +115,48 @@ void JsonWriter::Bool(bool value) {
 void JsonWriter::Null() {
   Prefix(false);
   out_ += "null";
+}
+
+std::string BenchTimestampUtc() {
+  std::time_t now = std::time(nullptr);
+  std::tm utc{};
+#if defined(_WIN32)
+  gmtime_s(&utc, &now);
+#else
+  gmtime_r(&now, &utc);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+std::string BenchGitRev() {
+  if (const char* env = std::getenv("HOPS_GIT_REV");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+#if !defined(_WIN32)
+  if (FILE* pipe = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+    char buf[64] = {0};
+    const size_t n = fread(buf, 1, sizeof(buf) - 1, pipe);
+    const int status = pclose(pipe);
+    if (status == 0 && n > 0) {
+      std::string rev(buf, n);
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+        rev.pop_back();
+      }
+      if (!rev.empty()) return rev;
+    }
+  }
+#endif
+  return "unknown";
+}
+
+void WriteBenchProvenance(JsonWriter* writer) {
+  writer->Key("timestamp_utc");
+  writer->String(BenchTimestampUtc());
+  writer->Key("git_rev");
+  writer->String(BenchGitRev());
 }
 
 }  // namespace hops

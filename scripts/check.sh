@@ -1,25 +1,61 @@
 #!/usr/bin/env bash
 # Full verification pipeline: configure, build, test, regenerate every
-# table/figure. Pass --asan to also run the sanitizer build.
+# table/figure. This is the same entrypoint CI runs (.github/workflows/ci.yml):
+#   (no flag)  tier-1 job: configure, build, ctest, regenerate benches
+#   --asan     also run the ASan+UBSan build + tests
+#   --tsan     also run the ThreadSanitizer build over the concurrency
+#              suites (thread_pool_test, parallel_build_test,
+#              snapshot_concurrency_test, refresh_daemon_test)
+#   --skip-tier1  skip the default build+ctest+bench stage (used by the CI
+#              sanitizer jobs so they only pay for their own build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
-
-echo "== Regenerating paper tables/figures =="
-for b in build/bench/*; do
-  "$b"
+RUN_TIER1=1
+RUN_ASAN=0
+RUN_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) RUN_ASAN=1 ;;
+    --tsan) RUN_TSAN=1 ;;
+    --skip-tier1) RUN_TIER1=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
 done
 
-if [[ "${1:-}" == "--asan" ]]; then
+if [[ "$RUN_TIER1" == 1 ]]; then
+  cmake -B build -G Ninja
+  cmake --build build
+  ctest --test-dir build --output-on-failure
+
+  echo "== Regenerating paper tables/figures =="
+  for b in build/bench/*; do
+    "$b"
+  done
+fi
+
+if [[ "$RUN_ASAN" == 1 ]]; then
   echo "== ASan+UBSan pass =="
   cmake -B build-asan -G Ninja -DHOPS_BUILD_BENCHMARKS=OFF \
     -DHOPS_BUILD_EXAMPLES=OFF -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure
+fi
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "== ThreadSanitizer pass =="
+  cmake -B build-tsan -G Ninja -DHOPS_SANITIZE=thread \
+    -DHOPS_BUILD_BENCHMARKS=OFF -DHOPS_BUILD_EXAMPLES=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan --target thread_pool_test parallel_build_test \
+    snapshot_concurrency_test refresh_daemon_test
+  # Oversubscribe the pool so TSan sees real interleavings even on small
+  # CI machines.
+  HOPS_THREADS=4 ./build-tsan/tests/thread_pool_test
+  HOPS_THREADS=4 ./build-tsan/tests/parallel_build_test
+  HOPS_THREADS=4 ./build-tsan/tests/snapshot_concurrency_test
+  HOPS_THREADS=4 ./build-tsan/tests/refresh_daemon_test
 fi
 
 echo "All checks passed."

@@ -12,6 +12,9 @@
 #      estimators against the compiled snapshot serving path and
 #      EstimateBatch, verifies bit-identical estimates, and writes
 #      BENCH_estimation.json.
+#   4. Run bench/bench_refresh, which measures the adaptive refresh
+#      subsystem (delta-apply throughput, batched rebuild latency, reader
+#      p50/p99 while the daemon churns) and writes BENCH_refresh.json.
 #
 # Usage: scripts/run_benchmarks.sh [--quick] [--skip-tsan]
 #   --quick      restrict the bench sweep (CI smoke)
@@ -31,17 +34,18 @@ done
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== ThreadSanitizer pass (thread_pool_test, parallel_build_test," \
-       "snapshot_concurrency_test) =="
+       "snapshot_concurrency_test, refresh_daemon_test) =="
   cmake -B build-tsan -G Ninja -DHOPS_SANITIZE=thread \
     -DHOPS_BUILD_BENCHMARKS=OFF -DHOPS_BUILD_EXAMPLES=OFF \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan --target thread_pool_test parallel_build_test \
-    snapshot_concurrency_test
+    snapshot_concurrency_test refresh_daemon_test
   # Oversubscribe the pool so TSan sees real interleavings even on small
   # CI machines.
   HOPS_THREADS=4 ./build-tsan/tests/thread_pool_test
   HOPS_THREADS=4 ./build-tsan/tests/parallel_build_test
   HOPS_THREADS=4 ./build-tsan/tests/snapshot_concurrency_test
+  HOPS_THREADS=4 ./build-tsan/tests/refresh_daemon_test
 fi
 
 echo "== Optimized bench: serial vs parallel batched construction =="
@@ -91,5 +95,35 @@ assert head["identical"]
 assert head["meets_10x_target"]
 EOF
 
-echo "run_benchmarks.sh: all checks passed; wrote BENCH_histograms.json" \
-     "and BENCH_estimation.json"
+echo "== Optimized bench: adaptive refresh subsystem =="
+cmake --build build-release --target bench_refresh
+./build-release/bench/bench_refresh BENCH_refresh.json "${QUICK_ARGS[@]}"
+
+# Sanity-check the emitted JSON (parses, well-formed estimates under churn,
+# the daemon actually applied/rebuilt/republished while readers ran).
+python3 - <<'EOF'
+import json
+with open("BENCH_refresh.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == "refresh_subsystem", doc.get("bench")
+assert doc["timestamp_utc"] and doc["git_rev"], "missing provenance"
+apply_phase = doc["delta_apply"]
+assert apply_phase["deltas"] > 0 and apply_phase["deltas_per_second"] > 0
+reader = doc["reader_under_churn"]
+assert reader["well_formed"], "malformed estimates under churn"
+assert reader["p99_micros"] >= reader["p50_micros"] >= 0
+assert reader["writer_deltas"] > 0, "no churn reached the readers"
+stats = doc["refresh_stats"]
+assert stats["deltas_applied"] > 0
+assert stats["republish_count"] > 0
+assert stats["log"]["drained"] <= stats["log"]["enqueued"]
+print(f"refresh: {apply_phase['deltas_per_second']:.0f} deltas/s applied, "
+      f"{doc['force_rebuild']['seconds_per_column']*1e3:.2f} ms/column "
+      f"rebuild, reader p50 {reader['p50_micros']:.2f}us "
+      f"p99 {reader['p99_micros']:.2f}us under "
+      f"{stats['rebuilds_total']} rebuilds / "
+      f"{stats['republish_count']} republishes")
+EOF
+
+echo "run_benchmarks.sh: all checks passed; wrote BENCH_histograms.json," \
+     "BENCH_estimation.json, and BENCH_refresh.json"

@@ -218,4 +218,51 @@ std::vector<Result<double>> EstimateBatch(const CatalogSnapshot& snapshot,
   return results;
 }
 
+Status ReportEstimateOutcome(const CatalogSnapshot& snapshot,
+                             const EstimateSpec& spec, double estimated,
+                             double actual, EstimationFeedbackSink* sink) {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("feedback sink must not be null");
+  }
+  // Collect the distinct columns the spec consulted (tiny spans: a chain of
+  // j joins touches 2j ids).
+  ColumnId inline_ids[8];
+  std::vector<ColumnId> heap_ids;
+  ColumnId* ids = inline_ids;
+  size_t count = 0;
+  switch (spec.kind) {
+    case EstimateKind::kEquality:
+    case EstimateKind::kNotEquals:
+    case EstimateKind::kDisjunctive:
+    case EstimateKind::kRange:
+      ids[count++] = spec.column;
+      break;
+    case EstimateKind::kJoin:
+      ids[count++] = spec.join_left;
+      ids[count++] = spec.join_right;
+      break;
+    case EstimateKind::kChain: {
+      if (2 * spec.chain.size() > 8) {
+        heap_ids.resize(2 * spec.chain.size());
+        ids = heap_ids.data();
+      }
+      for (const SnapshotChainStep& step : spec.chain) {
+        ids[count++] = step.left;
+        ids[count++] = step.right;
+      }
+      break;
+    }
+  }
+  std::sort(ids, ids + count);
+  count = static_cast<size_t>(std::unique(ids, ids + count) - ids);
+  for (size_t i = 0; i < count; ++i) {
+    HOPS_RETURN_NOT_OK(CheckColumn(snapshot, ids[i], "feedback"));
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const CompiledColumnStats& stats = snapshot.stats(ids[i]);
+    sink->ReportEstimationError(stats.table, stats.column, estimated, actual);
+  }
+  return Status::OK();
+}
+
 }  // namespace hops

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "engine/catalog_snapshot.h"
@@ -27,8 +28,8 @@
 
 namespace hops {
 
-/// \brief Estimated |sigma_{col = value}(R)| — branch-free binary search on
-/// the compiled key array.
+/// \brief Estimated |sigma_{col = value}(R)| — binary search on the dense
+/// compiled key array.
 double EstimateEqualitySelection(const CompiledColumnStats& stats,
                                  const Value& value);
 
@@ -99,5 +100,32 @@ Result<double> EstimateOne(const CatalogSnapshot& snapshot,
 std::vector<Result<double>> EstimateBatch(const CatalogSnapshot& snapshot,
                                           std::span<const EstimateSpec> specs,
                                           ThreadPool* pool = nullptr);
+
+/// \brief Receiver of observed estimation outcomes — the serving layer's
+/// feedback hook into the adaptive refresh subsystem (src/refresh/,
+/// DESIGN.md §8). Callers that later learn a query's true result size
+/// report (estimated, actual) per column; the refresh subsystem's
+/// StalenessAdvisor folds an EWMA of the relative error into its rebuild
+/// priority, closing the query-feedback loop of self-tuning histograms.
+/// Implementations must be thread-safe: estimates (and therefore reports)
+/// fan across threads.
+class EstimationFeedbackSink {
+ public:
+  virtual ~EstimationFeedbackSink() = default;
+
+  /// Reports one observed outcome for (table, column). \p estimated is the
+  /// served estimate, \p actual the true result size once known.
+  virtual void ReportEstimationError(std::string_view table,
+                                     std::string_view column,
+                                     double estimated, double actual) = 0;
+};
+
+/// \brief Maps \p spec back to the columns it consulted (selection column,
+/// both join sides, every chain step) via the snapshot's interned names and
+/// reports (estimated, actual) to \p sink once per distinct column.
+/// InvalidArgument on a null sink or ids outside the snapshot.
+Status ReportEstimateOutcome(const CatalogSnapshot& snapshot,
+                             const EstimateSpec& spec, double estimated,
+                             double actual, EstimationFeedbackSink* sink);
 
 }  // namespace hops

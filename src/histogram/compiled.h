@@ -6,9 +6,10 @@
 // per workload, and the hot loops want something denser:
 //
 //  * a struct-of-arrays split (keys[], freqs[]) so the binary search for an
-//    equality probe touches only the 8-byte key stream;
-//  * a branch-free binary search (conditional-move steps, no unpredictable
-//    compare-and-branch) for point lookups;
+//    equality probe touches only the dense 8-byte key stream — half the
+//    cache-line traffic of searching the 16-byte (value, frequency) pairs
+//    (a conditional-move "branch-free" search was tried and rejected; see
+//    LowerBound in compiled.cc for the measured story);
 //  * precomputed prefix sums so a range predicate becomes two binary
 //    searches plus a prefix difference — O(log n) instead of the O(n) scan
 //    the naive path performs. This is the paper-adjacent trick of Buccafurri
@@ -55,14 +56,14 @@ class CompiledHistogram {
   static CompiledHistogram Compile(const CatalogHistogram& histogram);
 
   /// Approximate frequency of \p value: explicit entries hit the flat sorted
-  /// key array via branch-free binary search, everything else gets the
-  /// default frequency. Bit-identical to CatalogHistogram::LookupFrequency.
+  /// key array via binary search, everything else gets the default
+  /// frequency. Bit-identical to CatalogHistogram::LookupFrequency.
   double LookupFrequency(int64_t value, bool* is_explicit = nullptr) const;
 
-  /// First index whose key is >= \p value (branch-free).
+  /// First index whose key is >= \p value.
   size_t LowerBound(int64_t value) const;
 
-  /// First index whose key is > \p value (branch-free).
+  /// First index whose key is > \p value.
   size_t UpperBound(int64_t value) const;
 
   /// Index range [begin, end) of explicit keys inside the *closed* interval

@@ -1,0 +1,115 @@
+#include "refresh/refresh_daemon.h"
+
+#include <chrono>
+#include <utility>
+
+namespace hops {
+
+RefreshDaemon::RefreshDaemon(RefreshManager* manager,
+                             RefreshDaemonOptions options)
+    : manager_(manager), options_(options) {}
+
+RefreshDaemon::~RefreshDaemon() { Stop().Check(); }
+
+Status RefreshDaemon::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) {
+    return Status::AlreadyExists("refresh daemon is already running");
+  }
+  if (manager_ == nullptr) {
+    return Status::InvalidArgument("refresh manager must not be null");
+  }
+  stop_requested_ = false;
+  drain_requested_ = false;
+  tick_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void RefreshDaemon::RequestTick() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tick_requested_ = true;
+  wake_.notify_all();
+}
+
+Status RefreshDaemon::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_ && !thread_.joinable()) return Status::OK();
+    stop_requested_ = true;
+    wake_.notify_all();
+    to_join = std::move(thread_);
+  }
+  if (to_join.joinable()) to_join.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+  return Status::OK();
+}
+
+Status RefreshDaemon::DrainAndStop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) {
+      drain_requested_ = true;
+      tick_requested_ = true;
+      wake_.notify_all();
+    }
+  }
+  HOPS_RETURN_NOT_OK(Stop());
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_tick_status_;
+}
+
+bool RefreshDaemon::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+uint64_t RefreshDaemon::ticks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ticks_;
+}
+
+Status RefreshDaemon::last_tick_status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_tick_status_;
+}
+
+void RefreshDaemon::Loop() {
+  for (;;) {
+    bool draining = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!stop_requested_ && !tick_requested_ && !drain_requested_) {
+        wake_.wait_for(
+            lock, std::chrono::microseconds(options_.tick_interval_micros),
+            [&] { return stop_requested_ || tick_requested_ || drain_requested_; });
+      }
+      // A plain Stop() exits before the next tick; a drain keeps ticking
+      // below until the log is empty.
+      if (stop_requested_ && !drain_requested_) break;
+      tick_requested_ = false;
+      draining = drain_requested_;
+    }
+
+    Result<RefreshTickReport> report = manager_->Tick();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++ticks_;
+      last_tick_status_ = report.status();
+    }
+
+    if (draining && manager_->update_log().depth() == 0) {
+      // Everything enqueued before DrainAndStop() has been applied (the
+      // final Tick drained the log and republished); exit.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_requested_ || drain_requested_) break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+}  // namespace hops

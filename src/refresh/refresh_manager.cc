@@ -1,0 +1,504 @@
+#include "refresh/refresh_manager.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "histogram/parallel_build.h"
+#include "util/stopwatch.h"
+
+namespace hops {
+
+// Per-column write-path state. `ideal` tracks the true frequency of every
+// attribute value (seeded at registration, updated by deltas) — the
+// "maintained-vs-ideal" comparison set of the Prop 3.1 staleness score.
+// `moments` is kept incrementally coherent with (ideal, the maintained
+// histogram's explicit set); it is recomputed from scratch whenever the
+// explicit set changes (i.e., on rebuild).
+struct RefreshManager::ColumnState {
+  std::string table;
+  std::string column;
+  HistogramMaintainer maintainer;
+  std::unordered_map<int64_t, double> ideal;
+  IdealColumnMoments moments;
+  double tuples_at_build = 0;
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  uint64_t distinct = 0;  // tracked values with a positive count
+  double feedback_ewma = 0;
+  bool has_feedback = false;
+  uint64_t deltas_since_rebuild = 0;
+  uint64_t rebuilds = 0;
+  bool dirty = false;  // counts changed since the last catalog write-back
+};
+
+namespace {
+
+// Sorted (value, frequency) view of the ideal tracker, positive counts
+// only — the input of both moment recomputation and rebuilds. Sorting makes
+// rebuilds deterministic regardless of hash-map iteration order.
+std::vector<std::pair<int64_t, double>> SortedPositiveIdeal(
+    const std::unordered_map<int64_t, double>& ideal) {
+  std::vector<std::pair<int64_t, double>> pairs;
+  pairs.reserve(ideal.size());
+  for (const auto& [value, freq] : ideal) {
+    if (freq > 0) pairs.emplace_back(value, freq);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+}  // namespace
+
+RefreshManager::RefreshManager(Catalog* catalog, SnapshotStore* store,
+                               RefreshOptions options)
+    : catalog_(catalog),
+      store_(store),
+      options_(options),
+      advisor_(options.staleness),
+      log_(options.queue_capacity) {}
+
+RefreshManager::~RefreshManager() {
+  // Unblock any producer still waiting on backpressure; records already
+  // queued are dropped with the manager.
+  log_.Close();
+}
+
+Result<RefreshColumnId> RefreshManager::RegisterColumn(
+    const std::string& table, const std::string& column,
+    std::span<const int64_t> value_ids, std::span<const double> frequencies) {
+  if (catalog_ == nullptr || store_ == nullptr) {
+    return Status::InvalidArgument("catalog and store must not be null");
+  }
+  if (value_ids.size() != frequencies.size()) {
+    return Status::InvalidArgument(
+        "value_ids and frequencies must have equal size");
+  }
+  if (value_ids.empty()) {
+    return Status::InvalidArgument(
+        "cannot register a column with an empty frequency set");
+  }
+
+  // Seed the ideal tracker first — this also rejects duplicate values.
+  std::unordered_map<int64_t, double> ideal;
+  ideal.reserve(value_ids.size());
+  for (size_t i = 0; i < value_ids.size(); ++i) {
+    if (!(frequencies[i] >= 0) || !std::isfinite(frequencies[i])) {
+      return Status::InvalidArgument("frequencies must be finite and >= 0");
+    }
+    if (!ideal.emplace(value_ids[i], frequencies[i]).second) {
+      return Status::InvalidArgument("duplicate value id " +
+                                     std::to_string(value_ids[i]));
+    }
+  }
+
+  // Initial construction, identical to the ANALYZE pipeline: value-sorted
+  // frequencies into the configured builder, then the compact catalog form.
+  std::vector<std::pair<int64_t, double>> pairs = SortedPositiveIdeal(ideal);
+  if (pairs.empty()) {
+    return Status::InvalidArgument("all registered frequencies are zero");
+  }
+  std::vector<double> freqs;
+  std::vector<int64_t> ids;
+  freqs.reserve(pairs.size());
+  ids.reserve(pairs.size());
+  for (const auto& [value, freq] : pairs) {
+    ids.push_back(value);
+    freqs.push_back(freq);
+  }
+  HOPS_ASSIGN_OR_RETURN(FrequencySet set, FrequencySet::Make(std::move(freqs)));
+  const size_t beta =
+      std::max<size_t>(1, std::min(options_.statistics.num_buckets, set.size()));
+  HOPS_ASSIGN_OR_RETURN(
+      Histogram histogram,
+      BuildHistogram(std::move(set),
+                     BuilderKindForStatisticsClass(
+                         options_.statistics.histogram_class),
+                     beta));
+  HOPS_ASSIGN_OR_RETURN(CatalogHistogram compact,
+                        CatalogHistogram::FromHistogram(
+                            histogram, ids, options_.statistics.average_mode));
+
+  double total = 0;
+  for (const auto& [value, freq] : pairs) total += freq;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto key = std::make_pair(table, column);
+  if (by_name_.count(key) != 0) {
+    return Status::AlreadyExists("column " + table + "." + column +
+                                 " is already registered");
+  }
+  auto state = std::make_unique<ColumnState>();
+  state->table = table;
+  state->column = column;
+  state->maintainer =
+      HistogramMaintainer(std::move(compact), total, options_.maintenance);
+  state->ideal = std::move(ideal);
+  state->tuples_at_build = total;
+  state->min_value = pairs.front().first;
+  state->max_value = pairs.back().first;
+  state->distinct = pairs.size();
+  state->moments = ComputeIdealMoments(state->maintainer.current(), pairs);
+  state->dirty = true;
+
+  const RefreshColumnId id = static_cast<RefreshColumnId>(columns_.size());
+  columns_.push_back(std::move(state));
+  by_name_.emplace(key, id);
+  HOPS_RETURN_NOT_OK(WriteBackLocked(*columns_[id]));
+  HOPS_RETURN_NOT_OK(RepublishLocked());
+  return id;
+}
+
+Result<RefreshColumnId> RefreshManager::Lookup(std::string_view table,
+                                               std::string_view column) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it =
+      by_name_.find(std::make_pair(std::string(table), std::string(column)));
+  if (it == by_name_.end()) {
+    return Status::NotFound("column " + std::string(table) + "." +
+                            std::string(column) + " is not registered");
+  }
+  return it->second;
+}
+
+size_t RefreshManager::num_columns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return columns_.size();
+}
+
+void RefreshManager::ReportEstimationError(std::string_view table,
+                                           std::string_view column,
+                                           double estimated, double actual) {
+  if (!std::isfinite(estimated) || !std::isfinite(actual)) return;
+  const double relative =
+      std::fabs(estimated - actual) / std::max(std::fabs(actual), 1.0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it =
+      by_name_.find(std::make_pair(std::string(table), std::string(column)));
+  if (it == by_name_.end()) return;  // serving may know more columns than us
+  ColumnState& state = *columns_[it->second];
+  if (state.has_feedback) {
+    state.feedback_ewma = options_.feedback_alpha * relative +
+                          (1.0 - options_.feedback_alpha) * state.feedback_ewma;
+  } else {
+    state.feedback_ewma = relative;
+    state.has_feedback = true;
+  }
+  ++feedback_reports_;
+}
+
+Status RefreshManager::ApplyDeltaLocked(ColumnState& state, int64_t value,
+                                        double weight) {
+  // Deltas are tuple-grained: fold |weight| unit updates through the
+  // maintenance hooks so the maintained histogram, the ideal tracker, and
+  // the incremental moments stay in lockstep.
+  const double sign = weight >= 0 ? +1.0 : -1.0;
+  const uint64_t units =
+      static_cast<uint64_t>(std::llround(std::fabs(weight)));
+  for (uint64_t u = 0; u < units; ++u) {
+    bool is_explicit = false;
+    state.maintainer.current().LookupFrequency(value, &is_explicit);
+    auto [it, inserted] = state.ideal.try_emplace(value, 0.0);
+    if (inserted && sign < 0) {
+      // Delete of a never-seen value: pure drift (the histogram was already
+      // stale); do not invent a tracked zero-count value.
+      state.ideal.erase(it);
+      HOPS_RETURN_NOT_OK(state.maintainer.ApplyDelete(value));
+      state.dirty = true;
+      ++state.deltas_since_rebuild;
+      ++deltas_applied_;
+      continue;
+    }
+    const double old_freq = it->second;
+    const double new_freq = std::max(0.0, old_freq + sign);
+    it->second = new_freq;
+
+    state.moments.total_sum_sq += new_freq * new_freq - old_freq * old_freq;
+    if (!is_explicit) {
+      if (inserted) state.moments.default_count += 1.0;
+      state.moments.default_sum += new_freq - old_freq;
+      state.moments.default_sum_sq +=
+          new_freq * new_freq - old_freq * old_freq;
+    }
+    if (old_freq <= 0 && new_freq > 0) {
+      if (state.distinct == 0) {
+        state.min_value = value;
+        state.max_value = value;
+      } else {
+        state.min_value = std::min(state.min_value, value);
+        state.max_value = std::max(state.max_value, value);
+      }
+      ++state.distinct;
+    } else if (old_freq > 0 && new_freq <= 0) {
+      if (state.distinct > 0) --state.distinct;
+    }
+
+    HOPS_RETURN_NOT_OK(sign > 0 ? state.maintainer.ApplyInsert(value)
+                                : state.maintainer.ApplyDelete(value));
+    state.dirty = true;
+    ++state.deltas_since_rebuild;
+    ++deltas_applied_;
+  }
+  return Status::OK();
+}
+
+Status RefreshManager::WriteBackLocked(ColumnState& state) {
+  ColumnStatistics stats;
+  stats.num_tuples = state.maintainer.num_tuples();
+  stats.num_distinct = state.distinct;
+  stats.min_value = state.min_value;
+  stats.max_value = state.max_value;
+  stats.histogram = state.maintainer.current();
+  HOPS_RETURN_NOT_OK(
+      catalog_->PutColumnStatistics(state.table, state.column, stats));
+  state.dirty = false;
+  return Status::OK();
+}
+
+Status RefreshManager::RepublishLocked() {
+  HOPS_RETURN_NOT_OK(store_->RepublishFrom(*catalog_).status());
+  ++republish_count_;
+  return Status::OK();
+}
+
+Result<size_t> RefreshManager::ApplyPendingDeltas() {
+  std::vector<UpdateRecord> records;
+  log_.Drain(&records);
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t applied = 0;
+  for (const UpdateRecord& record : records) {
+    if (record.column >= columns_.size()) {
+      ++unknown_column_records_;
+      continue;
+    }
+    HOPS_RETURN_NOT_OK(
+        ApplyDeltaLocked(*columns_[record.column], record.value, record.weight));
+    ++applied;
+  }
+  bool wrote = false;
+  for (auto& state : columns_) {
+    if (!state->dirty) continue;
+    HOPS_RETURN_NOT_OK(WriteBackLocked(*state));
+    wrote = true;
+  }
+  if (wrote) HOPS_RETURN_NOT_OK(RepublishLocked());
+  return applied;
+}
+
+StalenessScore RefreshManager::ScoreLocked(const ColumnState& state) const {
+  StalenessSignals signals;
+  signals.drift_fraction =
+      static_cast<double>(state.maintainer.updates_applied()) /
+      std::max(state.tuples_at_build, 1.0);
+  signals.self_join_error = SelfJoinStalenessError(state.moments);
+  signals.self_join_relative =
+      signals.self_join_error / std::max(state.moments.total_sum_sq, 1.0);
+  signals.feedback_error = state.feedback_ewma;
+  signals.maintainer_wants_rebuild = state.maintainer.NeedsRebuild();
+  return advisor_.Score(signals);
+}
+
+std::vector<ColumnStalenessReport> RefreshManager::ScoreColumns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ColumnStalenessReport> reports;
+  reports.reserve(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const ColumnState& state = *columns_[i];
+    ColumnStalenessReport report;
+    report.id = static_cast<RefreshColumnId>(i);
+    report.table = state.table;
+    report.column = state.column;
+    report.score = ScoreLocked(state);
+    report.deltas_applied = state.deltas_since_rebuild;
+    report.rebuilds = state.rebuilds;
+    reports.push_back(std::move(report));
+  }
+  std::stable_sort(reports.begin(), reports.end(),
+                   [](const ColumnStalenessReport& a,
+                      const ColumnStalenessReport& b) {
+                     return a.score.total > b.score.total;
+                   });
+  return reports;
+}
+
+Result<StalenessScore> RefreshManager::ScoreColumn(RefreshColumnId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= columns_.size()) {
+    return Status::InvalidArgument("unknown refresh column id " +
+                                   std::to_string(id));
+  }
+  return ScoreLocked(*columns_[id]);
+}
+
+Status RefreshManager::RebuildColumnsLocked(
+    std::vector<std::pair<RefreshColumnId, RebuildReason>> picks) {
+  if (picks.empty()) return Status::OK();
+  Stopwatch stopwatch;
+
+  // Assemble one batched construction problem per column and fan it across
+  // the pool (§6 pipeline). Value order is sorted, so request i's set entry
+  // j corresponds to ids[i][j] deterministically.
+  std::vector<HistogramBuildRequest> requests;
+  std::vector<std::vector<int64_t>> ids_per_pick(picks.size());
+  std::vector<size_t> request_of_pick(picks.size(), SIZE_MAX);
+  requests.reserve(picks.size());
+  for (size_t p = 0; p < picks.size(); ++p) {
+    ColumnState& state = *columns_[picks[p].first];
+    std::vector<std::pair<int64_t, double>> pairs =
+        SortedPositiveIdeal(state.ideal);
+    if (pairs.empty()) continue;  // nothing to build from; leave as-is
+    std::vector<double> freqs;
+    freqs.reserve(pairs.size());
+    ids_per_pick[p].reserve(pairs.size());
+    for (const auto& [value, freq] : pairs) {
+      ids_per_pick[p].push_back(value);
+      freqs.push_back(freq);
+    }
+    HOPS_ASSIGN_OR_RETURN(FrequencySet set,
+                          FrequencySet::Make(std::move(freqs)));
+    HistogramBuildRequest request;
+    request.num_buckets = std::max<size_t>(
+        1, std::min(options_.statistics.num_buckets, set.size()));
+    request.kind = BuilderKindForStatisticsClass(
+        options_.statistics.histogram_class);
+    request.set = std::move(set);
+    request_of_pick[p] = requests.size();
+    requests.push_back(std::move(request));
+  }
+
+  ParallelBuildOptions build_options;
+  build_options.pool = options_.pool;
+  std::vector<Result<Histogram>> built =
+      BuildHistogramBatch(std::move(requests), build_options);
+
+  bool installed = false;
+  for (size_t p = 0; p < picks.size(); ++p) {
+    if (request_of_pick[p] == SIZE_MAX) continue;
+    HOPS_RETURN_NOT_OK(built[request_of_pick[p]].status());
+    ColumnState& state = *columns_[picks[p].first];
+    const std::vector<int64_t>& ids = ids_per_pick[p];
+    HOPS_ASSIGN_OR_RETURN(
+        CatalogHistogram compact,
+        CatalogHistogram::FromHistogram(*built[request_of_pick[p]], ids,
+                                        options_.statistics.average_mode));
+    double total = 0;
+    for (int64_t value : ids) total += state.ideal[value];
+    state.maintainer.Rebuilt(std::move(compact), total);
+    state.tuples_at_build = total;
+    state.min_value = ids.front();
+    state.max_value = ids.back();
+    state.distinct = ids.size();
+    RecomputeMomentsLocked(state);
+    // Feedback referred to the replaced statistics; start fresh.
+    state.feedback_ewma = 0;
+    state.has_feedback = false;
+    state.deltas_since_rebuild = 0;
+    ++state.rebuilds;
+    state.dirty = true;
+    switch (picks[p].second) {
+      case RebuildReason::kSelfJoin: ++rebuilds_self_join_; break;
+      case RebuildReason::kFeedback: ++rebuilds_feedback_; break;
+      case RebuildReason::kForced: ++rebuilds_forced_; break;
+      case RebuildReason::kDrift:
+      case RebuildReason::kNone: ++rebuilds_drift_; break;
+    }
+    HOPS_RETURN_NOT_OK(WriteBackLocked(state));
+    installed = true;
+  }
+  if (installed) {
+    HOPS_RETURN_NOT_OK(RepublishLocked());
+    last_refresh_seconds_ = stopwatch.ElapsedSeconds();
+  }
+  return Status::OK();
+}
+
+void RefreshManager::RecomputeMomentsLocked(ColumnState& state) {
+  std::vector<std::pair<int64_t, double>> pairs;
+  pairs.reserve(state.ideal.size());
+  for (const auto& [value, freq] : state.ideal) pairs.emplace_back(value, freq);
+  std::sort(pairs.begin(), pairs.end());
+  state.moments = ComputeIdealMoments(state.maintainer.current(), pairs);
+}
+
+Result<size_t> RefreshManager::RebuildIfStale() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<double, std::pair<RefreshColumnId, RebuildReason>>>
+      candidates;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const StalenessScore score = ScoreLocked(*columns_[i]);
+    if (!score.rebuild_recommended) continue;
+    candidates.push_back(
+        {score.total,
+         {static_cast<RefreshColumnId>(i), score.reason}});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (candidates.size() > options_.max_rebuilds_per_tick) {
+    candidates.resize(options_.max_rebuilds_per_tick);
+  }
+  std::vector<std::pair<RefreshColumnId, RebuildReason>> picks;
+  picks.reserve(candidates.size());
+  for (const auto& c : candidates) picks.push_back(c.second);
+  const size_t n = picks.size();
+  HOPS_RETURN_NOT_OK(RebuildColumnsLocked(std::move(picks)));
+  return n;
+}
+
+Status RefreshManager::ForceRebuild(std::span<const RefreshColumnId> ids) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<RefreshColumnId, RebuildReason>> picks;
+  picks.reserve(ids.size());
+  for (RefreshColumnId id : ids) {
+    if (id >= columns_.size()) {
+      return Status::InvalidArgument("unknown refresh column id " +
+                                     std::to_string(id));
+    }
+    picks.push_back({id, RebuildReason::kForced});
+  }
+  return RebuildColumnsLocked(std::move(picks));
+}
+
+Result<RefreshTickReport> RefreshManager::Tick() {
+  Stopwatch stopwatch;
+  RefreshTickReport report;
+  const uint64_t republish_before = [&] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return republish_count_;
+  }();
+  HOPS_ASSIGN_OR_RETURN(report.deltas_applied, ApplyPendingDeltas());
+  HOPS_ASSIGN_OR_RETURN(report.columns_rebuilt, RebuildIfStale());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++ticks_;
+    report.republished = republish_count_ > republish_before;
+    for (const auto& state : columns_) {
+      if (state->deltas_since_rebuild > 0) ++report.columns_touched;
+    }
+    report.seconds = stopwatch.ElapsedSeconds();
+    last_tick_seconds_ = report.seconds;
+  }
+  return report;
+}
+
+RefreshStats RefreshManager::stats() const {
+  RefreshStats s;
+  s.log = log_.stats();
+  std::lock_guard<std::mutex> lock(mutex_);
+  s.columns_tracked = columns_.size();
+  s.deltas_applied = deltas_applied_;
+  s.unknown_column_records = unknown_column_records_;
+  s.ticks = ticks_;
+  s.rebuilds_drift = rebuilds_drift_;
+  s.rebuilds_self_join = rebuilds_self_join_;
+  s.rebuilds_feedback = rebuilds_feedback_;
+  s.rebuilds_forced = rebuilds_forced_;
+  s.rebuilds_total = rebuilds_drift_ + rebuilds_self_join_ +
+                     rebuilds_feedback_ + rebuilds_forced_;
+  s.republish_count = republish_count_;
+  s.feedback_reports = feedback_reports_;
+  s.last_tick_seconds = last_tick_seconds_;
+  s.last_refresh_seconds = last_refresh_seconds_;
+  return s;
+}
+
+}  // namespace hops

@@ -1,0 +1,219 @@
+// Catalog-wide adaptive statistics maintenance (DESIGN.md §8) — the third
+// pillar of the system next to batched construction (§6) and snapshot
+// serving (§7).
+//
+// The RefreshManager owns the write path of statistics:
+//
+//   writers ──► UpdateLog (bounded MPSC) ──► ApplyPendingDeltas
+//                                              │  per-column
+//                                              ▼  HistogramMaintainer
+//                       Catalog (system of record, version-bumped)
+//                                              │
+//                                              ▼  one RCU swap
+//                       SnapshotStore ──► readers (EstimateBatch)
+//
+// Deltas flow through the existing CatalogHistogram maintenance hooks
+// (histogram/maintenance.h), so counts stay current between rebuilds; the
+// StalenessAdvisor (refresh/staleness.h) scores every column by drift, by
+// the Proposition 3.1 self-join error of the maintained bucketization
+// against the tracked ideal frequencies, and by estimation-error feedback
+// reported through estimator/serving.h's EstimationFeedbackSink; the
+// worst-scoring columns are rebuilt with the §6 batched construction
+// pipeline and the whole catalog is republished as one immutable
+// CatalogSnapshot — readers never observe a torn catalog
+// (tests/refresh/refresh_daemon_test.cc proves it under ThreadSanitizer).
+//
+// Thread model: producers touch only the UpdateLog's lock; readers touch
+// only the SnapshotStore; everything else (column registry, catalog,
+// moments) is guarded by one manager mutex, taken by the single maintenance
+// consumer (the daemon or a test calling Tick()) and by feedback reporters.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "engine/catalog_snapshot.h"
+#include "engine/statistics.h"
+#include "estimator/serving.h"
+#include "histogram/maintenance.h"
+#include "refresh/refresh_stats.h"
+#include "refresh/staleness.h"
+#include "refresh/update_log.h"
+#include "util/thread_pool.h"
+
+namespace hops {
+
+/// \brief Knobs for the whole refresh subsystem.
+struct RefreshOptions {
+  /// Per-column incremental-maintenance policy (drift thresholds).
+  MaintenanceOptions maintenance;
+  /// Advisor weights and the rebuild threshold.
+  StalenessOptions staleness;
+  /// Construction knobs for rebuilds (histogram class, bucket count).
+  StatisticsOptions statistics;
+  /// Bound on the delta-ingestion queue (backpressure beyond it).
+  size_t queue_capacity = 1 << 16;
+  /// At most this many columns are rebuilt per tick (worst scores first),
+  /// so one hot tick cannot starve delta ingestion.
+  size_t max_rebuilds_per_tick = 4;
+  /// Feedback EWMA smoothing factor in (0, 1]: weight of the newest report.
+  double feedback_alpha = 0.25;
+  /// Pool for batched rebuilds; nullptr = ThreadPool::Global().
+  ThreadPool* pool = nullptr;
+};
+
+/// \brief One column's staleness verdict, as returned by ScoreColumns.
+struct ColumnStalenessReport {
+  RefreshColumnId id = 0;
+  std::string table;
+  std::string column;
+  StalenessScore score;
+  uint64_t deltas_applied = 0;  ///< since the last rebuild
+  uint64_t rebuilds = 0;        ///< lifetime rebuild count
+};
+
+/// \brief What one maintenance cycle did.
+struct RefreshTickReport {
+  size_t deltas_applied = 0;
+  size_t columns_touched = 0;  ///< columns whose counts changed
+  size_t columns_rebuilt = 0;
+  bool republished = false;
+  double seconds = 0;
+};
+
+/// \brief Catalog-wide adaptive maintenance coordinator. See the file
+/// comment for the thread model.
+class RefreshManager : public EstimationFeedbackSink {
+ public:
+  /// \p catalog and \p store must outlive the manager. The manager assumes
+  /// mutation authority over both: external writers must not mutate the
+  /// catalog concurrently with Tick (the Catalog is thread-compatible).
+  RefreshManager(Catalog* catalog, SnapshotStore* store,
+                 RefreshOptions options = {});
+
+  ~RefreshManager() override;
+
+  RefreshManager(const RefreshManager&) = delete;
+  RefreshManager& operator=(const RefreshManager&) = delete;
+
+  // ----------------------------------------------------------- registration
+
+  /// Registers (table, column) with its initial ideal frequency set:
+  /// \p value_ids[i] occurs \p frequencies[i] times. Builds the initial
+  /// histogram with the configured construction, stores it in the catalog,
+  /// seeds the ideal tracker, and republishes the snapshot. AlreadyExists
+  /// on duplicate registration; InvalidArgument on malformed input
+  /// (mismatched spans, duplicate values, negative frequencies).
+  Result<RefreshColumnId> RegisterColumn(const std::string& table,
+                                         const std::string& column,
+                                         std::span<const int64_t> value_ids,
+                                         std::span<const double> frequencies);
+
+  /// Resolves a registered (table, column); NotFound when absent.
+  Result<RefreshColumnId> Lookup(std::string_view table,
+                                 std::string_view column) const;
+
+  size_t num_columns() const;
+
+  // ------------------------------------------------------------- write path
+
+  /// Producer-facing delta ingestion (thread-safe, blocking backpressure —
+  /// see UpdateLog). Ids are validated at apply time; records against
+  /// unknown ids are counted and dropped by the consumer.
+  Status RecordInsert(RefreshColumnId column, int64_t value) {
+    return log_.RecordInsert(column, value);
+  }
+  Status RecordDelete(RefreshColumnId column, int64_t value) {
+    return log_.RecordDelete(column, value);
+  }
+  Status RecordBatch(std::span<const UpdateRecord> records) {
+    return log_.RecordBatch(records);
+  }
+
+  /// Direct access (bench instrumentation, shutdown Close()).
+  UpdateLog& update_log() { return log_; }
+
+  // --------------------------------------------------------------- feedback
+
+  /// EstimationFeedbackSink: folds |estimated - actual| / max(actual, 1)
+  /// into the column's EWMA. Unknown columns are ignored (the serving layer
+  /// may know columns the refresh subsystem does not track). Thread-safe.
+  void ReportEstimationError(std::string_view table, std::string_view column,
+                             double estimated, double actual) override;
+
+  // ------------------------------------------------------ maintenance cycle
+
+  /// Drains the update log and applies every delta through the maintenance
+  /// hooks; writes maintained statistics back to the catalog and
+  /// republishes one snapshot when anything changed. Returns the number of
+  /// deltas applied. Single-consumer: call from one thread at a time (the
+  /// daemon, or tests).
+  Result<size_t> ApplyPendingDeltas();
+
+  /// Scores every column (no mutation). Sorted worst-first.
+  std::vector<ColumnStalenessReport> ScoreColumns() const;
+
+  /// Scores one column.
+  Result<StalenessScore> ScoreColumn(RefreshColumnId id) const;
+
+  /// Rebuilds the worst-scoring rebuild-recommended columns (at most
+  /// options.max_rebuilds_per_tick) on the pool via BuildHistogramBatch,
+  /// installs the results through HistogramMaintainer::Rebuilt, writes them
+  /// back to the catalog, and republishes. Returns the number rebuilt.
+  Result<size_t> RebuildIfStale();
+
+  /// Unconditionally rebuilds \p ids (counted as RebuildReason::kForced).
+  Status ForceRebuild(std::span<const RefreshColumnId> ids);
+
+  /// One full maintenance cycle: ApplyPendingDeltas + RebuildIfStale.
+  /// The daemon's unit of work.
+  Result<RefreshTickReport> Tick();
+
+  // ------------------------------------------------------------------ stats
+
+  RefreshStats stats() const;
+
+ private:
+  struct ColumnState;
+
+  // All Lock* helpers require mutex_ held.
+  Status ApplyDeltaLocked(ColumnState& state, int64_t value, double weight);
+  Status RebuildColumnsLocked(std::vector<std::pair<RefreshColumnId, RebuildReason>> picks);
+  Status WriteBackLocked(ColumnState& state);
+  Status RepublishLocked();
+  StalenessScore ScoreLocked(const ColumnState& state) const;
+  void RecomputeMomentsLocked(ColumnState& state);
+
+  Catalog* const catalog_;
+  SnapshotStore* const store_;
+  const RefreshOptions options_;
+  const StalenessAdvisor advisor_;
+  UpdateLog log_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ColumnState>> columns_;
+  std::map<std::pair<std::string, std::string>, RefreshColumnId> by_name_;
+  // Counters (guarded by mutex_).
+  uint64_t deltas_applied_ = 0;
+  uint64_t unknown_column_records_ = 0;
+  uint64_t ticks_ = 0;
+  uint64_t rebuilds_drift_ = 0;
+  uint64_t rebuilds_self_join_ = 0;
+  uint64_t rebuilds_feedback_ = 0;
+  uint64_t rebuilds_forced_ = 0;
+  uint64_t republish_count_ = 0;
+  uint64_t feedback_reports_ = 0;
+  double last_tick_seconds_ = 0;
+  double last_refresh_seconds_ = 0;
+};
+
+}  // namespace hops

@@ -1,0 +1,45 @@
+// Observability surface of the refresh subsystem (DESIGN.md §8): one plain
+// snapshot struct, cheap to copy, exported by RefreshManager::stats() and
+// serialized into BENCH_refresh.json by bench/bench_refresh.
+
+#pragma once
+
+#include <cstdint>
+
+#include "refresh/update_log.h"
+
+namespace hops {
+
+/// \brief Point-in-time counters for one RefreshManager (and its daemon).
+struct RefreshStats {
+  /// Delta-ingestion queue counters (depth, high water, backpressure...).
+  UpdateLogStats log;
+
+  uint64_t columns_tracked = 0;
+  /// Tuple-level deltas applied to maintained histograms.
+  uint64_t deltas_applied = 0;
+  /// Drained records naming a column id the manager does not track
+  /// (counted and dropped by the consumer).
+  uint64_t unknown_column_records = 0;
+  /// Completed maintenance cycles (RefreshManager::Tick).
+  uint64_t ticks = 0;
+
+  /// Rebuilds by dominant trigger (see RebuildReason).
+  uint64_t rebuilds_total = 0;
+  uint64_t rebuilds_drift = 0;
+  uint64_t rebuilds_self_join = 0;
+  uint64_t rebuilds_feedback = 0;
+  uint64_t rebuilds_forced = 0;
+
+  /// Snapshot republications through the SnapshotStore.
+  uint64_t republish_count = 0;
+  /// Feedback reports folded into column EWMAs.
+  uint64_t feedback_reports = 0;
+
+  /// Wall-clock seconds of the most recent tick, and of the most recent
+  /// tick that performed at least one rebuild.
+  double last_tick_seconds = 0;
+  double last_refresh_seconds = 0;
+};
+
+}  // namespace hops

@@ -1,0 +1,88 @@
+#include "refresh/update_log.h"
+
+#include <algorithm>
+
+namespace hops {
+
+UpdateLog::UpdateLog(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
+
+Status UpdateLog::Record(const UpdateRecord& record) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (records_.size() >= capacity_ && !closed_) ++producer_waits_;
+  not_full_.wait(lock,
+                 [&] { return closed_ || records_.size() < capacity_; });
+  if (closed_) {
+    return Status::ResourceExhausted("update log is closed");
+  }
+  records_.push_back(record);
+  ++enqueued_;
+  high_water_ = std::max(high_water_, records_.size());
+  return Status::OK();
+}
+
+Status UpdateLog::RecordBatch(std::span<const UpdateRecord> records) {
+  for (const UpdateRecord& record : records) {
+    HOPS_RETURN_NOT_OK(Record(record));
+  }
+  return Status::OK();
+}
+
+bool UpdateLog::TryRecord(const UpdateRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_ || records_.size() >= capacity_) {
+    ++rejected_;
+    return false;
+  }
+  records_.push_back(record);
+  ++enqueued_;
+  high_water_ = std::max(high_water_, records_.size());
+  return true;
+}
+
+size_t UpdateLog::Drain(std::vector<UpdateRecord>* out, size_t max_records) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = records_.size();
+  if (max_records > 0) n = std::min(n, max_records);
+  if (n == 0) return 0;
+  if (out != nullptr) {
+    out->insert(out->end(), records_.begin(),
+                records_.begin() + static_cast<ptrdiff_t>(n));
+  }
+  records_.erase(records_.begin(), records_.begin() + static_cast<ptrdiff_t>(n));
+  drained_ += n;
+  // Space freed: wake every producer blocked on a full log.
+  not_full_.notify_all();
+  return n;
+}
+
+void UpdateLog::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  not_full_.notify_all();
+}
+
+size_t UpdateLog::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+bool UpdateLog::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+UpdateLogStats UpdateLog::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  UpdateLogStats s;
+  s.enqueued = enqueued_;
+  s.drained = drained_;
+  s.rejected = rejected_;
+  s.producer_waits = producer_waits_;
+  s.depth = records_.size();
+  s.high_water = high_water_;
+  s.capacity = capacity_;
+  s.closed = closed_;
+  return s;
+}
+
+}  // namespace hops

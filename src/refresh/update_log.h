@@ -1,0 +1,112 @@
+// Delta ingestion for the adaptive statistics refresh subsystem
+// (DESIGN.md §8 "Refresh subsystem").
+//
+// Section 2.3 of the paper observes that "delaying the propagation of
+// database updates to the histogram may introduce additional errors" and
+// leaves the propagation schedule as future work. The UpdateLog is the
+// front half of that schedule: a bounded multi-producer/single-consumer
+// queue of per-(column, value) insert/delete deltas. Any number of writer
+// threads (transaction commit paths, bulk loaders) call RecordInsert /
+// RecordDelete / RecordBatch; one consumer — the RefreshManager, usually
+// driven by the RefreshDaemon — drains the log and applies the deltas to
+// the maintained histograms.
+//
+// Backpressure, not loss: when the log is full, producers block until the
+// consumer drains (statistics deltas must not be silently dropped, or the
+// maintained counts drift from the data). TryRecord* variants return false
+// instead of blocking for callers that prefer to shed work. Close() wakes
+// all blocked producers and makes further records fail, so shutdown cannot
+// deadlock.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Dense id of a column registered with the RefreshManager. Valid
+/// only against the manager that issued it.
+using RefreshColumnId = uint32_t;
+
+/// \brief One tuple-level statistics delta: \p weight is +1 for an insert,
+/// -1 for a delete (batched writers may fold runs into larger magnitudes).
+struct UpdateRecord {
+  RefreshColumnId column = 0;
+  int64_t value = 0;
+  double weight = +1.0;
+};
+
+/// \brief Point-in-time counters of one UpdateLog.
+struct UpdateLogStats {
+  uint64_t enqueued = 0;        ///< records accepted (Record* + RecordBatch)
+  uint64_t drained = 0;         ///< records handed to the consumer
+  uint64_t rejected = 0;        ///< TryRecord* calls refused (full/closed)
+  uint64_t producer_waits = 0;  ///< times a producer blocked on a full log
+  size_t depth = 0;             ///< records currently queued
+  size_t high_water = 0;        ///< maximum depth ever observed
+  size_t capacity = 0;
+  bool closed = false;
+};
+
+/// \brief Bounded MPSC delta queue. All methods are thread-safe.
+class UpdateLog {
+ public:
+  /// \p capacity is clamped to at least 1.
+  explicit UpdateLog(size_t capacity = 1 << 16);
+
+  UpdateLog(const UpdateLog&) = delete;
+  UpdateLog& operator=(const UpdateLog&) = delete;
+
+  /// Enqueues one record, blocking while the log is full (backpressure).
+  /// Fails with FailedPrecondition-style ResourceExhausted once closed.
+  Status Record(const UpdateRecord& record);
+
+  /// Convenience wrappers for the two common deltas.
+  Status RecordInsert(RefreshColumnId column, int64_t value) {
+    return Record(UpdateRecord{column, value, +1.0});
+  }
+  Status RecordDelete(RefreshColumnId column, int64_t value) {
+    return Record(UpdateRecord{column, value, -1.0});
+  }
+
+  /// Enqueues every record of \p records, blocking as needed. The batch is
+  /// admitted record-by-record (a batch larger than the capacity still
+  /// completes, interleaved with drains).
+  Status RecordBatch(std::span<const UpdateRecord> records);
+
+  /// Non-blocking variant: false when the log is full or closed.
+  bool TryRecord(const UpdateRecord& record);
+
+  /// Moves up to \p max_records (0 = all) into \p out (appended), waking
+  /// blocked producers. Returns the number drained. Never blocks.
+  size_t Drain(std::vector<UpdateRecord>* out, size_t max_records = 0);
+
+  /// Marks the log closed: blocked producers wake and fail, future records
+  /// fail, queued records remain drainable.
+  void Close();
+
+  size_t depth() const;
+  bool closed() const;
+  UpdateLogStats stats() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::deque<UpdateRecord> records_;
+  bool closed_ = false;
+  uint64_t enqueued_ = 0;
+  uint64_t drained_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t producer_waits_ = 0;
+  size_t high_water_ = 0;
+};
+
+}  // namespace hops

@@ -217,5 +217,81 @@ TEST(ServingTest, PredicateCardinalityMatchesCatalogOverload) {
   EXPECT_EQ(*legacy, *served);
 }
 
+// --- Feedback hook (EstimationFeedbackSink / ReportEstimateOutcome) -------
+
+class RecordingSink : public EstimationFeedbackSink {
+ public:
+  struct Report {
+    std::string table;
+    std::string column;
+    double estimated;
+    double actual;
+  };
+
+  void ReportEstimationError(std::string_view table, std::string_view column,
+                             double estimated, double actual) override {
+    reports.push_back(Report{std::string(table), std::string(column),
+                             estimated, actual});
+  }
+
+  std::vector<Report> reports;
+};
+
+TEST(ServingFeedbackTest, SelectionReportsItsColumn) {
+  Fixture f;
+  RecordingSink sink;
+  EstimateSpec spec = EstimateSpec::Equality(f.r_a_id, Value(int64_t{2}));
+  ASSERT_TRUE(
+      ReportEstimateOutcome(*f.snapshot, spec, 20.0, 25.0, &sink).ok());
+  ASSERT_EQ(sink.reports.size(), 1u);
+  EXPECT_EQ(sink.reports[0].table, "R");
+  EXPECT_EQ(sink.reports[0].column, "a");
+  EXPECT_DOUBLE_EQ(sink.reports[0].estimated, 20.0);
+  EXPECT_DOUBLE_EQ(sink.reports[0].actual, 25.0);
+}
+
+TEST(ServingFeedbackTest, JoinReportsBothSidesOnce) {
+  Fixture f;
+  RecordingSink sink;
+  EstimateSpec spec = EstimateSpec::Join(f.r_a_id, f.s_a_id);
+  ASSERT_TRUE(
+      ReportEstimateOutcome(*f.snapshot, spec, 100.0, 80.0, &sink).ok());
+  ASSERT_EQ(sink.reports.size(), 2u);
+  // Ids are deduplicated and reported in id order.
+  EXPECT_EQ(sink.reports[0].table, "R");
+  EXPECT_EQ(sink.reports[1].table, "S");
+
+  // A self-join consults one column: exactly one report.
+  sink.reports.clear();
+  EstimateSpec self_join = EstimateSpec::Join(f.r_a_id, f.r_a_id);
+  ASSERT_TRUE(
+      ReportEstimateOutcome(*f.snapshot, self_join, 9.0, 9.0, &sink).ok());
+  EXPECT_EQ(sink.reports.size(), 1u);
+}
+
+TEST(ServingFeedbackTest, ChainReportsEveryDistinctColumn) {
+  Fixture f;
+  RecordingSink sink;
+  std::vector<SnapshotChainStep> steps = {{f.r_a_id, f.s_a_id},
+                                          {f.s_b_id, f.r_b_id}};
+  EstimateSpec spec = EstimateSpec::Chain(std::move(steps));
+  ASSERT_TRUE(
+      ReportEstimateOutcome(*f.snapshot, spec, 50.0, 60.0, &sink).ok());
+  EXPECT_EQ(sink.reports.size(), 4u);
+}
+
+TEST(ServingFeedbackTest, ValidatesSinkAndIds) {
+  Fixture f;
+  RecordingSink sink;
+  EstimateSpec spec = EstimateSpec::Equality(f.r_a_id, Value(int64_t{2}));
+  EXPECT_TRUE(ReportEstimateOutcome(*f.snapshot, spec, 1.0, 1.0, nullptr)
+                  .IsInvalidArgument());
+  EstimateSpec bad = EstimateSpec::Equality(
+      static_cast<ColumnId>(f.snapshot->num_columns()), Value(int64_t{2}));
+  EXPECT_TRUE(ReportEstimateOutcome(*f.snapshot, bad, 1.0, 1.0, &sink)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(sink.reports.empty());  // nothing reported on failure
+}
+
 }  // namespace
 }  // namespace hops

@@ -1,0 +1,401 @@
+// RefreshManager: registration, delta application through the maintenance
+// hooks, Prop 3.1 staleness scoring against the tracked ideal frequencies,
+// rebuild policy, feedback loop, and RCU republication.
+
+#include "refresh/refresh_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/zipf.h"
+
+namespace hops {
+namespace {
+
+// A small skewed column: two heavy hitters plus a flat tail. The v-optimal
+// end-biased build stores the heavy values explicitly and pools the tail in
+// the default bucket.
+struct Fixture {
+  Catalog catalog;
+  SnapshotStore store;
+};
+
+std::vector<int64_t> TailValues(int64_t first, size_t count) {
+  std::vector<int64_t> values;
+  values.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    values.push_back(first + static_cast<int64_t>(i));
+  }
+  return values;
+}
+
+Result<RefreshColumnId> RegisterSkewed(RefreshManager* manager,
+                                       const std::string& table,
+                                       const std::string& column) {
+  // Values 1..20: value 1 → 400, value 2 → 200, values 3..20 → 10 each.
+  std::vector<int64_t> values = TailValues(1, 20);
+  std::vector<double> freqs(20, 10.0);
+  freqs[0] = 400.0;
+  freqs[1] = 200.0;
+  return manager->RegisterColumn(table, column, values, freqs);
+}
+
+TEST(RefreshManagerTest, RegisterColumnStoresAndPublishes) {
+  Fixture f;
+  RefreshManager manager(&f.catalog, &f.store);
+  auto id = RegisterSkewed(&manager, "orders", "customer_id");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(manager.num_columns(), 1u);
+
+  // Catalog holds the built statistics.
+  auto stats = f.catalog.GetColumnStatistics("orders", "customer_id");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->num_tuples, 400.0 + 200.0 + 18 * 10.0);
+  EXPECT_EQ(stats->num_distinct, 20u);
+  EXPECT_EQ(stats->min_value, 1);
+  EXPECT_EQ(stats->max_value, 20);
+
+  // The snapshot was republished and resolves the column.
+  auto snapshot = f.store.Current();
+  EXPECT_EQ(snapshot->source_version(), f.catalog.version());
+  EXPECT_TRUE(snapshot->Contains("orders", "customer_id"));
+
+  // Lookup round-trips the id.
+  auto looked_up = manager.Lookup("orders", "customer_id");
+  ASSERT_TRUE(looked_up.ok());
+  EXPECT_EQ(*looked_up, *id);
+  EXPECT_TRUE(manager.Lookup("orders", "missing").status().IsNotFound());
+}
+
+TEST(RefreshManagerTest, RegisterColumnValidatesInput) {
+  Fixture f;
+  RefreshManager manager(&f.catalog, &f.store);
+
+  std::vector<int64_t> values = {1, 2};
+  std::vector<double> short_freqs = {1.0};
+  EXPECT_TRUE(manager.RegisterColumn("t", "a", values, short_freqs)
+                  .status()
+                  .IsInvalidArgument());
+
+  std::vector<int64_t> dup_values = {1, 1};
+  std::vector<double> freqs = {1.0, 2.0};
+  EXPECT_TRUE(manager.RegisterColumn("t", "b", dup_values, freqs)
+                  .status()
+                  .IsInvalidArgument());
+
+  std::vector<double> negative = {1.0, -2.0};
+  EXPECT_TRUE(manager.RegisterColumn("t", "c", values, negative)
+                  .status()
+                  .IsInvalidArgument());
+
+  EXPECT_TRUE(manager.RegisterColumn("t", "d", {}, {})
+                  .status()
+                  .IsInvalidArgument());
+
+  ASSERT_TRUE(RegisterSkewed(&manager, "t", "e").ok());
+  EXPECT_TRUE(
+      RegisterSkewed(&manager, "t", "e").status().IsAlreadyExists());
+}
+
+TEST(RefreshManagerTest, AppliedDeltasReachCatalogAndSnapshot) {
+  Fixture f;
+  RefreshManager manager(&f.catalog, &f.store);
+  auto id = RegisterSkewed(&manager, "orders", "customer_id");
+  ASSERT_TRUE(id.ok());
+  const double tuples_before =
+      f.catalog.GetColumnStatistics("orders", "customer_id")->num_tuples;
+  const uint64_t version_before = f.store.Current()->source_version();
+
+  // Three inserts of explicit value 1 and one delete of tail value 3.
+  ASSERT_TRUE(manager.RecordInsert(*id, 1).ok());
+  ASSERT_TRUE(manager.RecordInsert(*id, 1).ok());
+  ASSERT_TRUE(manager.RecordInsert(*id, 1).ok());
+  ASSERT_TRUE(manager.RecordDelete(*id, 3).ok());
+  EXPECT_EQ(manager.update_log().depth(), 4u);
+
+  auto applied = manager.ApplyPendingDeltas();
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 4u);
+  EXPECT_EQ(manager.update_log().depth(), 0u);
+
+  auto stats = f.catalog.GetColumnStatistics("orders", "customer_id");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->num_tuples, tuples_before + 3.0 - 1.0);
+  // Explicit value 1 now counts 403 in the maintained histogram.
+  EXPECT_DOUBLE_EQ(stats->histogram.LookupFrequency(1), 403.0);
+
+  // A fresh snapshot was published over the mutated catalog.
+  auto snapshot = f.store.Current();
+  EXPECT_GT(snapshot->source_version(), version_before);
+  auto column = snapshot->Resolve("orders", "customer_id");
+  ASSERT_TRUE(column.ok());
+  EXPECT_DOUBLE_EQ(snapshot->stats(*column).num_tuples,
+                   tuples_before + 2.0);
+}
+
+TEST(RefreshManagerTest, WeightedRecordsFoldMultipleUnits) {
+  Fixture f;
+  RefreshManager manager(&f.catalog, &f.store);
+  auto id = RegisterSkewed(&manager, "orders", "customer_id");
+  ASSERT_TRUE(id.ok());
+  std::vector<UpdateRecord> batch = {UpdateRecord{*id, 2, +5.0},
+                                     UpdateRecord{*id, 1, -2.0}};
+  ASSERT_TRUE(manager.RecordBatch(batch).ok());
+  ASSERT_TRUE(manager.ApplyPendingDeltas().ok());
+  auto stats = f.catalog.GetColumnStatistics("orders", "customer_id");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->histogram.LookupFrequency(2), 205.0);
+  EXPECT_DOUBLE_EQ(stats->histogram.LookupFrequency(1), 398.0);
+  EXPECT_EQ(manager.stats().deltas_applied, 7u);
+}
+
+TEST(RefreshManagerTest, UnknownColumnRecordsAreCountedAndDropped) {
+  Fixture f;
+  RefreshManager manager(&f.catalog, &f.store);
+  ASSERT_TRUE(RegisterSkewed(&manager, "orders", "customer_id").ok());
+  ASSERT_TRUE(manager.RecordInsert(999, 1).ok());  // ids validated at apply
+  auto applied = manager.ApplyPendingDeltas();
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 0u);
+  EXPECT_EQ(manager.stats().unknown_column_records, 1u);
+}
+
+TEST(RefreshManagerTest, FreshColumnScoresNearZero) {
+  Fixture f;
+  RefreshManager manager(&f.catalog, &f.store);
+  auto id = RegisterSkewed(&manager, "orders", "customer_id");
+  ASSERT_TRUE(id.ok());
+  auto score = manager.ScoreColumn(*id);
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(score->signals.drift_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(score->signals.feedback_error, 0.0);
+  EXPECT_FALSE(score->rebuild_recommended);
+  EXPECT_TRUE(manager.ScoreColumn(999).status().IsInvalidArgument());
+}
+
+// The headline adaptivity property: let a Zipf column drift (a formerly
+// cold tail value becomes a heavy hitter), watch the Prop 3.1 self-join
+// staleness error grow, let the advisor trigger a rebuild, and verify the
+// rebuilt bucketization strictly shrinks sum_i P_i V_i.
+TEST(RefreshManagerTest, DriftingZipfRebuildShrinksSelfJoinError) {
+  Fixture f;
+  RefreshOptions options;
+  options.statistics.num_buckets = 6;
+  RefreshManager manager(&f.catalog, &f.store, options);
+
+  // A Zipf(z=1) column over 50 values, integer frequencies.
+  ZipfParams params;
+  params.total = 5000.0;
+  params.num_values = 50;
+  params.skew = 1.0;
+  auto zipf = ZipfFrequenciesInteger(params);
+  ASSERT_TRUE(zipf.ok());
+  std::vector<int64_t> values = TailValues(1, params.num_values);
+  auto id = manager.RegisterColumn("fact", "key", values, *zipf);
+  ASSERT_TRUE(id.ok());
+
+  auto fresh = manager.ScoreColumn(*id);
+  ASSERT_TRUE(fresh.ok());
+  const double fresh_error = fresh->signals.self_join_error;
+
+  // Drift: tail value 45 (deep in the default bucket) becomes the hottest
+  // value in the relation.
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_TRUE(manager.RecordInsert(*id, 45).ok());
+  }
+  ASSERT_TRUE(manager.ApplyPendingDeltas().ok());
+
+  auto stale = manager.ScoreColumn(*id);
+  ASSERT_TRUE(stale.ok());
+  // The mis-bucketed heavy hitter inflates the default bucket's P * V.
+  EXPECT_GT(stale->signals.self_join_error, fresh_error);
+  EXPECT_GT(stale->signals.self_join_error, 1000.0);
+  EXPECT_TRUE(stale->rebuild_recommended);
+
+  auto rebuilt_count = manager.RebuildIfStale();
+  ASSERT_TRUE(rebuilt_count.ok());
+  EXPECT_EQ(*rebuilt_count, 1u);
+
+  auto rebuilt = manager.ScoreColumn(*id);
+  ASSERT_TRUE(rebuilt.ok());
+  // Post-rebuild sum_i P_i V_i strictly decreases: the new bucketization
+  // reflects the drifted frequencies.
+  EXPECT_LT(rebuilt->signals.self_join_error,
+            stale->signals.self_join_error);
+  EXPECT_DOUBLE_EQ(rebuilt->signals.drift_fraction, 0.0);
+
+  // The rebuilt histogram serves the new heavy hitter near-exactly.
+  auto stats = f.catalog.GetColumnStatistics("fact", "key");
+  ASSERT_TRUE(stats.ok());
+  bool is_explicit = false;
+  const double served = stats->histogram.LookupFrequency(45, &is_explicit);
+  EXPECT_TRUE(is_explicit);
+  EXPECT_NEAR(served, 1500.0 + (*zipf)[44], 1e-9);
+
+  RefreshStats refresh_stats = manager.stats();
+  EXPECT_EQ(refresh_stats.rebuilds_total, 1u);
+  EXPECT_GE(refresh_stats.rebuilds_drift + refresh_stats.rebuilds_self_join,
+            1u);
+}
+
+TEST(RefreshManagerTest, FeedbackDrivesRebuildReason) {
+  Fixture f;
+  RefreshOptions options;
+  // Isolate the feedback signal.
+  options.staleness.weight_drift = 0.0;
+  options.staleness.weight_self_join = 0.0;
+  options.maintenance.rebuild_drift_fraction = 1e9;
+  RefreshManager manager(&f.catalog, &f.store, options);
+  auto id = RegisterSkewed(&manager, "orders", "customer_id");
+  ASSERT_TRUE(id.ok());
+
+  EstimationFeedbackSink* sink = &manager;
+  sink->ReportEstimationError("orders", "customer_id", 100.0, 1000.0);
+  sink->ReportEstimationError("orders", "unknown", 1.0, 2.0);  // ignored
+
+  auto score = manager.ScoreColumn(*id);
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(score->signals.feedback_error, 0.5);
+  EXPECT_TRUE(score->rebuild_recommended);
+  EXPECT_EQ(score->reason, RebuildReason::kFeedback);
+
+  auto rebuilt = manager.RebuildIfStale();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(*rebuilt, 1u);
+  RefreshStats stats = manager.stats();
+  EXPECT_EQ(stats.rebuilds_feedback, 1u);
+  EXPECT_EQ(stats.feedback_reports, 1u);
+
+  // Rebuild resets the EWMA: the feedback referred to replaced statistics.
+  auto after = manager.ScoreColumn(*id);
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ(after->signals.feedback_error, 0.0);
+}
+
+TEST(RefreshManagerTest, FeedbackFoldsAsEwma) {
+  Fixture f;
+  RefreshOptions options;
+  options.feedback_alpha = 0.5;
+  RefreshManager manager(&f.catalog, &f.store, options);
+  auto id = RegisterSkewed(&manager, "orders", "customer_id");
+  ASSERT_TRUE(id.ok());
+  EstimationFeedbackSink* sink = &manager;
+  // First report seeds the EWMA: |10-20|/20 = 0.5.
+  sink->ReportEstimationError("orders", "customer_id", 10.0, 20.0);
+  // Second folds at alpha = 0.5: 0.5 * 1.0 + 0.5 * 0.5 = 0.75.
+  sink->ReportEstimationError("orders", "customer_id", 40.0, 20.0);
+  auto score = manager.ScoreColumn(*id);
+  ASSERT_TRUE(score.ok());
+  EXPECT_NEAR(score->signals.feedback_error, 0.75, 1e-12);
+}
+
+TEST(RefreshManagerTest, ForceRebuildCountsAsForced) {
+  Fixture f;
+  RefreshManager manager(&f.catalog, &f.store);
+  auto id = RegisterSkewed(&manager, "orders", "customer_id");
+  ASSERT_TRUE(id.ok());
+  std::vector<RefreshColumnId> ids = {*id};
+  ASSERT_TRUE(manager.ForceRebuild(ids).ok());
+  RefreshStats stats = manager.stats();
+  EXPECT_EQ(stats.rebuilds_forced, 1u);
+  EXPECT_EQ(stats.rebuilds_total, 1u);
+
+  std::vector<RefreshColumnId> bad = {42};
+  EXPECT_TRUE(manager.ForceRebuild(bad).IsInvalidArgument());
+}
+
+TEST(RefreshManagerTest, MaxRebuildsPerTickCapsWork) {
+  Fixture f;
+  RefreshOptions options;
+  options.max_rebuilds_per_tick = 1;
+  options.maintenance.rebuild_drift_fraction = 0.01;
+  RefreshManager manager(&f.catalog, &f.store, options);
+  auto a = RegisterSkewed(&manager, "t", "a");
+  auto b = RegisterSkewed(&manager, "t", "b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(manager.RecordInsert(*a, 1).ok());
+    ASSERT_TRUE(manager.RecordInsert(*b, 1).ok());
+  }
+  ASSERT_TRUE(manager.ApplyPendingDeltas().ok());
+  auto rebuilt = manager.RebuildIfStale();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(*rebuilt, 1u);  // capped; the other column waits for next tick
+  auto again = manager.RebuildIfStale();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 1u);
+}
+
+TEST(RefreshManagerTest, ScoreColumnsSortsWorstFirst) {
+  Fixture f;
+  RefreshManager manager(&f.catalog, &f.store);
+  auto a = RegisterSkewed(&manager, "t", "calm");
+  auto b = RegisterSkewed(&manager, "t", "churned");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(manager.RecordInsert(*b, 7).ok());
+  }
+  ASSERT_TRUE(manager.ApplyPendingDeltas().ok());
+  std::vector<ColumnStalenessReport> reports = manager.ScoreColumns();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].column, "churned");
+  EXPECT_EQ(reports[0].deltas_applied, 50u);
+  EXPECT_GE(reports[0].score.total, reports[1].score.total);
+}
+
+TEST(RefreshManagerTest, TickRunsTheFullCycle) {
+  Fixture f;
+  RefreshOptions options;
+  options.maintenance.rebuild_drift_fraction = 0.05;
+  RefreshManager manager(&f.catalog, &f.store, options);
+  auto id = RegisterSkewed(&manager, "orders", "customer_id");
+  ASSERT_TRUE(id.ok());
+
+  // Idle tick: nothing applied, nothing rebuilt, nothing republished.
+  auto idle = manager.Tick();
+  ASSERT_TRUE(idle.ok());
+  EXPECT_EQ(idle->deltas_applied, 0u);
+  EXPECT_EQ(idle->columns_rebuilt, 0u);
+  EXPECT_FALSE(idle->republished);
+
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(manager.RecordInsert(*id, 5).ok());
+  }
+  auto busy = manager.Tick();
+  ASSERT_TRUE(busy.ok());
+  EXPECT_EQ(busy->deltas_applied, 60u);
+  EXPECT_EQ(busy->columns_rebuilt, 1u);  // drift policy fires at 5%
+  EXPECT_TRUE(busy->republished);
+  EXPECT_GE(busy->seconds, 0.0);
+
+  RefreshStats stats = manager.stats();
+  EXPECT_EQ(stats.ticks, 2u);
+  EXPECT_EQ(stats.deltas_applied, 60u);
+  EXPECT_GE(stats.republish_count, 2u);  // registration + busy tick
+  EXPECT_EQ(stats.columns_tracked, 1u);
+}
+
+TEST(RefreshManagerTest, DeleteOfUntrackedValueIsDriftOnly) {
+  Fixture f;
+  RefreshManager manager(&f.catalog, &f.store);
+  auto id = RegisterSkewed(&manager, "orders", "customer_id");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(manager.RecordDelete(*id, 9999).ok());
+  auto applied = manager.ApplyPendingDeltas();
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 1u);
+  // The untracked delete counts as churn but invents no tracked value.
+  auto score = manager.ScoreColumn(*id);
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(score->signals.drift_fraction, 0.0);
+  auto stats = f.catalog.GetColumnStatistics("orders", "customer_id");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_distinct, 20u);
+}
+
+}  // namespace
+}  // namespace hops
