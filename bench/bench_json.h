@@ -38,6 +38,12 @@ class JsonWriter {
   void Bool(bool value);
   void Null();
 
+  /// Splices \p json — one pre-rendered JSON value (object, array, or
+  /// scalar) — into the stream as the next value. Used to embed renderings
+  /// from other serializers (telemetry::RenderJson) under a key without
+  /// re-parsing them. The caller is responsible for \p json being valid.
+  void Raw(const std::string& json);
+
   const std::string& str() const { return out_; }
 
  private:

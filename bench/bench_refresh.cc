@@ -22,7 +22,10 @@
 // perf trajectory of the subsystem (backpressure events, rebuild reasons,
 // republish counts) is machine-readable across PRs.
 //
-// Usage: bench_refresh [output.json] [--quick]
+// Usage: bench_refresh [output.json] [--quick] [--telemetry]
+//
+// --telemetry embeds the full §9 metric registry (telemetry::RenderJson)
+// under a "telemetry" key of the output document.
 
 #include "bench_json.h"
 
@@ -39,6 +42,8 @@
 #include "estimator/serving.h"
 #include "refresh/refresh_daemon.h"
 #include "refresh/refresh_manager.h"
+#include "telemetry/exporters.h"
+#include "telemetry/metrics.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -139,9 +144,12 @@ void WriteRefreshStats(JsonWriter* w, const RefreshStats& s) {
 int Run(int argc, char** argv) {
   std::string output = "BENCH_refresh.json";
   bool quick = false;
+  bool dump_telemetry = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      dump_telemetry = true;
     } else {
       output = argv[i];
     }
@@ -356,6 +364,13 @@ int Run(int argc, char** argv) {
 
   w.Key("refresh_stats");
   WriteRefreshStats(&w, churn_stats);
+
+  if (dump_telemetry) {
+    // Full metric registry (span sites, serving counters, q-error families)
+    // spliced in as rendered by the §9 JSON exporter.
+    w.Key("telemetry");
+    w.Raw(telemetry::RenderJson(telemetry::MetricRegistry::Global().Collect()));
+  }
   w.EndObject();
 
   std::ofstream out(output);

@@ -117,6 +117,11 @@ void JsonWriter::Null() {
   out_ += "null";
 }
 
+void JsonWriter::Raw(const std::string& json) {
+  Prefix(false);
+  out_ += json;
+}
+
 std::string BenchTimestampUtc() {
   std::time_t now = std::time(nullptr);
   std::tm utc{};

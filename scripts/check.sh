@@ -5,7 +5,11 @@
 #   --asan     also run the ASan+UBSan build + tests
 #   --tsan     also run the ThreadSanitizer build over the concurrency
 #              suites (thread_pool_test, parallel_build_test,
-#              snapshot_concurrency_test, refresh_daemon_test)
+#              snapshot_concurrency_test, refresh_daemon_test,
+#              telemetry_concurrency_test)
+#   --telemetry-smoke  build + run examples/feedback_loop and grep its
+#              Prometheus dump for the expected metric families (the §9
+#              end-to-end observability gate)
 #   --skip-tier1  skip the default build+ctest+bench stage (used by the CI
 #              sanitizer jobs so they only pay for their own build)
 set -euo pipefail
@@ -14,10 +18,12 @@ cd "$(dirname "$0")/.."
 RUN_TIER1=1
 RUN_ASAN=0
 RUN_TSAN=0
+RUN_TELEMETRY_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --asan) RUN_ASAN=1 ;;
     --tsan) RUN_TSAN=1 ;;
+    --telemetry-smoke) RUN_TELEMETRY_SMOKE=1 ;;
     --skip-tier1) RUN_TIER1=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -49,13 +55,33 @@ if [[ "$RUN_TSAN" == 1 ]]; then
     -DHOPS_BUILD_BENCHMARKS=OFF -DHOPS_BUILD_EXAMPLES=OFF \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan --target thread_pool_test parallel_build_test \
-    snapshot_concurrency_test refresh_daemon_test
+    snapshot_concurrency_test refresh_daemon_test telemetry_concurrency_test
   # Oversubscribe the pool so TSan sees real interleavings even on small
   # CI machines.
   HOPS_THREADS=4 ./build-tsan/tests/thread_pool_test
   HOPS_THREADS=4 ./build-tsan/tests/parallel_build_test
   HOPS_THREADS=4 ./build-tsan/tests/snapshot_concurrency_test
   HOPS_THREADS=4 ./build-tsan/tests/refresh_daemon_test
+  HOPS_THREADS=4 ./build-tsan/tests/telemetry_concurrency_test
+fi
+
+if [[ "$RUN_TELEMETRY_SMOKE" == 1 ]]; then
+  echo "== Telemetry smoke (feedback_loop example) =="
+  cmake -B build -G Ninja
+  cmake --build build --target feedback_loop
+  SMOKE_OUT=$(./build/examples/feedback_loop)
+  # The example exits nonzero itself if the feedback loop produced no
+  # accuracy signal; additionally require the exported families that every
+  # dashboard would scrape.
+  for family in hops_estimates_total hops_estimate_qerror_bucket \
+      hops_span_duration_seconds_bucket hops_snapshot_publish_total \
+      hops_histogram_builds_total; do
+    if ! grep -q "$family" <<<"$SMOKE_OUT"; then
+      echo "telemetry smoke: family '$family' missing from export" >&2
+      exit 1
+    fi
+  done
+  echo "telemetry smoke: all expected metric families exported."
 fi
 
 echo "All checks passed."

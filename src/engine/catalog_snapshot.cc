@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace hops {
 
 Result<std::shared_ptr<const CatalogSnapshot>> CatalogSnapshot::Compile(
@@ -70,6 +73,18 @@ std::shared_ptr<const CatalogSnapshot> SnapshotStore::Current() const {
 
 void SnapshotStore::Publish(std::shared_ptr<const CatalogSnapshot> snapshot) {
   if (snapshot == nullptr) snapshot = std::make_shared<const CatalogSnapshot>();
+  // Telemetry (DESIGN.md Â§9): publications are rare (once per ANALYZE /
+  // refresh tick), so a span + counter here costs nothing on the read side.
+  static telemetry::SpanSite& span_site =
+      telemetry::GetSpanSite("Serving.SnapshotPublish");
+  telemetry::TraceSpan span(span_site);
+  if (span.recording()) {
+    static telemetry::Counter* publishes_total =
+        telemetry::MetricRegistry::Global().GetCounter(
+            "hops_snapshot_publish_total",
+            "Catalog snapshots published through a SnapshotStore.");
+    publishes_total->Increment();
+  }
   Lock();
   current_.swap(snapshot);
   Unlock();

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "engine/catalog.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/math.h"
 
 namespace hops {
@@ -204,6 +206,25 @@ std::vector<Result<double>> EstimateBatch(const CatalogSnapshot& snapshot,
   std::vector<Result<double>> results(
       specs.size(), Result<double>(Status::Internal("not estimated")));
   if (specs.empty()) return results;
+  // Telemetry (DESIGN.md §9): one span + one sharded counter add per
+  // *batch*, never per spec — the per-estimate fast path stays untouched,
+  // keeping instrumented overhead within the ≤2% contract measured by
+  // bench_estimation's telemetry_overhead block.
+  static telemetry::SpanSite& span_site =
+      telemetry::GetSpanSite("Serving.EstimateBatch");
+  telemetry::TraceSpan span(span_site);
+  if (span.recording()) {
+    static telemetry::Counter* estimates_total =
+        telemetry::MetricRegistry::Global().GetCounter(
+            "hops_estimates_total",
+            "Estimate specs served through EstimateBatch.");
+    static telemetry::Counter* batches_total =
+        telemetry::MetricRegistry::Global().GetCounter(
+            "hops_estimate_batches_total",
+            "EstimateBatch invocations against a catalog snapshot.");
+    estimates_total->Increment(specs.size());
+    batches_total->Increment();
+  }
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
   // Index-range decomposition: each index is computed independently and
   // written to its own slot, so any pool size (including a serial run)

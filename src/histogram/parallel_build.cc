@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace hops {
 
 const char* HistogramBuilderKindToString(HistogramBuilderKind kind) {
@@ -71,6 +74,17 @@ std::vector<Result<Histogram>> BuildHistogramBatch(
   std::vector<Result<Histogram>> results(
       requests.size(), Result<Histogram>(Status::Internal("not built")));
   if (requests.empty()) return results;
+  // Telemetry (DESIGN.md §9): one span + one counter add per batch.
+  static telemetry::SpanSite& span_site =
+      telemetry::GetSpanSite("Construction.BuildHistogramBatch");
+  telemetry::TraceSpan span(span_site);
+  if (span.recording()) {
+    static telemetry::Counter* builds_total =
+        telemetry::MetricRegistry::Global().GetCounter(
+            "hops_histogram_builds_total",
+            "Histogram build requests run through BuildHistogramBatch.");
+    builds_total->Increment(requests.size());
+  }
   if (options.serial) {
     // The baseline: inline, with every nested parallel region disabled too.
     ScopedSerial serial_region;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "histogram/parallel_build.h"
+#include "telemetry/trace.h"
 #include "util/stopwatch.h"
 
 namespace hops {
@@ -184,7 +185,7 @@ void RefreshManager::ReportEstimationError(std::string_view table,
     state.feedback_ewma = relative;
     state.has_feedback = true;
   }
-  ++feedback_reports_;
+  feedback_reports_.Increment();
 }
 
 Status RefreshManager::ApplyDeltaLocked(ColumnState& state, int64_t value,
@@ -206,7 +207,7 @@ Status RefreshManager::ApplyDeltaLocked(ColumnState& state, int64_t value,
       HOPS_RETURN_NOT_OK(state.maintainer.ApplyDelete(value));
       state.dirty = true;
       ++state.deltas_since_rebuild;
-      ++deltas_applied_;
+      deltas_applied_.Increment();
       continue;
     }
     const double old_freq = it->second;
@@ -237,7 +238,7 @@ Status RefreshManager::ApplyDeltaLocked(ColumnState& state, int64_t value,
                                 : state.maintainer.ApplyDelete(value));
     state.dirty = true;
     ++state.deltas_since_rebuild;
-    ++deltas_applied_;
+    deltas_applied_.Increment();
   }
   return Status::OK();
 }
@@ -256,19 +257,30 @@ Status RefreshManager::WriteBackLocked(ColumnState& state) {
 }
 
 Status RefreshManager::RepublishLocked() {
+  static telemetry::SpanSite& republish_site =
+      telemetry::GetSpanSite("Refresh.Republish");
+  telemetry::TraceSpan span(republish_site);
   HOPS_RETURN_NOT_OK(store_->RepublishFrom(*catalog_).status());
-  ++republish_count_;
+  republish_count_.Increment();
   return Status::OK();
 }
 
 Result<size_t> RefreshManager::ApplyPendingDeltas() {
   std::vector<UpdateRecord> records;
-  log_.Drain(&records);
+  {
+    static telemetry::SpanSite& drain_site =
+        telemetry::GetSpanSite("Refresh.Drain");
+    telemetry::TraceSpan drain_span(drain_site);
+    log_.Drain(&records);
+  }
+  static telemetry::SpanSite& apply_site =
+      telemetry::GetSpanSite("Refresh.Apply");
+  telemetry::TraceSpan apply_span(apply_site);
   std::lock_guard<std::mutex> lock(mutex_);
   size_t applied = 0;
   for (const UpdateRecord& record : records) {
     if (record.column >= columns_.size()) {
-      ++unknown_column_records_;
+      unknown_column_records_.Increment();
       continue;
     }
     HOPS_RETURN_NOT_OK(
@@ -333,6 +345,9 @@ Result<StalenessScore> RefreshManager::ScoreColumn(RefreshColumnId id) const {
 Status RefreshManager::RebuildColumnsLocked(
     std::vector<std::pair<RefreshColumnId, RebuildReason>> picks) {
   if (picks.empty()) return Status::OK();
+  static telemetry::SpanSite& rebuild_site =
+      telemetry::GetSpanSite("Refresh.Rebuild");
+  telemetry::TraceSpan span(rebuild_site);
   Stopwatch stopwatch;
 
   // Assemble one batched construction problem per column and fan it across
@@ -396,11 +411,11 @@ Status RefreshManager::RebuildColumnsLocked(
     ++state.rebuilds;
     state.dirty = true;
     switch (picks[p].second) {
-      case RebuildReason::kSelfJoin: ++rebuilds_self_join_; break;
-      case RebuildReason::kFeedback: ++rebuilds_feedback_; break;
-      case RebuildReason::kForced: ++rebuilds_forced_; break;
+      case RebuildReason::kSelfJoin: rebuilds_self_join_.Increment(); break;
+      case RebuildReason::kFeedback: rebuilds_feedback_.Increment(); break;
+      case RebuildReason::kForced: rebuilds_forced_.Increment(); break;
       case RebuildReason::kDrift:
-      case RebuildReason::kNone: ++rebuilds_drift_; break;
+      case RebuildReason::kNone: rebuilds_drift_.Increment(); break;
     }
     HOPS_RETURN_NOT_OK(WriteBackLocked(state));
     installed = true;
@@ -424,12 +439,17 @@ Result<size_t> RefreshManager::RebuildIfStale() {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::pair<double, std::pair<RefreshColumnId, RebuildReason>>>
       candidates;
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    const StalenessScore score = ScoreLocked(*columns_[i]);
-    if (!score.rebuild_recommended) continue;
-    candidates.push_back(
-        {score.total,
-         {static_cast<RefreshColumnId>(i), score.reason}});
+  {
+    static telemetry::SpanSite& score_site =
+        telemetry::GetSpanSite("Refresh.Score");
+    telemetry::TraceSpan score_span(score_site);
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      const StalenessScore score = ScoreLocked(*columns_[i]);
+      if (!score.rebuild_recommended) continue;
+      candidates.push_back(
+          {score.total,
+           {static_cast<RefreshColumnId>(i), score.reason}});
+    }
   }
   std::stable_sort(candidates.begin(), candidates.end(),
                    [](const auto& a, const auto& b) { return a.first > b.first; });
@@ -459,18 +479,20 @@ Status RefreshManager::ForceRebuild(std::span<const RefreshColumnId> ids) {
 }
 
 Result<RefreshTickReport> RefreshManager::Tick() {
+  static telemetry::SpanSite& tick_site = telemetry::GetSpanSite("Refresh.Tick");
+  telemetry::TraceSpan tick_span(tick_site);
   Stopwatch stopwatch;
   RefreshTickReport report;
   const uint64_t republish_before = [&] {
     std::lock_guard<std::mutex> lock(mutex_);
-    return republish_count_;
+    return republish_count_.Value();
   }();
   HOPS_ASSIGN_OR_RETURN(report.deltas_applied, ApplyPendingDeltas());
   HOPS_ASSIGN_OR_RETURN(report.columns_rebuilt, RebuildIfStale());
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++ticks_;
-    report.republished = republish_count_ > republish_before;
+    ticks_.Increment();
+    report.republished = republish_count_.Value() > republish_before;
     for (const auto& state : columns_) {
       if (state->deltas_since_rebuild > 0) ++report.columns_touched;
     }
@@ -485,17 +507,17 @@ RefreshStats RefreshManager::stats() const {
   s.log = log_.stats();
   std::lock_guard<std::mutex> lock(mutex_);
   s.columns_tracked = columns_.size();
-  s.deltas_applied = deltas_applied_;
-  s.unknown_column_records = unknown_column_records_;
-  s.ticks = ticks_;
-  s.rebuilds_drift = rebuilds_drift_;
-  s.rebuilds_self_join = rebuilds_self_join_;
-  s.rebuilds_feedback = rebuilds_feedback_;
-  s.rebuilds_forced = rebuilds_forced_;
-  s.rebuilds_total = rebuilds_drift_ + rebuilds_self_join_ +
-                     rebuilds_feedback_ + rebuilds_forced_;
-  s.republish_count = republish_count_;
-  s.feedback_reports = feedback_reports_;
+  s.deltas_applied = deltas_applied_.Value();
+  s.unknown_column_records = unknown_column_records_.Value();
+  s.ticks = ticks_.Value();
+  s.rebuilds_drift = rebuilds_drift_.Value();
+  s.rebuilds_self_join = rebuilds_self_join_.Value();
+  s.rebuilds_feedback = rebuilds_feedback_.Value();
+  s.rebuilds_forced = rebuilds_forced_.Value();
+  s.rebuilds_total = s.rebuilds_drift + s.rebuilds_self_join +
+                     s.rebuilds_feedback + s.rebuilds_forced;
+  s.republish_count = republish_count_.Value();
+  s.feedback_reports = feedback_reports_.Value();
   s.last_tick_seconds = last_tick_seconds_;
   s.last_refresh_seconds = last_refresh_seconds_;
   return s;

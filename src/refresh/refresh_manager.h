@@ -202,16 +202,19 @@ class RefreshManager : public EstimationFeedbackSink {
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<ColumnState>> columns_;
   std::map<std::pair<std::string, std::string>, RefreshColumnId> by_name_;
-  // Counters (guarded by mutex_).
-  uint64_t deltas_applied_ = 0;
-  uint64_t unknown_column_records_ = 0;
-  uint64_t ticks_ = 0;
-  uint64_t rebuilds_drift_ = 0;
-  uint64_t rebuilds_self_join_ = 0;
-  uint64_t rebuilds_feedback_ = 0;
-  uint64_t rebuilds_forced_ = 0;
-  uint64_t republish_count_ = 0;
-  uint64_t feedback_reports_ = 0;
+  // Counters come from the telemetry metrics core (DESIGN.md §9, one
+  // counter implementation across the codebase). Per-manager instances so
+  // stats() stays per-instance exact; incremented under mutex_ (they are
+  // the subsystem's accounting and ignore the HOPS_TELEMETRY kill switch).
+  telemetry::Counter deltas_applied_;
+  telemetry::Counter unknown_column_records_;
+  telemetry::Counter ticks_;
+  telemetry::Counter rebuilds_drift_;
+  telemetry::Counter rebuilds_self_join_;
+  telemetry::Counter rebuilds_feedback_;
+  telemetry::Counter rebuilds_forced_;
+  telemetry::Counter republish_count_;
+  telemetry::Counter feedback_reports_;
   double last_tick_seconds_ = 0;
   double last_refresh_seconds_ = 0;
 };

@@ -1,6 +1,12 @@
 // Observability surface of the refresh subsystem (DESIGN.md §8): one plain
 // snapshot struct, cheap to copy, exported by RefreshManager::stats() and
 // serialized into BENCH_refresh.json by bench/bench_refresh.
+//
+// Since the telemetry subsystem landed (DESIGN.md §9) these counters are
+// sourced from per-instance telemetry::Counter members on the sharded
+// metrics core (src/telemetry/metrics.h) — same exact-after-quiesce
+// semantics, unregistered so stats() stays per-instance while the global
+// MetricRegistry aggregates the process-wide families.
 
 #pragma once
 

@@ -2,20 +2,30 @@
 
 #include <algorithm>
 
+#include "telemetry/trace.h"
+
 namespace hops {
 
 UpdateLog::UpdateLog(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
 
 Status UpdateLog::Record(const UpdateRecord& record) {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (records_.size() >= capacity_ && !closed_) ++producer_waits_;
-  not_full_.wait(lock,
-                 [&] { return closed_ || records_.size() < capacity_; });
+  if (records_.size() >= capacity_ && !closed_) {
+    producer_waits_.Increment();
+    // Span the actual blocked interval (backpressure is one of the §9
+    // instrumented hot-path waits); the span records at destruction with
+    // relaxed atomics only, so doing it under the log mutex is harmless.
+    static telemetry::SpanSite& wait_site =
+        telemetry::GetSpanSite("UpdateLog.BackpressureWait");
+    telemetry::TraceSpan span(wait_site);
+    not_full_.wait(lock,
+                   [&] { return closed_ || records_.size() < capacity_; });
+  }
   if (closed_) {
     return Status::ResourceExhausted("update log is closed");
   }
   records_.push_back(record);
-  ++enqueued_;
+  enqueued_.Increment();
   high_water_ = std::max(high_water_, records_.size());
   return Status::OK();
 }
@@ -30,11 +40,11 @@ Status UpdateLog::RecordBatch(std::span<const UpdateRecord> records) {
 bool UpdateLog::TryRecord(const UpdateRecord& record) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (closed_ || records_.size() >= capacity_) {
-    ++rejected_;
+    rejected_.Increment();
     return false;
   }
   records_.push_back(record);
-  ++enqueued_;
+  enqueued_.Increment();
   high_water_ = std::max(high_water_, records_.size());
   return true;
 }
@@ -49,7 +59,7 @@ size_t UpdateLog::Drain(std::vector<UpdateRecord>* out, size_t max_records) {
                 records_.begin() + static_cast<ptrdiff_t>(n));
   }
   records_.erase(records_.begin(), records_.begin() + static_cast<ptrdiff_t>(n));
-  drained_ += n;
+  drained_.Increment(n);
   // Space freed: wake every producer blocked on a full log.
   not_full_.notify_all();
   return n;
@@ -74,10 +84,10 @@ bool UpdateLog::closed() const {
 UpdateLogStats UpdateLog::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   UpdateLogStats s;
-  s.enqueued = enqueued_;
-  s.drained = drained_;
-  s.rejected = rejected_;
-  s.producer_waits = producer_waits_;
+  s.enqueued = enqueued_.Value();
+  s.drained = drained_.Value();
+  s.rejected = rejected_.Value();
+  s.producer_waits = producer_waits_.Value();
   s.depth = records_.size();
   s.high_water = high_water_;
   s.capacity = capacity_;

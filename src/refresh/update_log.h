@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "telemetry/metrics.h"
 #include "util/status.h"
 
 namespace hops {
@@ -102,11 +103,18 @@ class UpdateLog {
   std::condition_variable not_full_;
   std::deque<UpdateRecord> records_;
   bool closed_ = false;
-  uint64_t enqueued_ = 0;
-  uint64_t drained_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t producer_waits_ = 0;
-  size_t high_water_ = 0;
+  // Counters come from the telemetry metrics core (DESIGN.md §9) — one
+  // counter implementation across UpdateLog, RefreshManager, and the
+  // instrumentation layer. These instances are per-log (stats() must stay
+  // per-instance exact), always live regardless of the HOPS_TELEMETRY kill
+  // switch (they are the subsystem's accounting, not optional
+  // instrumentation), and incremented under mutex_ anyway, so stats()
+  // reads are exact.
+  telemetry::Counter enqueued_;
+  telemetry::Counter drained_;
+  telemetry::Counter rejected_;
+  telemetry::Counter producer_waits_;
+  size_t high_water_ = 0;  // max-fold; maintained under mutex_
 };
 
 }  // namespace hops

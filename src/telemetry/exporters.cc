@@ -1,0 +1,343 @@
+#include "telemetry/exporters.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+namespace hops::telemetry {
+
+namespace {
+
+// Shortest round-trip double formatting (%.17g trimmed is overkill for an
+// exposition format; %.*g with 17 digits round-trips and stays compact for
+// integers-as-doubles via the %g zero suppression).
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  // Integers render as integers ("100", not "1e+02": counters, bucket
+  // counts, and power-of-two bounds are the common case).
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  // Trim to the shortest representation that still round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    if (std::strtod(shorter, nullptr) == value) return shorter;
+  }
+  return buffer;
+}
+
+std::string FormatUInt(uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  return buffer;
+}
+
+// Prometheus label-value escaping: backslash, double-quote, newline.
+void AppendPromEscaped(std::string* out, const std::string& raw) {
+  for (char c : raw) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      case '\n': *out += "\\n"; break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+// Renders {label="value",...}; with_extra appends one more pair (for the
+// histogram "le" label). Empty label set and no extra renders nothing.
+std::string PromLabels(const LabelSet& labels, const char* extra_key = nullptr,
+                       const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += key;
+    out += "=\"";
+    AppendPromEscaped(&out, value);
+    out += "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!first) out.push_back(',');
+    out += extra_key;
+    out += "=\"";
+    AppendPromEscaped(&out, extra_value);
+    out += "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+// Prometheus HELP text escaping: backslash and newline.
+void AppendPromHelp(std::string* out, const std::string& raw) {
+  for (char c : raw) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& raw) {
+  out->push_back('"');
+  for (char c : raw) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  const std::string* current_family = nullptr;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (current_family == nullptr || *current_family != m.name) {
+      current_family = &m.name;
+      out += "# HELP ";
+      out += m.name;
+      out.push_back(' ');
+      AppendPromHelp(&out, m.help);
+      out.push_back('\n');
+      out += "# TYPE ";
+      out += m.name;
+      out.push_back(' ');
+      out += TypeName(m.type);
+      out.push_back('\n');
+    }
+    switch (m.type) {
+      case MetricType::kCounter:
+      case MetricType::kGauge:
+        out += m.name;
+        out += PromLabels(m.labels);
+        out.push_back(' ');
+        out += FormatDouble(m.value);
+        out.push_back('\n');
+        break;
+      case MetricType::kHistogram: {
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < m.histogram.counts.size(); ++b) {
+          cumulative += m.histogram.counts[b];
+          const std::string le =
+              b < m.histogram.upper_bounds.size()
+                  ? FormatDouble(m.histogram.upper_bounds[b])
+                  : "+Inf";
+          out += m.name;
+          out += "_bucket";
+          out += PromLabels(m.labels, "le", le);
+          out.push_back(' ');
+          out += FormatUInt(cumulative);
+          out.push_back('\n');
+        }
+        out += m.name;
+        out += "_sum";
+        out += PromLabels(m.labels);
+        out.push_back(' ');
+        out += FormatDouble(m.histogram.sum);
+        out.push_back('\n');
+        out += m.name;
+        out += "_count";
+        out += PromLabels(m.labels);
+        out.push_back(' ');
+        out += FormatUInt(m.histogram.count);
+        out.push_back('\n');
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{";
+  const std::string* current_family = nullptr;
+  bool first_family = true;
+  bool first_child = true;
+  auto close_family = [&] {
+    if (current_family != nullptr) out += "]}";
+  };
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (current_family == nullptr || *current_family != m.name) {
+      close_family();
+      if (!first_family) out.push_back(',');
+      first_family = false;
+      current_family = &m.name;
+      AppendJsonEscaped(&out, m.name);
+      out += ":{\"type\":\"";
+      out += TypeName(m.type);
+      out += "\",\"help\":";
+      AppendJsonEscaped(&out, m.help);
+      out += ",\"children\":[";
+      first_child = true;
+    }
+    if (!first_child) out.push_back(',');
+    first_child = false;
+    out += "{\"labels\":{";
+    bool first_label = true;
+    for (const auto& [key, value] : m.labels) {
+      if (!first_label) out.push_back(',');
+      first_label = false;
+      AppendJsonEscaped(&out, key);
+      out.push_back(':');
+      AppendJsonEscaped(&out, value);
+    }
+    out.push_back('}');
+    switch (m.type) {
+      case MetricType::kCounter:
+      case MetricType::kGauge:
+        out += ",\"value\":";
+        out += FormatDouble(m.value);
+        break;
+      case MetricType::kHistogram: {
+        out += ",\"count\":";
+        out += FormatUInt(m.histogram.count);
+        out += ",\"sum\":";
+        out += FormatDouble(m.histogram.sum);
+        out += ",\"max\":";
+        out += FormatDouble(m.histogram.max);
+        out += ",\"p50\":";
+        out += FormatDouble(m.histogram.Quantile(0.50));
+        out += ",\"p95\":";
+        out += FormatDouble(m.histogram.Quantile(0.95));
+        out += ",\"p99\":";
+        out += FormatDouble(m.histogram.Quantile(0.99));
+        out += ",\"buckets\":[";
+        for (size_t b = 0; b < m.histogram.counts.size(); ++b) {
+          if (b > 0) out.push_back(',');
+          out += "{\"le\":";
+          if (b < m.histogram.upper_bounds.size()) {
+            out += FormatDouble(m.histogram.upper_bounds[b]);
+          } else {
+            out += "\"+Inf\"";
+          }
+          out += ",\"count\":";
+          out += FormatUInt(m.histogram.counts[b]);
+          out.push_back('}');
+        }
+        out.push_back(']');
+        break;
+      }
+    }
+    out.push_back('}');
+  }
+  close_family();
+  out.push_back('}');
+  return out;
+}
+
+// ------------------------------------------------------------ TelemetrySink
+
+TelemetrySink::TelemetrySink(TelemetrySinkOptions options)
+    : options_(std::move(options)) {}
+
+TelemetrySink::~TelemetrySink() { (void)Stop(); }
+
+Status TelemetrySink::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) {
+    return Status::AlreadyExists("telemetry sink is already running");
+  }
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+Status TelemetrySink::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return Status::OK();
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+  }
+  return Status::OK();
+}
+
+Status TelemetrySink::WriteOnce() {
+  MetricRegistry* registry =
+      options_.registry != nullptr ? options_.registry
+                                   : &MetricRegistry::Global();
+  const MetricsSnapshot snapshot = registry->Collect();
+  const std::string rendered = options_.format == ExportFormat::kPrometheus
+                                   ? RenderPrometheus(snapshot)
+                                   : RenderJson(snapshot);
+  std::ofstream out(options_.path, std::ios::trunc);
+  if (!out) {
+    return Status::Internal("telemetry sink cannot open " + options_.path);
+  }
+  out << rendered;
+  if (options_.format == ExportFormat::kJson) out << "\n";
+  out.close();
+  if (!out) {
+    return Status::Internal("telemetry sink failed writing " + options_.path);
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+bool TelemetrySink::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+uint64_t TelemetrySink::writes() const {
+  return writes_.load(std::memory_order_relaxed);
+}
+
+void TelemetrySink::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    wake_.wait_for(lock,
+                   std::chrono::microseconds(options_.write_interval_micros),
+                   [&] { return stop_requested_; });
+    lock.unlock();
+    (void)WriteOnce();
+    lock.lock();
+  }
+  lock.unlock();
+  // Final write so the file reflects the end state.
+  (void)WriteOnce();
+}
+
+}  // namespace hops::telemetry

@@ -1,0 +1,86 @@
+// Telemetry exporters (DESIGN.md §9): Prometheus text-format and JSON
+// renderers over a MetricsSnapshot, plus an optional periodic file writer
+// (TelemetrySink) so long-running processes can be scraped off disk.
+//
+// RenderPrometheus emits the exposition text format v0.0.4: one HELP/TYPE
+// header per family, one sample line per child, histograms as cumulative
+// _bucket{le=...} series with _sum and _count. RenderJson emits one object
+// keyed by family name; both renderers are deterministic for a given
+// snapshot (MetricRegistry::Collect sorts children), which the golden-output
+// tests rely on.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "telemetry/metrics.h"
+#include "util/status.h"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace hops::telemetry {
+
+/// \brief Prometheus exposition text format v0.0.4.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// \brief JSON object: { "family": [ {labels, value | histogram}, ... ] }.
+/// Valid standalone JSON; also embeddable under a key of a larger document
+/// (bench_estimation/bench_refresh --telemetry do exactly that).
+std::string RenderJson(const MetricsSnapshot& snapshot);
+
+enum class ExportFormat { kPrometheus, kJson };
+
+/// \brief Knobs for the periodic file writer.
+struct TelemetrySinkOptions {
+  std::string path = "telemetry.prom";
+  ExportFormat format = ExportFormat::kPrometheus;
+  /// Sleep between periodic writes.
+  int64_t write_interval_micros = 1'000'000;
+  /// Registry to snapshot; nullptr = MetricRegistry::Global().
+  MetricRegistry* registry = nullptr;
+};
+
+/// \brief Background writer that periodically renders the registry to a
+/// file (truncate + rewrite, so the file always holds one complete
+/// snapshot). Start/Stop lifecycle mirrors the RefreshDaemon; Stop() runs
+/// one final write so the file reflects the end state.
+class TelemetrySink {
+ public:
+  explicit TelemetrySink(TelemetrySinkOptions options = {});
+  ~TelemetrySink();
+
+  TelemetrySink(const TelemetrySink&) = delete;
+  TelemetrySink& operator=(const TelemetrySink&) = delete;
+
+  /// Spawns the writer thread. AlreadyExists when already running.
+  Status Start();
+
+  /// Joins after a final write. OK when already stopped.
+  Status Stop();
+
+  /// One synchronous snapshot + render + write (also usable standalone,
+  /// without Start()).
+  Status WriteOnce();
+
+  bool running() const;
+
+  /// Completed writes (periodic + final + WriteOnce).
+  uint64_t writes() const;
+
+ private:
+  void Loop();
+
+  const TelemetrySinkOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::atomic<uint64_t> writes_{0};
+};
+
+}  // namespace hops::telemetry

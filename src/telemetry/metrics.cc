@@ -1,0 +1,342 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace hops::telemetry {
+
+namespace {
+
+bool ReadEnabledFromEnv() {
+  const char* raw = std::getenv("HOPS_TELEMETRY");
+  if (raw == nullptr) return true;
+  std::string value(raw);
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return !(value == "off" || value == "0" || value == "false" ||
+           value == "no");
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{ReadEnabledFromEnv()};
+  return flag;
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// name + 0x1f + key=value pairs: an injective serialization usable as a
+// map key ('\x1f' cannot appear in metric names; label values containing
+// it would only merge children that render identically anyway).
+std::string EntryKey(const std::string& name, const LabelSet& labels) {
+  std::string key = name;
+  for (const auto& [label, value] : labels) {
+    key.push_back('\x1f');
+    key += label;
+    key.push_back('\x1e');
+    key += value;
+  }
+  return key;
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+size_t DefaultShardCount() {
+  static const size_t shards = [] {
+    const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    return std::min<size_t>(64, NextPowerOfTwo(hw));
+  }();
+  return shards;
+}
+
+namespace internal {
+
+size_t ThisThreadShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------- Counter
+
+Counter::Counter(size_t shards) {
+  const size_t n = NextPowerOfTwo(shards == 0 ? DefaultShardCount() : shards);
+  shards_ = std::make_unique<internal::CounterShard[]>(n);
+  mask_ = n - 1;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= mask_; ++i) {
+    total += shards_[i].value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ------------------------------------------------------------------ Gauge
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::SetMax(double value) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (current < value &&
+         !value_.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+// ---------------------------------------------------------- LogBucketSpec
+
+std::vector<double> LogBucketSpec::UpperBounds() const {
+  std::vector<double> bounds;
+  bounds.reserve(num_buckets);
+  double upper = first_upper;
+  for (size_t i = 0; i < num_buckets; ++i) {
+    bounds.push_back(upper);
+    upper *= growth;
+  }
+  return bounds;
+}
+
+LogBucketSpec LogBucketSpec::Latency() { return LogBucketSpec{}; }
+
+LogBucketSpec LogBucketSpec::QError() {
+  return LogBucketSpec{/*first_upper=*/1.0, /*growth=*/2.0,
+                       /*num_buckets=*/21};
+}
+
+// ------------------------------------------------------ HistogramSnapshot
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      // Finite buckets answer with their upper bound (never above the
+      // observed max); the overflow bucket answers with the observed max.
+      if (i < upper_bounds.size()) return std::min(upper_bounds[i], max);
+      return max;
+    }
+  }
+  return max;
+}
+
+// ------------------------------------------------------- LatencyHistogram
+
+// Per-shard storage: the bucket counters form a contiguous array (the
+// overflow bucket last); sum and max get their own cache line each so the
+// CAS folds do not interfere with bucket increments on other threads.
+struct LatencyHistogram::Shard {
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets;  // num_buckets_ + 1
+  alignas(internal::kCacheLineBytes) std::atomic<double> sum{0.0};
+  alignas(internal::kCacheLineBytes) std::atomic<double> max{0.0};
+};
+
+LatencyHistogram::~LatencyHistogram() = default;
+
+LatencyHistogram::LatencyHistogram(LogBucketSpec spec, size_t shards)
+    : upper_bounds_(spec.UpperBounds()), num_buckets_(upper_bounds_.size()) {
+  const size_t n = NextPowerOfTwo(shards == 0 ? DefaultShardCount() : shards);
+  shard_mask_ = n - 1;
+  shards_ = std::make_unique<Shard[]>(n);
+  for (size_t s = 0; s < n; ++s) {
+    shards_[s].buckets =
+        std::make_unique<std::atomic<uint64_t>[]>(num_buckets_ + 1);
+    for (size_t b = 0; b <= num_buckets_; ++b) {
+      shards_[s].buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t LatencyHistogram::BucketIndex(double value) const {
+  // Binary search over <= 64 boundaries: ~6 well-predicted branches, no
+  // floating-point log on the hot path.
+  const auto it = std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(),
+                                   value);
+  return static_cast<size_t>(it - upper_bounds_.begin());  // == size → overflow
+}
+
+void LatencyHistogram::Record(double value) {
+  if (!std::isfinite(value)) return;
+  Shard& shard = shards_[internal::ThisThreadShardIndex() & shard_mask_];
+  shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  double sum = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(sum, sum + value,
+                                          std::memory_order_relaxed,
+                                          std::memory_order_relaxed)) {
+  }
+  double max = shard.max.load(std::memory_order_relaxed);
+  while (max < value &&
+         !shard.max.compare_exchange_weak(max, value,
+                                          std::memory_order_relaxed,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.upper_bounds = upper_bounds_;
+  snap.counts.assign(num_buckets_ + 1, 0);
+  for (size_t s = 0; s <= shard_mask_; ++s) {
+    const Shard& shard = shards_[s];
+    for (size_t b = 0; b <= num_buckets_; ++b) {
+      snap.counts[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    snap.max = std::max(snap.max, shard.max.load(std::memory_order_relaxed));
+  }
+  for (uint64_t c : snap.counts) snap.count += c;
+  return snap;
+}
+
+uint64_t LatencyHistogram::Count() const {
+  uint64_t total = 0;
+  for (size_t s = 0; s <= shard_mask_; ++s) {
+    for (size_t b = 0; b <= num_buckets_; ++b) {
+      total += shards_[s].buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+// --------------------------------------------------------- MetricsSnapshot
+
+const MetricSnapshot* MetricsSnapshot::Find(std::string_view name) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+const MetricSnapshot* MetricsSnapshot::Find(std::string_view name,
+                                            const LabelSet& labels) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name && m.labels == labels) return &m;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------- MetricRegistry
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();  // never destroyed
+  return *registry;
+}
+
+MetricRegistry::Entry* MetricRegistry::FindOrCreate(const std::string& name,
+                                                    const std::string& help,
+                                                    MetricType type,
+                                                    const LabelSet& labels) {
+  // Caller holds mutex_.
+  const auto family = family_types_.find(name);
+  if (family != family_types_.end() && family->second != type) {
+    std::fprintf(stderr,
+                 "hops telemetry: metric family '%s' registered with two "
+                 "different types\n",
+                 name.c_str());
+    std::abort();
+  }
+  if (family == family_types_.end()) family_types_.emplace(name, type);
+  auto [it, inserted] = entries_.try_emplace(EntryKey(name, labels));
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.name = name;
+    entry.help = help;
+    entry.type = type;
+    entry.labels = labels;
+  }
+  return &entry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& help,
+                                    const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry* entry = FindOrCreate(name, help, MetricType::kCounter, labels);
+  if (entry->counter == nullptr) entry->counter = std::make_unique<Counter>();
+  return entry->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& help,
+                                const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry* entry = FindOrCreate(name, help, MetricType::kGauge, labels);
+  if (entry->gauge == nullptr) entry->gauge = std::make_unique<Gauge>();
+  return entry->gauge.get();
+}
+
+LatencyHistogram* MetricRegistry::GetHistogram(const std::string& name,
+                                               const std::string& help,
+                                               LogBucketSpec spec,
+                                               const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry* entry = FindOrCreate(name, help, MetricType::kHistogram, labels);
+  if (entry->histogram == nullptr) {
+    entry->histogram = std::make_unique<LatencyHistogram>(spec);
+  }
+  return entry->histogram.get();
+}
+
+MetricsSnapshot MetricRegistry::Collect() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.metrics.reserve(entries_.size());
+  // entries_ is keyed by name + labels, so iteration is already sorted by
+  // (name, serialized labels) — deterministic export order for free.
+  for (const auto& [key, entry] : entries_) {
+    MetricSnapshot m;
+    m.name = entry.name;
+    m.help = entry.help;
+    m.type = entry.type;
+    m.labels = entry.labels;
+    switch (entry.type) {
+      case MetricType::kCounter:
+        m.value = static_cast<double>(entry.counter->Value());
+        break;
+      case MetricType::kGauge:
+        m.value = entry.gauge->Value();
+        break;
+      case MetricType::kHistogram:
+        m.histogram = entry.histogram->Snapshot();
+        break;
+    }
+    snapshot.metrics.push_back(std::move(m));
+  }
+  return snapshot;
+}
+
+size_t MetricRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace hops::telemetry

@@ -1,0 +1,282 @@
+// Telemetry metrics core (DESIGN.md §9 "Telemetry"): lock-free,
+// cache-line-sharded Counter / Gauge / LatencyHistogram primitives behind a
+// process-wide MetricRegistry with labeled families.
+//
+// The system now has three concurrent layers — batched construction (§6),
+// RCU snapshot serving (§7), and the adaptive refresh daemon (§8) — and
+// this is the layer that sees inside them at runtime. Design contract:
+//
+//  * Fast path is relaxed atomics only. A Counter::Increment is one
+//    fetch_add on a cache line owned (statistically) by the calling thread:
+//    shards are alignas(hardware-destructive-interference) so writers on
+//    different cores do not false-share, and threads pick shards by a
+//    round-robin thread-local index, so the common case is an uncontended
+//    core-local RMW. No locks, no syscalls, no allocation.
+//  * Collection is exact for quiesced writers. Value() sums the shards with
+//    relaxed loads; increments made while a collector is summing may or may
+//    not be visible (the usual monotonic-counter contract), but once the
+//    writers are joined the sum reconciles exactly
+//    (tests/telemetry/telemetry_concurrency_test.cc proves it under TSan).
+//  * LatencyHistogram reuses the repo's bucketization vocabulary: a fixed
+//    log-spaced *bucketization of the value domain* chosen at construction
+//    (LogBucketSpec), per-bucket sharded counters, and quantile extraction
+//    that answers with the smallest bucket upper bound covering the
+//    requested rank — the same "mass inside a bucket is summarized by its
+//    boundary" approximation the paper's histograms make for value domains.
+//  * HOPS_TELEMETRY=off (or 0/false) is a process-wide kill switch read
+//    once at startup; hot-path instrumentation sites check
+//    telemetry::Enabled() (one relaxed bool load) and skip recording.
+//    Subsystem bookkeeping counters (UpdateLogStats, RefreshStats) stay
+//    live regardless — the switch silences *instrumentation*, not the
+//    subsystems' own accounting.
+//
+// MetricRegistry::Global() is the process-wide registry the built-in
+// instrumentation records into; tests use local registries for isolation.
+// Metrics obtained from a registry live as long as the registry (pointers
+// are stable), so instrumentation sites cache them in static locals.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hops::telemetry {
+
+/// \brief Whether telemetry instrumentation records anything. Initialized
+/// once from $HOPS_TELEMETRY ("off", "0", "false" — case-insensitive —
+/// disable; anything else, including unset, enables). One relaxed atomic
+/// load — safe and cheap on any hot path.
+bool Enabled();
+
+/// \brief Overrides the kill switch at runtime (benches measuring
+/// instrumented-vs-uninstrumented deltas, tests). Thread-safe.
+void SetEnabled(bool enabled);
+
+/// \brief Shards used by every sharded metric in this process: a power of
+/// two derived from std::thread::hardware_concurrency(), in [1, 64].
+size_t DefaultShardCount();
+
+/// \brief Label set of one metric within a family, e.g.
+/// {{"table","t0"},{"column","a"}}. Order-sensitive (callers should pass a
+/// consistent order; the registry treats differently-ordered sets as
+/// distinct children).
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+namespace internal {
+
+/// One cache line holding one atomic cell. 64 bytes covers x86/ARM L1D
+/// lines (std::hardware_destructive_interference_size is not usable in
+/// headers without ABI warnings under GCC 12).
+inline constexpr size_t kCacheLineBytes = 64;
+
+struct alignas(kCacheLineBytes) CounterShard {
+  std::atomic<uint64_t> value{0};
+};
+
+/// Round-robin thread shard index: the first time a thread asks, it is
+/// assigned the next index; afterwards the lookup is one thread-local read.
+size_t ThisThreadShardIndex();
+
+}  // namespace internal
+
+/// \brief Monotonic event counter. Increment is wait-free (one relaxed
+/// fetch_add on a sharded cache line); Value() sums the shards.
+class Counter {
+ public:
+  /// \p shards is rounded up to a power of two; 0 = DefaultShardCount().
+  explicit Counter(size_t shards = 0);
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    shards_[internal::ThisThreadShardIndex() & mask_].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards (relaxed). Exact once concurrent writers quiesce.
+  uint64_t Value() const;
+
+  size_t num_shards() const { return mask_ + 1; }
+
+ private:
+  std::unique_ptr<internal::CounterShard[]> shards_;
+  size_t mask_ = 0;
+};
+
+/// \brief Last-write-wins instantaneous value with atomic add / max folds.
+/// A Gauge is a single cache line (set-dominated metrics like queue depth
+/// do not benefit from sharding — every reader wants the latest value).
+class Gauge {
+ public:
+  Gauge() = default;
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  /// Atomic read-modify-write add (CAS loop; gauges are not hot-path).
+  void Add(double delta);
+
+  /// Raises the gauge to \p value if greater (high-water marks).
+  void SetMax(double value);
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed log-spaced bucket boundaries: bucket i covers
+/// (upper(i-1), upper(i)] with upper(i) = first_upper * growth^i, plus one
+/// overflow bucket for values beyond the last boundary. Values <= 0 land in
+/// bucket 0.
+struct LogBucketSpec {
+  double first_upper = 1e-7;  ///< 100ns — the latency default
+  double growth = 2.0;
+  size_t num_buckets = 36;    ///< 1e-7 * 2^35 ≈ 3436s with the defaults
+
+  /// Materialized upper bounds (num_buckets entries, ascending).
+  std::vector<double> UpperBounds() const;
+
+  /// Latency spec: 100ns .. ~57min in 36 ×2 steps.
+  static LogBucketSpec Latency();
+  /// q-error spec: 1.0 .. ~1.2e6 in 21 ×2 steps (q-error is >= 1).
+  static LogBucketSpec QError();
+};
+
+/// \brief Point-in-time view of one histogram (merged over shards).
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;  ///< per finite bucket, ascending
+  std::vector<uint64_t> counts;      ///< upper_bounds.size() + 1 (overflow)
+  uint64_t count = 0;                ///< total observations
+  double sum = 0;                    ///< sum of observed values
+  double max = 0;                    ///< largest observed value (0 if none)
+
+  /// Smallest bucket upper bound whose cumulative count reaches rank
+  /// ceil(q * count); the overflow bucket answers with max. 0 when empty.
+  /// The answer is an upper bound on the true q-quantile that is tight to
+  /// one bucket (the log-spaced boundary containing it).
+  double Quantile(double q) const;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// \brief Sharded fixed-boundary histogram: Record is wait-free (one
+/// relaxed fetch_add into this thread's shard's bucket, plus relaxed CAS
+/// folds for sum/max on the same shard's cache lines).
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(LogBucketSpec spec = {}, size_t shards = 0);
+  ~LatencyHistogram();  // out-of-line: Shard is an incomplete type here
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(double value);
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Convenience quantile readers (p in [0,1]).
+  double Percentile(double p) const { return Snapshot().Quantile(p); }
+
+  uint64_t Count() const;
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  size_t num_shards() const { return shard_mask_ + 1; }
+
+ private:
+  struct Shard;
+
+  size_t BucketIndex(double value) const;
+
+  std::vector<double> upper_bounds_;
+  std::unique_ptr<Shard[]> shards_;
+  size_t shard_mask_ = 0;
+  size_t num_buckets_ = 0;  // finite buckets; +1 overflow stored per shard
+};
+
+/// \brief One collected metric: family name/help/type plus this child's
+/// labels and value (counter/gauge) or histogram snapshot.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  LabelSet labels;
+  double value = 0;           ///< counter / gauge
+  HistogramSnapshot histogram;  ///< histogram only
+};
+
+/// \brief Snapshot-consistent collection result: every child of every
+/// family registered at collection time, sorted by (name, labels) so
+/// exports are deterministic.
+struct MetricsSnapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  /// First metric with this family name (and labels, when given).
+  const MetricSnapshot* Find(std::string_view name) const;
+  const MetricSnapshot* Find(std::string_view name,
+                             const LabelSet& labels) const;
+};
+
+/// \brief Process-wide registry of labeled metric families. Get* is
+/// get-or-create under a mutex (instrumentation sites call it once and
+/// cache the pointer in a static local); returned pointers are stable for
+/// the registry's lifetime. Collect() walks every registered child under
+/// the same mutex, so the *set* of metrics is snapshot-consistent; values
+/// are relaxed reads (see the file comment).
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide registry used by built-in instrumentation.
+  static MetricRegistry& Global();
+
+  /// Get-or-create. Aborts (programming error) if \p name already names a
+  /// family of a different type. \p help is recorded on first creation.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const LabelSet& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const LabelSet& labels = {});
+  LatencyHistogram* GetHistogram(const std::string& name,
+                                 const std::string& help,
+                                 LogBucketSpec spec = {},
+                                 const LabelSet& labels = {});
+
+  MetricsSnapshot Collect() const;
+
+  size_t num_metrics() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    LabelSet labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  Entry* FindOrCreate(const std::string& name, const std::string& help,
+                      MetricType type, const LabelSet& labels);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  // key: name + serialized labels
+  std::map<std::string, MetricType> family_types_;
+};
+
+}  // namespace hops::telemetry

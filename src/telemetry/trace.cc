@@ -1,0 +1,87 @@
+#include "telemetry/trace.h"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace hops::telemetry {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The innermost open span on this thread (parent of the next span opened).
+thread_local TraceSpan* t_current_span = nullptr;
+TraceSpan** CurrentSpanSlot() { return &t_current_span; }
+
+}  // namespace
+
+SpanSite& GetSpanSite(std::string_view name, MetricRegistry* registry) {
+  // Sites are keyed by (registry, name): tests with local registries get
+  // isolated sites; the global registry gets process-wide ones. Sites are
+  // never destroyed (they reference registry-owned metrics and are cached
+  // in static locals at instrumentation points).
+  static std::mutex mutex;
+  static std::map<std::pair<MetricRegistry*, std::string>,
+                  std::unique_ptr<SpanSite>>* sites =
+      new std::map<std::pair<MetricRegistry*, std::string>,
+                   std::unique_ptr<SpanSite>>();
+  std::lock_guard<std::mutex> lock(mutex);
+  auto key = std::make_pair(registry, std::string(name));
+  auto it = sites->find(key);
+  if (it != sites->end()) return *it->second;
+
+  auto site = std::make_unique<SpanSite>();
+  site->name = std::string(name);
+  const LabelSet labels = {{"span", site->name}};
+  site->count = registry->GetCounter(
+      "hops_span_total", "Completed trace spans per instrumentation site.",
+      labels);
+  site->total_nanos = registry->GetCounter(
+      "hops_span_duration_nanos_total",
+      "Total span wall time in nanoseconds, child spans included.", labels);
+  site->self_nanos = registry->GetCounter(
+      "hops_span_self_nanos_total",
+      "Span wall time in nanoseconds, child spans on the same thread "
+      "excluded.",
+      labels);
+  site->duration_seconds = registry->GetHistogram(
+      "hops_span_duration_seconds",
+      "Per-span wall time in seconds (log-spaced buckets).",
+      LogBucketSpec::Latency(), labels);
+  SpanSite& ref = *site;
+  sites->emplace(std::move(key), std::move(site));
+  return ref;
+}
+
+TraceSpan::TraceSpan(SpanSite& site) {
+  if (!Enabled()) {
+    site_ = nullptr;
+    parent_ = nullptr;
+    return;
+  }
+  site_ = &site;
+  TraceSpan** slot = CurrentSpanSlot();
+  parent_ = *slot;
+  *slot = this;
+  start_nanos_ = NowNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (site_ == nullptr) return;
+  const int64_t nanos = NowNanos() - start_nanos_;
+  *CurrentSpanSlot() = parent_;
+  if (parent_ != nullptr) parent_->child_nanos_ += nanos;
+  site_->count->Increment();
+  site_->total_nanos->Increment(static_cast<uint64_t>(nanos < 0 ? 0 : nanos));
+  const int64_t self = nanos - child_nanos_;
+  site_->self_nanos->Increment(static_cast<uint64_t>(self < 0 ? 0 : self));
+  site_->duration_seconds->Record(static_cast<double>(nanos) * 1e-9);
+}
+
+}  // namespace hops::telemetry

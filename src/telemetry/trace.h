@@ -1,0 +1,79 @@
+// Lightweight trace spans (DESIGN.md §9): scoped timers over the hot paths
+// — EstimateBatch, BuildHistogramBatch, the RefreshManager tick phases
+// (drain / apply / score / rebuild / republish), UpdateLog backpressure
+// waits, SnapshotStore publication.
+//
+// A TraceSpan is a stack object timing one dynamic extent. Spans nest via a
+// thread-local stack: when a span closes it charges its wall time to its
+// parent's child-time, so every span site accumulates both *total* time
+// (inclusive of children) and *self* time (exclusive). Spans opened on
+// other threads (e.g. pool workers inside an EstimateBatch span) are
+// independent roots — cross-thread parentage is deliberately out of scope
+// for a metrics-grade tracer.
+//
+// Cost model: when telemetry is disabled (HOPS_TELEMETRY=off or
+// SetEnabled(false)) constructing a span is one relaxed bool load and two
+// null stores; when enabled it is two steady_clock reads plus four relaxed
+// sharded-atomic folds at close. Span sites materialize as ordinary metric
+// families in a MetricRegistry, labeled {span="<name>"}:
+//
+//   hops_span_total                (counter)   completed spans
+//   hops_span_duration_nanos_total (counter)   total wall nanos, children included
+//   hops_span_self_nanos_total     (counter)   wall nanos minus child spans
+//   hops_span_duration_seconds     (histogram) per-span latency, log buckets
+//
+// so the Prometheus/JSON exporters render them with no extra plumbing, and
+// p50/p95/p99 per site come from the histogram snapshot.
+//
+// Usage — cache the site, then scope the span:
+//
+//   static telemetry::SpanSite& site = telemetry::GetSpanSite("Refresh.Tick");
+//   telemetry::TraceSpan span(site);
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "telemetry/metrics.h"
+
+namespace hops::telemetry {
+
+/// \brief One instrumentation point's accumulators (metrics owned by a
+/// MetricRegistry; the site is a stable bundle of pointers).
+struct SpanSite {
+  std::string name;
+  Counter* count = nullptr;
+  Counter* total_nanos = nullptr;
+  Counter* self_nanos = nullptr;
+  LatencyHistogram* duration_seconds = nullptr;
+};
+
+/// \brief Get-or-create the site named \p name in \p registry (default: the
+/// process-wide registry). Stable reference; call once per site and cache
+/// (instrumentation sites use a function-local static).
+SpanSite& GetSpanSite(std::string_view name,
+                      MetricRegistry* registry = &MetricRegistry::Global());
+
+/// \brief Scoped span over \p site. Non-copyable, stack-only; destruction
+/// order must be LIFO per thread (guaranteed by scoping).
+class TraceSpan {
+ public:
+  explicit TraceSpan(SpanSite& site);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Whether this span is live (telemetry enabled at construction).
+  bool recording() const { return site_ != nullptr; }
+
+ private:
+  SpanSite* site_;     // null when telemetry was disabled at construction
+  TraceSpan* parent_;  // enclosing span on this thread, if any
+  int64_t start_nanos_ = 0;
+  int64_t child_nanos_ = 0;
+};
+
+}  // namespace hops::telemetry

@@ -1,0 +1,179 @@
+// Exporters: Prometheus text-format and JSON golden outputs, escaping, and
+// the TelemetrySink periodic file writer (DESIGN.md §9).
+
+#include "telemetry/exporters.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "telemetry/metrics.h"
+
+namespace hops::telemetry {
+namespace {
+
+// One registry with all three metric types, fully deterministic.
+void PopulateDemoRegistry(MetricRegistry* registry) {
+  registry->GetCounter("hops_demo_total", "Demo counter.")->Increment(3);
+  registry->GetGauge("hops_queue_depth", "Queue depth.")->Set(2.5);
+  LatencyHistogram* hist = registry->GetHistogram(
+      "hops_demo_seconds", "Demo histogram.", LogBucketSpec{1.0, 2.0, 3},
+      {{"phase", "x"}});
+  hist->Record(0.5);    // bucket (.., 1]
+  hist->Record(3.0);    // bucket (2, 4]
+  hist->Record(100.0);  // overflow
+}
+
+TEST(PrometheusExportTest, GoldenOutput) {
+  MetricRegistry registry;
+  PopulateDemoRegistry(&registry);
+  const std::string got = RenderPrometheus(registry.Collect());
+  const std::string want =
+      "# HELP hops_demo_seconds Demo histogram.\n"
+      "# TYPE hops_demo_seconds histogram\n"
+      "hops_demo_seconds_bucket{phase=\"x\",le=\"1\"} 1\n"
+      "hops_demo_seconds_bucket{phase=\"x\",le=\"2\"} 1\n"
+      "hops_demo_seconds_bucket{phase=\"x\",le=\"4\"} 2\n"
+      "hops_demo_seconds_bucket{phase=\"x\",le=\"+Inf\"} 3\n"
+      "hops_demo_seconds_sum{phase=\"x\"} 103.5\n"
+      "hops_demo_seconds_count{phase=\"x\"} 3\n"
+      "# HELP hops_demo_total Demo counter.\n"
+      "# TYPE hops_demo_total counter\n"
+      "hops_demo_total 3\n"
+      "# HELP hops_queue_depth Queue depth.\n"
+      "# TYPE hops_queue_depth gauge\n"
+      "hops_queue_depth 2.5\n";
+  EXPECT_EQ(got, want);
+}
+
+TEST(PrometheusExportTest, MultipleChildrenShareOneHeader) {
+  MetricRegistry registry;
+  registry.GetCounter("hits_total", "Hits.", {{"k", "a"}})->Increment(1);
+  registry.GetCounter("hits_total", "Hits.", {{"k", "b"}})->Increment(2);
+  const std::string got = RenderPrometheus(registry.Collect());
+  const std::string want =
+      "# HELP hits_total Hits.\n"
+      "# TYPE hits_total counter\n"
+      "hits_total{k=\"a\"} 1\n"
+      "hits_total{k=\"b\"} 2\n";
+  EXPECT_EQ(got, want);
+}
+
+TEST(PrometheusExportTest, EscapesLabelValuesAndHelp) {
+  MetricRegistry registry;
+  registry
+      .GetCounter("odd_total", "Help with \\ and\nnewline.",
+                  {{"name", "quote\"back\\slash\nnl"}})
+      ->Increment(1);
+  const std::string got = RenderPrometheus(registry.Collect());
+  const std::string want =
+      "# HELP odd_total Help with \\\\ and\\nnewline.\n"
+      "# TYPE odd_total counter\n"
+      "odd_total{name=\"quote\\\"back\\\\slash\\nnl\"} 1\n";
+  EXPECT_EQ(got, want);
+}
+
+TEST(JsonExportTest, GoldenOutput) {
+  MetricRegistry registry;
+  PopulateDemoRegistry(&registry);
+  const std::string got = RenderJson(registry.Collect());
+  const std::string want =
+      "{\"hops_demo_seconds\":{\"type\":\"histogram\",\"help\":\"Demo "
+      "histogram.\",\"children\":[{\"labels\":{\"phase\":\"x\"},\"count\":3,"
+      "\"sum\":103.5,\"max\":100,\"p50\":4,\"p95\":100,\"p99\":100,"
+      "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":2,\"count\":0},"
+      "{\"le\":4,\"count\":1},{\"le\":\"+Inf\",\"count\":1}]}]},"
+      "\"hops_demo_total\":{\"type\":\"counter\",\"help\":\"Demo "
+      "counter.\",\"children\":[{\"labels\":{},\"value\":3}]},"
+      "\"hops_queue_depth\":{\"type\":\"gauge\",\"help\":\"Queue "
+      "depth.\",\"children\":[{\"labels\":{},\"value\":2.5}]}}";
+  EXPECT_EQ(got, want);
+}
+
+TEST(JsonExportTest, EmptyRegistryRendersEmptyObject) {
+  MetricRegistry registry;
+  EXPECT_EQ(RenderJson(registry.Collect()), "{}");
+  EXPECT_EQ(RenderPrometheus(registry.Collect()), "");
+}
+
+TEST(JsonExportTest, EscapesStrings) {
+  MetricRegistry registry;
+  registry.GetCounter("odd_total", "tab\there", {{"k", "a\"b\\c\nd"}})
+      ->Increment(1);
+  const std::string got = RenderJson(registry.Collect());
+  const std::string want =
+      "{\"odd_total\":{\"type\":\"counter\",\"help\":\"tab\\there\","
+      "\"children\":[{\"labels\":{\"k\":\"a\\\"b\\\\c\\nd\"},"
+      "\"value\":1}]}}";
+  EXPECT_EQ(got, want);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(TelemetrySinkTest, WriteOnceProducesACompleteSnapshot) {
+  MetricRegistry registry;
+  PopulateDemoRegistry(&registry);
+  TelemetrySinkOptions options;
+  options.path = ::testing::TempDir() + "/hops_sink_once.prom";
+  options.registry = &registry;
+  TelemetrySink sink(options);
+  ASSERT_TRUE(sink.WriteOnce().ok());
+  EXPECT_EQ(sink.writes(), 1u);
+  const std::string contents = ReadFile(options.path);
+  EXPECT_EQ(contents, RenderPrometheus(registry.Collect()));
+}
+
+TEST(TelemetrySinkTest, JsonFormatAppendsTrailingNewline) {
+  MetricRegistry registry;
+  registry.GetCounter("one_total", "One.")->Increment(1);
+  TelemetrySinkOptions options;
+  options.path = ::testing::TempDir() + "/hops_sink_once.json";
+  options.format = ExportFormat::kJson;
+  options.registry = &registry;
+  TelemetrySink sink(options);
+  ASSERT_TRUE(sink.WriteOnce().ok());
+  const std::string contents = ReadFile(options.path);
+  EXPECT_EQ(contents, RenderJson(registry.Collect()) + "\n");
+}
+
+TEST(TelemetrySinkTest, UnwritablePathFails) {
+  MetricRegistry registry;
+  TelemetrySinkOptions options;
+  options.path = "/nonexistent-dir/hops.prom";
+  options.registry = &registry;
+  TelemetrySink sink(options);
+  EXPECT_FALSE(sink.WriteOnce().ok());
+}
+
+TEST(TelemetrySinkTest, StartStopLifecycle) {
+  MetricRegistry registry;
+  registry.GetCounter("alive_total", "Alive.")->Increment(1);
+  TelemetrySinkOptions options;
+  options.path = ::testing::TempDir() + "/hops_sink_periodic.prom";
+  options.registry = &registry;
+  options.write_interval_micros = 1000;  // 1ms: several periodic writes
+  TelemetrySink sink(options);
+  EXPECT_FALSE(sink.running());
+  ASSERT_TRUE(sink.Start().ok());
+  EXPECT_TRUE(sink.running());
+  EXPECT_FALSE(sink.Start().ok());  // AlreadyExists
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(sink.Stop().ok());
+  EXPECT_FALSE(sink.running());
+  EXPECT_GE(sink.writes(), 1u);  // at least the final write landed
+  const std::string contents = ReadFile(options.path);
+  EXPECT_EQ(contents, RenderPrometheus(registry.Collect()));
+  EXPECT_TRUE(sink.Stop().ok());  // idempotent
+}
+
+}  // namespace
+}  // namespace hops::telemetry

@@ -1,0 +1,223 @@
+// Metrics core: sharded counters, gauges, log-bucket latency histograms,
+// and the labeled registry (DESIGN.md §9).
+
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+
+namespace hops::telemetry {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(CounterTest, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(Counter(1).num_shards(), 1u);
+  EXPECT_EQ(Counter(2).num_shards(), 2u);
+  EXPECT_EQ(Counter(3).num_shards(), 4u);
+  EXPECT_EQ(Counter(5).num_shards(), 8u);
+  // 0 = the process default, itself a power of two in [1, 64].
+  const size_t d = Counter(0).num_shards();
+  EXPECT_GE(d, 1u);
+  EXPECT_LE(d, 64u);
+  EXPECT_EQ(d & (d - 1), 0u);
+}
+
+TEST(GaugeTest, SetAddSetMax) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 1.5);
+  g.SetMax(1.0);  // below: no-op
+  EXPECT_DOUBLE_EQ(g.Value(), 1.5);
+  g.SetMax(7.0);  // above: raises
+  EXPECT_DOUBLE_EQ(g.Value(), 7.0);
+}
+
+TEST(LogBucketSpecTest, BoundsAreLogSpaced) {
+  LogBucketSpec spec{/*first_upper=*/1.0, /*growth=*/2.0, /*num_buckets=*/5};
+  const std::vector<double> bounds = spec.UpperBounds();
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[4], 16.0);
+}
+
+TEST(LogBucketSpecTest, QErrorSpecStartsAtOne) {
+  const std::vector<double> bounds = LogBucketSpec::QError().UpperBounds();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_DOUBLE_EQ(bounds.front(), 1.0);  // q-error is always >= 1
+  EXPECT_GT(bounds.back(), 1e6);
+}
+
+TEST(LatencyHistogramTest, EmptySnapshot) {
+  LatencyHistogram h;
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+}
+
+TEST(LatencyHistogramTest, RecordsIntoCorrectBuckets) {
+  // Buckets: (..,1], (1,2], (2,4], (4,8], overflow (8,..).
+  LatencyHistogram h(LogBucketSpec{1.0, 2.0, 4});
+  h.Record(0.5);   // bucket 0 (<= first_upper)
+  h.Record(1.0);   // bucket 0 (boundary is inclusive)
+  h.Record(1.5);   // bucket 1
+  h.Record(8.0);   // bucket 3
+  h.Record(100.0);  // overflow
+  const HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 5u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.counts[4], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 111.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_EQ(h.Count(), 5u);
+}
+
+TEST(LatencyHistogramTest, NonFiniteValuesAreIgnored) {
+  LatencyHistogram h(LogBucketSpec{1.0, 2.0, 4});
+  h.Record(std::nan(""));
+  h.Record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+// The quantile contract: the answer is the upper bound of the log-spaced
+// bucket containing the true order statistic (never above the observed
+// max); the overflow bucket answers with the observed max. Checked against
+// a sorted-sample oracle.
+TEST(LatencyHistogramTest, QuantileMatchesSortedSampleOracle) {
+  const LogBucketSpec spec{1e-6, 2.0, 30};
+  LatencyHistogram h(spec);
+  const std::vector<double> bounds = spec.UpperBounds();
+
+  Rng rng(1234);
+  std::vector<double> samples;
+  samples.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    // Log-uniform over ~8 decades, inside the finite bucket range.
+    const double v = 1e-6 * std::pow(10.0, 8.0 * rng.NextDouble());
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double observed_max = sorted.back();
+
+  const HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.count, samples.size());
+  for (double q : {0.0, 0.01, 0.10, 0.50, 0.90, 0.95, 0.99, 1.0}) {
+    // Oracle: the true order statistic at rank ceil(q * n) (1-based).
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(q * static_cast<double>(sorted.size()))));
+    const double truth = sorted[rank - 1];
+    // Expected answer: the bucket boundary covering the truth, clamped to
+    // the observed max.
+    const auto it = std::lower_bound(bounds.begin(), bounds.end(), truth);
+    ASSERT_NE(it, bounds.end());  // samples stay inside the finite range
+    const double expected = std::min(*it, observed_max);
+    EXPECT_DOUBLE_EQ(snap.Quantile(q), expected) << "q = " << q;
+    // And the boundary answer brackets the truth to within one growth step.
+    EXPECT_GE(snap.Quantile(q), std::min(truth, observed_max)) << "q = " << q;
+    EXPECT_LE(snap.Quantile(q), truth * spec.growth) << "q = " << q;
+  }
+  EXPECT_DOUBLE_EQ(snap.max, observed_max);
+  // Mean is exact (sum is folded exactly per shard, modulo fp addition).
+  double sum = 0;
+  for (double v : samples) sum += v;
+  EXPECT_NEAR(snap.Mean(), sum / static_cast<double>(samples.size()),
+              1e-9 * sum);
+}
+
+TEST(LatencyHistogramTest, OverflowBucketAnswersWithObservedMax) {
+  LatencyHistogram h(LogBucketSpec{1.0, 2.0, 2});  // finite range (.., 2]
+  h.Record(50.0);
+  h.Record(75.0);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 75.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 75.0);
+}
+
+TEST(LatencyHistogramTest, QuantileNeverExceedsObservedMax) {
+  LatencyHistogram h(LogBucketSpec{1.0, 2.0, 8});
+  h.Record(1.1);  // bucket (1, 2] — boundary 2 exceeds the observation
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 1.1);
+}
+
+TEST(MetricRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("hits_total", "Hits.");
+  Counter* b = registry.GetCounter("hits_total", "Hits.");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.num_metrics(), 1u);
+  // Different labels → different child, same family.
+  Counter* c =
+      registry.GetCounter("hits_total", "Hits.", {{"table", "t0"}});
+  EXPECT_NE(a, c);
+  EXPECT_EQ(registry.num_metrics(), 2u);
+}
+
+TEST(MetricRegistryTest, CollectIsSortedAndTyped) {
+  MetricRegistry registry;
+  registry.GetCounter("b_total", "B.")->Increment(3);
+  registry.GetGauge("a_depth", "A.")->Set(1.5);
+  registry.GetHistogram("c_seconds", "C.", LogBucketSpec{1.0, 2.0, 4})
+      ->Record(3.0);
+  const MetricsSnapshot snap = registry.Collect();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "a_depth");
+  EXPECT_EQ(snap.metrics[0].type, MetricType::kGauge);
+  EXPECT_DOUBLE_EQ(snap.metrics[0].value, 1.5);
+  EXPECT_EQ(snap.metrics[1].name, "b_total");
+  EXPECT_EQ(snap.metrics[1].type, MetricType::kCounter);
+  EXPECT_DOUBLE_EQ(snap.metrics[1].value, 3.0);
+  EXPECT_EQ(snap.metrics[2].name, "c_seconds");
+  EXPECT_EQ(snap.metrics[2].type, MetricType::kHistogram);
+  EXPECT_EQ(snap.metrics[2].histogram.count, 1u);
+}
+
+TEST(MetricRegistryTest, FindLocatesChildrenByLabels) {
+  MetricRegistry registry;
+  registry.GetCounter("x_total", "X.", {{"k", "a"}})->Increment(1);
+  registry.GetCounter("x_total", "X.", {{"k", "b"}})->Increment(2);
+  const MetricsSnapshot snap = registry.Collect();
+  ASSERT_NE(snap.Find("x_total"), nullptr);
+  const MetricSnapshot* b = snap.Find("x_total", {{"k", "b"}});
+  ASSERT_NE(b, nullptr);
+  EXPECT_DOUBLE_EQ(b->value, 2.0);
+  EXPECT_EQ(snap.Find("missing"), nullptr);
+  EXPECT_EQ(snap.Find("x_total", {{"k", "z"}}), nullptr);
+}
+
+TEST(EnabledTest, SetEnabledtogglesTheKillSwitch) {
+  const bool before = Enabled();
+  SetEnabled(false);
+  EXPECT_FALSE(Enabled());
+  SetEnabled(true);
+  EXPECT_TRUE(Enabled());
+  SetEnabled(before);
+}
+
+}  // namespace
+}  // namespace hops::telemetry

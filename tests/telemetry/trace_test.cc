@@ -1,0 +1,121 @@
+// TraceSpan: scoped timers, parent/child self-time accounting, and the
+// kill-switch fast path (DESIGN.md §9).
+
+#include "telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "telemetry/metrics.h"
+
+namespace hops::telemetry {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = Enabled();
+    SetEnabled(true);
+  }
+  void TearDown() override { SetEnabled(was_enabled_); }
+
+  MetricRegistry registry_;
+  bool was_enabled_ = true;
+};
+
+TEST_F(TraceTest, SiteIsStableAndMaterializesFamilies) {
+  SpanSite& a = GetSpanSite("Test.SiteStable", &registry_);
+  SpanSite& b = GetSpanSite("Test.SiteStable", &registry_);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.name, "Test.SiteStable");
+  ASSERT_NE(a.count, nullptr);
+  ASSERT_NE(a.total_nanos, nullptr);
+  ASSERT_NE(a.self_nanos, nullptr);
+  ASSERT_NE(a.duration_seconds, nullptr);
+  // The four families exist in the registry, labeled by span name.
+  const MetricsSnapshot snap = registry_.Collect();
+  const LabelSet labels = {{"span", "Test.SiteStable"}};
+  EXPECT_NE(snap.Find("hops_span_total", labels), nullptr);
+  EXPECT_NE(snap.Find("hops_span_duration_nanos_total", labels), nullptr);
+  EXPECT_NE(snap.Find("hops_span_self_nanos_total", labels), nullptr);
+  EXPECT_NE(snap.Find("hops_span_duration_seconds", labels), nullptr);
+}
+
+TEST_F(TraceTest, SpanCountsAndTimes) {
+  SpanSite& site = GetSpanSite("Test.CountsAndTimes", &registry_);
+  for (int i = 0; i < 3; ++i) {
+    TraceSpan span(site);
+    EXPECT_TRUE(span.recording());
+  }
+  EXPECT_EQ(site.count->Value(), 3u);
+  EXPECT_EQ(site.duration_seconds->Count(), 3u);
+  // Total and self agree when there are no children.
+  EXPECT_EQ(site.total_nanos->Value(), site.self_nanos->Value());
+}
+
+TEST_F(TraceTest, NestedSpansChargeChildTimeToParent) {
+  SpanSite& outer = GetSpanSite("Test.Nested.Outer", &registry_);
+  SpanSite& inner = GetSpanSite("Test.Nested.Inner", &registry_);
+  {
+    TraceSpan parent(outer);
+    {
+      TraceSpan child(inner);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  EXPECT_EQ(outer.count->Value(), 1u);
+  EXPECT_EQ(inner.count->Value(), 1u);
+  // The child slept >= 2ms, so its total is substantial...
+  EXPECT_GE(inner.total_nanos->Value(), 1'000'000u);
+  // ...the parent's total covers the child's...
+  EXPECT_GE(outer.total_nanos->Value(), inner.total_nanos->Value());
+  // ...and the parent's *self* time excludes it.
+  EXPECT_EQ(outer.self_nanos->Value(),
+            outer.total_nanos->Value() - inner.total_nanos->Value());
+  // The child has no children: self == total.
+  EXPECT_EQ(inner.self_nanos->Value(), inner.total_nanos->Value());
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  SpanSite& site = GetSpanSite("Test.Disabled", &registry_);
+  SetEnabled(false);
+  {
+    TraceSpan span(site);
+    EXPECT_FALSE(span.recording());
+  }
+  EXPECT_EQ(site.count->Value(), 0u);
+  EXPECT_EQ(site.total_nanos->Value(), 0u);
+  EXPECT_EQ(site.duration_seconds->Count(), 0u);
+}
+
+TEST_F(TraceTest, DisabledChildUnderEnabledParentIsTransparent) {
+  SpanSite& outer = GetSpanSite("Test.MixedOuter", &registry_);
+  SpanSite& inner = GetSpanSite("Test.MixedInner", &registry_);
+  {
+    TraceSpan parent(outer);
+    SetEnabled(false);
+    {
+      TraceSpan child(inner);  // not recording: must not corrupt the stack
+    }
+    SetEnabled(true);
+  }
+  EXPECT_EQ(outer.count->Value(), 1u);
+  EXPECT_EQ(inner.count->Value(), 0u);
+  // No child was recorded, so the parent's self time equals its total.
+  EXPECT_EQ(outer.self_nanos->Value(), outer.total_nanos->Value());
+}
+
+TEST_F(TraceTest, SitesAreScopedPerRegistry) {
+  MetricRegistry other;
+  SpanSite& a = GetSpanSite("Test.PerRegistry", &registry_);
+  SpanSite& b = GetSpanSite("Test.PerRegistry", &other);
+  EXPECT_NE(&a, &b);
+  { TraceSpan span(a); }
+  EXPECT_EQ(a.count->Value(), 1u);
+  EXPECT_EQ(b.count->Value(), 0u);
+}
+
+}  // namespace
+}  // namespace hops::telemetry
