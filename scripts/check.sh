@@ -6,7 +6,7 @@
 #   --tsan     also run the ThreadSanitizer build over the concurrency
 #              suites (thread_pool_test, parallel_build_test,
 #              snapshot_concurrency_test, refresh_daemon_test,
-#              telemetry_concurrency_test)
+#              telemetry_concurrency_test, sharded_refresh_soak_test)
 #   --telemetry-smoke  build + run examples/feedback_loop and grep its
 #              Prometheus dump for the expected metric families (the §9
 #              end-to-end observability gate)
@@ -38,6 +38,18 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   for b in build/bench/*; do
     "$b"
   done
+
+  # The refresh bench must carry the §10 shards axis plus the provenance
+  # fields every BENCH_*.json promises — a silent schema regression here
+  # would break cross-PR perf tracking.
+  echo "== Checking BENCH_refresh.json schema (shards axis + provenance) =="
+  for field in '"shards"' '"speedup_vs_1"' '"ticks_skipped"' \
+      '"timestamp_utc"' '"git_rev"'; do
+    if ! grep -q "$field" BENCH_refresh.json; then
+      echo "BENCH_refresh.json: missing field $field" >&2
+      exit 1
+    fi
+  done
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
@@ -55,7 +67,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
     -DHOPS_BUILD_BENCHMARKS=OFF -DHOPS_BUILD_EXAMPLES=OFF \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan --target thread_pool_test parallel_build_test \
-    snapshot_concurrency_test refresh_daemon_test telemetry_concurrency_test
+    snapshot_concurrency_test refresh_daemon_test telemetry_concurrency_test \
+    sharded_refresh_soak_test
   # Oversubscribe the pool so TSan sees real interleavings even on small
   # CI machines.
   HOPS_THREADS=4 ./build-tsan/tests/thread_pool_test
@@ -63,6 +76,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   HOPS_THREADS=4 ./build-tsan/tests/snapshot_concurrency_test
   HOPS_THREADS=4 ./build-tsan/tests/refresh_daemon_test
   HOPS_THREADS=4 ./build-tsan/tests/telemetry_concurrency_test
+  HOPS_THREADS=4 ./build-tsan/tests/sharded_refresh_soak_test
 fi
 
 if [[ "$RUN_TELEMETRY_SMOKE" == 1 ]]; then

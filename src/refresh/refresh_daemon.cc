@@ -5,9 +5,9 @@
 
 namespace hops {
 
-RefreshDaemon::RefreshDaemon(RefreshManager* manager,
+RefreshDaemon::RefreshDaemon(RefreshSource* source,
                              RefreshDaemonOptions options)
-    : manager_(manager), options_(options) {}
+    : source_(source), options_(options) {}
 
 RefreshDaemon::~RefreshDaemon() { Stop().Check(); }
 
@@ -16,8 +16,8 @@ Status RefreshDaemon::Start() {
   if (running_) {
     return Status::AlreadyExists("refresh daemon is already running");
   }
-  if (manager_ == nullptr) {
-    return Status::InvalidArgument("refresh manager must not be null");
+  if (source_ == nullptr) {
+    return Status::InvalidArgument("refresh source must not be null");
   }
   stop_requested_ = false;
   drain_requested_ = false;
@@ -94,14 +94,14 @@ void RefreshDaemon::Loop() {
       draining = drain_requested_;
     }
 
-    Result<RefreshTickReport> report = manager_->Tick();
+    Result<RefreshTickReport> report = source_->Tick();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++ticks_;
       last_tick_status_ = report.status();
     }
 
-    if (draining && manager_->update_log().depth() == 0) {
+    if (draining && source_->pending_update_records() == 0) {
       // Everything enqueued before DrainAndStop() has been applied (the
       // final Tick drained the log and republished); exit.
       std::lock_guard<std::mutex> lock(mutex_);

@@ -1,10 +1,12 @@
 // Background refresh driver (DESIGN.md §8 "Daemon lifecycle").
 //
 // The RefreshDaemon owns one background thread that periodically runs
-// RefreshManager::Tick — drain the update log, apply deltas through the
+// RefreshSource::Tick — drain the update log(s), apply deltas through the
 // maintenance hooks, rebuild the stalest columns, republish one immutable
-// snapshot. Between ticks the thread sleeps on a condition variable, so
-// RequestTick() (or shutdown) wakes it immediately.
+// snapshot. The source is either a single RefreshManager (§8) or a
+// ShardedRefreshManager (§10) — the daemon is agnostic. Between ticks the
+// thread sleeps on a condition variable, so RequestTick() (or shutdown)
+// wakes it immediately.
 //
 // Lifecycle contract:
 //   Start()        — spawns the thread; AlreadyExists if running.
@@ -27,7 +29,7 @@
 #include <mutex>
 #include <thread>
 
-#include "refresh/refresh_manager.h"
+#include "refresh/refresh_source.h"
 #include "util/status.h"
 
 namespace hops {
@@ -38,14 +40,14 @@ struct RefreshDaemonOptions {
   int64_t tick_interval_micros = 100'000;
 };
 
-/// \brief Periodic background driver of a RefreshManager. All public
-/// methods are thread-safe.
+/// \brief Periodic background driver of a RefreshSource (a RefreshManager
+/// or a ShardedRefreshManager). All public methods are thread-safe.
 class RefreshDaemon {
  public:
-  /// \p manager must outlive the daemon. The daemon is the manager's single
+  /// \p source must outlive the daemon. The daemon is the source's single
   /// maintenance consumer: do not call Tick/ApplyPendingDeltas from other
   /// threads while it runs.
-  explicit RefreshDaemon(RefreshManager* manager,
+  explicit RefreshDaemon(RefreshSource* source,
                          RefreshDaemonOptions options = {});
 
   ~RefreshDaemon();
@@ -78,7 +80,7 @@ class RefreshDaemon {
  private:
   void Loop();
 
-  RefreshManager* const manager_;
+  RefreshSource* const source_;
   const RefreshDaemonOptions options_;
 
   mutable std::mutex mutex_;

@@ -68,8 +68,8 @@ RefreshManager::~RefreshManager() {
 Result<RefreshColumnId> RefreshManager::RegisterColumn(
     const std::string& table, const std::string& column,
     std::span<const int64_t> value_ids, std::span<const double> frequencies) {
-  if (catalog_ == nullptr || store_ == nullptr) {
-    return Status::InvalidArgument("catalog and store must not be null");
+  if (catalog_ == nullptr) {
+    return Status::InvalidArgument("catalog must not be null");
   }
   if (value_ids.size() != frequencies.size()) {
     return Status::InvalidArgument(
@@ -257,6 +257,9 @@ Status RefreshManager::WriteBackLocked(ColumnState& state) {
 }
 
 Status RefreshManager::RepublishLocked() {
+  // Publication disabled: a coordinator (e.g. ShardedRefreshManager) owns
+  // the snapshot store and publishes one merged snapshot for all shards.
+  if (store_ == nullptr) return Status::OK();
   static telemetry::SpanSite& republish_site =
       telemetry::GetSpanSite("Refresh.Republish");
   telemetry::TraceSpan span(republish_site);
@@ -265,7 +268,7 @@ Status RefreshManager::RepublishLocked() {
   return Status::OK();
 }
 
-Result<size_t> RefreshManager::ApplyPendingDeltas() {
+Result<size_t> RefreshManager::ApplyPendingDeltasLocked(bool* changed) {
   std::vector<UpdateRecord> records;
   {
     static telemetry::SpanSite& drain_site =
@@ -276,7 +279,6 @@ Result<size_t> RefreshManager::ApplyPendingDeltas() {
   static telemetry::SpanSite& apply_site =
       telemetry::GetSpanSite("Refresh.Apply");
   telemetry::TraceSpan apply_span(apply_site);
-  std::lock_guard<std::mutex> lock(mutex_);
   size_t applied = 0;
   for (const UpdateRecord& record : records) {
     if (record.column >= columns_.size()) {
@@ -287,13 +289,19 @@ Result<size_t> RefreshManager::ApplyPendingDeltas() {
         ApplyDeltaLocked(*columns_[record.column], record.value, record.weight));
     ++applied;
   }
-  bool wrote = false;
   for (auto& state : columns_) {
     if (!state->dirty) continue;
     HOPS_RETURN_NOT_OK(WriteBackLocked(*state));
-    wrote = true;
+    if (changed != nullptr) *changed = true;
   }
-  if (wrote) HOPS_RETURN_NOT_OK(RepublishLocked());
+  return applied;
+}
+
+Result<size_t> RefreshManager::ApplyPendingDeltas() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool changed = false;
+  HOPS_ASSIGN_OR_RETURN(const size_t applied, ApplyPendingDeltasLocked(&changed));
+  if (changed) HOPS_RETURN_NOT_OK(RepublishLocked());
   return applied;
 }
 
@@ -343,7 +351,8 @@ Result<StalenessScore> RefreshManager::ScoreColumn(RefreshColumnId id) const {
 }
 
 Status RefreshManager::RebuildColumnsLocked(
-    std::vector<std::pair<RefreshColumnId, RebuildReason>> picks) {
+    std::vector<std::pair<RefreshColumnId, RebuildReason>> picks,
+    bool* installed_out) {
   if (picks.empty()) return Status::OK();
   static telemetry::SpanSite& rebuild_site =
       telemetry::GetSpanSite("Refresh.Rebuild");
@@ -421,8 +430,8 @@ Status RefreshManager::RebuildColumnsLocked(
     installed = true;
   }
   if (installed) {
-    HOPS_RETURN_NOT_OK(RepublishLocked());
     last_refresh_seconds_ = stopwatch.ElapsedSeconds();
+    if (installed_out != nullptr) *installed_out = true;
   }
   return Status::OK();
 }
@@ -435,8 +444,7 @@ void RefreshManager::RecomputeMomentsLocked(ColumnState& state) {
   state.moments = ComputeIdealMoments(state.maintainer.current(), pairs);
 }
 
-Result<size_t> RefreshManager::RebuildIfStale() {
-  std::lock_guard<std::mutex> lock(mutex_);
+Result<size_t> RefreshManager::RebuildIfStaleLocked(bool* changed) {
   std::vector<std::pair<double, std::pair<RefreshColumnId, RebuildReason>>>
       candidates;
   {
@@ -460,7 +468,15 @@ Result<size_t> RefreshManager::RebuildIfStale() {
   picks.reserve(candidates.size());
   for (const auto& c : candidates) picks.push_back(c.second);
   const size_t n = picks.size();
-  HOPS_RETURN_NOT_OK(RebuildColumnsLocked(std::move(picks)));
+  HOPS_RETURN_NOT_OK(RebuildColumnsLocked(std::move(picks), changed));
+  return n;
+}
+
+Result<size_t> RefreshManager::RebuildIfStale() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool changed = false;
+  HOPS_ASSIGN_OR_RETURN(const size_t n, RebuildIfStaleLocked(&changed));
+  if (changed) HOPS_RETURN_NOT_OK(RepublishLocked());
   return n;
 }
 
@@ -475,7 +491,28 @@ Status RefreshManager::ForceRebuild(std::span<const RefreshColumnId> ids) {
     }
     picks.push_back({id, RebuildReason::kForced});
   }
-  return RebuildColumnsLocked(std::move(picks));
+  bool installed = false;
+  HOPS_RETURN_NOT_OK(RebuildColumnsLocked(std::move(picks), &installed));
+  if (installed) HOPS_RETURN_NOT_OK(RepublishLocked());
+  return Status::OK();
+}
+
+Status RefreshManager::RebuildColumns(
+    std::span<const std::pair<RefreshColumnId, RebuildReason>> picks) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<RefreshColumnId, RebuildReason>> owned;
+  owned.reserve(picks.size());
+  for (const auto& [id, reason] : picks) {
+    if (id >= columns_.size()) {
+      return Status::InvalidArgument("unknown refresh column id " +
+                                     std::to_string(id));
+    }
+    owned.push_back({id, reason});
+  }
+  bool installed = false;
+  HOPS_RETURN_NOT_OK(RebuildColumnsLocked(std::move(owned), &installed));
+  if (installed) HOPS_RETURN_NOT_OK(RepublishLocked());
+  return Status::OK();
 }
 
 Result<RefreshTickReport> RefreshManager::Tick() {
@@ -483,22 +520,28 @@ Result<RefreshTickReport> RefreshManager::Tick() {
   telemetry::TraceSpan tick_span(tick_site);
   Stopwatch stopwatch;
   RefreshTickReport report;
-  const uint64_t republish_before = [&] {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return republish_count_.Value();
-  }();
-  HOPS_ASSIGN_OR_RETURN(report.deltas_applied, ApplyPendingDeltas());
-  HOPS_ASSIGN_OR_RETURN(report.columns_rebuilt, RebuildIfStale());
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ticks_.Increment();
-    report.republished = republish_count_.Value() > republish_before;
-    for (const auto& state : columns_) {
-      if (state->deltas_since_rebuild > 0) ++report.columns_touched;
-    }
-    report.seconds = stopwatch.ElapsedSeconds();
-    last_tick_seconds_ = report.seconds;
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool changed = false;
+  HOPS_ASSIGN_OR_RETURN(report.deltas_applied,
+                        ApplyPendingDeltasLocked(&changed));
+  HOPS_ASSIGN_OR_RETURN(report.columns_rebuilt, RebuildIfStaleLocked(&changed));
+  report.changed = changed;
+  if (changed) {
+    // At most one publication per tick: the apply-path and rebuild-path
+    // write-backs coalesce into a single RCU swap.
+    HOPS_RETURN_NOT_OK(RepublishLocked());
+    report.republished = store_ != nullptr;
+  } else {
+    // No-op tick: skip publication so readers keep their cached snapshot
+    // (and the RCU epoch does not churn for nothing).
+    ticks_skipped_.Increment();
   }
+  ticks_.Increment();
+  for (const auto& state : columns_) {
+    if (state->deltas_since_rebuild > 0) ++report.columns_touched;
+  }
+  report.seconds = stopwatch.ElapsedSeconds();
+  last_tick_seconds_ = report.seconds;
   return report;
 }
 
@@ -510,6 +553,7 @@ RefreshStats RefreshManager::stats() const {
   s.deltas_applied = deltas_applied_.Value();
   s.unknown_column_records = unknown_column_records_.Value();
   s.ticks = ticks_.Value();
+  s.ticks_skipped = ticks_skipped_.Value();
   s.rebuilds_drift = rebuilds_drift_.Value();
   s.rebuilds_self_join = rebuilds_self_join_.Value();
   s.rebuilds_feedback = rebuilds_feedback_.Value();

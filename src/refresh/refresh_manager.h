@@ -45,6 +45,7 @@
 #include "engine/statistics.h"
 #include "estimator/serving.h"
 #include "histogram/maintenance.h"
+#include "refresh/refresh_source.h"
 #include "refresh/refresh_stats.h"
 #include "refresh/staleness.h"
 #include "refresh/update_log.h"
@@ -81,22 +82,18 @@ struct ColumnStalenessReport {
   uint64_t rebuilds = 0;        ///< lifetime rebuild count
 };
 
-/// \brief What one maintenance cycle did.
-struct RefreshTickReport {
-  size_t deltas_applied = 0;
-  size_t columns_touched = 0;  ///< columns whose counts changed
-  size_t columns_rebuilt = 0;
-  bool republished = false;
-  double seconds = 0;
-};
-
 /// \brief Catalog-wide adaptive maintenance coordinator. See the file
-/// comment for the thread model.
-class RefreshManager : public EstimationFeedbackSink {
+/// comment for the thread model. RefreshTickReport lives in
+/// refresh/refresh_source.h with the RefreshSource driver contract.
+class RefreshManager : public EstimationFeedbackSink, public RefreshSource {
  public:
-  /// \p catalog and \p store must outlive the manager. The manager assumes
-  /// mutation authority over both: external writers must not mutate the
-  /// catalog concurrently with Tick (the Catalog is thread-compatible).
+  /// \p catalog must be non-null and outlive the manager; the manager
+  /// assumes mutation authority over it (external writers must not mutate
+  /// the catalog concurrently with Tick — the Catalog is thread-compatible).
+  /// \p store may be null: publication is then disabled entirely
+  /// (republish_count stays 0) and some coordinator owns snapshot
+  /// publication — this is how ShardedRefreshManager embeds one manager per
+  /// shard while still publishing a single merged snapshot per tick.
   RefreshManager(Catalog* catalog, SnapshotStore* store,
                  RefreshOptions options = {});
 
@@ -174,9 +171,23 @@ class RefreshManager : public EstimationFeedbackSink {
   /// Unconditionally rebuilds \p ids (counted as RebuildReason::kForced).
   Status ForceRebuild(std::span<const RefreshColumnId> ids);
 
-  /// One full maintenance cycle: ApplyPendingDeltas + RebuildIfStale.
-  /// The daemon's unit of work.
-  Result<RefreshTickReport> Tick();
+  /// Rebuilds exactly \p picks with the given reason attribution (the
+  /// coordinator-facing sibling of RebuildIfStale: ShardedRefreshManager
+  /// scores globally, budgets per shard, then hands each shard its picks).
+  /// InvalidArgument on unknown ids; publishes once when anything was
+  /// installed (and a store is attached).
+  Status RebuildColumns(
+      std::span<const std::pair<RefreshColumnId, RebuildReason>> picks);
+
+  /// One full maintenance cycle: ApplyPendingDeltas + RebuildIfStale under
+  /// a single lock acquisition, publishing **at most one** snapshot — a
+  /// busy tick coalesces the apply-path and rebuild-path write-backs into
+  /// one RCU swap, and a no-op tick skips publication entirely
+  /// (RefreshStats::ticks_skipped). The daemon's unit of work.
+  Result<RefreshTickReport> Tick() override;
+
+  /// RefreshSource: records enqueued but not yet drained.
+  size_t pending_update_records() const override { return log_.depth(); }
 
   // ------------------------------------------------------------------ stats
 
@@ -187,8 +198,18 @@ class RefreshManager : public EstimationFeedbackSink {
 
   // All Lock* helpers require mutex_ held.
   Status ApplyDeltaLocked(ColumnState& state, int64_t value, double weight);
-  Status RebuildColumnsLocked(std::vector<std::pair<RefreshColumnId, RebuildReason>> picks);
+  /// Drain + apply + catalog write-back; no publication. Sets \p *changed
+  /// when any column's statistics were written back.
+  Result<size_t> ApplyPendingDeltasLocked(bool* changed);
+  /// Score + pick + rebuild; no publication. Sets \p *changed on install.
+  Result<size_t> RebuildIfStaleLocked(bool* changed);
+  /// Batched rebuild + write-back; no publication (callers coalesce the
+  /// publish). Sets \p *installed when at least one column was rebuilt.
+  Status RebuildColumnsLocked(
+      std::vector<std::pair<RefreshColumnId, RebuildReason>> picks,
+      bool* installed);
   Status WriteBackLocked(ColumnState& state);
+  /// Publishes the catalog through the store; no-op when store_ == nullptr.
   Status RepublishLocked();
   StalenessScore ScoreLocked(const ColumnState& state) const;
   void RecomputeMomentsLocked(ColumnState& state);
@@ -209,6 +230,7 @@ class RefreshManager : public EstimationFeedbackSink {
   telemetry::Counter deltas_applied_;
   telemetry::Counter unknown_column_records_;
   telemetry::Counter ticks_;
+  telemetry::Counter ticks_skipped_;
   telemetry::Counter rebuilds_drift_;
   telemetry::Counter rebuilds_self_join_;
   telemetry::Counter rebuilds_feedback_;

@@ -1,0 +1,50 @@
+// The driver-facing face of a refresh consumer (DESIGN.md §8/§10).
+//
+// The RefreshDaemon does not care whether its ticks land on one
+// RefreshManager (§8, single consumer) or on a ShardedRefreshManager (§10,
+// N shard workers coordinated into one publication): both expose the same
+// two-method contract — "run one maintenance cycle" and "how much ingest is
+// still queued" (the daemon's DrainAndStop exit condition). RefreshSource
+// is that contract.
+
+#pragma once
+
+#include <cstddef>
+
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief What one maintenance cycle did.
+struct RefreshTickReport {
+  size_t deltas_applied = 0;
+  size_t columns_touched = 0;  ///< columns whose counts changed
+  size_t columns_rebuilt = 0;
+  /// Whether the tick mutated the catalog (applied deltas or rebuilt).
+  /// A no-op tick (changed == false) skips snapshot publication entirely —
+  /// churning the SnapshotStore RCU epoch would invalidate reader-side
+  /// caches for nothing (counted in RefreshStats::ticks_skipped).
+  bool changed = false;
+  /// Whether a snapshot was published (changed, and a store is attached).
+  bool republished = false;
+  double seconds = 0;
+};
+
+/// \brief A tickable refresh consumer. Implementations: RefreshManager
+/// (one drain/score/rebuild loop) and ShardedRefreshManager (N of them,
+/// one merged publication). Single-consumer: call Tick from one thread at
+/// a time; pending_update_records is thread-safe.
+class RefreshSource {
+ public:
+  virtual ~RefreshSource() = default;
+
+  /// One full maintenance cycle (drain → apply → rebuild → publish at most
+  /// once). The daemon's unit of work.
+  virtual Result<RefreshTickReport> Tick() = 0;
+
+  /// Update records enqueued but not yet drained (0 means a DrainAndStop
+  /// may exit after its final tick).
+  virtual size_t pending_update_records() const = 0;
+};
+
+}  // namespace hops

@@ -29,6 +29,10 @@ struct RefreshStats {
   uint64_t unknown_column_records = 0;
   /// Completed maintenance cycles (RefreshManager::Tick).
   uint64_t ticks = 0;
+  /// No-op ticks that skipped snapshot publication (nothing changed, so
+  /// republishing would only churn the RCU epoch and invalidate reader
+  /// caches).
+  uint64_t ticks_skipped = 0;
 
   /// Rebuilds by dominant trigger (see RebuildReason).
   uint64_t rebuilds_total = 0;

@@ -1,0 +1,486 @@
+#include "refresh/sharded_refresh_manager.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "util/stopwatch.h"
+
+namespace hops {
+
+namespace {
+
+// Murmur3 finalizer: a stable 32-bit mixer, so a column's shard assignment
+// depends only on its id — never on registration order of other columns or
+// on the process. Sequential ids spread uniformly.
+uint32_t Mix32(uint32_t x) {
+  x ^= x >> 16;
+  x *= 0x85ebca6bu;
+  x ^= x >> 13;
+  x *= 0xc2b2ae35u;
+  x ^= x >> 16;
+  return x;
+}
+
+// Shard-local id that no registered column can hold — records routed with
+// it are counted as unknown_column_records by the shard's consumer, exactly
+// like RefreshManager handles unknown ids.
+constexpr RefreshColumnId kUnknownLocalId =
+    std::numeric_limits<RefreshColumnId>::max();
+
+}  // namespace
+
+std::unordered_map<std::string, double> ComputeRelationHeat(
+    std::span<const ColumnStalenessReport> reports,
+    const StalenessOptions& options) {
+  std::unordered_map<std::string, double> heat;
+  for (const ColumnStalenessReport& report : reports) {
+    // The cross-column fold: mass drift plus the query-feedback (q-error
+    // EWMA) signal, weighted like the advisor weighs them. Self-join error
+    // is deliberately left per-column — it measures one bucketization, not
+    // relation-level churn.
+    heat[report.table] +=
+        options.weight_drift * report.score.signals.drift_fraction +
+        options.weight_feedback * report.score.signals.feedback_error;
+  }
+  return heat;
+}
+
+// Per-shard state: a full §8 pipeline with publication disabled, plus the
+// local→global id translation and this shard's labeled telemetry handles.
+struct ShardedRefreshManager::Shard {
+  size_t index = 0;
+  Catalog catalog;
+  std::unique_ptr<RefreshManager> manager;
+  /// Shard-local RefreshColumnId -> global id (guarded by the coordinator's
+  /// maintenance mutex; only Register/Score/Lookup touch it).
+  std::vector<RefreshColumnId> global_of_local;
+  /// Refresh.ShardTick{shard="<index>"} — per-shard tick latency.
+  telemetry::SpanSite* tick_site = nullptr;
+  /// hops_refresh_shard_deltas_total{shard="<index>"} (global registry;
+  /// increments gated on the telemetry kill switch — the per-shard manager
+  /// keeps the authoritative per-instance counts).
+  telemetry::Counter* deltas_total = nullptr;
+};
+
+ShardedRefreshManager::ShardedRefreshManager(SnapshotStore* store,
+                                             ShardedRefreshOptions options)
+    : store_(store),
+      options_([&options] {
+        options.shards = std::max<size_t>(1, options.shards);
+        return options;
+      }()),
+      budget_total_(options_.max_rebuilds_per_tick_total != 0
+                        ? options_.max_rebuilds_per_tick_total
+                        : options_.refresh.max_rebuilds_per_tick *
+                              options_.shards),
+      pool_(options_.refresh.pool != nullptr ? options_.refresh.pool
+                                             : &ThreadPool::Global()) {
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    const std::string label = std::to_string(i);
+    shard->tick_site = &telemetry::GetSpanSite(
+        "Refresh.ShardTick", telemetry::LabelSet{{"shard", label}});
+    shard->deltas_total = telemetry::MetricRegistry::Global().GetCounter(
+        "hops_refresh_shard_deltas_total",
+        "Update records applied per refresh shard.",
+        telemetry::LabelSet{{"shard", label}});
+    // Null store: the shard pipeline never publishes — the coordinator
+    // performs one merged publication per tick for all shards.
+    shard->manager = std::make_unique<RefreshManager>(&shard->catalog,
+                                                      /*store=*/nullptr,
+                                                      options_.refresh);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedRefreshManager::~ShardedRefreshManager() { CloseLogs(); }
+
+size_t ShardedRefreshManager::ShardOfColumn(RefreshColumnId id) const {
+  return Mix32(id) % shards_.size();
+}
+
+ShardedRefreshManager::Route ShardedRefreshManager::RouteOf(
+    RefreshColumnId id) const {
+  std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+  if (id < routes_.size()) return routes_[id];
+  Route route;
+  route.shard = static_cast<uint32_t>(ShardOfColumn(id));
+  route.local = kUnknownLocalId;
+  return route;
+}
+
+Result<RefreshColumnId> ShardedRefreshManager::RegisterColumn(
+    const std::string& table, const std::string& column,
+    std::span<const int64_t> value_ids, std::span<const double> frequencies) {
+  std::lock_guard<std::mutex> lock(maintenance_mutex_);
+  // The shard-local AlreadyExists check only covers the hash-owner shard;
+  // a duplicate (table, column) would otherwise land on another shard and
+  // poison the merged compile. Enforce uniqueness globally.
+  for (const auto& shard : shards_) {
+    if (shard->manager->Lookup(table, column).ok()) {
+      return Status::AlreadyExists("column " + table + "." + column +
+                                   " is already registered");
+    }
+  }
+  RefreshColumnId global;
+  {
+    std::shared_lock<std::shared_mutex> rlock(routes_mutex_);
+    global = static_cast<RefreshColumnId>(routes_.size());
+  }
+  Shard& shard = *shards_[ShardOfColumn(global)];
+  HOPS_ASSIGN_OR_RETURN(
+      const RefreshColumnId local,
+      shard.manager->RegisterColumn(table, column, value_ids, frequencies));
+  if (shard.global_of_local.size() <= local) {
+    shard.global_of_local.resize(static_cast<size_t>(local) + 1, 0);
+  }
+  shard.global_of_local[local] = global;
+  {
+    std::unique_lock<std::shared_mutex> wlock(routes_mutex_);
+    routes_.push_back(Route{static_cast<uint32_t>(shard.index), local});
+  }
+  HOPS_RETURN_NOT_OK(
+      PublishIfChangedLocked(/*changed=*/nullptr, /*republished=*/nullptr));
+  return global;
+}
+
+Result<RefreshColumnId> ShardedRefreshManager::Lookup(
+    std::string_view table, std::string_view column) const {
+  std::lock_guard<std::mutex> lock(maintenance_mutex_);
+  for (const auto& shard : shards_) {
+    Result<RefreshColumnId> local = shard->manager->Lookup(table, column);
+    if (local.ok()) return shard->global_of_local[*local];
+  }
+  return Status::NotFound("column " + std::string(table) + "." +
+                          std::string(column) + " is not registered");
+}
+
+size_t ShardedRefreshManager::num_columns() const {
+  std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+  return routes_.size();
+}
+
+Status ShardedRefreshManager::RecordInsert(RefreshColumnId column,
+                                           int64_t value) {
+  // Copy the route out before enqueueing: a producer blocked on shard
+  // backpressure must not pin the route table's shared lock.
+  const Route route = RouteOf(column);
+  return shards_[route.shard]->manager->RecordInsert(route.local, value);
+}
+
+Status ShardedRefreshManager::RecordDelete(RefreshColumnId column,
+                                           int64_t value) {
+  const Route route = RouteOf(column);
+  return shards_[route.shard]->manager->RecordDelete(route.local, value);
+}
+
+Status ShardedRefreshManager::RecordBatch(
+    std::span<const UpdateRecord> records) {
+  if (records.empty()) return Status::OK();
+  // Translate under one shared-lock pass, then admit per shard in
+  // ascending order. Per-producer FIFO within a shard is preserved (this
+  // thread enqueues each shard's records in input order).
+  std::vector<std::vector<UpdateRecord>> by_shard(shards_.size());
+  {
+    std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+    for (const UpdateRecord& record : records) {
+      Route route;
+      if (record.column < routes_.size()) {
+        route = routes_[record.column];
+      } else {
+        route.shard = static_cast<uint32_t>(ShardOfColumn(record.column));
+        route.local = kUnknownLocalId;
+      }
+      UpdateRecord local = record;
+      local.column = route.local;
+      by_shard[route.shard].push_back(local);
+    }
+  }
+  for (size_t s = 0; s < by_shard.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Status status = shards_[s]->manager->RecordBatch(by_shard[s]);
+    if (!status.ok()) {
+      return Status(status.code(), "shard " + std::to_string(s) + ": " +
+                                       status.message());
+    }
+  }
+  return Status::OK();
+}
+
+UpdateLog& ShardedRefreshManager::update_log(size_t shard) {
+  return shards_[shard]->manager->update_log();
+}
+
+void ShardedRefreshManager::CloseLogs() {
+  for (const auto& shard : shards_) shard->manager->update_log().Close();
+}
+
+void ShardedRefreshManager::ReportEstimationError(std::string_view table,
+                                                  std::string_view column,
+                                                  double estimated,
+                                                  double actual) {
+  // Only the owner shard tracks (table, column); the rest ignore unknown
+  // names — same contract as RefreshManager with columns it doesn't track.
+  for (const auto& shard : shards_) {
+    shard->manager->ReportEstimationError(table, column, estimated, actual);
+  }
+}
+
+std::vector<ColumnStalenessReport> ShardedRefreshManager::ScoreColumns()
+    const {
+  std::lock_guard<std::mutex> lock(maintenance_mutex_);
+  std::vector<ColumnStalenessReport> all;
+  for (const auto& shard : shards_) {
+    for (ColumnStalenessReport& report : shard->manager->ScoreColumns()) {
+      report.id = shard->global_of_local[report.id];
+      all.push_back(std::move(report));
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const ColumnStalenessReport& a,
+                      const ColumnStalenessReport& b) {
+                     return a.score.total > b.score.total;
+                   });
+  return all;
+}
+
+Status ShardedRefreshManager::RebuildShardsLocked(
+    const std::vector<std::vector<std::pair<RefreshColumnId, RebuildReason>>>&
+        picks_per_shard) {
+  std::vector<size_t> active;
+  for (size_t s = 0; s < picks_per_shard.size(); ++s) {
+    if (!picks_per_shard[s].empty()) active.push_back(s);
+  }
+  if (active.empty()) return Status::OK();
+  Stopwatch stopwatch;
+  std::vector<Status> statuses(active.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(active.size());
+  for (size_t i = 0; i < active.size(); ++i) {
+    const size_t s = active[i];
+    tasks.push_back([this, i, s, &statuses, &picks_per_shard] {
+      // RebuildColumns fans its batched construction over the same pool —
+      // nested fork-join is safe (help-waiting, DESIGN.md §6).
+      statuses[i] = shards_[s]->manager->RebuildColumns(picks_per_shard[s]);
+    });
+  }
+  pool_->RunBatch(tasks);
+  for (size_t i = 0; i < active.size(); ++i) {
+    if (!statuses[i].ok()) {
+      return Status(statuses[i].code(), "shard " + std::to_string(active[i]) +
+                                            ": " + statuses[i].message());
+    }
+  }
+  last_refresh_seconds_ = stopwatch.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status ShardedRefreshManager::PublishIfChangedLocked(bool* changed,
+                                                     bool* republished) {
+  uint64_t version_sum = 0;
+  for (const auto& shard : shards_) version_sum += shard->catalog.version();
+  if (version_sum == last_published_version_sum_) return Status::OK();
+  if (changed != nullptr) *changed = true;
+  if (store_ != nullptr) {
+    std::vector<const Catalog*> catalogs;
+    catalogs.reserve(shards_.size());
+    for (const auto& shard : shards_) catalogs.push_back(&shard->catalog);
+    static telemetry::SpanSite& republish_site =
+        telemetry::GetSpanSite("Refresh.Republish");
+    telemetry::TraceSpan span(republish_site);
+    HOPS_RETURN_NOT_OK(store_->RepublishFromMerged(catalogs).status());
+    republish_count_.Increment();
+    if (republished != nullptr) *republished = true;
+  }
+  last_published_version_sum_ = version_sum;
+  return Status::OK();
+}
+
+Status ShardedRefreshManager::ForceRebuild(
+    std::span<const RefreshColumnId> ids) {
+  std::lock_guard<std::mutex> lock(maintenance_mutex_);
+  std::vector<std::vector<std::pair<RefreshColumnId, RebuildReason>>> picks(
+      shards_.size());
+  {
+    std::shared_lock<std::shared_mutex> rlock(routes_mutex_);
+    for (RefreshColumnId id : ids) {
+      if (id >= routes_.size()) {
+        return Status::InvalidArgument("unknown refresh column id " +
+                                       std::to_string(id));
+      }
+      picks[routes_[id].shard].push_back(
+          {routes_[id].local, RebuildReason::kForced});
+    }
+  }
+  HOPS_RETURN_NOT_OK(RebuildShardsLocked(picks));
+  return PublishIfChangedLocked(/*changed=*/nullptr, /*republished=*/nullptr);
+}
+
+Result<RefreshTickReport> ShardedRefreshManager::Tick() {
+  static telemetry::SpanSite& tick_site =
+      telemetry::GetSpanSite("Refresh.ShardedTick");
+  telemetry::TraceSpan tick_span(tick_site);
+  Stopwatch stopwatch;
+  std::lock_guard<std::mutex> lock(maintenance_mutex_);
+  const size_t n = shards_.size();
+
+  // Phase A — drain/apply/score every shard in parallel. Each task touches
+  // only its own shard's pipeline; spans on pool threads are independent
+  // roots (per-shard latency lands in Refresh.ShardTick{shard=...}).
+  struct ShardTickResult {
+    Status status;
+    size_t applied = 0;
+    std::vector<ColumnStalenessReport> reports;  // shard-local ids, desc
+  };
+  std::vector<ShardTickResult> results(n);
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+      tasks.push_back([this, s, &results] {
+        Shard& shard = *shards_[s];
+        telemetry::TraceSpan shard_span(*shard.tick_site);
+        Result<size_t> applied = shard.manager->ApplyPendingDeltas();
+        if (!applied.ok()) {
+          results[s].status = applied.status();
+          return;
+        }
+        results[s].applied = *applied;
+        if (results[s].applied > 0 && telemetry::Enabled()) {
+          shard.deltas_total->Increment(results[s].applied);
+        }
+        results[s].reports = shard.manager->ScoreColumns();
+      });
+    }
+    pool_->RunBatch(tasks);
+  }
+  for (size_t s = 0; s < n; ++s) {
+    if (!results[s].status.ok()) {
+      return Status(results[s].status.code(),
+                    "shard " + std::to_string(s) + ": " +
+                        results[s].status.message());
+    }
+  }
+
+  // Joint staleness budgeting (serial, cross-shard): relation heat over the
+  // global column view, then heat-proportional apportionment of the global
+  // rebuild budget — hot relations claim slots ahead of cold ones instead
+  // of every shard FIFO-ing through its own backlog.
+  std::vector<ColumnStalenessReport> global_view;
+  for (const ShardTickResult& result : results) {
+    global_view.insert(global_view.end(), result.reports.begin(),
+                       result.reports.end());
+  }
+  const std::unordered_map<std::string, double> relation_heat =
+      ComputeRelationHeat(global_view, options_.refresh.staleness);
+  std::vector<double> shard_heat(n, 0.0);
+  std::vector<size_t> shard_demand(n, 0);
+  for (size_t s = 0; s < n; ++s) {
+    for (const ColumnStalenessReport& report : results[s].reports) {
+      if (!report.score.rebuild_recommended) continue;
+      ++shard_demand[s];
+      const auto it = relation_heat.find(report.table);
+      shard_heat[s] += it != relation_heat.end() ? it->second : 0.0;
+    }
+  }
+  const std::vector<size_t> grants =
+      AllocateRebuildBudget(shard_heat, shard_demand, budget_total_);
+
+  // Phase B — every shard rebuilds its granted worst-first picks in
+  // parallel (ScoreColumns is already sorted worst-first, so taking the
+  // first grant[s] recommended reports reproduces RefreshManager's
+  // selection exactly at shards = 1).
+  std::vector<std::vector<std::pair<RefreshColumnId, RebuildReason>>> picks(n);
+  size_t rebuilt = 0;
+  for (size_t s = 0; s < n; ++s) {
+    for (const ColumnStalenessReport& report : results[s].reports) {
+      if (picks[s].size() >= grants[s]) break;
+      if (!report.score.rebuild_recommended) continue;
+      picks[s].push_back({report.id, report.score.reason});
+    }
+    rebuilt += picks[s].size();
+  }
+  HOPS_RETURN_NOT_OK(RebuildShardsLocked(picks));
+
+  RefreshTickReport report;
+  report.columns_rebuilt = rebuilt;
+  for (const ShardTickResult& result : results) {
+    report.deltas_applied += result.applied;
+  }
+  // Columns still carrying deltas after the tick: everything that had
+  // deltas pre-rebuild minus the columns this tick rebuilt (their counters
+  // reset) — same accounting as RefreshManager::Tick.
+  for (size_t s = 0; s < n; ++s) {
+    for (const ColumnStalenessReport& r : results[s].reports) {
+      if (r.deltas_applied == 0) continue;
+      const bool picked =
+          std::any_of(picks[s].begin(), picks[s].end(),
+                      [&](const auto& p) { return p.first == r.id; });
+      if (!picked) ++report.columns_touched;
+    }
+  }
+
+  // One publication, or none: a no-op tick must not churn the RCU epoch.
+  HOPS_RETURN_NOT_OK(
+      PublishIfChangedLocked(&report.changed, &report.republished));
+  if (!report.changed) ticks_skipped_.Increment();
+  ticks_.Increment();
+  report.seconds = stopwatch.ElapsedSeconds();
+  last_tick_seconds_ = report.seconds;
+  return report;
+}
+
+size_t ShardedRefreshManager::pending_update_records() const {
+  size_t pending = 0;
+  for (const auto& shard : shards_) {
+    pending += shard->manager->pending_update_records();
+  }
+  return pending;
+}
+
+ShardedRefreshStats ShardedRefreshManager::stats() const {
+  ShardedRefreshStats out;
+  out.shards = shards_.size();
+  out.per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    out.per_shard.push_back(shard->manager->stats());
+  }
+  RefreshStats& total = out.total;
+  total.log.closed = true;
+  for (const RefreshStats& s : out.per_shard) {
+    total.log.enqueued += s.log.enqueued;
+    total.log.drained += s.log.drained;
+    total.log.rejected += s.log.rejected;
+    total.log.producer_waits += s.log.producer_waits;
+    total.log.depth += s.log.depth;
+    total.log.capacity += s.log.capacity;
+    total.log.high_water = std::max(total.log.high_water, s.log.high_water);
+    total.log.closed = total.log.closed && s.log.closed;
+    total.columns_tracked += s.columns_tracked;
+    total.deltas_applied += s.deltas_applied;
+    total.unknown_column_records += s.unknown_column_records;
+    total.rebuilds_drift += s.rebuilds_drift;
+    total.rebuilds_self_join += s.rebuilds_self_join;
+    total.rebuilds_feedback += s.rebuilds_feedback;
+    total.rebuilds_forced += s.rebuilds_forced;
+    total.feedback_reports += s.feedback_reports;
+  }
+  total.rebuilds_total = total.rebuilds_drift + total.rebuilds_self_join +
+                         total.rebuilds_feedback + total.rebuilds_forced;
+  std::lock_guard<std::mutex> lock(maintenance_mutex_);
+  total.ticks = ticks_.Value();
+  total.ticks_skipped = ticks_skipped_.Value();
+  total.republish_count = republish_count_.Value();
+  total.last_tick_seconds = last_tick_seconds_;
+  total.last_refresh_seconds = last_refresh_seconds_;
+  return out;
+}
+
+}  // namespace hops

@@ -1,0 +1,227 @@
+// Sharded adaptive statistics maintenance (DESIGN.md §10) — the scaling
+// answer to §8's single-consumer bottleneck.
+//
+// One RefreshManager serializes its whole write path behind one mutex and
+// one drain loop: under multi-producer churn the consumer becomes the
+// throughput ceiling long before the hardware does. The
+// ShardedRefreshManager partitions registered columns across N shards by a
+// stable hash of the column id; each shard is a full §8 pipeline of its own
+// — private Catalog, private UpdateLog (so producers on different shards
+// never contend on one queue lock), private maintainer/advisor state —
+// with publication *disabled* (RefreshManager's null-store mode).
+//
+//   writers ──► shard-local UpdateLogs (N independent queue locks)
+//                  │ Tick: phase A — drain/apply/score, all shards in
+//                  │         parallel on the §6 ThreadPool
+//                  ▼
+//          joint staleness budgeting (serial, cross-shard):
+//            relation heat = Σ per-column (drift + feedback EWMA),
+//            AllocateRebuildBudget splits the global rebuild budget by
+//            shard heat — hot relations get slots ahead of cold ones
+//                  │ Tick: phase B — per-shard RebuildColumns, in parallel
+//                  ▼
+//          ONE SnapshotStore::RepublishFromMerged over all shard catalogs
+//
+// The publication contract of §7 is preserved exactly: every tick performs
+// at most one RCU swap, readers never observe a torn multi-shard catalog,
+// and a no-op tick publishes nothing (ticks_skipped). With shards = 1 the
+// whole construction degenerates to §8 behavior: the same rebuild
+// decisions in the same order, and bit-identical published estimates
+// (CompileMerged of one catalog IS Compile of it) — the shards knob is
+// pure scaling, not a semantics change.
+//
+// Thread model: producers touch only the route table (shared lock) and
+// their shard's UpdateLog; Tick / RegisterColumn / ForceRebuild serialize
+// on one maintenance mutex (single logical consumer, fanning work across
+// the pool internally); readers touch only the SnapshotStore.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/catalog_snapshot.h"
+#include "refresh/refresh_manager.h"
+#include "refresh/refresh_source.h"
+#include "util/thread_pool.h"
+
+namespace hops {
+
+/// \brief Knobs for the sharded refresh subsystem.
+struct ShardedRefreshOptions {
+  /// Per-shard §8 pipeline knobs (queue capacity, staleness weights,
+  /// construction options, pool). refresh.max_rebuilds_per_tick is the
+  /// per-shard cap only through the default of max_rebuilds_per_tick_total.
+  RefreshOptions refresh;
+  /// Number of shards (clamped to at least 1). One shard reproduces
+  /// RefreshManager behavior exactly.
+  size_t shards = 1;
+  /// Global rebuild budget per tick, split across shards by the joint
+  /// staleness signal. 0 = refresh.max_rebuilds_per_tick * shards.
+  size_t max_rebuilds_per_tick_total = 0;
+};
+
+/// \brief Point-in-time counters: the cross-shard aggregate plus each
+/// shard's own RefreshStats (whose ticks/republish counters stay zero —
+/// the coordinator owns the tick and the publication).
+struct ShardedRefreshStats {
+  RefreshStats total;
+  size_t shards = 0;
+  std::vector<RefreshStats> per_shard;
+};
+
+/// \brief Joint staleness: per-relation heat folded from every column's
+/// drift fraction and feedback (q-error EWMA) signals, using the advisor
+/// weights. The cross-column half of the §10 rebuild budgeting — a
+/// relation's columns heat each other up, so churn on one hot table
+/// prioritizes every shard that owns a slice of it.
+std::unordered_map<std::string, double> ComputeRelationHeat(
+    std::span<const ColumnStalenessReport> reports,
+    const StalenessOptions& options);
+
+/// \brief N-shard refresh coordinator. See the file comment for the thread
+/// model; implements the same driver (RefreshSource) and feedback
+/// (EstimationFeedbackSink) contracts as RefreshManager, so the
+/// RefreshDaemon and the AccuracyTracker chain work unchanged.
+class ShardedRefreshManager : public EstimationFeedbackSink,
+                              public RefreshSource {
+ public:
+  /// \p store may be null (publication disabled — tests); it must outlive
+  /// the manager. Shard catalogs are owned internally.
+  explicit ShardedRefreshManager(SnapshotStore* store,
+                                 ShardedRefreshOptions options = {});
+
+  ~ShardedRefreshManager() override;
+
+  ShardedRefreshManager(const ShardedRefreshManager&) = delete;
+  ShardedRefreshManager& operator=(const ShardedRefreshManager&) = delete;
+
+  // ----------------------------------------------------------- registration
+
+  /// Registers (table, column) on the shard its new global id hashes to,
+  /// then publishes one merged snapshot. Same validation and AlreadyExists
+  /// semantics as RefreshManager::RegisterColumn, enforced globally.
+  Result<RefreshColumnId> RegisterColumn(const std::string& table,
+                                         const std::string& column,
+                                         std::span<const int64_t> value_ids,
+                                         std::span<const double> frequencies);
+
+  /// Resolves a registered (table, column) to its global id.
+  Result<RefreshColumnId> Lookup(std::string_view table,
+                                 std::string_view column) const;
+
+  size_t num_columns() const;
+  size_t shards() const { return shards_.size(); }
+
+  /// Which shard owns \p id (stable hash; also defined for ids not yet
+  /// registered — unknown-id records are routed here and counted/dropped by
+  /// that shard's consumer, mirroring RefreshManager).
+  size_t ShardOfColumn(RefreshColumnId id) const;
+
+  // ------------------------------------------------------------- write path
+
+  /// Producer-facing delta ingestion with *global* column ids; routed to
+  /// the owning shard's UpdateLog (thread-safe, per-shard backpressure).
+  Status RecordInsert(RefreshColumnId column, int64_t value);
+  Status RecordDelete(RefreshColumnId column, int64_t value);
+
+  /// Routes the batch by shard and admits one atomic sub-batch per shard
+  /// (ascending shard order). Atomicity is per shard: a close mid-call can
+  /// not tear a shard's sub-batch, but may admit some shards' sub-batches
+  /// and not others' (the Status reports the first failing shard).
+  Status RecordBatch(std::span<const UpdateRecord> records);
+
+  /// Direct access to one shard's queue (bench instrumentation).
+  /// Precondition: shard < shards().
+  UpdateLog& update_log(size_t shard);
+
+  /// Closes every shard's log (wakes all blocked producers; shutdown).
+  void CloseLogs();
+
+  // --------------------------------------------------------------- feedback
+
+  /// EstimationFeedbackSink: forwarded to every shard (only the owner of
+  /// (table, column) records it; the rest ignore unknown names).
+  void ReportEstimationError(std::string_view table, std::string_view column,
+                             double estimated, double actual) override;
+
+  // ------------------------------------------------------ maintenance cycle
+
+  /// Scores every column across all shards (global ids), sorted worst
+  /// first — the cross-shard twin of RefreshManager::ScoreColumns.
+  std::vector<ColumnStalenessReport> ScoreColumns() const;
+
+  /// Unconditionally rebuilds \p ids (global; RebuildReason::kForced) and
+  /// publishes one merged snapshot when anything changed.
+  Status ForceRebuild(std::span<const RefreshColumnId> ids);
+
+  /// One sharded maintenance cycle: parallel per-shard drain/apply/score,
+  /// serial joint budgeting, parallel per-shard rebuilds, then at most ONE
+  /// merged publication (skipped entirely when no shard changed).
+  Result<RefreshTickReport> Tick() override;
+
+  /// RefreshSource: sum of the shard logs' depths.
+  size_t pending_update_records() const override;
+
+  // ------------------------------------------------------------------ stats
+
+  ShardedRefreshStats stats() const;
+
+ private:
+  struct Shard;
+  struct Route {
+    uint32_t shard = 0;
+    RefreshColumnId local = 0;
+  };
+
+  /// Translates a global id to its route; for unregistered ids returns the
+  /// hash-owner shard with an out-of-range local id (counted as unknown by
+  /// that shard's consumer).
+  Route RouteOf(RefreshColumnId id) const;
+
+  /// Publishes one merged snapshot iff the summed shard-catalog version
+  /// moved since the last observation. Requires maintenance_mutex_ held.
+  /// Sets \p *changed when any shard's catalog moved, and \p *republished
+  /// when a snapshot was actually published (changed and store attached);
+  /// both out params may be null.
+  Status PublishIfChangedLocked(bool* changed, bool* republished);
+
+  /// Fans \p picks_per_shard (shard-local ids) across the pool — one
+  /// RebuildColumns per shard with work. Requires maintenance_mutex_ held.
+  Status RebuildShardsLocked(
+      const std::vector<std::vector<std::pair<RefreshColumnId, RebuildReason>>>&
+          picks_per_shard);
+
+  SnapshotStore* const store_;
+  const ShardedRefreshOptions options_;
+  const size_t budget_total_;
+  ThreadPool* const pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Global id -> (shard, shard-local id). Producers read under a shared
+  /// lock and never hold it across a blocking enqueue.
+  mutable std::shared_mutex routes_mutex_;
+  std::vector<Route> routes_;
+
+  /// Serializes Tick / RegisterColumn / ForceRebuild (the single logical
+  /// consumer) and guards last_published_version_sum_.
+  mutable std::mutex maintenance_mutex_;
+  uint64_t last_published_version_sum_ = 0;
+
+  // Coordinator accounting (per-instance, always live — same policy as
+  // RefreshManager's counters).
+  telemetry::Counter ticks_;
+  telemetry::Counter ticks_skipped_;
+  telemetry::Counter republish_count_;
+  double last_tick_seconds_ = 0;
+  double last_refresh_seconds_ = 0;
+};
+
+}  // namespace hops

@@ -1,6 +1,7 @@
 #include "refresh/update_log.h"
 
 #include <algorithm>
+#include <string>
 
 #include "telemetry/trace.h"
 
@@ -8,9 +9,13 @@ namespace hops {
 
 UpdateLog::UpdateLog(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
 
-Status UpdateLog::Record(const UpdateRecord& record) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (records_.size() >= capacity_ && !closed_) {
+Status UpdateLog::WaitForSpaceLocked(std::unique_lock<std::mutex>& lock,
+                                     size_t needed) {
+  auto have_space = [&] { return capacity_ - records_.size() >= needed; };
+  if (!closed_ && !have_space()) {
+    // Count the *blocked interval*, not wake-ups or records: one increment
+    // and one span per actual wait, even when the wait spans several
+    // consumer drains before enough space frees up.
     producer_waits_.Increment();
     // Span the actual blocked interval (backpressure is one of the §9
     // instrumented hot-path waits); the span records at destruction with
@@ -18,21 +23,45 @@ Status UpdateLog::Record(const UpdateRecord& record) {
     static telemetry::SpanSite& wait_site =
         telemetry::GetSpanSite("UpdateLog.BackpressureWait");
     telemetry::TraceSpan span(wait_site);
-    not_full_.wait(lock,
-                   [&] { return closed_ || records_.size() < capacity_; });
+    not_full_.wait(lock, [&] { return closed_ || have_space(); });
   }
   if (closed_) {
     return Status::ResourceExhausted("update log is closed");
   }
-  records_.push_back(record);
-  enqueued_.Increment();
+  return Status::OK();
+}
+
+void UpdateLog::CommitLocked(std::span<const UpdateRecord> records) {
+  records_.insert(records_.end(), records.begin(), records.end());
+  enqueued_.Increment(records.size());
   high_water_ = std::max(high_water_, records_.size());
+}
+
+Status UpdateLog::Record(const UpdateRecord& record) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  HOPS_RETURN_NOT_OK(WaitForSpaceLocked(lock, 1));
+  CommitLocked(std::span<const UpdateRecord>(&record, 1));
   return Status::OK();
 }
 
 Status UpdateLog::RecordBatch(std::span<const UpdateRecord> records) {
-  for (const UpdateRecord& record : records) {
-    HOPS_RETURN_NOT_OK(Record(record));
+  if (records.empty()) return Status::OK();
+  // Single lock acquisition for the whole batch: reserve-then-commit in
+  // capacity-sized chunks. A close racing the batch can interrupt only at
+  // a chunk boundary, so a batch <= capacity is all-or-nothing and the
+  // failure Status reports exactly how many records were applied.
+  std::unique_lock<std::mutex> lock(mutex_);
+  size_t applied = 0;
+  while (applied < records.size()) {
+    const size_t chunk = std::min(records.size() - applied, capacity_);
+    Status wait = WaitForSpaceLocked(lock, chunk);
+    if (!wait.ok()) {
+      return Status::ResourceExhausted(
+          "update log closed; applied " + std::to_string(applied) + " of " +
+          std::to_string(records.size()) + " batch records");
+    }
+    CommitLocked(records.subspan(applied, chunk));
+    applied += chunk;
   }
   return Status::OK();
 }

@@ -17,6 +17,21 @@
 // instead of blocking for callers that prefer to shed work. Close() wakes
 // all blocked producers and makes further records fail, so shutdown cannot
 // deadlock.
+//
+// Batch atomicity: RecordBatch admits records in all-or-nothing chunks
+// under a single lock acquisition (reserve space, then commit). A batch no
+// larger than the capacity is fully atomic: either every record is
+// enqueued or none is — a Close() racing the batch can never leave a
+// silent prefix behind. Batches larger than the capacity commit in
+// capacity-sized atomic chunks (they must interleave with drains to fit);
+// a failure Status reports exactly how many records were applied.
+//
+// Backpressure accounting: producer_waits and the
+// UpdateLog.BackpressureWait trace span count *actual blocked intervals*
+// — a Record/RecordBatch call that finds space free under the lock never
+// bumps either, and one blocked interval that spans several consumer
+// drains (e.g. a chunk waiting for more room than one drain freed) counts
+// once, not once per wake-up or once per record.
 
 #pragma once
 
@@ -49,7 +64,10 @@ struct UpdateLogStats {
   uint64_t enqueued = 0;        ///< records accepted (Record* + RecordBatch)
   uint64_t drained = 0;         ///< records handed to the consumer
   uint64_t rejected = 0;        ///< TryRecord* calls refused (full/closed)
-  uint64_t producer_waits = 0;  ///< times a producer blocked on a full log
+  /// Blocked intervals: times a producer *actually* waited on a full log.
+  /// A Record/RecordBatch that finds space under the lock never counts, and
+  /// one wait spanning several drains counts once (see file comment).
+  uint64_t producer_waits = 0;
   size_t depth = 0;             ///< records currently queued
   size_t high_water = 0;        ///< maximum depth ever observed
   size_t capacity = 0;
@@ -77,9 +95,13 @@ class UpdateLog {
     return Record(UpdateRecord{column, value, -1.0});
   }
 
-  /// Enqueues every record of \p records, blocking as needed. The batch is
-  /// admitted record-by-record (a batch larger than the capacity still
-  /// completes, interleaved with drains).
+  /// Enqueues every record of \p records, blocking as needed. Admission is
+  /// all-or-nothing per capacity-sized chunk under one lock acquisition
+  /// (reserve space, then commit): a batch no larger than the capacity is
+  /// fully atomic, and a larger batch commits in atomic chunks interleaved
+  /// with drains. On failure (log closed) the Status message reports
+  /// exactly how many records were applied — always 0 or a whole number of
+  /// chunks, never a silent prefix.
   Status RecordBatch(std::span<const UpdateRecord> records);
 
   /// Non-blocking variant: false when the log is full or closed.
@@ -98,6 +120,17 @@ class UpdateLog {
   UpdateLogStats stats() const;
 
  private:
+  /// Blocks until at least \p needed slots are free or the log is closed.
+  /// \p needed must be <= capacity_. Bumps producer_waits_ and opens the
+  /// UpdateLog.BackpressureWait span only when the caller actually blocks
+  /// (predicate false on entry), and at most once per call regardless of
+  /// how many consumer drains the wait spans. Returns ResourceExhausted
+  /// once closed.
+  Status WaitForSpaceLocked(std::unique_lock<std::mutex>& lock, size_t needed);
+
+  /// Appends \p records under mutex_ (space must already be reserved).
+  void CommitLocked(std::span<const UpdateRecord> records);
+
   const size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_full_;

@@ -302,15 +302,33 @@ Status TelemetrySink::WriteOnce() {
   const std::string rendered = options_.format == ExportFormat::kPrometheus
                                    ? RenderPrometheus(snapshot)
                                    : RenderJson(snapshot);
-  std::ofstream out(options_.path, std::ios::trunc);
-  if (!out) {
-    return Status::Internal("telemetry sink cannot open " + options_.path);
+  // Write-then-rename so a concurrent reader of options_.path never sees a
+  // torn export: rename(2) replaces the target atomically, and the temp
+  // file lives in the same directory so the rename cannot cross a
+  // filesystem boundary. The temp name carries the instance pointer so two
+  // sinks aimed at one path do not stomp each other's in-flight temp file
+  // (their renames still serialize to complete snapshots).
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".%p.tmp",
+                static_cast<const void*>(this));
+  const std::string temp_path = options_.path + suffix;
+  {
+    std::ofstream out(temp_path, std::ios::trunc);
+    if (!out) {
+      return Status::Internal("telemetry sink cannot open " + temp_path);
+    }
+    out << rendered;
+    if (options_.format == ExportFormat::kJson) out << "\n";
+    out.close();
+    if (!out) {
+      std::remove(temp_path.c_str());
+      return Status::Internal("telemetry sink failed writing " + temp_path);
+    }
   }
-  out << rendered;
-  if (options_.format == ExportFormat::kJson) out << "\n";
-  out.close();
-  if (!out) {
-    return Status::Internal("telemetry sink failed writing " + options_.path);
+  if (std::rename(temp_path.c_str(), options_.path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    return Status::Internal("telemetry sink failed renaming " + temp_path +
+                            " to " + options_.path);
   }
   writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();

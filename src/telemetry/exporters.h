@@ -44,9 +44,12 @@ struct TelemetrySinkOptions {
 };
 
 /// \brief Background writer that periodically renders the registry to a
-/// file (truncate + rewrite, so the file always holds one complete
-/// snapshot). Start/Stop lifecycle mirrors the RefreshDaemon; Stop() runs
-/// one final write so the file reflects the end state.
+/// file. Each write lands in a uniquely named temp file in the same
+/// directory and is rename()d over the target, so a concurrent scraper
+/// (tail, promtail, the CI smoke grep) always reads one complete snapshot —
+/// never a torn or partially written file. Start/Stop lifecycle mirrors the
+/// RefreshDaemon; Stop() runs one final write so the file reflects the end
+/// state.
 class TelemetrySink {
  public:
   explicit TelemetrySink(TelemetrySinkOptions options = {});

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 
 namespace hops::telemetry {
 
@@ -21,24 +22,28 @@ TraceSpan** CurrentSpanSlot() { return &t_current_span; }
 
 }  // namespace
 
-SpanSite& GetSpanSite(std::string_view name, MetricRegistry* registry) {
-  // Sites are keyed by (registry, name): tests with local registries get
-  // isolated sites; the global registry gets process-wide ones. Sites are
-  // never destroyed (they reference registry-owned metrics and are cached
-  // in static locals at instrumentation points).
+SpanSite& GetSpanSite(std::string_view name, const LabelSet& extra_labels,
+                      MetricRegistry* registry) {
+  // Sites are keyed by (registry, name, extra labels): tests with local
+  // registries get isolated sites; the global registry gets process-wide
+  // ones; labeled sites (e.g. Refresh.ShardTick{shard="2"}) are distinct
+  // accumulators under one span name. Sites are never destroyed (they
+  // reference registry-owned metrics and are cached in static locals — or,
+  // for labeled sites, per-instance pointers — at instrumentation points).
   static std::mutex mutex;
-  static std::map<std::pair<MetricRegistry*, std::string>,
+  static std::map<std::tuple<MetricRegistry*, std::string, LabelSet>,
                   std::unique_ptr<SpanSite>>* sites =
-      new std::map<std::pair<MetricRegistry*, std::string>,
+      new std::map<std::tuple<MetricRegistry*, std::string, LabelSet>,
                    std::unique_ptr<SpanSite>>();
   std::lock_guard<std::mutex> lock(mutex);
-  auto key = std::make_pair(registry, std::string(name));
+  auto key = std::make_tuple(registry, std::string(name), extra_labels);
   auto it = sites->find(key);
   if (it != sites->end()) return *it->second;
 
   auto site = std::make_unique<SpanSite>();
   site->name = std::string(name);
-  const LabelSet labels = {{"span", site->name}};
+  LabelSet labels = {{"span", site->name}};
+  labels.insert(labels.end(), extra_labels.begin(), extra_labels.end());
   site->count = registry->GetCounter(
       "hops_span_total", "Completed trace spans per instrumentation site.",
       labels);
@@ -57,6 +62,10 @@ SpanSite& GetSpanSite(std::string_view name, MetricRegistry* registry) {
   SpanSite& ref = *site;
   sites->emplace(std::move(key), std::move(site));
   return ref;
+}
+
+SpanSite& GetSpanSite(std::string_view name, MetricRegistry* registry) {
+  return GetSpanSite(name, LabelSet{}, registry);
 }
 
 TraceSpan::TraceSpan(SpanSite& site) {

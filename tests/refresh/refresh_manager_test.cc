@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "stats/zipf.h"
@@ -377,6 +378,112 @@ TEST(RefreshManagerTest, TickRunsTheFullCycle) {
   EXPECT_EQ(stats.deltas_applied, 60u);
   EXPECT_GE(stats.republish_count, 2u);  // registration + busy tick
   EXPECT_EQ(stats.columns_tracked, 1u);
+}
+
+// The single-publication contract (ISSUE §10 satellite): a busy tick that
+// both applies deltas AND rebuilds coalesces its write-backs into exactly
+// one RCU swap. Before the fix, ApplyPendingDeltas and the rebuild path
+// each republished — two swaps per busy tick, doubling reader cache
+// invalidations.
+TEST(RefreshManagerTest, BusyTickPublishesExactlyOnce) {
+  Fixture f;
+  RefreshOptions options;
+  options.maintenance.rebuild_drift_fraction = 0.05;
+  RefreshManager manager(&f.catalog, &f.store, options);
+  auto id = RegisterSkewed(&manager, "orders", "customer_id");
+  ASSERT_TRUE(id.ok());
+
+  const uint64_t republish_before = manager.stats().republish_count;
+  const uint64_t version_before = f.store.Current()->source_version();
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(manager.RecordInsert(*id, 5).ok());
+  }
+  auto busy = manager.Tick();
+  ASSERT_TRUE(busy.ok());
+  EXPECT_EQ(busy->deltas_applied, 60u);
+  EXPECT_EQ(busy->columns_rebuilt, 1u);  // apply AND rebuild in one tick
+  EXPECT_TRUE(busy->changed);
+  EXPECT_TRUE(busy->republished);
+  // ... yet exactly ONE publication covers both write-backs.
+  EXPECT_EQ(manager.stats().republish_count, republish_before + 1);
+  EXPECT_GT(f.store.Current()->source_version(), version_before);
+}
+
+// A no-op tick must not churn the RCU epoch: nothing changed, nothing is
+// published, and the skip is visible in RefreshStats::ticks_skipped.
+TEST(RefreshManagerTest, NoOpTickSkipsPublication) {
+  Fixture f;
+  RefreshManager manager(&f.catalog, &f.store);
+  auto id = RegisterSkewed(&manager, "orders", "customer_id");
+  ASSERT_TRUE(id.ok());
+  const uint64_t republish_before = manager.stats().republish_count;
+  auto snapshot_before = f.store.Current();
+
+  auto idle = manager.Tick();
+  ASSERT_TRUE(idle.ok());
+  EXPECT_FALSE(idle->changed);
+  EXPECT_FALSE(idle->republished);
+  RefreshStats stats = manager.stats();
+  EXPECT_EQ(stats.ticks, 1u);
+  EXPECT_EQ(stats.ticks_skipped, 1u);
+  EXPECT_EQ(stats.republish_count, republish_before);
+  // Readers keep the very same snapshot object — the epoch did not move.
+  EXPECT_EQ(f.store.Current().get(), snapshot_before.get());
+
+  // A record against an unknown id drains but changes nothing: still a
+  // skip, not a publication.
+  ASSERT_TRUE(manager.RecordInsert(999, 1).ok());
+  auto unknown_only = manager.Tick();
+  ASSERT_TRUE(unknown_only.ok());
+  EXPECT_FALSE(unknown_only->republished);
+  EXPECT_EQ(manager.stats().ticks_skipped, 2u);
+}
+
+// Null-store mode: the embedding coordinator (ShardedRefreshManager) owns
+// publication, so the per-shard pipeline applies and rebuilds but never
+// touches a SnapshotStore.
+TEST(RefreshManagerTest, NullStoreDisablesPublication) {
+  Catalog catalog;
+  RefreshOptions options;
+  options.maintenance.rebuild_drift_fraction = 0.05;
+  RefreshManager manager(&catalog, /*store=*/nullptr, options);
+  auto id = RegisterSkewed(&manager, "orders", "customer_id");
+  ASSERT_TRUE(id.ok());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(manager.RecordInsert(*id, 5).ok());
+  }
+  auto busy = manager.Tick();
+  ASSERT_TRUE(busy.ok());
+  EXPECT_EQ(busy->deltas_applied, 60u);
+  EXPECT_TRUE(busy->changed);        // the catalog moved...
+  EXPECT_FALSE(busy->republished);   // ...but nothing was published
+  EXPECT_EQ(manager.stats().republish_count, 0u);
+  // The catalog itself carries the maintained statistics regardless.
+  auto stats = catalog.GetColumnStatistics("orders", "customer_id");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->num_tuples, 400.0 + 200.0 + 18 * 10.0 + 60.0);
+}
+
+TEST(RefreshManagerTest, RebuildColumnsAttributesReasonsAndPublishesOnce) {
+  Fixture f;
+  RefreshManager manager(&f.catalog, &f.store);
+  auto a = RegisterSkewed(&manager, "t", "a");
+  auto b = RegisterSkewed(&manager, "t", "b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const uint64_t republish_before = manager.stats().republish_count;
+  std::vector<std::pair<RefreshColumnId, RebuildReason>> picks = {
+      {*a, RebuildReason::kFeedback}, {*b, RebuildReason::kSelfJoin}};
+  ASSERT_TRUE(manager.RebuildColumns(picks).ok());
+  RefreshStats stats = manager.stats();
+  EXPECT_EQ(stats.rebuilds_feedback, 1u);
+  EXPECT_EQ(stats.rebuilds_self_join, 1u);
+  EXPECT_EQ(stats.rebuilds_total, 2u);
+  EXPECT_EQ(stats.republish_count, republish_before + 1);  // one swap
+
+  std::vector<std::pair<RefreshColumnId, RebuildReason>> bad = {
+      {42, RebuildReason::kForced}};
+  EXPECT_TRUE(manager.RebuildColumns(bad).IsInvalidArgument());
 }
 
 TEST(RefreshManagerTest, DeleteOfUntrackedValueIsDriftOnly) {

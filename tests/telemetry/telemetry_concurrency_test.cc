@@ -7,7 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -239,5 +242,66 @@ TEST(TelemetryConcurrencyTest, SinkWritesWhileWritersRecord) {
   EXPECT_GE(sink.writes(), 1u);
 }
 
+
+// The atomic-publication regression (ISSUE §10 satellite): a fixed metric
+// set renders identically every time, so a concurrent scraper reading the
+// sink's path must see exactly that byte string on every read — never a
+// prefix, never an interleaving of two writes. Before the temp-file +
+// rename() fix, the sink truncated the target in place and a concurrent
+// reader could observe a half-written export.
+TEST(TelemetryConcurrencyTest, SinkScrapersNeverSeeATornExport) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("stable_total", "Stable.");
+  counter->Increment(123456789);
+  Gauge* gauge = registry.GetGauge("stable_gauge", "Also stable.");
+  gauge->Set(3.25);
+
+  TelemetrySinkOptions options;
+  options.path = ::testing::TempDir() + "/hops_sink_atomic.prom";
+  options.registry = &registry;
+  TelemetrySink sink(options);
+
+  // The metrics never change, so every complete export is byte-identical.
+  ASSERT_TRUE(sink.WriteOnce().ok());
+  std::ifstream golden_in(options.path);
+  const std::string golden((std::istreambuf_iterator<char>(golden_in)),
+                           std::istreambuf_iterator<char>());
+  ASSERT_FALSE(golden.empty());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn_reads{0};
+  std::atomic<int> complete_reads{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 2; ++t) {
+    scrapers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::ifstream in(options.path);
+        if (!in) continue;  // rename window on some filesystems
+        const std::string content((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+        if (content == golden) {
+          complete_reads.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          torn_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(sink.WriteOnce().ok());
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& s : scrapers) s.join();
+  writer.join();
+
+  EXPECT_EQ(torn_reads.load(), 0);
+  EXPECT_GT(complete_reads.load(), 0);
+  EXPECT_GE(sink.writes(), 1u);
+}
+
 }  // namespace
 }  // namespace hops::telemetry
+
