@@ -1,62 +1,15 @@
-// Minimal dependency-free JSON emission for the perf harness, so benchmark
-// results (BENCH_histograms.json) are machine-readable and the perf
-// trajectory can be tracked across PRs.
+// Bench-harness JSON helpers. The JsonWriter itself was promoted into the
+// library (util/json.h) when the network serving layer (src/net/) started
+// rendering responses with it; what remains here is the provenance header
+// every BENCH_*.json carries.
 
 #pragma once
 
-#include <cstdint>
 #include <string>
-#include <vector>
+
+#include "util/json.h"
 
 namespace hops {
-
-/// \brief Streaming JSON writer with automatic comma / indent management.
-///
-/// Usage:
-///   JsonWriter w;
-///   w.BeginObject();
-///   w.Key("threads"); w.Int(8);
-///   w.Key("runs"); w.BeginArray(); ... w.EndArray();
-///   w.EndObject();
-///   std::string text = w.str();
-///
-/// The writer never validates that keys and values alternate correctly —
-/// it is a bench utility, not a library — but it does produce valid JSON
-/// when used as above (numbers are emitted with enough precision to
-/// round-trip doubles; strings are escaped).
-class JsonWriter {
- public:
-  void BeginObject();
-  void EndObject();
-  void BeginArray();
-  void EndArray();
-  void Key(const std::string& name);
-  void String(const std::string& value);
-  void Int(int64_t value);
-  void UInt(uint64_t value);
-  void Double(double value);
-  void Bool(bool value);
-  void Null();
-
-  /// Splices \p json — one pre-rendered JSON value (object, array, or
-  /// scalar) — into the stream as the next value. Used to embed renderings
-  /// from other serializers (telemetry::RenderJson) under a key without
-  /// re-parsing them. The caller is responsible for \p json being valid.
-  void Raw(const std::string& json);
-
-  const std::string& str() const { return out_; }
-
- private:
-  enum class Scope { kObject, kArray };
-  void Prefix(bool is_key);
-  void Escape(const std::string& raw);
-  void Indent();
-
-  std::string out_;
-  std::vector<Scope> scopes_;
-  std::vector<bool> first_in_scope_;
-  bool after_key_ = false;
-};
 
 /// \brief ISO-8601 UTC timestamp ("2026-08-06T12:34:56Z") for bench
 /// provenance headers.

@@ -1,0 +1,357 @@
+// JSON perf harness for the network serving front-end (DESIGN.md §11):
+// the epoll HTTP server + EstimateService measured end-to-end over
+// loopback sockets, client connect() to response flush included.
+//
+// One measurement, written to BENCH_serving.json:
+//
+//   serving_sweep — closed-loop load generator swept over concurrent
+//                   connections ∈ {1, 8, 64}. Each connection is a
+//                   blocking client thread issuing keep-alive requests
+//                   back-to-back (or paced, with --arrival-micros) against
+//                   a live serving stack: POST /estimate batches with an
+//                   occasional POST /feedback (the mix knob) routed into
+//                   the RefreshManager's q-error accuracy tracker. Each
+//                   point records wall-clock requests/sec and client-side
+//                   p50/p99/p999 request latency.
+//
+// The sweep axis is `connections`, recorded per point and never asserted
+// against — on a one-hardware-thread CI box throughput is flat-to-falling
+// with concurrency; the JSON makes the trajectory machine-readable where
+// real cores exist.
+//
+// Usage: bench_serving [output.json] [--quick] [--workers=N]
+//                      [--estimate-percent=P] [--arrival-micros=U]
+
+#include "bench_json.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/estimate_service.h"
+#include "net/server.h"
+#include "refresh/refresh_manager.h"
+#include "telemetry/metrics.h"
+#include "util/stopwatch.h"
+
+namespace hops {
+namespace {
+
+struct BenchConfig {
+  std::vector<size_t> connections = {1, 8, 64};
+  size_t requests_per_point = 3000;  // total across all connections
+  size_t num_workers = 2;
+  int estimate_percent = 90;  // mix: the rest are /feedback posts
+  long arrival_micros = 0;    // 0 = closed loop; >0 sleeps between sends
+};
+
+// ------------------------------------------------------ blocking client
+
+// Minimal blocking HTTP/1.1 client: one keep-alive connection, one
+// in-flight request at a time (closed loop).
+class BlockingClient {
+ public:
+  explicit BlockingClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = fd_ >= 0 &&
+                 ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+
+  ~BlockingClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  // Sends one request and reads one complete response. Returns false on
+  // any socket error or short response.
+  bool RoundTrip(const std::string& wire) {
+    size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    // Headers.
+    size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return false;
+    }
+    const char* key = "Content-Length: ";
+    const size_t pos = buffer_.find(key);
+    if (pos == std::string::npos || pos > header_end) return false;
+    const size_t content_length = std::strtoull(
+        buffer_.c_str() + pos + std::strlen(key), nullptr, 10);
+    const size_t total = header_end + 4 + content_length;
+    while (buffer_.size() < total) {
+      if (!Fill()) return false;
+    }
+    buffer_.erase(0, total);  // keep pipelined leftovers, if any
+    return true;
+  }
+
+ private:
+  bool Fill() {
+    char chunk[8192];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+std::string Post(const std::string& target, const std::string& body) {
+  return "POST " + target + " HTTP/1.1\r\nHost: bench\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+double Quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+struct SweepPoint {
+  size_t connections = 0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  double seconds = 0;
+  double requests_per_second = 0;
+  double p50_micros = 0;
+  double p99_micros = 0;
+  double p999_micros = 0;
+};
+
+int Run(int argc, char** argv) {
+  std::string output = "BENCH_serving.json";
+  bool quick = false;
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      cfg.num_workers = std::strtoul(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--estimate-percent=", 0) == 0) {
+      cfg.estimate_percent =
+          static_cast<int>(std::strtol(arg.c_str() + 19, nullptr, 10));
+    } else if (arg.rfind("--arrival-micros=", 0) == 0) {
+      cfg.arrival_micros = std::strtol(arg.c_str() + 17, nullptr, 10);
+    } else {
+      output = arg;
+    }
+  }
+  if (quick) {
+    cfg.connections = {1, 8};
+    cfg.requests_per_point = 600;
+  }
+
+  // ------------------------------------------------- serving stack setup
+  // Two-column catalog: uniform customer_id, linearly skewed item_id —
+  // enough shape that /estimate exercises equality, range, and join paths.
+  Catalog catalog;
+  SnapshotStore store;
+  RefreshOptions refresh_options;
+  refresh_options.statistics.num_buckets = 16;
+  RefreshManager manager(&catalog, &store, refresh_options);
+  {
+    std::vector<int64_t> values;
+    std::vector<double> uniform, skewed;
+    for (int64_t v = 0; v < 1000; ++v) {
+      values.push_back(v);
+      uniform.push_back(50.0);
+      skewed.push_back(static_cast<double>(v % 97 + 1));
+    }
+    manager.RegisterColumn("orders", "customer_id", values, uniform)
+        .status()
+        .Check();
+    manager.RegisterColumn("orders", "item_id", values, skewed)
+        .status()
+        .Check();
+  }
+
+  telemetry::MetricRegistry registry;
+  net::EstimateServiceOptions service_options;
+  service_options.store = &store;
+  service_options.feedback = &manager;  // /feedback → q-error tracker
+  service_options.registry = &registry;
+  net::EstimateService service(service_options);
+
+  net::HttpServerOptions server_options;
+  server_options.num_workers = cfg.num_workers;
+  server_options.registry = &registry;
+  net::HttpServer server(service.AsHandler(), server_options);
+  server.Start().Check();
+
+  const std::string estimate_wire = Post("/estimate", R"({"specs": [
+    {"kind":"equality","table":"orders","column":"customer_id","value":7},
+    {"kind":"range","table":"orders","column":"item_id",
+     "low":100,"high":400},
+    {"kind":"join","left":{"table":"orders","column":"customer_id"},
+     "right":{"table":"orders","column":"item_id"}},
+    {"kind":"in","table":"orders","column":"item_id","values":[1,2,3]}
+  ]})");
+  const std::string feedback_wire = Post("/feedback", R"({"reports": [
+    {"kind":"equality","table":"orders","column":"customer_id","value":7,
+     "estimated":50.0,"actual":61.0}
+  ]})");
+
+  std::cout << "bench_serving: " << cfg.num_workers << " workers, mix "
+            << cfg.estimate_percent << "% estimate, "
+            << (cfg.arrival_micros > 0 ? "paced" : "closed-loop")
+            << " arrival, " << (quick ? "quick" : "full") << " sweep\n";
+
+  // ---------------------------------------------------- connection sweep
+  std::vector<SweepPoint> sweep;
+  for (size_t connections : cfg.connections) {
+    const size_t per_connection =
+        std::max<size_t>(1, cfg.requests_per_point / connections);
+    std::atomic<uint64_t> errors{0};
+    std::vector<std::vector<double>> latencies(connections);
+    Stopwatch sw_point;
+    std::vector<std::thread> clients;
+    clients.reserve(connections);
+    for (size_t c = 0; c < connections; ++c) {
+      clients.emplace_back([&, c] {
+        BlockingClient client(server.port());
+        if (!client.connected()) {
+          errors.fetch_add(per_connection, std::memory_order_relaxed);
+          return;
+        }
+        latencies[c].reserve(per_connection);
+        for (size_t r = 0; r < per_connection; ++r) {
+          // Deterministic mix: connection-and-request indexed, no RNG.
+          const bool estimate =
+              static_cast<int>((c * per_connection + r) % 100) <
+              cfg.estimate_percent;
+          const std::string& wire = estimate ? estimate_wire : feedback_wire;
+          Stopwatch sw_request;
+          if (!client.RoundTrip(wire)) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+            return;  // connection is broken; stop this client
+          }
+          latencies[c].push_back(sw_request.ElapsedSeconds() * 1e6);
+          if (cfg.arrival_micros > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(cfg.arrival_micros));
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    const double seconds = sw_point.ElapsedSeconds();
+
+    std::vector<double> sorted;
+    sorted.reserve(connections * per_connection);
+    for (const std::vector<double>& per_client : latencies) {
+      sorted.insert(sorted.end(), per_client.begin(), per_client.end());
+    }
+    std::sort(sorted.begin(), sorted.end());
+
+    SweepPoint point;
+    point.connections = connections;
+    point.requests = sorted.size();
+    point.errors = errors.load();
+    point.seconds = seconds;
+    point.requests_per_second =
+        seconds > 0 ? static_cast<double>(point.requests) / seconds : 0;
+    point.p50_micros = Quantile(sorted, 0.50);
+    point.p99_micros = Quantile(sorted, 0.99);
+    point.p999_micros = Quantile(sorted, 0.999);
+    sweep.push_back(point);
+    std::cout << "  serving_sweep[connections=" << connections
+              << "]: " << point.requests << " requests in " << point.seconds
+              << "s (" << point.requests_per_second << "/s, p50 "
+              << point.p50_micros << "us, p99 " << point.p99_micros
+              << "us, p999 " << point.p999_micros << "us, " << point.errors
+              << " errors)\n";
+  }
+
+  const uint64_t served = server.requests_served();
+  server.Shutdown().Check();
+
+  // ----------------------------------------------------------------- JSON
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("http_serving");
+  WriteBenchProvenance(&w);
+  w.Key("quick");
+  w.Bool(quick);
+  w.Key("workers");
+  w.UInt(cfg.num_workers);
+  w.Key("hardware_concurrency");
+  w.UInt(std::thread::hardware_concurrency());
+  w.Key("estimate_percent");
+  w.Int(cfg.estimate_percent);
+  w.Key("arrival_micros");
+  w.Int(cfg.arrival_micros);
+  w.Key("specs_per_estimate");
+  w.UInt(4);
+  w.Key("requests_served");
+  w.UInt(served);
+
+  w.Key("serving_sweep");
+  w.BeginArray();
+  for (const SweepPoint& point : sweep) {
+    w.BeginObject();
+    w.Key("connections");
+    w.UInt(point.connections);
+    w.Key("requests");
+    w.UInt(point.requests);
+    w.Key("errors");
+    w.UInt(point.errors);
+    w.Key("seconds");
+    w.Double(point.seconds);
+    w.Key("requests_per_second");
+    w.Double(point.requests_per_second);
+    w.Key("p50_micros");
+    w.Double(point.p50_micros);
+    w.Key("p99_micros");
+    w.Double(point.p99_micros);
+    w.Key("p999_micros");
+    w.Double(point.p999_micros);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  std::ofstream out(output);
+  out << w.str() << "\n";
+  if (!out) {
+    std::cerr << "bench_serving: failed to write " << output << "\n";
+    return 1;
+  }
+  std::cout << "bench_serving: wrote " << output << "\n";
+
+  uint64_t total_errors = 0;
+  for (const SweepPoint& point : sweep) total_errors += point.errors;
+  return total_errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hops
+
+int main(int argc, char** argv) { return hops::Run(argc, argv); }

@@ -1,5 +1,5 @@
-// JsonWriter implementation (bench_json.h), shared by the JSON perf
-// harnesses (bench_json, bench_estimation).
+// Bench provenance helpers (bench_json.h). The JsonWriter implementation
+// lives in util/json.cc since its promotion into the library.
 
 #include "bench_json.h"
 
@@ -8,119 +8,6 @@
 #include <ctime>
 
 namespace hops {
-
-void JsonWriter::Indent() {
-  out_.push_back('\n');
-  out_.append(2 * scopes_.size(), ' ');
-}
-
-void JsonWriter::Prefix(bool is_key) {
-  if (after_key_) {
-    after_key_ = is_key;  // value directly after "key": — no comma/indent
-    return;
-  }
-  if (!scopes_.empty()) {
-    if (!first_in_scope_.back()) out_.push_back(',');
-    first_in_scope_.back() = false;
-    Indent();
-  }
-  after_key_ = is_key;
-}
-
-void JsonWriter::Escape(const std::string& raw) {
-  out_.push_back('"');
-  for (char c : raw) {
-    switch (c) {
-      case '"': out_ += "\\\""; break;
-      case '\\': out_ += "\\\\"; break;
-      case '\n': out_ += "\\n"; break;
-      case '\t': out_ += "\\t"; break;
-      case '\r': out_ += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out_ += buf;
-        } else {
-          out_.push_back(c);
-        }
-    }
-  }
-  out_.push_back('"');
-}
-
-void JsonWriter::BeginObject() {
-  Prefix(false);
-  out_.push_back('{');
-  scopes_.push_back(Scope::kObject);
-  first_in_scope_.push_back(true);
-}
-
-void JsonWriter::EndObject() {
-  const bool empty = first_in_scope_.back();
-  scopes_.pop_back();
-  first_in_scope_.pop_back();
-  if (!empty) Indent();
-  out_.push_back('}');
-}
-
-void JsonWriter::BeginArray() {
-  Prefix(false);
-  out_.push_back('[');
-  scopes_.push_back(Scope::kArray);
-  first_in_scope_.push_back(true);
-}
-
-void JsonWriter::EndArray() {
-  const bool empty = first_in_scope_.back();
-  scopes_.pop_back();
-  first_in_scope_.pop_back();
-  if (!empty) Indent();
-  out_.push_back(']');
-}
-
-void JsonWriter::Key(const std::string& name) {
-  Prefix(true);
-  Escape(name);
-  out_ += ": ";
-}
-
-void JsonWriter::String(const std::string& value) {
-  Prefix(false);
-  Escape(value);
-}
-
-void JsonWriter::Int(int64_t value) {
-  Prefix(false);
-  out_ += std::to_string(value);
-}
-
-void JsonWriter::UInt(uint64_t value) {
-  Prefix(false);
-  out_ += std::to_string(value);
-}
-
-void JsonWriter::Double(double value) {
-  Prefix(false);
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  out_ += buf;
-}
-
-void JsonWriter::Bool(bool value) {
-  Prefix(false);
-  out_ += value ? "true" : "false";
-}
-
-void JsonWriter::Null() {
-  Prefix(false);
-  out_ += "null";
-}
-
-void JsonWriter::Raw(const std::string& json) {
-  Prefix(false);
-  out_ += json;
-}
 
 std::string BenchTimestampUtc() {
   std::time_t now = std::time(nullptr);

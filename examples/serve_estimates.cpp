@@ -1,0 +1,138 @@
+// Estimate-serving daemon: the §11 network front-end over the full
+// refresh/telemetry stack, wired for production-shaped operation.
+//
+//   HTTP clients ──► HttpServer (epoll workers) ──► EstimateService
+//        POST /estimate ──► EstimateBatch on the current RCU snapshot
+//        POST /feedback ──► AccuracyTracker ──► RefreshManager (EWMA)
+//        GET  /metrics  ──► Prometheus text exposition
+//   RefreshDaemon ticks: apply deltas / rebuild stale columns / republish
+//   TelemetrySink (optional) mirrors /metrics to a file for scrapeless use
+//
+// On SIGTERM/SIGINT the stack shuts down in dependency order: the server
+// drains in-flight requests first (late /feedback still reaches the update
+// log), then the daemon applies what's queued, then the sink's final write
+// captures the drain-time metrics.
+//
+//   $ ./build/examples/serve_estimates --port=8080
+//   serving on 127.0.0.1:8080
+//   $ curl -s localhost:8080/healthz
+//   $ curl -s localhost:8080/metrics | head
+//
+// Usage: serve_estimates [--port=N] [--workers=N] [--max-seconds=N]
+//                        [--telemetry-file=PATH]
+// --port=0 binds an ephemeral port (printed on stdout, for harnesses).
+// --max-seconds bounds the run (0 = serve until signalled).
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/estimate_service.h"
+#include "net/server.h"
+#include "net/serving_stack.h"
+#include "refresh/refresh_daemon.h"
+#include "refresh/refresh_manager.h"
+#include "telemetry/accuracy.h"
+#include "telemetry/exporters.h"
+#include "telemetry/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace hops;
+
+  uint16_t port = 8080;
+  size_t workers = 0;  // 0 = HttpServer picks from hardware_concurrency
+  long max_seconds = 0;
+  std::string telemetry_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<uint16_t>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      workers = std::strtoul(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--max-seconds=", 0) == 0) {
+      max_seconds = std::strtol(arg.c_str() + 14, nullptr, 10);
+    } else if (arg.rfind("--telemetry-file=", 0) == 0) {
+      telemetry_file = arg.substr(17);
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  // ------------------------------------------------------------------ stack
+  // Demo catalog: orders(customer_id) uniform, orders(item_id) skewed —
+  // real embedders replace this block with RegisterColumn calls over their
+  // own statistics collection.
+  Catalog catalog;
+  SnapshotStore store;
+  RefreshOptions refresh_options;
+  refresh_options.statistics.num_buckets = 16;
+  RefreshManager manager(&catalog, &store, refresh_options);
+  {
+    std::vector<int64_t> values;
+    std::vector<double> uniform, skewed;
+    for (int64_t v = 0; v < 1000; ++v) {
+      values.push_back(v);
+      uniform.push_back(50.0);
+      skewed.push_back(static_cast<double>(v % 97 + 1));
+    }
+    manager.RegisterColumn("orders", "customer_id", values, uniform)
+        .status()
+        .Check();
+    manager.RegisterColumn("orders", "item_id", values, skewed)
+        .status()
+        .Check();
+  }
+
+  // Feedback chain: /feedback outcomes are measured by the q-error tracker
+  // (global registry — they show up on /metrics), then forwarded to the
+  // manager where they raise the source column's rebuild priority.
+  telemetry::AccuracyTracker tracker(/*registry=*/nullptr, /*next=*/&manager);
+
+  net::EstimateServiceOptions service_options;
+  service_options.store = &store;
+  service_options.feedback = &tracker;
+  net::EstimateService service(service_options);
+
+  net::HttpServerOptions server_options;
+  server_options.port = port;
+  server_options.num_workers = workers;
+  net::HttpServer server(service.AsHandler(), server_options);
+
+  RefreshDaemonOptions daemon_options;
+  daemon_options.tick_interval_micros = 10000;  // 10ms
+  RefreshDaemon daemon(&manager, daemon_options);
+
+  std::unique_ptr<telemetry::TelemetrySink> sink;
+  if (!telemetry_file.empty()) {
+    telemetry::TelemetrySinkOptions sink_options;
+    sink_options.path = telemetry_file;
+    sink = std::make_unique<telemetry::TelemetrySink>(sink_options);
+  }
+
+  net::ServingStack stack(&server, &daemon, sink.get());
+  net::ServingStack::InstallSignalHandlers().Check();
+  stack.Start().Check();
+
+  // Flushed immediately so harnesses reading our stdout learn the
+  // resolved port even when --port=0 picked an ephemeral one.
+  std::cout << "serving on 127.0.0.1:" << server.port() << std::endl;
+
+  // ------------------------------------------------------------------ wait
+  if (max_seconds > 0) {
+    net::ServingStack::WaitForShutdownSignal(
+        static_cast<int>(max_seconds * 1000));
+  } else {
+    while (!net::ServingStack::WaitForShutdownSignal(60000)) {
+    }
+  }
+
+  std::cout << "shutting down: " << server.requests_served()
+            << " requests served\n";
+  stack.ShutdownOrdered().Check();
+  return 0;
+}

@@ -6,10 +6,14 @@
 #   --tsan     also run the ThreadSanitizer build over the concurrency
 #              suites (thread_pool_test, parallel_build_test,
 #              snapshot_concurrency_test, refresh_daemon_test,
-#              telemetry_concurrency_test, sharded_refresh_soak_test)
+#              telemetry_concurrency_test, sharded_refresh_soak_test,
+#              http_parser_test, net_server_test)
 #   --telemetry-smoke  build + run examples/feedback_loop and grep its
 #              Prometheus dump for the expected metric families (the §9
 #              end-to-end observability gate)
+#   --serving-smoke  build + run examples/serve_estimates, curl /metrics
+#              and /estimate over loopback, and grep the responses for the
+#              expected metric families (the §11 end-to-end serving gate)
 #   --skip-tier1  skip the default build+ctest+bench stage (used by the CI
 #              sanitizer jobs so they only pay for their own build)
 set -euo pipefail
@@ -19,11 +23,13 @@ RUN_TIER1=1
 RUN_ASAN=0
 RUN_TSAN=0
 RUN_TELEMETRY_SMOKE=0
+RUN_SERVING_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --asan) RUN_ASAN=1 ;;
     --tsan) RUN_TSAN=1 ;;
     --telemetry-smoke) RUN_TELEMETRY_SMOKE=1 ;;
+    --serving-smoke) RUN_SERVING_SMOKE=1 ;;
     --skip-tier1) RUN_TIER1=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -50,6 +56,17 @@ if [[ "$RUN_TIER1" == 1 ]]; then
       exit 1
     fi
   done
+
+  # Same contract for the §11 serving bench: the connections sweep axis,
+  # the latency quantiles, and the provenance header.
+  echo "== Checking BENCH_serving.json schema (connections axis + provenance) =="
+  for field in '"connections"' '"requests_per_second"' '"p50_micros"' \
+      '"p99_micros"' '"p999_micros"' '"timestamp_utc"' '"git_rev"'; do
+    if ! grep -q "$field" BENCH_serving.json; then
+      echo "BENCH_serving.json: missing field $field" >&2
+      exit 1
+    fi
+  done
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
@@ -68,7 +85,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan --target thread_pool_test parallel_build_test \
     snapshot_concurrency_test refresh_daemon_test telemetry_concurrency_test \
-    sharded_refresh_soak_test
+    sharded_refresh_soak_test http_parser_test net_server_test
   # Oversubscribe the pool so TSan sees real interleavings even on small
   # CI machines.
   HOPS_THREADS=4 ./build-tsan/tests/thread_pool_test
@@ -77,6 +94,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   HOPS_THREADS=4 ./build-tsan/tests/refresh_daemon_test
   HOPS_THREADS=4 ./build-tsan/tests/telemetry_concurrency_test
   HOPS_THREADS=4 ./build-tsan/tests/sharded_refresh_soak_test
+  HOPS_THREADS=4 ./build-tsan/tests/http_parser_test
+  HOPS_THREADS=4 ./build-tsan/tests/net_server_test
 fi
 
 if [[ "$RUN_TELEMETRY_SMOKE" == 1 ]]; then
@@ -96,6 +115,48 @@ if [[ "$RUN_TELEMETRY_SMOKE" == 1 ]]; then
     fi
   done
   echo "telemetry smoke: all expected metric families exported."
+fi
+
+if [[ "$RUN_SERVING_SMOKE" == 1 ]]; then
+  echo "== Serving smoke (serve_estimates example over loopback) =="
+  cmake -B build -G Ninja
+  cmake --build build --target serve_estimates
+  SERVE_LOG=$(mktemp)
+  ./build/examples/serve_estimates --port=0 --max-seconds=60 >"$SERVE_LOG" 2>&1 &
+  SERVE_PID=$!
+  trap 'kill -TERM "$SERVE_PID" 2>/dev/null || true' EXIT
+  # The daemon prints its resolved ephemeral port on the first line.
+  SERVE_PORT=""
+  for _ in $(seq 1 50); do
+    SERVE_PORT=$(grep -oE 'serving on 127.0.0.1:[0-9]+' "$SERVE_LOG" \
+      | grep -oE '[0-9]+$' || true)
+    [[ -n "$SERVE_PORT" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$SERVE_PORT" ]]; then
+    echo "serving smoke: server never reported a port" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  fi
+  ESTIMATE_OUT=$(curl -sf -X POST "http://127.0.0.1:$SERVE_PORT/estimate" \
+    -d '{"specs":[{"kind":"equality","table":"orders","column":"customer_id","value":7}]}')
+  if ! grep -q '"estimate"' <<<"$ESTIMATE_OUT"; then
+    echo "serving smoke: /estimate returned no estimate: $ESTIMATE_OUT" >&2
+    exit 1
+  fi
+  METRICS_OUT=$(curl -sf "http://127.0.0.1:$SERVE_PORT/metrics")
+  for family in hops_http_requests_total hops_http_request_seconds_bucket \
+      hops_http_connections_total hops_span_duration_seconds_bucket; do
+    if ! grep -q "$family" <<<"$METRICS_OUT"; then
+      echo "serving smoke: family '$family' missing from /metrics" >&2
+      exit 1
+    fi
+  done
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID"
+  trap - EXIT
+  rm -f "$SERVE_LOG"
+  echo "serving smoke: /estimate answered and /metrics exported all families."
 fi
 
 echo "All checks passed."

@@ -15,6 +15,10 @@
 #   4. Run bench/bench_refresh, which measures the adaptive refresh
 #      subsystem (delta-apply throughput, batched rebuild latency, reader
 #      p50/p99 while the daemon churns) and writes BENCH_refresh.json.
+#   5. Run bench/bench_serving, which drives the epoll HTTP front-end over
+#      loopback with a closed-loop load generator swept over concurrent
+#      connections and writes BENCH_serving.json (requests/sec, p50/p99/
+#      p999 request latency per point).
 #
 # Usage: scripts/run_benchmarks.sh [--quick] [--skip-tsan]
 #   --quick      restrict the bench sweep (CI smoke)
@@ -125,5 +129,31 @@ print(f"refresh: {apply_phase['deltas_per_second']:.0f} deltas/s applied, "
       f"{stats['republish_count']} republishes")
 EOF
 
+echo "== Optimized bench: HTTP serving front-end =="
+cmake --build build-release --target bench_serving
+./build-release/bench/bench_serving BENCH_serving.json "${QUICK_ARGS[@]}"
+
+# Sanity-check the emitted JSON (parses, sweep covers the connections
+# axis, quantiles ordered, no client-visible errors).
+python3 - <<'EOF'
+import json
+with open("BENCH_serving.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == "http_serving", doc.get("bench")
+assert doc["timestamp_utc"] and doc["git_rev"], "missing provenance"
+sweep = doc["serving_sweep"]
+assert isinstance(sweep, list) and sweep, "empty sweep"
+for point in sweep:
+    assert point["connections"] > 0
+    assert point["requests"] > 0 and point["requests_per_second"] > 0
+    assert point["p999_micros"] >= point["p99_micros"] >= point["p50_micros"]
+    assert point["errors"] == 0, f"client errors at {point['connections']}"
+head = sweep[0]
+print(f"serving: connections axis {[p['connections'] for p in sweep]}, "
+      f"{head['requests_per_second']:.0f} req/s at 1 connection, "
+      f"p50 {head['p50_micros']:.1f}us p99 {head['p99_micros']:.1f}us "
+      f"({doc['workers']} workers)")
+EOF
+
 echo "run_benchmarks.sh: all checks passed; wrote BENCH_histograms.json," \
-     "BENCH_estimation.json, and BENCH_refresh.json"
+     "BENCH_estimation.json, BENCH_refresh.json, and BENCH_serving.json"

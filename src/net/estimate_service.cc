@@ -1,0 +1,389 @@
+// Endpoint routing and JSON decoding (net/estimate_service.h).
+
+#include "net/estimate_service.h"
+
+#include <chrono>
+
+#include "telemetry/exporters.h"
+
+namespace hops::net {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// JSON value → engine Value: integers and strings (the engine's two
+/// column types). Doubles, bools, null, and containers are rejected.
+Result<Value> ParseValueLiteral(const JsonValue& value) {
+  if (value.is_integer()) return Value(value.AsInt64());
+  if (value.is_string()) return Value(value.AsString());
+  return Status::InvalidArgument(
+      "value must be a JSON integer or string literal");
+}
+
+/// {"table": t, "column": c} → dense snapshot id.
+Result<ColumnId> ResolveRef(const JsonValue& value,
+                            const CatalogSnapshot& snapshot) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("column reference must be an object");
+  }
+  HOPS_ASSIGN_OR_RETURN(std::string table, value.GetString("table"));
+  HOPS_ASSIGN_OR_RETURN(std::string column, value.GetString("column"));
+  return snapshot.Resolve(table, column);
+}
+
+HttpResponse JsonResponse(int status, const JsonWriter& writer) {
+  HttpResponse response;
+  response.status = status;
+  response.body = writer.str();
+  response.body.push_back('\n');
+  return response;
+}
+
+}  // namespace
+
+EstimateService::EstimateService(EstimateServiceOptions options)
+    : options_(options),
+      registry_(options.registry != nullptr
+                    ? options.registry
+                    : &telemetry::MetricRegistry::Global()) {
+  metrics_ = MakeEndpoint("/metrics");
+  metrics_json_ = MakeEndpoint("/metrics.json");
+  healthz_ = MakeEndpoint("/healthz");
+  estimate_ = MakeEndpoint("/estimate");
+  feedback_ = MakeEndpoint("/feedback");
+  other_ = MakeEndpoint("other");
+}
+
+EstimateService::Endpoint EstimateService::MakeEndpoint(
+    const std::string& path) {
+  Endpoint endpoint;
+  endpoint.path = path;
+  endpoint.latency = registry_->GetHistogram(
+      "hops_http_request_seconds", "Request handling latency by endpoint",
+      telemetry::LogBucketSpec::Latency(), {{"endpoint", path}});
+  endpoint.span =
+      &telemetry::GetSpanSite("Net.Request", {{"endpoint", path}}, registry_);
+  return endpoint;
+}
+
+void EstimateService::CountRequest(const std::string& endpoint, int status) {
+  registry_
+      ->GetCounter("hops_http_requests_total",
+                   "HTTP requests by endpoint and status code",
+                   {{"endpoint", endpoint}, {"code", std::to_string(status)}})
+      ->Increment();
+}
+
+HttpResponse EstimateService::Handle(const HttpRequest& request) {
+  Endpoint* endpoint = &other_;
+  const double start = NowSeconds();
+  HttpResponse response = Route(request, &endpoint);
+  const double elapsed = NowSeconds() - start;
+  CountRequest(endpoint->path, response.status);
+  // Exemplar detail ties a tail-latency observation back to its cause:
+  // method, target, response size, and status.
+  std::string detail;
+  detail.reserve(64);
+  detail += request.method;
+  detail.push_back(' ');
+  detail += request.target;
+  detail += " status=";
+  detail += std::to_string(response.status);
+  detail += " bytes=";
+  detail += std::to_string(response.body.size());
+  endpoint->latency->RecordWithExemplar(elapsed, detail);
+  return response;
+}
+
+HttpResponse EstimateService::Route(const HttpRequest& request,
+                                    Endpoint** endpoint) {
+  if (request.target == "/metrics") {
+    *endpoint = &metrics_;
+    telemetry::TraceSpan span(*metrics_.span);
+    if (request.method != "GET") return MakeErrorResponse(405, "use GET");
+    return HandleMetrics();
+  }
+  if (request.target == "/metrics.json") {
+    *endpoint = &metrics_json_;
+    telemetry::TraceSpan span(*metrics_json_.span);
+    if (request.method != "GET") return MakeErrorResponse(405, "use GET");
+    return HandleMetricsJson();
+  }
+  if (request.target == "/healthz") {
+    *endpoint = &healthz_;
+    telemetry::TraceSpan span(*healthz_.span);
+    if (request.method != "GET") return MakeErrorResponse(405, "use GET");
+    return HandleHealthz();
+  }
+  if (request.target == "/estimate") {
+    *endpoint = &estimate_;
+    telemetry::TraceSpan span(*estimate_.span);
+    if (request.method != "POST") return MakeErrorResponse(405, "use POST");
+    return HandleEstimate(request);
+  }
+  if (request.target == "/feedback") {
+    *endpoint = &feedback_;
+    telemetry::TraceSpan span(*feedback_.span);
+    if (request.method != "POST") return MakeErrorResponse(405, "use POST");
+    return HandleFeedback(request);
+  }
+  *endpoint = &other_;
+  return MakeErrorResponse(404, "unknown endpoint: " + request.target);
+}
+
+HttpResponse EstimateService::HandleMetrics() const {
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = telemetry::RenderPrometheus(registry_->Collect());
+  return response;
+}
+
+HttpResponse EstimateService::HandleMetricsJson() const {
+  HttpResponse response;
+  response.body = telemetry::RenderJson(registry_->Collect());
+  response.body.push_back('\n');
+  return response;
+}
+
+HttpResponse EstimateService::HandleHealthz() const {
+  const std::shared_ptr<const CatalogSnapshot> snapshot =
+      options_.store->Current();
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("status");
+  writer.String("ok");
+  writer.Key("snapshot_version");
+  writer.UInt(snapshot->source_version());
+  writer.Key("columns");
+  writer.UInt(snapshot->num_columns());
+  writer.EndObject();
+  return JsonResponse(200, writer);
+}
+
+Result<EstimateSpec> EstimateService::ParseSpec(
+    const JsonValue& value, const CatalogSnapshot& snapshot) const {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("spec must be an object");
+  }
+  HOPS_ASSIGN_OR_RETURN(std::string kind, value.GetString("kind"));
+
+  if (kind == "equality" || kind == "not_equals") {
+    HOPS_ASSIGN_OR_RETURN(std::string table, value.GetString("table"));
+    HOPS_ASSIGN_OR_RETURN(std::string column, value.GetString("column"));
+    HOPS_ASSIGN_OR_RETURN(ColumnId id, snapshot.Resolve(table, column));
+    const JsonValue* literal = value.Find("value");
+    if (literal == nullptr) {
+      return Status::InvalidArgument("spec missing key: value");
+    }
+    HOPS_ASSIGN_OR_RETURN(Value parsed, ParseValueLiteral(*literal));
+    return kind == "equality" ? EstimateSpec::Equality(id, std::move(parsed))
+                              : EstimateSpec::NotEquals(id, std::move(parsed));
+  }
+
+  if (kind == "in") {
+    HOPS_ASSIGN_OR_RETURN(std::string table, value.GetString("table"));
+    HOPS_ASSIGN_OR_RETURN(std::string column, value.GetString("column"));
+    HOPS_ASSIGN_OR_RETURN(ColumnId id, snapshot.Resolve(table, column));
+    const JsonValue* values = value.Find("values");
+    if (values == nullptr || !values->is_array()) {
+      return Status::InvalidArgument("in spec needs a \"values\" array");
+    }
+    std::vector<Value> in_list;
+    in_list.reserve(values->AsArray().size());
+    for (const JsonValue& element : values->AsArray()) {
+      HOPS_ASSIGN_OR_RETURN(Value parsed, ParseValueLiteral(element));
+      in_list.push_back(std::move(parsed));
+    }
+    return EstimateSpec::In(id, std::move(in_list));
+  }
+
+  if (kind == "range") {
+    HOPS_ASSIGN_OR_RETURN(std::string table, value.GetString("table"));
+    HOPS_ASSIGN_OR_RETURN(std::string column, value.GetString("column"));
+    HOPS_ASSIGN_OR_RETURN(ColumnId id, snapshot.Resolve(table, column));
+    RangeBounds bounds;
+    HOPS_ASSIGN_OR_RETURN(bounds.low, value.GetInt("low"));
+    HOPS_ASSIGN_OR_RETURN(bounds.high, value.GetInt("high"));
+    if (value.Find("include_low") != nullptr) {
+      HOPS_ASSIGN_OR_RETURN(bounds.include_low, value.GetBool("include_low"));
+    }
+    if (value.Find("include_high") != nullptr) {
+      HOPS_ASSIGN_OR_RETURN(bounds.include_high,
+                            value.GetBool("include_high"));
+    }
+    return EstimateSpec::Range(id, bounds);
+  }
+
+  if (kind == "join") {
+    const JsonValue* left = value.Find("left");
+    const JsonValue* right = value.Find("right");
+    if (left == nullptr || right == nullptr) {
+      return Status::InvalidArgument("join spec needs \"left\" and \"right\"");
+    }
+    HOPS_ASSIGN_OR_RETURN(ColumnId left_id, ResolveRef(*left, snapshot));
+    HOPS_ASSIGN_OR_RETURN(ColumnId right_id, ResolveRef(*right, snapshot));
+    return EstimateSpec::Join(left_id, right_id);
+  }
+
+  if (kind == "chain") {
+    const JsonValue* steps = value.Find("steps");
+    if (steps == nullptr || !steps->is_array()) {
+      return Status::InvalidArgument("chain spec needs a \"steps\" array");
+    }
+    std::vector<SnapshotChainStep> chain;
+    chain.reserve(steps->AsArray().size());
+    for (const JsonValue& step : steps->AsArray()) {
+      if (!step.is_object()) {
+        return Status::InvalidArgument("chain step must be an object");
+      }
+      const JsonValue* left = step.Find("left");
+      const JsonValue* right = step.Find("right");
+      if (left == nullptr || right == nullptr) {
+        return Status::InvalidArgument(
+            "chain step needs \"left\" and \"right\"");
+      }
+      SnapshotChainStep resolved;
+      HOPS_ASSIGN_OR_RETURN(resolved.left, ResolveRef(*left, snapshot));
+      HOPS_ASSIGN_OR_RETURN(resolved.right, ResolveRef(*right, snapshot));
+      chain.push_back(resolved);
+    }
+    return EstimateSpec::Chain(std::move(chain));
+  }
+
+  return Status::InvalidArgument("unknown spec kind: " + kind);
+}
+
+HttpResponse EstimateService::HandleEstimate(const HttpRequest& request) {
+  Result<JsonValue> document = ParseJson(request.body);
+  if (!document.ok()) {
+    return MakeErrorResponse(400, document.status().message());
+  }
+  const JsonValue* specs_json = document->Find("specs");
+  if (specs_json == nullptr || !specs_json->is_array()) {
+    return MakeErrorResponse(400, "body needs a \"specs\" array");
+  }
+  const JsonValue::Array& entries = specs_json->AsArray();
+  if (entries.size() > options_.max_specs_per_request) {
+    return MakeErrorResponse(413, "too many specs in one request");
+  }
+
+  // One snapshot read covers the whole batch: every estimate (and the
+  // reported version) sees a single consistent statistics version even if
+  // the refresh daemon republishes mid-request.
+  const std::shared_ptr<const CatalogSnapshot> snapshot =
+      options_.store->Current();
+
+  // Decode failures keep their slot so results align with request specs.
+  std::vector<EstimateSpec> specs;
+  specs.reserve(entries.size());
+  std::vector<std::pair<size_t, std::string>> decode_errors;
+  std::vector<size_t> spec_slot(entries.size(), SIZE_MAX);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    Result<EstimateSpec> spec = ParseSpec(entries[i], *snapshot);
+    if (!spec.ok()) {
+      decode_errors.emplace_back(i, std::string(spec.status().message()));
+      continue;
+    }
+    spec_slot[i] = specs.size();
+    specs.push_back(std::move(spec).ValueOrDie());
+  }
+
+  const std::vector<Result<double>> results =
+      EstimateBatch(*snapshot, specs, options_.pool);
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("snapshot_version");
+  writer.UInt(snapshot->source_version());
+  writer.Key("results");
+  writer.BeginArray();
+  size_t next_decode_error = 0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    writer.BeginObject();
+    if (spec_slot[i] == SIZE_MAX) {
+      writer.Key("error");
+      writer.String(decode_errors[next_decode_error++].second);
+    } else {
+      const Result<double>& result = results[spec_slot[i]];
+      if (result.ok()) {
+        writer.Key("estimate");
+        writer.Double(result.ValueOrDie());  // %.17g: round-trips bit-identically
+      } else {
+        writer.Key("error");
+        writer.String(std::string(result.status().message()));
+      }
+    }
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return JsonResponse(200, writer);
+}
+
+HttpResponse EstimateService::HandleFeedback(const HttpRequest& request) {
+  if (options_.feedback == nullptr) {
+    return MakeErrorResponse(503, "no feedback sink configured");
+  }
+  Result<JsonValue> document = ParseJson(request.body);
+  if (!document.ok()) {
+    return MakeErrorResponse(400, document.status().message());
+  }
+  const JsonValue* reports = document->Find("reports");
+  if (reports == nullptr || !reports->is_array()) {
+    return MakeErrorResponse(400, "body needs a \"reports\" array");
+  }
+  if (reports->AsArray().size() > options_.max_specs_per_request) {
+    return MakeErrorResponse(413, "too many reports in one request");
+  }
+
+  const std::shared_ptr<const CatalogSnapshot> snapshot =
+      options_.store->Current();
+
+  size_t accepted = 0;
+  std::vector<std::pair<size_t, std::string>> rejected;
+  const JsonValue::Array& entries = reports->AsArray();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const JsonValue& entry = entries[i];
+    Status status = [&]() -> Status {
+      HOPS_ASSIGN_OR_RETURN(EstimateSpec spec, ParseSpec(entry, *snapshot));
+      HOPS_ASSIGN_OR_RETURN(double estimated, entry.GetNumber("estimated"));
+      HOPS_ASSIGN_OR_RETURN(double actual, entry.GetNumber("actual"));
+      return ReportEstimateOutcome(*snapshot, spec, estimated, actual,
+                                   options_.feedback);
+    }();
+    if (status.ok()) {
+      ++accepted;
+    } else {
+      rejected.emplace_back(i, std::string(status.message()));
+    }
+  }
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("accepted");
+  writer.UInt(accepted);
+  writer.Key("rejected");
+  writer.UInt(rejected.size());
+  if (!rejected.empty()) {
+    writer.Key("errors");
+    writer.BeginArray();
+    for (const auto& [index, message] : rejected) {
+      writer.BeginObject();
+      writer.Key("index");
+      writer.UInt(index);
+      writer.Key("error");
+      writer.String(message);
+      writer.EndObject();
+    }
+    writer.EndArray();
+  }
+  writer.EndObject();
+  return JsonResponse(200, writer);
+}
+
+}  // namespace hops::net

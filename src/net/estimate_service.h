@@ -1,0 +1,119 @@
+// HTTP endpoint layer of the serving front-end (DESIGN.md §11): routes the
+// epoll server's complete requests into the estimation subsystems.
+//
+// Endpoint contracts:
+//
+//   GET  /metrics       Prometheus text format (the §9 exporter) over the
+//                       service registry. text/plain; version=0.0.4.
+//   GET  /metrics.json  The same snapshot as JSON — the export that carries
+//                       slow-request exemplars (Prometheus v0.0.4 cannot).
+//   GET  /healthz       {"status":"ok", ...} liveness + snapshot version.
+//   POST /estimate      {"specs":[...]} → resolves each spec against the
+//                       CURRENT RCU CatalogSnapshot and fans the batch
+//                       through EstimateBatch. Per-spec failures are
+//                       reported per slot, never abort the batch. Estimates
+//                       render with 17 significant digits so the wire value
+//                       round-trips bit-identically to the in-process
+//                       double (bench_serving proves this).
+//   POST /feedback      {"reports":[{...spec, "estimated":e, "actual":a}]}
+//                       → ReportEstimateOutcome into the configured
+//                       feedback sink (the §8/§9 accuracy tracker), closing
+//                       the self-tuning loop over HTTP.
+//
+// Spec JSON (one object per estimate; "kind" selects the shape):
+//   {"kind":"equality",  "table":t, "column":c, "value":v}
+//   {"kind":"not_equals","table":t, "column":c, "value":v}
+//   {"kind":"in",        "table":t, "column":c, "values":[v, ...]}
+//   {"kind":"range",     "table":t, "column":c, "low":lo, "high":hi,
+//                        "include_low":bool?, "include_high":bool?}
+//   {"kind":"join",      "left":{"table":t,"column":c},
+//                        "right":{"table":t,"column":c}}
+//   {"kind":"chain",     "steps":[{"left":{...},"right":{...}}, ...]}
+// Values are JSON integers or strings (the engine's two Value types).
+//
+// Every endpoint is instrumented: hops_http_requests_total{endpoint,code},
+// per-endpoint latency histograms with slow-request exemplars attached
+// (satellite of this PR), and a Net.Request trace span per endpoint.
+// Handle() is thread-safe — the event-loop workers call it concurrently.
+
+#pragma once
+
+#include <string>
+
+#include "engine/catalog_snapshot.h"
+#include "estimator/serving.h"
+#include "net/http.h"
+#include "net/server.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+namespace hops::net {
+
+/// \brief Wiring for the endpoint layer.
+struct EstimateServiceOptions {
+  /// RCU snapshot source for /estimate and /feedback. Required.
+  SnapshotStore* store = nullptr;
+  /// Pool EstimateBatch fans over; nullptr = the process-wide pool.
+  ThreadPool* pool = nullptr;
+  /// Receiver for /feedback outcomes (e.g. telemetry::AccuracyTracker).
+  /// nullptr disables /feedback with a 503.
+  EstimationFeedbackSink* feedback = nullptr;
+  /// Registry /metrics renders and the endpoint metrics record into;
+  /// nullptr = MetricRegistry::Global().
+  telemetry::MetricRegistry* registry = nullptr;
+  /// Specs per /estimate (and reports per /feedback) request; larger
+  /// batches are rejected with 413 before any estimation work.
+  size_t max_specs_per_request = 4096;
+};
+
+/// \brief The HttpHandler the serving stack mounts on the HttpServer.
+class EstimateService {
+ public:
+  explicit EstimateService(EstimateServiceOptions options);
+
+  EstimateService(const EstimateService&) = delete;
+  EstimateService& operator=(const EstimateService&) = delete;
+
+  /// Routes one complete request. Thread-safe.
+  HttpResponse Handle(const HttpRequest& request);
+
+  /// Handle bound as the server's handler functor.
+  HttpHandler AsHandler() {
+    return [this](const HttpRequest& request) { return Handle(request); };
+  }
+
+ private:
+  struct Endpoint {
+    std::string path;
+    telemetry::LatencyHistogram* latency = nullptr;
+    telemetry::SpanSite* span = nullptr;
+  };
+
+  HttpResponse Route(const HttpRequest& request, Endpoint** endpoint);
+  HttpResponse HandleMetrics() const;
+  HttpResponse HandleMetricsJson() const;
+  HttpResponse HandleHealthz() const;
+  HttpResponse HandleEstimate(const HttpRequest& request);
+  HttpResponse HandleFeedback(const HttpRequest& request);
+
+  /// Decodes one spec object against \p snapshot (names → dense ids).
+  Result<EstimateSpec> ParseSpec(const JsonValue& value,
+                                 const CatalogSnapshot& snapshot) const;
+
+  Endpoint MakeEndpoint(const std::string& path);
+  void CountRequest(const std::string& endpoint, int status);
+
+  const EstimateServiceOptions options_;
+  telemetry::MetricRegistry* registry_;  // resolved (never null)
+
+  Endpoint metrics_;
+  Endpoint metrics_json_;
+  Endpoint healthz_;
+  Endpoint estimate_;
+  Endpoint feedback_;
+  Endpoint other_;
+};
+
+}  // namespace hops::net

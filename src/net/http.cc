@@ -1,0 +1,272 @@
+// HTTP/1.1 parsing and rendering (net/http.h).
+
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/json.h"
+
+namespace hops::net {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// RFC 9110 token characters (header names, methods).
+bool IsTokenChar(char c) {
+  const unsigned char u = static_cast<unsigned char>(c);
+  if (u >= 'a' && u <= 'z') return true;
+  if (u >= 'A' && u <= 'Z') return true;
+  if (u >= '0' && u <= '9') return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), IsTokenChar);
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return status >= 200 && status < 300 ? "OK" : "Error";
+  }
+}
+
+std::string RenderHttpResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(response.body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out.push_back(' ');
+  out += HttpStatusReason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: ";
+  out += (keep_alive && !response.close) ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpResponse MakeErrorResponse(int status, std::string_view message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = "{\"error\": ";
+  AppendJsonQuoted(&response.body, message);
+  response.body += "}\n";
+  return response;
+}
+
+// ----------------------------------------------------------------- parser
+
+HttpParser::HttpParser(HttpParserLimits limits) : limits_(limits) {}
+
+void HttpParser::Feed(std::string_view bytes) {
+  // Compact lazily: drop the consumed prefix before growing the buffer so
+  // a long-lived keep-alive connection does not accrete old requests.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+HttpParser::Event HttpParser::Fail(int status, std::string message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_message_ = std::move(message);
+  return Event::kError;
+}
+
+HttpParser::Event HttpParser::ParseHeaderBlock(std::string_view block,
+                                               HttpRequest* out) {
+  // --- request line: METHOD SP TARGET SP HTTP/1.x
+  const size_t line_end = block.find("\r\n");
+  const std::string_view request_line = block.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return Fail(400, "malformed request line");
+  }
+  const size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Fail(400, "malformed request line");
+  }
+  const std::string_view method = request_line.substr(0, sp1);
+  const std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (!IsToken(method)) return Fail(400, "invalid method");
+  if (target.empty() || target[0] != '/') {
+    return Fail(400, "invalid request target");
+  }
+  if (version == "HTTP/1.1") {
+    pending_.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    pending_.version_minor = 0;
+  } else {
+    return Fail(505, "unsupported HTTP version");
+  }
+  pending_.method.assign(method.data(), method.size());
+  pending_.target.assign(target.data(), target.size());
+
+  // --- header fields
+  size_t pos = line_end + 2;
+  size_t content_length = 0;
+  bool have_content_length = false;
+  while (pos < block.size()) {
+    const size_t eol = block.find("\r\n", pos);
+    const std::string_view line = block.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) break;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Fail(400, "header field without colon");
+    }
+    const std::string_view name = line.substr(0, colon);
+    const std::string_view value = TrimOws(line.substr(colon + 1));
+    // A space before the colon is an RFC 9112 smuggling vector; reject.
+    if (!IsToken(name)) return Fail(400, "invalid header field name");
+    if (EqualsIgnoreCase(name, "Transfer-Encoding")) {
+      return Fail(501, "chunked transfer encoding not supported");
+    }
+    if (EqualsIgnoreCase(name, "Content-Length")) {
+      if (have_content_length) return Fail(400, "duplicate Content-Length");
+      if (value.empty() || value.size() > 18 ||
+          !std::all_of(value.begin(), value.end(), [](char c) {
+            return c >= '0' && c <= '9';
+          })) {
+        return Fail(400, "invalid Content-Length");
+      }
+      content_length = 0;
+      for (char c : value) {
+        content_length = content_length * 10 + static_cast<size_t>(c - '0');
+      }
+      have_content_length = true;
+    }
+    pending_.headers.emplace_back(std::string(name), std::string(value));
+  }
+
+  // --- connection semantics
+  pending_.keep_alive = pending_.version_minor >= 1;
+  if (const std::string* connection = pending_.FindHeader("Connection")) {
+    if (EqualsIgnoreCase(*connection, "close")) {
+      pending_.keep_alive = false;
+    } else if (EqualsIgnoreCase(*connection, "keep-alive")) {
+      pending_.keep_alive = true;
+    }
+  }
+
+  if (content_length > limits_.max_body_bytes) {
+    return Fail(413, "request body exceeds limit");
+  }
+  body_needed_ = content_length;
+  if (body_needed_ == 0) {
+    *out = std::move(pending_);
+    pending_ = HttpRequest{};
+    state_ = State::kHeaders;
+    return Event::kRequest;
+  }
+  state_ = State::kBody;
+  return Event::kNeedMore;  // caller re-enters Next(); body may be buffered
+}
+
+HttpParser::Event HttpParser::Next(HttpRequest* out) {
+  while (true) {
+    switch (state_) {
+      case State::kError:
+        return Event::kError;
+      case State::kHeaders: {
+        const std::string_view view =
+            std::string_view(buffer_).substr(consumed_);
+        if (view.empty()) return Event::kNeedMore;
+        // Be lenient to one stray CRLF between pipelined requests.
+        if (view.substr(0, 2) == "\r\n") {
+          consumed_ += 2;
+          continue;
+        }
+        const size_t terminator = view.find("\r\n\r\n");
+        if (terminator == std::string_view::npos) {
+          if (view.size() > limits_.max_header_bytes) {
+            return Fail(431, "header block exceeds limit");
+          }
+          return Event::kNeedMore;
+        }
+        const std::string_view block = view.substr(0, terminator + 4);
+        if (block.size() > limits_.max_header_bytes) {
+          return Fail(431, "header block exceeds limit");
+        }
+        consumed_ += block.size();
+        const Event event = ParseHeaderBlock(block, out);
+        if (event == Event::kRequest || event == Event::kError) return event;
+        continue;  // kBody: fall through to consume buffered body bytes
+      }
+      case State::kBody: {
+        const std::string_view view =
+            std::string_view(buffer_).substr(consumed_);
+        const size_t take = std::min(body_needed_, view.size());
+        pending_.body.append(view.data(), take);
+        consumed_ += take;
+        body_needed_ -= take;
+        if (body_needed_ > 0) return Event::kNeedMore;
+        *out = std::move(pending_);
+        pending_ = HttpRequest{};
+        state_ = State::kHeaders;
+        return Event::kRequest;
+      }
+    }
+  }
+}
+
+}  // namespace hops::net

@@ -1,0 +1,121 @@
+// Incremental HTTP/1.1 message handling for the serving front-end
+// (DESIGN.md §11). The parser is a per-connection state machine fed
+// arbitrary byte slices as they arrive off a non-blocking socket: it
+// consumes any number of pipelined requests, tolerates reads split at any
+// byte boundary, and degrades every malformation into a 4xx verdict the
+// connection turns into an error response — never a crash, never an
+// unbounded buffer (tests/net/http_test.cc drives all of this).
+//
+// Scope: the subset of RFC 9112 an estimation service needs. GET/POST with
+// Content-Length bodies, keep-alive and pipelining, HTTP/1.0 and 1.1.
+// Chunked transfer encoding is rejected with 501 (clients batch estimates
+// into one body; streaming uploads buy nothing here).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hops::net {
+
+/// \brief Hard bounds a connection enforces while parsing. Defaults are
+/// generous for estimate batches yet small enough that a hostile client
+/// cannot balloon server memory.
+struct HttpParserLimits {
+  /// Request line + header block, terminator included.
+  size_t max_header_bytes = 64 * 1024;
+  /// Message body (Content-Length above this is rejected with 413).
+  size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
+/// \brief One parsed request. Header names are matched case-insensitively
+/// via FindHeader; values keep their original bytes (trimmed of optional
+/// whitespace).
+struct HttpRequest {
+  std::string method;            ///< e.g. "GET", "POST" (case-sensitive)
+  std::string target;            ///< origin-form target, e.g. "/estimate"
+  int version_minor = 1;         ///< HTTP/1.<minor>: 0 or 1
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Connection semantics after this request: HTTP/1.1 defaults to
+  /// keep-alive, HTTP/1.0 to close; the Connection header overrides both.
+  bool keep_alive = true;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// \brief One response to render. The server adds Content-Length,
+/// Content-Type, and Connection headers itself.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Force Connection: close regardless of the request's keep-alive.
+  bool close = false;
+};
+
+/// \brief Canonical reason phrase ("OK", "Bad Request", ...).
+const char* HttpStatusReason(int status);
+
+/// \brief Serializes status line, headers, and body. \p keep_alive is the
+/// connection's decision (request keep-alive && !response.close).
+std::string RenderHttpResponse(const HttpResponse& response, bool keep_alive);
+
+/// \brief Convenience: a JSON error body {"error": "<message>"}.
+HttpResponse MakeErrorResponse(int status, std::string_view message);
+
+/// \brief Incremental request parser: Feed bytes, then pull complete
+/// requests with Next until it reports kNeedMore (pipelining pulls several
+/// per read). After kError the connection must respond with error_status()
+/// and close — the parser does not resynchronize mid-stream.
+class HttpParser {
+ public:
+  enum class Event {
+    kNeedMore,  ///< no complete request buffered yet
+    kRequest,   ///< *out is the next complete request
+    kError,     ///< malformed input; see error_status() / error_message()
+  };
+
+  explicit HttpParser(HttpParserLimits limits = {});
+
+  /// Appends newly received bytes to the internal buffer.
+  void Feed(std::string_view bytes);
+
+  /// Extracts the next complete request into \p *out.
+  Event Next(HttpRequest* out);
+
+  /// 400 (malformed), 413 (body too large), 431 (headers too large),
+  /// 501 (chunked), or 505 (version) after kError; 0 otherwise.
+  int error_status() const { return error_status_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// Bytes buffered but not yet consumed by a complete request.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  /// Whether a partially received request sits in the buffer — the
+  /// graceful-shutdown path uses this to tell "idle connection, safe to
+  /// close" from "client mid-send".
+  bool has_partial_request() const {
+    return state_ == State::kBody || buffered_bytes() > 0;
+  }
+
+ private:
+  enum class State { kHeaders, kBody, kError };
+
+  Event Fail(int status, std::string message);
+  Event ParseHeaderBlock(std::string_view block, HttpRequest* out);
+
+  const HttpParserLimits limits_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  State state_ = State::kHeaders;
+  HttpRequest pending_;     // headers parsed, body incomplete (kBody)
+  size_t body_needed_ = 0;  // remaining body bytes (kBody)
+  int error_status_ = 0;
+  std::string error_message_;
+};
+
+}  // namespace hops::net

@@ -1,0 +1,449 @@
+// Epoll event-loop server implementation (net/server.h).
+
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+
+namespace hops::net {
+
+namespace {
+
+constexpr size_t kReadChunk = 32 * 1024;
+constexpr int kMaxEpollEvents = 64;
+
+size_t DefaultWorkers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min<size_t>(4, hw == 0 ? 1 : hw);
+}
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// \brief One connection's state, owned by exactly one worker.
+struct HttpServer::Connection {
+  explicit Connection(int fd_in, HttpParserLimits limits)
+      : fd(fd_in), parser(limits) {}
+
+  int fd;
+  HttpParser parser;
+  std::string out;          // rendered responses not yet written
+  size_t out_offset = 0;    // prefix of out already written
+  bool close_after_flush = false;
+  bool epollout_armed = false;
+  bool saw_eof = false;
+
+  bool has_pending_writes() const { return out_offset < out.size(); }
+};
+
+struct HttpServer::Worker {
+  size_t index = 0;
+  int epoll_fd = -1;
+  int listen_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections;
+  std::atomic<size_t> open{0};
+  std::atomic<uint64_t> served{0};
+
+  ~Worker() {
+    if (epoll_fd >= 0) ::close(epoll_fd);
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_fd >= 0) ::close(wake_fd);
+  }
+};
+
+HttpServer::HttpServer(HttpHandler handler, HttpServerOptions options)
+    : handler_(std::move(handler)), options_(std::move(options)) {
+  telemetry::MetricRegistry& registry =
+      options_.registry != nullptr ? *options_.registry
+                                   : telemetry::MetricRegistry::Global();
+  connections_open_ = registry.GetGauge(
+      "hops_http_connections_open", "Currently open HTTP connections");
+  connections_total_ = registry.GetCounter(
+      "hops_http_connections_total", "HTTP connections accepted");
+  requests_served_ = registry.GetCounter(
+      "hops_http_responses_total", "HTTP responses written (errors included)");
+  parse_errors_ = registry.GetCounter(
+      "hops_http_parse_errors_total", "Malformed HTTP requests rejected");
+  bytes_read_ = registry.GetCounter("hops_http_bytes_read_total",
+                                    "Bytes read from HTTP connections");
+  bytes_written_ = registry.GetCounter("hops_http_bytes_written_total",
+                                       "Bytes written to HTTP connections");
+}
+
+HttpServer::~HttpServer() { Shutdown().Check(); }
+
+bool HttpServer::running() const {
+  return running_.load(std::memory_order_acquire);
+}
+
+size_t HttpServer::open_connections() const {
+  size_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->open.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+uint64_t HttpServer::requests_served() const {
+  uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->served.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+Status HttpServer::BindWorker(Worker& worker, uint16_t port, bool reuse_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd < 0) return Errno("socket");
+  worker.listen_fd = fd;
+  const int one = 1;
+  // SO_REUSEADDR for fast restart; SO_REUSEPORT is the acceptor-sharding
+  // mechanism — every worker binds the same port and the kernel spreads
+  // incoming connections across the listeners.
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (reuse_port &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(SO_REUSEPORT)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("invalid bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd, SOMAXCONN) != 0) return Errno("listen");
+  return Status::OK();
+}
+
+Status HttpServer::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("server already running");
+  }
+  if (stop_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server cannot be restarted");
+  }
+  const size_t n =
+      options_.num_workers == 0 ? DefaultWorkers() : options_.num_workers;
+  workers_.clear();
+  workers_.reserve(n);
+  uint16_t bound_port = options_.port;
+  for (size_t i = 0; i < n; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->index = i;
+    // Worker 0 resolves an ephemeral port request; the rest join it via
+    // SO_REUSEPORT. With one worker SO_REUSEPORT is still set — harmless,
+    // and a restarted deployment can overlap-bind during handoff.
+    HOPS_RETURN_NOT_OK(BindWorker(*worker, bound_port, /*reuse_port=*/true));
+    if (i == 0) {
+      sockaddr_in addr{};
+      socklen_t len = sizeof(addr);
+      if (::getsockname(worker->listen_fd,
+                        reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+        return Errno("getsockname");
+      }
+      bound_port = ntohs(addr.sin_port);
+    }
+    worker->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (worker->epoll_fd < 0) return Errno("epoll_create1");
+    worker->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (worker->wake_fd < 0) return Errno("eventfd");
+    epoll_event listen_event{};
+    listen_event.events = EPOLLIN | EPOLLET;
+    listen_event.data.fd = worker->listen_fd;
+    if (::epoll_ctl(worker->epoll_fd, EPOLL_CTL_ADD, worker->listen_fd,
+                    &listen_event) != 0) {
+      return Errno("epoll_ctl(listen)");
+    }
+    epoll_event wake_event{};
+    wake_event.events = EPOLLIN;
+    wake_event.data.fd = worker->wake_fd;
+    if (::epoll_ctl(worker->epoll_fd, EPOLL_CTL_ADD, worker->wake_fd,
+                    &wake_event) != 0) {
+      return Errno("epoll_ctl(wake)");
+    }
+    workers_.push_back(std::move(worker));
+  }
+  port_.store(bound_port, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { WorkerLoop(*w); });
+  }
+  return Status::OK();
+}
+
+Status HttpServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (!running_.load(std::memory_order_acquire)) return Status::OK();
+  stop_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    const uint64_t one = 1;
+    // Wake the loop; the worker sees stop_ and enters its drain sequence.
+    [[maybe_unused]] ssize_t n =
+        ::write(worker->wake_fd, &one, sizeof(one));
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  running_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+void HttpServer::CloseConnection(Worker& worker, int fd) {
+  auto it = worker.connections.find(fd);
+  if (it == worker.connections.end()) return;
+  ::epoll_ctl(worker.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  worker.connections.erase(it);
+  worker.open.fetch_sub(1, std::memory_order_release);
+  connections_open_->Add(-1.0);
+}
+
+void HttpServer::AcceptReady(Worker& worker) {
+  while (true) {
+    const int fd = ::accept4(worker.listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // transient accept failure; the listener stays armed
+    }
+    if (worker.connections.size() >= options_.max_connections_per_worker) {
+      // Overload: answer 503 best-effort and shed the connection.
+      const std::string response = RenderHttpResponse(
+          MakeErrorResponse(503, "connection limit reached"),
+          /*keep_alive=*/false);
+      (void)::send(fd, response.data(), response.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    epoll_event event{};
+    event.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+    event.data.fd = fd;
+    if (::epoll_ctl(worker.epoll_fd, EPOLL_CTL_ADD, fd, &event) != 0) {
+      ::close(fd);
+      continue;
+    }
+    worker.connections.emplace(
+        fd, std::make_unique<Connection>(fd, options_.limits));
+    worker.open.fetch_add(1, std::memory_order_release);
+    connections_open_->Add(1.0);
+    connections_total_->Increment();
+  }
+}
+
+// Runs the handler over every complete buffered request and queues the
+// rendered responses. Stops at the first response that closes the
+// connection (later pipelined requests would never be answered anyway).
+void HttpServer::ProcessBuffered(Worker& worker, Connection& conn) {
+  while (!conn.close_after_flush) {
+    HttpRequest request;
+    const HttpParser::Event event = conn.parser.Next(&request);
+    if (event == HttpParser::Event::kNeedMore) return;
+    if (event == HttpParser::Event::kError) {
+      parse_errors_->Increment();
+      const HttpResponse response = MakeErrorResponse(
+          conn.parser.error_status(), conn.parser.error_message());
+      conn.out += RenderHttpResponse(response, /*keep_alive=*/false);
+      conn.close_after_flush = true;
+      worker.served.fetch_add(1, std::memory_order_relaxed);
+      requests_served_->Increment();
+      return;
+    }
+    const HttpResponse response = handler_(request);
+    const bool keep_alive = request.keep_alive && !response.close;
+    conn.out += RenderHttpResponse(response, keep_alive);
+    worker.served.fetch_add(1, std::memory_order_relaxed);
+    requests_served_->Increment();
+    if (!keep_alive) conn.close_after_flush = true;
+  }
+}
+
+// Writes as much of conn.out as the socket accepts. Returns false when the
+// connection was closed (fully flushed and marked for close, or a write
+// error); the caller must not touch conn afterwards.
+bool HttpServer::FlushWrites(Worker& worker, Connection& conn) {
+  while (conn.has_pending_writes()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data() + conn.out_offset,
+               conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_offset += static_cast<size_t>(n);
+      bytes_written_->Increment(static_cast<uint64_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.epollout_armed) {
+        epoll_event event{};
+        event.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+        event.data.fd = conn.fd;
+        ::epoll_ctl(worker.epoll_fd, EPOLL_CTL_MOD, conn.fd, &event);
+        conn.epollout_armed = true;
+      }
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(worker, conn.fd);  // peer went away mid-response
+    return false;
+  }
+  // Fully flushed: release the buffer and disarm EPOLLOUT.
+  conn.out.clear();
+  conn.out_offset = 0;
+  if (conn.epollout_armed) {
+    epoll_event event{};
+    event.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+    event.data.fd = conn.fd;
+    ::epoll_ctl(worker.epoll_fd, EPOLL_CTL_MOD, conn.fd, &event);
+    conn.epollout_armed = false;
+  }
+  if (conn.close_after_flush || conn.saw_eof) {
+    CloseConnection(worker, conn.fd);
+    return false;
+  }
+  return true;
+}
+
+void HttpServer::HandleReadable(Worker& worker, Connection& conn) {
+  char buffer[kReadChunk];
+  while (true) {
+    const ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      bytes_read_->Increment(static_cast<uint64_t>(n));
+      conn.parser.Feed(std::string_view(buffer, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      conn.saw_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(worker, conn.fd);
+    return;
+  }
+  ProcessBuffered(worker, conn);
+  if (!FlushWrites(worker, conn)) return;  // connection closed
+  if (conn.saw_eof && !conn.has_pending_writes()) {
+    CloseConnection(worker, conn.fd);
+  }
+}
+
+// Final read pass + answer + bounded flush for every connection, then close
+// everything. Runs after the listener is gone, so the connection set only
+// shrinks. A request fully received by the time of this pass is answered;
+// one the client had not finished sending is not (it was never accepted).
+void HttpServer::DrainWorker(Worker& worker) {
+  ::epoll_ctl(worker.epoll_fd, EPOLL_CTL_DEL, worker.listen_fd, nullptr);
+  ::close(worker.listen_fd);
+  worker.listen_fd = -1;
+
+  std::vector<int> fds;
+  fds.reserve(worker.connections.size());
+  for (const auto& [fd, conn] : worker.connections) fds.push_back(fd);
+  for (int fd : fds) {
+    auto it = worker.connections.find(fd);
+    if (it == worker.connections.end()) continue;
+    HandleReadable(worker, *it->second);  // read until EAGAIN, answer, flush
+  }
+
+  const int64_t deadline = NowMillis() + options_.drain_deadline_millis;
+  while (NowMillis() < deadline) {
+    bool pending = false;
+    for (const auto& [fd, conn] : worker.connections) {
+      if (conn->has_pending_writes()) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending) break;
+    epoll_event events[kMaxEpollEvents];
+    const int n = ::epoll_wait(worker.epoll_fd, events, kMaxEpollEvents,
+                               /*timeout_ms=*/10);
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      auto it = worker.connections.find(fd);
+      if (it == worker.connections.end()) continue;
+      if (events[i].events & EPOLLOUT) FlushWrites(worker, *it->second);
+    }
+  }
+
+  fds.clear();
+  for (const auto& [fd, conn] : worker.connections) fds.push_back(fd);
+  for (int fd : fds) CloseConnection(worker, fd);
+}
+
+void HttpServer::WorkerLoop(Worker& worker) {
+  epoll_event events[kMaxEpollEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(worker.epoll_fd, events, kMaxEpollEvents,
+                               /*timeout_ms=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t mask = events[i].events;
+      if (fd == worker.wake_fd) {
+        uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(worker.wake_fd, &drained, sizeof(drained));
+        continue;  // the while condition re-checks stop_
+      }
+      if (fd == worker.listen_fd) {
+        AcceptReady(worker);
+        continue;
+      }
+      auto it = worker.connections.find(fd);
+      if (it == worker.connections.end()) continue;
+      Connection& conn = *it->second;
+      if (mask & (EPOLLERR | EPOLLHUP)) {
+        CloseConnection(worker, fd);
+        continue;
+      }
+      if (mask & EPOLLOUT) {
+        if (!FlushWrites(worker, conn)) continue;
+      }
+      if (mask & (EPOLLIN | EPOLLRDHUP)) {
+        HandleReadable(worker, conn);
+      }
+    }
+  }
+  DrainWorker(worker);
+}
+
+}  // namespace hops::net

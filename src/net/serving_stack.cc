@@ -1,0 +1,111 @@
+// Ordered serving lifecycle (net/serving_stack.h).
+
+#include "net/serving_stack.h"
+
+#include <csignal>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace hops::net {
+
+namespace {
+
+// Self-pipe shared by every handled signal. The write end is stored in an
+// atomic so the handler (async-signal context) does one relaxed load + one
+// write(2) — both async-signal-safe.
+std::atomic<int> g_signal_pipe_write{-1};
+int g_signal_pipe_read = -1;
+
+void OnShutdownSignal(int /*signo*/) {
+  const int fd = g_signal_pipe_write.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+ServingStack::ServingStack(HttpServer* server, RefreshDaemon* daemon,
+                           telemetry::TelemetrySink* sink)
+    : server_(server), daemon_(daemon), sink_(sink) {}
+
+Status ServingStack::Start() {
+  if (sink_ != nullptr && !sink_->running()) {
+    HOPS_RETURN_NOT_OK(sink_->Start());
+  }
+  if (daemon_ != nullptr && !daemon_->running()) {
+    HOPS_RETURN_NOT_OK(daemon_->Start());
+  }
+  if (server_ != nullptr && !server_->running()) {
+    HOPS_RETURN_NOT_OK(server_->Start());
+  }
+  return Status::OK();
+}
+
+Status ServingStack::ShutdownOrdered() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_done_) return Status::OK();
+  shutdown_done_ = true;
+  Status first_error;
+  auto keep_first = [&first_error](Status status) {
+    if (first_error.ok() && !status.ok()) first_error = std::move(status);
+  };
+  // Stage 1: the server drains — every fully received request is answered.
+  if (server_ != nullptr) keep_first(server_->Shutdown());
+  // Stage 2: the daemon folds everything the drain produced (feedback
+  // outcomes, update-log deltas) into one final published snapshot.
+  if (daemon_ != nullptr) keep_first(daemon_->DrainAndStop());
+  // Stage 3: the sink's final write sees the post-drain metric values.
+  if (sink_ != nullptr) keep_first(sink_->Stop());
+  return first_error;
+}
+
+Status ServingStack::InstallSignalHandlers() {
+  if (g_signal_pipe_write.load(std::memory_order_acquire) >= 0) {
+    return Status::OK();
+  }
+  int fds[2];
+  if (::pipe2(fds, O_CLOEXEC | O_NONBLOCK) != 0) {
+    return Status::Internal(std::string("pipe2: ") + std::strerror(errno));
+  }
+  g_signal_pipe_read = fds[0];
+  g_signal_pipe_write.store(fds[1], std::memory_order_release);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  if (::sigaction(SIGTERM, &action, nullptr) != 0 ||
+      ::sigaction(SIGINT, &action, nullptr) != 0) {
+    return Status::Internal(std::string("sigaction: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool ServingStack::WaitForShutdownSignal(int timeout_millis) {
+  if (g_signal_pipe_read < 0) return false;
+  pollfd pfd{};
+  pfd.fd = g_signal_pipe_read;
+  pfd.events = POLLIN;
+  while (true) {
+    const int n = ::poll(&pfd, 1, timeout_millis);
+    if (n < 0 && errno == EINTR) continue;  // the signal itself interrupts
+    if (n <= 0) return false;               // timeout or poll failure
+    char bytes[64];
+    [[maybe_unused]] ssize_t r =
+        ::read(g_signal_pipe_read, bytes, sizeof(bytes));
+    return true;
+  }
+}
+
+void ServingStack::TriggerShutdown() { OnShutdownSignal(SIGTERM); }
+
+}  // namespace hops::net

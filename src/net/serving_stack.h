@@ -1,0 +1,75 @@
+// Lifecycle coordinator for the serving process (DESIGN.md §11): wires the
+// HTTP front-end, the refresh daemon, and the telemetry sink into one
+// ordered start/stop contract.
+//
+// Shutdown ordering is the correctness-critical part, and it is the reverse
+// of data flow:
+//
+//   1. HttpServer::Shutdown()        — stop accepting, answer every fully
+//                                      received request, flush, close.
+//   2. RefreshDaemon::DrainAndStop() — the daemon outlives the server, so a
+//                                      /feedback outcome routed during the
+//                                      drain still reaches the update log
+//                                      and is folded before the final tick.
+//   3. TelemetrySink::Stop()         — last, so its final write captures
+//                                      the requests served during the drain.
+//
+// Stopping the daemon first would drop feedback accepted over the wire;
+// stopping the sink first would publish a telemetry file missing the final
+// requests — both are "lost accepted work" bugs this ordering exists to
+// prevent. tests/net/net_server_test.cc exercises SIGTERM under load.
+//
+// SIGTERM/SIGINT are delivered through a self-pipe: the handler performs a
+// single async-signal-safe write; WaitForShutdownSignal blocks on the read
+// end. No locks, no allocation, no unsafe calls in signal context.
+
+#pragma once
+
+#include "net/server.h"
+#include "refresh/refresh_daemon.h"
+#include "telemetry/exporters.h"
+#include "util/status.h"
+
+namespace hops::net {
+
+/// \brief Orders startup and shutdown across the serving components. Does
+/// not own them — the daemon and sink are optional (nullptr skips them).
+class ServingStack {
+ public:
+  ServingStack(HttpServer* server, RefreshDaemon* daemon,
+               telemetry::TelemetrySink* sink);
+
+  ServingStack(const ServingStack&) = delete;
+  ServingStack& operator=(const ServingStack&) = delete;
+
+  /// Starts components in data-flow order — sink, daemon, server — skipping
+  /// any that are absent or already running (callers may pre-start the
+  /// daemon to warm statistics before opening the listen socket).
+  Status Start();
+
+  /// The ordered shutdown described in the file comment. Idempotent; runs
+  /// every stage even if an earlier one fails and returns the first error.
+  Status ShutdownOrdered();
+
+  /// Installs the SIGTERM/SIGINT self-pipe handler. Idempotent;
+  /// process-wide (signal disposition is global state).
+  static Status InstallSignalHandlers();
+
+  /// Blocks until a handled signal arrives or \p timeout_millis elapses
+  /// (negative = forever). Returns true when a signal was consumed.
+  /// Requires InstallSignalHandlers().
+  static bool WaitForShutdownSignal(int timeout_millis = -1);
+
+  /// Injects a shutdown signal as if SIGTERM had arrived (tests, admin
+  /// endpoints). Safe from any thread.
+  static void TriggerShutdown();
+
+ private:
+  HttpServer* const server_;
+  RefreshDaemon* const daemon_;
+  telemetry::TelemetrySink* const sink_;
+  bool shutdown_done_ = false;
+  std::mutex mutex_;
+};
+
+}  // namespace hops::net

@@ -9,6 +9,8 @@
 #include <fstream>
 #include <utility>
 
+#include "util/json.h"
+
 namespace hops::telemetry {
 
 namespace {
@@ -89,28 +91,6 @@ void AppendPromHelp(std::string* out, const std::string& raw) {
       default: out->push_back(c);
     }
   }
-}
-
-void AppendJsonEscaped(std::string* out, const std::string& raw) {
-  out->push_back('"');
-  for (char c : raw) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\t': *out += "\\t"; break;
-      case '\r': *out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          *out += buffer;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
 }
 
 const char* TypeName(MetricType type) {
@@ -198,11 +178,11 @@ std::string RenderJson(const MetricsSnapshot& snapshot) {
       if (!first_family) out.push_back(',');
       first_family = false;
       current_family = &m.name;
-      AppendJsonEscaped(&out, m.name);
+      AppendJsonQuoted(&out, m.name);
       out += ":{\"type\":\"";
       out += TypeName(m.type);
       out += "\",\"help\":";
-      AppendJsonEscaped(&out, m.help);
+      AppendJsonQuoted(&out, m.help);
       out += ",\"children\":[";
       first_child = true;
     }
@@ -213,9 +193,9 @@ std::string RenderJson(const MetricsSnapshot& snapshot) {
     for (const auto& [key, value] : m.labels) {
       if (!first_label) out.push_back(',');
       first_label = false;
-      AppendJsonEscaped(&out, key);
+      AppendJsonQuoted(&out, key);
       out.push_back(':');
-      AppendJsonEscaped(&out, value);
+      AppendJsonQuoted(&out, value);
     }
     out.push_back('}');
     switch (m.type) {
@@ -251,6 +231,24 @@ std::string RenderJson(const MetricsSnapshot& snapshot) {
           out.push_back('}');
         }
         out.push_back(']');
+        // Slow-observation exemplars (RecordWithExemplar): emitted only
+        // when sampled, so histograms without exemplars render unchanged.
+        if (!m.histogram.exemplars.empty()) {
+          out += ",\"exemplars\":[";
+          bool first_exemplar = true;
+          for (const Exemplar& e : m.histogram.exemplars) {
+            if (!first_exemplar) out.push_back(',');
+            first_exemplar = false;
+            out += "{\"value\":";
+            out += FormatDouble(e.value);
+            out += ",\"detail\":";
+            AppendJsonQuoted(&out, e.detail);
+            out += ",\"unix_nanos\":";
+            out += FormatUInt(static_cast<uint64_t>(e.unix_nanos));
+            out.push_back('}');
+          }
+          out.push_back(']');
+        }
         break;
       }
     }

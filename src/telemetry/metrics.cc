@@ -1,11 +1,15 @@
 #include "telemetry/metrics.h"
 
+#include "telemetry/trace.h"
+
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <thread>
 
 namespace hops::telemetry {
@@ -149,6 +153,55 @@ double HistogramSnapshot::Quantile(double q) const {
   return max;
 }
 
+// ----------------------------------------------------- ExemplarReservoir
+
+ExemplarReservoir::ExemplarReservoir(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      threshold_(-std::numeric_limits<double>::infinity()) {}
+
+void ExemplarReservoir::Offer(double value, std::string_view detail) {
+  if (!std::isfinite(value)) return;
+  // Fast reject: once the reservoir is full, threshold_ is the smallest
+  // retained value; anything at or below it cannot displace a slot. This is
+  // the only exemplar cost a typical (fast) request pays.
+  if (value <= threshold_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Re-check under the lock (a racing admission may have raised the bar).
+  if (slots_.size() >= capacity_) {
+    size_t min_index = 0;
+    for (size_t i = 1; i < slots_.size(); ++i) {
+      if (slots_[i].value < slots_[min_index].value) min_index = i;
+    }
+    if (value <= slots_[min_index].value) return;
+    slots_.erase(slots_.begin() + static_cast<ptrdiff_t>(min_index));
+  }
+  Exemplar exemplar;
+  exemplar.value = value;
+  exemplar.detail.assign(detail.data(), detail.size());
+  exemplar.unix_nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  slots_.push_back(std::move(exemplar));
+  if (slots_.size() >= capacity_) {
+    double min_value = slots_[0].value;
+    for (const Exemplar& e : slots_) min_value = std::min(min_value, e.value);
+    threshold_.store(min_value, std::memory_order_relaxed);
+  }
+}
+
+std::vector<Exemplar> ExemplarReservoir::Snapshot() const {
+  std::vector<Exemplar> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = slots_;
+  }
+  std::sort(out.begin(), out.end(), [](const Exemplar& a, const Exemplar& b) {
+    return a.value > b.value;
+  });
+  return out;
+}
+
 // ------------------------------------------------------- LatencyHistogram
 
 // Per-shard storage: the bucket counters form a contiguous array (the
@@ -201,9 +254,16 @@ void LatencyHistogram::Record(double value) {
   }
 }
 
+void LatencyHistogram::RecordWithExemplar(double value,
+                                          std::string_view detail) {
+  Record(value);
+  exemplars_.Offer(value, detail);
+}
+
 HistogramSnapshot LatencyHistogram::Snapshot() const {
   HistogramSnapshot snap;
   snap.upper_bounds = upper_bounds_;
+  snap.exemplars = exemplars_.Snapshot();
   snap.counts.assign(num_buckets_ + 1, 0);
   for (size_t s = 0; s <= shard_mask_; ++s) {
     const Shard& shard = shards_[s];
@@ -245,6 +305,10 @@ const MetricSnapshot* MetricsSnapshot::Find(std::string_view name,
 }
 
 // ---------------------------------------------------------- MetricRegistry
+
+MetricRegistry::~MetricRegistry() {
+  internal::DropSpanSitesForRegistry(this);
+}
 
 MetricRegistry& MetricRegistry::Global() {
   static MetricRegistry* registry = new MetricRegistry();  // never destroyed

@@ -155,6 +155,48 @@ struct LogBucketSpec {
   static LogBucketSpec QError();
 };
 
+/// \brief One captured slow-observation exemplar: the observed value plus a
+/// short caller-supplied description of what produced it (endpoint, batch
+/// size, client address — whatever links the tail latency back to a cause).
+struct Exemplar {
+  double value = 0;
+  std::string detail;
+  int64_t unix_nanos = 0;  ///< capture time (system clock)
+};
+
+/// \brief Fixed-capacity reservoir of the K *largest* observations offered
+/// so far — the slow-request exemplars a latency histogram cannot represent
+/// (log buckets say "something took 100-200ms", an exemplar says *what*).
+///
+/// Cost model: Offer is one relaxed double load + compare when the value
+/// does not beat the current K-th largest (the overwhelmingly common case —
+/// slow requests are by definition rare); only admissions take the mutex.
+/// Thread-safe.
+class ExemplarReservoir {
+ public:
+  explicit ExemplarReservoir(size_t capacity = 4);
+
+  ExemplarReservoir(const ExemplarReservoir&) = delete;
+  ExemplarReservoir& operator=(const ExemplarReservoir&) = delete;
+
+  /// Retains (value, detail) if it ranks among the capacity largest values
+  /// seen. \p detail is copied only on admission.
+  void Offer(double value, std::string_view detail);
+
+  /// Current contents, sorted descending by value.
+  std::vector<Exemplar> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  /// Admission threshold: the smallest retained value once full, else
+  /// -infinity (everything is admitted until the reservoir fills).
+  std::atomic<double> threshold_;
+  mutable std::mutex mutex_;
+  std::vector<Exemplar> slots_;  // guarded by mutex_
+};
+
 /// \brief Point-in-time view of one histogram (merged over shards).
 struct HistogramSnapshot {
   std::vector<double> upper_bounds;  ///< per finite bucket, ascending
@@ -162,6 +204,7 @@ struct HistogramSnapshot {
   uint64_t count = 0;                ///< total observations
   double sum = 0;                    ///< sum of observed values
   double max = 0;                    ///< largest observed value (0 if none)
+  std::vector<Exemplar> exemplars;   ///< slowest observations, when sampled
 
   /// Smallest bucket upper bound whose cumulative count reaches rank
   /// ceil(q * count); the overflow bucket answers with max. 0 when empty.
@@ -185,6 +228,15 @@ class LatencyHistogram {
 
   void Record(double value);
 
+  /// Record + offer (value, detail) to the exemplar reservoir, so the
+  /// slowest observations keep a human-readable cause attached (exported in
+  /// the JSON dump). Adds one relaxed load + compare over Record when the
+  /// value is not reservoir-worthy.
+  void RecordWithExemplar(double value, std::string_view detail);
+
+  /// The slowest-observation reservoir (empty until RecordWithExemplar).
+  const ExemplarReservoir& exemplars() const { return exemplars_; }
+
   HistogramSnapshot Snapshot() const;
 
   /// Convenience quantile readers (p in [0,1]).
@@ -204,6 +256,7 @@ class LatencyHistogram {
   std::unique_ptr<Shard[]> shards_;
   size_t shard_mask_ = 0;
   size_t num_buckets_ = 0;  // finite buckets; +1 overflow stored per shard
+  ExemplarReservoir exemplars_;
 };
 
 /// \brief One collected metric: family name/help/type plus this child's
@@ -238,6 +291,11 @@ struct MetricsSnapshot {
 class MetricRegistry {
  public:
   MetricRegistry() = default;
+
+  /// Drops any trace-span sites cached against this registry, so a later
+  /// registry allocated at the same address cannot alias stale sites whose
+  /// metric pointers reference freed memory.
+  ~MetricRegistry();
 
   MetricRegistry(const MetricRegistry&) = delete;
   MetricRegistry& operator=(const MetricRegistry&) = delete;

@@ -20,25 +20,35 @@ int64_t NowNanos() {
 thread_local TraceSpan* t_current_span = nullptr;
 TraceSpan** CurrentSpanSlot() { return &t_current_span; }
 
+// Sites are keyed by (registry, name, extra labels): tests with local
+// registries get isolated sites; the global registry gets process-wide
+// ones; labeled sites (e.g. Refresh.ShardTick{shard="2"}) are distinct
+// accumulators under one span name. The map is leaked (never destroyed)
+// so sites stay valid through static teardown; entries for a *local*
+// registry are dropped by its destructor via DropSpanSitesForRegistry.
+using SiteKey = std::tuple<MetricRegistry*, std::string, LabelSet>;
+using SiteMap = std::map<SiteKey, std::unique_ptr<SpanSite>>;
+
+std::mutex& SitesMutex() {
+  // Leaked: ~MetricRegistry may run during static teardown in another TU.
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
+
+SiteMap& Sites() {
+  static SiteMap* sites = new SiteMap();
+  return *sites;
+}
+
 }  // namespace
 
 SpanSite& GetSpanSite(std::string_view name, const LabelSet& extra_labels,
                       MetricRegistry* registry) {
-  // Sites are keyed by (registry, name, extra labels): tests with local
-  // registries get isolated sites; the global registry gets process-wide
-  // ones; labeled sites (e.g. Refresh.ShardTick{shard="2"}) are distinct
-  // accumulators under one span name. Sites are never destroyed (they
-  // reference registry-owned metrics and are cached in static locals — or,
-  // for labeled sites, per-instance pointers — at instrumentation points).
-  static std::mutex mutex;
-  static std::map<std::tuple<MetricRegistry*, std::string, LabelSet>,
-                  std::unique_ptr<SpanSite>>* sites =
-      new std::map<std::tuple<MetricRegistry*, std::string, LabelSet>,
-                   std::unique_ptr<SpanSite>>();
-  std::lock_guard<std::mutex> lock(mutex);
+  std::lock_guard<std::mutex> lock(SitesMutex());
+  SiteMap& sites = Sites();
   auto key = std::make_tuple(registry, std::string(name), extra_labels);
-  auto it = sites->find(key);
-  if (it != sites->end()) return *it->second;
+  auto it = sites.find(key);
+  if (it != sites.end()) return *it->second;
 
   auto site = std::make_unique<SpanSite>();
   site->name = std::string(name);
@@ -60,13 +70,29 @@ SpanSite& GetSpanSite(std::string_view name, const LabelSet& extra_labels,
       "Per-span wall time in seconds (log-spaced buckets).",
       LogBucketSpec::Latency(), labels);
   SpanSite& ref = *site;
-  sites->emplace(std::move(key), std::move(site));
+  sites.emplace(std::move(key), std::move(site));
   return ref;
 }
 
 SpanSite& GetSpanSite(std::string_view name, MetricRegistry* registry) {
   return GetSpanSite(name, LabelSet{}, registry);
 }
+
+namespace internal {
+
+void DropSpanSitesForRegistry(MetricRegistry* registry) {
+  std::lock_guard<std::mutex> lock(SitesMutex());
+  SiteMap& sites = Sites();
+  for (auto it = sites.begin(); it != sites.end();) {
+    if (std::get<0>(it->first) == registry) {
+      it = sites.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace internal
 
 TraceSpan::TraceSpan(SpanSite& site) {
   if (!Enabled()) {

@@ -66,6 +66,16 @@ SpanSite& GetSpanSite(std::string_view name,
 SpanSite& GetSpanSite(std::string_view name, const LabelSet& extra_labels,
                       MetricRegistry* registry = &MetricRegistry::Global());
 
+namespace internal {
+
+/// Drops every cached span site whose metrics \p registry owns. Called by
+/// ~MetricRegistry: a later registry allocated at the same address must not
+/// alias a stale site whose counters point into freed memory. Callers that
+/// cache a SpanSite& must not outlive the registry they resolved it from.
+void DropSpanSitesForRegistry(MetricRegistry* registry);
+
+}  // namespace internal
+
 /// \brief Scoped span over \p site. Non-copyable, stack-only; destruction
 /// order must be LIFO per thread (guaranteed by scoping).
 class TraceSpan {

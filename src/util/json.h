@@ -1,0 +1,153 @@
+// Minimal dependency-free JSON emission and parsing (DESIGN.md §11).
+//
+// JsonWriter started life as a bench-harness utility (BENCH_*.json); the
+// network serving layer (src/net/) promoted it into the library proper:
+// /estimate and /feedback responses, the telemetry JSON export, and the
+// bench documents all render through the same escaper, and request bodies
+// parse through the same JsonValue reader. Both halves are deliberately
+// small — no DOM mutation, no schema layer — but they are *hardened*:
+// arbitrary client-supplied bytes (relation/column names, header junk) can
+// never produce malformed JSON output or crash the parser.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Appends \p raw to \p out as JSON string *contents* (no quotes).
+/// Escapes the two mandatory characters plus the C0 controls, and walks the
+/// input as UTF-8: every byte of an invalid sequence (stray continuation,
+/// overlong encoding, surrogate half, > U+10FFFF, truncated tail) is
+/// replaced with U+FFFD, so the output is always well-formed UTF-8 and the
+/// document stays parseable no matter what a client sent.
+void AppendJsonEscaped(std::string* out, std::string_view raw);
+
+/// \brief AppendJsonEscaped wrapped in double quotes — one JSON string.
+void AppendJsonQuoted(std::string* out, std::string_view raw);
+
+/// \brief Streaming JSON writer with automatic comma / indent management.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("threads"); w.Int(8);
+///   w.Key("runs"); w.BeginArray(); ... w.EndArray();
+///   w.EndObject();
+///   std::string text = w.str();
+///
+/// The writer never validates that keys and values alternate correctly —
+/// it is a serialization utility, not a schema checker — but it does
+/// produce valid JSON when used as above: numbers are emitted with enough
+/// precision to round-trip doubles, and strings go through
+/// AppendJsonQuoted, so untrusted bytes cannot break the document.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& name);
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Splices \p json — one pre-rendered JSON value (object, array, or
+  /// scalar) — into the stream as the next value. Used to embed renderings
+  /// from other serializers (telemetry::RenderJson) under a key without
+  /// re-parsing them. The caller is responsible for \p json being valid.
+  void Raw(const std::string& json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  enum class Scope { kObject, kArray };
+  void Prefix(bool is_key);
+  void Indent();
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> first_in_scope_;
+  bool after_key_ = false;
+};
+
+/// \brief One parsed JSON value: null, bool, number, string, array, or
+/// object. Objects preserve insertion order (lookup is a linear scan —
+/// request bodies have a handful of keys).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : data_(nullptr) {}
+  explicit JsonValue(bool b) : data_(b) {}
+  explicit JsonValue(double d) : data_(d) {}
+  explicit JsonValue(std::string s) : data_(std::move(s)) {}
+  explicit JsonValue(Array a) : data_(std::move(a)) {}
+  explicit JsonValue(Object o) : data_(std::move(o)) {}
+
+  Type type() const { return static_cast<Type>(data_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_number() const { return type() == Type::kNumber; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  bool AsBool() const { return std::get<bool>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  const Array& AsArray() const { return std::get<Array>(data_); }
+  const Object& AsObject() const { return std::get<Object>(data_); }
+
+  /// Whether the number was written as an integer literal that fits int64
+  /// exactly (so "7" round-trips as int64 7, not 7.0-went-through-double).
+  bool is_integer() const { return is_number() && integer_; }
+  int64_t AsInt64() const { return static_cast<int64_t>(AsDouble()); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// \name Typed member accessors — Status-returning conveniences for
+  /// request decoding (missing key / wrong type → InvalidArgument naming
+  /// the key).
+  /// @{
+  Result<double> GetNumber(std::string_view key) const;
+  Result<int64_t> GetInt(std::string_view key) const;
+  Result<std::string> GetString(std::string_view key) const;
+  Result<bool> GetBool(std::string_view key) const;
+  /// @}
+
+  void set_integer(bool integer) { integer_ = integer; }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+  bool integer_ = false;
+};
+
+/// \brief Parser knobs: callers feeding untrusted bytes bound recursion and
+/// total size at the transport layer (HttpParserLimits caps body bytes).
+struct JsonParseOptions {
+  size_t max_depth = 64;
+};
+
+/// \brief Parses exactly one JSON document from \p text (leading/trailing
+/// whitespace allowed, trailing garbage is an error). Strict RFC 8259
+/// grammar: no comments, no trailing commas, \uXXXX escapes decoded
+/// (surrogate pairs included). InvalidArgument with a byte offset on any
+/// malformed input — never crashes, never reads out of bounds.
+Result<JsonValue> ParseJson(std::string_view text, JsonParseOptions options = {});
+
+}  // namespace hops

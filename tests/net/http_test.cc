@@ -1,0 +1,240 @@
+// HTTP/1.1 parser hardening tests (src/net/http.h): split-at-every-byte
+// incremental feeds, pipelining, limit enforcement, and malformed input
+// degrading to clean 4xx verdicts — never a crash.
+
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hops::net {
+namespace {
+
+// Feeds the whole input at once and pulls one request.
+HttpParser::Event ParseOne(std::string_view wire, HttpRequest* out,
+                           HttpParserLimits limits = {}) {
+  HttpParser parser(limits);
+  parser.Feed(wire);
+  return parser.Next(out);
+}
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpRequest request;
+  ASSERT_EQ(ParseOne("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n", &request),
+            HttpParser::Event::kRequest);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/metrics");
+  EXPECT_EQ(request.version_minor, 1);
+  EXPECT_TRUE(request.keep_alive);
+  ASSERT_NE(request.FindHeader("host"), nullptr);
+  EXPECT_EQ(*request.FindHeader("HOST"), "x");
+  EXPECT_TRUE(request.body.empty());
+}
+
+TEST(HttpParserTest, ParsesPostWithBody) {
+  HttpRequest request;
+  ASSERT_EQ(ParseOne("POST /estimate HTTP/1.1\r\nContent-Length: 11\r\n\r\n"
+                     "{\"specs\":1}",
+                     &request),
+            HttpParser::Event::kRequest);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, "{\"specs\":1}");
+}
+
+// The core incremental-parsing property: splitting the wire bytes at EVERY
+// byte boundary (two feeds) must yield the identical request.
+TEST(HttpParserTest, SplitAtEveryByteBoundary) {
+  const std::string wire =
+      "POST /estimate HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Length: 17\r\n"
+      "\r\n"
+      "{\"specs\":[1,2,3]}";
+  for (size_t split = 0; split <= wire.size(); ++split) {
+    HttpParser parser;
+    parser.Feed(std::string_view(wire).substr(0, split));
+    HttpRequest request;
+    const HttpParser::Event first = parser.Next(&request);
+    if (first == HttpParser::Event::kRequest) {
+      // Only possible when the split point is at the very end.
+      EXPECT_EQ(split, wire.size()) << "early completion at split " << split;
+    } else {
+      ASSERT_EQ(first, HttpParser::Event::kNeedMore) << "split " << split;
+      parser.Feed(std::string_view(wire).substr(split));
+      ASSERT_EQ(parser.Next(&request), HttpParser::Event::kRequest)
+          << "split " << split;
+    }
+    EXPECT_EQ(request.method, "POST") << "split " << split;
+    EXPECT_EQ(request.target, "/estimate") << "split " << split;
+    EXPECT_EQ(request.body, "{\"specs\":[1,2,3]}") << "split " << split;
+    EXPECT_EQ(parser.buffered_bytes(), 0u) << "split " << split;
+  }
+}
+
+// One-byte-at-a-time is the adversarial extreme of the same property.
+TEST(HttpParserTest, ByteAtATimeFeed) {
+  const std::string wire =
+      "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+  HttpParser parser;
+  HttpRequest request;
+  HttpParser::Event event = HttpParser::Event::kNeedMore;
+  for (char c : wire) {
+    ASSERT_EQ(event, HttpParser::Event::kNeedMore);
+    parser.Feed(std::string_view(&c, 1));
+    event = parser.Next(&request);
+  }
+  ASSERT_EQ(event, HttpParser::Event::kRequest);
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_FALSE(request.keep_alive);
+}
+
+TEST(HttpParserTest, PipelinedRequestsComeOutInOrder) {
+  HttpParser parser;
+  parser.Feed(
+      "GET /a HTTP/1.1\r\n\r\n"
+      "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+      "GET /c HTTP/1.1\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), HttpParser::Event::kRequest);
+  EXPECT_EQ(request.target, "/a");
+  ASSERT_EQ(parser.Next(&request), HttpParser::Event::kRequest);
+  EXPECT_EQ(request.target, "/b");
+  EXPECT_EQ(request.body, "hi");
+  ASSERT_EQ(parser.Next(&request), HttpParser::Event::kRequest);
+  EXPECT_EQ(request.target, "/c");
+  EXPECT_EQ(parser.Next(&request), HttpParser::Event::kNeedMore);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(HttpParserTest, ToleratesStrayCrlfBetweenPipelinedRequests) {
+  HttpParser parser;
+  parser.Feed("GET /a HTTP/1.1\r\n\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), HttpParser::Event::kRequest);
+  ASSERT_EQ(parser.Next(&request), HttpParser::Event::kRequest);
+  EXPECT_EQ(request.target, "/b");
+}
+
+TEST(HttpParserTest, Http10DefaultsToClose) {
+  HttpRequest request;
+  ASSERT_EQ(ParseOne("GET / HTTP/1.0\r\n\r\n", &request),
+            HttpParser::Event::kRequest);
+  EXPECT_EQ(request.version_minor, 0);
+  EXPECT_FALSE(request.keep_alive);
+
+  ASSERT_EQ(ParseOne("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+                     &request),
+            HttpParser::Event::kRequest);
+  EXPECT_TRUE(request.keep_alive);
+}
+
+TEST(HttpParserTest, OversizedHeadersAre431) {
+  HttpParserLimits limits;
+  limits.max_header_bytes = 128;
+  // Terminated but oversized block.
+  std::string wire = "GET / HTTP/1.1\r\nX-Pad: ";
+  wire.append(200, 'a');
+  wire += "\r\n\r\n";
+  HttpRequest request;
+  ASSERT_EQ(ParseOne(wire, &request, limits), HttpParser::Event::kError);
+
+  // Unterminated flood must also trip the limit (no unbounded buffering).
+  HttpParser parser(limits);
+  parser.Feed("GET / HTTP/1.1\r\nX-Pad: " + std::string(500, 'b'));
+  ASSERT_EQ(parser.Next(&request), HttpParser::Event::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, OversizedBodyIs413BeforeAnyBodyByteArrives) {
+  HttpParserLimits limits;
+  limits.max_body_bytes = 16;
+  HttpRequest request;
+  HttpParser parser(limits);
+  parser.Feed("POST / HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n");
+  ASSERT_EQ(parser.Next(&request), HttpParser::Event::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, ChunkedTransferEncodingIs501) {
+  HttpRequest request;
+  HttpParser parser;
+  parser.Feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  ASSERT_EQ(parser.Next(&request), HttpParser::Event::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParserTest, UnsupportedVersionIs505) {
+  HttpRequest request;
+  HttpParser parser;
+  parser.Feed("GET / HTTP/2.0\r\n\r\n");
+  ASSERT_EQ(parser.Next(&request), HttpParser::Event::kError);
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(HttpParserTest, MalformedInputsAre400) {
+  const std::vector<std::string> bad = {
+      "GARBAGE\r\n\r\n",                                    // no spaces
+      "GET /\r\n\r\n",                                      // no version
+      "GET / HTTP/1.1 extra\r\n\r\n",                       // 3rd space
+      "G@T / HTTP/1.1\r\n\r\n",                             // method char
+      "GET nopath HTTP/1.1\r\n\r\n",                        // bad target
+      "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",              // no colon
+      "GET / HTTP/1.1\r\nBad Header : x\r\n\r\n",           // space in name
+      "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",      // negative
+      "POST / HTTP/1.1\r\nContent-Length: 1x\r\n\r\n",      // non-digit
+      "POST / HTTP/1.1\r\nContent-Length: 1\r\n"
+      "Content-Length: 2\r\n\r\n",                          // duplicate
+  };
+  for (const std::string& wire : bad) {
+    HttpParser parser;
+    parser.Feed(wire);
+    HttpRequest request;
+    ASSERT_EQ(parser.Next(&request), HttpParser::Event::kError) << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+    EXPECT_FALSE(parser.error_message().empty()) << wire;
+    // The parser stays in the error state — no resynchronization.
+    parser.Feed("GET / HTTP/1.1\r\n\r\n");
+    EXPECT_EQ(parser.Next(&request), HttpParser::Event::kError) << wire;
+  }
+}
+
+TEST(HttpParserTest, PartialRequestDetection) {
+  HttpParser parser;
+  EXPECT_FALSE(parser.has_partial_request());
+  parser.Feed("POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab");
+  HttpRequest request;
+  EXPECT_EQ(parser.Next(&request), HttpParser::Event::kNeedMore);
+  EXPECT_TRUE(parser.has_partial_request());
+  parser.Feed("cde");
+  ASSERT_EQ(parser.Next(&request), HttpParser::Event::kRequest);
+  EXPECT_EQ(request.body, "abcde");
+  EXPECT_FALSE(parser.has_partial_request());
+}
+
+TEST(HttpRenderTest, RendersStatusLineHeadersAndBody) {
+  HttpResponse response;
+  response.status = 200;
+  response.body = "{\"ok\":true}";
+  const std::string wire = RenderHttpResponse(response, /*keep_alive=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"ok\":true}"), std::string::npos);
+
+  response.close = true;  // response-side close overrides keep-alive
+  EXPECT_NE(RenderHttpResponse(response, true).find("Connection: close"),
+            std::string::npos);
+}
+
+TEST(HttpRenderTest, ErrorResponseEscapesMessage) {
+  const HttpResponse response =
+      MakeErrorResponse(400, "bad \"quote\" and\ncontrol");
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("\\\"quote\\\""), std::string::npos);
+  EXPECT_NE(response.body.find("\\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hops::net

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "telemetry/metrics.h"
+#include "util/json.h"
 
 namespace hops::telemetry {
 namespace {
@@ -110,6 +111,26 @@ TEST(JsonExportTest, EscapesStrings) {
       "\"children\":[{\"labels\":{\"k\":\"a\\\"b\\\\c\\nd\"},"
       "\"value\":1}]}}";
   EXPECT_EQ(got, want);
+}
+
+TEST(JsonExportTest, HistogramExemplarsAppearOnlyWhenSampled) {
+  MetricRegistry registry;
+  LatencyHistogram* histogram = registry.GetHistogram(
+      "hops_req_seconds", "Latency.", LogBucketSpec{1.0, 2.0, 2});
+  histogram->Record(0.5);
+  // No exemplars sampled: the key is absent (keeps golden outputs stable).
+  EXPECT_EQ(RenderJson(registry.Collect()).find("exemplars"),
+            std::string::npos);
+
+  histogram->RecordWithExemplar(3.5, "POST /estimate \"n\"=64");
+  const std::string got = RenderJson(registry.Collect());
+  EXPECT_NE(got.find("\"exemplars\":[{\"value\":3.5,"
+                     "\"detail\":\"POST /estimate \\\"n\\\"=64\","
+                     "\"unix_nanos\":"),
+            std::string::npos)
+      << got;
+  // Still one valid JSON document.
+  EXPECT_TRUE(ParseJson(got).ok());
 }
 
 std::string ReadFile(const std::string& path) {

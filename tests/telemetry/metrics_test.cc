@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <thread>
 #include <vector>
 
 #include "util/random.h"
@@ -208,6 +209,66 @@ TEST(MetricRegistryTest, FindLocatesChildrenByLabels) {
   EXPECT_DOUBLE_EQ(b->value, 2.0);
   EXPECT_EQ(snap.Find("missing"), nullptr);
   EXPECT_EQ(snap.Find("x_total", {{"k", "z"}}), nullptr);
+}
+
+TEST(ExemplarReservoirTest, KeepsTheKLargestObservations) {
+  ExemplarReservoir reservoir(3);
+  EXPECT_EQ(reservoir.capacity(), 3u);
+  reservoir.Offer(1.0, "a");
+  reservoir.Offer(5.0, "b");
+  reservoir.Offer(3.0, "c");
+  // Full: 0.5 loses to the current minimum (1.0) and is rejected on the
+  // atomic-threshold fast path; 9.0 displaces the minimum.
+  reservoir.Offer(0.5, "loser");
+  reservoir.Offer(9.0, "winner");
+  const std::vector<Exemplar> snap = reservoir.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_DOUBLE_EQ(snap[0].value, 9.0);
+  EXPECT_EQ(snap[0].detail, "winner");
+  EXPECT_DOUBLE_EQ(snap[1].value, 5.0);
+  EXPECT_DOUBLE_EQ(snap[2].value, 3.0);
+  EXPECT_GT(snap[0].unix_nanos, 0);
+}
+
+TEST(ExemplarReservoirTest, TiesAtTheThresholdAreRejected) {
+  ExemplarReservoir reservoir(2);
+  reservoir.Offer(2.0, "a");
+  reservoir.Offer(2.0, "b");
+  reservoir.Offer(2.0, "c");  // equal to the retained minimum: not admitted
+  EXPECT_EQ(reservoir.Snapshot().size(), 2u);
+}
+
+TEST(LatencyHistogramTest, RecordWithExemplarAttachesToSnapshot) {
+  LatencyHistogram histogram(LogBucketSpec{1.0, 2.0, 4}, 1);
+  histogram.Record(0.5);  // plain Record never creates exemplars
+  EXPECT_TRUE(histogram.Snapshot().exemplars.empty());
+  histogram.RecordWithExemplar(3.0, "POST /estimate n=64");
+  histogram.RecordWithExemplar(7.0, "POST /estimate n=4096");
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  ASSERT_EQ(snap.exemplars.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap.exemplars[0].value, 7.0);
+  EXPECT_EQ(snap.exemplars[0].detail, "POST /estimate n=4096");
+}
+
+TEST(ExemplarReservoirTest, ConcurrentOffersKeepGlobalMaxima) {
+  ExemplarReservoir reservoir(4);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reservoir, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reservoir.Offer(t * kPerThread + i, "v");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<Exemplar> snap = reservoir.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // The four largest values overall must have survived every interleaving.
+  EXPECT_DOUBLE_EQ(snap[0].value, kThreads * kPerThread - 1);
+  EXPECT_DOUBLE_EQ(snap[3].value, kThreads * kPerThread - 4);
 }
 
 TEST(EnabledTest, SetEnabledtogglesTheKillSwitch) {
