@@ -2,7 +2,7 @@
 // the epoll HTTP server + EstimateService measured end-to-end over
 // loopback sockets, client connect() to response flush included.
 //
-// One measurement, written to BENCH_serving.json:
+// Two measurements, written to BENCH_serving.json:
 //
 //   serving_sweep — closed-loop load generator swept over concurrent
 //                   connections ∈ {1, 8, 64}. Each connection is a
@@ -13,6 +13,12 @@
 //                   the RefreshManager's q-error accuracy tracker. Each
 //                   point records wall-clock requests/sec and client-side
 //                   p50/p99/p999 request latency.
+//
+//   binary_vs_json — the §12 wire-framing axis: the same 4-spec batch sent
+//                    as JSON and as application/x-hops-batch over one
+//                    keep-alive connection, requests/sec each, plus a
+//                    bit-identity check (the binary response's raw doubles
+//                    must equal the JSON path's %.17g round-trip exactly).
 //
 // The sweep axis is `connections`, recorded per point and never asserted
 // against — on a one-hardware-thread CI box throughput is flat-to-falling
@@ -41,8 +47,10 @@
 
 #include "net/estimate_service.h"
 #include "net/server.h"
+#include "net/wire_format.h"
 #include "refresh/refresh_manager.h"
 #include "telemetry/metrics.h"
+#include "util/json.h"
 #include "util/stopwatch.h"
 
 namespace hops {
@@ -81,7 +89,11 @@ class BlockingClient {
 
   // Sends one request and reads one complete response. Returns false on
   // any socket error or short response.
-  bool RoundTrip(const std::string& wire) {
+  bool RoundTrip(const std::string& wire) { return RoundTripBody(wire, nullptr); }
+
+  // RoundTrip, optionally capturing the response body (the binary_vs_json
+  // identity check decodes it; the timing loops pass nullptr).
+  bool RoundTripBody(const std::string& wire, std::string* body) {
     size_t sent = 0;
     while (sent < wire.size()) {
       const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
@@ -102,6 +114,9 @@ class BlockingClient {
     const size_t total = header_end + 4 + content_length;
     while (buffer_.size() < total) {
       if (!Fill()) return false;
+    }
+    if (body != nullptr) {
+      *body = buffer_.substr(header_end + 4, content_length);
     }
     buffer_.erase(0, total);  // keep pipelined leftovers, if any
     return true;
@@ -126,12 +141,32 @@ std::string Post(const std::string& target, const std::string& body) {
          std::to_string(body.size()) + "\r\n\r\n" + body;
 }
 
+std::string PostBinary(const std::string& target, const std::string& body) {
+  return "POST " + target + " HTTP/1.1\r\nHost: bench\r\nContent-Type: " +
+         std::string(net::kBatchContentType) +
+         "\r\nContent-Length: " + std::to_string(body.size()) + "\r\n\r\n" +
+         body;
+}
+
 double Quantile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0;
   const size_t index = static_cast<size_t>(
       q * static_cast<double>(sorted.size() - 1) + 0.5);
   return sorted[std::min(index, sorted.size() - 1)];
 }
+
+struct BinaryVsJson {
+  uint64_t requests = 0;      // per framing
+  uint64_t errors = 0;
+  double json_seconds = 0;
+  double binary_seconds = 0;
+  double json_rps = 0;
+  double binary_rps = 0;
+  double binary_speedup = 0;
+  uint64_t json_request_bytes = 0;    // wire size, one request
+  uint64_t binary_request_bytes = 0;
+  bool identical = false;  // binary doubles == JSON %.17g round-trip
+};
 
 struct SweepPoint {
   size_t connections = 0;
@@ -289,6 +324,112 @@ int Run(int argc, char** argv) {
               << " errors)\n";
   }
 
+  // ------------------------------------------------- binary vs JSON framing
+  // The same 4-spec batch (binary-expressible shapes only: no IN-list)
+  // through both framings, one keep-alive connection each, back to back.
+  BinaryVsJson bvj;
+  {
+    const std::string json_body = R"({"specs": [
+      {"kind":"equality","table":"orders","column":"customer_id","value":7},
+      {"kind":"not_equals","table":"orders","column":"customer_id","value":13},
+      {"kind":"range","table":"orders","column":"item_id",
+       "low":100,"high":400},
+      {"kind":"join","left":{"table":"orders","column":"customer_id"},
+       "right":{"table":"orders","column":"item_id"}}
+    ]})";
+    std::vector<net::WireSpec> wire_specs(4);
+    wire_specs[0].kind = net::WireSpec::Kind::kEquality;
+    wire_specs[0].table = "orders";
+    wire_specs[0].column = "customer_id";
+    wire_specs[0].a = 7;
+    wire_specs[1].kind = net::WireSpec::Kind::kNotEquals;
+    wire_specs[1].table = "orders";
+    wire_specs[1].column = "customer_id";
+    wire_specs[1].a = 13;
+    wire_specs[2].kind = net::WireSpec::Kind::kRange;
+    wire_specs[2].table = "orders";
+    wire_specs[2].column = "item_id";
+    wire_specs[2].a = 100;
+    wire_specs[2].b = 400;
+    wire_specs[3].kind = net::WireSpec::Kind::kJoin;
+    wire_specs[3].table = "orders";
+    wire_specs[3].column = "customer_id";
+    wire_specs[3].right_table = "orders";
+    wire_specs[3].right_column = "item_id";
+    const std::string json_wire = Post("/estimate", json_body);
+    const std::string binary_wire =
+        PostBinary("/estimate", net::EncodeBatchRequest(wire_specs));
+    bvj.requests = quick ? 400 : 2000;
+    bvj.json_request_bytes = json_wire.size();
+    bvj.binary_request_bytes = binary_wire.size();
+
+    BlockingClient client(server.port());
+    if (!client.connected()) {
+      bvj.errors += 2 * bvj.requests;
+    } else {
+      // Warm both paths (snapshot cache, connection) before timing.
+      std::string json_response, binary_response;
+      if (!client.RoundTripBody(json_wire, &json_response) ||
+          !client.RoundTripBody(binary_wire, &binary_response)) {
+        ++bvj.errors;
+      } else {
+        Stopwatch sw_json;
+        for (uint64_t r = 0; r < bvj.requests; ++r) {
+          if (!client.RoundTrip(json_wire)) {
+            ++bvj.errors;
+            break;
+          }
+        }
+        bvj.json_seconds = sw_json.ElapsedSeconds();
+        Stopwatch sw_binary;
+        for (uint64_t r = 0; r < bvj.requests; ++r) {
+          if (!client.RoundTrip(binary_wire)) {
+            ++bvj.errors;
+            break;
+          }
+        }
+        bvj.binary_seconds = sw_binary.ElapsedSeconds();
+        if (bvj.json_seconds > 0) {
+          bvj.json_rps =
+              static_cast<double>(bvj.requests) / bvj.json_seconds;
+        }
+        if (bvj.binary_seconds > 0) {
+          bvj.binary_rps =
+              static_cast<double>(bvj.requests) / bvj.binary_seconds;
+        }
+        if (bvj.binary_seconds > 0) {
+          bvj.binary_speedup = bvj.json_seconds / bvj.binary_seconds;
+        }
+        // Bit-identity: the binary frame's raw doubles against the JSON
+        // path's %.17g text (strtod round-trip is lossless, so equality
+        // here is bit equality).
+        const Result<net::WireResponse> decoded =
+            net::DecodeBatchResponse(binary_response);
+        const Result<JsonValue> json = ParseJson(json_response);
+        bvj.identical = decoded.ok() && json.ok();
+        if (bvj.identical) {
+          const JsonValue* results = json->Find("results");
+          bvj.identical = results != nullptr &&
+                          results->AsArray().size() == 4 &&
+                          decoded->results.size() == 4;
+          for (size_t i = 0; bvj.identical && i < 4; ++i) {
+            const JsonValue* estimate = results->AsArray()[i].Find("estimate");
+            bvj.identical =
+                estimate != nullptr &&
+                decoded->results[i].status == net::WireStatus::kOk &&
+                estimate->AsDouble() == decoded->results[i].estimate;
+          }
+        }
+      }
+    }
+    std::cout << "  binary_vs_json: json " << bvj.json_rps << "/s, binary "
+              << bvj.binary_rps << "/s (" << bvj.binary_speedup
+              << "x, request bytes " << bvj.json_request_bytes << " -> "
+              << bvj.binary_request_bytes << ", identical "
+              << (bvj.identical ? "yes" : "NO") << ", " << bvj.errors
+              << " errors)\n";
+  }
+
   const uint64_t served = server.requests_served();
   server.Shutdown().Check();
 
@@ -336,6 +477,30 @@ int Run(int argc, char** argv) {
     w.EndObject();
   }
   w.EndArray();
+
+  w.Key("binary_vs_json");
+  w.BeginObject();
+  w.Key("requests_per_framing");
+  w.UInt(bvj.requests);
+  w.Key("errors");
+  w.UInt(bvj.errors);
+  w.Key("json_seconds");
+  w.Double(bvj.json_seconds);
+  w.Key("binary_seconds");
+  w.Double(bvj.binary_seconds);
+  w.Key("json_rps");
+  w.Double(bvj.json_rps);
+  w.Key("binary_rps");
+  w.Double(bvj.binary_rps);
+  w.Key("binary_speedup");
+  w.Double(bvj.binary_speedup);
+  w.Key("json_request_bytes");
+  w.UInt(bvj.json_request_bytes);
+  w.Key("binary_request_bytes");
+  w.UInt(bvj.binary_request_bytes);
+  w.Key("identical");
+  w.Bool(bvj.identical);
+  w.EndObject();
   w.EndObject();
 
   std::ofstream out(output);
@@ -348,7 +513,8 @@ int Run(int argc, char** argv) {
 
   uint64_t total_errors = 0;
   for (const SweepPoint& point : sweep) total_errors += point.errors;
-  return total_errors == 0 ? 0 : 1;
+  total_errors += bvj.errors;
+  return total_errors == 0 && bvj.identical ? 0 : 1;
 }
 
 }  // namespace

@@ -14,6 +14,9 @@
 #   --serving-smoke  build + run examples/serve_estimates, curl /metrics
 #              and /estimate over loopback, and grep the responses for the
 #              expected metric families (the §11 end-to-end serving gate)
+#   --probe-smoke  build + run bench_estimation --quick and assert the §12
+#              determinism gates: eytzinger_vs_lower_bound.identical, every
+#              workload bit-identical, and batched >= snapshot per workload
 #   --skip-tier1  skip the default build+ctest+bench stage (used by the CI
 #              sanitizer jobs so they only pay for their own build)
 set -euo pipefail
@@ -24,16 +27,41 @@ RUN_ASAN=0
 RUN_TSAN=0
 RUN_TELEMETRY_SMOKE=0
 RUN_SERVING_SMOKE=0
+RUN_PROBE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --asan) RUN_ASAN=1 ;;
     --tsan) RUN_TSAN=1 ;;
     --telemetry-smoke) RUN_TELEMETRY_SMOKE=1 ;;
     --serving-smoke) RUN_SERVING_SMOKE=1 ;;
+    --probe-smoke) RUN_PROBE_SMOKE=1 ;;
     --skip-tier1) RUN_TIER1=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
+
+# The §12 batched-fast-lane gates, shared by tier-1 (on the full bench
+# output) and --probe-smoke (on a fresh --quick run): every workload must be
+# bit-identical to the legacy reference, the Eytzinger sweep must agree with
+# std::lower_bound, and the batched lane must never lose to the plain
+# snapshot lane it builds on.
+assert_estimation_gates() {
+  python3 - "$1" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+sweep = doc["eytzinger_vs_lower_bound"]
+assert sweep["identical"], "eytzinger_vs_lower_bound: index mismatch"
+for w in doc["workloads"]:
+    name = w["name"]
+    assert w["identical"], f"{name}: batched estimates not bit-identical"
+    assert w["speedup_batched"] >= w["speedup_snapshot"], (
+        f"{name}: batched lane ({w['speedup_batched']:.3f}x) lost to the "
+        f"snapshot lane ({w['speedup_snapshot']:.3f}x)")
+print(f"estimation gates: {len(doc['workloads'])} workloads bit-identical, "
+      f"batched >= snapshot everywhere, eytzinger sweep identical "
+      f"({sweep['speedup_multiprobe']:.2f}x multiprobe).")
+PY
+}
 
 if [[ "$RUN_TIER1" == 1 ]]; then
   cmake -B build -G Ninja
@@ -61,12 +89,27 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   # the latency quantiles, and the provenance header.
   echo "== Checking BENCH_serving.json schema (connections axis + provenance) =="
   for field in '"connections"' '"requests_per_second"' '"p50_micros"' \
-      '"p99_micros"' '"p999_micros"' '"timestamp_utc"' '"git_rev"'; do
+      '"p99_micros"' '"p999_micros"' '"binary_vs_json"' '"binary_speedup"' \
+      '"timestamp_utc"' '"git_rev"'; do
     if ! grep -q "$field" BENCH_serving.json; then
       echo "BENCH_serving.json: missing field $field" >&2
       exit 1
     fi
   done
+
+  # And the §12 estimation bench: the batched/multiprobe axes, the cold-call
+  # record, the point-workload headline, and provenance.
+  echo "== Checking BENCH_estimation.json schema (batched axes + provenance) =="
+  for field in '"eytzinger_vs_lower_bound"' '"speedup_multiprobe"' \
+      '"speedup_batched"' '"batched_cold_seconds"' '"point_headline"' \
+      '"identical"' '"timestamp_utc"' '"git_rev"'; do
+    if ! grep -q "$field" BENCH_estimation.json; then
+      echo "BENCH_estimation.json: missing field $field" >&2
+      exit 1
+    fi
+  done
+  echo "== Checking BENCH_estimation.json determinism/ordering gates =="
+  assert_estimation_gates BENCH_estimation.json
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
@@ -157,6 +200,17 @@ if [[ "$RUN_SERVING_SMOKE" == 1 ]]; then
   trap - EXIT
   rm -f "$SERVE_LOG"
   echo "serving smoke: /estimate answered and /metrics exported all families."
+fi
+
+if [[ "$RUN_PROBE_SMOKE" == 1 ]]; then
+  echo "== Probe smoke (bench_estimation --quick, §12 gates) =="
+  cmake -B build -G Ninja
+  cmake --build build --target bench_estimation
+  PROBE_OUT=$(mktemp /tmp/probe_smoke.XXXXXX.json)
+  ./build/bench/bench_estimation "$PROBE_OUT" --quick
+  assert_estimation_gates "$PROBE_OUT"
+  rm -f "$PROBE_OUT"
+  echo "probe smoke: all §12 gates hold."
 fi
 
 echo "All checks passed."

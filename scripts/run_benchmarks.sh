@@ -9,16 +9,18 @@
 #      parallel batched construction, verifies the parallel results are
 #      bit-identical to serial, and writes BENCH_histograms.json.
 #   3. Run bench/bench_estimation, which times the legacy decode-per-query
-#      estimators against the compiled snapshot serving path and
-#      EstimateBatch, verifies bit-identical estimates, and writes
-#      BENCH_estimation.json.
+#      estimators against the compiled snapshot serving path and the §12
+#      batched fast lane (Eytzinger multi-probe kernel + per-snapshot
+#      estimate cache), verifies bit-identical estimates on every rep, and
+#      writes BENCH_estimation.json.
 #   4. Run bench/bench_refresh, which measures the adaptive refresh
 #      subsystem (delta-apply throughput, batched rebuild latency, reader
 #      p50/p99 while the daemon churns) and writes BENCH_refresh.json.
 #   5. Run bench/bench_serving, which drives the epoll HTTP front-end over
 #      loopback with a closed-loop load generator swept over concurrent
-#      connections and writes BENCH_serving.json (requests/sec, p50/p99/
-#      p999 request latency per point).
+#      connections, compares the JSON and §12 binary framings on the same
+#      batch, and writes BENCH_serving.json (requests/sec, p50/p99/p999
+#      request latency per point, binary_vs_json axis).
 #
 # Usage: scripts/run_benchmarks.sh [--quick] [--skip-tsan]
 #   --quick      restrict the bench sweep (CI smoke)
@@ -90,6 +92,13 @@ with open("BENCH_estimation.json") as f:
 assert doc["bench"] == "estimation_serving", doc.get("bench")
 assert isinstance(doc["workloads"], list) and doc["workloads"], "no workloads"
 assert all(w["identical"] for w in doc["workloads"]), "non-identical workload"
+# The §12 ordering gate: the batched lane builds on the snapshot lane and
+# must never lose to it.
+for w in doc["workloads"]:
+    assert w["speedup_batched"] >= w["speedup_snapshot"], (
+        f"{w['name']}: batched lost to snapshot")
+sweep = doc["eytzinger_vs_lower_bound"]
+assert sweep["identical"], "eytzinger sweep: index mismatch"
 head = doc["headline"]
 print(f"headline: workload={head['workload']} m={head['m']} "
       f"speedup={head['speedup']:.2f}x identical={head['identical']} "
@@ -97,6 +106,12 @@ print(f"headline: workload={head['workload']} m={head['m']} "
       f"(threads={doc['threads']})")
 assert head["identical"]
 assert head["meets_10x_target"]
+point = doc["point_headline"]
+print(f"point_headline: batched {point['speedup_batched']:.2f}x vs snapshot "
+      f"{point['speedup_snapshot']:.2f}x, multiprobe sweep "
+      f"{sweep['speedup_multiprobe']:.2f}x, "
+      f"meets_1p5x_target={point['meets_1p5x_target']}")
+assert point["batched_beats_snapshot"]
 EOF
 
 echo "== Optimized bench: adaptive refresh subsystem =="
@@ -153,6 +168,12 @@ print(f"serving: connections axis {[p['connections'] for p in sweep]}, "
       f"{head['requests_per_second']:.0f} req/s at 1 connection, "
       f"p50 {head['p50_micros']:.1f}us p99 {head['p99_micros']:.1f}us "
       f"({doc['workers']} workers)")
+bvj = doc["binary_vs_json"]
+assert bvj["identical"], "binary framing not bit-identical to JSON"
+assert bvj["errors"] == 0, "binary_vs_json client errors"
+print(f"binary_vs_json: {bvj['json_rps']:.0f} req/s json vs "
+      f"{bvj['binary_rps']:.0f} req/s binary "
+      f"({bvj['binary_speedup']:.2f}x, identical={bvj['identical']})")
 EOF
 
 echo "run_benchmarks.sh: all checks passed; wrote BENCH_histograms.json," \

@@ -1,0 +1,119 @@
+#include "engine/estimate_cache.h"
+
+#include <bit>
+#include <cstring>
+
+namespace hops {
+
+namespace {
+
+// splitmix64 finalizer — full-avalanche 64-bit mix.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double BitsToDouble(uint64_t bits) {
+  double value;
+  static_assert(sizeof(value) == sizeof(bits));
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+uint64_t DoubleToBits(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+// Ready tags have bit 0 clear and are nonzero (0 means empty, bit 0 set
+// means a writer is mid-publish).
+uint64_t ReadyTag(uint64_t hash) {
+  const uint64_t tag = hash & ~uint64_t{1};
+  return tag == 0 ? 2 : tag;
+}
+
+}  // namespace
+
+EstimateCache::EstimateCache(size_t min_slots) {
+  const size_t capacity = std::bit_ceil(min_slots < 2 ? size_t{2} : min_slots);
+  slots_ = std::make_unique<Slot[]>(capacity);
+  mask_ = capacity - 1;
+}
+
+uint64_t EstimateCache::HashKey(const Key& key) {
+  // One independent multiply per word (they issue in parallel) folded
+  // through a single finalizer — this runs on the per-spec lookup path, so
+  // chaining three full finalizers is measurable. Collisions only cost a
+  // probe step; the full key compare keeps correctness.
+  uint64_t x = key.kind_col * 0x9e3779b97f4a7c15ull;
+  x ^= key.a * 0xc2b2ae3d27d4eb4full;
+  x ^= key.b * 0x165667b19e3779f9ull;
+  return Mix(x);
+}
+
+bool EstimateCache::Lookup(const Key& key, double* value) const {
+  if (!slots_) return false;
+  const uint64_t hash = HashKey(key);
+  const uint64_t ready = ReadyTag(hash);
+  size_t index = hash & mask_;
+  for (size_t probe = 0; probe < kMaxProbe; ++probe, index = (index + 1) & mask_) {
+    Slot& slot = slots_[index];
+    const uint64_t tag = slot.tag.load(std::memory_order_acquire);
+    if (tag == 0) return false;  // end of the probe chain: never inserted
+    if (tag == ready) {
+      // The acquire load above pairs with Insert's release store, ordering
+      // these relaxed loads after the writer's stores. Full-key compare:
+      // a tag collision alone can never fabricate a hit.
+      if (slot.kind_col.load(std::memory_order_relaxed) == key.kind_col &&
+          slot.a.load(std::memory_order_relaxed) == key.a &&
+          slot.b.load(std::memory_order_relaxed) == key.b) {
+        *value = BitsToDouble(slot.value_bits.load(std::memory_order_relaxed));
+        return true;
+      }
+    }
+    // Different key, tag collision, or pending writer: keep probing.
+  }
+  return false;
+}
+
+void EstimateCache::Insert(const Key& key, double value) const {
+  if (!slots_) return;
+  // Admission control: see filled_'s comment in the header. Relaxed is fine
+  // — the bound is approximate and only gates future inserts.
+  if (filled_.load(std::memory_order_relaxed) >= (mask_ + 1) / 2) return;
+  const uint64_t hash = HashKey(key);
+  const uint64_t ready = ReadyTag(hash);
+  size_t index = hash & mask_;
+  for (size_t probe = 0; probe < kMaxProbe; ++probe, index = (index + 1) & mask_) {
+    Slot& slot = slots_[index];
+    uint64_t tag = slot.tag.load(std::memory_order_acquire);
+    if (tag == 0 &&
+        slot.tag.compare_exchange_strong(tag, ready | 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      slot.kind_col.store(key.kind_col, std::memory_order_relaxed);
+      slot.a.store(key.a, std::memory_order_relaxed);
+      slot.b.store(key.b, std::memory_order_relaxed);
+      slot.value_bits.store(DoubleToBits(value), std::memory_order_relaxed);
+      slot.tag.store(ready, std::memory_order_release);
+      filled_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // CAS failure reloads `tag`; fall through and examine what's there now.
+    if (tag == ready &&
+        slot.kind_col.load(std::memory_order_relaxed) == key.kind_col &&
+        slot.a.load(std::memory_order_relaxed) == key.a &&
+        slot.b.load(std::memory_order_relaxed) == key.b) {
+      return;  // already cached (estimates are pure: identical bits)
+    }
+    // Occupied by another key (or a pending writer): next slot. A racing
+    // writer of the SAME key that is still pending falls through too — the
+    // worst case is a duplicate entry holding identical bits.
+  }
+  // Probe window exhausted: drop the insert (the table is a lossy memo).
+}
+
+}  // namespace hops

@@ -1,0 +1,117 @@
+// Per-snapshot memoized estimate cache (DESIGN.md §12).
+//
+// Estimates are pure functions of an immutable CatalogSnapshot, so a cache
+// that LIVES ON the snapshot needs no invalidation protocol at all: RCU
+// retirement of the snapshot retires its cached estimates with it. No
+// epochs, no generation counters, no locks on the hit path — a hit is one
+// acquire load plus three relaxed loads.
+//
+// Structure: fixed-capacity power-of-two open-addressing table with a
+// bounded linear probe window. Each slot publishes through its `tag` word:
+//
+//   tag == 0        empty — the probe chain ends here (slots are never
+//                   deleted, so an empty slot proves the key is absent)
+//   tag == h | 1    pending — a writer won the CAS and is storing the key
+//                   and value words (readers treat it as a miss)
+//   tag == h        ready — h is the key's 64-bit mixed hash with bit 0
+//                   forced clear (and forced nonzero)
+//
+// Writers claim an empty slot with a CAS to `h | 1`, fill the key and value
+// words with relaxed stores, then publish with a release store of `h`.
+// Readers acquire-load the tag; on a ready match the release/acquire pair
+// orders the relaxed key/value loads after the writer's stores. The full
+// 192-bit key is stored and compared — a 64-bit tag collision alone can
+// never produce a wrong hit, which keeps the serving layer's bit-identical
+// determinism contract intact (a hit returns the exact bits the miss path
+// computed; variable-length predicates that cannot be keyed exactly, e.g.
+// chain specs, are simply not cached).
+//
+// The table is deliberately lossy: a full probe window drops the insert,
+// and racing writers may duplicate a key in adjacent slots (both copies
+// hold identical bits, so hits stay deterministic). Verified race-free
+// under -DHOPS_SANITIZE=thread (tests/engine/snapshot_concurrency_test.cc).
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace hops {
+
+/// \brief Lock-free memo table for (predicate key) -> estimate, owned by one
+/// immutable CatalogSnapshot. Thread-safe; all operations are const so a
+/// shared snapshot can serve hits and inserts concurrently.
+class EstimateCache {
+ public:
+  /// Exact 192-bit predicate key. kind_col packs the estimate kind and the
+  /// snapshot-local column id(s); a and b carry the literal payload
+  /// (catalog key, normalized range endpoints, join partner id, ...).
+  struct Key {
+    uint64_t kind_col = 0;
+    uint64_t a = 0;
+    uint64_t b = 0;
+  };
+
+  /// Zero-capacity cache: every lookup misses, every insert is a no-op.
+  EstimateCache() = default;
+
+  /// Allocates \p min_slots rounded up to a power of two.
+  explicit EstimateCache(size_t min_slots);
+
+  // Moves happen only during single-threaded snapshot construction.
+  EstimateCache(EstimateCache&& other) noexcept
+      : slots_(std::move(other.slots_)),
+        mask_(other.mask_),
+        filled_(other.filled_.load(std::memory_order_relaxed)) {}
+  EstimateCache& operator=(EstimateCache&& other) noexcept {
+    slots_ = std::move(other.slots_);
+    mask_ = other.mask_;
+    filled_.store(other.filled_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// True (and *value filled with the exact cached bits) on a hit.
+  bool Lookup(const Key& key, double* value) const;
+
+  /// Best-effort publication of key -> value. Dropped when the probe window
+  /// is exhausted; idempotent for an already-cached key.
+  void Insert(const Key& key, double value) const;
+
+  /// Hints \p key's home slot line into cache. The batched lookup pass
+  /// prefetches a few keys ahead of the one it is probing so the random
+  /// slot lines don't serialize it on memory latency.
+  void Prefetch(const Key& key) const {
+    if (slots_) __builtin_prefetch(&slots_[HashKey(key) & mask_]);
+  }
+
+  size_t capacity() const { return slots_ ? mask_ + 1 : 0; }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> tag{0};
+    std::atomic<uint64_t> kind_col{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    std::atomic<uint64_t> value_bits{0};
+  };
+
+  static uint64_t HashKey(const Key& key);
+
+  // Linear-probe window; beyond it inserts are dropped and lookups miss.
+  static constexpr size_t kMaxProbe = 8;
+
+  mutable std::unique_ptr<Slot[]> slots_;
+  size_t mask_ = 0;  // capacity - 1 when slots_ is non-null
+  // Approximate occupancy. Inserts stop at 50% load: past that, linear
+  // probing degrades — lookups stop finding empty slots early and every
+  // miss walks the full probe window, which turns a workload of unique
+  // (uncacheable-in-practice) predicates into 2x kMaxProbe random line
+  // touches per spec. A half-full table keeps misses at ~1 probe and
+  // admission is first-come (the hot repeated predicates recur early).
+  mutable std::atomic<uint64_t> filled_{0};
+};
+
+}  // namespace hops

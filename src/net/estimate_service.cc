@@ -4,6 +4,7 @@
 
 #include <chrono>
 
+#include "net/wire_format.h"
 #include "telemetry/exporters.h"
 
 namespace hops::net {
@@ -259,6 +260,13 @@ Result<EstimateSpec> EstimateService::ParseSpec(
 }
 
 HttpResponse EstimateService::HandleEstimate(const HttpRequest& request) {
+  // Content-Type negotiation: the binary framing shares the endpoint (and
+  // its metrics/span identity) with the JSON one.
+  const std::string* content_type = request.FindHeader("Content-Type");
+  if (content_type != nullptr &&
+      std::string_view(*content_type).starts_with(kBatchContentType)) {
+    return HandleEstimateBinary(request);
+  }
   Result<JsonValue> document = ParseJson(request.body);
   if (!document.ok()) {
     return MakeErrorResponse(400, document.status().message());
@@ -323,6 +331,86 @@ HttpResponse EstimateService::HandleEstimate(const HttpRequest& request) {
   writer.EndArray();
   writer.EndObject();
   return JsonResponse(200, writer);
+}
+
+HttpResponse EstimateService::HandleEstimateBinary(const HttpRequest& request) {
+  Result<std::vector<WireSpec>> decoded = DecodeBatchRequest(request.body);
+  if (!decoded.ok()) {
+    // Structural failures speak JSON: a client broken enough to send a bad
+    // frame needs a readable error, and the 400 status already signals the
+    // body is not a response frame.
+    return MakeErrorResponse(400, decoded.status().message());
+  }
+  const std::vector<WireSpec>& wire_specs = *decoded;
+  if (wire_specs.size() > options_.max_specs_per_request) {
+    return MakeErrorResponse(413, "too many specs in one request");
+  }
+
+  const std::shared_ptr<const CatalogSnapshot> snapshot =
+      options_.store->Current();
+
+  // Same slot-alignment contract as the JSON path: resolution failures keep
+  // their result record, flagged kUnknownColumn.
+  std::vector<EstimateSpec> specs;
+  specs.reserve(wire_specs.size());
+  std::vector<WireResult> records(wire_specs.size());
+  std::vector<size_t> spec_slot(wire_specs.size(), SIZE_MAX);
+  for (size_t i = 0; i < wire_specs.size(); ++i) {
+    const WireSpec& wire = wire_specs[i];
+    Result<EstimateSpec> resolved = [&]() -> Result<EstimateSpec> {
+      switch (wire.kind) {
+        case WireSpec::Kind::kEquality:
+        case WireSpec::Kind::kNotEquals: {
+          HOPS_ASSIGN_OR_RETURN(ColumnId id,
+                                snapshot->Resolve(wire.table, wire.column));
+          Value literal = wire.value_is_string ? Value(wire.value_string)
+                                               : Value(wire.a);
+          return wire.kind == WireSpec::Kind::kEquality
+                     ? EstimateSpec::Equality(id, std::move(literal))
+                     : EstimateSpec::NotEquals(id, std::move(literal));
+        }
+        case WireSpec::Kind::kRange: {
+          HOPS_ASSIGN_OR_RETURN(ColumnId id,
+                                snapshot->Resolve(wire.table, wire.column));
+          return EstimateSpec::Range(
+              id, RangeBounds{wire.a, wire.b, wire.include_low,
+                              wire.include_high});
+        }
+        case WireSpec::Kind::kJoin: {
+          HOPS_ASSIGN_OR_RETURN(ColumnId left,
+                                snapshot->Resolve(wire.table, wire.column));
+          HOPS_ASSIGN_OR_RETURN(
+              ColumnId right,
+              snapshot->Resolve(wire.right_table, wire.right_column));
+          return EstimateSpec::Join(left, right);
+        }
+      }
+      return Status::InvalidArgument("unreachable: decoder rejects the kind");
+    }();
+    if (!resolved.ok()) {
+      records[i].status = WireStatus::kUnknownColumn;
+      continue;
+    }
+    spec_slot[i] = specs.size();
+    specs.push_back(std::move(resolved).ValueOrDie());
+  }
+
+  const std::vector<Result<double>> results =
+      EstimateBatch(*snapshot, specs, options_.pool);
+  for (size_t i = 0; i < wire_specs.size(); ++i) {
+    if (spec_slot[i] == SIZE_MAX) continue;
+    const Result<double>& result = results[spec_slot[i]];
+    if (result.ok()) {
+      records[i].estimate = result.ValueOrDie();  // raw bits: bit-identical
+    } else {
+      records[i].status = WireStatus::kEstimateFailed;
+    }
+  }
+
+  HttpResponse response;
+  response.content_type = std::string(kBatchContentType);
+  response.body = EncodeBatchResponse(snapshot->source_version(), records);
+  return response;
 }
 
 HttpResponse EstimateService::HandleFeedback(const HttpRequest& request) {

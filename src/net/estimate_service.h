@@ -15,6 +15,12 @@
 //                       render with 17 significant digits so the wire value
 //                       round-trips bit-identically to the in-process
 //                       double (bench_serving proves this).
+//                       With Content-Type: application/x-hops-batch the
+//                       same endpoint speaks the binary framing instead
+//                       (net/wire_format.h): little-endian spec records in,
+//                       raw IEEE-754 doubles out, same slot-aligned
+//                       per-spec error contract. IN-lists and chains stay
+//                       JSON-only.
 //   POST /feedback      {"reports":[{...spec, "estimated":e, "actual":a}]}
 //                       → ReportEstimateOutcome into the configured
 //                       feedback sink (the §8/§9 accuracy tracker), closing
@@ -96,6 +102,7 @@ class EstimateService {
   HttpResponse HandleMetricsJson() const;
   HttpResponse HandleHealthz() const;
   HttpResponse HandleEstimate(const HttpRequest& request);
+  HttpResponse HandleEstimateBinary(const HttpRequest& request);
   HttpResponse HandleFeedback(const HttpRequest& request);
 
   /// Decodes one spec object against \p snapshot (names → dense ids).

@@ -11,6 +11,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -53,6 +54,7 @@ struct HttpServer::Connection {
   bool close_after_flush = false;
   bool epollout_armed = false;
   bool saw_eof = false;
+  int64_t last_event_millis = 0;  // idle-reap clock: stamped per epoll event
 
   bool has_pending_writes() const { return out_offset < out.size(); }
 };
@@ -83,6 +85,9 @@ HttpServer::HttpServer(HttpHandler handler, HttpServerOptions options)
       "hops_http_connections_open", "Currently open HTTP connections");
   connections_total_ = registry.GetCounter(
       "hops_http_connections_total", "HTTP connections accepted");
+  connections_reaped_ = registry.GetCounter(
+      "hops_http_connections_reaped_total",
+      "Keep-alive connections closed by the idle-timeout sweep");
   requests_served_ = registry.GetCounter(
       "hops_http_responses_total", "HTTP responses written (errors included)");
   parse_errors_ = registry.GetCounter(
@@ -258,8 +263,9 @@ void HttpServer::AcceptReady(Worker& worker) {
       ::close(fd);
       continue;
     }
-    worker.connections.emplace(
-        fd, std::make_unique<Connection>(fd, options_.limits));
+    auto conn = std::make_unique<Connection>(fd, options_.limits);
+    conn->last_event_millis = NowMillis();
+    worker.connections.emplace(fd, std::move(conn));
     worker.open.fetch_add(1, std::memory_order_release);
     connections_open_->Add(1.0);
     connections_total_->Increment();
@@ -362,6 +368,25 @@ void HttpServer::HandleReadable(Worker& worker, Connection& conn) {
   }
 }
 
+// Closes every connection whose last socket event is older than the idle
+// deadline. "Event" includes readability, writability progress, and the
+// accept itself — a client mid-request or slow-draining a response is
+// active, one that merely holds the socket open is not. Reaping an idle
+// keep-alive connection is protocol-clean: the client has no request in
+// flight, so a close here is indistinguishable from Connection: close.
+void HttpServer::ReapIdleConnections(Worker& worker, int64_t now_millis) {
+  std::vector<int> idle_fds;
+  for (const auto& [fd, conn] : worker.connections) {
+    if (now_millis - conn->last_event_millis >= options_.idle_timeout_millis) {
+      idle_fds.push_back(fd);
+    }
+  }
+  for (int fd : idle_fds) {
+    CloseConnection(worker, fd);
+    connections_reaped_->Increment();
+  }
+}
+
 // Final read pass + answer + bounded flush for every connection, then close
 // everything. Runs after the listener is gone, so the connection set only
 // shrinks. A request fully received by the time of this pass is answered;
@@ -407,14 +432,25 @@ void HttpServer::DrainWorker(Worker& worker) {
 }
 
 void HttpServer::WorkerLoop(Worker& worker) {
+  // With reaping enabled the wait timeout doubles as the sweep cadence:
+  // max(10, deadline/4) ms bounds an idle connection's overstay at ~25% of
+  // the deadline without a timer fd or a wakeup per connection.
+  const int64_t idle_deadline = options_.idle_timeout_millis;
+  const int wait_timeout_ms =
+      idle_deadline > 0
+          ? static_cast<int>(std::max<int64_t>(10, idle_deadline / 4))
+          : -1;
+  int64_t next_sweep_millis =
+      idle_deadline > 0 ? NowMillis() + wait_timeout_ms : 0;
   epoll_event events[kMaxEpollEvents];
   while (!stop_.load(std::memory_order_acquire)) {
     const int n = ::epoll_wait(worker.epoll_fd, events, kMaxEpollEvents,
-                               /*timeout_ms=*/-1);
+                               wait_timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
+    const int64_t now = NowMillis();
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       const uint32_t mask = events[i].events;
@@ -431,6 +467,7 @@ void HttpServer::WorkerLoop(Worker& worker) {
       auto it = worker.connections.find(fd);
       if (it == worker.connections.end()) continue;
       Connection& conn = *it->second;
+      conn.last_event_millis = now;
       if (mask & (EPOLLERR | EPOLLHUP)) {
         CloseConnection(worker, fd);
         continue;
@@ -441,6 +478,10 @@ void HttpServer::WorkerLoop(Worker& worker) {
       if (mask & (EPOLLIN | EPOLLRDHUP)) {
         HandleReadable(worker, conn);
       }
+    }
+    if (idle_deadline > 0 && now >= next_sweep_millis) {
+      ReapIdleConnections(worker, now);
+      next_sweep_millis = now + wait_timeout_ms;
     }
   }
   DrainWorker(worker);

@@ -19,6 +19,12 @@
 // across the process-wide pool, so the event loop never blocks on
 // estimation longer than one batch.
 //
+// Keep-alive hygiene: each worker's epoll_wait runs with a finite timeout
+// and periodically reaps connections that produced no socket events for
+// idle_timeout_millis, so abandoned keep-alive clients cannot pin
+// max_connections_per_worker slots forever (hops_http_connections_reaped_
+// total counts the closes).
+//
 // Graceful shutdown contract (the §11 ordering fix): Shutdown() first
 // closes the listeners (no new connections), then each worker drains — it
 // performs a final read pass per connection, answers every fully received
@@ -63,6 +69,13 @@ struct HttpServerOptions {
   /// Graceful-shutdown bound: after the final read pass, pending responses
   /// get this long to flush before the connection is closed regardless.
   int64_t drain_deadline_millis = 2000;
+  /// Keep-alive idle deadline: a connection with no socket events for this
+  /// long is closed by its worker's periodic sweep (epoll_wait runs with a
+  /// finite timeout of max(10, deadline/4) ms, so reaping needs no extra
+  /// timer fd and an idle connection lives at most ~1.25x the deadline).
+  /// Counted in hops_http_connections_reaped_total. 0 disables reaping —
+  /// the event loop then blocks indefinitely, as before.
+  int64_t idle_timeout_millis = 60000;
   /// Registry for the connection/byte metrics; nullptr = Global().
   telemetry::MetricRegistry* registry = nullptr;
 };
@@ -111,6 +124,7 @@ class HttpServer {
   bool FlushWrites(Worker& worker, Connection& conn);
   void AcceptReady(Worker& worker);
   void CloseConnection(Worker& worker, int fd);
+  void ReapIdleConnections(Worker& worker, int64_t now_millis);
   void DrainWorker(Worker& worker);
 
   const HttpHandler handler_;
@@ -126,6 +140,7 @@ class HttpServer {
   // counters live in the EstimateService — these are transport-level).
   telemetry::Gauge* connections_open_ = nullptr;
   telemetry::Counter* connections_total_ = nullptr;
+  telemetry::Counter* connections_reaped_ = nullptr;
   telemetry::Counter* requests_served_ = nullptr;
   telemetry::Counter* parse_errors_ = nullptr;
   telemetry::Counter* bytes_read_ = nullptr;

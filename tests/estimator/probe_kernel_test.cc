@@ -1,0 +1,289 @@
+// The §12 batched probe fast lane: the multi-probe Eytzinger kernel must
+// agree index-for-index with the scalar searches on every shape (bulk,
+// remainder lanes, empty), EstimateBatch must stay bit-identical to a
+// serial EstimateOne loop on mixed workloads (the determinism contract),
+// and the per-snapshot EstimateCache must return exactly the bits the miss
+// path computed — including across repeated batches where later calls are
+// pure hit traffic.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "engine/catalog_snapshot.h"
+#include "engine/estimate_cache.h"
+#include "estimator/serving.h"
+#include "util/random.h"
+
+namespace hops {
+namespace {
+
+ColumnStatistics MakeStats(double num_tuples,
+                           std::vector<std::pair<int64_t, double>> entries,
+                           double default_frequency, uint64_t num_default,
+                           int64_t min_value, int64_t max_value) {
+  ColumnStatistics stats;
+  stats.num_tuples = num_tuples;
+  stats.num_distinct = entries.size() + num_default;
+  stats.min_value = min_value;
+  stats.max_value = max_value;
+  stats.histogram = *CatalogHistogram::Make(std::move(entries),
+                                            default_frequency, num_default);
+  return stats;
+}
+
+// A column with enough keys that the kernel runs full 8-lane blocks plus a
+// remainder, with uneven gaps between keys.
+ColumnStatistics BigColumn(size_t n, uint64_t salt) {
+  std::vector<std::pair<int64_t, double>> entries;
+  entries.reserve(n);
+  int64_t key = -50;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double f = static_cast<double>(1 + (i * 13 + salt) % 17);
+    entries.emplace_back(key, f);
+    total += f;
+    key += 1 + static_cast<int64_t>((i * 3 + salt) % 7);
+  }
+  ColumnStatistics stats;
+  stats.num_tuples = total + 2.0 * 25.0;
+  stats.num_distinct = n + 25;
+  stats.min_value = -50;
+  stats.max_value = key + 10;
+  stats.histogram = *CatalogHistogram::Make(std::move(entries), 2.0, 25);
+  return stats;
+}
+
+struct Fixture {
+  Catalog catalog;
+  std::shared_ptr<const CatalogSnapshot> snapshot;
+  ColumnId big = 0, frac = 0, small = 0;
+
+  Fixture() {
+    catalog.PutColumnStatistics("T", "big", BigColumn(300, 5)).Check();
+    // Fractional frequencies: the Kahan (non-exact-prefix) range path.
+    catalog
+        .PutColumnStatistics(
+            "T", "frac",
+            MakeStats(90.0, {{3, 40.5}, {5, 10.25}, {9, 1.5}}, 3.125, 12, 0,
+                      15))
+        .Check();
+    catalog
+        .PutColumnStatistics(
+            "T", "small", MakeStats(50.0, {{1, 10.0}, {4, 20.0}}, 4.0, 5, 0, 9))
+        .Check();
+    snapshot = *CatalogSnapshot::Compile(catalog);
+    big = *snapshot->Resolve("T", "big");
+    frac = *snapshot->Resolve("T", "frac");
+    small = *snapshot->Resolve("T", "small");
+  }
+};
+
+// ------------------------------------------------------ multi-probe kernel
+
+void CheckKernelAgainstScalar(const CompiledHistogram& histogram,
+                              const std::vector<int64_t>& needles) {
+  std::vector<size_t> lower(needles.size()), upper(needles.size());
+  internal::MultiProbeLowerBounds(histogram, needles, lower.data());
+  internal::MultiProbeUpperBounds(histogram, needles, upper.data());
+  for (size_t i = 0; i < needles.size(); ++i) {
+    EXPECT_EQ(lower[i], histogram.LowerBound(needles[i]))
+        << "lower, needle " << needles[i];
+    EXPECT_EQ(upper[i], histogram.UpperBound(needles[i]))
+        << "upper, needle " << needles[i];
+  }
+}
+
+TEST(ProbeKernelTest, MatchesScalarOnBulkAndRemainderLanes) {
+  Fixture f;
+  const CompiledHistogram& histogram = *f.snapshot->stats(f.big).histogram;
+  Rng rng(0x5eed);
+  // 259 = 32 full 8-lane blocks + a 3-lane remainder.
+  std::vector<int64_t> needles;
+  for (size_t i = 0; i < 259; ++i) {
+    needles.push_back(static_cast<int64_t>(rng.NextBounded(2000)) - 500);
+  }
+  CheckKernelAgainstScalar(histogram, needles);
+}
+
+TEST(ProbeKernelTest, HandlesFewerNeedlesThanLanes) {
+  Fixture f;
+  const CompiledHistogram& histogram = *f.snapshot->stats(f.small).histogram;
+  CheckKernelAgainstScalar(histogram, {-5, 0, 1, 2});
+  CheckKernelAgainstScalar(histogram, {4});
+  CheckKernelAgainstScalar(histogram, {});
+}
+
+TEST(ProbeKernelTest, EmptyHistogramYieldsZeroRanks) {
+  CatalogHistogram empty = *CatalogHistogram::Make({}, 2.0, 10);
+  const CompiledHistogram compiled = CompiledHistogram::Compile(empty);
+  std::vector<int64_t> needles = {-1, 0, 7};
+  std::vector<size_t> lower(needles.size(), 99), upper(needles.size(), 99);
+  internal::MultiProbeLowerBounds(compiled, needles, lower.data());
+  internal::MultiProbeUpperBounds(compiled, needles, upper.data());
+  for (size_t i = 0; i < needles.size(); ++i) {
+    EXPECT_EQ(lower[i], 0u);
+    EXPECT_EQ(upper[i], 0u);
+  }
+}
+
+// ----------------------------------------------- batch vs EstimateOne loop
+
+std::vector<EstimateSpec> MixedSpecs(const Fixture& f) {
+  std::vector<EstimateSpec> specs;
+  // Point probes: hits, misses, and the not-equals complement, across
+  // columns so the kernel's per-column segments interleave.
+  for (int64_t v = -60; v <= 60; v += 3) {
+    specs.push_back(EstimateSpec::Equality(f.big, Value(v)));
+    specs.push_back(EstimateSpec::NotEquals(f.big, Value(v + 1)));
+    specs.push_back(EstimateSpec::Equality(f.frac, Value(v % 16)));
+  }
+  // A string literal routes through the hashed catalog key.
+  specs.push_back(EstimateSpec::Equality(f.small, Value(std::string("x"))));
+  // Ranges: inclusive/exclusive mixes, inverted (empty), single point, and
+  // the fractional column's Kahan path.
+  for (int mask = 0; mask < 4; ++mask) {
+    specs.push_back(EstimateSpec::Range(
+        f.big, RangeBounds{-10, 200, (mask & 1) != 0, (mask & 2) != 0}));
+    specs.push_back(EstimateSpec::Range(
+        f.frac, RangeBounds{2, 9, (mask & 1) != 0, (mask & 2) != 0}));
+  }
+  specs.push_back(EstimateSpec::Range(f.big, RangeBounds{50, 40, true, true}));
+  specs.push_back(EstimateSpec::Range(f.big, RangeBounds{7, 7, true, true}));
+  // IN-lists (the uncached misc lane), joins, and duplicate chains (the
+  // batch-local dedupe).
+  specs.push_back(EstimateSpec::In(
+      f.big, {Value(int64_t{1}), Value(int64_t{2}), Value(int64_t{1})}));
+  specs.push_back(EstimateSpec::Join(f.big, f.frac));
+  specs.push_back(EstimateSpec::Chain(
+      {SnapshotChainStep{f.big, f.frac}, SnapshotChainStep{f.frac, f.small}}));
+  specs.push_back(EstimateSpec::Chain(
+      {SnapshotChainStep{f.big, f.frac}, SnapshotChainStep{f.frac, f.small}}));
+  // Failures keep their slots: an id outside the snapshot.
+  specs.push_back(EstimateSpec::Equality(ColumnId{999}, Value(int64_t{1})));
+  specs.push_back(EstimateSpec::Range(ColumnId{999},
+                                      RangeBounds{0, 1, true, true}));
+  return specs;
+}
+
+void ExpectBatchMatchesSerialLoop(const CatalogSnapshot& snapshot,
+                                  const std::vector<EstimateSpec>& specs) {
+  const std::vector<Result<double>> batched = EstimateBatch(snapshot, specs);
+  ASSERT_EQ(batched.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const Result<double> one = EstimateOne(snapshot, specs[i]);
+    ASSERT_EQ(batched[i].ok(), one.ok()) << "spec " << i;
+    if (one.ok()) {
+      // Bit-identical, not just equal.
+      const double a = *batched[i];
+      const double b = *one;
+      EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0) << "spec " << i;
+    } else {
+      EXPECT_EQ(batched[i].status().code(), one.status().code())
+          << "spec " << i;
+    }
+  }
+}
+
+TEST(ProbeKernelTest, BatchIsBitIdenticalToSerialLoop) {
+  Fixture f;
+  const std::vector<EstimateSpec> specs = MixedSpecs(f);
+  // Twice: the first batch populates the snapshot's memo cache, the second
+  // is dominated by hits — both must reproduce the uncached references.
+  ExpectBatchMatchesSerialLoop(*f.snapshot, specs);
+  ExpectBatchMatchesSerialLoop(*f.snapshot, specs);
+}
+
+TEST(ProbeKernelTest, RepeatedBatchesReturnIdenticalBits) {
+  Fixture f;
+  const std::vector<EstimateSpec> specs = MixedSpecs(f);
+  const std::vector<Result<double>> first = EstimateBatch(*f.snapshot, specs);
+  const std::vector<Result<double>> second = EstimateBatch(*f.snapshot, specs);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i].ok(), second[i].ok()) << i;
+    if (first[i].ok()) {
+      const double a = *first[i];
+      const double b = *second[i];
+      EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0) << i;
+    }
+  }
+}
+
+// --------------------------------------------------------- EstimateCache
+
+TEST(EstimateCacheTest, RoundTripsExactBits) {
+  EstimateCache cache(64);
+  const EstimateCache::Key key{1, 2, 3};
+  double out = 0;
+  EXPECT_FALSE(cache.Lookup(key, &out));
+  // 0.1 + 0.2 != 0.3 in doubles: a hit must return the stored bits, not a
+  // recomputation.
+  const double value = 0.1 + 0.2;
+  cache.Insert(key, value);
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  EXPECT_EQ(std::memcmp(&out, &value, sizeof(value)), 0);
+  // -0.0 and 0.0 differ in bits; the cache must preserve the sign.
+  const EstimateCache::Key zero_key{4, 5, 6};
+  cache.Insert(zero_key, -0.0);
+  ASSERT_TRUE(cache.Lookup(zero_key, &out));
+  EXPECT_TRUE(std::signbit(out));
+}
+
+TEST(EstimateCacheTest, FullKeyCompareRejectsPartialMatches) {
+  EstimateCache cache(64);
+  cache.Insert(EstimateCache::Key{1, 2, 3}, 7.0);
+  double out = 0;
+  EXPECT_FALSE(cache.Lookup(EstimateCache::Key{1, 2, 4}, &out));
+  EXPECT_FALSE(cache.Lookup(EstimateCache::Key{1, 4, 3}, &out));
+  EXPECT_FALSE(cache.Lookup(EstimateCache::Key{4, 2, 3}, &out));
+}
+
+TEST(EstimateCacheTest, ZeroCapacityCacheIsInert) {
+  EstimateCache cache;
+  EXPECT_EQ(cache.capacity(), 0u);
+  cache.Insert(EstimateCache::Key{1, 2, 3}, 7.0);  // no-op, no crash
+  double out = 0;
+  EXPECT_FALSE(cache.Lookup(EstimateCache::Key{1, 2, 3}, &out));
+}
+
+TEST(EstimateCacheTest, AdmissionStopsAtHalfLoad) {
+  EstimateCache cache(8);
+  ASSERT_EQ(cache.capacity(), 8u);
+  // Admit 4 (50%), then refuse.
+  for (uint64_t i = 0; i < 8; ++i) {
+    cache.Insert(EstimateCache::Key{i, i, i}, static_cast<double>(i));
+  }
+  size_t hits = 0;
+  double out = 0;
+  for (uint64_t i = 0; i < 8; ++i) {
+    if (cache.Lookup(EstimateCache::Key{i, i, i}, &out)) ++hits;
+  }
+  EXPECT_EQ(hits, 4u);
+}
+
+TEST(EstimateCacheTest, ReinsertingSameKeyIsIdempotent) {
+  EstimateCache cache(64);
+  const EstimateCache::Key key{9, 9, 9};
+  cache.Insert(key, 1.5);
+  cache.Insert(key, 1.5);
+  double out = 0;
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  EXPECT_EQ(out, 1.5);
+}
+
+TEST(ProbeKernelTest, SnapshotCarriesASizedCache) {
+  Fixture f;
+  EXPECT_GT(f.snapshot->estimate_cache().capacity(), 0u);
+  // Power of two (the open-addressing mask invariant).
+  const size_t capacity = f.snapshot->estimate_cache().capacity();
+  EXPECT_EQ(capacity & (capacity - 1), 0u);
+}
+
+}  // namespace
+}  // namespace hops

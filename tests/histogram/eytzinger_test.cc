@@ -1,0 +1,170 @@
+// Exhaustive equivalence proof for the Eytzinger search layout (DESIGN.md
+// §12): for a compiled histogram built from EVERY seed histogram class —
+// trivial, equi-width, equi-depth, end-biased, v-optimal serial, v-optimal
+// end-biased, plus the empty and single-bucket edge shapes —
+// EytzingerLowerBound/EytzingerUpperBound must return exactly the index
+// std::lower_bound/std::upper_bound (and the branchy LowerBound/UpperBound)
+// return, for every probe in an extended domain including INT64_MIN/MAX.
+// The batched multi-probe kernel builds on this layout; its own equivalence
+// test lives in tests/estimator/probe_kernel_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "histogram/builders.h"
+#include "histogram/compiled.h"
+#include "histogram/serialization.h"
+#include "stats/frequency_set.h"
+
+namespace hops {
+namespace {
+
+// A frequency set with ties, spread, and a unique extreme — enough texture
+// that every builder produces a different bucketization.
+std::vector<double> SeedFrequencies(size_t m) {
+  std::vector<double> frequencies;
+  frequencies.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    frequencies.push_back(
+        static_cast<double>(1 + (i * 7 + 3) % 11 + (i == m / 2 ? 90 : 0)));
+  }
+  return frequencies;
+}
+
+// Attribute values with uneven gaps so probes fall both on and between
+// stored keys.
+std::vector<int64_t> SeedValueIds(size_t m) {
+  std::vector<int64_t> ids;
+  ids.reserve(m);
+  int64_t v = -17;
+  for (size_t i = 0; i < m; ++i) {
+    ids.push_back(v);
+    v += 1 + static_cast<int64_t>((i * 5) % 9);
+  }
+  return ids;
+}
+
+struct NamedHistogram {
+  std::string name;
+  CatalogHistogram catalog;
+};
+
+// One compact catalog histogram per builder class over the same seed set.
+std::vector<NamedHistogram> AllSeedClasses() {
+  constexpr size_t kM = 60;
+  constexpr size_t kBuckets = 7;
+  const std::vector<int64_t> ids = SeedValueIds(kM);
+  auto set = [&] { return *FrequencySet::Make(SeedFrequencies(kM)); };
+  auto compact = [&](const Result<Histogram>& histogram) {
+    histogram.status().Check();
+    return *CatalogHistogram::FromHistogram(*histogram, ids);
+  };
+
+  std::vector<NamedHistogram> out;
+  out.push_back({"trivial", compact(BuildTrivialHistogram(set()))});
+  out.push_back({"equi_width",
+                 compact(BuildEquiWidthHistogram(set(), kBuckets))});
+  out.push_back({"equi_depth",
+                 compact(BuildEquiDepthHistogram(set(), kBuckets))});
+  out.push_back({"end_biased",
+                 compact(BuildEndBiasedHistogram(set(), 3, 2))});
+  out.push_back({"v_opt_serial_dp",
+                 compact(BuildVOptSerialDP(set(), kBuckets))});
+  out.push_back({"v_opt_serial_dp_fast",
+                 compact(BuildVOptSerialDPFast(set(), kBuckets))});
+  out.push_back({"v_opt_end_biased",
+                 compact(BuildVOptEndBiased(set(), kBuckets))});
+  out.push_back({"v_opt_end_biased_grouped",
+                 compact(BuildVOptEndBiasedGrouped(set(), kBuckets))});
+  // Edge shapes the builders cannot produce: no explicit entries at all,
+  // and exactly one.
+  out.push_back({"empty", *CatalogHistogram::Make({}, 2.0, 10)});
+  out.push_back({"one_key", *CatalogHistogram::Make({{5, 4.0}}, 1.0, 3)});
+  return out;
+}
+
+// Every stored key, its neighbors, far outliers, and the int64 extremes.
+std::vector<int64_t> ProbeSet(const CompiledHistogram& compiled) {
+  std::vector<int64_t> probes;
+  for (int64_t key : compiled.keys()) {
+    probes.push_back(key - 1);
+    probes.push_back(key);
+    probes.push_back(key + 1);
+  }
+  probes.push_back(std::numeric_limits<int64_t>::min());
+  probes.push_back(std::numeric_limits<int64_t>::max());
+  probes.push_back(-1000000);
+  probes.push_back(1000000);
+  probes.push_back(0);
+  return probes;
+}
+
+TEST(EytzingerLayoutTest, MatchesLowerBoundOnEverySeedClass) {
+  for (const NamedHistogram& seed : AllSeedClasses()) {
+    const CompiledHistogram compiled =
+        CompiledHistogram::Compile(seed.catalog);
+    const std::vector<int64_t> keys(compiled.keys().begin(),
+                                    compiled.keys().end());
+    ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end())) << seed.name;
+    for (int64_t probe : ProbeSet(compiled)) {
+      const size_t want_lower = static_cast<size_t>(
+          std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+      const size_t want_upper = static_cast<size_t>(
+          std::upper_bound(keys.begin(), keys.end(), probe) - keys.begin());
+      EXPECT_EQ(compiled.LowerBound(probe), want_lower)
+          << seed.name << " probe " << probe;
+      EXPECT_EQ(compiled.EytzingerLowerBound(probe), want_lower)
+          << seed.name << " probe " << probe;
+      EXPECT_EQ(compiled.UpperBound(probe), want_upper)
+          << seed.name << " probe " << probe;
+      EXPECT_EQ(compiled.EytzingerUpperBound(probe), want_upper)
+          << seed.name << " probe " << probe;
+    }
+  }
+}
+
+TEST(EytzingerLayoutTest, LayoutIsPaddedCompleteTree) {
+  for (const NamedHistogram& seed : AllSeedClasses()) {
+    const CompiledHistogram compiled =
+        CompiledHistogram::Compile(seed.catalog);
+    const size_t n = compiled.num_explicit();
+    if (n == 0) {
+      EXPECT_EQ(compiled.eytzinger_depth(), 0u) << seed.name;
+      continue;
+    }
+    // Depth d is minimal with 2^d - 1 >= n; nodes are 1-based.
+    const uint32_t depth = compiled.eytzinger_depth();
+    const size_t nodes = (size_t{1} << depth) - 1;
+    ASSERT_GE(nodes, n) << seed.name;
+    EXPECT_LT(depth == 0 ? 0 : (size_t{1} << (depth - 1)) - 1, n)
+        << seed.name;
+    ASSERT_EQ(compiled.eytzinger_keys().size(), nodes + 1) << seed.name;
+    ASSERT_EQ(compiled.eytzinger_ranks().size(), nodes + 1) << seed.name;
+    // Every real key appears exactly once; pads carry the +inf sentinel and
+    // a clamped rank.
+    std::vector<int64_t> seen;
+    for (size_t node = 1; node <= nodes; ++node) {
+      const uint32_t rank = compiled.eytzinger_ranks()[node];
+      const int64_t key = compiled.eytzinger_keys()[node];
+      if (rank < n) {
+        EXPECT_EQ(key, compiled.keys()[rank]) << seed.name;
+        seen.push_back(key);
+      } else {
+        EXPECT_EQ(rank, n) << seed.name;
+        EXPECT_EQ(key, std::numeric_limits<int64_t>::max()) << seed.name;
+      }
+    }
+    std::sort(seen.begin(), seen.end());
+    EXPECT_TRUE(std::equal(seen.begin(), seen.end(),
+                           compiled.keys().begin(), compiled.keys().end()))
+        << seed.name;
+  }
+}
+
+}  // namespace
+}  // namespace hops

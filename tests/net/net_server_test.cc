@@ -23,6 +23,7 @@
 #include "estimator/serving.h"
 #include "net/estimate_service.h"
 #include "net/serving_stack.h"
+#include "net/wire_format.h"
 #include "refresh/refresh_daemon.h"
 #include "refresh/refresh_manager.h"
 #include "util/json.h"
@@ -128,6 +129,13 @@ std::string Post(const std::string& target, const std::string& body) {
 
 std::string Get(const std::string& target) {
   return "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n";
+}
+
+std::string PostBinary(const std::string& target, const std::string& body) {
+  return "POST " + target + " HTTP/1.1\r\nHost: t\r\nContent-Type: " +
+         std::string(kBatchContentType) +
+         "\r\nContent-Length: " + std::to_string(body.size()) + "\r\n\r\n" +
+         body;
 }
 
 // ------------------------------------------------------------- fixture
@@ -450,6 +458,192 @@ TEST_F(NetServerTest, ShutdownIsIdempotent) {
   ASSERT_TRUE(server_->Shutdown().ok());
   ASSERT_TRUE(server_->Shutdown().ok());
   EXPECT_FALSE(server_->running());
+}
+
+// ------------------------------------------------- binary batch framing
+
+// The §12 binary fast lane: the same batch sent as application/x-hops-batch
+// must return raw doubles bit-identical to an in-process EstimateBatch on
+// the same snapshot — no 17-digit text round-trip involved.
+TEST_F(NetServerTest, EstimateBinaryIsBitIdenticalToInProcess) {
+  std::vector<WireSpec> wire_specs;
+  {
+    WireSpec s;
+    s.kind = WireSpec::Kind::kEquality;
+    s.table = "orders";
+    s.column = "customer_id";
+    s.a = 5;
+    wire_specs.push_back(s);
+  }
+  {
+    WireSpec s;
+    s.kind = WireSpec::Kind::kNotEquals;
+    s.table = "orders";
+    s.column = "item_id";
+    s.a = 39;
+    wire_specs.push_back(s);
+  }
+  {
+    WireSpec s;
+    s.kind = WireSpec::Kind::kRange;
+    s.table = "orders";
+    s.column = "item_id";
+    s.a = 3;
+    s.b = 17;
+    s.include_high = false;
+    wire_specs.push_back(s);
+  }
+  {
+    WireSpec s;
+    s.kind = WireSpec::Kind::kJoin;
+    s.table = "orders";
+    s.column = "customer_id";
+    s.right_table = "orders";
+    s.right_column = "item_id";
+    wire_specs.push_back(s);
+  }
+  {
+    // Unknown column: fails its slot without aborting the batch.
+    WireSpec s;
+    s.kind = WireSpec::Kind::kEquality;
+    s.table = "nope";
+    s.column = "missing";
+    s.a = 1;
+    wire_specs.push_back(s);
+  }
+
+  TestClient client(port());
+  ASSERT_TRUE(
+      client.SendAll(PostBinary("/estimate", EncodeBatchRequest(wire_specs))));
+  std::string status_line, response_body;
+  ASSERT_TRUE(client.ReadResponse(&status_line, &response_body));
+  EXPECT_NE(status_line.find("200"), std::string::npos);
+
+  const Result<WireResponse> response = DecodeBatchResponse(response_body);
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  ASSERT_EQ(response->results.size(), wire_specs.size());
+
+  const std::shared_ptr<const CatalogSnapshot> snapshot = store_.Current();
+  EXPECT_EQ(response->snapshot_version, snapshot->source_version());
+  const ColumnId customer =
+      snapshot->Resolve("orders", "customer_id").ValueOrDie();
+  const ColumnId item = snapshot->Resolve("orders", "item_id").ValueOrDie();
+  std::vector<EstimateSpec> specs;
+  specs.push_back(EstimateSpec::Equality(customer, Value(int64_t{5})));
+  specs.push_back(EstimateSpec::NotEquals(item, Value(int64_t{39})));
+  specs.push_back(
+      EstimateSpec::Range(item, RangeBounds{3, 17, true, false}));
+  specs.push_back(EstimateSpec::Join(customer, item));
+  const std::vector<Result<double>> expected = EstimateBatch(*snapshot, specs);
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE(expected[i].ok()) << i;
+    EXPECT_EQ(response->results[i].status, WireStatus::kOk) << i;
+    const double got = response->results[i].estimate;
+    const double want = *expected[i];
+    EXPECT_EQ(std::memcmp(&got, &want, sizeof(got)), 0) << "slot " << i;
+  }
+  EXPECT_EQ(response->results[4].status, WireStatus::kUnknownColumn);
+  EXPECT_EQ(response->results[4].estimate, 0.0);
+}
+
+TEST_F(NetServerTest, MalformedBinaryFrameIsWholeRequest400) {
+  TestClient client(port());
+  // Not even a magic number: the frame is rejected as a unit with a JSON
+  // error body (the one place the binary path answers in JSON).
+  const std::string response =
+      client.Request(PostBinary("/estimate", "garbage"));
+  EXPECT_NE(response.find("400"), std::string::npos);
+  EXPECT_NE(response.find("error"), std::string::npos);
+  // The connection is still usable afterwards — a 400 is not fatal.
+  const std::string ok = client.Request(Get("/healthz"));
+  EXPECT_NE(ok.find("200"), std::string::npos);
+}
+
+// ------------------------------------------------------ idle-connection reap
+
+HttpResponse TinyOkResponse(const HttpRequest&) {
+  HttpResponse response;
+  response.body = "{}";
+  return response;
+}
+
+TEST(IdleReapTest, IdleKeepAliveConnectionIsReaped) {
+  telemetry::MetricRegistry registry;
+  HttpServerOptions options;
+  options.num_workers = 1;
+  options.idle_timeout_millis = 50;
+  options.registry = &registry;
+  HttpServer server(TinyOkResponse, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_FALSE(client.Request(Get("/x")).empty());
+  EXPECT_EQ(server.open_connections(), 1u);
+
+  // Go idle past the deadline; the sweep (epoll timeout max(10, 50/4) ms)
+  // must close the connection within ~1.25x the deadline — poll with a
+  // generous bound for slow CI machines.
+  telemetry::Counter* reaped = registry.GetCounter(
+      "hops_http_connections_reaped_total",
+      "Keep-alive connections closed by the idle-timeout sweep");
+  for (int i = 0; i < 300 && reaped->Value() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(reaped->Value(), 1u);
+  EXPECT_EQ(server.open_connections(), 0u);
+  // The client observes the close: no further response arrives.
+  std::string status_line, body;
+  EXPECT_FALSE(client.SendAll(Get("/x")) &&
+               client.ReadResponse(&status_line, &body));
+  ASSERT_TRUE(server.Shutdown().ok());
+}
+
+TEST(IdleReapTest, ActiveConnectionSurvivesSweeps) {
+  telemetry::MetricRegistry registry;
+  HttpServerOptions options;
+  options.num_workers = 1;
+  options.idle_timeout_millis = 400;
+  options.registry = &registry;
+  HttpServer server(TinyOkResponse, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Keep one connection alive well past several deadlines' worth of wall
+  // clock, but never idle longer than a fraction of the deadline: every
+  // request must succeed on the same connection.
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_FALSE(client.Request(Get("/x")).empty()) << "request " << i;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  telemetry::Counter* reaped = registry.GetCounter(
+      "hops_http_connections_reaped_total",
+      "Keep-alive connections closed by the idle-timeout sweep");
+  EXPECT_EQ(reaped->Value(), 0u);
+  EXPECT_EQ(server.open_connections(), 1u);
+  ASSERT_TRUE(server.Shutdown().ok());
+}
+
+TEST(IdleReapTest, ZeroTimeoutDisablesReaping) {
+  telemetry::MetricRegistry registry;
+  HttpServerOptions options;
+  options.num_workers = 1;
+  options.idle_timeout_millis = 0;
+  options.registry = &registry;
+  HttpServer server(TinyOkResponse, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_FALSE(client.Request(Get("/x")).empty());
+  // With reaping disabled the event loop blocks indefinitely; the idle
+  // connection simply stays.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(server.open_connections(), 1u);
+  ASSERT_FALSE(client.Request(Get("/x")).empty());
+  ASSERT_TRUE(server.Shutdown().ok());
 }
 
 // Full stack ordering: server drains, daemon drains its update log, sink
