@@ -11,17 +11,27 @@
 // On SIGTERM/SIGINT the stack shuts down in dependency order: the server
 // drains in-flight requests first (late /feedback still reaches the update
 // log), then the daemon applies what's queued, then the sink's final write
-// captures the drain-time metrics.
+// captures the drain-time metrics, then (with --data-dir) durable storage
+// writes the shutdown snapshot covering everything acknowledged.
 //
-//   $ ./build/examples/serve_estimates --port=8080
+// With --data-dir the process is crash-safe (DESIGN.md §13): statistics
+// restore from the newest snapshot plus WAL replay, /update deltas hit the
+// WAL before the 200 goes out, and a warm restart answers /estimate
+// bit-identically to the pre-crash process.
+//
+//   $ ./build/examples/serve_estimates --port=8080 --data-dir=/var/lib/hops
 //   serving on 127.0.0.1:8080
 //   $ curl -s localhost:8080/healthz
 //   $ curl -s localhost:8080/metrics | head
 //
 // Usage: serve_estimates [--port=N] [--workers=N] [--max-seconds=N]
-//                        [--telemetry-file=PATH]
+//                        [--telemetry-file=PATH] [--data-dir=PATH]
+//                        [--durability=none|batch|every]
+//                        [--checkpoint-seconds=N]
 // --port=0 binds an ephemeral port (printed on stdout, for harnesses).
 // --max-seconds bounds the run (0 = serve until signalled).
+// --durability picks the WAL fsync policy (default batch; see storage/wal.h).
+// --checkpoint-seconds writes a periodic snapshot (0 = shutdown-only).
 
 #include <cstdint>
 #include <cstdlib>
@@ -36,6 +46,7 @@
 #include "net/serving_stack.h"
 #include "refresh/refresh_daemon.h"
 #include "refresh/refresh_manager.h"
+#include "storage/recovery.h"
 #include "telemetry/accuracy.h"
 #include "telemetry/exporters.h"
 #include "telemetry/metrics.h"
@@ -46,7 +57,10 @@ int main(int argc, char** argv) {
   uint16_t port = 8080;
   size_t workers = 0;  // 0 = HttpServer picks from hardware_concurrency
   long max_seconds = 0;
+  long checkpoint_seconds = 0;
   std::string telemetry_file;
+  std::string data_dir;
+  storage::WalFsync durability = storage::WalFsync::kBatch;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--port=", 0) == 0) {
@@ -55,8 +69,24 @@ int main(int argc, char** argv) {
       workers = std::strtoul(arg.c_str() + 10, nullptr, 10);
     } else if (arg.rfind("--max-seconds=", 0) == 0) {
       max_seconds = std::strtol(arg.c_str() + 14, nullptr, 10);
+    } else if (arg.rfind("--checkpoint-seconds=", 0) == 0) {
+      checkpoint_seconds = std::strtol(arg.c_str() + 21, nullptr, 10);
     } else if (arg.rfind("--telemetry-file=", 0) == 0) {
       telemetry_file = arg.substr(17);
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      data_dir = arg.substr(11);
+    } else if (arg.rfind("--durability=", 0) == 0) {
+      const std::string mode = arg.substr(13);
+      if (mode == "none") {
+        durability = storage::WalFsync::kNone;
+      } else if (mode == "batch") {
+        durability = storage::WalFsync::kBatch;
+      } else if (mode == "every") {
+        durability = storage::WalFsync::kEvery;
+      } else {
+        std::cerr << "unknown --durability mode: " << mode << "\n";
+        return 2;
+      }
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       return 2;
@@ -72,7 +102,29 @@ int main(int argc, char** argv) {
   RefreshOptions refresh_options;
   refresh_options.statistics.num_buckets = 16;
   RefreshManager manager(&catalog, &store, refresh_options);
-  {
+
+  // Durable storage mounts BEFORE the demo registration: a warm restart
+  // restores the previous process's columns (snapshot + WAL replay), and
+  // only a cold start seeds the demo catalog — whose registrations then
+  // persist through the attached hook.
+  std::unique_ptr<storage::RecoveryManager> durable;
+  if (!data_dir.empty()) {
+    storage::StorageOptions storage_options;
+    storage_options.data_dir = data_dir;
+    storage_options.durability = durability;
+    auto opened = storage::RecoveryManager::Open(storage_options);
+    opened.status().Check();
+    durable = std::move(opened).ValueOrDie();
+    durable->RecoverAndAttach(&manager).Check();
+    const storage::RecoveryReport& report = durable->report();
+    std::cout << "recovery: snapshot_loaded=" << report.snapshot_loaded
+              << " seq=" << report.snapshot_seq
+              << " high_water=" << report.snapshot_high_water
+              << " wal_deltas=" << report.wal_delta_records
+              << " wal_registrations=" << report.wal_registrations
+              << " columns=" << manager.num_columns() << "\n";
+  }
+  if (manager.num_columns() == 0) {
     std::vector<int64_t> values;
     std::vector<double> uniform, skewed;
     for (int64_t v = 0; v < 1000; ++v) {
@@ -96,6 +148,7 @@ int main(int argc, char** argv) {
   net::EstimateServiceOptions service_options;
   service_options.store = &store;
   service_options.feedback = &tracker;
+  service_options.updates = &manager;
   net::EstimateService service(service_options);
 
   net::HttpServerOptions server_options;
@@ -115,6 +168,11 @@ int main(int argc, char** argv) {
   }
 
   net::ServingStack stack(&server, &daemon, sink.get());
+  if (durable != nullptr) {
+    // Stage 4 of the ordered shutdown: the final snapshot runs after the
+    // drain folded every acknowledged record, so it covers them all.
+    stack.SetPostDrainHook([&durable] { return durable->CloseAndSnapshot(); });
+  }
   net::ServingStack::InstallSignalHandlers().Check();
   stack.Start().Check();
 
@@ -123,11 +181,22 @@ int main(int argc, char** argv) {
   std::cout << "serving on 127.0.0.1:" << server.port() << std::endl;
 
   // ------------------------------------------------------------------ wait
-  if (max_seconds > 0) {
-    net::ServingStack::WaitForShutdownSignal(
-        static_cast<int>(max_seconds * 1000));
-  } else {
-    while (!net::ServingStack::WaitForShutdownSignal(60000)) {
+  const long wait_step =
+      (checkpoint_seconds > 0 && durable != nullptr) ? checkpoint_seconds : 60;
+  long waited = 0;
+  while (true) {
+    long step = wait_step;
+    if (max_seconds > 0 && max_seconds - waited < step) {
+      step = max_seconds - waited;
+    }
+    if (step <= 0) break;
+    if (net::ServingStack::WaitForShutdownSignal(
+            static_cast<int>(step * 1000))) {
+      break;
+    }
+    waited += step;
+    if (checkpoint_seconds > 0 && durable != nullptr) {
+      durable->WriteSnapshot().Check();
     }
   }
 

@@ -7,7 +7,8 @@
 #              suites (thread_pool_test, parallel_build_test,
 #              snapshot_concurrency_test, refresh_daemon_test,
 #              telemetry_concurrency_test, sharded_refresh_soak_test,
-#              http_parser_test, net_server_test)
+#              http_parser_test, net_server_test, storage_test,
+#              storage_crash_test)
 #   --telemetry-smoke  build + run examples/feedback_loop and grep its
 #              Prometheus dump for the expected metric families (the §9
 #              end-to-end observability gate)
@@ -17,6 +18,10 @@
 #   --probe-smoke  build + run bench_estimation --quick and assert the §12
 #              determinism gates: eytzinger_vs_lower_bound.identical, every
 #              workload bit-identical, and batched >= snapshot per workload
+#   --recovery-smoke  build + run serve_estimates with a data dir, accept
+#              updates over /update, kill -9 the server, restart it on the
+#              same dir, and assert the /estimate answer is bit-identical —
+#              the §13 end-to-end crash-recovery gate
 #   --skip-tier1  skip the default build+ctest+bench stage (used by the CI
 #              sanitizer jobs so they only pay for their own build)
 set -euo pipefail
@@ -28,6 +33,7 @@ RUN_TSAN=0
 RUN_TELEMETRY_SMOKE=0
 RUN_SERVING_SMOKE=0
 RUN_PROBE_SMOKE=0
+RUN_RECOVERY_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --asan) RUN_ASAN=1 ;;
@@ -35,6 +41,7 @@ for arg in "$@"; do
     --telemetry-smoke) RUN_TELEMETRY_SMOKE=1 ;;
     --serving-smoke) RUN_SERVING_SMOKE=1 ;;
     --probe-smoke) RUN_PROBE_SMOKE=1 ;;
+    --recovery-smoke) RUN_RECOVERY_SMOKE=1 ;;
     --skip-tier1) RUN_TIER1=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -110,6 +117,19 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   done
   echo "== Checking BENCH_estimation.json determinism/ordering gates =="
   assert_estimation_gates BENCH_estimation.json
+
+  # And the §13 storage bench: fsync-mode axis, recovery sweep, the
+  # accept-path overhead scored against its target, and provenance.
+  echo "== Checking BENCH_storage.json schema (durability axes + provenance) =="
+  for field in '"snapshot"' '"write_mb_per_second"' '"load_mb_per_second"' \
+      '"wal_append"' '"fsync"' '"writeback_kicks"' '"recovery"' \
+      '"wal_records"' '"accept_overhead"' '"overhead_percent"' \
+      '"target_percent"' '"timestamp_utc"' '"git_rev"'; do
+    if ! grep -q "$field" BENCH_storage.json; then
+      echo "BENCH_storage.json: missing field $field" >&2
+      exit 1
+    fi
+  done
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
@@ -128,7 +148,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan --target thread_pool_test parallel_build_test \
     snapshot_concurrency_test refresh_daemon_test telemetry_concurrency_test \
-    sharded_refresh_soak_test http_parser_test net_server_test
+    sharded_refresh_soak_test http_parser_test net_server_test storage_test \
+    storage_crash_test
   # Oversubscribe the pool so TSan sees real interleavings even on small
   # CI machines.
   HOPS_THREADS=4 ./build-tsan/tests/thread_pool_test
@@ -139,6 +160,11 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   HOPS_THREADS=4 ./build-tsan/tests/sharded_refresh_soak_test
   HOPS_THREADS=4 ./build-tsan/tests/http_parser_test
   HOPS_THREADS=4 ./build-tsan/tests/net_server_test
+  # The storage suites include the kill-9-under-churn soak: the crash child
+  # runs instrumented too, so TSan watches the WAL accept path right up to
+  # the SIGKILL.
+  HOPS_THREADS=4 ./build-tsan/tests/storage_test
+  HOPS_THREADS=4 ./build-tsan/tests/storage_crash_test
 fi
 
 if [[ "$RUN_TELEMETRY_SMOKE" == 1 ]]; then
@@ -200,6 +226,97 @@ if [[ "$RUN_SERVING_SMOKE" == 1 ]]; then
   trap - EXIT
   rm -f "$SERVE_LOG"
   echo "serving smoke: /estimate answered and /metrics exported all families."
+fi
+
+if [[ "$RUN_RECOVERY_SMOKE" == 1 ]]; then
+  echo "== Recovery smoke (kill -9 serve_estimates, warm restart, §13 gate) =="
+  cmake -B build -G Ninja
+  cmake --build build --target serve_estimates
+  RECOVERY_DIR=$(mktemp -d /tmp/recovery_smoke.XXXXXX)
+  RECOVERY_LOG=$(mktemp)
+  SERVE_PID=""
+  cleanup_recovery() {
+    [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$RECOVERY_DIR" "$RECOVERY_LOG"
+  }
+  trap cleanup_recovery EXIT
+
+  # Boots the server on the shared data dir and waits for its port.
+  start_server() {
+    : >"$RECOVERY_LOG"
+    ./build/examples/serve_estimates --port=0 --max-seconds=120 \
+      --data-dir="$RECOVERY_DIR" >"$RECOVERY_LOG" 2>&1 &
+    SERVE_PID=$!
+    SERVE_PORT=""
+    for _ in $(seq 1 50); do
+      SERVE_PORT=$(grep -oE 'serving on 127.0.0.1:[0-9]+' "$RECOVERY_LOG" \
+        | grep -oE '[0-9]+$' || true)
+      [[ -n "$SERVE_PORT" ]] && break
+      sleep 0.1
+    done
+    if [[ -z "$SERVE_PORT" ]]; then
+      echo "recovery smoke: server never reported a port" >&2
+      cat "$RECOVERY_LOG" >&2
+      exit 1
+    fi
+  }
+
+  ESTIMATE_BODY='{"specs":[{"kind":"equality","table":"orders","column":"customer_id","value":7}]}'
+  # The refresh daemon folds accepted deltas into a published snapshot on
+  # its own tick; sample only once two reads 0.3s apart agree, so both
+  # sides of the comparison see a settled histogram.
+  settled_estimate() {
+    local prev="" cur=""
+    for _ in $(seq 1 30); do
+      cur=$(curl -sf -X POST "http://127.0.0.1:$SERVE_PORT/estimate" \
+        -d "$ESTIMATE_BODY")
+      [[ -n "$prev" && "$cur" == "$prev" ]] && { echo "$cur"; return 0; }
+      prev="$cur"
+      sleep 0.3
+    done
+    echo "$cur"
+  }
+
+  start_server
+  # Push accepted updates so recovery has real WAL state to replay, not
+  # just the seed catalog. Weight 7's bucket so the estimate visibly moves.
+  for i in $(seq 1 40); do
+    curl -sf -X POST "http://127.0.0.1:$SERVE_PORT/update" \
+      -d "{\"updates\":[{\"table\":\"orders\",\"column\":\"customer_id\",\"value\":$((i % 64)),\"weight\":2.5}]}" \
+      >/dev/null
+  done
+  BEFORE=$(settled_estimate)
+
+  # No SIGTERM courtesy: the whole point is surviving an unclean death.
+  kill -9 "$SERVE_PID"
+  wait "$SERVE_PID" 2>/dev/null || true
+  SERVE_PID=""
+
+  start_server
+  AFTER=$(settled_estimate)
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID" 2>/dev/null || true
+  SERVE_PID=""
+  trap - EXIT
+  cleanup_recovery
+
+  # Compare the estimate values only: snapshot_version is a process-local
+  # RCU counter and legitimately differs across the restart.
+  BEFORE_EST=$(grep -o '"estimate": *[0-9.eE+-]*' <<<"$BEFORE" || true)
+  AFTER_EST=$(grep -o '"estimate": *[0-9.eE+-]*' <<<"$AFTER" || true)
+  if [[ -z "$BEFORE_EST" || -z "$AFTER_EST" ]]; then
+    echo "recovery smoke: /estimate returned no estimate" >&2
+    echo "  before: $BEFORE" >&2
+    echo "  after:  $AFTER" >&2
+    exit 1
+  fi
+  if [[ "$BEFORE_EST" != "$AFTER_EST" ]]; then
+    echo "recovery smoke: estimate changed across kill -9 + warm restart" >&2
+    echo "  before: $BEFORE_EST" >&2
+    echo "  after:  $AFTER_EST" >&2
+    exit 1
+  fi
+  echo "recovery smoke: estimate bit-identical across kill -9 ($BEFORE_EST)."
 fi
 
 if [[ "$RUN_PROBE_SMOKE" == 1 ]]; then

@@ -21,6 +21,11 @@
 #      connections, compares the JSON and §12 binary framings on the same
 #      batch, and writes BENCH_serving.json (requests/sec, p50/p99/p999
 #      request latency per point, binary_vs_json axis).
+#   6. Run bench/bench_storage, which times §13 durable storage: snapshot
+#      write/load bandwidth, WAL append throughput across the fsync modes,
+#      WAL replay rate, and the accept-path overhead of write-before-ack
+#      durability on the serving /update path (target < 10%), and writes
+#      BENCH_storage.json.
 #
 # Usage: scripts/run_benchmarks.sh [--quick] [--skip-tsan]
 #   --quick      restrict the bench sweep (CI smoke)
@@ -176,5 +181,40 @@ print(f"binary_vs_json: {bvj['json_rps']:.0f} req/s json vs "
       f"({bvj['binary_speedup']:.2f}x, identical={bvj['identical']})")
 EOF
 
+echo "== Optimized bench: durable storage (snapshot + WAL + recovery) =="
+cmake --build build-release --target bench_storage
+./build-release/bench/bench_storage BENCH_storage.json "${QUICK_ARGS[@]}"
+
+# Sanity-check the emitted JSON (parses, every fsync mode measured, replay
+# recovered records, the accept-path overhead gate holds).
+python3 - <<'EOF'
+import json
+with open("BENCH_storage.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == "durable_storage", doc.get("bench")
+assert doc["timestamp_utc"] and doc["git_rev"], "missing provenance"
+snap = doc["snapshot"]
+assert snap["bytes"] > 0
+assert snap["write_mb_per_second"] > 0 and snap["load_mb_per_second"] > 0
+modes = {point["fsync"] for point in doc["wal_append"]}
+assert modes == {"none", "batch", "every"}, f"fsync axis incomplete: {modes}"
+for point in doc["wal_append"]:
+    assert point["records"] > 0 and point["records_per_second"] > 0
+recovery = doc["recovery"]
+assert recovery, "empty recovery sweep"
+for point in recovery:
+    assert point["wal_records"] > 0 and point["records_per_second"] > 0
+accept = doc["accept_overhead"]
+assert accept["overhead_percent"] < accept["target_percent"], (
+    f"accept-path overhead {accept['overhead_percent']:.2f}% exceeds the "
+    f"{accept['target_percent']}% target")
+print(f"storage: snapshot {snap['write_mb_per_second']:.0f} MB/s write / "
+      f"{snap['load_mb_per_second']:.0f} MB/s load, wal replay "
+      f"{recovery[-1]['records_per_second']:.0f} records/s, /update "
+      f"overhead {accept['overhead_percent']:.2f}% "
+      f"(target < {accept['target_percent']}%)")
+EOF
+
 echo "run_benchmarks.sh: all checks passed; wrote BENCH_histograms.json," \
-     "BENCH_estimation.json, BENCH_refresh.json, and BENCH_serving.json"
+     "BENCH_estimation.json, BENCH_refresh.json, BENCH_serving.json, and" \
+     "BENCH_storage.json"

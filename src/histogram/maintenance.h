@@ -42,6 +42,20 @@ struct MaintenanceOptions {
   double promotion_ratio = 4.0;
 };
 
+/// \brief Every maintainer counter that must survive a restart (DESIGN.md
+/// §13). The maintained histogram itself is persisted separately; restoring
+/// these alongside it reproduces the exact drift/rebuild-pressure state, so
+/// a warm restart neither forgets accumulated drift nor re-arms from zero.
+struct MaintainerDurableState {
+  double num_tuples = 0;
+  double tuples_at_build = 0;
+  uint64_t updates_applied = 0;
+  double drift = 0;
+  int64_t hot_value = 0;
+  double hot_count = 0;
+  bool hot_valid = false;
+};
+
 /// \brief Wraps a CatalogHistogram and keeps it consistent under updates.
 class HistogramMaintainer {
  public:
@@ -79,6 +93,31 @@ class HistogramMaintainer {
 
   /// Installs a freshly rebuilt histogram and resets drift tracking.
   void Rebuilt(CatalogHistogram histogram, double num_tuples);
+
+  /// Snapshot of every counter for durable storage (§13).
+  MaintainerDurableState ExportDurableState() const {
+    MaintainerDurableState s;
+    s.num_tuples = num_tuples_;
+    s.tuples_at_build = tuples_at_build_;
+    s.updates_applied = updates_applied_;
+    s.drift = drift_;
+    s.hot_value = hot_value_;
+    s.hot_count = hot_count_;
+    s.hot_valid = hot_valid_;
+    return s;
+  }
+
+  /// Restores the counters exported by ExportDurableState; the histogram
+  /// must already have been installed via the constructor or Rebuilt.
+  void RestoreDurableState(const MaintainerDurableState& s) {
+    num_tuples_ = s.num_tuples;
+    tuples_at_build_ = s.tuples_at_build;
+    updates_applied_ = s.updates_applied;
+    drift_ = s.drift;
+    hot_value_ = s.hot_value;
+    hot_count_ = s.hot_count;
+    hot_valid_ = s.hot_valid;
+  }
 
  private:
   CatalogHistogram histogram_;

@@ -57,6 +57,7 @@ EstimateService::EstimateService(EstimateServiceOptions options)
   healthz_ = MakeEndpoint("/healthz");
   estimate_ = MakeEndpoint("/estimate");
   feedback_ = MakeEndpoint("/feedback");
+  update_ = MakeEndpoint("/update");
   other_ = MakeEndpoint("other");
 }
 
@@ -132,6 +133,12 @@ HttpResponse EstimateService::Route(const HttpRequest& request,
     telemetry::TraceSpan span(*feedback_.span);
     if (request.method != "POST") return MakeErrorResponse(405, "use POST");
     return HandleFeedback(request);
+  }
+  if (request.target == "/update") {
+    *endpoint = &update_;
+    telemetry::TraceSpan span(*update_.span);
+    if (request.method != "POST") return MakeErrorResponse(405, "use POST");
+    return HandleUpdate(request);
   }
   *endpoint = &other_;
   return MakeErrorResponse(404, "unknown endpoint: " + request.target);
@@ -470,6 +477,73 @@ HttpResponse EstimateService::HandleFeedback(const HttpRequest& request) {
     }
     writer.EndArray();
   }
+  writer.EndObject();
+  return JsonResponse(200, writer);
+}
+
+HttpResponse EstimateService::HandleUpdate(const HttpRequest& request) {
+  if (options_.updates == nullptr) {
+    return MakeErrorResponse(503, "no refresh manager configured");
+  }
+  Result<JsonValue> document = ParseJson(request.body);
+  if (!document.ok()) {
+    return MakeErrorResponse(400, document.status().message());
+  }
+  const JsonValue* updates = document->Find("updates");
+  if (updates == nullptr || !updates->is_array()) {
+    return MakeErrorResponse(400, "body needs an \"updates\" array");
+  }
+  const JsonValue::Array& entries = updates->AsArray();
+  if (entries.size() > options_.max_specs_per_request) {
+    return MakeErrorResponse(413, "too many updates in one request");
+  }
+
+  // Decode the WHOLE request before admitting anything: the batch goes
+  // through one RecordBatch call, so either every delta is accepted (and,
+  // with durable storage attached, persisted) or none are. A malformed
+  // entry therefore 400s without side effects.
+  std::vector<UpdateRecord> records;
+  records.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const JsonValue& entry = entries[i];
+    Status status = [&]() -> Status {
+      if (!entry.is_object()) {
+        return Status::InvalidArgument("update must be an object");
+      }
+      HOPS_ASSIGN_OR_RETURN(std::string table, entry.GetString("table"));
+      HOPS_ASSIGN_OR_RETURN(std::string column, entry.GetString("column"));
+      HOPS_ASSIGN_OR_RETURN(RefreshColumnId id,
+                            options_.updates->Lookup(table, column));
+      const JsonValue* value = entry.Find("value");
+      if (value == nullptr || !value->is_integer()) {
+        return Status::InvalidArgument("update needs an integer \"value\"");
+      }
+      UpdateRecord record;
+      record.column = id;
+      record.value = value->AsInt64();
+      if (const JsonValue* weight = entry.Find("weight"); weight != nullptr) {
+        HOPS_ASSIGN_OR_RETURN(record.weight, entry.GetNumber("weight"));
+      }
+      records.push_back(record);
+      return Status::OK();
+    }();
+    if (!status.ok()) {
+      return MakeErrorResponse(400, "update " + std::to_string(i) + ": " +
+                                        std::string(status.message()));
+    }
+  }
+
+  const Status admitted = options_.updates->RecordBatch(records);
+  if (!admitted.ok()) {
+    // Refused by the durability hook (e.g. a full disk): nothing from this
+    // request was applied, and the client should retry elsewhere.
+    return MakeErrorResponse(503, std::string(admitted.message()));
+  }
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("accepted");
+  writer.UInt(records.size());
   writer.EndObject();
   return JsonResponse(200, writer);
 }

@@ -25,6 +25,13 @@
 //                       → ReportEstimateOutcome into the configured
 //                       feedback sink (the §8/§9 accuracy tracker), closing
 //                       the self-tuning loop over HTTP.
+//   POST /update        {"updates":[{"table":t, "column":c, "value":v,
+//                       "weight":w?}]} → tuple-level statistics deltas into
+//                       the refresh manager's update log. The whole request
+//                       admits all-or-nothing (one RecordBatch), and when
+//                       durable storage is attached (DESIGN.md §13) the
+//                       batch is in the WAL before the 200 is sent —
+//                       acknowledged updates survive kill -9.
 //
 // Spec JSON (one object per estimate; "kind" selects the shape):
 //   {"kind":"equality",  "table":t, "column":c, "value":v}
@@ -50,6 +57,7 @@
 #include "estimator/serving.h"
 #include "net/http.h"
 #include "net/server.h"
+#include "refresh/refresh_manager.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/json.h"
@@ -66,6 +74,11 @@ struct EstimateServiceOptions {
   /// Receiver for /feedback outcomes (e.g. telemetry::AccuracyTracker).
   /// nullptr disables /feedback with a 503.
   EstimationFeedbackSink* feedback = nullptr;
+  /// Receiver for /update deltas (resolved by name, admitted all-or-nothing
+  /// through RefreshManager::RecordBatch so the durability hook persists the
+  /// whole request before it is acknowledged). nullptr disables /update
+  /// with a 503.
+  RefreshManager* updates = nullptr;
   /// Registry /metrics renders and the endpoint metrics record into;
   /// nullptr = MetricRegistry::Global().
   telemetry::MetricRegistry* registry = nullptr;
@@ -104,6 +117,7 @@ class EstimateService {
   HttpResponse HandleEstimate(const HttpRequest& request);
   HttpResponse HandleEstimateBinary(const HttpRequest& request);
   HttpResponse HandleFeedback(const HttpRequest& request);
+  HttpResponse HandleUpdate(const HttpRequest& request);
 
   /// Decodes one spec object against \p snapshot (names → dense ids).
   Result<EstimateSpec> ParseSpec(const JsonValue& value,
@@ -120,6 +134,7 @@ class EstimateService {
   Endpoint healthz_;
   Endpoint estimate_;
   Endpoint feedback_;
+  Endpoint update_;
   Endpoint other_;
 };
 

@@ -63,7 +63,16 @@ Status ServingStack::ShutdownOrdered() {
   if (daemon_ != nullptr) keep_first(daemon_->DrainAndStop());
   // Stage 3: the sink's final write sees the post-drain metric values.
   if (sink_ != nullptr) keep_first(sink_->Stop());
+  // Stage 4: the post-drain hook (durable storage's shutdown snapshot)
+  // runs once everything accepted over the wire has been folded, so the
+  // snapshot covers every acknowledged record.
+  if (post_drain_hook_) keep_first(post_drain_hook_());
   return first_error;
+}
+
+void ServingStack::SetPostDrainHook(std::function<Status()> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  post_drain_hook_ = std::move(hook);
 }
 
 Status ServingStack::InstallSignalHandlers() {

@@ -11,19 +11,29 @@
 //                                      /feedback outcome routed during the
 //                                      drain still reaches the update log
 //                                      and is folded before the final tick.
-//   3. TelemetrySink::Stop()         — last, so its final write captures
-//                                      the requests served during the drain.
+//   3. TelemetrySink::Stop()         — its final write captures the
+//                                      requests served during the drain.
+//   4. post-drain hook               — durable storage (DESIGN.md §13)
+//                                      writes the shutdown snapshot here,
+//                                      after the drain folded every
+//                                      accepted delta, so the snapshot's
+//                                      high-water mark covers everything
+//                                      that was ever acknowledged.
 //
 // Stopping the daemon first would drop feedback accepted over the wire;
 // stopping the sink first would publish a telemetry file missing the final
-// requests — both are "lost accepted work" bugs this ordering exists to
-// prevent. tests/net/net_server_test.cc exercises SIGTERM under load.
+// requests; snapshotting before the drain would push acknowledged deltas
+// into the next restart's WAL replay instead of the snapshot — all "lost
+// accepted work" bugs this ordering exists to prevent.
+// tests/net/net_server_test.cc exercises SIGTERM under load.
 //
 // SIGTERM/SIGINT are delivered through a self-pipe: the handler performs a
 // single async-signal-safe write; WaitForShutdownSignal blocks on the read
 // end. No locks, no allocation, no unsafe calls in signal context.
 
 #pragma once
+
+#include <functional>
 
 #include "net/server.h"
 #include "refresh/refresh_daemon.h"
@@ -51,6 +61,12 @@ class ServingStack {
   /// every stage even if an earlier one fails and returns the first error.
   Status ShutdownOrdered();
 
+  /// Installs stage 4: runs after server drain, daemon drain-and-stop, and
+  /// the sink's final write. The storage layer registers its shutdown
+  /// snapshot here (net deliberately does not depend on storage — the seam
+  /// is this function). Call before ShutdownOrdered.
+  void SetPostDrainHook(std::function<Status()> hook);
+
   /// Installs the SIGTERM/SIGINT self-pipe handler. Idempotent;
   /// process-wide (signal disposition is global state).
   static Status InstallSignalHandlers();
@@ -68,6 +84,7 @@ class ServingStack {
   HttpServer* const server_;
   RefreshDaemon* const daemon_;
   telemetry::TelemetrySink* const sink_;
+  std::function<Status()> post_drain_hook_;  // guarded by mutex_
   bool shutdown_done_ = false;
   std::mutex mutex_;
 };

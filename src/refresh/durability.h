@@ -1,0 +1,67 @@
+// The refresh subsystem's durability seam (DESIGN.md §13).
+//
+// Everything the write path accepts — UpdateLog deltas and RegisterColumn
+// registrations — can be persisted before it is acknowledged, so a crash
+// after the acknowledgment loses nothing. The refresh layer does not know
+// how persistence works; it calls through this interface, and the storage
+// layer (src/storage/, a WAL writer behind a RecoveryManager) implements
+// it. The dependency points storage → refresh, never back.
+//
+// Contract:
+//
+//  * PersistDeltas is called on the UpdateLog accept path, under the log's
+//    mutex, with the exact records about to be admitted — BEFORE they are
+//    visible to the consumer and BEFORE the producer's Record/RecordBatch
+//    call returns OK. The implementation assigns each record its log
+//    sequence number (stamping record.lsn in place; the stamped copies are
+//    what the queue stores) and must have written the records to the OS
+//    (write(2)) before returning, so a process kill after the ack cannot
+//    lose them. fsync policy (power-loss durability) is the
+//    implementation's knob. A failure Status refuses admission: the
+//    producer sees the error and nothing is enqueued.
+//
+//  * PersistRegistration is called by RefreshManager::RegisterColumn under
+//    the manager mutex, before the column is installed, with the original
+//    (pre-sort) value/frequency spans — replaying the same arguments
+//    through RegisterColumn reproduces the same initial histogram
+//    bit-for-bit. \p lsn_out receives the assigned sequence number.
+//
+// Implementations must be thread-safe: delta persistence (log mutex) and
+// registration persistence (manager mutex) race with each other and with
+// checkpoint writers.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "refresh/update_log.h"
+#include "util/status.h"
+
+namespace hops {
+
+/// \brief Write-ahead persistence hook for the refresh write path. See the
+/// file comment for the acknowledgment contract.
+class DurabilityHook {
+ public:
+  virtual ~DurabilityHook() = default;
+
+  /// Persists \p records and stamps each record's `lsn` in place. Called
+  /// with the UpdateLog mutex held, before admission; an error refuses the
+  /// records.
+  virtual Status PersistDeltas(std::span<UpdateRecord> records) = 0;
+
+  /// Persists one column registration; \p id is the dense id the manager
+  /// will assign (columns register in id order, so replay re-derives the
+  /// same ids). \p lsn_out (never null) receives the record's sequence
+  /// number.
+  virtual Status PersistRegistration(RefreshColumnId id,
+                                     const std::string& table,
+                                     const std::string& column,
+                                     std::span<const int64_t> value_ids,
+                                     std::span<const double> frequencies,
+                                     uint64_t* lsn_out) = 0;
+};
+
+}  // namespace hops

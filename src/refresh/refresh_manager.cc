@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "histogram/parallel_build.h"
+#include "refresh/durability.h"
 #include "telemetry/trace.h"
 #include "util/stopwatch.h"
 
@@ -143,6 +144,17 @@ Result<RefreshColumnId> RefreshManager::RegisterColumn(
   state->dirty = true;
 
   const RefreshColumnId id = static_cast<RefreshColumnId>(columns_.size());
+  // Write-ahead, inside the manager lock, BEFORE install: a registration
+  // whose ack the caller saw is always in the WAL, and its LSN folds into
+  // the high-water mark while the lock is held — so a concurrent snapshot
+  // export can never record a high-water mark that silently covers an
+  // uninstalled registration. A hook failure refuses the registration.
+  if (durability_ != nullptr) {
+    uint64_t lsn = 0;
+    HOPS_RETURN_NOT_OK(durability_->PersistRegistration(
+        id, table, column, value_ids, frequencies, &lsn));
+    last_applied_lsn_ = std::max(last_applied_lsn_, lsn);
+  }
   columns_.push_back(std::move(state));
   by_name_.emplace(key, id);
   HOPS_RETURN_NOT_OK(WriteBackLocked(*columns_[id]));
@@ -281,6 +293,10 @@ Result<size_t> RefreshManager::ApplyPendingDeltasLocked(bool* changed) {
   telemetry::TraceSpan apply_span(apply_site);
   size_t applied = 0;
   for (const UpdateRecord& record : records) {
+    // Fold every drained LSN — including unknown-column drops — so the
+    // high-water mark stays contiguous (a dropped record must not be
+    // replayed as if it were never consumed).
+    last_applied_lsn_ = std::max(last_applied_lsn_, record.lsn);
     if (record.column >= columns_.size()) {
       unknown_column_records_.Increment();
       continue;
@@ -543,6 +559,178 @@ Result<RefreshTickReport> RefreshManager::Tick() {
   report.seconds = stopwatch.ElapsedSeconds();
   last_tick_seconds_ = report.seconds;
   return report;
+}
+
+void RefreshManager::AttachDurability(DurabilityHook* hook) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    durability_ = hook;
+  }
+  log_.SetDurabilityHook(hook);
+}
+
+Result<RefreshDurableState> RefreshManager::ExportDurableState() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Drain + apply first so the high-water mark is contiguous: everything
+  // at or below it is inside the image, everything above is WAL-replayable.
+  bool changed = false;
+  HOPS_RETURN_NOT_OK(ApplyPendingDeltasLocked(&changed).status());
+  if (changed) HOPS_RETURN_NOT_OK(RepublishLocked());
+
+  RefreshDurableState out;
+  out.high_water_lsn = last_applied_lsn_;
+  out.columns.reserve(columns_.size());
+  for (const auto& sp : columns_) {
+    const ColumnState& s = *sp;
+    ColumnDurableState c;
+    c.table = s.table;
+    c.column = s.column;
+    const CatalogHistogram& h = s.maintainer.current();
+    c.explicit_values.reserve(h.explicit_entries().size());
+    c.explicit_freqs.reserve(h.explicit_entries().size());
+    for (const auto& [value, freq] : h.explicit_entries()) {
+      c.explicit_values.push_back(value);
+      c.explicit_freqs.push_back(freq);
+    }
+    c.default_frequency = h.default_frequency();
+    c.num_default_values = h.num_default_values();
+    c.maintainer = s.maintainer.ExportDurableState();
+    std::vector<std::pair<int64_t, double>> pairs(s.ideal.begin(),
+                                                  s.ideal.end());
+    std::sort(pairs.begin(), pairs.end());
+    c.ideal_values.reserve(pairs.size());
+    c.ideal_counts.reserve(pairs.size());
+    for (const auto& [value, count] : pairs) {
+      c.ideal_values.push_back(value);
+      c.ideal_counts.push_back(count);
+    }
+    c.tuples_at_build = s.tuples_at_build;
+    c.min_value = s.min_value;
+    c.max_value = s.max_value;
+    c.distinct = s.distinct;
+    c.feedback_ewma = s.feedback_ewma;
+    c.has_feedback = s.has_feedback;
+    c.deltas_since_rebuild = s.deltas_since_rebuild;
+    c.rebuilds = s.rebuilds;
+    out.columns.push_back(std::move(c));
+  }
+  return out;
+}
+
+Status RefreshManager::RestoreDurableState(const RefreshDurableState& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!columns_.empty()) {
+    return Status::InvalidArgument(
+        "RestoreDurableState requires an empty manager (have " +
+        std::to_string(columns_.size()) + " columns)");
+  }
+  for (const ColumnDurableState& c : state.columns) {
+    if (c.explicit_values.size() != c.explicit_freqs.size() ||
+        c.ideal_values.size() != c.ideal_counts.size()) {
+      return Status::InvalidArgument(
+          "durable column " + c.table + "." + c.column +
+          " has mismatched parallel arrays");
+    }
+    std::vector<std::pair<int64_t, double>> entries;
+    entries.reserve(c.explicit_values.size());
+    for (size_t i = 0; i < c.explicit_values.size(); ++i) {
+      entries.emplace_back(c.explicit_values[i], c.explicit_freqs[i]);
+    }
+    HOPS_ASSIGN_OR_RETURN(
+        CatalogHistogram histogram,
+        CatalogHistogram::Make(std::move(entries), c.default_frequency,
+                               c.num_default_values));
+    const auto key = std::make_pair(c.table, c.column);
+    if (by_name_.count(key) != 0) {
+      return Status::InvalidArgument("durable state repeats column " +
+                                     c.table + "." + c.column);
+    }
+    auto st = std::make_unique<ColumnState>();
+    st->table = c.table;
+    st->column = c.column;
+    st->maintainer = HistogramMaintainer(
+        std::move(histogram), c.maintainer.num_tuples, options_.maintenance);
+    st->maintainer.RestoreDurableState(c.maintainer);
+    st->ideal.reserve(c.ideal_values.size());
+    for (size_t i = 0; i < c.ideal_values.size(); ++i) {
+      st->ideal.emplace(c.ideal_values[i], c.ideal_counts[i]);
+    }
+    st->tuples_at_build = c.tuples_at_build;
+    st->min_value = c.min_value;
+    st->max_value = c.max_value;
+    st->distinct = c.distinct;
+    st->feedback_ewma = c.feedback_ewma;
+    st->has_feedback = c.has_feedback;
+    st->deltas_since_rebuild = c.deltas_since_rebuild;
+    st->rebuilds = c.rebuilds;
+    const RefreshColumnId id = static_cast<RefreshColumnId>(columns_.size());
+    columns_.push_back(std::move(st));
+    by_name_.emplace(key, id);
+    // Moments are a deterministic function of (histogram, ideal); recompute
+    // instead of persisting (scoring-equivalent up to FP re-association).
+    RecomputeMomentsLocked(*columns_[id]);
+    HOPS_RETURN_NOT_OK(WriteBackLocked(*columns_[id]));
+  }
+  last_applied_lsn_ = std::max(last_applied_lsn_, state.high_water_lsn);
+  HOPS_RETURN_NOT_OK(RepublishLocked());
+  return Status::OK();
+}
+
+Status RefreshManager::ReplayRegistration(uint64_t lsn, RefreshColumnId id,
+                                          const std::string& table,
+                                          const std::string& column,
+                                          std::span<const int64_t> value_ids,
+                                          std::span<const double> frequencies) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (durability_ != nullptr) {
+      return Status::InvalidArgument(
+          "ReplayRegistration must run before AttachDurability");
+    }
+    if (lsn != 0 && lsn <= last_applied_lsn_) {
+      return Status::OK();  // the snapshot already covers this registration
+    }
+  }
+  HOPS_ASSIGN_OR_RETURN(const RefreshColumnId got,
+                        RegisterColumn(table, column, value_ids, frequencies));
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_applied_lsn_ = std::max(last_applied_lsn_, lsn);
+  if (got != id) {
+    return Status::Internal("replayed registration of " + table + "." +
+                            column + " got id " + std::to_string(got) +
+                            ", WAL recorded " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Result<size_t> RefreshManager::ApplyRecoveredDeltas(
+    std::span<const UpdateRecord> records) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool changed = false;
+  size_t applied = 0;
+  for (const UpdateRecord& record : records) {
+    if (record.lsn != 0 && record.lsn <= last_applied_lsn_) continue;
+    last_applied_lsn_ = std::max(last_applied_lsn_, record.lsn);
+    if (record.column >= columns_.size()) {
+      unknown_column_records_.Increment();
+      continue;
+    }
+    HOPS_RETURN_NOT_OK(
+        ApplyDeltaLocked(*columns_[record.column], record.value, record.weight));
+    ++applied;
+  }
+  for (auto& state : columns_) {
+    if (!state->dirty) continue;
+    HOPS_RETURN_NOT_OK(WriteBackLocked(*state));
+    changed = true;
+  }
+  if (changed) HOPS_RETURN_NOT_OK(RepublishLocked());
+  return applied;
+}
+
+uint64_t RefreshManager::last_applied_lsn() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_applied_lsn_;
 }
 
 RefreshStats RefreshManager::stats() const {

@@ -45,6 +45,7 @@
 #include "engine/statistics.h"
 #include "estimator/serving.h"
 #include "histogram/maintenance.h"
+#include "refresh/durable_state.h"
 #include "refresh/refresh_source.h"
 #include "refresh/refresh_stats.h"
 #include "refresh/staleness.h"
@@ -138,6 +139,52 @@ class RefreshManager : public EstimationFeedbackSink, public RefreshSource {
 
   /// Direct access (bench instrumentation, shutdown Close()).
   UpdateLog& update_log() { return log_; }
+
+  // ------------------------------------------------------------- durability
+  //
+  // The storage layer (src/storage/, DESIGN.md §13) drives these. Recovery
+  // order matters: RestoreDurableState (from the latest snapshot), then
+  // ReplayRegistration / ApplyRecoveredDeltas for WAL records past the
+  // snapshot's high-water mark, then AttachDurability — attaching last
+  // keeps replay from re-persisting what the WAL already holds.
+
+  /// Installs \p hook (nullptr clears): deltas persist on the UpdateLog
+  /// accept path, registrations inside RegisterColumn before install. The
+  /// hook must outlive the manager or be cleared first.
+  void AttachDurability(DurabilityHook* hook);
+
+  /// Drains and applies every queued delta (republishing if anything
+  /// changed), then exports the whole manager image. Draining first makes
+  /// `high_water_lsn` contiguous: every LSN <= it is inside the image,
+  /// every LSN > it is still in the WAL for replay.
+  Result<RefreshDurableState> ExportDurableState();
+
+  /// Rebuilds live state from an exported image. The manager must be empty
+  /// (no registered columns) and configured with the same RefreshOptions
+  /// that produced the image. Writes every column back to the catalog and
+  /// republishes once.
+  Status RestoreDurableState(const RefreshDurableState& state);
+
+  /// Replays one persisted registration record: identical to
+  /// RegisterColumn, plus the recorded \p id must equal the id the replay
+  /// assigns (columns register in dense-id order) and \p lsn folds into
+  /// the high-water mark. Records at or below the current high-water mark
+  /// are skipped (the snapshot already holds them). FailedPrecondition if
+  /// a durability hook is already attached.
+  Status ReplayRegistration(uint64_t lsn, RefreshColumnId id,
+                            const std::string& table,
+                            const std::string& column,
+                            std::span<const int64_t> value_ids,
+                            std::span<const double> frequencies);
+
+  /// Applies WAL-replayed deltas directly (bypassing the queue and the
+  /// hook), skipping records at or below the high-water mark, folding each
+  /// applied LSN, and republishing once when anything changed. Returns the
+  /// number applied.
+  Result<size_t> ApplyRecoveredDeltas(std::span<const UpdateRecord> records);
+
+  /// Largest LSN whose effects are applied (0 before any durability).
+  uint64_t last_applied_lsn() const;
 
   // --------------------------------------------------------------- feedback
 
@@ -239,6 +286,8 @@ class RefreshManager : public EstimationFeedbackSink, public RefreshSource {
   telemetry::Counter feedback_reports_;
   double last_tick_seconds_ = 0;
   double last_refresh_seconds_ = 0;
+  DurabilityHook* durability_ = nullptr;  // guarded by mutex_
+  uint64_t last_applied_lsn_ = 0;         // guarded by mutex_
 };
 
 }  // namespace hops

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "refresh/durability.h"
 #include "telemetry/trace.h"
 
 namespace hops {
@@ -37,11 +38,23 @@ void UpdateLog::CommitLocked(std::span<const UpdateRecord> records) {
   high_water_ = std::max(high_water_, records_.size());
 }
 
+Status UpdateLog::AdmitLocked(std::span<const UpdateRecord> records) {
+  if (durability_ == nullptr) {
+    CommitLocked(records);
+    return Status::OK();
+  }
+  // Write-ahead: the hook stamps LSNs into copies and persists them before
+  // the queue (and therefore the producer's ack) ever sees the records.
+  scratch_.assign(records.begin(), records.end());
+  HOPS_RETURN_NOT_OK(durability_->PersistDeltas(std::span<UpdateRecord>(scratch_)));
+  CommitLocked(std::span<const UpdateRecord>(scratch_.data(), scratch_.size()));
+  return Status::OK();
+}
+
 Status UpdateLog::Record(const UpdateRecord& record) {
   std::unique_lock<std::mutex> lock(mutex_);
   HOPS_RETURN_NOT_OK(WaitForSpaceLocked(lock, 1));
-  CommitLocked(std::span<const UpdateRecord>(&record, 1));
-  return Status::OK();
+  return AdmitLocked(std::span<const UpdateRecord>(&record, 1));
 }
 
 Status UpdateLog::RecordBatch(std::span<const UpdateRecord> records) {
@@ -60,7 +73,13 @@ Status UpdateLog::RecordBatch(std::span<const UpdateRecord> records) {
           "update log closed; applied " + std::to_string(applied) + " of " +
           std::to_string(records.size()) + " batch records");
     }
-    CommitLocked(records.subspan(applied, chunk));
+    Status admitted = AdmitLocked(records.subspan(applied, chunk));
+    if (!admitted.ok()) {
+      return Status::Internal(
+          "durability hook refused batch (applied " + std::to_string(applied) +
+          " of " + std::to_string(records.size()) +
+          " records): " + admitted.message());
+    }
     applied += chunk;
   }
   return Status::OK();
@@ -68,13 +87,11 @@ Status UpdateLog::RecordBatch(std::span<const UpdateRecord> records) {
 
 bool UpdateLog::TryRecord(const UpdateRecord& record) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (closed_ || records_.size() >= capacity_) {
+  if (closed_ || records_.size() >= capacity_ ||
+      !AdmitLocked(std::span<const UpdateRecord>(&record, 1)).ok()) {
     rejected_.Increment();
     return false;
   }
-  records_.push_back(record);
-  enqueued_.Increment();
-  high_water_ = std::max(high_water_, records_.size());
   return true;
 }
 
@@ -98,6 +115,11 @@ void UpdateLog::Close() {
   std::lock_guard<std::mutex> lock(mutex_);
   closed_ = true;
   not_full_.notify_all();
+}
+
+void UpdateLog::SetDurabilityHook(DurabilityHook* hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  durability_ = hook;
 }
 
 size_t UpdateLog::depth() const {

@@ -47,6 +47,8 @@
 
 namespace hops {
 
+class DurabilityHook;
+
 /// \brief Dense id of a column registered with the RefreshManager. Valid
 /// only against the manager that issued it.
 using RefreshColumnId = uint32_t;
@@ -57,6 +59,10 @@ struct UpdateRecord {
   RefreshColumnId column = 0;
   int64_t value = 0;
   double weight = +1.0;
+  /// Log sequence number, stamped by the DurabilityHook (DESIGN.md §13)
+  /// when one is installed; 0 means "not persisted". Recovery compares it
+  /// against a snapshot's high-water mark to skip already-applied deltas.
+  uint64_t lsn = 0;
 };
 
 /// \brief Point-in-time counters of one UpdateLog.
@@ -115,6 +121,15 @@ class UpdateLog {
   /// fail, queued records remain drainable.
   void Close();
 
+  /// Installs (or clears, with nullptr) the write-ahead durability hook.
+  /// From then on every accept path — Record, RecordBatch, TryRecord —
+  /// calls hook->PersistDeltas under the log mutex *before* admission: the
+  /// hook stamps each record's lsn and the stamped copies are what the
+  /// queue stores, so an acknowledged record is always persisted. A hook
+  /// failure refuses the records (the producer sees the error / false).
+  /// \p hook must outlive the log or be cleared first.
+  void SetDurabilityHook(DurabilityHook* hook);
+
   size_t depth() const;
   bool closed() const;
   UpdateLogStats stats() const;
@@ -130,6 +145,11 @@ class UpdateLog {
 
   /// Appends \p records under mutex_ (space must already be reserved).
   void CommitLocked(std::span<const UpdateRecord> records);
+
+  /// Persists \p records through durability_ (stamping LSNs into scratch_
+  /// copies) then commits the stamped copies; commits \p records directly
+  /// when no hook is installed. Space must already be reserved.
+  Status AdmitLocked(std::span<const UpdateRecord> records);
 
   const size_t capacity_;
   mutable std::mutex mutex_;
@@ -148,6 +168,8 @@ class UpdateLog {
   telemetry::Counter rejected_;
   telemetry::Counter producer_waits_;
   size_t high_water_ = 0;  // max-fold; maintained under mutex_
+  DurabilityHook* durability_ = nullptr;  // guarded by mutex_
+  std::vector<UpdateRecord> scratch_;     // LSN-stamped copies, under mutex_
 };
 
 }  // namespace hops

@@ -1,0 +1,117 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <nmmintrin.h>
+#define HOPS_CRC32C_X86 1
+#endif
+
+namespace hops {
+
+namespace {
+
+// Slice-by-8 tables for the Castagnoli polynomial (reflected 0x82F63B78),
+// generated once at startup. ~8 KiB, cold-path only on SSE4.2 machines.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (size_t slice = 1; slice < 8; ++slice) {
+        t[slice][i] = (t[slice - 1][i] >> 8) ^ t[0][t[slice - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+#if HOPS_CRC32C_X86
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cExtendHardware(
+    uint32_t crc, const void* data, size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t state = crc ^ 0xFFFFFFFFu;
+  // Align to 8 bytes so the main loop issues only crc32q.
+  while (size > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    state = _mm_crc32_u8(static_cast<uint32_t>(state), *p++);
+    --size;
+  }
+  while (size >= 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, p, sizeof(word));
+    state = _mm_crc32_u64(state, word);
+    p += 8;
+    size -= 8;
+  }
+  while (size > 0) {
+    state = _mm_crc32_u8(static_cast<uint32_t>(state), *p++);
+    --size;
+  }
+  return static_cast<uint32_t>(state) ^ 0xFFFFFFFFu;
+}
+
+bool DetectHardware() { return __builtin_cpu_supports("sse4.2") != 0; }
+
+#else
+
+bool DetectHardware() { return false; }
+
+#endif  // HOPS_CRC32C_X86
+
+}  // namespace
+
+namespace internal {
+
+uint32_t Crc32cExtendSoftware(uint32_t crc, const void* data, size_t size) {
+  const auto& t = Tables().t;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t state = crc ^ 0xFFFFFFFFu;
+  while (size >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    __builtin_memcpy(&lo, p, sizeof(lo));
+    __builtin_memcpy(&hi, p + 4, sizeof(hi));
+    lo ^= state;
+    state = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^
+            t[5][(lo >> 16) & 0xFF] ^ t[4][lo >> 24] ^ t[3][hi & 0xFF] ^
+            t[2][(hi >> 8) & 0xFF] ^ t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  while (size > 0) {
+    state = (state >> 8) ^ t[0][(state ^ *p++) & 0xFF];
+    --size;
+  }
+  return state ^ 0xFFFFFFFFu;
+}
+
+bool Crc32cHardwareEnabled() {
+  static const bool enabled = DetectHardware();
+  return enabled;
+}
+
+}  // namespace internal
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+#if HOPS_CRC32C_X86
+  if (internal::Crc32cHardwareEnabled()) {
+    return Crc32cExtendHardware(crc, data, size);
+  }
+#endif
+  return internal::Crc32cExtendSoftware(crc, data, size);
+}
+
+}  // namespace hops

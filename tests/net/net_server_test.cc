@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -26,6 +27,8 @@
 #include "net/wire_format.h"
 #include "refresh/refresh_daemon.h"
 #include "refresh/refresh_manager.h"
+#include "storage/recovery.h"
+#include "storage/snapshot_file.h"
 #include "util/json.h"
 
 namespace hops::net {
@@ -398,10 +401,23 @@ TEST_F(NetServerTest, KeepAliveServesPipelinedRequests) {
 // SIGTERM under load: every response the server generated reaches a client
 // completely — the drain flushes before closing, so "accepted" work is
 // never lost. Clients whose requests the server never read just see a
-// clean close (those were never accepted).
+// clean close (those were never accepted). A durable store rides along:
+// the post-drain hook must leave a loadable shutdown snapshot behind.
 TEST_F(NetServerTest, SigtermUnderLoadLosesNoAcceptedResponses) {
   ASSERT_TRUE(ServingStack::InstallSignalHandlers().ok());
   ServingStack stack(server_.get(), /*daemon=*/nullptr, /*sink=*/nullptr);
+
+  // Mount durable storage over an empty directory: nothing to restore, but
+  // the shutdown path below must checkpoint the live catalog into it.
+  std::string data_dir = ::testing::TempDir() + "hops_sigterm_XXXXXX";
+  ASSERT_NE(::mkdtemp(data_dir.data()), nullptr);
+  storage::StorageOptions storage_options;
+  storage_options.data_dir = data_dir;
+  auto durable = storage::RecoveryManager::Open(storage_options);
+  ASSERT_TRUE(durable.ok()) << durable.status().message();
+  ASSERT_TRUE((*durable)->RecoverAndAttach(manager_.get()).ok());
+  stack.SetPostDrainHook(
+      [&durable] { return (*durable)->CloseAndSnapshot(); });
 
   std::atomic<uint64_t> received{0};
   std::atomic<bool> go{true};
@@ -437,6 +453,15 @@ TEST_F(NetServerTest, SigtermUnderLoadLosesNoAcceptedResponses) {
   // The invariant: responses generated == responses fully delivered.
   EXPECT_EQ(server_->requests_served(), received.load());
   EXPECT_GE(received.load(), 50u);
+
+  // The post-drain hook ran: a shutdown snapshot exists and loads with the
+  // fixture's two columns, so a warm restart could serve immediately.
+  auto snapshots = storage::ListSnapshotFiles(data_dir);
+  ASSERT_TRUE(snapshots.ok()) << snapshots.status().message();
+  ASSERT_FALSE(snapshots->empty()) << "post-drain hook wrote no snapshot";
+  auto loaded = storage::ReadSnapshotFile(snapshots->back().path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->columns.size(), 2u);
 }
 
 // Requests already received by the server when shutdown starts are

@@ -1,0 +1,190 @@
+// Snapshot serialization (src/storage/snapshot_file.h): byte-level round
+// trips of RefreshDurableState, file naming, crash-atomic write + read,
+// header-only info, and directory listing order. Corruption rejection is
+// covered exhaustively by corruption_matrix_test.cc.
+
+#include "storage/snapshot_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "storage/io.h"
+
+namespace hops::storage {
+namespace {
+
+std::string MakeTempDir(const std::string& tag) {
+  std::string templ = ::testing::TempDir() + "hops_" + tag + "_XXXXXX";
+  const char* dir = ::mkdtemp(templ.data());
+  EXPECT_NE(dir, nullptr);
+  return templ;
+}
+
+// Two columns with deliberately awkward doubles (non-dyadic fractions,
+// negative weights, huge counters) so round-trip equality is a real
+// bit-level check, plus one empty-ideal column and one empty-explicit one.
+RefreshDurableState MakeState() {
+  RefreshDurableState state;
+  state.high_water_lsn = 0x1234567890ABCDEFull;
+
+  ColumnDurableState a;
+  a.table = "orders";
+  a.column = "customer_id";
+  a.explicit_values = {-5, 3, 1000000007};
+  a.explicit_freqs = {0.1, 2.0 / 3.0, 123456.789};
+  a.default_frequency = 1.0 / 7.0;
+  a.num_default_values = 94;
+  a.maintainer = {1234.5, 1000.25, 77, -0.125, 42, 17.5, true};
+  a.ideal_values = {-5, 0, 3, 9};
+  a.ideal_counts = {1.5, 0.0, 2.0 / 3.0, 8.0};
+  a.tuples_at_build = 1000.25;
+  a.min_value = -5;
+  a.max_value = 1000000007;
+  a.distinct = 97;
+  a.feedback_ewma = 0.3333333333333333;
+  a.has_feedback = true;
+  a.deltas_since_rebuild = 12;
+  a.rebuilds = 3;
+  state.columns.push_back(a);
+
+  ColumnDurableState b;
+  b.table = "orders";
+  b.column = "item_id";
+  b.default_frequency = 4.25;
+  b.num_default_values = 10;
+  b.maintainer = {42.0, 42.0, 0, 0.0, 0, 0.0, false};
+  b.tuples_at_build = 42.0;
+  b.min_value = 0;
+  b.max_value = 9;
+  b.distinct = 10;
+  state.columns.push_back(b);
+
+  return state;
+}
+
+void ExpectStatesEqual(const RefreshDurableState& x,
+                       const RefreshDurableState& y) {
+  ASSERT_EQ(x.high_water_lsn, y.high_water_lsn);
+  ASSERT_EQ(x.columns.size(), y.columns.size());
+  for (size_t i = 0; i < x.columns.size(); ++i) {
+    const ColumnDurableState& a = x.columns[i];
+    const ColumnDurableState& b = y.columns[i];
+    EXPECT_EQ(a.table, b.table);
+    EXPECT_EQ(a.column, b.column);
+    EXPECT_EQ(a.explicit_values, b.explicit_values);
+    EXPECT_EQ(a.explicit_freqs, b.explicit_freqs);  // exact, not approx
+    EXPECT_EQ(a.default_frequency, b.default_frequency);
+    EXPECT_EQ(a.num_default_values, b.num_default_values);
+    EXPECT_EQ(a.maintainer.num_tuples, b.maintainer.num_tuples);
+    EXPECT_EQ(a.maintainer.tuples_at_build, b.maintainer.tuples_at_build);
+    EXPECT_EQ(a.maintainer.updates_applied, b.maintainer.updates_applied);
+    EXPECT_EQ(a.maintainer.drift, b.maintainer.drift);
+    EXPECT_EQ(a.maintainer.hot_value, b.maintainer.hot_value);
+    EXPECT_EQ(a.maintainer.hot_count, b.maintainer.hot_count);
+    EXPECT_EQ(a.maintainer.hot_valid, b.maintainer.hot_valid);
+    EXPECT_EQ(a.ideal_values, b.ideal_values);
+    EXPECT_EQ(a.ideal_counts, b.ideal_counts);
+    EXPECT_EQ(a.tuples_at_build, b.tuples_at_build);
+    EXPECT_EQ(a.min_value, b.min_value);
+    EXPECT_EQ(a.max_value, b.max_value);
+    EXPECT_EQ(a.distinct, b.distinct);
+    EXPECT_EQ(a.feedback_ewma, b.feedback_ewma);
+    EXPECT_EQ(a.has_feedback, b.has_feedback);
+    EXPECT_EQ(a.deltas_since_rebuild, b.deltas_since_rebuild);
+    EXPECT_EQ(a.rebuilds, b.rebuilds);
+  }
+}
+
+TEST(SnapshotFileName, RoundTrips) {
+  EXPECT_EQ(SnapshotFileName(1), "snapshot-0000000000000001.hsnp");
+  uint64_t seq = 0;
+  EXPECT_TRUE(ParseSnapshotFileName("snapshot-00000000000000ff.hsnp", &seq));
+  EXPECT_EQ(seq, 0xffu);
+  EXPECT_TRUE(ParseSnapshotFileName(SnapshotFileName(0xDEADBEEFull), &seq));
+  EXPECT_EQ(seq, 0xDEADBEEFull);
+  EXPECT_FALSE(ParseSnapshotFileName("snapshot-xyz.hsnp", &seq));
+  EXPECT_FALSE(ParseSnapshotFileName("wal-0000000000000001.wal", &seq));
+  EXPECT_FALSE(ParseSnapshotFileName("snapshot-0000000000000001.hsnp~", &seq));
+}
+
+TEST(SnapshotEncode, RoundTripsExactly) {
+  const RefreshDurableState state = MakeState();
+  const std::string bytes = EncodeSnapshot(7, state);
+  uint64_t seq = 0;
+  Result<RefreshDurableState> decoded = DecodeSnapshot(bytes, &seq);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(seq, 7u);
+  ExpectStatesEqual(state, *decoded);
+}
+
+TEST(SnapshotEncode, EmptyStateRoundTrips) {
+  RefreshDurableState state;
+  state.high_water_lsn = 5;
+  const std::string bytes = EncodeSnapshot(1, state);
+  Result<RefreshDurableState> decoded = DecodeSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->high_water_lsn, 5u);
+  EXPECT_TRUE(decoded->columns.empty());
+}
+
+TEST(SnapshotEncode, EncodingIsDeterministic) {
+  const RefreshDurableState state = MakeState();
+  EXPECT_EQ(EncodeSnapshot(3, state), EncodeSnapshot(3, state));
+}
+
+TEST(SnapshotFile, WriteReadAndInfo) {
+  const std::string dir = MakeTempDir("snap");
+  const RefreshDurableState state = MakeState();
+
+  Result<std::string> path = WriteSnapshotFile(dir, 9, state);
+  ASSERT_TRUE(path.ok()) << path.status().message();
+  EXPECT_EQ(*path, dir + "/" + SnapshotFileName(9));
+
+  uint64_t seq = 0;
+  Result<RefreshDurableState> loaded = ReadSnapshotFile(*path, &seq);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(seq, 9u);
+  ExpectStatesEqual(state, *loaded);
+
+  // Header-only validation reads identity without decoding payloads.
+  Result<SnapshotFileInfo> info = ReadSnapshotInfo(*path);
+  ASSERT_TRUE(info.ok()) << info.status().message();
+  EXPECT_EQ(info->seq, 9u);
+  EXPECT_EQ(info->high_water_lsn, state.high_water_lsn);
+}
+
+TEST(SnapshotFile, ReadMissingFileIsNotFound) {
+  const std::string dir = MakeTempDir("snapmiss");
+  Result<RefreshDurableState> loaded =
+      ReadSnapshotFile(dir + "/" + SnapshotFileName(1));
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SnapshotFile, ListSortsBySeqAndIgnoresForeignFiles) {
+  const std::string dir = MakeTempDir("snaplist");
+  const RefreshDurableState state = MakeState();
+  ASSERT_TRUE(WriteSnapshotFile(dir, 12, state).ok());
+  ASSERT_TRUE(WriteSnapshotFile(dir, 3, state).ok());
+  ASSERT_TRUE(WriteSnapshotFile(dir, 7, state).ok());
+  // Foreign files (WAL segments, junk) must not be listed — and a corrupt
+  // snapshot must still be listed so recovery can fall back past it.
+  ASSERT_TRUE(WriteFileAtomic(dir, "wal-0000000000000001.wal", "junk", false)
+                  .ok());
+  ASSERT_TRUE(WriteFileAtomic(dir, "notes.txt", "hi", false).ok());
+  ASSERT_TRUE(
+      WriteFileAtomic(dir, SnapshotFileName(20), "corrupt", false).ok());
+
+  Result<std::vector<SnapshotFileInfo>> listed = ListSnapshotFiles(dir);
+  ASSERT_TRUE(listed.ok()) << listed.status().message();
+  ASSERT_EQ(listed->size(), 4u);
+  EXPECT_EQ((*listed)[0].seq, 3u);
+  EXPECT_EQ((*listed)[1].seq, 7u);
+  EXPECT_EQ((*listed)[2].seq, 12u);
+  EXPECT_EQ((*listed)[3].seq, 20u);  // corrupt but listed
+}
+
+}  // namespace
+}  // namespace hops::storage
