@@ -27,11 +27,16 @@
 // Usage: serve_estimates [--port=N] [--workers=N] [--max-seconds=N]
 //                        [--telemetry-file=PATH] [--data-dir=PATH]
 //                        [--durability=none|batch|every]
-//                        [--checkpoint-seconds=N]
+//                        [--checkpoint-seconds=N] [--trace-file=PATH]
+//                        [--log-stderr=0|1]
 // --port=0 binds an ephemeral port (printed on stdout, for harnesses).
 // --max-seconds bounds the run (0 = serve until signalled).
 // --durability picks the WAL fsync policy (default batch; see storage/wal.h).
 // --checkpoint-seconds writes a periodic snapshot (0 = shutdown-only).
+// --trace-file dumps the trace recorder (Chrome trace-event JSON, the same
+//   document GET /debug/tracez serves) on shutdown — a crashed-but-
+//   signalled process still leaves its last sampled traces on disk.
+// --log-stderr mirrors the structured log to stderr (default on).
 
 #include <cstdint>
 #include <cstdlib>
@@ -49,7 +54,10 @@
 #include "storage/recovery.h"
 #include "telemetry/accuracy.h"
 #include "telemetry/exporters.h"
+#include "telemetry/log.h"
 #include "telemetry/metrics.h"
+#include "telemetry/process_metrics.h"
+#include "telemetry/trace_recorder.h"
 
 int main(int argc, char** argv) {
   using namespace hops;
@@ -59,6 +67,8 @@ int main(int argc, char** argv) {
   long max_seconds = 0;
   long checkpoint_seconds = 0;
   std::string telemetry_file;
+  std::string trace_file;
+  bool log_stderr = true;
   std::string data_dir;
   storage::WalFsync durability = storage::WalFsync::kBatch;
   for (int i = 1; i < argc; ++i) {
@@ -73,6 +83,10 @@ int main(int argc, char** argv) {
       checkpoint_seconds = std::strtol(arg.c_str() + 21, nullptr, 10);
     } else if (arg.rfind("--telemetry-file=", 0) == 0) {
       telemetry_file = arg.substr(17);
+    } else if (arg.rfind("--trace-file=", 0) == 0) {
+      trace_file = arg.substr(13);
+    } else if (arg.rfind("--log-stderr=", 0) == 0) {
+      log_stderr = arg.substr(13) != "0";
     } else if (arg.rfind("--data-dir=", 0) == 0) {
       data_dir = arg.substr(11);
     } else if (arg.rfind("--durability=", 0) == 0) {
@@ -92,6 +106,17 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // -------------------------------------------------------------- telemetry
+  // Observability first (DESIGN.md §14): the recorder must be installed
+  // before recovery/registration so startup spans (Storage.Recover, the
+  // first SnapshotPublish) can land in /debug/tracez, and the build-info
+  // gauge must exist before the first scrape.
+  telemetry::SetLogStderr(log_stderr);
+  telemetry::RegisterBuildInfo();
+  telemetry::UpdateProcessMetrics();
+  telemetry::TraceRecorder recorder(telemetry::TraceRecorder::EnvOptions());
+  telemetry::TraceRecorder::Install(&recorder);
 
   // ------------------------------------------------------------------ stack
   // Demo catalog: orders(customer_id) uniform, orders(item_id) skewed —
@@ -149,6 +174,42 @@ int main(int argc, char** argv) {
   service_options.store = &store;
   service_options.feedback = &tracker;
   service_options.updates = &manager;
+  service_options.accuracy = &tracker;  // /debug/columns q-error quantiles
+  if (durable != nullptr) {
+    // Adapter seam: hops_net does not link hops_storage, so /debug/wal and
+    // the healthz recovery block read through this closure.
+    storage::RecoveryManager* recovery = durable.get();
+    service_options.storage_debug = [recovery]() {
+      net::WalDebugInfo info;
+      info.attached = true;
+      switch (recovery->options().durability) {
+        case storage::WalFsync::kNone:
+          info.durability = "none";
+          break;
+        case storage::WalFsync::kBatch:
+          info.durability = "batch";
+          break;
+        case storage::WalFsync::kEvery:
+          info.durability = "every";
+          break;
+      }
+      const storage::RecoveryReport& recovered = recovery->report();
+      info.warm_restart = recovered.snapshot_loaded;
+      info.recovered_snapshot_seq = recovered.snapshot_seq;
+      info.recovered_high_water = recovered.snapshot_high_water;
+      info.replayed_deltas = recovered.wal_delta_records;
+      info.replayed_registrations = recovered.wal_registrations;
+      const storage::WalWriterStats stats = recovery->wal_stats();
+      info.next_lsn = stats.next_lsn;
+      info.records_appended = stats.records_appended;
+      info.bytes_appended = stats.bytes_appended;
+      info.fsyncs = stats.fsyncs;
+      info.writeback_kicks = stats.writeback_kicks;
+      info.segments_created = stats.segments_created;
+      info.segments_retired = stats.segments_retired;
+      return info;
+    };
+  }
   net::EstimateService service(service_options);
 
   net::HttpServerOptions server_options;
@@ -203,5 +264,15 @@ int main(int argc, char** argv) {
   std::cout << "shutting down: " << server.requests_served()
             << " requests served\n";
   stack.ShutdownOrdered().Check();
+  if (!trace_file.empty()) {
+    // After the drain so the dump includes the final requests' spans.
+    Status dumped = recorder.DumpToFile(trace_file);
+    if (!dumped.ok()) {
+      std::cerr << "trace dump failed: " << dumped.message() << "\n";
+    } else {
+      std::cout << "trace dump: " << trace_file << " ("
+                << recorder.events_recorded() << " events recorded)\n";
+    }
+  }
   return 0;
 }

@@ -6,9 +6,9 @@
 #   --tsan     also run the ThreadSanitizer build over the concurrency
 #              suites (thread_pool_test, parallel_build_test,
 #              snapshot_concurrency_test, refresh_daemon_test,
-#              telemetry_concurrency_test, sharded_refresh_soak_test,
-#              http_parser_test, net_server_test, storage_test,
-#              storage_crash_test)
+#              telemetry_concurrency_test, trace_recorder_test,
+#              sharded_refresh_soak_test, http_parser_test,
+#              net_server_test, storage_test, storage_crash_test)
 #   --telemetry-smoke  build + run examples/feedback_loop and grep its
 #              Prometheus dump for the expected metric families (the §9
 #              end-to-end observability gate)
@@ -22,6 +22,11 @@
 #              updates over /update, kill -9 the server, restart it on the
 #              same dir, and assert the /estimate answer is bit-identical —
 #              the §13 end-to-end crash-recovery gate
+#   --trace-smoke  build + run serve_estimates with --trace-file, drive a
+#              traced request (W3C traceparent) and assert the trace id is
+#              echoed, hit /debug/tracez + /debug/logz + /healthz, SIGTERM,
+#              then validate the dumped Chrome trace JSON — the §14
+#              end-to-end tracing gate
 #   --skip-tier1  skip the default build+ctest+bench stage (used by the CI
 #              sanitizer jobs so they only pay for their own build)
 set -euo pipefail
@@ -34,6 +39,7 @@ RUN_TELEMETRY_SMOKE=0
 RUN_SERVING_SMOKE=0
 RUN_PROBE_SMOKE=0
 RUN_RECOVERY_SMOKE=0
+RUN_TRACE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --asan) RUN_ASAN=1 ;;
@@ -42,6 +48,7 @@ for arg in "$@"; do
     --serving-smoke) RUN_SERVING_SMOKE=1 ;;
     --probe-smoke) RUN_PROBE_SMOKE=1 ;;
     --recovery-smoke) RUN_RECOVERY_SMOKE=1 ;;
+    --trace-smoke) RUN_TRACE_SMOKE=1 ;;
     --skip-tier1) RUN_TIER1=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -97,12 +104,31 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   echo "== Checking BENCH_serving.json schema (connections axis + provenance) =="
   for field in '"connections"' '"requests_per_second"' '"p50_micros"' \
       '"p99_micros"' '"p999_micros"' '"binary_vs_json"' '"binary_speedup"' \
+      '"tracing_overhead"' '"overhead_percent"' '"target_percent"' \
       '"timestamp_utc"' '"git_rev"'; do
     if ! grep -q "$field" BENCH_serving.json; then
       echo "BENCH_serving.json: missing field $field" >&2
       exit 1
     fi
   done
+
+  # The §14 tracing budget: the traced serving path must answer
+  # bit-identically and stay within its overhead target at the default
+  # 1/64 head-sampling rate.
+  echo "== Checking BENCH_serving.json tracing-overhead gate =="
+  python3 - BENCH_serving.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+t = doc["tracing_overhead"]
+assert t["identical"], "tracing_overhead: traced estimates not bit-identical"
+assert t["errors"] == 0, f"tracing_overhead: {t['errors']} request errors"
+assert t["overhead_percent"] < t["target_percent"], (
+    f"tracing overhead {t['overhead_percent']:.2f}% exceeds the "
+    f"{t['target_percent']:.0f}% budget")
+print(f"tracing gate: {t['overhead_percent']:.2f}% overhead at 1/"
+      f"{t['sample_one_in']} sampling (< {t['target_percent']:.0f}% budget), "
+      f"estimates bit-identical.")
+PY
 
   # And the §12 estimation bench: the batched/multiprobe axes, the cold-call
   # record, the point-workload headline, and provenance.
@@ -148,8 +174,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan --target thread_pool_test parallel_build_test \
     snapshot_concurrency_test refresh_daemon_test telemetry_concurrency_test \
-    sharded_refresh_soak_test http_parser_test net_server_test storage_test \
-    storage_crash_test
+    trace_recorder_test sharded_refresh_soak_test http_parser_test \
+    net_server_test storage_test storage_crash_test
   # Oversubscribe the pool so TSan sees real interleavings even on small
   # CI machines.
   HOPS_THREADS=4 ./build-tsan/tests/thread_pool_test
@@ -157,6 +183,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   HOPS_THREADS=4 ./build-tsan/tests/snapshot_concurrency_test
   HOPS_THREADS=4 ./build-tsan/tests/refresh_daemon_test
   HOPS_THREADS=4 ./build-tsan/tests/telemetry_concurrency_test
+  HOPS_THREADS=4 ./build-tsan/tests/trace_recorder_test
   HOPS_THREADS=4 ./build-tsan/tests/sharded_refresh_soak_test
   HOPS_THREADS=4 ./build-tsan/tests/http_parser_test
   HOPS_THREADS=4 ./build-tsan/tests/net_server_test
@@ -317,6 +344,89 @@ if [[ "$RUN_RECOVERY_SMOKE" == 1 ]]; then
     exit 1
   fi
   echo "recovery smoke: estimate bit-identical across kill -9 ($BEFORE_EST)."
+fi
+
+if [[ "$RUN_TRACE_SMOKE" == 1 ]]; then
+  echo "== Trace smoke (traced serve_estimates, §14 gate) =="
+  cmake -B build -G Ninja
+  cmake --build build --target serve_estimates
+  TRACE_LOG=$(mktemp)
+  TRACE_OUT=$(mktemp /tmp/trace_smoke.XXXXXX.json)
+  ./build/examples/serve_estimates --port=0 --max-seconds=60 \
+    --trace-file="$TRACE_OUT" >"$TRACE_LOG" 2>&1 &
+  SERVE_PID=$!
+  trap 'kill -TERM "$SERVE_PID" 2>/dev/null || true; rm -f "$TRACE_LOG" "$TRACE_OUT"' EXIT
+  SERVE_PORT=""
+  for _ in $(seq 1 50); do
+    SERVE_PORT=$(grep -oE 'serving on 127.0.0.1:[0-9]+' "$TRACE_LOG" \
+      | grep -oE '[0-9]+$' || true)
+    [[ -n "$SERVE_PORT" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$SERVE_PORT" ]]; then
+    echo "trace smoke: server never reported a port" >&2
+    cat "$TRACE_LOG" >&2
+    exit 1
+  fi
+
+  # A W3C-traced request: sampled flag 01 forces recording regardless of
+  # the head-sampling rate, and the trace id must come back in the echo
+  # header so a caller can find its own spans.
+  TRACE_ID="4bf92f3577b34da6a3ce929d0e0e4736"
+  TRACED_OUT=$(curl -si -X POST "http://127.0.0.1:$SERVE_PORT/estimate" \
+    -H "traceparent: 00-$TRACE_ID-00f067aa0ba902b7-01" \
+    -d '{"specs":[{"kind":"equality","table":"orders","column":"customer_id","value":7}]}')
+  if ! grep -qi "x-hops-trace-id: $TRACE_ID" <<<"$TRACED_OUT"; then
+    echo "trace smoke: trace id not echoed in x-hops-trace-id" >&2
+    echo "$TRACED_OUT" >&2
+    exit 1
+  fi
+  # Mixed untraced load so the dump holds more than one request's spans.
+  for i in $(seq 1 64); do
+    curl -sf -X POST "http://127.0.0.1:$SERVE_PORT/estimate" \
+      -d "{\"specs\":[{\"kind\":\"equality\",\"table\":\"orders\",\"column\":\"customer_id\",\"value\":$((i % 32))}]}" \
+      >/dev/null
+  done
+
+  TRACEZ_OUT=$(curl -sf "http://127.0.0.1:$SERVE_PORT/debug/tracez")
+  if ! grep -q "$TRACE_ID" <<<"$TRACEZ_OUT"; then
+    echo "trace smoke: traced request's spans missing from /debug/tracez" >&2
+    exit 1
+  fi
+  LOGZ_OUT=$(curl -sf "http://127.0.0.1:$SERVE_PORT/debug/logz")
+  if ! grep -q '"lines"' <<<"$LOGZ_OUT"; then
+    echo "trace smoke: /debug/logz returned no lines array" >&2
+    exit 1
+  fi
+  if ! curl -sf "http://127.0.0.1:$SERVE_PORT/healthz" | grep -q '"ok"'; then
+    echo "trace smoke: /healthz not ready" >&2
+    exit 1
+  fi
+
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID"
+  trap - EXIT
+
+  # The shutdown dump must be a well-formed Chrome trace: complete ("X")
+  # events sorted by start time, carrying the span tree a viewer needs.
+  python3 - "$TRACE_OUT" "$TRACE_ID" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "trace dump is empty"
+assert all(e["ph"] == "X" for e in events), "non-complete event in dump"
+ts = [e["ts"] for e in events]
+assert ts == sorted(ts), "events not sorted by start time"
+names = {e["name"] for e in events}
+for expected in ("Net.Request", "Serving.EstimateBatch"):
+    assert expected in names, f"span {expected} missing from dump"
+traced = [e for e in events if e["args"].get("trace_id") == sys.argv[2]]
+assert traced, "forced-sample trace id missing from dump"
+print(f"trace dump: {len(events)} events, {len(names)} span names, "
+      f"{len(traced)} spans under the forced trace id.")
+PY
+  rm -f "$TRACE_LOG" "$TRACE_OUT"
+  echo "trace smoke: traceparent echoed, tracez/logz/healthz live, dump valid."
 fi
 
 if [[ "$RUN_PROBE_SMOKE" == 1 ]]; then

@@ -45,18 +45,20 @@ done
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== ThreadSanitizer pass (thread_pool_test, parallel_build_test," \
-       "snapshot_concurrency_test, refresh_daemon_test) =="
+       "snapshot_concurrency_test, refresh_daemon_test," \
+       "trace_recorder_test) =="
   cmake -B build-tsan -G Ninja -DHOPS_SANITIZE=thread \
     -DHOPS_BUILD_BENCHMARKS=OFF -DHOPS_BUILD_EXAMPLES=OFF \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan --target thread_pool_test parallel_build_test \
-    snapshot_concurrency_test refresh_daemon_test
+    snapshot_concurrency_test refresh_daemon_test trace_recorder_test
   # Oversubscribe the pool so TSan sees real interleavings even on small
   # CI machines.
   HOPS_THREADS=4 ./build-tsan/tests/thread_pool_test
   HOPS_THREADS=4 ./build-tsan/tests/parallel_build_test
   HOPS_THREADS=4 ./build-tsan/tests/snapshot_concurrency_test
   HOPS_THREADS=4 ./build-tsan/tests/refresh_daemon_test
+  HOPS_THREADS=4 ./build-tsan/tests/trace_recorder_test
 fi
 
 echo "== Optimized bench: serial vs parallel batched construction =="
@@ -179,6 +181,13 @@ assert bvj["errors"] == 0, "binary_vs_json client errors"
 print(f"binary_vs_json: {bvj['json_rps']:.0f} req/s json vs "
       f"{bvj['binary_rps']:.0f} req/s binary "
       f"({bvj['binary_speedup']:.2f}x, identical={bvj['identical']})")
+tracing = doc["tracing_overhead"]
+assert tracing["identical"], "traced estimates not bit-identical"
+assert tracing["errors"] == 0, "tracing_overhead client errors"
+print(f"tracing_overhead: {tracing['overhead_percent']:.2f}% at 1/"
+      f"{tracing['sample_one_in']} sampling "
+      f"(target < {tracing['target_percent']:.0f}%, "
+      f"identical={tracing['identical']})")
 EOF
 
 echo "== Optimized bench: durable storage (snapshot + WAL + recovery) =="

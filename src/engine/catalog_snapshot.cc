@@ -1,6 +1,7 @@
 #include "engine/catalog_snapshot.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "telemetry/metrics.h"
@@ -138,8 +139,23 @@ void SnapshotStore::Publish(std::shared_ptr<const CatalogSnapshot> snapshot) {
   Lock();
   current_.swap(snapshot);
   Unlock();
+  publish_count_.fetch_add(1, std::memory_order_relaxed);
+  last_publish_nanos_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
   // The old snapshot (if this was the last reference) is destroyed here,
   // outside the critical section.
+}
+
+double SnapshotStore::seconds_since_publish() const {
+  const int64_t last = last_publish_nanos_.load(std::memory_order_relaxed);
+  if (last == 0) return -1.0;
+  const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  return static_cast<double>(now - last) * 1e-9;
 }
 
 Result<std::shared_ptr<const CatalogSnapshot>> SnapshotStore::RepublishFrom(

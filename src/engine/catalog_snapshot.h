@@ -144,12 +144,24 @@ class SnapshotStore {
   Result<std::shared_ptr<const CatalogSnapshot>> RepublishFromMerged(
       std::span<const Catalog* const> catalogs);
 
+  /// Publications through this store (0 = still the constructor's empty
+  /// snapshot — /healthz readiness gates on this).
+  uint64_t publish_count() const {
+    return publish_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Seconds since the last Publish (steady clock); negative when nothing
+  /// has been published yet. Feeds /healthz and /debug/snapshots age.
+  double seconds_since_publish() const;
+
  private:
   void Lock() const;
   void Unlock() const;
 
   mutable std::atomic<bool> locked_{false};
   std::shared_ptr<const CatalogSnapshot> current_;  // guarded by locked_
+  std::atomic<uint64_t> publish_count_{0};
+  std::atomic<int64_t> last_publish_nanos_{0};  // steady; 0 = never
 };
 
 }  // namespace hops

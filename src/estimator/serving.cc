@@ -520,6 +520,17 @@ std::vector<Result<double>> EstimateBatch(const CatalogSnapshot& snapshot,
       cache_misses_total->Increment(cache_lookups - cache_hits);
     }
   }
+  if (span.emitting()) {
+    span.SetDetail("specs=" + std::to_string(specs.size()) +
+                   " cache_hits=" + std::to_string(cache_hits) +
+                   " cache_misses=" +
+                   std::to_string(cache_lookups - cache_hits));
+  }
+  // Workers install the batch span's child context so kernel spans opened
+  // on pool threads join this request's trace tree (DESIGN.md §14). When
+  // the batch is not being traced this is a cheap invalid context and the
+  // per-lane spans skip event emission entirely.
+  const telemetry::TraceContext lane_context = span.ChildContext();
 
   // Pass 3 — group the kernel-eligible probes by column with a stable
   // counting bucket (comparison sort is O(n log n) indirections through the
@@ -561,6 +572,13 @@ std::vector<Result<double>> EstimateBatch(const CatalogSnapshot& snapshot,
     const size_t grain = std::max<size_t>(
         1, misc_idx.size() / (8 * std::max<size_t>(1, p.num_threads())));
     p.ParallelFor(0, misc_idx.size(), grain, [&](size_t begin, size_t end) {
+      telemetry::TraceContextScope lane_scope(lane_context);
+      static telemetry::SpanSite& misc_site =
+          telemetry::GetSpanSite("Serving.MiscLane");
+      telemetry::TraceSpan lane_span(misc_site);
+      if (lane_span.emitting()) {
+        lane_span.SetDetail("specs=" + std::to_string(end - begin));
+      }
       for (size_t j = begin; j < end; ++j) {
         const size_t i = misc_idx[j];
         results[i] = EstimateOne(snapshot, specs[i]);
@@ -651,11 +669,35 @@ std::vector<Result<double>> EstimateBatch(const CatalogSnapshot& snapshot,
   };
   if (!point_segments.empty()) {
     p.ParallelFor(0, point_segments.size(), 1, [&](size_t begin, size_t end) {
+      telemetry::TraceContextScope lane_scope(lane_context);
+      static telemetry::SpanSite& point_site =
+          telemetry::GetSpanSite("Serving.PointKernel");
+      telemetry::TraceSpan lane_span(point_site);
+      if (lane_span.emitting()) {
+        size_t probes = 0;
+        for (size_t s = begin; s < end; ++s) {
+          probes += point_segments[s].end - point_segments[s].begin;
+        }
+        lane_span.SetDetail("segments=" + std::to_string(end - begin) +
+                            " probes=" + std::to_string(probes));
+      }
       for (size_t s = begin; s < end; ++s) run_point_segment(point_segments[s]);
     });
   }
   if (!range_segments.empty()) {
     p.ParallelFor(0, range_segments.size(), 1, [&](size_t begin, size_t end) {
+      telemetry::TraceContextScope lane_scope(lane_context);
+      static telemetry::SpanSite& range_site =
+          telemetry::GetSpanSite("Serving.RangeKernel");
+      telemetry::TraceSpan lane_span(range_site);
+      if (lane_span.emitting()) {
+        size_t probes = 0;
+        for (size_t s = begin; s < end; ++s) {
+          probes += range_segments[s].end - range_segments[s].begin;
+        }
+        lane_span.SetDetail("segments=" + std::to_string(end - begin) +
+                            " probes=" + std::to_string(probes));
+      }
       for (size_t s = begin; s < end; ++s) run_range_segment(range_segments[s]);
     });
   }
@@ -675,6 +717,9 @@ Status ReportEstimateOutcome(const CatalogSnapshot& snapshot,
   if (sink == nullptr) {
     return Status::InvalidArgument("feedback sink must not be null");
   }
+  static telemetry::SpanSite& span_site =
+      telemetry::GetSpanSite("Serving.ReportOutcome");
+  telemetry::TraceSpan span(span_site);
   // Collect the distinct columns the spec consulted (tiny spans: a chain of
   // j joins touches 2j ids).
   ColumnId inline_ids[8];

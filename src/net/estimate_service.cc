@@ -2,17 +2,24 @@
 
 #include "net/estimate_service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
+#include <unordered_map>
 
+#include "engine/statistics.h"
 #include "net/wire_format.h"
+#include "refresh/staleness.h"
 #include "telemetry/exporters.h"
+#include "telemetry/log.h"
+#include "telemetry/process_metrics.h"
 
 namespace hops::net {
 
 namespace {
 
-double NowSeconds() {
-  return std::chrono::duration<double>(
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
@@ -58,6 +65,11 @@ EstimateService::EstimateService(EstimateServiceOptions options)
   estimate_ = MakeEndpoint("/estimate");
   feedback_ = MakeEndpoint("/feedback");
   update_ = MakeEndpoint("/update");
+  tracez_ = MakeEndpoint("/debug/tracez");
+  logz_ = MakeEndpoint("/debug/logz");
+  columns_ = MakeEndpoint("/debug/columns");
+  snapshots_ = MakeEndpoint("/debug/snapshots");
+  wal_ = MakeEndpoint("/debug/wal");
   other_ = MakeEndpoint("other");
 }
 
@@ -83,9 +95,34 @@ void EstimateService::CountRequest(const std::string& endpoint, int status) {
 
 HttpResponse EstimateService::Handle(const HttpRequest& request) {
   Endpoint* endpoint = &other_;
-  const double start = NowSeconds();
+  const int64_t start_nanos = NowNanos();
+
+  // Trace ingress (DESIGN.md §14): adopt the client's traceparent or mint
+  // a fresh context, decide sampling ONCE (deterministic in the trace id;
+  // an explicit incoming sampled flag forces recording), and install the
+  // context for the request's dynamic extent so every span below — across
+  // pool workers too — joins this request's tree.
+  telemetry::TraceRecorder* recorder =
+      options_.recorder != nullptr ? options_.recorder
+                                   : telemetry::TraceRecorder::Current();
+  telemetry::TraceContext context;
+  bool client_requested_sampling = false;
+  if (const std::string* header = request.FindHeader("traceparent");
+      header != nullptr && telemetry::ParseTraceparent(*header, &context)) {
+    client_requested_sampling = context.sampled;
+  }
+  if (!context.valid() && telemetry::Enabled()) {
+    context = telemetry::MintTraceContext();
+  }
+  context.sampled =
+      recorder != nullptr && context.valid() &&
+      (client_requested_sampling ||
+       recorder->ShouldSample(context.trace_hi, context.trace_lo));
+
+  telemetry::TraceContextScope scope(context);
   HttpResponse response = Route(request, &endpoint);
-  const double elapsed = NowSeconds() - start;
+  const double elapsed =
+      static_cast<double>(NowNanos() - start_nanos) * 1e-9;
   CountRequest(endpoint->path, response.status);
   // Exemplar detail ties a tail-latency observation back to its cause:
   // method, target, response size, and status.
@@ -99,6 +136,41 @@ HttpResponse EstimateService::Handle(const HttpRequest& request) {
   detail += " bytes=";
   detail += std::to_string(response.body.size());
   endpoint->latency->RecordWithExemplar(elapsed, detail);
+
+  if (context.valid()) {
+    response.extra_headers.emplace_back("x-hops-trace-id",
+                                        telemetry::FormatTraceId(context));
+  }
+
+  // Tail-keep: a slow or 5xx request that head-sampling skipped still
+  // leaves one root event in the recorder (no child spans — those are
+  // gone — but the trace id, endpoint, and wall interval survive), plus a
+  // rate-limited warn line correlated by trace id.
+  const bool slow = elapsed >= options_.slow_request_seconds;
+  const bool failed = response.status >= 500;
+  if ((slow || failed) && recorder != nullptr && context.valid() &&
+      !context.sampled) {
+    telemetry::TraceEvent event;
+    event.trace_hi = context.trace_hi;
+    event.trace_lo = context.trace_lo;
+    event.span_id = telemetry::MintSpanId();
+    event.start_nanos = start_nanos;
+    event.end_nanos = NowNanos();
+    static constexpr char kTailName[] = "Net.TailKeep";
+    std::memcpy(event.name, kTailName, sizeof(kTailName));
+    const size_t n =
+        std::min(detail.size(), sizeof(event.detail) - 1);
+    std::memcpy(event.detail, detail.data(), n);
+    recorder->Record(event);
+  }
+  if (slow) {
+    HOPS_LOG(telemetry::LogLevel::kWarn, "net", "slow request",
+             {"endpoint", endpoint->path}, {"status", response.status},
+             {"seconds", elapsed});
+  } else if (failed) {
+    HOPS_LOG(telemetry::LogLevel::kWarn, "net", "server error",
+             {"endpoint", endpoint->path}, {"status", response.status});
+  }
   return response;
 }
 
@@ -122,9 +194,44 @@ HttpResponse EstimateService::Route(const HttpRequest& request,
     if (request.method != "GET") return MakeErrorResponse(405, "use GET");
     return HandleHealthz();
   }
+  if (request.target == "/debug/tracez") {
+    *endpoint = &tracez_;
+    telemetry::TraceSpan span(*tracez_.span);
+    if (request.method != "GET") return MakeErrorResponse(405, "use GET");
+    return HandleTracez(options_.recorder != nullptr
+                            ? options_.recorder
+                            : telemetry::TraceRecorder::Current());
+  }
+  if (request.target == "/debug/logz") {
+    *endpoint = &logz_;
+    telemetry::TraceSpan span(*logz_.span);
+    if (request.method != "GET") return MakeErrorResponse(405, "use GET");
+    return HandleLogz();
+  }
+  if (request.target == "/debug/columns") {
+    *endpoint = &columns_;
+    telemetry::TraceSpan span(*columns_.span);
+    if (request.method != "GET") return MakeErrorResponse(405, "use GET");
+    return HandleColumns();
+  }
+  if (request.target == "/debug/snapshots") {
+    *endpoint = &snapshots_;
+    telemetry::TraceSpan span(*snapshots_.span);
+    if (request.method != "GET") return MakeErrorResponse(405, "use GET");
+    return HandleSnapshots();
+  }
+  if (request.target == "/debug/wal") {
+    *endpoint = &wal_;
+    telemetry::TraceSpan span(*wal_.span);
+    if (request.method != "GET") return MakeErrorResponse(405, "use GET");
+    return HandleWal();
+  }
   if (request.target == "/estimate") {
     *endpoint = &estimate_;
     telemetry::TraceSpan span(*estimate_.span);
+    if (span.emitting()) {
+      span.SetDetail("bytes=" + std::to_string(request.body.size()));
+    }
     if (request.method != "POST") return MakeErrorResponse(405, "use POST");
     return HandleEstimate(request);
   }
@@ -145,6 +252,7 @@ HttpResponse EstimateService::Route(const HttpRequest& request,
 }
 
 HttpResponse EstimateService::HandleMetrics() const {
+  telemetry::UpdateProcessMetrics(registry_);  // scrape-fresh /proc gauges
   HttpResponse response;
   response.content_type = "text/plain; version=0.0.4; charset=utf-8";
   response.body = telemetry::RenderPrometheus(registry_->Collect());
@@ -152,6 +260,7 @@ HttpResponse EstimateService::HandleMetrics() const {
 }
 
 HttpResponse EstimateService::HandleMetricsJson() const {
+  telemetry::UpdateProcessMetrics(registry_);
   HttpResponse response;
   response.body = telemetry::RenderJson(registry_->Collect());
   response.body.push_back('\n');
@@ -159,16 +268,270 @@ HttpResponse EstimateService::HandleMetricsJson() const {
 }
 
 HttpResponse EstimateService::HandleHealthz() const {
+  // Readiness gates on the first REAL publication, not on snapshot
+  // contents: a load balancer must hold traffic while the process is still
+  // replaying its WAL or compiling its first catalog, and an intentionally
+  // empty catalog is still "ready" once its owner published it.
+  const bool ready = options_.store->publish_count() > 0;
   const std::shared_ptr<const CatalogSnapshot> snapshot =
       options_.store->Current();
   JsonWriter writer;
   writer.BeginObject();
   writer.Key("status");
-  writer.String("ok");
+  writer.String(ready ? "ok" : "starting");
   writer.Key("snapshot_version");
   writer.UInt(snapshot->source_version());
   writer.Key("columns");
   writer.UInt(snapshot->num_columns());
+  writer.Key("publish_count");
+  writer.UInt(options_.store->publish_count());
+  const double age = options_.store->seconds_since_publish();
+  writer.Key("snapshot_age_seconds");
+  if (age < 0) {
+    writer.Null();
+  } else {
+    writer.Double(age);
+  }
+  if (options_.storage_debug) {
+    const WalDebugInfo info = options_.storage_debug();
+    if (info.attached) {
+      writer.Key("storage");
+      writer.BeginObject();
+      writer.Key("durability");
+      writer.String(info.durability);
+      writer.Key("warm_restart");
+      writer.Bool(info.warm_restart);
+      writer.Key("recovered_snapshot_seq");
+      writer.UInt(info.recovered_snapshot_seq);
+      writer.Key("replayed_deltas");
+      writer.UInt(info.replayed_deltas);
+      writer.EndObject();
+    }
+  }
+  writer.EndObject();
+  return JsonResponse(ready ? 200 : 503, writer);
+}
+
+HttpResponse EstimateService::HandleTracez(
+    telemetry::TraceRecorder* recorder) const {
+  if (recorder == nullptr) {
+    return MakeErrorResponse(503, "no trace recorder installed");
+  }
+  HttpResponse response;
+  response.body = recorder->ExportChromeTrace();
+  response.body.push_back('\n');
+  return response;
+}
+
+HttpResponse EstimateService::HandleLogz() const {
+  const telemetry::LogBuffer& buffer = telemetry::LogBuffer::Global();
+  const std::vector<std::string> lines = buffer.Snapshot();
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("total");
+  writer.UInt(buffer.total_lines());
+  writer.Key("lines");
+  writer.BeginArray();
+  for (const std::string& line : lines) {
+    writer.Raw(line);  // each line is already a rendered JSON object
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return JsonResponse(200, writer);
+}
+
+HttpResponse EstimateService::HandleColumns() const {
+  const std::shared_ptr<const CatalogSnapshot> snapshot =
+      options_.store->Current();
+
+  // Staleness verdicts join by name: the refresh manager scores its own
+  // registered column set, which may lag (or lead) the published snapshot
+  // by a tick.
+  std::vector<ColumnStalenessReport> staleness;
+  std::unordered_map<std::string, const ColumnStalenessReport*> by_name;
+  if (options_.updates != nullptr) {
+    staleness = options_.updates->ScoreColumns();
+    by_name.reserve(staleness.size());
+    for (const ColumnStalenessReport& report : staleness) {
+      by_name.emplace(report.table + "." + report.column, &report);
+    }
+  }
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("snapshot_version");
+  writer.UInt(snapshot->source_version());
+  if (options_.updates != nullptr) {
+    writer.Key("histogram_class");
+    writer.String(StatisticsHistogramClassToString(
+        options_.updates->options().statistics.histogram_class));
+  }
+  writer.Key("columns");
+  writer.BeginArray();
+  for (ColumnId id = 0; id < snapshot->num_columns(); ++id) {
+    const CompiledColumnStats& stats = snapshot->stats(id);
+    writer.BeginObject();
+    writer.Key("table");
+    writer.String(stats.table);
+    writer.Key("column");
+    writer.String(stats.column);
+    writer.Key("num_tuples");
+    writer.Double(stats.num_tuples);
+    writer.Key("num_distinct");
+    writer.UInt(stats.num_distinct);
+    if (stats.histogram != nullptr) {
+      writer.Key("explicit_entries");
+      writer.UInt(stats.histogram->num_explicit());
+      writer.Key("histogram_values");
+      writer.UInt(stats.histogram->num_values());
+    }
+    if (const auto it = by_name.find(stats.table + "." + stats.column);
+        it != by_name.end()) {
+      const ColumnStalenessReport& report = *it->second;
+      writer.Key("staleness");
+      writer.BeginObject();
+      writer.Key("score");
+      writer.Double(report.score.total);
+      writer.Key("drift_fraction");
+      writer.Double(report.score.signals.drift_fraction);
+      writer.Key("self_join_relative");
+      writer.Double(report.score.signals.self_join_relative);
+      writer.Key("feedback_error");
+      writer.Double(report.score.signals.feedback_error);
+      writer.Key("rebuild_recommended");
+      writer.Bool(report.score.rebuild_recommended);
+      writer.Key("reason");
+      writer.String(RebuildReasonToString(report.score.reason));
+      writer.Key("deltas_applied");
+      writer.UInt(report.deltas_applied);
+      writer.Key("rebuilds");
+      writer.UInt(report.rebuilds);
+      writer.EndObject();
+    }
+    if (options_.accuracy != nullptr) {
+      Result<telemetry::ColumnAccuracy> accuracy =
+          options_.accuracy->ColumnReport(stats.table, stats.column);
+      if (accuracy.ok()) {
+        writer.Key("accuracy");
+        writer.BeginObject();
+        writer.Key("reports");
+        writer.UInt(accuracy->reports);
+        writer.Key("underestimates");
+        writer.UInt(accuracy->underestimates);
+        writer.Key("overestimates");
+        writer.UInt(accuracy->overestimates);
+        writer.Key("p50_qerror");
+        writer.Double(accuracy->p50_qerror);
+        writer.Key("p95_qerror");
+        writer.Double(accuracy->p95_qerror);
+        writer.Key("p99_qerror");
+        writer.Double(accuracy->p99_qerror);
+        writer.Key("max_qerror");
+        writer.Double(accuracy->max_qerror);
+        writer.EndObject();
+      }
+    }
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return JsonResponse(200, writer);
+}
+
+HttpResponse EstimateService::HandleSnapshots() const {
+  const std::shared_ptr<const CatalogSnapshot> snapshot =
+      options_.store->Current();
+  // The estimate-cache counters live in the process-wide registry (the
+  // serving layer's EstimateBatch records there unconditionally); reading
+  // them through GetCounter with the exact name+help either finds the live
+  // counters or creates zeroed ones — same answer either way.
+  telemetry::MetricRegistry& global = telemetry::MetricRegistry::Global();
+  const uint64_t hits =
+      global
+          .GetCounter(
+              "hops_estimate_cache_hits_total",
+              "EstimateBatch specs served from the snapshot estimate cache.")
+          ->Value();
+  const uint64_t misses =
+      global
+          .GetCounter(
+              "hops_estimate_cache_misses_total",
+              "EstimateBatch cache lookups that fell through to computation.")
+          ->Value();
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("snapshot_version");
+  writer.UInt(snapshot->source_version());
+  writer.Key("columns");
+  writer.UInt(snapshot->num_columns());
+  writer.Key("publish_count");
+  writer.UInt(options_.store->publish_count());
+  const double age = options_.store->seconds_since_publish();
+  writer.Key("seconds_since_publish");
+  if (age < 0) {
+    writer.Null();
+  } else {
+    writer.Double(age);
+  }
+  writer.Key("estimate_cache");
+  writer.BeginObject();
+  writer.Key("capacity");
+  writer.UInt(snapshot->estimate_cache().capacity());
+  writer.Key("hits");
+  writer.UInt(hits);
+  writer.Key("misses");
+  writer.UInt(misses);
+  writer.Key("hit_rate");
+  writer.Double(hits + misses > 0
+                    ? static_cast<double>(hits) /
+                          static_cast<double>(hits + misses)
+                    : 0.0);
+  writer.EndObject();
+  writer.EndObject();
+  return JsonResponse(200, writer);
+}
+
+HttpResponse EstimateService::HandleWal() const {
+  JsonWriter writer;
+  writer.BeginObject();
+  if (!options_.storage_debug) {
+    writer.Key("attached");
+    writer.Bool(false);
+    writer.EndObject();
+    return JsonResponse(200, writer);
+  }
+  const WalDebugInfo info = options_.storage_debug();
+  writer.Key("attached");
+  writer.Bool(info.attached);
+  if (info.attached) {
+    writer.Key("durability");
+    writer.String(info.durability);
+    writer.Key("warm_restart");
+    writer.Bool(info.warm_restart);
+    writer.Key("recovered_snapshot_seq");
+    writer.UInt(info.recovered_snapshot_seq);
+    writer.Key("recovered_high_water");
+    writer.UInt(info.recovered_high_water);
+    writer.Key("replayed_deltas");
+    writer.UInt(info.replayed_deltas);
+    writer.Key("replayed_registrations");
+    writer.UInt(info.replayed_registrations);
+    writer.Key("next_lsn");
+    writer.UInt(info.next_lsn);
+    writer.Key("records_appended");
+    writer.UInt(info.records_appended);
+    writer.Key("bytes_appended");
+    writer.UInt(info.bytes_appended);
+    writer.Key("fsyncs");
+    writer.UInt(info.fsyncs);
+    writer.Key("writeback_kicks");
+    writer.UInt(info.writeback_kicks);
+    writer.Key("segments_created");
+    writer.UInt(info.segments_created);
+    writer.Key("segments_retired");
+    writer.UInt(info.segments_retired);
+  }
   writer.EndObject();
   return JsonResponse(200, writer);
 }

@@ -7,7 +7,27 @@
 //                       service registry. text/plain; version=0.0.4.
 //   GET  /metrics.json  The same snapshot as JSON — the export that carries
 //                       slow-request exemplars (Prometheus v0.0.4 cannot).
-//   GET  /healthz       {"status":"ok", ...} liveness + snapshot version.
+//   GET  /healthz       Liveness + readiness: 200 {"status":"ok", ...} once
+//                       the first real snapshot is published, 503
+//                       {"status":"starting"} before that (load balancers
+//                       hold traffic until statistics exist). The body
+//                       reports snapshot version/age/columns and, when
+//                       durable storage is attached, recovery state.
+//   GET  /debug/tracez  Chrome trace-event JSON (Perfetto-loadable) from
+//                       the installed TraceRecorder: the span trees of
+//                       recently sampled requests. 503 when no recorder.
+//   GET  /debug/logz    {"total":N,"lines":[...]} — the in-memory
+//                       structured-log ring, newest last.
+//   GET  /debug/columns Per-column introspection: histogram class, bucket
+//                       counts, staleness score (refresh advisor), q-error
+//                       quantiles (AccuracyTracker) — the "which column is
+//                       lying to the optimizer" drill-down.
+//   GET  /debug/snapshots  Snapshot version, age, publish count, estimate
+//                       cache occupancy and hit/miss totals.
+//   GET  /debug/wal     Durable-storage state via the storage_debug
+//                       provider: durability mode, LSN high-water mark,
+//                       segment and fsync counts. {"attached":false} when
+//                       the process runs without --data-dir.
 //   POST /estimate      {"specs":[...]} → resolves each spec against the
 //                       CURRENT RCU CatalogSnapshot and fans the batch
 //                       through EstimateBatch. Per-spec failures are
@@ -45,12 +65,22 @@
 // Values are JSON integers or strings (the engine's two Value types).
 //
 // Every endpoint is instrumented: hops_http_requests_total{endpoint,code},
-// per-endpoint latency histograms with slow-request exemplars attached
-// (satellite of this PR), and a Net.Request trace span per endpoint.
+// per-endpoint latency histograms with slow-request exemplars attached,
+// and a Net.Request trace span per endpoint.
 // Handle() is thread-safe — the event-loop workers call it concurrently.
+//
+// Request tracing (DESIGN.md §14): Handle() adopts an incoming W3C
+// `traceparent` header (or mints a fresh TraceContext), decides sampling
+// once (deterministic in the trace id; an explicit sampled flag on the
+// incoming header forces recording), installs the context for the
+// request's extent so every TraceSpan below joins the trace, and echoes
+// the trace id in an `x-hops-trace-id` response header. Requests slower
+// than slow_request_seconds — or answered 5xx — get a tail-keep event in
+// the recorder even when unsampled, plus a structured warn log line.
 
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "engine/catalog_snapshot.h"
@@ -58,12 +88,37 @@
 #include "net/http.h"
 #include "net/server.h"
 #include "refresh/refresh_manager.h"
+#include "telemetry/accuracy.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
+#include "telemetry/trace_context.h"
+#include "telemetry/trace_recorder.h"
 #include "util/json.h"
 #include "util/thread_pool.h"
 
 namespace hops::net {
+
+/// \brief What GET /debug/wal (and the healthz recovery block) reports.
+/// Filled by a caller-supplied provider — the net layer deliberately does
+/// not depend on hops_storage; the serving daemon adapts
+/// storage::RecoveryManager into this struct (same seam as the serving
+/// stack's post-drain hook).
+struct WalDebugInfo {
+  bool attached = false;
+  std::string durability;  ///< "none" | "batch" | "every"
+  bool warm_restart = false;  ///< recovered a previous process's snapshot
+  uint64_t recovered_snapshot_seq = 0;
+  uint64_t recovered_high_water = 0;
+  uint64_t replayed_deltas = 0;
+  uint64_t replayed_registrations = 0;
+  uint64_t next_lsn = 0;  ///< high-water mark + 1
+  uint64_t records_appended = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t fsyncs = 0;
+  uint64_t writeback_kicks = 0;
+  uint64_t segments_created = 0;
+  uint64_t segments_retired = 0;
+};
 
 /// \brief Wiring for the endpoint layer.
 struct EstimateServiceOptions {
@@ -85,6 +140,20 @@ struct EstimateServiceOptions {
   /// Specs per /estimate (and reports per /feedback) request; larger
   /// batches are rejected with 413 before any estimation work.
   size_t max_specs_per_request = 4096;
+  /// AccuracyTracker whose per-column q-error quantiles /debug/columns
+  /// renders. nullptr omits the accuracy block (feedback may still flow —
+  /// options.feedback is a separate, more general sink).
+  telemetry::AccuracyTracker* accuracy = nullptr;
+  /// Span-event sink for request tracing. nullptr = whatever
+  /// TraceRecorder::Current() says at each request (the common wiring:
+  /// install one process-wide recorder at startup).
+  telemetry::TraceRecorder* recorder = nullptr;
+  /// Provider for /debug/wal and the healthz recovery block; an empty
+  /// function reports {"attached": false}.
+  std::function<WalDebugInfo()> storage_debug;
+  /// Requests at or above this wall time get a tail-keep trace event and
+  /// a structured warn log line even when head-sampling skipped them.
+  double slow_request_seconds = 0.25;
 };
 
 /// \brief The HttpHandler the serving stack mounts on the HttpServer.
@@ -118,6 +187,11 @@ class EstimateService {
   HttpResponse HandleEstimateBinary(const HttpRequest& request);
   HttpResponse HandleFeedback(const HttpRequest& request);
   HttpResponse HandleUpdate(const HttpRequest& request);
+  HttpResponse HandleTracez(telemetry::TraceRecorder* recorder) const;
+  HttpResponse HandleLogz() const;
+  HttpResponse HandleColumns() const;
+  HttpResponse HandleSnapshots() const;
+  HttpResponse HandleWal() const;
 
   /// Decodes one spec object against \p snapshot (names → dense ids).
   Result<EstimateSpec> ParseSpec(const JsonValue& value,
@@ -135,6 +209,11 @@ class EstimateService {
   Endpoint estimate_;
   Endpoint feedback_;
   Endpoint update_;
+  Endpoint tracez_;
+  Endpoint logz_;
+  Endpoint columns_;
+  Endpoint snapshots_;
+  Endpoint wal_;
   Endpoint other_;
 };
 

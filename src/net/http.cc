@@ -95,6 +95,12 @@ std::string RenderHttpResponse(const HttpResponse& response, bool keep_alive) {
   out += std::to_string(response.body.size());
   out += "\r\nConnection: ";
   out += (keep_alive && !response.close) ? "keep-alive" : "close";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
   out += "\r\n\r\n";
   out += response.body;
   return out;

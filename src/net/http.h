@@ -53,6 +53,10 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra response headers rendered verbatim after the built-in ones
+  /// (e.g. x-hops-trace-id). Names and values must be header-safe; the
+  /// renderer does not escape them.
+  std::vector<std::pair<std::string, std::string>> extra_headers;
   /// Force Connection: close regardless of the request's keep-alive.
   bool close = false;
 };

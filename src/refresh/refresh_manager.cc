@@ -532,6 +532,21 @@ Status RefreshManager::RebuildColumns(
 }
 
 Result<RefreshTickReport> RefreshManager::Tick() {
+  // Each tick roots its own trace (DESIGN.md §14): ticks run on the refresh
+  // daemon's thread, outside any request, so when no context is already
+  // installed the tick mints one and head-samples it exactly like an HTTP
+  // ingress would — sampled ticks land in /debug/tracez with the full
+  // drain/apply/score/rebuild/republish phase tree under them.
+  telemetry::TraceContext tick_context = telemetry::CurrentTraceContext();
+  if (!tick_context.valid() && telemetry::Enabled()) {
+    if (telemetry::TraceRecorder* recorder =
+            telemetry::TraceRecorder::Current()) {
+      tick_context = telemetry::MintTraceContext();
+      tick_context.sampled =
+          recorder->ShouldSample(tick_context.trace_hi, tick_context.trace_lo);
+    }
+  }
+  telemetry::TraceContextScope tick_scope(tick_context);
   static telemetry::SpanSite& tick_site = telemetry::GetSpanSite("Refresh.Tick");
   telemetry::TraceSpan tick_span(tick_site);
   Stopwatch stopwatch;
@@ -558,6 +573,11 @@ Result<RefreshTickReport> RefreshManager::Tick() {
   }
   report.seconds = stopwatch.ElapsedSeconds();
   last_tick_seconds_ = report.seconds;
+  if (tick_span.emitting()) {
+    tick_span.SetDetail("deltas=" + std::to_string(report.deltas_applied) +
+                        " rebuilt=" + std::to_string(report.columns_rebuilt) +
+                        (report.republished ? " republished=1" : ""));
+  }
   return report;
 }
 

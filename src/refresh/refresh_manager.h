@@ -122,6 +122,10 @@ class RefreshManager : public EstimationFeedbackSink, public RefreshSource {
 
   size_t num_columns() const;
 
+  /// The options the manager was constructed with (e.g. the histogram
+  /// class rebuilds use — surfaced by GET /debug/columns).
+  const RefreshOptions& options() const { return options_; }
+
   // ------------------------------------------------------------- write path
 
   /// Producer-facing delta ingestion (thread-safe, blocking backpressure —

@@ -5,6 +5,7 @@
 
 #include "storage/io.h"
 #include "storage/snapshot_file.h"
+#include "telemetry/log.h"
 #include "telemetry/trace.h"
 #include "util/stopwatch.h"
 
@@ -145,6 +146,12 @@ Status RecoveryManager::RecoverAndAttach(RefreshManager* manager) {
   RecoveryRuns()->Increment();
   RecoveryReplayedRecords()->Increment(replay.delta_records);
   RecoverySeconds()->Set(report_.seconds);
+  HOPS_LOG(telemetry::LogLevel::kInfo, "storage", "recovery complete",
+           {"warm_restart", report_.snapshot_loaded},
+           {"snapshot_seq", report_.snapshot_seq},
+           {"replayed_deltas", report_.wal_delta_records},
+           {"replayed_registrations", report_.wal_registrations},
+           {"seconds", report_.seconds});
   return Status::OK();
 }
 
@@ -154,6 +161,19 @@ Status RecoveryManager::WriteSnapshot() {
     return Status::InvalidArgument(
         "WriteSnapshot requires a recovered, attached manager");
   }
+  // Checkpoints usually run from the maintenance daemon's timer thread,
+  // outside any request — root a fresh (head-sampled) trace when no context
+  // is installed so checkpoint latency shows up in /debug/tracez.
+  telemetry::TraceContext write_context = telemetry::CurrentTraceContext();
+  if (!write_context.valid() && telemetry::Enabled()) {
+    if (telemetry::TraceRecorder* recorder =
+            telemetry::TraceRecorder::Current()) {
+      write_context = telemetry::MintTraceContext();
+      write_context.sampled = recorder->ShouldSample(write_context.trace_hi,
+                                                     write_context.trace_lo);
+    }
+  }
+  telemetry::TraceContextScope write_scope(write_context);
   static telemetry::SpanSite& snapshot_site =
       telemetry::GetSpanSite("Storage.SnapshotWrite");
   telemetry::TraceSpan span(snapshot_site);
@@ -191,6 +211,9 @@ Status RecoveryManager::WriteSnapshot() {
         std::min(retire_through, header.ok() ? header->high_water_lsn : 0);
   }
   HOPS_RETURN_NOT_OK(wal_->RetireThrough(retire_through).status());
+  HOPS_LOG(telemetry::LogLevel::kInfo, "storage", "snapshot written",
+           {"seq", seq}, {"bytes", static_cast<uint64_t>(bytes.size())},
+           {"retire_through_lsn", retire_through});
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <utility>
 
+#include "telemetry/process_metrics.h"
 #include "util/json.h"
 
 namespace hops::telemetry {
@@ -296,6 +297,9 @@ Status TelemetrySink::WriteOnce() {
   MetricRegistry* registry =
       options_.registry != nullptr ? options_.registry
                                    : &MetricRegistry::Global();
+  if (options_.update_process_metrics) {
+    UpdateProcessMetrics(registry);  // dump-fresh /proc gauges
+  }
   const MetricsSnapshot snapshot = registry->Collect();
   const std::string rendered = options_.format == ExportFormat::kPrometheus
                                    ? RenderPrometheus(snapshot)

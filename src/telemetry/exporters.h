@@ -41,6 +41,10 @@ struct TelemetrySinkOptions {
   int64_t write_interval_micros = 1'000'000;
   /// Registry to snapshot; nullptr = MetricRegistry::Global().
   MetricRegistry* registry = nullptr;
+  /// Refresh the hops_process_* gauges from /proc before each write so the
+  /// dump is scrape-fresh. Off makes a fixed registry render byte-identical
+  /// on every write (the atomic-publication test relies on that).
+  bool update_process_metrics = true;
 };
 
 /// \brief Background writer that periodically renders the registry to a

@@ -1,0 +1,105 @@
+#include "telemetry/process_metrics.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#ifndef HOPS_GIT_REV
+#define HOPS_GIT_REV "unknown"
+#endif
+#ifndef HOPS_BUILD_TYPE
+#define HOPS_BUILD_TYPE "unspecified"
+#endif
+
+namespace hops::telemetry {
+
+namespace {
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  // Captured at first use — early in main in practice (the first scrape or
+  // RegisterBuildInfo call). Good enough for an uptime gauge.
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+MetricRegistry* Resolve(MetricRegistry* registry) {
+  return registry != nullptr ? registry : &MetricRegistry::Global();
+}
+
+/// RSS in bytes from /proc/self/statm (second field, in pages); 0 on any
+/// parse or I/O failure.
+double ReadResidentBytes() {
+  std::FILE* file = std::fopen("/proc/self/statm", "r");
+  if (file == nullptr) return 0;
+  long size_pages = 0, resident_pages = 0;
+  const int matched = std::fscanf(file, "%ld %ld", &size_pages,
+                                  &resident_pages);
+  std::fclose(file);
+  if (matched != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<double>(resident_pages) *
+         static_cast<double>(page > 0 ? page : 4096);
+}
+
+double CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  double count = 0;
+  while (dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    count += 1;  // includes the dirfd itself; close enough for a gauge
+  }
+  closedir(dir);
+  return count;
+}
+
+double ReadThreadCount() {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  char line[256];
+  double threads = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, "Threads:", 8) == 0) {
+      threads = std::strtod(line + 8, nullptr);
+      break;
+    }
+  }
+  std::fclose(file);
+  return threads;
+}
+
+}  // namespace
+
+BuildInfo GetBuildInfo() { return BuildInfo{HOPS_GIT_REV, HOPS_BUILD_TYPE}; }
+
+void RegisterBuildInfo(MetricRegistry* registry) {
+  const BuildInfo info = GetBuildInfo();
+  Resolve(registry)
+      ->GetGauge("hops_build_info",
+                 "Build identity; constant 1 with the version in labels.",
+                 {{"git_rev", info.git_rev}, {"build_type", info.build_type}})
+      ->Set(1.0);
+}
+
+void UpdateProcessMetrics(MetricRegistry* registry) {
+  MetricRegistry* r = Resolve(registry);
+  r->GetGauge("hops_process_uptime_seconds",
+              "Seconds since process start (steady clock).")
+      ->Set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          ProcessStart())
+                .count());
+  r->GetGauge("hops_process_resident_memory_bytes",
+              "Resident set size from /proc/self/statm.")
+      ->Set(ReadResidentBytes());
+  r->GetGauge("hops_process_open_fds",
+              "Open file descriptors from /proc/self/fd.")
+      ->Set(CountOpenFds());
+  r->GetGauge("hops_process_threads", "Thread count from /proc/self/status.")
+      ->Set(ReadThreadCount());
+}
+
+}  // namespace hops::telemetry

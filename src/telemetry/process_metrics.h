@@ -1,0 +1,41 @@
+// Build identity and process health gauges (DESIGN.md §14 satellite):
+//
+//   hops_build_info{git_rev="<rev>",build_type="<type>"}  1
+//   hops_process_uptime_seconds        seconds since process start
+//   hops_process_resident_memory_bytes RSS from /proc/self/statm
+//   hops_process_open_fds              entries in /proc/self/fd
+//   hops_process_threads               Threads: from /proc/self/status
+//
+// The build info gauge is the Prometheus convention for shipping version
+// labels: constant value 1, identity in the labels, joinable against any
+// other series. git_rev comes from the HOPS_GIT_REV compile definition
+// (CMake injects `git rev-parse --short HEAD` at configure time;
+// "unknown" outside a git checkout).
+//
+// UpdateProcessMetrics reads /proc/self/* and refreshes the gauges; the
+// /metrics handlers and the TelemetrySink call it per scrape/dump, so the
+// values are scrape-fresh without a background thread. On non-Linux
+// hosts the /proc reads fail soft and those gauges stay 0.
+
+#pragma once
+
+#include "telemetry/metrics.h"
+
+namespace hops::telemetry {
+
+struct BuildInfo {
+  const char* git_rev;     ///< short commit hash or "unknown"
+  const char* build_type;  ///< CMAKE_BUILD_TYPE or "unspecified"
+};
+
+BuildInfo GetBuildInfo();
+
+/// Sets hops_build_info{git_rev,build_type} = 1 in \p registry (nullptr =
+/// the process-wide registry). Idempotent.
+void RegisterBuildInfo(MetricRegistry* registry = nullptr);
+
+/// Refreshes the process gauges in \p registry from /proc/self. Cheap
+/// (three small /proc reads); call per scrape.
+void UpdateProcessMetrics(MetricRegistry* registry = nullptr);
+
+}  // namespace hops::telemetry

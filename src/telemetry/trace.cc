@@ -1,6 +1,8 @@
 #include "telemetry/trace.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -104,12 +106,43 @@ TraceSpan::TraceSpan(SpanSite& site) {
   TraceSpan** slot = CurrentSpanSlot();
   parent_ = *slot;
   *slot = this;
+  // Event emission (DESIGN.md §14): only when the thread carries a sampled
+  // request context AND a recorder is installed. The recorder pointer is
+  // captured here so an Install() mid-span cannot tear the close.
+  const TraceContext& context = CurrentTraceContext();
+  if (context.sampled && context.valid()) {
+    recorder_ = TraceRecorder::Current();
+    if (recorder_ != nullptr) {
+      context_ = context;
+      span_id_ = MintSpanId();
+      // Same-thread nesting wins (the enclosing span is by construction
+      // the nearest ancestor); a cross-thread worker parents under the
+      // span id its installed context carries.
+      parent_span_id_ = (parent_ != nullptr && parent_->span_id_ != 0)
+                            ? parent_->span_id_
+                            : context.span_id;
+    }
+  }
   start_nanos_ = NowNanos();
+}
+
+void TraceSpan::SetDetail(std::string_view detail) {
+  if (span_id_ == 0) return;
+  const size_t n = std::min(detail.size(), sizeof(detail_) - 1);
+  std::memcpy(detail_, detail.data(), n);
+  detail_[n] = '\0';
+}
+
+TraceContext TraceSpan::ChildContext() const {
+  TraceContext child = span_id_ != 0 ? context_ : CurrentTraceContext();
+  if (span_id_ != 0) child.span_id = span_id_;
+  return child;
 }
 
 TraceSpan::~TraceSpan() {
   if (site_ == nullptr) return;
-  const int64_t nanos = NowNanos() - start_nanos_;
+  const int64_t end_nanos = NowNanos();
+  const int64_t nanos = end_nanos - start_nanos_;
   *CurrentSpanSlot() = parent_;
   if (parent_ != nullptr) parent_->child_nanos_ += nanos;
   site_->count->Increment();
@@ -117,6 +150,20 @@ TraceSpan::~TraceSpan() {
   const int64_t self = nanos - child_nanos_;
   site_->self_nanos->Increment(static_cast<uint64_t>(self < 0 ? 0 : self));
   site_->duration_seconds->Record(static_cast<double>(nanos) * 1e-9);
+  if (span_id_ != 0) {
+    TraceEvent event;
+    event.trace_hi = context_.trace_hi;
+    event.trace_lo = context_.trace_lo;
+    event.span_id = span_id_;
+    event.parent_span_id = parent_span_id_;
+    event.start_nanos = start_nanos_;
+    event.end_nanos = end_nanos;
+    const size_t name_len =
+        std::min(site_->name.size(), TraceEvent::kNameBytes - 1);
+    std::memcpy(event.name, site_->name.data(), name_len);
+    std::memcpy(event.detail, detail_, sizeof(detail_));
+    recorder_->Record(event);
+  }
 }
 
 }  // namespace hops::telemetry

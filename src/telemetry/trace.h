@@ -8,8 +8,16 @@
 // parent's child-time, so every span site accumulates both *total* time
 // (inclusive of children) and *self* time (exclusive). Spans opened on
 // other threads (e.g. pool workers inside an EstimateBatch span) are
-// independent roots — cross-thread parentage is deliberately out of scope
-// for a metrics-grade tracer.
+// independent roots for the *metrics* self-time accounting; for *request
+// tracing* they join the request's tree when the worker installs the
+// fanning span's ChildContext() (DESIGN.md §14).
+//
+// Since PR 9 every span is also a potential trace event: when the
+// thread-local TraceContext (trace_context.h) is valid and head-sampled
+// and a TraceRecorder is installed, the destructor appends one TraceEvent
+// — span name, trace/span/parent ids, wall interval, and an optional
+// SetDetail attribute string — to the recorder's per-thread ring. The
+// unsampled path adds one thread-local read to the constructor.
 //
 // Cost model: when telemetry is disabled (HOPS_TELEMETRY=off or
 // SetEnabled(false)) constructing a span is one relaxed bool load and two
@@ -37,6 +45,8 @@
 #include <string_view>
 
 #include "telemetry/metrics.h"
+#include "telemetry/trace_context.h"
+#include "telemetry/trace_recorder.h"
 
 namespace hops::telemetry {
 
@@ -89,11 +99,31 @@ class TraceSpan {
   /// Whether this span is live (telemetry enabled at construction).
   bool recording() const { return site_ != nullptr; }
 
+  /// Whether this span will emit a TraceEvent at close (the thread's
+  /// context was sampled and a recorder was installed at construction).
+  /// Gate any work done only to decorate the trace on this.
+  bool emitting() const { return span_id_ != 0; }
+
+  /// Attaches a short attribute string ("k=v k=v") to the emitted event,
+  /// truncated to TraceEvent::kDetailBytes-1. No-op when !emitting().
+  void SetDetail(std::string_view detail);
+
+  /// The context a worker thread should install (TraceContextScope) so
+  /// spans it opens parent under this span. Falls back to the span's own
+  /// inherited context when this span is not emitting.
+  TraceContext ChildContext() const;
+
  private:
   SpanSite* site_;     // null when telemetry was disabled at construction
   TraceSpan* parent_;  // enclosing span on this thread, if any
   int64_t start_nanos_ = 0;
   int64_t child_nanos_ = 0;
+  // Event emission state (zero span_id_ = not emitting).
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
+  TraceContext context_;            // inherited thread context
+  TraceRecorder* recorder_ = nullptr;
+  char detail_[TraceEvent::kDetailBytes] = {};
 };
 
 }  // namespace hops::telemetry

@@ -1,0 +1,149 @@
+#include "telemetry/trace_context.h"
+
+#include <atomic>
+#include <chrono>
+#include <random>
+
+namespace hops::telemetry {
+
+namespace {
+
+thread_local TraceContext t_current_context;
+
+// Process-wide id source: a per-process random seed (so concurrent
+// processes don't collide) advanced by a relaxed counter and finalized
+// through SplitMix64. Uniqueness within a process is exact (counter);
+// across processes it is probabilistic, which is all trace ids need.
+uint64_t ProcessSeed() {
+  static const uint64_t seed = [] {
+    std::random_device rd;
+    uint64_t s = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    s ^= static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return s | 1;  // never zero
+  }();
+  return seed;
+}
+
+std::atomic<uint64_t>& IdCounter() {
+  static std::atomic<uint64_t> counter{1};
+  return counter;
+}
+
+uint64_t NextId() {
+  const uint64_t ticket = IdCounter().fetch_add(1, std::memory_order_relaxed);
+  uint64_t id = internal::Mix64(ProcessSeed() + ticket * 0x9E3779B97F4A7C15ull);
+  return id == 0 ? 1 : id;
+}
+
+int HexNibble(char c) {
+  // W3C trace-context requires lowercase hex; uppercase is malformed.
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+bool ParseHex64(std::string_view hex, uint64_t* out) {
+  uint64_t value = 0;
+  for (char c : hex) {
+    const int nibble = HexNibble(c);
+    if (nibble < 0) return false;
+    value = (value << 4) | static_cast<uint64_t>(nibble);
+  }
+  *out = value;
+  return true;
+}
+
+void AppendHex64(std::string* out, uint64_t value) {
+  static const char kDigits[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(kDigits[(value >> shift) & 0xF]);
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+uint64_t Mix64(uint64_t x) {
+  // SplitMix64 finalizer (Steele et al.): full-avalanche, invertible.
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace internal
+
+TraceContext MintTraceContext() {
+  TraceContext context;
+  context.trace_hi = NextId();
+  context.trace_lo = NextId();
+  context.span_id = NextId();
+  context.sampled = false;
+  return context;
+}
+
+uint64_t MintSpanId() { return NextId(); }
+
+bool ParseTraceparent(std::string_view header, TraceContext* out) {
+  // version(2) '-' trace-id(32) '-' parent-id(16) '-' flags(2). Future
+  // versions may append "-..." fields; require only this prefix.
+  if (header.size() < 55) return false;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') return false;
+  if (header.size() > 55 && header[55] != '-') return false;
+  uint64_t version = 0;
+  if (!ParseHex64(header.substr(0, 2), &version)) return false;
+  if (version == 0xFF) return false;  // forbidden by the spec
+  TraceContext parsed;
+  uint64_t flags = 0;
+  if (!ParseHex64(header.substr(3, 16), &parsed.trace_hi)) return false;
+  if (!ParseHex64(header.substr(19, 16), &parsed.trace_lo)) return false;
+  if (!ParseHex64(header.substr(36, 16), &parsed.span_id)) return false;
+  if (!ParseHex64(header.substr(53, 2), &flags)) return false;
+  if (!parsed.valid() || parsed.span_id == 0) return false;
+  parsed.sampled = (flags & 1) != 0;
+  *out = parsed;
+  return true;
+}
+
+std::string FormatTraceparent(const TraceContext& context) {
+  std::string out;
+  out.reserve(55);
+  out += "00-";
+  AppendHex64(&out, context.trace_hi);
+  AppendHex64(&out, context.trace_lo);
+  out.push_back('-');
+  AppendHex64(&out, context.span_id);
+  out += context.sampled ? "-01" : "-00";
+  return out;
+}
+
+std::string FormatTraceId(const TraceContext& context) {
+  if (!context.valid()) return std::string();
+  std::string out;
+  out.reserve(32);
+  AppendHex64(&out, context.trace_hi);
+  AppendHex64(&out, context.trace_lo);
+  return out;
+}
+
+std::string FormatSpanId(uint64_t span_id) {
+  std::string out;
+  out.reserve(16);
+  AppendHex64(&out, span_id);
+  return out;
+}
+
+const TraceContext& CurrentTraceContext() { return t_current_context; }
+
+TraceContextScope::TraceContextScope(const TraceContext& context)
+    : saved_(t_current_context) {
+  t_current_context = context;
+}
+
+TraceContextScope::~TraceContextScope() { t_current_context = saved_; }
+
+}  // namespace hops::telemetry

@@ -1,0 +1,252 @@
+#include "telemetry/trace_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "telemetry/trace_context.h"
+#include "util/json.h"
+
+namespace hops::telemetry {
+
+namespace {
+
+constexpr size_t kEventWords = sizeof(TraceEvent) / sizeof(uint64_t);
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Small dense thread ids for readable Perfetto tracks (std::thread::id
+// hashes are 64-bit noise).
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::atomic<TraceRecorder*> g_current{nullptr};
+
+// (recorder, generation) keys the per-thread ring cache; the generation is
+// unique per recorder instance, so a new recorder constructed at a freed
+// recorder's address never matches a stale cache entry.
+struct RingCacheEntry {
+  const void* recorder = nullptr;
+  uint64_t generation = 0;
+  void* ring = nullptr;
+};
+thread_local RingCacheEntry t_ring_cache;
+
+std::atomic<uint64_t>& GenerationCounter() {
+  static std::atomic<uint64_t> counter{1};
+  return counter;
+}
+
+}  // namespace
+
+// One thread's event storage. Single writer (the owning thread), many
+// concurrent readers. Every slot word is a relaxed atomic — the seqlock
+// protocol above them provides the ordering, and all-atomic access is what
+// keeps the scheme TSan-clean.
+struct TraceRecorder::Ring {
+  explicit Ring(size_t capacity)
+      : mask(capacity - 1), slots(new Slot[capacity]) {}
+
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // 0 = never written; 2t+1 busy; 2t+2 ok
+    std::atomic<uint64_t> words[kEventWords] = {};
+  };
+
+  std::atomic<uint64_t> head{0};  // next ticket (== events written)
+  const size_t mask;
+  std::unique_ptr<Slot[]> slots;
+};
+
+TraceRecorder::Options TraceRecorder::EnvOptions() {
+  Options options;
+  if (const char* env = std::getenv("HOPS_TRACE_SAMPLE"); env != nullptr) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      options.sample_one_in = static_cast<uint64_t>(parsed);
+    }
+  }
+  return options;
+}
+
+TraceRecorder::TraceRecorder() : TraceRecorder(Options()) {}
+
+TraceRecorder::TraceRecorder(Options options)
+    : options_(options),
+      ring_mask_(RoundUpPow2(std::max<size_t>(options.ring_capacity, 8)) - 1),
+      generation_(GenerationCounter().fetch_add(1, std::memory_order_relaxed)) {
+}
+
+TraceRecorder::~TraceRecorder() {
+  TraceRecorder* self = this;
+  g_current.compare_exchange_strong(self, nullptr,
+                                    std::memory_order_acq_rel);
+}
+
+TraceRecorder* TraceRecorder::Current() {
+  return g_current.load(std::memory_order_acquire);
+}
+
+void TraceRecorder::Install(TraceRecorder* recorder) {
+  g_current.store(recorder, std::memory_order_release);
+}
+
+bool TraceRecorder::ShouldSample(uint64_t trace_hi, uint64_t trace_lo) const {
+  const uint64_t n = options_.sample_one_in;
+  if (n == 0) return false;
+  if (n == 1) return true;
+  // Deterministic in the trace id: every span of a trace — and every retry
+  // carrying the same traceparent — reaches the same decision.
+  return internal::Mix64(trace_hi ^ internal::Mix64(trace_lo)) % n == 0;
+}
+
+TraceRecorder::Ring* TraceRecorder::ThisThreadRing() {
+  if (t_ring_cache.recorder == this &&
+      t_ring_cache.generation == generation_) {
+    return static_cast<Ring*>(t_ring_cache.ring);
+  }
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  rings_.push_back(std::make_unique<Ring>(ring_mask_ + 1));
+  Ring* ring = rings_.back().get();
+  t_ring_cache = {this, generation_, ring};
+  return ring;
+}
+
+void TraceRecorder::Record(const TraceEvent& event) {
+  Ring* ring = ThisThreadRing();
+  TraceEvent stamped = event;
+  stamped.thread_id = ThisThreadId();
+  uint64_t words[kEventWords];
+  std::memcpy(words, &stamped, sizeof(TraceEvent));
+
+  const uint64_t ticket = ring->head.load(std::memory_order_relaxed);
+  Ring::Slot& slot = ring->slots[ticket & ring->mask];
+  // Seqlock write, fence-free (TSan rejects atomic_thread_fence): odd
+  // ticket stamp, then every payload word stored with release — a reader
+  // whose acquire load observes a new payload word therefore also observes
+  // the odd stamp and discards — then the even stamp with release so the
+  // full payload is visible before the slot reads stable. Free on x86,
+  // where every plain store is already a release.
+  slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+  for (size_t w = 0; w < kEventWords; ++w) {
+    slot.words[w].store(words[w], std::memory_order_release);
+  }
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+  ring->head.store(ticket + 1, std::memory_order_release);
+  events_recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceRecorder::Collect() const {
+  std::vector<TraceEvent> events;
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t capacity = ring->mask + 1;
+    const uint64_t first = head > capacity ? head - capacity : 0;
+    for (uint64_t ticket = first; ticket < head; ++ticket) {
+      const Ring::Slot& slot = ring->slots[ticket & ring->mask];
+      const uint64_t expect = 2 * ticket + 2;
+      if (slot.seq.load(std::memory_order_acquire) != expect) continue;
+      uint64_t words[kEventWords];
+      // Acquire on each word: the stability re-check below cannot be
+      // reordered before any payload read, and a word from an in-progress
+      // overwrite drags the writer's odd stamp into view with it.
+      for (size_t w = 0; w < kEventWords; ++w) {
+        words[w] = slot.words[w].load(std::memory_order_acquire);
+      }
+      if (slot.seq.load(std::memory_order_relaxed) != expect) continue;
+      TraceEvent event;
+      std::memcpy(&event, words, sizeof(TraceEvent));
+      // Defensive NUL termination: a half-written name from a torn slot
+      // cannot happen (seq check), but keep string reads bounded anyway.
+      event.name[TraceEvent::kNameBytes - 1] = '\0';
+      event.detail[TraceEvent::kDetailBytes - 1] = '\0';
+      events.push_back(event);
+    }
+  }
+  return events;
+}
+
+std::string RenderChromeTrace(std::vector<TraceEvent> events) {
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_nanos != b.start_nanos) {
+                return a.start_nanos < b.start_nanos;
+              }
+              return a.span_id < b.span_id;
+            });
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("traceEvents");
+  writer.BeginArray();
+  for (const TraceEvent& event : events) {
+    writer.BeginObject();
+    writer.Key("ph");
+    writer.String("X");
+    writer.Key("name");
+    writer.String(event.name);
+    writer.Key("cat");
+    writer.String("hops");
+    writer.Key("ts");  // microseconds, fractional part keeps the nanos
+    writer.Double(static_cast<double>(event.start_nanos) / 1000.0);
+    writer.Key("dur");
+    const int64_t dur = event.end_nanos - event.start_nanos;
+    writer.Double(static_cast<double>(dur < 0 ? 0 : dur) / 1000.0);
+    writer.Key("pid");
+    writer.UInt(1);
+    writer.Key("tid");
+    writer.UInt(event.thread_id);
+    writer.Key("args");
+    writer.BeginObject();
+    TraceContext id_only;
+    id_only.trace_hi = event.trace_hi;
+    id_only.trace_lo = event.trace_lo;
+    writer.Key("trace_id");
+    writer.String(FormatTraceId(id_only));
+    writer.Key("span_id");
+    writer.String(FormatSpanId(event.span_id));
+    if (event.parent_span_id != 0) {
+      writer.Key("parent_span_id");
+      writer.String(FormatSpanId(event.parent_span_id));
+    }
+    if (event.detail[0] != '\0') {
+      writer.Key("detail");
+      writer.String(event.detail);
+    }
+    writer.EndObject();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("displayTimeUnit");
+  writer.String("ns");
+  writer.EndObject();
+  return writer.str();
+}
+
+std::string TraceRecorder::ExportChromeTrace() const {
+  return RenderChromeTrace(Collect());
+}
+
+Status TraceRecorder::DumpToFile(const std::string& path) const {
+  const std::string json = ExportChromeTrace();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot open trace dump file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool closed_ok = std::fclose(file) == 0;
+  if (written != json.size() || !closed_ok) {
+    return Status::Internal("short write dumping trace to: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace hops::telemetry

@@ -1,0 +1,142 @@
+// Lock-free per-thread span-event recording (DESIGN.md §14). A
+// TraceRecorder owns one fixed-size ring of TraceEvents per recording
+// thread; TraceSpan destructors on sampled requests append to their
+// thread's ring with no locks, no allocation, and no cross-thread
+// contention, while GET /debug/tracez (or the SIGTERM dump) snapshots
+// every ring concurrently.
+//
+// Concurrency design — seqlock slots over relaxed atomic words:
+//   - Each ring has a single writer (its owning thread) and any number of
+//     readers. A slot is a ticket-stamped seqlock: the writer stores
+//     2*ticket+1 (odd = in progress), a release fence, the event payload
+//     as relaxed atomic<uint64_t> words, then 2*ticket+2 (even = stable).
+//     Readers load the seq (acquire), copy the words relaxed, issue an
+//     acquire fence, and re-read the seq — any concurrent overwrite (the
+//     ring wrapping during the copy) changes the ticket and the snapshot
+//     is discarded. Every access is atomic, so the scheme is TSan-clean
+//     by construction, not by suppression (trace_recorder_test runs the
+//     full emit-vs-collect race under TSan).
+//   - Ring registration (once per thread) and Collect take a mutex; the
+//     recording fast path never does.
+//
+// Sampling is deterministic: ShouldSample hashes the 128-bit trace id, so
+// a given traceparent always lands on the same decision (reproducible
+// repro runs) and all spans of one trace agree without coordination.
+// Default: 1 in 64 traces (HOPS_TRACE_SAMPLE=N overrides; 0 disables,
+// 1 records everything).
+//
+// Export is Chrome trace-event JSON ("X" complete events, microsecond
+// timestamps), loadable directly in Perfetto / chrome://tracing.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hops::telemetry {
+
+/// \brief One completed span occurrence. Fixed-size POD — the ring stores
+/// these as raw 64-bit words; names and details are truncated to fit.
+struct TraceEvent {
+  static constexpr size_t kNameBytes = 44;
+  static constexpr size_t kDetailBytes = 76;
+
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  ///< zero = root span of its trace
+  int64_t start_nanos = 0;      ///< steady_clock, process-relative
+  int64_t end_nanos = 0;
+  uint32_t thread_id = 0;
+  char name[kNameBytes] = {};      ///< NUL-terminated span site name
+  char detail[kDetailBytes] = {};  ///< NUL-terminated key=value attributes
+};
+static_assert(sizeof(TraceEvent) % sizeof(uint64_t) == 0,
+              "events are copied through the ring as whole 64-bit words");
+
+/// \brief Process-wide span-event sink. Install() one recorder (typically
+/// for the process lifetime); TraceSpan picks it up via Current().
+class TraceRecorder {
+ public:
+  struct Options {
+    /// Events retained per recording thread (rounded up to a power of
+    /// two). Oldest events are overwritten on wrap.
+    size_t ring_capacity = 4096;
+    /// Head-sampling rate: record 1 in N traces (0 = none, 1 = all).
+    /// Read from HOPS_TRACE_SAMPLE when constructed via EnvOptions().
+    uint64_t sample_one_in = 64;
+  };
+
+  /// Options{} with HOPS_TRACE_SAMPLE applied (invalid values ignored).
+  static Options EnvOptions();
+
+  TraceRecorder();  // Options with all defaults
+  explicit TraceRecorder(Options options);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Deterministic head-sampling decision for a trace id.
+  bool ShouldSample(uint64_t trace_hi, uint64_t trace_lo) const;
+
+  /// Appends \p event to this thread's ring (registering the ring on the
+  /// thread's first call). Lock-free after registration; overwrites the
+  /// oldest event when the ring is full. Thread-safe vs Collect.
+  void Record(const TraceEvent& event);
+
+  /// Snapshots every thread's ring: all stable events, oldest-first per
+  /// ring, rings concatenated. Safe concurrently with Record — events
+  /// being overwritten mid-copy are skipped, never torn.
+  std::vector<TraceEvent> Collect() const;
+
+  /// Collect() rendered as Chrome trace-event JSON:
+  /// {"traceEvents":[{"ph":"X","name",...}, ...]}, events sorted by start
+  /// time, timestamps in microseconds.
+  std::string ExportChromeTrace() const;
+
+  /// ExportChromeTrace() written atomically-ish to \p path (truncate +
+  /// write + close). Used by the SIGTERM dump.
+  Status DumpToFile(const std::string& path) const;
+
+  /// Events ever recorded (monotonic, includes overwritten ones).
+  uint64_t events_recorded() const {
+    return events_recorded_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t sample_one_in() const { return options_.sample_one_in; }
+
+  /// The process-wide recorder (nullptr when none installed). Install
+  /// replaces it; the recorder must outlive every span that captured it —
+  /// in practice: install once at startup, uninstall never (tests install
+  /// and uninstall around quiescent points). ~TraceRecorder uninstalls
+  /// itself if still current.
+  static TraceRecorder* Current();
+  static void Install(TraceRecorder* recorder);
+
+ private:
+  struct Ring;
+
+  Ring* ThisThreadRing();
+
+  const Options options_;
+  const size_t ring_mask_;  // ring_capacity rounded to pow2, minus 1
+  const uint64_t generation_;
+  std::atomic<uint64_t> events_recorded_{0};
+
+  mutable std::mutex rings_mutex_;  // guards rings_ growth (not slot data)
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// \brief Renders \p events as Chrome trace-event JSON (what
+/// ExportChromeTrace does, exposed for the net layer's /debug/tracez to
+/// splice into a larger document).
+std::string RenderChromeTrace(std::vector<TraceEvent> events);
+
+}  // namespace hops::telemetry

@@ -1,0 +1,158 @@
+// Structured logger tests (telemetry/log.h): JSON line shape, level
+// filtering, trace-id correlation, the per-site rate limit with its
+// "suppressed" carryover, and LogBuffer ring semantics.
+
+#include "telemetry/log.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace_context.h"
+#include "util/json.h"
+
+namespace hops::telemetry {
+namespace {
+
+// Same formula the logger's admission window uses; lets tests pin a
+// LogSite's window to "now" and exhaust its budget deterministically.
+int64_t SteadySecondsNow() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string LastGlobalLine() {
+  const std::vector<std::string> lines = LogBuffer::Global().Snapshot(1);
+  return lines.empty() ? std::string() : lines.back();
+}
+
+TEST(LogTest, RendersOneJsonObjectPerLineWithTypedFields) {
+  SetMinLogLevel(LogLevel::kInfo);
+  LogRecord(LogLevel::kWarn, "test", "typed fields",
+            {{"s", LogValue("text")},
+             {"i", LogValue(int64_t{-7})},
+             {"u", LogValue(uint64_t{42})},
+             {"d", LogValue(3.5)},
+             {"b", LogValue(true)}});
+  Result<JsonValue> parsed = ParseJson(LastGlobalLine());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->GetString("level").ValueOrDie(), "warn");
+  EXPECT_EQ(parsed->GetString("component").ValueOrDie(), "test");
+  EXPECT_EQ(parsed->GetString("message").ValueOrDie(), "typed fields");
+  EXPECT_GT(parsed->GetNumber("ts").ValueOrDie(), 0.0);
+  EXPECT_EQ(parsed->GetString("s").ValueOrDie(), "text");
+  EXPECT_EQ(parsed->GetInt("i").ValueOrDie(), -7);
+  EXPECT_EQ(parsed->GetInt("u").ValueOrDie(), 42);
+  EXPECT_EQ(parsed->GetNumber("d").ValueOrDie(), 3.5);
+  EXPECT_EQ(parsed->GetBool("b").ValueOrDie(), true);
+  // No trace scope on this thread: no trace_id key.
+  EXPECT_EQ(parsed->Find("trace_id"), nullptr);
+  EXPECT_EQ(parsed->Find("suppressed"), nullptr);
+}
+
+TEST(LogTest, LevelFilterDropsLinesBelowTheMinimum) {
+  SetMinLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(ShouldLog(LogLevel::kDebug));
+  EXPECT_FALSE(ShouldLog(LogLevel::kInfo));
+  EXPECT_TRUE(ShouldLog(LogLevel::kWarn));
+  EXPECT_TRUE(ShouldLog(LogLevel::kError));
+  EXPECT_EQ(MinLogLevel(), LogLevel::kWarn);
+
+  const uint64_t before = LogBuffer::Global().total_lines();
+  LogRecord(LogLevel::kInfo, "test", "filtered out");
+  EXPECT_EQ(LogBuffer::Global().total_lines(), before);
+  LogRecord(LogLevel::kError, "test", "admitted");
+  EXPECT_EQ(LogBuffer::Global().total_lines(), before + 1);
+
+  SetMinLogLevel(LogLevel::kInfo);  // restore the default for other tests
+}
+
+TEST(LogTest, AttachesTheCurrentTraceId) {
+  SetMinLogLevel(LogLevel::kInfo);
+  TraceContext context = MintTraceContext();
+  {
+    TraceContextScope scope(context);
+    LogRecord(LogLevel::kInfo, "test", "inside a trace");
+  }
+  Result<JsonValue> parsed = ParseJson(LastGlobalLine());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetString("trace_id").ValueOrDie(),
+            FormatTraceId(context));
+}
+
+TEST(LogTest, RateLimitSuppressesAndCarriesTheCount) {
+  SetMinLogLevel(LogLevel::kInfo);
+  LogSite site;
+  // Pin the site's window to the current second with the budget exhausted,
+  // so the next line is dropped. If the clock rolls to a new second between
+  // the pin and the call the window resets and the line is admitted —
+  // retry until a drop lands (each attempt has the whole second to win).
+  uint64_t dropped = 0;
+  for (int attempt = 0; attempt < 100 && dropped == 0; ++attempt) {
+    site.window_start_sec.store(SteadySecondsNow());
+    site.admitted_in_window.store(1000);
+    const uint64_t before = LogBuffer::Global().total_lines();
+    LogRecord(LogLevel::kInfo, "test", "over budget", {}, &site);
+    if (LogBuffer::Global().total_lines() == before) {
+      dropped = site.suppressed.load();
+    }
+  }
+  ASSERT_GT(dropped, 0u) << "budget-exhausted line was never dropped";
+
+  // The next admitted line from the same site carries the drop count.
+  site.window_start_sec.store(SteadySecondsNow());
+  site.admitted_in_window.store(0);
+  const uint64_t before = LogBuffer::Global().total_lines();
+  LogRecord(LogLevel::kInfo, "test", "after suppression", {}, &site);
+  ASSERT_EQ(LogBuffer::Global().total_lines(), before + 1);
+  Result<JsonValue> parsed = ParseJson(LastGlobalLine());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetInt("suppressed").ValueOrDie(),
+            static_cast<int64_t>(dropped));
+  EXPECT_EQ(site.suppressed.load(), 0u) << "carryover drains the counter";
+}
+
+TEST(LogTest, NullSiteIsNeverRateLimited) {
+  SetMinLogLevel(LogLevel::kInfo);
+  const uint64_t before = LogBuffer::Global().total_lines();
+  for (int i = 0; i < 50; ++i) {
+    LogRecord(LogLevel::kInfo, "test", "unlimited", {}, nullptr);
+  }
+  EXPECT_EQ(LogBuffer::Global().total_lines(), before + 50);
+}
+
+TEST(LogTest, MacroLogsWithFieldsAndShortCircuitsOnLevel) {
+  SetMinLogLevel(LogLevel::kInfo);
+  const uint64_t before = LogBuffer::Global().total_lines();
+  HOPS_LOG(LogLevel::kInfo, "test", "macro line",
+           {"answer", LogValue(int64_t{41})});
+  EXPECT_EQ(LogBuffer::Global().total_lines(), before + 1);
+  Result<JsonValue> parsed = ParseJson(LastGlobalLine());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetInt("answer").ValueOrDie(), 41);
+
+  SetMinLogLevel(LogLevel::kError);
+  HOPS_LOG(LogLevel::kInfo, "test", "filtered macro line");
+  EXPECT_EQ(LogBuffer::Global().total_lines(), before + 1);
+  SetMinLogLevel(LogLevel::kInfo);
+}
+
+TEST(LogTest, BufferKeepsTheNewestLinesOldestFirst) {
+  LogBuffer buffer(/*capacity=*/4);
+  for (int i = 1; i <= 6; ++i) buffer.Push(std::to_string(i));
+  EXPECT_EQ(buffer.total_lines(), 6u);
+  const std::vector<std::string> all = buffer.Snapshot();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all.front(), "3");
+  EXPECT_EQ(all.back(), "6");
+  const std::vector<std::string> two = buffer.Snapshot(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two.front(), "5");
+  EXPECT_EQ(two.back(), "6");
+}
+
+}  // namespace
+}  // namespace hops::telemetry

@@ -259,6 +259,9 @@ TEST(TelemetryConcurrencyTest, SinkScrapersNeverSeeATornExport) {
   TelemetrySinkOptions options;
   options.path = ::testing::TempDir() + "/hops_sink_atomic.prom";
   options.registry = &registry;
+  // Freeze the process gauges: this test's detector is "every complete
+  // export is byte-identical", which needs the registry truly fixed.
+  options.update_process_metrics = false;
   TelemetrySink sink(options);
 
   // The metrics never change, so every complete export is byte-identical.

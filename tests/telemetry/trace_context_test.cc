@@ -1,0 +1,166 @@
+// Trace identity tests (telemetry/trace_context.h): W3C traceparent
+// parsing/formatting round-trips, mint uniqueness, and the thread-local
+// scope's install/restore discipline.
+
+#include "telemetry/trace_context.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace hops::telemetry {
+namespace {
+
+TEST(TraceContextTest, DefaultIsInvalid) {
+  TraceContext context;
+  EXPECT_FALSE(context.valid());
+  EXPECT_EQ(FormatTraceId(context), "");
+}
+
+TEST(TraceContextTest, MintProducesValidUniqueContexts) {
+  std::set<std::pair<uint64_t, uint64_t>> trace_ids;
+  std::set<uint64_t> span_ids;
+  for (int i = 0; i < 1000; ++i) {
+    const TraceContext context = MintTraceContext();
+    ASSERT_TRUE(context.valid());
+    ASSERT_NE(context.span_id, 0u);
+    EXPECT_FALSE(context.sampled) << "sampling is the caller's decision";
+    trace_ids.insert({context.trace_hi, context.trace_lo});
+    span_ids.insert(context.span_id);
+  }
+  EXPECT_EQ(trace_ids.size(), 1000u);
+  EXPECT_EQ(span_ids.size(), 1000u);
+}
+
+TEST(TraceContextTest, MintSpanIdNeverZero) {
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(MintSpanId(), 0u);
+  }
+}
+
+TEST(TraceContextTest, ParsesCanonicalTraceparent) {
+  TraceContext context;
+  ASSERT_TRUE(ParseTraceparent(
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", &context));
+  EXPECT_EQ(context.trace_hi, 0x0af7651916cd43ddull);
+  EXPECT_EQ(context.trace_lo, 0x8448eb211c80319cull);
+  EXPECT_EQ(context.span_id, 0xb7ad6b7169203331ull);
+  EXPECT_TRUE(context.sampled);
+}
+
+TEST(TraceContextTest, ParsesUnsampledFlag) {
+  TraceContext context;
+  ASSERT_TRUE(ParseTraceparent(
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00", &context));
+  EXPECT_FALSE(context.sampled);
+}
+
+TEST(TraceContextTest, ParseAcceptsUppercaseHexNowhere) {
+  TraceContext context;
+  EXPECT_FALSE(ParseTraceparent(
+      "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01", &context));
+}
+
+TEST(TraceContextTest, ParseRejectsMalformedValues) {
+  TraceContext context;
+  // Wrong lengths / separators / fields.
+  EXPECT_FALSE(ParseTraceparent("", &context));
+  EXPECT_FALSE(ParseTraceparent("00", &context));
+  EXPECT_FALSE(ParseTraceparent(
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331", &context));
+  EXPECT_FALSE(ParseTraceparent(
+      "00-0af7651916cd43dd8448eb211c80319-b7ad6b7169203331-01", &context));
+  EXPECT_FALSE(ParseTraceparent(
+      "000af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", &context));
+  EXPECT_FALSE(ParseTraceparent(
+      "zz-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", &context));
+  // Zero trace id and zero parent span id are invalid per the spec.
+  EXPECT_FALSE(ParseTraceparent(
+      "00-00000000000000000000000000000000-b7ad6b7169203331-01", &context));
+  EXPECT_FALSE(ParseTraceparent(
+      "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", &context));
+  // Version ff is forbidden.
+  EXPECT_FALSE(ParseTraceparent(
+      "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", &context));
+}
+
+TEST(TraceContextTest, ParseFutureVersionLeniently) {
+  // Per the W3C spec, a longer value with a higher version parses as long
+  // as the first four fields are well-formed and '-' follows.
+  TraceContext context;
+  ASSERT_TRUE(ParseTraceparent(
+      "cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extrafield",
+      &context));
+  EXPECT_EQ(context.span_id, 0xb7ad6b7169203331ull);
+  // ...but trailing garbage without the separator is malformed.
+  EXPECT_FALSE(ParseTraceparent(
+      "cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01extrafield",
+      &context));
+}
+
+TEST(TraceContextTest, FormatRoundTrips) {
+  TraceContext context;
+  context.trace_hi = 0x0af7651916cd43ddull;
+  context.trace_lo = 0x8448eb211c80319cull;
+  context.span_id = 0xb7ad6b7169203331ull;
+  context.sampled = true;
+  const std::string header = FormatTraceparent(context);
+  EXPECT_EQ(header, "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01");
+  TraceContext parsed;
+  ASSERT_TRUE(ParseTraceparent(header, &parsed));
+  EXPECT_EQ(parsed.trace_hi, context.trace_hi);
+  EXPECT_EQ(parsed.trace_lo, context.trace_lo);
+  EXPECT_EQ(parsed.span_id, context.span_id);
+  EXPECT_EQ(parsed.sampled, context.sampled);
+}
+
+TEST(TraceContextTest, FormatTraceIdIs32LowercaseHex) {
+  TraceContext context;
+  context.trace_hi = 0xABCDEF00ull;
+  context.trace_lo = 0x12ull;
+  EXPECT_EQ(FormatTraceId(context), "00000000abcdef000000000000000012");
+  EXPECT_EQ(FormatSpanId(0x1ull), "0000000000000001");
+}
+
+TEST(TraceContextTest, ScopeInstallsAndRestores) {
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  TraceContext outer = MintTraceContext();
+  {
+    TraceContextScope outer_scope(outer);
+    EXPECT_EQ(CurrentTraceContext().trace_lo, outer.trace_lo);
+    TraceContext inner = MintTraceContext();
+    {
+      TraceContextScope inner_scope(inner);
+      EXPECT_EQ(CurrentTraceContext().trace_lo, inner.trace_lo);
+    }
+    EXPECT_EQ(CurrentTraceContext().trace_lo, outer.trace_lo);
+  }
+  EXPECT_FALSE(CurrentTraceContext().valid());
+}
+
+TEST(TraceContextTest, ContextIsPerThread) {
+  TraceContext mine = MintTraceContext();
+  TraceContextScope scope(mine);
+  bool other_thread_saw_invalid = false;
+  std::thread worker([&] {
+    other_thread_saw_invalid = !CurrentTraceContext().valid();
+  });
+  worker.join();
+  EXPECT_TRUE(other_thread_saw_invalid);
+  EXPECT_EQ(CurrentTraceContext().trace_lo, mine.trace_lo);
+}
+
+TEST(TraceContextTest, Mix64IsABijectionOnSamples) {
+  // Sanity: distinct inputs keep distinct outputs (SplitMix64's finalizer
+  // is invertible, so collisions would be a transcription bug).
+  std::set<uint64_t> outputs;
+  for (uint64_t x = 0; x < 4096; ++x) {
+    outputs.insert(internal::Mix64(x));
+  }
+  EXPECT_EQ(outputs.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace hops::telemetry
