@@ -25,6 +25,16 @@
 //                    asserted — on a one-hardware-thread CI box the curve
 //                    is flat; the JSON makes the trajectory machine-
 //                    readable where real cores exist.
+//   selftune       — accuracy and cost of the §15 self-tuning layer on a
+//                    drifting-Zipf column: median q-error of a stale
+//                    v-optimal build vs the same build after feedback-driven
+//                    in-place tuning (no rebuild), the per-adjustment cost
+//                    against the phase-2 per-column rebuild cost, and a
+//                    fingerprint check that tuning-off + feedback is
+//                    bit-identical to never feeding at all. The exit code
+//                    reflects the determinism check — a fingerprint
+//                    mismatch is a correctness failure, not a perf
+//                    regression.
 //
 // The full RefreshStats surface is exported under "refresh_stats", so the
 // perf trajectory of the subsystem (backpressure events, rebuild reasons,
@@ -43,6 +53,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -131,6 +142,14 @@ void WriteRefreshStats(JsonWriter* w, const RefreshStats& s) {
   w->UInt(s.republish_count);
   w->Key("feedback_reports");
   w->UInt(s.feedback_reports);
+  w->Key("tuning_observations");
+  w->UInt(s.tuning_observations);
+  w->Key("tuning_adjustments");
+  w->UInt(s.tuning_adjustments);
+  w->Key("tuning_promotions");
+  w->UInt(s.tuning_promotions);
+  w->Key("last_tune_seconds");
+  w->Double(s.last_tune_seconds);
   w->Key("last_tick_seconds");
   w->Double(s.last_tick_seconds);
   w->Key("last_refresh_seconds");
@@ -416,6 +435,165 @@ int Run(int argc, char** argv) {
               << " producer waits)\n";
   }
 
+  // ------------------------------- phase 5: self-tuning on a drifting Zipf
+  // One column built from rank-ordered Zipf-ish frequencies; the "true"
+  // distribution then rotates by a third of the domain, so the build's
+  // heavy hitters go cold and new ones appear deep in the default bucket.
+  // Three managers see the drift: a stale one (no feedback), a tuned one
+  // (feedback + TuneColumns each round), and an off-but-fed one (same
+  // feedback, tuning disabled) whose served estimates must stay bit-
+  // identical to the stale manager's.
+  const size_t drift_domain = cfg.values_per_column;
+  const int64_t drift_shift = static_cast<int64_t>(drift_domain / 3);
+  const auto drifted_truth = [&](int64_t v) {
+    return ZipfFrequency(
+        static_cast<size_t>((v + drift_shift) %
+                            static_cast<int64_t>(drift_domain)),
+        99);
+  };
+  struct DriftRig {
+    Catalog catalog;
+    SnapshotStore store;
+    std::unique_ptr<RefreshManager> manager;
+  };
+  const auto make_rig = [&](bool tuning_enabled) {
+    auto rig = std::make_unique<DriftRig>();
+    RefreshOptions rig_options;
+    rig_options.maintenance.rebuild_drift_fraction = 1e18;
+    rig_options.staleness.rebuild_score_threshold = 1e18;
+    rig_options.tuning.enabled = tuning_enabled;
+    // Aggressive knobs: the bench wants the converged accuracy, not the
+    // default production damping horizon.
+    rig_options.tuning.promotion_ratio = 2.0;
+    rig_options.tuning.max_promotions_per_tick = 16;
+    rig_options.tuning.max_pending = 4096;
+    rig->manager = std::make_unique<RefreshManager>(&rig->catalog,
+                                                    &rig->store, rig_options);
+    std::vector<int64_t> drift_values(drift_domain);
+    std::vector<double> drift_freqs(drift_domain);
+    for (size_t i = 0; i < drift_domain; ++i) {
+      drift_values[i] = static_cast<int64_t>(i);
+      drift_freqs[i] = ZipfFrequency(i, 99);
+    }
+    rig->manager->RegisterColumn("drift", "key", drift_values, drift_freqs)
+        .status()
+        .Check();
+    return rig;
+  };
+  // Point probes over a bounded stride plus a handful of wide ranges.
+  const auto drift_workload = [&](const CatalogSnapshot& snapshot) {
+    auto id = snapshot.Resolve("drift", "key");
+    id.status().Check();
+    std::vector<EstimateSpec> specs;
+    const int64_t stride = std::max<int64_t>(
+        1, static_cast<int64_t>(drift_domain) / 512);
+    for (int64_t v = 0; v < static_cast<int64_t>(drift_domain); v += stride) {
+      specs.push_back(EstimateSpec::Equality(*id, Value(v)));
+    }
+    const int64_t width = static_cast<int64_t>(drift_domain) / 8;
+    for (int64_t lo = 0; lo + width <= static_cast<int64_t>(drift_domain);
+         lo += width) {
+      specs.push_back(
+          EstimateSpec::Range(*id, RangeBounds{lo, lo + width - 1,
+                                               true, true}));
+    }
+    return specs;
+  };
+  const auto drift_truth_of = [&](const EstimateSpec& spec) {
+    if (spec.kind == EstimateKind::kEquality) {
+      return drifted_truth(spec.literal.AsInt64());
+    }
+    double total = 0;
+    for (int64_t v = spec.bounds.low; v <= spec.bounds.high; ++v) {
+      total += drifted_truth(v);
+    }
+    return total;
+  };
+  // Serve the workload; returns the estimates, folds q-errors + an
+  // order-sensitive FNV-1a fingerprint of the raw double bits.
+  const auto drift_serve = [&](DriftRig& rig, std::vector<double>* qerrors,
+                               uint64_t* fingerprint) {
+    const std::shared_ptr<const CatalogSnapshot> snapshot =
+        rig.store.Current();
+    for (const EstimateSpec& spec : drift_workload(*snapshot)) {
+      auto estimate = EstimateOne(*snapshot, spec);
+      estimate.status().Check();
+      if (qerrors != nullptr) {
+        const double e = std::max(*estimate, 1.0);
+        const double a = std::max(drift_truth_of(spec), 1.0);
+        qerrors->push_back(std::max(e / a, a / e));
+      }
+      if (fingerprint != nullptr) {
+        uint64_t bits = 0;
+        std::memcpy(&bits, &*estimate, sizeof(bits));
+        for (size_t byte = 0; byte < sizeof(bits); ++byte) {
+          *fingerprint ^= (bits >> (8 * byte)) & 0xFF;
+          *fingerprint *= 1099511628211ull;  // FNV-1a
+        }
+      }
+    }
+  };
+  const auto drift_feed = [&](DriftRig& rig) {
+    const std::shared_ptr<const CatalogSnapshot> snapshot =
+        rig.store.Current();
+    for (const EstimateSpec& spec : drift_workload(*snapshot)) {
+      auto estimate = EstimateOne(*snapshot, spec);
+      estimate.status().Check();
+      ReportEstimateOutcome(*snapshot, spec, *estimate, drift_truth_of(spec),
+                            rig.manager.get())
+          .Check();
+    }
+  };
+
+  std::unique_ptr<DriftRig> stale_rig = make_rig(false);
+  std::unique_ptr<DriftRig> tuned_rig = make_rig(true);
+  std::unique_ptr<DriftRig> fed_rig = make_rig(false);
+
+  std::vector<double> stale_q;
+  uint64_t stale_fingerprint = 14695981039346656037ull;
+  drift_serve(*stale_rig, &stale_q, &stale_fingerprint);
+
+  const size_t selftune_rounds = quick ? 4 : 8;
+  double tune_seconds = 0;
+  for (size_t round = 0; round < selftune_rounds; ++round) {
+    drift_feed(*tuned_rig);
+    Stopwatch sw_tune;
+    tuned_rig->manager->TuneColumns().status().Check();
+    tune_seconds += sw_tune.ElapsedSeconds();
+    // The off-but-fed rig sees the identical feedback stream; its
+    // TuneColumns must be a no-op.
+    drift_feed(*fed_rig);
+    fed_rig->manager->TuneColumns().status().Check();
+  }
+  std::vector<double> tuned_q;
+  drift_serve(*tuned_rig, &tuned_q, nullptr);
+  uint64_t fed_fingerprint = 14695981039346656037ull;
+  drift_serve(*fed_rig, nullptr, &fed_fingerprint);
+
+  std::sort(stale_q.begin(), stale_q.end());
+  std::sort(tuned_q.begin(), tuned_q.end());
+  const double stale_median_q = Quantile(stale_q, 0.50);
+  const double tuned_median_q = Quantile(tuned_q, 0.50);
+  const double stale_p90_q = Quantile(stale_q, 0.90);
+  const double tuned_p90_q = Quantile(tuned_q, 0.90);
+  const RefreshStats tuned_stats = tuned_rig->manager->stats();
+  const uint64_t tune_adjustments =
+      tuned_stats.tuning_adjustments + tuned_stats.tuning_promotions;
+  const double seconds_per_adjustment =
+      tune_adjustments > 0
+          ? tune_seconds / static_cast<double>(tune_adjustments)
+          : 0;
+  const double rebuild_seconds_per_column =
+      ids.empty() ? 0 : rebuild_seconds / static_cast<double>(ids.size());
+  const bool selftune_bit_identical = fed_fingerprint == stale_fingerprint;
+  std::cout << "  selftune: median q-error stale " << stale_median_q
+            << " -> tuned " << tuned_median_q << " (" << selftune_rounds
+            << " rounds, " << tune_adjustments << " adjustments, "
+            << seconds_per_adjustment << "s each vs "
+            << rebuild_seconds_per_column << "s per rebuilt column, off-path "
+            << (selftune_bit_identical ? "bit-identical" : "DIVERGED")
+            << ")\n";
+
   // ----------------------------------------------------------------- JSON
   JsonWriter w;
   w.BeginObject();
@@ -507,6 +685,42 @@ int Run(int argc, char** argv) {
   w.EndArray();
   w.EndObject();
 
+  w.Key("selftune");
+  w.BeginObject();
+  w.Key("rounds");
+  w.UInt(selftune_rounds);
+  w.Key("workload_queries");
+  w.UInt(stale_q.size());
+  w.Key("stale_median_qerror");
+  w.Double(stale_median_q);
+  w.Key("tuned_median_qerror");
+  w.Double(tuned_median_q);
+  w.Key("stale_p90_qerror");
+  w.Double(stale_p90_q);
+  w.Key("tuned_p90_qerror");
+  w.Double(tuned_p90_q);
+  w.Key("tuned_beats_stale");
+  w.Bool(tuned_median_q < stale_median_q);
+  w.Key("adjustments");
+  w.UInt(tuned_stats.tuning_adjustments);
+  w.Key("promotions");
+  w.UInt(tuned_stats.tuning_promotions);
+  w.Key("observations");
+  w.UInt(tuned_stats.tuning_observations);
+  w.Key("tune_seconds_total");
+  w.Double(tune_seconds);
+  w.Key("seconds_per_adjustment");
+  w.Double(seconds_per_adjustment);
+  w.Key("rebuild_seconds_per_column");
+  w.Double(rebuild_seconds_per_column);
+  w.Key("adjustment_cost_vs_rebuild");
+  w.Double(rebuild_seconds_per_column > 0
+               ? seconds_per_adjustment / rebuild_seconds_per_column
+               : 0);
+  w.Key("tuning_off_bit_identical");
+  w.Bool(selftune_bit_identical);
+  w.EndObject();
+
   w.Key("refresh_stats");
   WriteRefreshStats(&w, churn_stats);
 
@@ -528,6 +742,11 @@ int Run(int argc, char** argv) {
   std::cout << "wrote " << output << "\n";
   if (!estimates_well_formed) {
     std::cerr << "bench_refresh: MALFORMED ESTIMATES UNDER CHURN\n";
+    return 1;
+  }
+  if (!selftune_bit_identical) {
+    std::cerr << "bench_refresh: TUNING-OFF SERVING DIVERGED FROM THE "
+                 "NEVER-FED BASELINE\n";
     return 1;
   }
   return 0;

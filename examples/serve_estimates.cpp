@@ -126,6 +126,10 @@ int main(int argc, char** argv) {
   SnapshotStore store;
   RefreshOptions refresh_options;
   refresh_options.statistics.num_buckets = 16;
+  // HOPS_SELFTUNE=on folds query feedback back into the histograms in
+  // place between rebuilds (DESIGN.md §15); off (the default) keeps
+  // serving byte-identical to a build without the tuner.
+  refresh_options.tuning = SelfTuneOptions::FromEnv();
   RefreshManager manager(&catalog, &store, refresh_options);
 
   // Durable storage mounts BEFORE the demo registration: a warm restart

@@ -27,6 +27,10 @@
 #              echoed, hit /debug/tracez + /debug/logz + /healthz, SIGTERM,
 #              then validate the dumped Chrome trace JSON — the §14
 #              end-to-end tracing gate
+#   --selftune-smoke  build + run serve_estimates with HOPS_SELFTUNE=on,
+#              POST skewed /feedback outcomes, and assert the tuning
+#              counters move in /debug/columns — the §15 end-to-end
+#              self-tuning gate
 #   --skip-tier1  skip the default build+ctest+bench stage (used by the CI
 #              sanitizer jobs so they only pay for their own build)
 set -euo pipefail
@@ -40,6 +44,7 @@ RUN_SERVING_SMOKE=0
 RUN_PROBE_SMOKE=0
 RUN_RECOVERY_SMOKE=0
 RUN_TRACE_SMOKE=0
+RUN_SELFTUNE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --asan) RUN_ASAN=1 ;;
@@ -49,6 +54,7 @@ for arg in "$@"; do
     --probe-smoke) RUN_PROBE_SMOKE=1 ;;
     --recovery-smoke) RUN_RECOVERY_SMOKE=1 ;;
     --trace-smoke) RUN_TRACE_SMOKE=1 ;;
+    --selftune-smoke) RUN_SELFTUNE_SMOKE=1 ;;
     --skip-tier1) RUN_TIER1=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -92,6 +98,8 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   # would break cross-PR perf tracking.
   echo "== Checking BENCH_refresh.json schema (shards axis + provenance) =="
   for field in '"shards"' '"speedup_vs_1"' '"ticks_skipped"' \
+      '"selftune"' '"tuned_median_qerror"' '"tuned_beats_stale"' \
+      '"seconds_per_adjustment"' '"tuning_off_bit_identical"' \
       '"timestamp_utc"' '"git_rev"'; do
     if ! grep -q "$field" BENCH_refresh.json; then
       echo "BENCH_refresh.json: missing field $field" >&2
@@ -438,6 +446,78 @@ if [[ "$RUN_PROBE_SMOKE" == 1 ]]; then
   assert_estimation_gates "$PROBE_OUT"
   rm -f "$PROBE_OUT"
   echo "probe smoke: all §12 gates hold."
+fi
+
+if [[ "$RUN_SELFTUNE_SMOKE" == 1 ]]; then
+  echo "== Selftune smoke (serve_estimates with HOPS_SELFTUNE=on, §15 gate) =="
+  cmake -B build -G Ninja
+  cmake --build build --target serve_estimates
+  TUNE_LOG=$(mktemp)
+  HOPS_SELFTUNE=on ./build/examples/serve_estimates --port=0 --max-seconds=60 \
+    >"$TUNE_LOG" 2>&1 &
+  SERVE_PID=$!
+  trap 'kill -TERM "$SERVE_PID" 2>/dev/null || true; rm -f "$TUNE_LOG"' EXIT
+  SERVE_PORT=""
+  for _ in $(seq 1 50); do
+    SERVE_PORT=$(grep -oE 'serving on 127.0.0.1:[0-9]+' "$TUNE_LOG" \
+      | grep -oE '[0-9]+$' || true)
+    [[ -n "$SERVE_PORT" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$SERVE_PORT" ]]; then
+    echo "selftune smoke: server never reported a port" >&2
+    cat "$TUNE_LOG" >&2
+    exit 1
+  fi
+
+  # Heavily skewed outcomes: the served estimate is far off the reported
+  # actual on every record, so the tuner has real error to fold in.
+  FEEDBACK_OUT=$(curl -sf -X POST "http://127.0.0.1:$SERVE_PORT/feedback" \
+    -d '{"reports":[
+      {"kind":"equality","table":"orders","column":"customer_id","value":3,"estimated":2.0,"actual":600.0},
+      {"kind":"equality","table":"orders","column":"customer_id","value":7,"estimated":4.0,"actual":450.0},
+      {"kind":"equality","table":"orders","column":"item_id","value":11,"estimated":1.0,"actual":300.0}
+    ]}')
+  if ! grep -q '"accepted": 3' <<<"$FEEDBACK_OUT"; then
+    echo "selftune smoke: /feedback did not accept all records: $FEEDBACK_OUT" >&2
+    exit 1
+  fi
+
+  # The refresh daemon ticks every 10ms and folds buffered outcomes into
+  # the histograms; poll /debug/columns until the tuning counters move.
+  COLUMNS_OUT=""
+  TUNED=0
+  for _ in $(seq 1 50); do
+    COLUMNS_OUT=$(curl -sf "http://127.0.0.1:$SERVE_PORT/debug/columns")
+    if grep -qE '"observations": [1-9]' <<<"$COLUMNS_OUT"; then
+      TUNED=1
+      break
+    fi
+    sleep 0.1
+  done
+  if ! grep -q '"selftune_enabled": true' <<<"$COLUMNS_OUT"; then
+    echo "selftune smoke: HOPS_SELFTUNE=on not reflected in /debug/columns" >&2
+    echo "$COLUMNS_OUT" >&2
+    exit 1
+  fi
+  if [[ "$TUNED" != 1 ]]; then
+    echo "selftune smoke: tuning counters never moved after feedback" >&2
+    echo "$COLUMNS_OUT" >&2
+    exit 1
+  fi
+  # The hot default-bucket values get promoted to explicit entries; explicit
+  # hits get damped in-place adjustments. Either way the histogram moved.
+  if ! grep -qE '"(adjustments|promotions)": [1-9]' <<<"$COLUMNS_OUT"; then
+    echo "selftune smoke: observations consumed but histogram never moved" >&2
+    echo "$COLUMNS_OUT" >&2
+    exit 1
+  fi
+
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID"
+  trap - EXIT
+  rm -f "$TUNE_LOG"
+  echo "selftune smoke: feedback accepted, tuning counters moved in /debug/columns."
 fi
 
 echo "All checks passed."

@@ -15,7 +15,10 @@
 #      writes BENCH_estimation.json.
 #   4. Run bench/bench_refresh, which measures the adaptive refresh
 #      subsystem (delta-apply throughput, batched rebuild latency, reader
-#      p50/p99 while the daemon churns) and writes BENCH_refresh.json.
+#      p50/p99 while the daemon churns, and the §15 selftune axis: tuned
+#      vs stale q-error on a drifting Zipf workload, per-adjustment cost
+#      vs a rebuild, tuning-off bit-identical) and writes
+#      BENCH_refresh.json.
 #   5. Run bench/bench_serving, which drives the epoll HTTP front-end over
 #      loopback with a closed-loop load generator swept over concurrent
 #      connections, compares the JSON and §12 binary framings on the same
@@ -143,6 +146,27 @@ stats = doc["refresh_stats"]
 assert stats["deltas_applied"] > 0
 assert stats["republish_count"] > 0
 assert stats["log"]["drained"] <= stats["log"]["enqueued"]
+# The §15 self-tuning axis: feedback-tuned estimates must beat the stale
+# v-opt baseline on the drifting workload, each in-place adjustment must be
+# far cheaper than a rebuild, and the tuning-off serving path must be
+# bit-identical to a process that never saw feedback.
+tune = doc["selftune"]
+assert tune["rounds"] > 0 and tune["workload_queries"] > 0
+assert tune["tuned_beats_stale"], (
+    f"tuned median q-error {tune['tuned_median_qerror']:.4f} did not beat "
+    f"stale {tune['stale_median_qerror']:.4f}")
+assert tune["tuned_median_qerror"] < tune["stale_median_qerror"]
+assert tune["adjustments"] > 0 and tune["observations"] > 0
+assert tune["seconds_per_adjustment"] < tune["rebuild_seconds_per_column"], (
+    "an in-place adjustment cost as much as a full rebuild")
+assert tune["tuning_off_bit_identical"], (
+    "tuning-off serving diverged from the never-fed baseline")
+print(f"selftune: median q-error {tune['stale_median_qerror']:.4f} stale -> "
+      f"{tune['tuned_median_qerror']:.4f} tuned over {tune['rounds']} rounds, "
+      f"{tune['adjustments']} adjustments at "
+      f"{tune['seconds_per_adjustment']*1e6:.2f}us each "
+      f"({tune['adjustment_cost_vs_rebuild']:.2e} of a rebuild), "
+      f"off-path bit-identical={tune['tuning_off_bit_identical']}")
 print(f"refresh: {apply_phase['deltas_per_second']:.0f} deltas/s applied, "
       f"{doc['force_rebuild']['seconds_per_column']*1e3:.2f} ms/column "
       f"rebuild, reader p50 {reader['p50_micros']:.2f}us "

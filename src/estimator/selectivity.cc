@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "histogram/tuning.h"
 #include "util/math.h"
 
 namespace hops {
@@ -77,8 +78,21 @@ double FinishRangeEstimate(double num_tuples, int64_t min_value,
                            int64_t max_value, double default_frequency,
                            uint64_t num_default_values, int64_t lo, int64_t hi,
                            int64_t explicit_in_range, KahanSum total) {
+  return FinishRangeEstimate(num_tuples, min_value, max_value,
+                             default_frequency, num_default_values, lo, hi,
+                             explicit_in_range, total, nullptr);
+}
+
+double FinishRangeEstimate(double num_tuples, int64_t min_value,
+                           int64_t max_value, double default_frequency,
+                           uint64_t num_default_values, int64_t lo, int64_t hi,
+                           int64_t explicit_in_range, KahanSum total,
+                           const BucketRefinementTree* refinement) {
   // Default-bucket contribution: default values assumed uniformly spread
-  // over the column's [min, max] domain.
+  // over the column's [min, max] domain — unless a self-tuning refinement
+  // tree has learned a better intra-bucket density from range feedback. A
+  // still-uniform tree falls back to the historical arithmetic so an
+  // installed-but-untouched tree stays bit-identical to no tree.
   if (num_default_values > 0 && max_value >= min_value) {
     const double domain_span =
         static_cast<double>(max_value - min_value) + 1.0;
@@ -87,8 +101,15 @@ double FinishRangeEstimate(double num_tuples, int64_t min_value,
     if (clamped_lo <= clamped_hi) {
       const double overlap =
           static_cast<double>(clamped_hi - clamped_lo) + 1.0;
-      double values_in_range =
-          static_cast<double>(num_default_values) * overlap / domain_span;
+      double values_in_range;
+      if (refinement != nullptr && !refinement->IsUniform()) {
+        values_in_range =
+            static_cast<double>(num_default_values) *
+            refinement->FractionInRange(clamped_lo, clamped_hi);
+      } else {
+        values_in_range =
+            static_cast<double>(num_default_values) * overlap / domain_span;
+      }
       // Do not double count the explicit values already summed.
       values_in_range = std::min(
           values_in_range,
@@ -127,7 +148,8 @@ Result<double> EstimateRangeSelection(const ColumnStatistics& stats,
   return internal::FinishRangeEstimate(
       stats.num_tuples, stats.min_value, stats.max_value,
       stats.histogram.default_frequency(),
-      stats.histogram.num_default_values(), lo, hi, explicit_in_range, total);
+      stats.histogram.num_default_values(), lo, hi, explicit_in_range, total,
+      stats.histogram.refinement().get());
 }
 
 Result<double> EstimateRangeSelectionLinear(const ColumnStatistics& stats,
@@ -150,7 +172,7 @@ Result<double> EstimateRangeSelectionLinear(const ColumnStatistics& stats,
   return internal::FinishRangeEstimate(
       stats.num_tuples, stats.min_value, stats.max_value,
       hist.default_frequency(), hist.num_default_values(), lo, hi,
-      explicit_in_range, total);
+      explicit_in_range, total, hist.refinement().get());
 }
 
 double EstimateEquiJoinSize(const ColumnStatistics& left,

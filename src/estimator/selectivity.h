@@ -79,10 +79,23 @@ namespace internal {
 /// reference, binary-search, compiled serving — funnels through this one
 /// function so the floating-point association is pinned in exactly one
 /// place.
+///
+/// The second overload consults a self-tuning refinement tree
+/// (histogram/tuning.h) for the default values' in-range share instead of
+/// the uniform-spread assumption. A null (or still-uniform) tree computes
+/// the exact same arithmetic as the first overload, bit for bit — that is
+/// the tuning-off determinism contract. Pass the histogram's own tree so
+/// the legacy, binary-search, and compiled paths keep agreeing on tuned
+/// histograms too.
 double FinishRangeEstimate(double num_tuples, int64_t min_value,
                            int64_t max_value, double default_frequency,
                            uint64_t num_default_values, int64_t lo, int64_t hi,
                            int64_t explicit_in_range, KahanSum total);
+double FinishRangeEstimate(double num_tuples, int64_t min_value,
+                           int64_t max_value, double default_frequency,
+                           uint64_t num_default_values, int64_t lo, int64_t hi,
+                           int64_t explicit_in_range, KahanSum total,
+                           const BucketRefinementTree* refinement);
 
 }  // namespace internal
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <utility>
 
@@ -69,7 +70,7 @@ Result<double> EstimateRangeSelection(const CompiledColumnStats& stats,
   return internal::FinishRangeEstimate(
       stats.num_tuples, stats.min_value, stats.max_value,
       h.default_frequency(), h.num_default_values(), lo, hi,
-      static_cast<int64_t>(end - begin), total);
+      static_cast<int64_t>(end - begin), total, h.refinement());
 }
 
 double EstimateEquiJoinSize(const CompiledColumnStats& left,
@@ -662,7 +663,7 @@ std::vector<Result<double>> EstimateBatch(const CatalogSnapshot& snapshot,
       const double value = internal::FinishRangeEstimate(
           stats.num_tuples, stats.min_value, stats.max_value,
           h.default_frequency(), h.num_default_values(), plan.a, plan.b,
-          static_cast<int64_t>(end - begin), total);
+          static_cast<int64_t>(end - begin), total, h.refinement());
       results[i] = value;
       cache.Insert(PlanCacheKey(plan), value);
     }
@@ -717,6 +718,17 @@ Status ReportEstimateOutcome(const CatalogSnapshot& snapshot,
   if (sink == nullptr) {
     return Status::InvalidArgument("feedback sink must not be null");
   }
+  // Validate the magnitudes at the boundary: a single NaN or infinity
+  // forwarded into a sink's EWMA sticks there forever (alpha*x + (1-a)*inf
+  // stays inf), and a negative "actual" is a caller bug, not a result size.
+  if (!std::isfinite(estimated) || estimated < 0) {
+    return Status::InvalidArgument(
+        "estimated result size must be finite and >= 0");
+  }
+  if (!std::isfinite(actual) || actual < 0) {
+    return Status::InvalidArgument(
+        "actual result size must be finite and >= 0");
+  }
   static telemetry::SpanSite& span_site =
       telemetry::GetSpanSite("Serving.ReportOutcome");
   telemetry::TraceSpan span(span_site);
@@ -754,9 +766,35 @@ Status ReportEstimateOutcome(const CatalogSnapshot& snapshot,
   for (size_t i = 0; i < count; ++i) {
     HOPS_RETURN_NOT_OK(CheckColumn(snapshot, ids[i], "feedback"));
   }
+  // Predicate shape for the self-tuning layer: point and range specs pin a
+  // closed interval on their (single) column; everything else reports only
+  // the magnitudes.
+  PredicateOutcome outcome;
+  outcome.kind = spec.kind;
+  outcome.estimated = estimated;
+  outcome.actual = actual;
+  switch (spec.kind) {
+    case EstimateKind::kEquality:
+    case EstimateKind::kNotEquals:
+      outcome.lo = outcome.hi = CatalogKeyFor(spec.literal);
+      outcome.has_range = spec.kind == EstimateKind::kEquality;
+      break;
+    case EstimateKind::kRange: {
+      const int64_t lo = spec.bounds.low + (spec.bounds.include_low ? 0 : 1);
+      const int64_t hi = spec.bounds.high - (spec.bounds.include_high ? 0 : 1);
+      if (lo <= hi) {
+        outcome.lo = lo;
+        outcome.hi = hi;
+        outcome.has_range = true;
+      }
+      break;
+    }
+    default:
+      break;
+  }
   for (size_t i = 0; i < count; ++i) {
     const CompiledColumnStats& stats = snapshot.stats(ids[i]);
-    sink->ReportEstimationError(stats.table, stats.column, estimated, actual);
+    sink->ReportPredicateOutcome(stats.table, stats.column, outcome);
   }
   return Status::OK();
 }

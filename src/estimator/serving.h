@@ -130,14 +130,33 @@ std::vector<Result<double>> EstimateBatch(const CatalogSnapshot& snapshot,
                                           std::span<const EstimateSpec> specs,
                                           ThreadPool* pool = nullptr);
 
+/// \brief One column's share of an observed estimation outcome, carrying
+/// enough predicate shape for the self-tuning layer (refresh/self_tuner.h)
+/// to know *where* in the value domain the error happened — an ST-histogram
+/// update needs the probed point or range, not just the error magnitude.
+struct PredicateOutcome {
+  EstimateKind kind = EstimateKind::kEquality;
+  /// Closed value interval the predicate touched on this column, when the
+  /// spec pins one down (equality/not-equals: lo == hi == the literal's
+  /// catalog key; range: the normalized closed bounds). Joins, IN-lists and
+  /// chains report has_range == false — their error is not attributable to
+  /// one interval.
+  bool has_range = false;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  double estimated = 0.0;
+  double actual = 0.0;
+};
+
 /// \brief Receiver of observed estimation outcomes — the serving layer's
 /// feedback hook into the adaptive refresh subsystem (src/refresh/,
 /// DESIGN.md §8). Callers that later learn a query's true result size
 /// report (estimated, actual) per column; the refresh subsystem's
 /// StalenessAdvisor folds an EWMA of the relative error into its rebuild
-/// priority, closing the query-feedback loop of self-tuning histograms.
-/// Implementations must be thread-safe: estimates (and therefore reports)
-/// fan across threads.
+/// priority, and the SelfTuner folds the predicate-shaped form into
+/// in-place histogram adjustments, closing the query-feedback loop of
+/// self-tuning histograms. Implementations must be thread-safe: estimates
+/// (and therefore reports) fan across threads.
 class EstimationFeedbackSink {
  public:
   virtual ~EstimationFeedbackSink() = default;
@@ -147,12 +166,26 @@ class EstimationFeedbackSink {
   virtual void ReportEstimationError(std::string_view table,
                                      std::string_view column,
                                      double estimated, double actual) = 0;
+
+  /// Predicate-shaped form of the same report. The default implementation
+  /// forwards to ReportEstimationError, so sinks that only care about the
+  /// error magnitude need not override it; the self-tuning refresh manager
+  /// overrides it to route the predicate interval into its tuner.
+  virtual void ReportPredicateOutcome(std::string_view table,
+                                      std::string_view column,
+                                      const PredicateOutcome& outcome) {
+    ReportEstimationError(table, column, outcome.estimated, outcome.actual);
+  }
 };
 
 /// \brief Maps \p spec back to the columns it consulted (selection column,
 /// both join sides, every chain step) via the snapshot's interned names and
-/// reports (estimated, actual) to \p sink once per distinct column.
-/// InvalidArgument on a null sink or ids outside the snapshot.
+/// reports the outcome to \p sink once per distinct column (through
+/// ReportPredicateOutcome, so predicate-aware sinks see the probed
+/// interval). InvalidArgument on a null sink, ids outside the snapshot, or
+/// non-finite / negative estimated/actual — invalid magnitudes must be
+/// rejected at this boundary, before they can poison any sink's q-error
+/// EWMA.
 Status ReportEstimateOutcome(const CatalogSnapshot& snapshot,
                              const EstimateSpec& spec, double estimated,
                              double actual, EstimationFeedbackSink* sink);

@@ -44,6 +44,7 @@ CompiledHistogram CompiledHistogram::Compile(const CatalogHistogram& histogram) 
   out.prefix_exact_ = exact;
   out.default_frequency_ = histogram.default_frequency();
   out.num_default_values_ = histogram.num_default_values();
+  out.refinement_ = histogram.refinement();
   out.BuildEytzinger();
   return out;
 }

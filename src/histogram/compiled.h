@@ -42,12 +42,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
 namespace hops {
 
+class BucketRefinementTree;
 class CatalogHistogram;
 
 /// \brief Immutable struct-of-arrays view of a CatalogHistogram with
@@ -124,6 +126,13 @@ class CompiledHistogram {
   /// Estimated total tuple count, matching CatalogHistogram::EstimatedTotal.
   double EstimatedTotal() const;
 
+  /// The source histogram's default-bucket refinement tree, or nullptr —
+  /// the learned intra-bucket density the range estimator uses in place of
+  /// the uniform-spread assumption (histogram/tuning.h). Shared with the
+  /// CatalogHistogram it was compiled from; immutable like everything else
+  /// here.
+  const BucketRefinementTree* refinement() const { return refinement_.get(); }
+
  private:
   void BuildEytzinger();
 
@@ -138,6 +147,7 @@ class CompiledHistogram {
   double default_frequency_ = 0.0;
   uint64_t num_default_values_ = 0;
   bool prefix_exact_ = false;
+  std::shared_ptr<const BucketRefinementTree> refinement_;
 };
 
 }  // namespace hops

@@ -77,6 +77,13 @@ class HistogramMaintainer {
   /// build).
   const CatalogHistogram& current() const { return histogram_; }
 
+  /// Mutable access for the self-tuning layer (refresh/self_tuner.h): the
+  /// tuner applies its in-place deltas through CatalogHistogram's validated
+  /// mutators, which keep the compiled-view cache coherent exactly like the
+  /// maintainer's own ApplyInsert/ApplyDelete paths. Tuning redistributes
+  /// mass, so the drift counters tracked here stay meaningful.
+  CatalogHistogram* mutable_current() { return &histogram_; }
+
   /// Read-optimized view of the maintained histogram. Always coherent:
   /// ApplyInsert/ApplyDelete invalidate the underlying cache, so the view
   /// is rebuilt on first use after any update.

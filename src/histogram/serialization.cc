@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "histogram/compiled.h"
+#include "histogram/tuning.h"
 
 namespace hops {
 
@@ -12,6 +13,10 @@ namespace {
 
 constexpr uint32_t kMagic = 0x484F5053;  // "HOPS"
 constexpr uint32_t kVersion = 1;
+// Version 2 appends the refinement tree (histogram/tuning.h) after the
+// default-bucket trailer; written only when a tree is installed, so
+// untuned histograms keep their historical byte-identical encoding.
+constexpr uint32_t kVersionRefined = 2;
 
 template <typename T>
 void AppendPod(std::string* out, T v) {
@@ -117,6 +122,45 @@ Status CatalogHistogram::SetDefaultFrequency(double frequency) {
   return Status::OK();
 }
 
+bool CatalogHistogram::PromoteToExplicit(int64_t value, double frequency) {
+  if (!std::isfinite(frequency) || frequency < 0) return false;
+  if (num_default_values_ == 0) return false;
+  auto it = std::lower_bound(
+      explicit_entries_.begin(), explicit_entries_.end(), value,
+      [](const auto& entry, int64_t v) { return entry.first < v; });
+  if (it != explicit_entries_.end() && it->first == value) return false;
+  explicit_entries_.emplace(it, value, frequency);
+  --num_default_values_;
+  compiled_.reset();  // keep the compiled view coherent
+  return true;
+}
+
+uint64_t CatalogHistogram::ScaleExplicitRange(int64_t lo, int64_t hi,
+                                              double factor) {
+  if (!std::isfinite(factor) || factor <= 0 || factor == 1.0 || lo > hi) {
+    return 0;
+  }
+  auto begin = std::lower_bound(
+      explicit_entries_.begin(), explicit_entries_.end(), lo,
+      [](const auto& entry, int64_t v) { return entry.first < v; });
+  auto end = std::upper_bound(
+      explicit_entries_.begin(), explicit_entries_.end(), hi,
+      [](int64_t v, const auto& entry) { return v < entry.first; });
+  uint64_t touched = 0;
+  for (auto it = begin; it != end; ++it) {
+    it->second = std::max(0.0, it->second * factor);
+    ++touched;
+  }
+  if (touched > 0) compiled_.reset();  // keep the compiled view coherent
+  return touched;
+}
+
+void CatalogHistogram::SetRefinement(
+    std::shared_ptr<const BucketRefinementTree> refinement) {
+  refinement_ = std::move(refinement);
+  compiled_.reset();  // keep the compiled view coherent
+}
+
 const CompiledHistogram& CatalogHistogram::compiled() const {
   if (compiled_ == nullptr) {
     compiled_ = std::make_shared<const CompiledHistogram>(
@@ -132,9 +176,15 @@ std::shared_ptr<const CompiledHistogram> CatalogHistogram::compiled_shared()
 }
 
 bool CatalogHistogram::operator==(const CatalogHistogram& other) const {
-  return explicit_entries_ == other.explicit_entries_ &&
-         default_frequency_ == other.default_frequency_ &&
-         num_default_values_ == other.num_default_values_;
+  if (explicit_entries_ != other.explicit_entries_ ||
+      default_frequency_ != other.default_frequency_ ||
+      num_default_values_ != other.num_default_values_) {
+    return false;
+  }
+  if ((refinement_ == nullptr) != (other.refinement_ == nullptr)) {
+    return false;
+  }
+  return refinement_ == nullptr || *refinement_ == *other.refinement_;
 }
 
 double CatalogHistogram::EstimatedTotal() const {
@@ -148,7 +198,7 @@ size_t CatalogHistogram::EncodedSize() const { return Encode().size(); }
 std::string CatalogHistogram::Encode() const {
   std::string out;
   AppendPod(&out, kMagic);
-  AppendPod(&out, kVersion);
+  AppendPod(&out, refinement_ == nullptr ? kVersion : kVersionRefined);
   AppendPod(&out, static_cast<uint64_t>(explicit_entries_.size()));
   for (const auto& [value, freq] : explicit_entries_) {
     AppendPod(&out, value);
@@ -156,6 +206,14 @@ std::string CatalogHistogram::Encode() const {
   }
   AppendPod(&out, default_frequency_);
   AppendPod(&out, num_default_values_);
+  if (refinement_ != nullptr) {
+    AppendPod(&out, static_cast<uint64_t>(refinement_->num_leaves()));
+    AppendPod(&out, refinement_->domain_lo());
+    AppendPod(&out, refinement_->domain_hi());
+    for (double weight : refinement_->leaf_weights()) {
+      AppendPod(&out, weight);
+    }
+  }
   return out;
 }
 
@@ -164,7 +222,8 @@ Result<CatalogHistogram> CatalogHistogram::Decode(std::string_view bytes) {
   if (!ReadPod(&bytes, &magic) || magic != kMagic) {
     return Status::InvalidArgument("bad catalog histogram magic");
   }
-  if (!ReadPod(&bytes, &version) || version != kVersion) {
+  if (!ReadPod(&bytes, &version) ||
+      (version != kVersion && version != kVersionRefined)) {
     return Status::InvalidArgument("unsupported catalog histogram version");
   }
   uint64_t count = 0;
@@ -193,10 +252,40 @@ Result<CatalogHistogram> CatalogHistogram::Decode(std::string_view bytes) {
   if (!ReadPod(&bytes, &default_freq) || !ReadPod(&bytes, &num_default)) {
     return Status::InvalidArgument("truncated catalog histogram trailer");
   }
+  std::shared_ptr<const BucketRefinementTree> refinement;
+  if (version == kVersionRefined) {
+    uint64_t leaves = 0;
+    int64_t domain_lo = 0, domain_hi = 0;
+    if (!ReadPod(&bytes, &leaves) || !ReadPod(&bytes, &domain_lo) ||
+        !ReadPod(&bytes, &domain_hi)) {
+      return Status::InvalidArgument("truncated refinement tree header");
+    }
+    if (leaves == 0 || leaves > bytes.size() / sizeof(double)) {
+      return Status::InvalidArgument(
+          "refinement tree leaf count exceeds payload");
+    }
+    std::vector<double> weights;
+    weights.reserve(leaves);
+    for (uint64_t i = 0; i < leaves; ++i) {
+      double weight;
+      if (!ReadPod(&bytes, &weight)) {
+        return Status::InvalidArgument("truncated refinement tree leaves");
+      }
+      weights.push_back(weight);
+    }
+    HOPS_ASSIGN_OR_RETURN(BucketRefinementTree tree,
+                          BucketRefinementTree::FromWeights(
+                              domain_lo, domain_hi, std::move(weights)));
+    refinement =
+        std::make_shared<const BucketRefinementTree>(std::move(tree));
+  }
   if (!bytes.empty()) {
     return Status::InvalidArgument("trailing bytes after catalog histogram");
   }
-  return Make(std::move(entries), default_freq, num_default);
+  HOPS_ASSIGN_OR_RETURN(CatalogHistogram out,
+                        Make(std::move(entries), default_freq, num_default));
+  out.refinement_ = std::move(refinement);
+  return out;
 }
 
 }  // namespace hops

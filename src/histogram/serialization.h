@@ -23,6 +23,7 @@
 
 namespace hops {
 
+class BucketRefinementTree;
 class CompiledHistogram;
 
 /// \brief Catalog-resident compact histogram over int64 attribute values.
@@ -58,6 +59,34 @@ class CatalogHistogram {
   /// success.
   Status SetDefaultFrequency(double frequency);
 
+  /// Moves one value out of the implicit default bucket into the explicit
+  /// entries with the given initial frequency — the self-tuner's bounded
+  /// boundary shift (histogram/tuning.h): a hot default value whose
+  /// observed frequency diverges from the bucket average earns its own
+  /// entry. Returns false (and changes nothing) when the value is already
+  /// explicit, the default bucket is empty, or the frequency is invalid.
+  /// Invalidates the cached compiled() view on success.
+  bool PromoteToExplicit(int64_t value, double frequency);
+
+  /// Multiplies the frequency of every explicit entry inside the closed
+  /// interval [lo, hi] by \p factor (finite, > 0; anything else is a
+  /// no-op). Returns the number of entries touched; invalidates the cached
+  /// compiled() view when that count is nonzero. Used by range-feedback
+  /// tuning deltas.
+  uint64_t ScaleExplicitRange(int64_t lo, int64_t hi, double factor);
+
+  /// Installs (or clears, with nullptr) the default bucket's refinement
+  /// tree — the learned intra-bucket density range estimation uses in
+  /// place of the uniform-spread assumption (histogram/tuning.h). Shared
+  /// and immutable: tuners replace the pointer copy-on-write, never mutate
+  /// through it. Invalidates the cached compiled() view.
+  void SetRefinement(std::shared_ptr<const BucketRefinementTree> refinement);
+
+  /// The installed refinement tree, or nullptr (the uniform default).
+  const std::shared_ptr<const BucketRefinementTree>& refinement() const {
+    return refinement_;
+  }
+
   /// Read-optimized compiled view (histogram/compiled.h), built lazily and
   /// cached; every mutation (AdjustExplicitFrequency / SetDefaultFrequency)
   /// invalidates the cache, so the view is always coherent with the entries.
@@ -90,20 +119,27 @@ class CatalogHistogram {
   /// Bytes this entry occupies in the catalog encoding.
   size_t EncodedSize() const;
 
-  /// Binary encoding (little-endian, versioned).
+  /// Binary encoding (little-endian, versioned). Histograms without a
+  /// refinement tree encode as version 1 — byte-identical to every
+  /// encoding this catalog has ever produced; a refinement tree upgrades
+  /// the record to version 2 with the tree appended.
   std::string Encode() const;
 
-  /// Inverse of Encode.
+  /// Inverse of Encode; accepts version 1 and version 2 records.
   static Result<CatalogHistogram> Decode(std::string_view bytes);
 
-  /// Logical equality (entries, default frequency, default count); the
-  /// compiled-view cache does not participate.
+  /// Logical equality (entries, default frequency, default count, and the
+  /// refinement tree's contents); the compiled-view cache does not
+  /// participate.
   bool operator==(const CatalogHistogram& other) const;
 
  private:
   std::vector<std::pair<int64_t, double>> explicit_entries_;  // sorted
   double default_frequency_ = 0.0;
   uint64_t num_default_values_ = 0;
+  // Learned default-bucket density (nullptr = uniform); shared with
+  // compiled views, replaced copy-on-write by the tuner.
+  std::shared_ptr<const BucketRefinementTree> refinement_;
   // Lazily built read-optimized view; reset by mutators. Shared so that a
   // CatalogSnapshot can keep serving the old view after this histogram
   // changes (RCU semantics).

@@ -1,0 +1,242 @@
+#include "histogram/tuning.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+
+#include "histogram/serialization.h"
+
+namespace hops {
+
+namespace {
+
+// Hard cap on leaf count: encode size and per-query work stay bounded even
+// against a corrupted or adversarial decode.
+constexpr size_t kMaxLeaves = 65536;
+
+}  // namespace
+
+Result<BucketRefinementTree> BucketRefinementTree::MakeUniform(
+    int64_t domain_lo, int64_t domain_hi, size_t leaves) {
+  if (domain_lo > domain_hi) {
+    return Status::InvalidArgument("refinement tree domain is empty");
+  }
+  if (leaves == 0) {
+    return Status::InvalidArgument("refinement tree needs at least one leaf");
+  }
+  // No cell narrower than one attribute value; the width computation is
+  // unsigned so a full-int64 domain does not overflow.
+  const uint64_t width = static_cast<uint64_t>(domain_hi) -
+                         static_cast<uint64_t>(domain_lo) + 1;
+  size_t clamped = std::min<size_t>(leaves, kMaxLeaves);
+  if (width != 0 && width < clamped) clamped = static_cast<size_t>(width);
+  BucketRefinementTree tree;
+  tree.domain_lo_ = domain_lo;
+  tree.domain_hi_ = domain_hi;
+  tree.weights_.assign(clamped, 1.0 / static_cast<double>(clamped));
+  tree.RebuildSums();
+  return tree;
+}
+
+Result<BucketRefinementTree> BucketRefinementTree::FromWeights(
+    int64_t domain_lo, int64_t domain_hi, std::vector<double> weights) {
+  if (domain_lo > domain_hi) {
+    return Status::InvalidArgument("refinement tree domain is empty");
+  }
+  if (weights.empty() || weights.size() > kMaxLeaves) {
+    return Status::InvalidArgument("refinement tree leaf count out of range");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!std::isfinite(w) || w < 0) {
+      return Status::InvalidArgument("refinement leaf weights must be >= 0");
+    }
+    total += w;
+  }
+  if (!(total > 0) || !std::isfinite(total)) {
+    return Status::InvalidArgument("refinement leaf weights must have mass");
+  }
+  // Normalize only when the stored mass has genuinely drifted from 1 —
+  // re-dividing an already-normalized vector would perturb its bits and
+  // break Decode(Encode(tree)) == tree.
+  if (std::fabs(total - 1.0) > 1e-6) {
+    for (double& w : weights) w /= total;
+  }
+  BucketRefinementTree tree;
+  tree.domain_lo_ = domain_lo;
+  tree.domain_hi_ = domain_hi;
+  tree.weights_ = std::move(weights);
+  tree.RebuildSums();
+  return tree;
+}
+
+void BucketRefinementTree::RebuildSums() {
+  leaf_base_ = std::bit_ceil(weights_.size());
+  sums_.assign(2 * leaf_base_, 0.0);
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    sums_[leaf_base_ + i] = weights_[i];
+  }
+  for (size_t k = leaf_base_ - 1; k >= 1; --k) {
+    sums_[k] = sums_[2 * k] + sums_[2 * k + 1];
+  }
+}
+
+double BucketRefinementTree::LeafRangeSum(size_t first, size_t last) const {
+  // Iterative partial-sum-tree query over the inclusive leaf range
+  // [first, last]: O(log leaves) node visits, deterministic association.
+  double sum = 0.0;
+  for (size_t l = leaf_base_ + first, r = leaf_base_ + last + 1; l < r;
+       l >>= 1, r >>= 1) {
+    if (l & 1) sum += sums_[l++];
+    if (r & 1) sum += sums_[--r];
+  }
+  return sum;
+}
+
+double BucketRefinementTree::FractionInRange(int64_t lo, int64_t hi) const {
+  const int64_t clamped_lo = std::max(lo, domain_lo_);
+  const int64_t clamped_hi = std::min(hi, domain_hi_);
+  if (clamped_lo > clamped_hi) return 0.0;
+  const size_t n = weights_.size();
+  // Continuous coordinates relative to the domain start: the closed value
+  // range [lo, hi] covers [a, b).
+  const double a = static_cast<double>(clamped_lo) -
+                   static_cast<double>(domain_lo_);
+  const double b = static_cast<double>(clamped_hi) -
+                   static_cast<double>(domain_lo_) + 1.0;
+  const double span = static_cast<double>(domain_hi_) -
+                      static_cast<double>(domain_lo_) + 1.0;
+  const double cell = span / static_cast<double>(n);
+  size_t first = static_cast<size_t>(std::floor(a / cell));
+  if (first >= n) first = n - 1;
+  size_t last = static_cast<size_t>(std::ceil(b / cell));
+  last = last == 0 ? 0 : last - 1;
+  if (last >= n) last = n - 1;
+  if (first > last) last = first;
+  if (first == last) {
+    const double fraction = std::min(1.0, (b - a) / cell);
+    return std::clamp(weights_[first] * fraction, 0.0, 1.0);
+  }
+  // Boundary leaves contribute linearly-interpolated partial overlap; the
+  // interior leaves go through the tree.
+  const double first_end = static_cast<double>(first + 1) * cell;
+  const double last_start = static_cast<double>(last) * cell;
+  double total = weights_[first] * std::clamp((first_end - a) / cell, 0.0, 1.0);
+  total += weights_[last] * std::clamp((b - last_start) / cell, 0.0, 1.0);
+  if (first + 1 <= last - 1) total += LeafRangeSum(first + 1, last - 1);
+  return std::clamp(total, 0.0, 1.0);
+}
+
+void BucketRefinementTree::ScaleRange(int64_t lo, int64_t hi, double factor) {
+  if (!std::isfinite(factor) || factor <= 0 || factor == 1.0) return;
+  const int64_t clamped_lo = std::max(lo, domain_lo_);
+  const int64_t clamped_hi = std::min(hi, domain_hi_);
+  if (clamped_lo > clamped_hi) return;
+  const size_t n = weights_.size();
+  const double a = static_cast<double>(clamped_lo) -
+                   static_cast<double>(domain_lo_);
+  const double b = static_cast<double>(clamped_hi) -
+                   static_cast<double>(domain_lo_) + 1.0;
+  const double span = static_cast<double>(domain_hi_) -
+                      static_cast<double>(domain_lo_) + 1.0;
+  const double cell = span / static_cast<double>(n);
+  size_t first = static_cast<size_t>(std::floor(a / cell));
+  if (first >= n) first = n - 1;
+  size_t last = static_cast<size_t>(std::ceil(b / cell));
+  last = last == 0 ? 0 : last - 1;
+  if (last >= n) last = n - 1;
+  if (first > last) last = first;
+  for (size_t i = first; i <= last; ++i) {
+    const double leaf_start = static_cast<double>(i) * cell;
+    const double leaf_end = static_cast<double>(i + 1) * cell;
+    const double overlap =
+        std::clamp((std::min(b, leaf_end) - std::max(a, leaf_start)) / cell,
+                   0.0, 1.0);
+    // Partial leaves blend toward the factor by their overlap fraction, so
+    // a range edge inside a cell scales only the covered share of it.
+    weights_[i] *= 1.0 + (factor - 1.0) * overlap;
+  }
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  if (!(total > 0) || !std::isfinite(total)) {
+    weights_.assign(n, 1.0 / static_cast<double>(n));
+  } else {
+    for (double& w : weights_) w /= total;
+  }
+  RebuildSums();
+}
+
+bool BucketRefinementTree::IsUniform() const {
+  const double uniform = 1.0 / static_cast<double>(weights_.size());
+  for (double w : weights_) {
+    if (w != uniform) return false;
+  }
+  return true;
+}
+
+Result<TuningApplyReport> ApplyTuningDelta(CatalogHistogram* histogram,
+                                           const TuningDelta& delta) {
+  if (histogram == nullptr) {
+    return Status::InvalidArgument("tuning delta needs a histogram");
+  }
+  for (const TuningDelta::ExplicitAdjust& adjust :
+       delta.explicit_adjustments) {
+    if (!std::isfinite(adjust.delta)) {
+      return Status::InvalidArgument("tuning adjustment must be finite");
+    }
+  }
+  for (const TuningDelta::Promotion& promotion : delta.promotions) {
+    if (!std::isfinite(promotion.frequency) || promotion.frequency < 0) {
+      return Status::InvalidArgument("promoted frequency must be >= 0");
+    }
+  }
+  for (const TuningDelta::RangeScale& scale : delta.range_scales) {
+    if (!std::isfinite(scale.factor) || scale.factor <= 0) {
+      return Status::InvalidArgument("range scale factor must be > 0");
+    }
+    if (scale.lo > scale.hi) {
+      return Status::InvalidArgument("range scale interval is empty");
+    }
+  }
+  if (delta.default_frequency >= 0 &&
+      !std::isfinite(delta.default_frequency)) {
+    return Status::InvalidArgument("default frequency must be finite");
+  }
+
+  TuningApplyReport report;
+  for (const TuningDelta::ExplicitAdjust& adjust :
+       delta.explicit_adjustments) {
+    if (adjust.delta != 0 &&
+        histogram->AdjustExplicitFrequency(adjust.value, adjust.delta)) {
+      ++report.adjustments;
+    }
+  }
+  for (const TuningDelta::Promotion& promotion : delta.promotions) {
+    if (histogram->PromoteToExplicit(promotion.value, promotion.frequency)) {
+      ++report.promotions;
+    }
+  }
+  if (delta.default_frequency >= 0 &&
+      delta.default_frequency != histogram->default_frequency()) {
+    HOPS_RETURN_NOT_OK(
+        histogram->SetDefaultFrequency(delta.default_frequency));
+    ++report.adjustments;
+  }
+  for (const TuningDelta::RangeScale& scale : delta.range_scales) {
+    if (scale.factor == 1.0) continue;
+    report.adjustments +=
+        histogram->ScaleExplicitRange(scale.lo, scale.hi, scale.factor);
+    if (histogram->refinement() != nullptr) {
+      // Copy-on-write: snapshots holding the old tree keep serving it.
+      auto tuned =
+          std::make_shared<BucketRefinementTree>(*histogram->refinement());
+      tuned->ScaleRange(scale.lo, scale.hi, scale.factor);
+      histogram->SetRefinement(std::move(tuned));
+      ++report.adjustments;
+    }
+  }
+  return report;
+}
+
+}  // namespace hops

@@ -1,0 +1,157 @@
+// Self-tuning deltas for catalog histograms (DESIGN.md §15).
+//
+// A v-opt histogram is optimal at build time and nothing afterwards: the
+// compact explicit+default form (serialization.h) keeps the error of the
+// *build-time* distribution minimal, but between rebuilds the only signal
+// about drift is query feedback — the (estimated, actual) outcomes the
+// serving layer reports through the EstimationFeedbackSink chain. This
+// header holds the two pieces that let the refresh layer fold that signal
+// back into the histogram in place, ST-histogram style (Aboulnaga &
+// Chaudhuri; PAPERS.md: arXiv 1111.7295), at a tiny fraction of rebuild
+// cost:
+//
+//  * BucketRefinementTree — a tree-like bucket index (PAPERS.md: arXiv
+//    cs/0501020) over the *default bucket's* value domain. The serving
+//    estimator assumes default values are spread uniformly over
+//    [min_value, max_value]; the tree replaces that flat assumption with a
+//    learned piecewise density (a complete binary tree of partial sums over
+//    equal-width leaves), refined by range feedback. A histogram without a
+//    tree — every histogram until the tuner touches it — estimates exactly
+//    as before, bit for bit.
+//
+//  * TuningDelta / ApplyTuningDelta — the batched in-place adjustment the
+//    SelfTuner (refresh/self_tuner.h) emits: damped frequency nudges to
+//    explicit entries, promotions of hot default values to explicit
+//    entries (a bounded boundary shift in the paper's serial-histogram
+//    sense: the value moves out of the implicit largest bucket), default
+//    frequency updates, and mass rescales over feedback ranges applied to
+//    both the explicit entries and the refinement tree.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hops {
+
+class CatalogHistogram;
+
+/// \brief Piecewise-constant density over a default bucket's value domain,
+/// stored as a complete binary tree of partial sums (leaves = equal-width
+/// cells, internal nodes = subtree mass). Total leaf mass is always 1: the
+/// tree redistributes the default bucket's mass, it never changes it —
+/// tuning refines *where* the default tuples sit, rebuilds decide *how
+/// many* there are.
+///
+/// Immutable-by-convention in serving: CatalogHistogram hands snapshots a
+/// shared_ptr<const BucketRefinementTree>; the tuner copies, mutates, and
+/// republishes (the same RCU discipline as the histograms themselves).
+class BucketRefinementTree {
+ public:
+  /// Uniform density over the closed domain [domain_lo, domain_hi] with (up
+  /// to) \p leaves equal-width cells — leaves is clamped to the domain
+  /// width so no cell is narrower than one value. InvalidArgument on an
+  /// empty domain or zero leaves.
+  static Result<BucketRefinementTree> MakeUniform(int64_t domain_lo,
+                                                  int64_t domain_hi,
+                                                  size_t leaves);
+
+  /// Rebuilds a tree from explicit leaf weights (decode path). Weights must
+  /// be finite and >= 0 with positive total; they are normalized to sum 1.
+  static Result<BucketRefinementTree> FromWeights(int64_t domain_lo,
+                                                  int64_t domain_hi,
+                                                  std::vector<double> weights);
+
+  /// Fraction (in [0, 1]) of the default mass inside the closed value range
+  /// [lo, hi], clamped to the tree's domain. Full leaves are summed through
+  /// the partial-sum tree (O(log leaves)); the two boundary leaves
+  /// contribute linearly-interpolated partial overlap — the intra-bucket
+  /// refinement of the tree-like index papers. Deterministic: the same
+  /// query on the same tree always produces the same bits.
+  double FractionInRange(int64_t lo, int64_t hi) const;
+
+  /// Multiplies the density over [lo, hi] by \p factor (boundary leaves
+  /// blend by their overlap fraction), then renormalizes so the total mass
+  /// stays exactly 1 — scaling a range up necessarily scales the rest down,
+  /// which is what makes the update mass-conserving. Non-finite or
+  /// non-positive factors are ignored. If every weight would collapse to
+  /// zero the tree resets to uniform.
+  void ScaleRange(int64_t lo, int64_t hi, double factor);
+
+  int64_t domain_lo() const { return domain_lo_; }
+  int64_t domain_hi() const { return domain_hi_; }
+  size_t num_leaves() const { return weights_.size(); }
+  const std::vector<double>& leaf_weights() const { return weights_; }
+
+  /// True while the density is still the uniform prior (no ScaleRange has
+  /// had an effect) — such a tree estimates identically to no tree at all.
+  bool IsUniform() const;
+
+  bool operator==(const BucketRefinementTree& other) const {
+    return domain_lo_ == other.domain_lo_ && domain_hi_ == other.domain_hi_ &&
+           weights_ == other.weights_;
+  }
+
+ private:
+  void RebuildSums();
+  double LeafRangeSum(size_t first, size_t last) const;  // inclusive leaves
+
+  int64_t domain_lo_ = 0;
+  int64_t domain_hi_ = 0;
+  std::vector<double> weights_;  // leaf masses, sum == 1
+  // Complete binary tree of partial sums: sums_[1] is the root (total
+  // mass), node k's children are 2k / 2k+1, leaves_ pads to a power of two.
+  std::vector<double> sums_;
+  size_t leaf_base_ = 1;  // index of the first leaf slot inside sums_
+};
+
+/// \brief One batch of in-place adjustments the self-tuner emits for a
+/// column between rebuilds. Applied atomically under the refresh manager's
+/// lock; the next snapshot republication makes it visible to readers.
+struct TuningDelta {
+  struct ExplicitAdjust {
+    int64_t value = 0;
+    double delta = 0.0;  // added to the entry's frequency (clamped at 0)
+  };
+  struct Promotion {
+    int64_t value = 0;
+    double frequency = 0.0;  // initial explicit frequency
+  };
+  struct RangeScale {
+    int64_t lo = 0;  // closed interval
+    int64_t hi = 0;
+    double factor = 1.0;  // applied to in-range explicit frequencies and tree
+  };
+
+  std::vector<ExplicitAdjust> explicit_adjustments;
+  std::vector<Promotion> promotions;
+  std::vector<RangeScale> range_scales;
+  /// < 0 means "leave the default frequency unchanged".
+  double default_frequency = -1.0;
+
+  bool empty() const {
+    return explicit_adjustments.empty() && promotions.empty() &&
+           range_scales.empty() && default_frequency < 0;
+  }
+};
+
+/// \brief What ApplyTuningDelta actually changed.
+struct TuningApplyReport {
+  uint64_t adjustments = 0;  // explicit nudges + default updates + scales
+  uint64_t promotions = 0;   // default values promoted to explicit
+  bool changed() const { return adjustments > 0 || promotions > 0; }
+};
+
+/// \brief Applies \p delta to \p histogram in place. Promotions of values
+/// that are already explicit (or when the default bucket is empty) are
+/// skipped, not errors — the tuner races benignly with rebuilds. Range
+/// scales touch both the explicit entries in range and the refinement tree
+/// (copy-on-write: the histogram's shared tree is never mutated in place).
+/// InvalidArgument on non-finite inputs.
+Result<TuningApplyReport> ApplyTuningDelta(CatalogHistogram* histogram,
+                                           const TuningDelta& delta);
+
+}  // namespace hops

@@ -365,6 +365,8 @@ HttpResponse EstimateService::HandleColumns() const {
     writer.Key("histogram_class");
     writer.String(StatisticsHistogramClassToString(
         options_.updates->options().statistics.histogram_class));
+    writer.Key("selftune_enabled");
+    writer.Bool(options_.updates->options().tuning.enabled);
   }
   writer.Key("columns");
   writer.BeginArray();
@@ -407,6 +409,20 @@ HttpResponse EstimateService::HandleColumns() const {
       writer.Key("rebuilds");
       writer.UInt(report.rebuilds);
       writer.EndObject();
+      if (options_.updates != nullptr &&
+          options_.updates->options().tuning.enabled) {
+        writer.Key("tuning");
+        writer.BeginObject();
+        writer.Key("observations");
+        writer.UInt(report.tuning_observations);
+        writer.Key("adjustments");
+        writer.UInt(report.tuning_adjustments);
+        writer.Key("promotions");
+        writer.UInt(report.tuning_promotions);
+        writer.Key("recency");
+        writer.Double(report.tuning_recency);
+        writer.EndObject();
+      }
     }
     if (options_.accuracy != nullptr) {
       Result<telemetry::ColumnAccuracy> accuracy =
@@ -802,9 +818,15 @@ HttpResponse EstimateService::HandleFeedback(const HttpRequest& request) {
   const std::shared_ptr<const CatalogSnapshot> snapshot =
       options_.store->Current();
 
+  // Batch semantics mirror /estimate: each report is its own slot. A bad
+  // record (malformed spec, unknown column, non-finite or negative
+  // magnitudes) rejects that slot only — every valid record is still
+  // applied, and the response reports both aggregate counts and the
+  // per-slot status so clients can retry exactly the failed indices.
   size_t accepted = 0;
-  std::vector<std::pair<size_t, std::string>> rejected;
   const JsonValue::Array& entries = reports->AsArray();
+  std::vector<Status> slot_status;
+  slot_status.reserve(entries.size());
   for (size_t i = 0; i < entries.size(); ++i) {
     const JsonValue& entry = entries[i];
     Status status = [&]() -> Status {
@@ -814,11 +836,8 @@ HttpResponse EstimateService::HandleFeedback(const HttpRequest& request) {
       return ReportEstimateOutcome(*snapshot, spec, estimated, actual,
                                    options_.feedback);
     }();
-    if (status.ok()) {
-      ++accepted;
-    } else {
-      rejected.emplace_back(i, std::string(status.message()));
-    }
+    if (status.ok()) ++accepted;
+    slot_status.push_back(std::move(status));
   }
 
   JsonWriter writer;
@@ -826,16 +845,30 @@ HttpResponse EstimateService::HandleFeedback(const HttpRequest& request) {
   writer.Key("accepted");
   writer.UInt(accepted);
   writer.Key("rejected");
-  writer.UInt(rejected.size());
-  if (!rejected.empty()) {
+  writer.UInt(entries.size() - accepted);
+  writer.Key("results");
+  writer.BeginArray();
+  for (const Status& status : slot_status) {
+    writer.BeginObject();
+    writer.Key("ok");
+    writer.Bool(status.ok());
+    if (!status.ok()) {
+      writer.Key("error");
+      writer.String(std::string(status.message()));
+    }
+    writer.EndObject();
+  }
+  writer.EndArray();
+  if (accepted < slot_status.size()) {
     writer.Key("errors");
     writer.BeginArray();
-    for (const auto& [index, message] : rejected) {
+    for (size_t i = 0; i < slot_status.size(); ++i) {
+      if (slot_status[i].ok()) continue;
       writer.BeginObject();
       writer.Key("index");
-      writer.UInt(index);
+      writer.UInt(i);
       writer.Key("error");
-      writer.String(message);
+      writer.String(std::string(slot_status[i].message()));
       writer.EndObject();
     }
     writer.EndArray();

@@ -32,6 +32,9 @@ struct RefreshManager::ColumnState {
   uint64_t deltas_since_rebuild = 0;
   uint64_t rebuilds = 0;
   bool dirty = false;  // counts changed since the last catalog write-back
+  // Buffered predicate outcomes + tuning counters (refresh/self_tuner.h);
+  // untouched (and empty) with tuning disabled.
+  SelfTuneColumnState tuning;
 };
 
 namespace {
@@ -58,6 +61,7 @@ RefreshManager::RefreshManager(Catalog* catalog, SnapshotStore* store,
       store_(store),
       options_(options),
       advisor_(options.staleness),
+      tuner_(options.tuning),
       log_(options.queue_capacity) {}
 
 RefreshManager::~RefreshManager() {
@@ -179,17 +183,14 @@ size_t RefreshManager::num_columns() const {
   return columns_.size();
 }
 
-void RefreshManager::ReportEstimationError(std::string_view table,
-                                           std::string_view column,
-                                           double estimated, double actual) {
-  if (!std::isfinite(estimated) || !std::isfinite(actual)) return;
-  const double relative =
-      std::fabs(estimated - actual) / std::max(std::fabs(actual), 1.0);
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it =
-      by_name_.find(std::make_pair(std::string(table), std::string(column)));
-  if (it == by_name_.end()) return;  // serving may know more columns than us
-  ColumnState& state = *columns_[it->second];
+void RefreshManager::FoldFeedbackLocked(ColumnState& state, double estimated,
+                                        double actual) {
+  // |estimated - actual| can overflow to inf for *finite* opposite-sign
+  // inputs near the double range limit, and an inf folded into the EWMA
+  // sticks forever (alpha-blending never brings it back). Clamp the
+  // relative error: anything past 1e12 is equally "rebuild me now".
+  const double relative = std::min(
+      1e12, std::fabs(estimated - actual) / std::max(std::fabs(actual), 1.0));
   if (state.has_feedback) {
     state.feedback_ewma = options_.feedback_alpha * relative +
                           (1.0 - options_.feedback_alpha) * state.feedback_ewma;
@@ -198,6 +199,34 @@ void RefreshManager::ReportEstimationError(std::string_view table,
     state.has_feedback = true;
   }
   feedback_reports_.Increment();
+}
+
+void RefreshManager::ReportEstimationError(std::string_view table,
+                                           std::string_view column,
+                                           double estimated, double actual) {
+  if (!std::isfinite(estimated) || !std::isfinite(actual)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it =
+      by_name_.find(std::make_pair(std::string(table), std::string(column)));
+  if (it == by_name_.end()) return;  // serving may know more columns than us
+  FoldFeedbackLocked(*columns_[it->second], estimated, actual);
+}
+
+void RefreshManager::ReportPredicateOutcome(std::string_view table,
+                                            std::string_view column,
+                                            const PredicateOutcome& outcome) {
+  if (!std::isfinite(outcome.estimated) || !std::isfinite(outcome.actual)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it =
+      by_name_.find(std::make_pair(std::string(table), std::string(column)));
+  if (it == by_name_.end()) return;  // serving may know more columns than us
+  ColumnState& state = *columns_[it->second];
+  FoldFeedbackLocked(state, outcome.estimated, outcome.actual);
+  if (tuner_.enabled() && tuner_.Observe(&state.tuning, outcome)) {
+    tuning_observations_.Increment();
+  }
 }
 
 Status RefreshManager::ApplyDeltaLocked(ColumnState& state, int64_t value,
@@ -321,6 +350,56 @@ Result<size_t> RefreshManager::ApplyPendingDeltas() {
   return applied;
 }
 
+Status RefreshManager::TuneColumnsLocked(bool* changed) {
+  if (!tuner_.enabled()) return Status::OK();
+  static telemetry::SpanSite& tune_site =
+      telemetry::GetSpanSite("Refresh.SelfTune");
+  telemetry::TraceSpan span(tune_site);
+  Stopwatch stopwatch;
+  uint64_t adjustments = 0;
+  uint64_t promotions = 0;
+  for (auto& sp : columns_) {
+    ColumnState& state = *sp;
+    // Decay first: a column tuned this very tick ends at recency 1.
+    tuner_.DecayRecency(&state.tuning);
+    if (state.tuning.pending.empty()) continue;
+    HOPS_ASSIGN_OR_RETURN(
+        const SelfTuneReport report,
+        tuner_.TuneColumn(&state.tuning, state.maintainer.mutable_current(),
+                          state.min_value, state.max_value));
+    if (!report.changed()) continue;
+    adjustments += report.adjustments;
+    promotions += report.promotions;
+    if (report.promotions > 0) {
+      // Promotions move values out of the default bucket, so the
+      // maintained-vs-ideal classification (and with it the Prop 3.1
+      // moments) changed shape — recompute from scratch like a rebuild does.
+      RecomputeMomentsLocked(state);
+    }
+    state.dirty = true;
+    HOPS_RETURN_NOT_OK(WriteBackLocked(state));
+    if (changed != nullptr) *changed = true;
+  }
+  if (adjustments > 0) tuning_adjustments_.Increment(adjustments);
+  if (promotions > 0) tuning_promotions_.Increment(promotions);
+  if (adjustments > 0 || promotions > 0) {
+    last_tune_seconds_ = stopwatch.ElapsedSeconds();
+  }
+  if (span.emitting()) {
+    span.SetDetail("adjustments=" + std::to_string(adjustments) +
+                   " promotions=" + std::to_string(promotions));
+  }
+  return Status::OK();
+}
+
+Result<bool> RefreshManager::TuneColumns() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool changed = false;
+  HOPS_RETURN_NOT_OK(TuneColumnsLocked(&changed));
+  if (changed) HOPS_RETURN_NOT_OK(RepublishLocked());
+  return changed;
+}
+
 StalenessScore RefreshManager::ScoreLocked(const ColumnState& state) const {
   StalenessSignals signals;
   signals.drift_fraction =
@@ -330,6 +409,7 @@ StalenessScore RefreshManager::ScoreLocked(const ColumnState& state) const {
   signals.self_join_relative =
       signals.self_join_error / std::max(state.moments.total_sum_sq, 1.0);
   signals.feedback_error = state.feedback_ewma;
+  signals.tuning_recency = state.tuning.recency;
   signals.maintainer_wants_rebuild = state.maintainer.NeedsRebuild();
   return advisor_.Score(signals);
 }
@@ -347,6 +427,10 @@ std::vector<ColumnStalenessReport> RefreshManager::ScoreColumns() const {
     report.score = ScoreLocked(state);
     report.deltas_applied = state.deltas_since_rebuild;
     report.rebuilds = state.rebuilds;
+    report.tuning_observations = state.tuning.observations;
+    report.tuning_adjustments = state.tuning.adjustments;
+    report.tuning_promotions = state.tuning.promotions;
+    report.tuning_recency = state.tuning.recency;
     reports.push_back(std::move(report));
   }
   std::stable_sort(reports.begin(), reports.end(),
@@ -429,10 +513,12 @@ Status RefreshManager::RebuildColumnsLocked(
     state.max_value = ids.back();
     state.distinct = ids.size();
     RecomputeMomentsLocked(state);
-    // Feedback referred to the replaced statistics; start fresh.
+    // Feedback referred to the replaced statistics; start fresh. Buffered
+    // tuning observations likewise described the old bucketization.
     state.feedback_ewma = 0;
     state.has_feedback = false;
     state.deltas_since_rebuild = 0;
+    state.tuning.OnRebuild();
     ++state.rebuilds;
     state.dirty = true;
     switch (picks[p].second) {
@@ -555,6 +641,10 @@ Result<RefreshTickReport> RefreshManager::Tick() {
   bool changed = false;
   HOPS_ASSIGN_OR_RETURN(report.deltas_applied,
                         ApplyPendingDeltasLocked(&changed));
+  // Tuning runs between apply and rebuild: the staleness scores below see
+  // the tuned histograms (and the tuning-recency relief), so a column the
+  // tuner just fixed in place is less likely to burn a rebuild slot.
+  HOPS_RETURN_NOT_OK(TuneColumnsLocked(&changed));
   HOPS_ASSIGN_OR_RETURN(report.columns_rebuilt, RebuildIfStaleLocked(&changed));
   report.changed = changed;
   if (changed) {
@@ -770,8 +860,12 @@ RefreshStats RefreshManager::stats() const {
                      s.rebuilds_feedback + s.rebuilds_forced;
   s.republish_count = republish_count_.Value();
   s.feedback_reports = feedback_reports_.Value();
+  s.tuning_observations = tuning_observations_.Value();
+  s.tuning_adjustments = tuning_adjustments_.Value();
+  s.tuning_promotions = tuning_promotions_.Value();
   s.last_tick_seconds = last_tick_seconds_;
   s.last_refresh_seconds = last_refresh_seconds_;
+  s.last_tune_seconds = last_tune_seconds_;
   return s;
 }
 

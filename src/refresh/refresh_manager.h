@@ -48,6 +48,7 @@
 #include "refresh/durable_state.h"
 #include "refresh/refresh_source.h"
 #include "refresh/refresh_stats.h"
+#include "refresh/self_tuner.h"
 #include "refresh/staleness.h"
 #include "refresh/update_log.h"
 #include "util/thread_pool.h"
@@ -69,6 +70,10 @@ struct RefreshOptions {
   size_t max_rebuilds_per_tick = 4;
   /// Feedback EWMA smoothing factor in (0, 1]: weight of the newest report.
   double feedback_alpha = 0.25;
+  /// Self-tuning layer knobs (refresh/self_tuner.h); disabled by default —
+  /// with tuning off every histogram stays byte-identical to a build
+  /// without the subsystem.
+  SelfTuneOptions tuning;
   /// Pool for batched rebuilds; nullptr = ThreadPool::Global().
   ThreadPool* pool = nullptr;
 };
@@ -81,6 +86,11 @@ struct ColumnStalenessReport {
   StalenessScore score;
   uint64_t deltas_applied = 0;  ///< since the last rebuild
   uint64_t rebuilds = 0;        ///< lifetime rebuild count
+  // Self-tuning state (all zero with tuning off; GET /debug/columns).
+  uint64_t tuning_observations = 0;  ///< outcomes buffered for tuning
+  uint64_t tuning_adjustments = 0;   ///< in-place frequency adjustments
+  uint64_t tuning_promotions = 0;    ///< default values promoted explicit
+  double tuning_recency = 0;         ///< staleness-relief signal [0, 1]
 };
 
 /// \brief Catalog-wide adaptive maintenance coordinator. See the file
@@ -198,6 +208,12 @@ class RefreshManager : public EstimationFeedbackSink, public RefreshSource {
   void ReportEstimationError(std::string_view table, std::string_view column,
                              double estimated, double actual) override;
 
+  /// Predicate-shaped feedback: folds the same EWMA signal, then (when
+  /// options.tuning.enabled) buffers the probed interval for the next
+  /// tick's self-tuning pass. Thread-safe.
+  void ReportPredicateOutcome(std::string_view table, std::string_view column,
+                              const PredicateOutcome& outcome) override;
+
   // ------------------------------------------------------ maintenance cycle
 
   /// Drains the update log and applies every delta through the maintenance
@@ -206,6 +222,13 @@ class RefreshManager : public EstimationFeedbackSink, public RefreshSource {
   /// deltas applied. Single-consumer: call from one thread at a time (the
   /// daemon, or tests).
   Result<size_t> ApplyPendingDeltas();
+
+  /// Drains buffered predicate feedback into in-place tuning adjustments
+  /// (refresh/self_tuner.h) and decays the tuning-recency relief signal;
+  /// republishes when anything changed (and a store is attached). No-op
+  /// with tuning disabled. Returns whether any column mutated. Tick calls
+  /// this internally; ShardedRefreshManager drives it per shard.
+  Result<bool> TuneColumns();
 
   /// Scores every column (no mutation). Sorted worst-first.
   std::vector<ColumnStalenessReport> ScoreColumns() const;
@@ -260,6 +283,15 @@ class RefreshManager : public EstimationFeedbackSink, public RefreshSource {
       std::vector<std::pair<RefreshColumnId, RebuildReason>> picks,
       bool* installed);
   Status WriteBackLocked(ColumnState& state);
+  /// Drains buffered predicate outcomes into in-place histogram
+  /// adjustments (refresh/self_tuner.h) and decays every column's tuning
+  /// recency; no publication. Sets \p *changed when any column mutated.
+  /// No-op with tuning disabled.
+  Status TuneColumnsLocked(bool* changed);
+  /// Folds one (estimated, actual) outcome into \p state's feedback EWMA
+  /// (the relative error is clamped so one absurd report cannot saturate
+  /// the signal forever).
+  void FoldFeedbackLocked(ColumnState& state, double estimated, double actual);
   /// Publishes the catalog through the store; no-op when store_ == nullptr.
   Status RepublishLocked();
   StalenessScore ScoreLocked(const ColumnState& state) const;
@@ -269,6 +301,7 @@ class RefreshManager : public EstimationFeedbackSink, public RefreshSource {
   SnapshotStore* const store_;
   const RefreshOptions options_;
   const StalenessAdvisor advisor_;
+  const SelfTuner tuner_;
   UpdateLog log_;
 
   mutable std::mutex mutex_;
@@ -288,8 +321,12 @@ class RefreshManager : public EstimationFeedbackSink, public RefreshSource {
   telemetry::Counter rebuilds_forced_;
   telemetry::Counter republish_count_;
   telemetry::Counter feedback_reports_;
+  telemetry::Counter tuning_observations_;
+  telemetry::Counter tuning_adjustments_;
+  telemetry::Counter tuning_promotions_;
   double last_tick_seconds_ = 0;
   double last_refresh_seconds_ = 0;
+  double last_tune_seconds_ = 0;
   DurabilityHook* durability_ = nullptr;  // guarded by mutex_
   uint64_t last_applied_lsn_ = 0;         // guarded by mutex_
 };

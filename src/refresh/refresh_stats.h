@@ -46,6 +46,16 @@ struct RefreshStats {
   /// Feedback reports folded into column EWMAs.
   uint64_t feedback_reports = 0;
 
+  /// Self-tuning layer (refresh/self_tuner.h; all zero with tuning off):
+  /// predicate outcomes buffered for tuning, in-place frequency
+  /// adjustments applied, and default values promoted to explicit entries.
+  uint64_t tuning_observations = 0;
+  uint64_t tuning_adjustments = 0;
+  uint64_t tuning_promotions = 0;
+  /// Wall-clock seconds of the most recent tick's tuning pass that changed
+  /// at least one column (0 until then).
+  double last_tune_seconds = 0;
+
   /// Wall-clock seconds of the most recent tick, and of the most recent
   /// tick that performed at least one rebuild.
   double last_tick_seconds = 0;

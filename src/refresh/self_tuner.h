@@ -1,0 +1,159 @@
+// Self-tuning histogram policy (DESIGN.md §15): turns per-predicate
+// estimation outcomes into in-place histogram adjustments between full
+// v-opt rebuilds, ST-histogram style (Aboulnaga & Chaudhuri; PAPERS.md:
+// arXiv 1111.7295).
+//
+// A full rebuild re-optimizes bucket boundaries but costs O(n log n) over
+// the ideal frequency set; a tuning pass costs O(log n) per observation and
+// only *redistributes* mass the histogram already carries:
+//
+//   point on an explicit entry  -> damped frequency nudge toward the
+//                                  observed actual (delta = damping *
+//                                  (actual - stored));
+//   point on the default bucket -> when the observed frequency dwarfs the
+//                                  default average (>= promotion_ratio x),
+//                                  promote the value to an explicit entry —
+//                                  a bounded boundary shift in the paper's
+//                                  serial-histogram sense; otherwise a
+//                                  damped nudge of the default average;
+//   range                       -> scale the mass over the feedback
+//                                  interval by a damped, clamped ratio of
+//                                  actual to estimated, applied to both the
+//                                  in-range explicit entries and the
+//                                  default bucket's refinement tree
+//                                  (histogram/tuning.h) — the ST-histogram
+//                                  frequency-redistribution rule.
+//
+// The tuner itself is a pure policy object: RefreshManager owns the
+// per-column state, feeds observations from its EstimationFeedbackSink
+// seam, and calls TuneColumn under its maintenance lock; the mutated
+// histogram reaches readers through the normal write-back + snapshot
+// republication path. With `enabled` false (the default) every entry point
+// is a no-op, and a column the tuner never touches serves bit-identical
+// estimates to a build without this subsystem at all.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "estimator/serving.h"
+#include "histogram/tuning.h"
+#include "util/status.h"
+
+namespace hops {
+
+class CatalogHistogram;
+
+/// \brief Tuning knobs. Defaults follow the ST-histogram literature: heavy
+/// damping so individual noisy outcomes cannot whipsaw the histogram, and
+/// bounded per-tick promotion so boundary shifts stay incremental.
+struct SelfTuneOptions {
+  /// Master switch; false leaves every histogram byte-identical to a build
+  /// without the tuner (the determinism contract's escape hatch).
+  bool enabled = false;
+  /// Fraction of the observed error folded in per observation (0, 1].
+  double damping = 0.4;
+  /// Observations with q-error below this are noise, not signal — skipped.
+  double min_qerror = 1.25;
+  /// Promote a default value to explicit when its observed frequency is at
+  /// least this many times the default average.
+  double promotion_ratio = 4.0;
+  /// Boundary shifts per column per tick are capped here.
+  size_t max_promotions_per_tick = 4;
+  /// Pending observations buffered per column between ticks; beyond this
+  /// new observations are dropped (and counted).
+  size_t max_pending = 256;
+  /// Leaves of the default bucket's refinement tree (histogram/tuning.h),
+  /// installed lazily on the first range observation.
+  size_t tree_leaves = 64;
+  /// Range-feedback scale factors are clamped to [1/max_scale, max_scale].
+  double max_scale = 8.0;
+  /// Per-tick multiplicative decay of the "recently tuned" staleness-relief
+  /// signal (refresh/staleness.h).
+  double recency_decay = 0.9;
+
+  /// Reads HOPS_SELFTUNE from the environment ("on" / "1" / "true" enables;
+  /// anything else, or unset, leaves tuning off).
+  static SelfTuneOptions FromEnv();
+};
+
+/// \brief One buffered predicate outcome awaiting the next tuning pass.
+struct TuningObservation {
+  EstimateKind kind = EstimateKind::kEquality;
+  int64_t lo = 0;  // closed value interval the predicate touched
+  int64_t hi = 0;
+  double estimated = 0.0;
+  double actual = 0.0;
+};
+
+/// \brief Per-column tuning state, owned by RefreshManager alongside the
+/// maintainer. Counters are cumulative; pending/recency reset on rebuild
+/// (a fresh v-opt build supersedes all buffered feedback).
+struct SelfTuneColumnState {
+  std::vector<TuningObservation> pending;
+  /// Observations dropped because the pending buffer was full.
+  uint64_t dropped = 0;
+  /// Observations accepted into the buffer (cumulative).
+  uint64_t observations = 0;
+  /// In-place frequency adjustments applied (cumulative).
+  uint64_t adjustments = 0;
+  /// Default values promoted to explicit entries (cumulative).
+  uint64_t promotions = 0;
+  /// 1.0 right after a tuning pass changed the column, decaying by
+  /// recency_decay per tick; exactly 0 for never-tuned columns so the
+  /// staleness advisor's relief multiplier is exactly 1.
+  double recency = 0.0;
+
+  /// Rebuild hook: buffered feedback and recency describe the *old*
+  /// bucketization and are discarded; cumulative counters survive.
+  void OnRebuild() {
+    pending.clear();
+    recency = 0.0;
+  }
+};
+
+/// \brief What one TuneColumn pass changed.
+struct SelfTuneReport {
+  uint64_t adjustments = 0;
+  uint64_t promotions = 0;
+  bool changed() const { return adjustments > 0 || promotions > 0; }
+};
+
+/// \brief Stateless tuning policy. Thread-compatible: callers serialize
+/// access to each SelfTuneColumnState / CatalogHistogram pair (RefreshManager
+/// holds its maintenance lock across Observe and TuneColumn).
+class SelfTuner {
+ public:
+  explicit SelfTuner(SelfTuneOptions options = {}) : options_(options) {}
+
+  const SelfTuneOptions& options() const { return options_; }
+  bool enabled() const { return options_.enabled; }
+
+  /// Buffers one predicate outcome into \p state. Returns true when queued;
+  /// false when tuning is disabled, the outcome carries no value interval
+  /// (joins, IN-lists, chains), its q-error is below min_qerror, or the
+  /// buffer is full (counted in state->dropped).
+  bool Observe(SelfTuneColumnState* state,
+               const PredicateOutcome& outcome) const;
+
+  /// Drains state->pending into damped in-place adjustments of
+  /// \p histogram. [min_value, max_value] is the column's value domain (for
+  /// lazily installing the refinement tree). Sets state->recency to 1 when
+  /// anything changed. Never throws the histogram away — every mutation
+  /// goes through ApplyTuningDelta's validated paths.
+  Result<SelfTuneReport> TuneColumn(SelfTuneColumnState* state,
+                                    CatalogHistogram* histogram,
+                                    int64_t min_value,
+                                    int64_t max_value) const;
+
+  /// Per-tick decay of the staleness-relief recency signal; snaps to
+  /// exactly 0 below 1e-3 so untouched columns score with no relief at all.
+  void DecayRecency(SelfTuneColumnState* state) const;
+
+ private:
+  SelfTuneOptions options_;
+};
+
+}  // namespace hops

@@ -233,6 +233,16 @@ void ShardedRefreshManager::ReportEstimationError(std::string_view table,
   }
 }
 
+void ShardedRefreshManager::ReportPredicateOutcome(
+    std::string_view table, std::string_view column,
+    const PredicateOutcome& outcome) {
+  // Same ownership contract: only the shard tracking (table, column) folds
+  // the report (and buffers the interval for tuning); the rest ignore it.
+  for (const auto& shard : shards_) {
+    shard->manager->ReportPredicateOutcome(table, column, outcome);
+  }
+}
+
 std::vector<ColumnStalenessReport> ShardedRefreshManager::ScoreColumns()
     const {
   std::lock_guard<std::mutex> lock(maintenance_mutex_);
@@ -356,6 +366,15 @@ Result<RefreshTickReport> ShardedRefreshManager::Tick() {
         if (results[s].applied > 0 && telemetry::Enabled()) {
           shard.deltas_total->Increment(results[s].applied);
         }
+        // Tuning between apply and score, mirroring RefreshManager::Tick:
+        // the staleness scores below see the tuned histograms and the
+        // recency relief. Publication is shard-disabled, so the mutation
+        // reaches readers through this tick's single merged publication.
+        Result<bool> tuned = shard.manager->TuneColumns();
+        if (!tuned.ok()) {
+          results[s].status = tuned.status();
+          return;
+        }
         results[s].reports = shard.manager->ScoreColumns();
       });
     }
@@ -471,6 +490,11 @@ ShardedRefreshStats ShardedRefreshManager::stats() const {
     total.rebuilds_feedback += s.rebuilds_feedback;
     total.rebuilds_forced += s.rebuilds_forced;
     total.feedback_reports += s.feedback_reports;
+    total.tuning_observations += s.tuning_observations;
+    total.tuning_adjustments += s.tuning_adjustments;
+    total.tuning_promotions += s.tuning_promotions;
+    total.last_tune_seconds = std::max(total.last_tune_seconds,
+                                       s.last_tune_seconds);
   }
   total.rebuilds_total = total.rebuilds_drift + total.rebuilds_self_join +
                          total.rebuilds_feedback + total.rebuilds_forced;

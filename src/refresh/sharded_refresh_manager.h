@@ -152,6 +152,12 @@ class ShardedRefreshManager : public EstimationFeedbackSink,
   void ReportEstimationError(std::string_view table, std::string_view column,
                              double estimated, double actual) override;
 
+  /// Predicate-shaped feedback, forwarded the same way — the owner shard's
+  /// manager folds the EWMA and (when tuning is enabled) buffers the
+  /// interval for its next tuning pass.
+  void ReportPredicateOutcome(std::string_view table, std::string_view column,
+                              const PredicateOutcome& outcome) override;
+
   // ------------------------------------------------------ maintenance cycle
 
   /// Scores every column across all shards (global ids), sorted worst

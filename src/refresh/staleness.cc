@@ -117,6 +117,15 @@ StalenessScore StalenessAdvisor::Score(const StalenessSignals& signals) const {
       options_.weight_self_join * signals.self_join_relative;
   const double feedback = options_.weight_feedback * signals.feedback_error;
   score.total = drift + self_join + feedback;
+  // Recently self-tuned columns already folded their feedback back into the
+  // histogram in place; relieve the score so the rebuild budget goes to
+  // columns the tuner cannot help. Recency 0 (the untuned steady state)
+  // multiplies by exactly 1.0 — scores are bit-identical with tuning off.
+  if (signals.tuning_recency > 0 && options_.tuning_relief > 0) {
+    const double relief = std::clamp(
+        1.0 - options_.tuning_relief * signals.tuning_recency, 0.0, 1.0);
+    score.total *= relief;
+  }
   score.rebuild_recommended = signals.maintainer_wants_rebuild ||
                               score.total >= options_.rebuild_score_threshold;
   if (score.rebuild_recommended) {

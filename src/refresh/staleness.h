@@ -76,6 +76,13 @@ struct StalenessOptions {
   double weight_feedback = 1.0;
   /// Total score at or above this recommends a rebuild.
   double rebuild_score_threshold = 0.10;
+  /// How much a recently self-tuned column's score is relieved: the total
+  /// is multiplied by (1 - tuning_relief * tuning_recency). A fresh tuning
+  /// pass already folded the observed error back into the histogram, so
+  /// spending a full rebuild on the same signal right away is wasteful; as
+  /// the recency decays (refresh/self_tuner.h) the relief fades and a
+  /// genuinely stale column still rebuilds. 0 disables relief entirely.
+  double tuning_relief = 0.5;
 };
 
 /// \brief The three normalized staleness signals for one column.
@@ -88,6 +95,11 @@ struct StalenessSignals {
   double self_join_relative = 0;
   /// EWMA of observed |estimate - actual| / max(actual, 1) from feedback.
   double feedback_error = 0;
+  /// How recently the self-tuner adjusted this column in place: 1 right
+  /// after a tuning pass, decaying toward (exactly) 0 per tick. Scores
+  /// recently-tuned columns lower — their feedback signal was just folded
+  /// back into the histogram.
+  double tuning_recency = 0;
   /// The maintainer's own drift policy verdict (HistogramMaintainer::
   /// NeedsRebuild) — an OR-in, so the legacy policy still fires.
   bool maintainer_wants_rebuild = false;

@@ -74,6 +74,28 @@ void AccuracyTracker::ReportEstimationError(std::string_view table,
   }
 }
 
+void AccuracyTracker::ReportPredicateOutcome(std::string_view table,
+                                             std::string_view column,
+                                             const PredicateOutcome& outcome) {
+  if (std::isfinite(outcome.estimated) && std::isfinite(outcome.actual)) {
+    const PerColumn* state = FindOrCreate(table, column);
+    const double e = std::max(outcome.estimated, 1.0);
+    const double a = std::max(outcome.actual, 1.0);
+    state->reports->Increment();
+    if (e < a) {
+      state->underestimates->Increment();
+    } else if (e > a) {
+      state->overestimates->Increment();
+    }
+    state->qerror->Record(std::max(e / a, a / e));
+  }
+  // Forward the predicate form, not the flattened one: the interval is what
+  // a self-tuning sink downstream needs.
+  if (next_ != nullptr) {
+    next_->ReportPredicateOutcome(table, column, outcome);
+  }
+}
+
 ColumnAccuracy AccuracyTracker::Summarize(const std::string& table,
                                           const std::string& column,
                                           const PerColumn& state) const {

@@ -85,6 +85,12 @@ class AccuracyTracker : public EstimationFeedbackSink {
   void ReportEstimationError(std::string_view table, std::string_view column,
                              double estimated, double actual) override;
 
+  /// Records the same q-error metrics, then forwards the predicate-shaped
+  /// report to `next` intact — so a self-tuning RefreshManager chained
+  /// behind the tracker still sees the probed value interval.
+  void ReportPredicateOutcome(std::string_view table, std::string_view column,
+                              const PredicateOutcome& outcome) override;
+
   /// Summary for one tracked column; NotFound before its first report.
   Result<ColumnAccuracy> ColumnReport(std::string_view table,
                                       std::string_view column) const;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "engine/catalog.h"
@@ -291,6 +292,29 @@ TEST(ServingFeedbackTest, ValidatesSinkAndIds) {
   EXPECT_TRUE(ReportEstimateOutcome(*f.snapshot, bad, 1.0, 1.0, &sink)
                   .IsInvalidArgument());
   EXPECT_TRUE(sink.reports.empty());  // nothing reported on failure
+}
+
+TEST(ServingFeedbackTest, RejectsNonFiniteAndNegativeMagnitudes) {
+  // Regression: a NaN or infinity forwarded into a sink's EWMA poisons it
+  // permanently (alpha*x + (1-alpha)*inf stays inf), so the boundary must
+  // reject bad magnitudes before any sink sees them.
+  Fixture f;
+  RecordingSink sink;
+  EstimateSpec spec = EstimateSpec::Equality(f.r_a_id, Value(int64_t{2}));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (double bad : {nan, inf, -inf, -1.0}) {
+    EXPECT_TRUE(ReportEstimateOutcome(*f.snapshot, spec, bad, 25.0, &sink)
+                    .IsInvalidArgument());
+    EXPECT_TRUE(ReportEstimateOutcome(*f.snapshot, spec, 20.0, bad, &sink)
+                    .IsInvalidArgument());
+  }
+  EXPECT_TRUE(sink.reports.empty());  // the sink never saw a bad value
+
+  // Zero is a legitimate result size (empty result), not an error; the
+  // q-error tracker clamps it to the one-tuple floor downstream.
+  EXPECT_TRUE(ReportEstimateOutcome(*f.snapshot, spec, 0.0, 0.0, &sink).ok());
+  EXPECT_EQ(sink.reports.size(), 1u);
 }
 
 }  // namespace

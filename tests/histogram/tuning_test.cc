@@ -1,0 +1,209 @@
+#include "histogram/tuning.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "histogram/serialization.h"
+
+namespace hops {
+namespace {
+
+TEST(BucketRefinementTreeTest, MakeUniformValidates) {
+  EXPECT_FALSE(BucketRefinementTree::MakeUniform(10, 5, 4).ok());
+  EXPECT_FALSE(BucketRefinementTree::MakeUniform(0, 10, 0).ok());
+  auto tree = BucketRefinementTree::MakeUniform(0, 99, 4);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_leaves(), 4u);
+  EXPECT_TRUE(tree->IsUniform());
+}
+
+TEST(BucketRefinementTreeTest, LeavesClampToDomainWidth) {
+  // A 3-value domain cannot support 64 leaves — no cell narrower than one
+  // value.
+  auto tree = BucketRefinementTree::MakeUniform(5, 7, 64);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->num_leaves(), 3u);
+}
+
+TEST(BucketRefinementTreeTest, UniformFractionMatchesLinearSpread) {
+  auto tree = BucketRefinementTree::MakeUniform(0, 99, 8);
+  ASSERT_TRUE(tree.ok());
+  // Uniform density: a half-domain range holds (roughly) half the mass.
+  EXPECT_NEAR(tree->FractionInRange(0, 49), 0.5, 1e-9);
+  EXPECT_NEAR(tree->FractionInRange(0, 99), 1.0, 1e-12);
+  EXPECT_NEAR(tree->FractionInRange(25, 74), 0.5, 1e-9);
+  // Out-of-domain clamps.
+  EXPECT_NEAR(tree->FractionInRange(-100, 1000), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(tree->FractionInRange(50, 40), 0.0);
+}
+
+TEST(BucketRefinementTreeTest, ScaleRangeConservesMassAndShiftsDensity) {
+  auto tree = BucketRefinementTree::MakeUniform(0, 99, 10);
+  ASSERT_TRUE(tree.ok());
+  const double before = tree->FractionInRange(0, 19);
+  tree->ScaleRange(0, 19, 4.0);
+  EXPECT_FALSE(tree->IsUniform());
+  const double after = tree->FractionInRange(0, 19);
+  EXPECT_GT(after, before);
+  // Total mass stays exactly 1 (mass-conserving update).
+  double total = 0;
+  for (double w : tree->leaf_weights()) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(tree->FractionInRange(0, 99), 1.0, 1e-12);
+  // The rest of the domain gave the mass up.
+  EXPECT_LT(tree->FractionInRange(20, 99), 0.8);
+}
+
+TEST(BucketRefinementTreeTest, ScaleRangeIgnoresInvalidFactors) {
+  auto tree = BucketRefinementTree::MakeUniform(0, 9, 4);
+  ASSERT_TRUE(tree.ok());
+  tree->ScaleRange(0, 4, 0.0);
+  tree->ScaleRange(0, 4, -2.0);
+  tree->ScaleRange(0, 4, std::nan(""));
+  EXPECT_TRUE(tree->IsUniform());
+}
+
+TEST(BucketRefinementTreeTest, FromWeightsRoundTripsExactly) {
+  auto tree = BucketRefinementTree::MakeUniform(0, 999, 16);
+  ASSERT_TRUE(tree.ok());
+  tree->ScaleRange(100, 300, 3.0);
+  tree->ScaleRange(700, 900, 0.25);
+  auto copy = BucketRefinementTree::FromWeights(
+      tree->domain_lo(), tree->domain_hi(), tree->leaf_weights());
+  ASSERT_TRUE(copy.ok());
+  EXPECT_TRUE(*copy == *tree);  // bit-exact weights, not just close
+}
+
+TEST(BucketRefinementTreeTest, FromWeightsValidates) {
+  EXPECT_FALSE(BucketRefinementTree::FromWeights(0, 9, {}).ok());
+  EXPECT_FALSE(BucketRefinementTree::FromWeights(0, 9, {0.0, 0.0}).ok());
+  EXPECT_FALSE(BucketRefinementTree::FromWeights(0, 9, {1.0, -0.5}).ok());
+  EXPECT_FALSE(
+      BucketRefinementTree::FromWeights(0, 9, {1.0, std::nan("")}).ok());
+}
+
+TEST(CatalogHistogramTuningTest, PromoteToExplicitMovesValueOut) {
+  auto h = CatalogHistogram::Make({{10, 100.0}}, 2.0, 5);
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h->PromoteToExplicit(42, 8.0));
+  EXPECT_EQ(h->explicit_entries().size(), 2u);
+  EXPECT_EQ(h->num_default_values(), 4u);
+  bool is_explicit = false;
+  EXPECT_DOUBLE_EQ(h->LookupFrequency(42, &is_explicit), 8.0);
+  EXPECT_TRUE(is_explicit);
+  // Already explicit / empty default bucket / bad frequency all refuse.
+  EXPECT_FALSE(h->PromoteToExplicit(42, 9.0));
+  EXPECT_FALSE(h->PromoteToExplicit(50, -1.0));
+  auto empty_default = CatalogHistogram::Make({{1, 5.0}}, 0.0, 0);
+  ASSERT_TRUE(empty_default.ok());
+  EXPECT_FALSE(empty_default->PromoteToExplicit(9, 1.0));
+}
+
+TEST(CatalogHistogramTuningTest, ScaleExplicitRangeTouchesOnlyInRange) {
+  auto h = CatalogHistogram::Make({{1, 10.0}, {5, 20.0}, {9, 30.0}}, 1.0, 3);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->ScaleExplicitRange(2, 8, 2.0), 1u);
+  EXPECT_DOUBLE_EQ(h->LookupFrequency(1), 10.0);
+  EXPECT_DOUBLE_EQ(h->LookupFrequency(5), 40.0);
+  EXPECT_DOUBLE_EQ(h->LookupFrequency(9), 30.0);
+  EXPECT_EQ(h->ScaleExplicitRange(100, 200, 2.0), 0u);
+}
+
+TEST(CatalogHistogramTuningTest, EncodeWithoutTreeStaysVersion1Identical) {
+  auto h = CatalogHistogram::Make({{-3, 9.5}, {42, 1.0}}, 0.25, 97);
+  ASSERT_TRUE(h.ok());
+  const std::string before = h->Encode();
+  // Installing and clearing a refinement must restore the historic bytes.
+  auto tree = BucketRefinementTree::MakeUniform(0, 99, 4);
+  ASSERT_TRUE(tree.ok());
+  h->SetRefinement(std::make_shared<const BucketRefinementTree>(
+      std::move(*tree)));
+  EXPECT_NE(h->Encode(), before);
+  h->SetRefinement(nullptr);
+  EXPECT_EQ(h->Encode(), before);
+}
+
+TEST(CatalogHistogramTuningTest, EncodeDecodeRoundTripsRefinement) {
+  auto h = CatalogHistogram::Make({{1, 10.0}, {9, 3.0}}, 2.0, 40);
+  ASSERT_TRUE(h.ok());
+  auto tree = BucketRefinementTree::MakeUniform(0, 999, 8);
+  ASSERT_TRUE(tree.ok());
+  tree->ScaleRange(0, 499, 2.5);
+  h->SetRefinement(std::make_shared<const BucketRefinementTree>(
+      std::move(*tree)));
+  const std::string bytes = h->Encode();
+  EXPECT_EQ(bytes.size(), h->EncodedSize());
+  auto decoded = CatalogHistogram::Decode(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, *h);
+  ASSERT_NE(decoded->refinement(), nullptr);
+  EXPECT_TRUE(*decoded->refinement() == *h->refinement());
+  // Re-encoding the decoded form is byte-stable (no normalization drift).
+  EXPECT_EQ(decoded->Encode(), bytes);
+}
+
+TEST(ApplyTuningDeltaTest, AppliesAllDeltaKinds) {
+  auto h = CatalogHistogram::Make({{1, 10.0}, {5, 20.0}}, 2.0, 10);
+  ASSERT_TRUE(h.ok());
+  TuningDelta delta;
+  delta.explicit_adjustments.push_back({1, 5.0});
+  delta.promotions.push_back({7, 9.0});
+  delta.range_scales.push_back({4, 6, 2.0});
+  delta.default_frequency = 3.0;
+  auto report = ApplyTuningDelta(&*h, delta);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->changed());
+  EXPECT_EQ(report->promotions, 1u);
+  EXPECT_GE(report->adjustments, 3u);
+  EXPECT_DOUBLE_EQ(h->LookupFrequency(1), 15.0);
+  EXPECT_DOUBLE_EQ(h->LookupFrequency(5), 40.0);
+  EXPECT_DOUBLE_EQ(h->LookupFrequency(7), 9.0);
+  EXPECT_DOUBLE_EQ(h->default_frequency(), 3.0);
+  EXPECT_EQ(h->num_default_values(), 9u);
+}
+
+TEST(ApplyTuningDeltaTest, SkipsBenignRacesAndRejectsInvalid) {
+  auto h = CatalogHistogram::Make({{1, 10.0}}, 2.0, 4);
+  ASSERT_TRUE(h.ok());
+  // Promoting an already-explicit value is a skip, not an error.
+  TuningDelta benign;
+  benign.promotions.push_back({1, 5.0});
+  auto report = ApplyTuningDelta(&*h, benign);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->promotions, 0u);
+  // Non-finite inputs are rejected outright.
+  TuningDelta bad;
+  bad.explicit_adjustments.push_back({1, std::nan("")});
+  EXPECT_FALSE(ApplyTuningDelta(&*h, bad).ok());
+  TuningDelta bad_scale;
+  bad_scale.range_scales.push_back(
+      {0, 9, std::numeric_limits<double>::infinity()});
+  EXPECT_FALSE(ApplyTuningDelta(&*h, bad_scale).ok());
+}
+
+TEST(ApplyTuningDeltaTest, RangeScaleRefinesInstalledTree) {
+  auto h = CatalogHistogram::Make({{500, 50.0}}, 2.0, 100);
+  ASSERT_TRUE(h.ok());
+  auto tree = BucketRefinementTree::MakeUniform(0, 999, 8);
+  ASSERT_TRUE(tree.ok());
+  h->SetRefinement(std::make_shared<const BucketRefinementTree>(
+      std::move(*tree)));
+  const auto shared_before = h->refinement();
+  TuningDelta delta;
+  delta.range_scales.push_back({0, 249, 4.0});
+  auto report = ApplyTuningDelta(&*h, delta);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->changed());
+  // Copy-on-write: the previously shared tree is untouched.
+  ASSERT_NE(h->refinement(), nullptr);
+  EXPECT_NE(h->refinement().get(), shared_before.get());
+  EXPECT_TRUE(shared_before->IsUniform());
+  EXPECT_FALSE(h->refinement()->IsUniform());
+  EXPECT_GT(h->refinement()->FractionInRange(0, 249), 0.25);
+}
+
+}  // namespace
+}  // namespace hops

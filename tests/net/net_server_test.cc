@@ -359,6 +359,55 @@ TEST_F(NetServerTest, FeedbackRoutesIntoTheSink) {
   EXPECT_DOUBLE_EQ(reports[0].actual, 40.0);
 }
 
+TEST_F(NetServerTest, FeedbackBatchKeepsPerSlotStatus) {
+  // A hostile magnitude (NaN) and an unknown column each reject only their
+  // own slot; the valid records around them are still applied, and the
+  // response carries a per-slot results array so clients can retry exactly
+  // the failed indices.
+  const std::string body = R"({"reports": [
+    {"kind":"equality","table":"orders","column":"customer_id","value":5,
+     "estimated":25.0,"actual":40.0},
+    {"kind":"equality","table":"orders","column":"customer_id","value":6,
+     "estimated":"nan","actual":40.0},
+    {"kind":"equality","table":"nope","column":"missing","value":1,
+     "estimated":1.0,"actual":2.0},
+    {"kind":"equality","table":"orders","column":"item_id","value":7,
+     "estimated":8.0,"actual":-3.0},
+    {"kind":"equality","table":"orders","column":"item_id","value":9,
+     "estimated":10.0,"actual":12.0}
+  ]})";
+  TestClient client(port());
+  ASSERT_TRUE(client.SendAll(Post("/feedback", body)));
+  std::string status_line, response_body;
+  ASSERT_TRUE(client.ReadResponse(&status_line, &response_body));
+  EXPECT_NE(status_line.find("200"), std::string::npos);
+
+  Result<JsonValue> document = ParseJson(response_body);
+  ASSERT_TRUE(document.ok()) << response_body;
+  EXPECT_EQ(document->Find("accepted")->AsInt64(), 2);
+  EXPECT_EQ(document->Find("rejected")->AsInt64(), 3);
+  const JsonValue* results = document->Find("results");
+  ASSERT_NE(results, nullptr);
+  const JsonValue::Array& slots = results->AsArray();
+  ASSERT_EQ(slots.size(), 5u);
+  const bool expected_ok[] = {true, false, false, false, true};
+  for (size_t i = 0; i < 5; ++i) {
+    ASSERT_NE(slots[i].Find("ok"), nullptr) << "slot " << i;
+    EXPECT_EQ(slots[i].Find("ok")->AsBool(), expected_ok[i]) << "slot " << i;
+    // Failing slots say why; passing slots carry no error message.
+    EXPECT_EQ(slots[i].Find("error") != nullptr, !expected_ok[i])
+        << "slot " << i;
+  }
+
+  // Both valid reports reached the sink, in order.
+  const std::vector<RecordingSink::Report> reports = sink_.reports();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].column, "customer_id");
+  EXPECT_DOUBLE_EQ(reports[0].actual, 40.0);
+  EXPECT_EQ(reports[1].column, "item_id");
+  EXPECT_DOUBLE_EQ(reports[1].actual, 12.0);
+}
+
 TEST_F(NetServerTest, ErrorStatusesAreClean4xx) {
   {
     TestClient client(port());

@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
+#include "estimator/serving.h"
 #include "stats/zipf.h"
 
 namespace hops {
@@ -290,6 +293,136 @@ TEST(RefreshManagerTest, FeedbackFoldsAsEwma) {
   auto score = manager.ScoreColumn(*id);
   ASSERT_TRUE(score.ok());
   EXPECT_NEAR(score->signals.feedback_error, 0.75, 1e-12);
+}
+
+TEST(RefreshManagerTest, FeedbackEwmaSurvivesHostileMagnitudes) {
+  // Regression: non-finite inputs (or finite opposite-sign inputs whose
+  // difference overflows to inf) used to poison the EWMA permanently —
+  // alpha-blending never recovers from an inf or NaN term.
+  Fixture f;
+  RefreshOptions options;
+  options.feedback_alpha = 0.5;
+  RefreshManager manager(&f.catalog, &f.store, options);
+  auto id = RegisterSkewed(&manager, "orders", "customer_id");
+  ASSERT_TRUE(id.ok());
+  EstimationFeedbackSink* sink = &manager;
+
+  // Non-finite magnitudes are dropped at the sink boundary.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  sink->ReportEstimationError("orders", "customer_id", nan, 20.0);
+  sink->ReportEstimationError("orders", "customer_id", 10.0, inf);
+  sink->ReportEstimationError("orders", "customer_id", -inf, -inf);
+  auto score = manager.ScoreColumn(*id);
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(score->signals.feedback_error, 0.0);  // nothing folded
+  EXPECT_EQ(manager.stats().feedback_reports, 0u);
+
+  // Finite but extreme: |1e308 - (-1e308)| overflows to inf, so the fold
+  // clamps the relative error instead of trusting the raw difference.
+  sink->ReportEstimationError("orders", "customer_id", 1e308, -1e308);
+  score = manager.ScoreColumn(*id);
+  ASSERT_TRUE(score.ok());
+  EXPECT_TRUE(std::isfinite(score->signals.feedback_error));
+  EXPECT_LE(score->signals.feedback_error, 1e12);
+  EXPECT_GT(score->signals.feedback_error, 0.0);
+
+  // The EWMA still recovers: accurate follow-ups shrink it.
+  for (int i = 0; i < 50; ++i) {
+    sink->ReportEstimationError("orders", "customer_id", 20.0, 20.0);
+  }
+  score = manager.ScoreColumn(*id);
+  ASSERT_TRUE(score.ok());
+  EXPECT_LT(score->signals.feedback_error, 1.0);
+}
+
+TEST(RefreshManagerTest, SelfTuningAdjustsHistogramInPlace) {
+  Fixture f;
+  RefreshOptions options;
+  options.tuning.enabled = true;  // damping 0.4
+  RefreshManager manager(&f.catalog, &f.store, options);
+  auto id = RegisterSkewed(&manager, "orders", "customer_id");
+  ASSERT_TRUE(id.ok());
+  const uint64_t published_before = f.store.publish_count();
+  auto before = f.catalog.GetColumnStatistics("orders", "customer_id");
+  ASSERT_TRUE(before.ok());
+  bool is_explicit = false;
+  const double stored = before->histogram.LookupFrequency(1, &is_explicit);
+  ASSERT_TRUE(is_explicit);  // value 1 is the heavy hitter
+
+  PredicateOutcome outcome;
+  outcome.kind = EstimateKind::kEquality;
+  outcome.has_range = true;
+  outcome.lo = 1;
+  outcome.hi = 1;
+  outcome.estimated = stored;
+  outcome.actual = stored * 3.0;
+  manager.ReportPredicateOutcome("orders", "customer_id", outcome);
+
+  auto tuned = manager.TuneColumns();
+  ASSERT_TRUE(tuned.ok());
+  EXPECT_TRUE(*tuned);
+
+  // The catalog histogram moved a damped step toward the observed actual,
+  // without a rebuild, and the adjusted statistics were republished.
+  auto after = f.catalog.GetColumnStatistics("orders", "customer_id");
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ(after->histogram.LookupFrequency(1),
+                   stored + 0.4 * (outcome.actual - stored));
+  EXPECT_GT(f.store.publish_count(), published_before);
+  auto snapshot = f.store.Current();
+  auto snapshot_id = snapshot->Resolve("orders", "customer_id");
+  ASSERT_TRUE(snapshot_id.ok());
+  auto served = EstimateOne(
+      *snapshot, EstimateSpec::Equality(*snapshot_id, Value(int64_t{1})));
+  ASSERT_TRUE(served.ok());
+  EXPECT_DOUBLE_EQ(*served, stored + 0.4 * (outcome.actual - stored));
+
+  RefreshStats stats = manager.stats();
+  EXPECT_EQ(stats.rebuilds_total, 0u);
+  EXPECT_EQ(stats.tuning_observations, 1u);
+  EXPECT_GE(stats.tuning_adjustments, 1u);
+
+  // The staleness report exposes the tuning state; the fresh adjustment
+  // left the recency signal high so scoring relieves this column.
+  std::vector<ColumnStalenessReport> reports = manager.ScoreColumns();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].tuning_observations, 1u);
+  EXPECT_GE(reports[0].tuning_adjustments, 1u);
+  EXPECT_GT(reports[0].tuning_recency, 0.0);
+}
+
+TEST(RefreshManagerTest, SelfTuningOffLeavesStatisticsByteIdentical) {
+  Fixture f;
+  RefreshManager manager(&f.catalog, &f.store);  // tuning off by default
+  auto id = RegisterSkewed(&manager, "orders", "customer_id");
+  ASSERT_TRUE(id.ok());
+  auto before = f.catalog.GetColumnStatistics("orders", "customer_id");
+  ASSERT_TRUE(before.ok());
+  const std::string bytes_before = before->histogram.Encode();
+
+  PredicateOutcome outcome;
+  outcome.kind = EstimateKind::kEquality;
+  outcome.has_range = true;
+  outcome.lo = 1;
+  outcome.hi = 1;
+  outcome.estimated = 400.0;
+  outcome.actual = 4000.0;
+  manager.ReportPredicateOutcome("orders", "customer_id", outcome);
+
+  auto tuned = manager.TuneColumns();
+  ASSERT_TRUE(tuned.ok());
+  EXPECT_FALSE(*tuned);  // nothing adjusted, nothing republished
+
+  // The outcome still feeds the rebuild-priority EWMA, but the stored
+  // statistics are bit-identical to a build without the tuner.
+  auto after = f.catalog.GetColumnStatistics("orders", "customer_id");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->histogram.Encode(), bytes_before);
+  EXPECT_EQ(manager.stats().tuning_observations, 0u);
+  auto score = manager.ScoreColumn(*id);
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(score->signals.feedback_error, 0.0);
 }
 
 TEST(RefreshManagerTest, ForceRebuildCountsAsForced) {

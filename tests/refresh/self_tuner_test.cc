@@ -1,0 +1,195 @@
+#include "refresh/self_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "histogram/serialization.h"
+#include "histogram/tuning.h"
+
+namespace hops {
+namespace {
+
+SelfTuneOptions EnabledOptions() {
+  SelfTuneOptions options;
+  options.enabled = true;
+  return options;
+}
+
+PredicateOutcome PointOutcome(int64_t value, double estimated, double actual) {
+  PredicateOutcome outcome;
+  outcome.kind = EstimateKind::kEquality;
+  outcome.has_range = true;
+  outcome.lo = value;
+  outcome.hi = value;
+  outcome.estimated = estimated;
+  outcome.actual = actual;
+  return outcome;
+}
+
+PredicateOutcome RangeOutcome(int64_t lo, int64_t hi, double estimated,
+                              double actual) {
+  PredicateOutcome outcome;
+  outcome.kind = EstimateKind::kRange;
+  outcome.has_range = true;
+  outcome.lo = lo;
+  outcome.hi = hi;
+  outcome.estimated = estimated;
+  outcome.actual = actual;
+  return outcome;
+}
+
+TEST(SelfTunerTest, DisabledObservesNothing) {
+  SelfTuner tuner;  // default options: disabled
+  SelfTuneColumnState state;
+  EXPECT_FALSE(tuner.Observe(&state, PointOutcome(5, 10.0, 100.0)));
+  EXPECT_TRUE(state.pending.empty());
+  EXPECT_EQ(state.observations, 0u);
+}
+
+TEST(SelfTunerTest, ObserveFiltersNoiseAndIntervalFreeOutcomes) {
+  SelfTuner tuner(EnabledOptions());
+  SelfTuneColumnState state;
+  // Accurate estimates (q-error < min_qerror) are noise.
+  EXPECT_FALSE(tuner.Observe(&state, PointOutcome(5, 100.0, 101.0)));
+  // Joins and chains carry no interval.
+  PredicateOutcome join;
+  join.kind = EstimateKind::kJoin;
+  join.has_range = false;
+  join.estimated = 10.0;
+  join.actual = 1000.0;
+  EXPECT_FALSE(tuner.Observe(&state, join));
+  // Non-finite magnitudes never queue (defense in depth behind the serving
+  // boundary validation).
+  EXPECT_FALSE(
+      tuner.Observe(&state, PointOutcome(5, std::nan(""), 100.0)));
+  EXPECT_FALSE(tuner.Observe(&state, PointOutcome(5, 10.0, -3.0)));
+  EXPECT_EQ(state.observations, 0u);
+  // A genuinely wrong estimate queues.
+  EXPECT_TRUE(tuner.Observe(&state, PointOutcome(5, 10.0, 100.0)));
+  EXPECT_EQ(state.observations, 1u);
+  EXPECT_EQ(state.pending.size(), 1u);
+}
+
+TEST(SelfTunerTest, ObserveBoundsThePendingBuffer) {
+  SelfTuneOptions options = EnabledOptions();
+  options.max_pending = 2;
+  SelfTuner tuner(options);
+  SelfTuneColumnState state;
+  EXPECT_TRUE(tuner.Observe(&state, PointOutcome(1, 1.0, 100.0)));
+  EXPECT_TRUE(tuner.Observe(&state, PointOutcome(2, 1.0, 100.0)));
+  EXPECT_FALSE(tuner.Observe(&state, PointOutcome(3, 1.0, 100.0)));
+  EXPECT_EQ(state.pending.size(), 2u);
+  EXPECT_EQ(state.dropped, 1u);
+}
+
+TEST(SelfTunerTest, PointFeedbackNudgesExplicitEntryDamped) {
+  SelfTuner tuner(EnabledOptions());  // damping 0.4
+  SelfTuneColumnState state;
+  auto h = CatalogHistogram::Make({{10, 100.0}}, 2.0, 50);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(tuner.Observe(&state, PointOutcome(10, 100.0, 200.0)));
+  auto report = tuner.TuneColumn(&state, &*h, 0, 999);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->adjustments, 1u);
+  // 100 + 0.4 * (200 - 100) = 140 — damped, not snapped to the actual.
+  EXPECT_DOUBLE_EQ(h->LookupFrequency(10), 140.0);
+  EXPECT_TRUE(state.pending.empty());
+  EXPECT_DOUBLE_EQ(state.recency, 1.0);
+}
+
+TEST(SelfTunerTest, HotDefaultValuePromotesBoundedPerTick) {
+  SelfTuneOptions options = EnabledOptions();
+  options.max_promotions_per_tick = 2;
+  SelfTuner tuner(options);
+  SelfTuneColumnState state;
+  auto h = CatalogHistogram::Make({{0, 500.0}}, 2.0, 100);
+  ASSERT_TRUE(h.ok());
+  // Three hot default values observed; the per-tick cap admits two.
+  ASSERT_TRUE(tuner.Observe(&state, PointOutcome(11, 2.0, 50.0)));
+  ASSERT_TRUE(tuner.Observe(&state, PointOutcome(22, 2.0, 60.0)));
+  ASSERT_TRUE(tuner.Observe(&state, PointOutcome(33, 2.0, 70.0)));
+  auto report = tuner.TuneColumn(&state, &*h, 0, 999);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->promotions, 2u);
+  bool is_explicit = false;
+  h->LookupFrequency(11, &is_explicit);
+  EXPECT_TRUE(is_explicit);
+  h->LookupFrequency(22, &is_explicit);
+  EXPECT_TRUE(is_explicit);
+  h->LookupFrequency(33, &is_explicit);
+  EXPECT_FALSE(is_explicit);  // third hit the cap; its default got nudged
+  EXPECT_EQ(state.promotions, 2u);
+}
+
+TEST(SelfTunerTest, LukewarmDefaultValueNudgesTheAverage) {
+  SelfTuner tuner(EnabledOptions());  // promotion_ratio 4.0
+  SelfTuneColumnState state;
+  auto h = CatalogHistogram::Make({{0, 500.0}}, 10.0, 100);
+  ASSERT_TRUE(h.ok());
+  // actual 20 < 4 * default(10): below the promotion bar, so the error is
+  // spread over the default bucket instead.
+  ASSERT_TRUE(tuner.Observe(&state, PointOutcome(7, 10.0, 20.0)));
+  auto report = tuner.TuneColumn(&state, &*h, 0, 999);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->promotions, 0u);
+  EXPECT_EQ(report->adjustments, 1u);
+  // 10 + 0.4 * (20 - 10) / 100 = 10.04
+  EXPECT_DOUBLE_EQ(h->default_frequency(), 10.04);
+}
+
+TEST(SelfTunerTest, RangeFeedbackInstallsAndRefinesTree) {
+  SelfTuner tuner(EnabledOptions());
+  SelfTuneColumnState state;
+  auto h = CatalogHistogram::Make({{500, 50.0}}, 2.0, 400);
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(h->refinement(), nullptr);
+  // The served estimate undershot 5x over [0, 99].
+  ASSERT_TRUE(tuner.Observe(&state, RangeOutcome(0, 99, 40.0, 200.0)));
+  auto report = tuner.TuneColumn(&state, &*h, 0, 999);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->changed());
+  ASSERT_NE(h->refinement(), nullptr);
+  EXPECT_FALSE(h->refinement()->IsUniform());
+  // Density moved toward the under-estimated range.
+  EXPECT_GT(h->refinement()->FractionInRange(0, 99), 0.1);
+}
+
+TEST(SelfTunerTest, RangeScaleFactorIsClamped) {
+  SelfTuneOptions options = EnabledOptions();
+  options.max_scale = 2.0;
+  options.damping = 1.0;
+  SelfTuner tuner(options);
+  SelfTuneColumnState state;
+  auto h = CatalogHistogram::Make({{50, 10.0}}, 2.0, 100);
+  ASSERT_TRUE(h.ok());
+  // A 1000x error still scales the explicit entry by at most max_scale.
+  ASSERT_TRUE(tuner.Observe(&state, RangeOutcome(40, 60, 10.0, 10000.0)));
+  auto report = tuner.TuneColumn(&state, &*h, 0, 999);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(h->LookupFrequency(50), 20.0);
+}
+
+TEST(SelfTunerTest, RecencyDecaysToExactZero) {
+  SelfTuner tuner(EnabledOptions());  // recency_decay 0.9
+  SelfTuneColumnState state;
+  state.recency = 1.0;
+  for (int i = 0; i < 100; ++i) tuner.DecayRecency(&state);
+  EXPECT_EQ(state.recency, 0.0);  // snaps exactly, not just approaches
+}
+
+TEST(SelfTunerTest, OnRebuildDropsPendingKeepsCounters) {
+  SelfTuner tuner(EnabledOptions());
+  SelfTuneColumnState state;
+  ASSERT_TRUE(tuner.Observe(&state, PointOutcome(1, 1.0, 100.0)));
+  state.adjustments = 7;
+  state.recency = 0.5;
+  state.OnRebuild();
+  EXPECT_TRUE(state.pending.empty());
+  EXPECT_DOUBLE_EQ(state.recency, 0.0);
+  EXPECT_EQ(state.adjustments, 7u);
+  EXPECT_EQ(state.observations, 1u);
+}
+
+}  // namespace
+}  // namespace hops

@@ -149,6 +149,40 @@ TEST(StalenessAdvisorTest, WeightsCanDisableASignal) {
   EXPECT_FALSE(score.rebuild_recommended);
 }
 
+TEST(StalenessAdvisorTest, TuningRecencyRelievesTheScore) {
+  StalenessAdvisor advisor;  // tuning_relief 0.5
+  StalenessSignals signals;
+  signals.drift_fraction = 0.20;
+
+  const double untouched = advisor.Score(signals).total;
+  EXPECT_DOUBLE_EQ(untouched, 0.20);
+
+  // A column tuned this instant (recency 1) scores at half priority; a
+  // half-decayed one at three quarters. Zero recency is exactly untouched.
+  signals.tuning_recency = 1.0;
+  EXPECT_DOUBLE_EQ(advisor.Score(signals).total, 0.10);
+  signals.tuning_recency = 0.5;
+  EXPECT_DOUBLE_EQ(advisor.Score(signals).total, 0.15);
+  signals.tuning_recency = 0.0;
+  EXPECT_DOUBLE_EQ(advisor.Score(signals).total, untouched);
+}
+
+TEST(StalenessAdvisorTest, TuningReliefIsBoundedAndOptional) {
+  // Relief never drives a score negative, and weighting it to zero turns
+  // the mechanism off entirely.
+  StalenessOptions options;
+  options.tuning_relief = 5.0;  // aggressive: clamped at full relief
+  StalenessAdvisor aggressive(options);
+  StalenessSignals signals;
+  signals.drift_fraction = 0.20;
+  signals.tuning_recency = 1.0;
+  EXPECT_DOUBLE_EQ(aggressive.Score(signals).total, 0.0);
+
+  options.tuning_relief = 0.0;
+  StalenessAdvisor disabled(options);
+  EXPECT_DOUBLE_EQ(disabled.Score(signals).total, 0.20);
+}
+
 // ------------------------------------- joint rebuild budgeting (DESIGN §10)
 
 TEST(AllocateRebuildBudgetTest, NoPressureGrantsEveryDemand) {
